@@ -1,0 +1,86 @@
+"""E5 — the Lemma 5 base protocols: threshold and remainder.
+
+Paper claim: for any integer weights a_i, constant c, and modulus m >= 2,
+the protocols stably compute [sum a_i x_i < c] and
+[sum a_i x_i ≡ c (mod m)].
+
+Measured: verdict agreement with direct arithmetic over randomized inputs,
+plus single-run timing of each protocol at n = 60.
+"""
+
+import random
+
+from conftest import record
+
+from repro.protocols.remainder import RemainderProtocol
+from repro.protocols.threshold import ThresholdProtocol
+from repro.sim.convergence import run_until_correct_stable
+from repro.sim.engine import simulate_counts
+
+
+def _agreement_rate(protocol, truth, rng, cases=25):
+    correct = 0
+    for _ in range(cases):
+        a = rng.randrange(0, 25)
+        b = rng.randrange(0, 25)
+        if a + b < 2:
+            a = 2
+        counts = {"a": a, "b": b}
+        expected = 1 if truth(a, b) else 0
+        sim = simulate_counts(protocol, counts, seed=rng.randrange(2**60))
+        result = run_until_correct_stable(sim, expected, max_steps=50_000_000)
+        if result.stopped and all(o == expected for o in sim.outputs()):
+            correct += 1
+    return correct / cases
+
+
+def test_threshold_agreement(benchmark, base_seed):
+    protocol = ThresholdProtocol({"a": 2, "b": -3}, c=1)
+    rng = random.Random(base_seed)
+
+    def sweep():
+        return _agreement_rate(
+            protocol, lambda a, b: 2 * a - 3 * b < 1, rng)
+
+    rate = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, predicate="2a - 3b < 1", agreement_rate=rate,
+           paper_claim="stable computation: rate 1.0")
+    assert rate == 1.0
+
+
+def test_remainder_agreement(benchmark, base_seed):
+    protocol = RemainderProtocol({"a": 1, "b": 4}, c=2, m=5)
+    rng = random.Random(base_seed + 1)
+
+    def sweep():
+        return _agreement_rate(
+            protocol, lambda a, b: (a + 4 * b) % 5 == 2, rng)
+
+    rate = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, predicate="a + 4b ≡ 2 (mod 5)", agreement_rate=rate,
+           paper_claim="stable computation: rate 1.0")
+    assert rate == 1.0
+
+
+def test_threshold_single_run(benchmark, base_seed):
+    protocol = ThresholdProtocol({"a": 1, "b": -1}, c=1)
+
+    def run():
+        sim = simulate_counts(protocol, {"a": 20, "b": 40}, seed=base_seed)
+        result = run_until_correct_stable(sim, 1, max_steps=50_000_000)
+        return result.converged_at
+
+    converged_at = benchmark(run)
+    record(benchmark, n=60, converged_at_last_run=converged_at)
+
+
+def test_remainder_single_run(benchmark, base_seed):
+    protocol = RemainderProtocol({"a": 1, "b": 0}, c=2, m=3)
+
+    def run():
+        sim = simulate_counts(protocol, {"a": 20, "b": 40}, seed=base_seed)
+        result = run_until_correct_stable(sim, 1, max_steps=50_000_000)
+        return result.converged_at
+
+    converged_at = benchmark(run)
+    record(benchmark, n=60, converged_at_last_run=converged_at)

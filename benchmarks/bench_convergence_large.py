@@ -1,0 +1,83 @@
+"""E13 at scale — Theorem 8 with the no-op-skipping engine.
+
+The naive engines cap the Theorem 8 sweep around n = 128 (interactions
+grow like n^2 log n).  The skipping engine simulates the identical process
+while paying only for state-changing interactions, pushing the sweep to
+n = 1024 and sharpening the fitted exponent.
+"""
+
+from conftest import record
+
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.skipping import SkippingSimulation
+from repro.sim.stats import measure_scaling
+
+
+def _skipping_convergence(protocol_factory, split):
+    def trial(n: int, seed: int) -> float:
+        ones = split(n)
+        sim = SkippingSimulation(protocol_factory(),
+                                 {1: ones, 0: n - ones}, seed=seed)
+        done = sim.run_until_output_quiescent(
+            patience_reactive=8 * n, max_reactive_steps=5_000_000)
+        assert done, f"did not quiesce at n={n}"
+        return max(sim.last_output_change, 1)
+
+    return trial
+
+
+def test_majority_scaling_to_1024(benchmark, base_seed):
+    ns = [128, 256, 512, 1024]
+    trial = _skipping_convergence(majority_protocol, lambda n: (2 * n) // 3)
+
+    def sweep():
+        return measure_scaling(ns, trial, trials=20, seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           engine="no-op skipping (exact law)",
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           paper_bound="O(n^2 log n) (Theorem 8)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert exponent < 2.4  # within the paper's upper bound
+
+
+def test_parity_scaling_to_1024(benchmark, base_seed):
+    ns = [128, 256, 512, 1024]
+    trial = _skipping_convergence(
+        parity_protocol,
+        lambda n: n // 2 if (n // 2) % 2 == 1 else n // 2 + 1)
+
+    def sweep():
+        return measure_scaling(ns, trial, trials=20, seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           engine="no-op skipping (exact law)",
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           paper_bound="O(n^2 log n) (Theorem 8)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert 1.6 < exponent < 2.4
+
+
+def test_skipping_engine_speedup(benchmark, base_seed):
+    """Ablation: interactions simulated per reactive step at n = 1024."""
+    def run_once():
+        sim = SkippingSimulation(parity_protocol(),
+                                 {1: 513, 0: 511}, seed=base_seed)
+        sim.run_until_output_quiescent(patience_reactive=4096,
+                                       max_reactive_steps=5_000_000)
+        return sim.interactions, sim.reactive_steps
+
+    interactions, reactive = benchmark.pedantic(run_once, rounds=1,
+                                                iterations=1)
+    record(benchmark, n=1024,
+           interactions_simulated=interactions,
+           reactive_steps_paid_for=reactive,
+           skip_factor=round(interactions / max(reactive, 1), 1))
+    assert interactions > reactive

@@ -1,0 +1,72 @@
+"""E13 — Theorem 8: compiled Presburger predicates converge in
+O(n^2 log n) expected interactions.
+
+Paper claim: leader election O(n^2) + base-predicate accumulation
+O(n^2 log n) + verdict distribution O(n^2 log n) = O(k_psi n^2 log n).
+
+Measured: interactions until the output assignment is last wrong, for the
+Lemma 5 majority (threshold) and parity (remainder) protocols, swept over
+n; the fitted exponent of mean/(log n) should be about 2.
+"""
+
+from conftest import record
+
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.convergence import run_until_correct_stable
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import measure_scaling
+
+
+def _convergence_time(protocol_factory, truth, split):
+    def trial(n: int, seed: int) -> float:
+        ones = split(n)
+        protocol = protocol_factory()
+        sim = simulate_counts(protocol, {0: n - ones, 1: ones}, seed=seed)
+        expected = 1 if truth(n - ones, ones) else 0
+        result = run_until_correct_stable(
+            sim, expected, max_steps=200_000_000, settle_factor=2.0)
+        assert result.stopped, f"did not converge at n={n}"
+        return max(result.converged_at, 1)
+
+    return trial
+
+
+def test_majority_convergence_scaling(benchmark, base_seed):
+    ns = [16, 32, 64, 128]
+    trial = _convergence_time(
+        majority_protocol, lambda zeros, ones: ones >= zeros,
+        split=lambda n: (2 * n) // 3)
+
+    def sweep():
+        return measure_scaling(ns, trial, trials=25, seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           protocol="Lemma 5 threshold (majority, 2/3 ones)",
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           paper_bound="O(n^2 log n) (Theorem 8)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert 1.4 < exponent < 2.4
+
+
+def test_parity_convergence_scaling(benchmark, base_seed):
+    ns = [16, 32, 64, 128]
+    trial = _convergence_time(
+        parity_protocol, lambda zeros, ones: ones % 2 == 1,
+        split=lambda n: n // 2 if (n // 2) % 2 == 1 else n // 2 + 1)
+
+    def sweep():
+        return measure_scaling(ns, trial, trials=25, seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           protocol="Lemma 5 remainder (parity)",
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           paper_bound="O(n^2 log n) (Theorem 8)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert 1.4 < exponent < 2.4

@@ -1,0 +1,81 @@
+"""E12 — the leader meets everyone in Theta(n^2 log n) interactions (Sect. 6).
+
+Paper claim: a designated agent needs Theta(n log n) of its own encounters
+to meet every other agent (coupon collector), and it participates in only a
+2/n fraction of interactions, so the population spends Theta(n^2 log n)
+interactions in total.  The epidemic/broadcast completion obeys the same
+bound.
+
+Measured: interactions until one marked agent has met all others, swept
+over n; fitted exponent of mean/(log n) should be close to 2.
+"""
+
+from conftest import record
+
+from repro.protocols.counting import Epidemic
+from repro.sim.engine import Simulation
+from repro.sim.stats import measure_scaling
+from repro.util.rng import resolve_rng
+
+
+def _interactions_until_leader_meets_all(n: int, seed: int) -> float:
+    """Simulate uniform pairing directly; count until agent 0 met everyone."""
+    rng = resolve_rng(seed)
+    unmet = n - 1
+    met = [False] * n
+    interactions = 0
+    while unmet:
+        interactions += 1
+        i = rng.randrange(n)
+        j = rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        other = j if i == 0 else (i if j == 0 else -1)
+        if other >= 0 and not met[other]:
+            met[other] = True
+            unmet -= 1
+    return interactions
+
+
+def _epidemic_completion(n: int, seed: int) -> float:
+    sim = Simulation(Epidemic(), [1] + [0] * (n - 1), seed=seed)
+    sim.run_until(lambda s: s.unanimous_output() == 1,
+                  max_steps=100_000_000, check_every=max(1, n // 4))
+    return sim.interactions
+
+
+def test_leader_meets_all_scaling(benchmark, base_seed):
+    ns = [16, 32, 64, 128]
+
+    def sweep():
+        return measure_scaling(ns, _interactions_until_leader_meets_all,
+                               trials=40, seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           paper_bound="Theta(n^2 log n)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert 1.75 < exponent < 2.25
+
+
+def test_epidemic_completion_scaling(benchmark, base_seed):
+    ns = [16, 32, 64, 128]
+
+    def sweep():
+        return measure_scaling(ns, _epidemic_completion, trials=40,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # One-to-all epidemic completes in Theta(n log n) interactions — faster
+    # than the single-leader coupon collector because every informed agent
+    # spreads; the contrast between the two fits is part of the experiment.
+    exponent = measurement.exponent(divide_log=True)
+    record(benchmark,
+           ns=measurement.ns,
+           measured_means=[round(m) for m in measurement.means],
+           expected_bound="Theta(n log n)",
+           fitted_exponent_after_log_division=round(exponent, 3))
+    assert 0.8 < exponent < 1.25

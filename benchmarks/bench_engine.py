@@ -1,0 +1,63 @@
+"""Engine micro-benchmarks: interaction throughput of the two simulators.
+
+Not a paper claim — infrastructure health for all other experiments.  The
+agent-array engine pays O(1) per interaction regardless of |Q|; the
+counted-multiset engine pays O(live states) per interaction but is
+insensitive to n.
+"""
+
+from conftest import record
+
+from repro.protocols.majority import majority_protocol
+from repro.sim.engine import simulate_counts
+from repro.sim.multiset_engine import MultisetSimulation
+
+
+def test_agent_engine_throughput(benchmark, base_seed):
+    protocol = majority_protocol()
+    sim = simulate_counts(protocol, {0: 300, 1: 700}, seed=base_seed)
+    steps = 20_000
+
+    benchmark(lambda: sim.run(steps))
+    record(benchmark, n=1000, steps_per_round=steps,
+           engine="agent array (O(1)/interaction)")
+
+
+def test_multiset_engine_throughput(benchmark, base_seed):
+    protocol = majority_protocol()
+    sim = MultisetSimulation(protocol, {0: 30_000, 1: 70_000}, seed=base_seed)
+    steps = 20_000
+
+    benchmark(lambda: sim.run(steps))
+    record(benchmark, n=100_000, steps_per_round=steps,
+           engine="counted multiset (O(live states)/interaction)")
+
+
+def test_skipping_engine_reactive_throughput(benchmark, base_seed):
+    """Reactive steps per second of the no-op-skipping engine."""
+    from repro.sim.skipping import SkippingSimulation
+
+    protocol = majority_protocol()
+
+    def run():
+        sim = SkippingSimulation(protocol, {0: 300, 1: 700}, seed=base_seed)
+        for _ in range(2_000):
+            if not sim.step():
+                break
+        return sim.interactions, sim.reactive_steps
+
+    interactions, reactive = benchmark(run)
+    record(benchmark, n=1000, reactive_steps=reactive,
+           interactions_covered=interactions,
+           engine="no-op skipping (pays only for reactive steps)")
+
+
+def test_multiset_engine_large_population(benchmark, base_seed):
+    """The multiset engine is insensitive to n: a million agents."""
+    protocol = majority_protocol()
+    sim = MultisetSimulation(protocol, {0: 400_000, 1: 600_000},
+                             seed=base_seed)
+    steps = 10_000
+
+    benchmark(lambda: sim.run(steps))
+    record(benchmark, n=1_000_000, steps_per_round=steps)

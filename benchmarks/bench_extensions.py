@@ -1,0 +1,220 @@
+"""E18+ — the Sect. 8 extensions, measured.
+
+The paper's discussion section sketches several model variations; this
+bench makes the sketched claims quantitative:
+
+* **one-way communication**: the immediate-observation threshold protocol
+  still works but converges more slowly than the two-way protocol;
+* **weighted sampling**: bounded positive weights leave verdicts intact
+  (conjectured equivalence), with a measurable constant-factor speed
+  change;
+* **group interactions**: 3-way meetings reduce the interaction count of
+  count-to-k;
+* **fault tolerance**: the epidemic survives crashes, while crashing the
+  token-holder of count-to-five silently destroys the computation;
+* **ablation**: how much protocol minimization shrinks compiled products.
+"""
+
+from conftest import record
+
+from repro.analysis.minimize import minimization_report
+from repro.core.multiway import GroupCountToK, MultiwaySimulation
+from repro.protocols.counting import CountToK, Epidemic
+from repro.protocols.one_way import OneWayCountToK
+from repro.sim.convergence import run_until_correct_stable
+from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.faults import CrashySimulation
+from repro.sim.schedulers import WeightedPairScheduler
+from repro.sim.stats import run_trials
+from repro.util.rng import spawn_seeds
+
+
+def test_one_way_vs_two_way_convergence(benchmark, base_seed):
+    n, ones, k = 24, 8, 5
+
+    def time_protocol(protocol, s):
+        sim = simulate_counts(protocol, {1: ones, 0: n - ones}, seed=s)
+        result = run_until_correct_stable(sim, 1, max_steps=100_000_000)
+        assert result.stopped
+        return max(result.converged_at, 1)
+
+    def sweep():
+        two_way = run_trials(lambda s: time_protocol(CountToK(k), s),
+                             trials=30, seed=base_seed)
+        one_way = run_trials(lambda s: time_protocol(OneWayCountToK(k), s),
+                             trials=30, seed=base_seed + 1)
+        return two_way.mean, one_way.mean
+
+    two_way, one_way = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, n=n, ones=ones, k=k,
+           two_way_mean_interactions=round(two_way),
+           one_way_mean_interactions=round(one_way),
+           slowdown=round(one_way / two_way, 2),
+           paper_claim="Sect. 8: thresholds remain computable one-way")
+    assert one_way > two_way  # same-level meetings are much rarer
+
+
+def test_weighted_sampling_same_verdicts(benchmark, base_seed):
+    protocol = CountToK(5)
+    n = 16
+
+    def verdicts_with(scheduler_factory):
+        outcomes = {}
+        for ones, expected in ((4, 0), (5, 1)):
+            sim = simulate_counts(
+                protocol, {1: ones, 0: n - ones},
+                scheduler=scheduler_factory(), seed=base_seed + ones)
+            result = run_until_correct_stable(sim, expected,
+                                              max_steps=100_000_000)
+            assert result.stopped
+            outcomes[ones] = expected
+        return outcomes
+
+    def sweep():
+        uniform = verdicts_with(
+            lambda: WeightedPairScheduler(n, lambda s: 1.0))
+        weighted = verdicts_with(
+            lambda: WeightedPairScheduler(n, lambda s: 3.0 if s else 1.0))
+        return uniform, weighted
+
+    uniform, weighted = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, uniform_verdicts=uniform, weighted_verdicts=weighted,
+           paper_claim="Sect. 8 conjecture: weighted == uniform power")
+    assert uniform == weighted
+
+
+def test_group_interactions_speedup(benchmark, base_seed):
+    ones, zeros, k = 9, 9, 9
+
+    def sweep():
+        def pairwise(s):
+            sim = simulate_counts(CountToK(k), {1: ones, 0: zeros}, seed=s)
+            sim.run_until(lambda x: x.unanimous_output() == 1,
+                          max_steps=10_000_000, check_every=10)
+            return sim.interactions
+
+        def threeway(s):
+            sim = MultiwaySimulation(GroupCountToK(k, arity=3),
+                                     [1] * ones + [0] * zeros, seed=s)
+            sim.run_until(lambda x: x.unanimous_output() == 1,
+                          max_steps=10_000_000, check_every=10)
+            return sim.interactions
+
+        pair = run_trials(pairwise, trials=40, seed=base_seed)
+        group = run_trials(threeway, trials=40, seed=base_seed + 1)
+        return pair.mean, group.mean
+
+    pair_mean, group_mean = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark,
+           pairwise_mean_interactions=round(pair_mean),
+           threeway_mean_interactions=round(group_mean),
+           speedup=round(pair_mean / group_mean, 2),
+           paper_claim="Sect. 8: what do larger groups buy? (answer: a "
+                       "constant-factor speedup here)")
+    assert group_mean < pair_mean
+
+
+def test_fault_tolerance_contrast(benchmark, base_seed):
+    """Epidemic survives crashes; count-to-five's token holder is a single
+    point of failure (the paper's closing discussion)."""
+    trials = 30
+
+    def sweep():
+        epidemic_ok = 0
+        for s in spawn_seeds(base_seed, trials):
+            sim = CrashySimulation(Epidemic(), [1] + [0] * 19, seed=s)
+            sim.run(5)
+            victims = [a for a in sim.alive if sim.states[a] == 0][:5]
+            for victim in victims:
+                sim.crash(victim)
+            sim.run(20_000)
+            if sim.unanimous_surviving_output() == 1:
+                epidemic_ok += 1
+
+        holder_killed_breaks = 0
+        for s in spawn_seeds(base_seed + 1, trials):
+            sim = CrashySimulation(CountToK(5), [1] * 4 + [0] * 8, seed=s)
+            for _ in range(100_000):
+                sim.step()
+                holders = [a for a in sim.alive if sim.states[a] == 4]
+                if holders:
+                    sim.crash(holders[0])
+                    break
+            sim.run(20_000)
+            if all(sim.states[a] == 0 for a in sim.alive):
+                holder_killed_breaks += 1
+        return epidemic_ok / trials, holder_killed_breaks / trials
+
+    epidemic_rate, broken_rate = benchmark.pedantic(sweep, rounds=1,
+                                                    iterations=1)
+    record(benchmark, trials=trials,
+           epidemic_survival_rate=epidemic_rate,
+           token_holder_crash_wipes_tokens_rate=broken_rate,
+           paper_claim="Sect. 8: model robust, algorithms often not")
+    assert epidemic_rate == 1.0
+    assert broken_rate == 1.0
+
+
+def test_population_change_annihilation_majority(benchmark, base_seed):
+    """Sect. 8: letting interactions shrink the population turns majority
+    into a two-rule protocol; measure its speed against Lemma 5."""
+    from repro.core.dynamic import majority_by_annihilation
+    from repro.protocols.majority import strict_majority_protocol
+
+    n = 60
+    x_count, y_count = 36, 24
+
+    def sweep():
+        annihilation_mean = run_trials(
+            lambda s: _annihilation_time(x_count, y_count, s),
+            trials=25, seed=base_seed).mean
+        lemma5_mean = run_trials(
+            lambda s: _lemma5_time(x_count, y_count, s),
+            trials=25, seed=base_seed + 1).mean
+        verdict = majority_by_annihilation(x_count, y_count, seed=base_seed)
+        return annihilation_mean, lemma5_mean, verdict
+
+    def _annihilation_time(x, y, s):
+        from repro.core.dynamic import DynamicSimulation, annihilation_majority
+
+        sim = DynamicSimulation(annihilation_majority(),
+                                ["x"] * x + ["y"] * y, seed=s)
+        sim.run_until(lambda d: len(set(d.surviving_outputs())) <= 1,
+                      max_steps=50_000_000, check_every=10)
+        return sim.interactions
+
+    def _lemma5_time(x, y, s):
+        sim = simulate_counts(strict_majority_protocol(), {1: x, 0: y},
+                              seed=s)
+        result = run_until_correct_stable(sim, 1, max_steps=50_000_000)
+        return max(result.converged_at, 1)
+
+    annihilation_mean, lemma5_mean, verdict = benchmark.pedantic(
+        sweep, rounds=1, iterations=1)
+    record(benchmark, n=n, split=f"{x_count}x vs {y_count}y",
+           annihilation_mean_interactions=round(annihilation_mean),
+           lemma5_mean_interactions=round(lemma5_mean),
+           verdict=verdict,
+           paper_claim="Sect. 8: population change — 2 rules vs "
+                       "Lemma 5's leader bookkeeping")
+    assert verdict == "x"
+
+
+def test_minimization_ablation(benchmark):
+    """State-count reduction from the quotient construction."""
+    from repro.presburger.compiler import compile_predicate
+
+    def sweep():
+        reports = {}
+        for text in ("x < 2 | x > 3", "x = 0 mod 2 & x = 0 mod 3",
+                     "x < y | x = y"):
+            protocol = compile_predicate(text)
+            reports[text] = minimization_report(protocol)
+        return reports
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, minimization={
+        text: f"{r['states_before']} -> {r['states_after']}"
+        for text, r in reports.items()})
+    assert all(r["states_after"] <= r["states_before"]
+               for r in reports.values())

@@ -1,0 +1,86 @@
+"""E4 — the flock-of-birds 5% predicate (Sect. 1 and 4.2).
+
+Paper claim: "do at least 5% of the birds have elevated temperatures?" is
+the Presburger predicate 20 x1 >= x0 + x1, stably computable; the compiled
+protocol and the hand-built Lemma 5 instance agree.
+
+Measured: verdicts exactly at/around the 5% boundary for growing flocks,
+via both the hand-built threshold protocol and the compiler pipeline.
+"""
+
+from conftest import record
+
+from repro.presburger.compiler import compile_predicate
+from repro.protocols.majority import flock_of_birds_protocol
+from repro.sim.convergence import run_until_correct_stable
+from repro.sim.engine import simulate_counts
+
+
+def _verdict(protocol, zero_symbol, one_symbol, cold, hot, seed):
+    expected = 1 if 20 * hot >= hot + cold else 0
+    sim = simulate_counts(protocol, {zero_symbol: cold, one_symbol: hot},
+                          seed=seed)
+    result = run_until_correct_stable(sim, expected, max_steps=50_000_000)
+    assert result.stopped
+    return expected
+
+
+def test_flock_boundary_hand_built(benchmark, base_seed):
+    protocol = flock_of_birds_protocol()
+    cases = [(38, 2), (39, 2), (57, 3), (58, 3), (95, 5), (96, 5)]
+
+    def sweep():
+        verdicts = {}
+        for cold, hot in cases:
+            verdicts[f"{hot}/{hot + cold}"] = _verdict(
+                protocol, 0, 1, cold, hot, base_seed + cold)
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, verdicts=verdicts,
+           paper_claim="true iff hot fraction >= 5%")
+    assert verdicts == {"2/40": 1, "2/41": 0, "3/60": 1,
+                        "3/61": 0, "5/100": 1, "5/101": 0}
+
+
+def test_flock_boundary_compiled(benchmark, base_seed):
+    protocol = compile_predicate("20*e >= e + h")
+    cases = [(38, 2), (39, 2), (57, 3), (58, 3)]
+
+    def sweep():
+        verdicts = {}
+        for cold, hot in cases:
+            verdicts[f"{hot}/{hot + cold}"] = _verdict(
+                protocol, "h", "e", cold, hot, base_seed + cold)
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, verdicts=verdicts, pipeline="parse -> compile -> simulate")
+    assert verdicts == {"2/40": 1, "2/41": 0, "3/60": 1, "3/61": 0}
+
+
+def test_flock_convergence_vs_size(benchmark, base_seed):
+    """Interactions to convergence at exactly 5% hot, growing flock."""
+    from repro.sim.stats import measure_scaling
+
+    protocol = flock_of_birds_protocol()
+
+    def trial(n: int, seed: int) -> float:
+        hot = n // 20
+        sim = simulate_counts(protocol, {0: n - hot, 1: hot}, seed=seed)
+        result = run_until_correct_stable(sim, 1, max_steps=100_000_000)
+        assert result.stopped
+        return max(result.converged_at, 1)
+
+    def sweep():
+        return measure_scaling([20, 40, 80, 160], trial, trials=10,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark,
+           ns=measurement.ns,
+           mean_interactions=[round(m) for m in measurement.means],
+           paper_bound="O(n^2 log n) (Theorem 8)",
+           fitted_exponent_after_log_division=round(
+               measurement.exponent(divide_log=True), 3))
+    assert measurement.exponent(divide_log=True) < 2.5

@@ -1,0 +1,76 @@
+"""E11 — leader election takes expected (n-1)^2 interactions (Sect. 6).
+
+Paper claim: the expected number of interactions until a single leader
+remains is sum_{i=2..n} C(n,2)/C(i,2) = (n-1)^2.
+
+Measured here three ways: exact Markov-chain hitting time (must equal the
+formula to solver precision), sampled mean over seeded trials (must match
+within sampling error), and the timed cost of one election run.
+"""
+
+from conftest import record
+
+from repro.analysis.markov import MarkovAnalysis
+from repro.protocols.leader import (
+    LEADER,
+    LeaderElection,
+    expected_election_interactions,
+)
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import measure_scaling
+
+
+def _election_interactions(n: int, seed: int) -> float:
+    sim = simulate_counts(LeaderElection(), {1: n}, seed=seed)
+    sim.run_until(
+        lambda s: sum(1 for st in s.states if st == LEADER) == 1,
+        max_steps=10_000_000, check_every=1)
+    return sim.interactions
+
+
+def test_leader_election_mean_vs_formula(benchmark, base_seed):
+    ns = [8, 16, 32, 64]
+
+    def sweep():
+        return measure_scaling(ns, _election_interactions, trials=60,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = {
+        n: mean / expected_election_interactions(n)
+        for n, mean in zip(measurement.ns, measurement.means)
+    }
+    record(benchmark,
+           ns=measurement.ns,
+           measured_means=[round(m, 1) for m in measurement.means],
+           paper_expectation=[expected_election_interactions(n) for n in ns],
+           measured_over_paper_ratio={n: round(r, 3) for n, r in ratios.items()},
+           fitted_exponent=round(measurement.exponent(), 3))
+    for ratio in ratios.values():
+        assert 0.85 < ratio < 1.15
+    # (n-1)^2 fits exponent ~2 on a log-log plot.
+    assert 1.8 < measurement.exponent() < 2.2
+
+
+def test_leader_election_exact_markov(benchmark):
+    def exact():
+        return {
+            n: MarkovAnalysis(LeaderElection(), {1: n})
+            .expected_convergence_interactions()
+            for n in (4, 8, 16)
+        }
+
+    values = benchmark.pedantic(exact, rounds=1, iterations=1)
+    record(benchmark,
+           exact_expectations={n: round(v, 6) for n, v in values.items()},
+           paper_formula={n: expected_election_interactions(n)
+                          for n in values})
+    for n, value in values.items():
+        assert abs(value - expected_election_interactions(n)) < 1e-6
+
+
+def test_single_election_run(benchmark, base_seed):
+    """Timed micro-benchmark: one n=64 election."""
+    result = benchmark(lambda: _election_interactions(64, base_seed))
+    record(benchmark, n=64, interactions_last_run=result,
+           paper_expectation=expected_election_interactions(64))

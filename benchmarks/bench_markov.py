@@ -1,0 +1,79 @@
+"""E17 — Theorem 11: conjugating automata decided in polynomial time.
+
+Paper claim: the configuration Markov chain has at most (n+1)^{|Q|} states,
+so a Turing machine can compute the accepted output (probability > 1/2) in
+time polynomial in n by chain analysis.
+
+Measured: wall time and chain sizes of the exact analysis vs n, plus
+agreement between the exact verdict/expected time and sampled simulation.
+"""
+
+from conftest import record
+
+from repro.analysis.markov import MarkovAnalysis, exact_output_distribution
+from repro.protocols.counting import CountToK
+from repro.protocols.leader import LeaderElection
+from repro.protocols.remainder import parity_protocol
+from repro.sim.engine import simulate_counts
+from repro.util.rng import spawn_seeds
+
+
+def test_chain_size_polynomial_growth(benchmark):
+    protocol = CountToK(3)
+
+    def sweep():
+        sizes = {}
+        for n in (6, 10, 14, 20):
+            analysis = MarkovAnalysis(protocol, {1: 3, 0: n - 3})
+            sizes[n] = len(analysis.configs)
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.util.fitting import loglog_slope
+
+    slope = loglog_slope(list(sizes), list(sizes.values()))
+    record(benchmark, chain_sizes_by_n=sizes,
+           fitted_growth_exponent=round(slope, 3),
+           paper_bound="(n+1)^{|Q|} states at most")
+    assert slope < 4  # |Q| = 4 caps the degree
+
+
+def test_exact_verdict_probability(benchmark):
+    def analyze():
+        dist = exact_output_distribution(parity_protocol(), {1: 3, 0: 4})
+        return dist
+
+    dist = benchmark(analyze)
+    record(benchmark,
+           output_probabilities={repr(k): round(v, 6)
+                                 for k, v in dist.output_probability.items()},
+           divergence_probability=dist.divergence_probability,
+           expected_interactions=round(dist.expected_interactions, 2),
+           configurations=dist.configurations)
+    assert dist.output_probability.get(1, 0) > 0.999999
+    assert dist.divergence_probability < 1e-9
+
+
+def test_exact_vs_sampled_expectation(benchmark, base_seed):
+    """The chain's expected convergence time matches sampled runs."""
+    protocol = LeaderElection()
+    n = 9
+    analysis = MarkovAnalysis(protocol, {1: n})
+    exact = analysis.expected_convergence_interactions()
+    trials = 500
+
+    def sample():
+        total = 0
+        for s in spawn_seeds(base_seed, trials):
+            sim = simulate_counts(protocol, {1: n}, seed=s)
+            sim.run_until(
+                lambda sm: sum(1 for st in sm.states if st == "L") == 1,
+                max_steps=1_000_000, check_every=1)
+            total += sim.interactions
+        return total / trials
+
+    sampled = benchmark.pedantic(sample, rounds=1, iterations=1)
+    record(benchmark, n=n, exact_expectation=exact,
+           sampled_mean=round(sampled, 2),
+           relative_error=round(abs(sampled - exact) / exact, 4))
+    assert abs(sampled - exact) / exact < 0.1

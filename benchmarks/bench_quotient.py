@@ -1,0 +1,61 @@
+"""E3 — the floor(m/3) integer-function protocol (Sect. 3.4).
+
+Paper claim: the protocol stably computes floor(m/3) under the integer
+output convention (and the pair (m mod 3, floor(m/3)) with the identity
+output map), via the invariant m = R + 3B.
+
+Measured: correctness across a sweep of m, and the interactions needed to
+reach the silent terminal configuration vs population size.
+"""
+
+from conftest import record
+
+from repro.core.conventions import ScalarIntegerOutput
+from repro.core.semantics import is_silent
+from repro.protocols.quotient import QuotientProtocol
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import measure_scaling
+
+
+def _run_to_silence(protocol, ones, zeros, seed):
+    sim = simulate_counts(protocol, {0: zeros, 1: ones}, seed=seed)
+    done = sim.run_until(lambda s: is_silent(protocol, s.multiset()),
+                         max_steps=100_000_000, check_every=sim.n)
+    assert done
+    return sim
+
+
+def test_quotient_correctness_sweep(benchmark, base_seed):
+    protocol = QuotientProtocol(3)
+
+    def sweep():
+        results = {}
+        for m in range(0, 16):
+            sim = _run_to_silence(protocol, m, max(2, 18 - m), base_seed + m)
+            results[m] = ScalarIntegerOutput().decode(sim.outputs())
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, computed_quotients=results,
+           paper_claim="output == floor(m/3) for every m")
+    assert all(value == m // 3 for m, value in results.items())
+
+
+def test_quotient_convergence_scaling(benchmark, base_seed):
+    protocol = QuotientProtocol(3)
+
+    def trial(n: int, seed: int) -> float:
+        ones = (2 * n) // 3
+        sim = _run_to_silence(protocol, ones, n - ones, seed)
+        return sim.interactions
+
+    def sweep():
+        return measure_scaling([12, 24, 48, 96], trial, trials=15,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark,
+           ns=measurement.ns,
+           mean_interactions_to_silence=[round(m) for m in measurement.means],
+           fitted_exponent=round(measurement.exponent(), 3))
+    assert measurement.exponent() > 1.0

@@ -1,0 +1,105 @@
+"""E16 — Theorem 10: logspace Turing machines on populations.
+
+Paper claim: a unary-input logspace function computable in time O(n^d) runs
+on a conjugating automaton with error O(n^-c log n) in expected time
+O(n^{d+2} log n + n^{2d+c+1}), via Minsky's two-stack counter encoding and
+the leader-driven simulation.
+
+Measured: the full pipeline TM -> counter machine -> population protocol on
+unary parity: verdict error rate over seeds, and interaction counts.
+"""
+
+from conftest import record
+
+from repro.machines.counter import multiply_program, run_program
+from repro.machines.minsky import tm_to_counter_program
+from repro.machines.pp_counter import (
+    HALTED,
+    DesignatedLeaderProtocol,
+    counter_totals,
+    leader_states,
+)
+from repro.machines.turing import unary_parity_machine
+from repro.sim.engine import simulate_counts
+from repro.util.rng import spawn_seeds
+
+
+def _run_to_halt(protocol, counts, seed, max_steps=50_000_000):
+    sim = simulate_counts(protocol, counts, seed=seed)
+    done = sim.run_until(
+        lambda s: leader_states(s.states)[0][1] == HALTED,
+        max_steps=max_steps, check_every=100)
+    assert done
+    return sim
+
+
+def test_unary_parity_error_rate(benchmark, base_seed):
+    tm = unary_parity_machine()
+    compilation = tm_to_counter_program(tm)
+    protocol = DesignatedLeaderProtocol(compilation.program, capacity=6,
+                                        zero_test_k=3)
+    m = 3
+    initial = compilation.initial_counters(["1"] * m)
+    counts = protocol.make_input_counts(initial, 24)
+    trials = 12
+
+    def sweep():
+        wrong = 0
+        interactions = []
+        for s in spawn_seeds(base_seed, trials):
+            sim = _run_to_halt(protocol, counts, s)
+            interactions.append(sim.interactions)
+            if leader_states(sim.states)[0][6] != 1:
+                wrong += 1
+        return wrong / trials, sum(interactions) / trials
+
+    error_rate, mean_interactions = benchmark.pedantic(sweep, rounds=1,
+                                                       iterations=1)
+    record(benchmark, input_length=m, population=24, zero_test_k=3,
+           trials=trials, error_rate=error_rate,
+           mean_interactions=round(mean_interactions),
+           paper_claim="error O(n^-c log n); polynomial time")
+    assert error_rate <= 0.25
+
+
+def test_multiplication_pipeline(benchmark, base_seed):
+    """The paper's push primitive: c1 := 3 * c0 on a population, checked
+    against the direct interpreter."""
+    program = multiply_program(3)
+    direct = run_program(program, [6, 0])
+    protocol = DesignatedLeaderProtocol(program, zero_test_k=3)
+    counts = protocol.make_input_counts([6, 0], 30)
+
+    def run():
+        sim = _run_to_halt(protocol, counts, base_seed)
+        return counter_totals(sim.states), sim.interactions
+
+    totals, interactions = benchmark(run)
+    record(benchmark, computed=totals, direct=direct.counters,
+           interactions_last_run=interactions)
+    assert totals == direct.counters
+
+
+def test_interaction_cost_vs_n(benchmark, base_seed):
+    """Multiplication loop cost grows polynomially in n (paper:
+    O(n^2 log n + n^{k+1}) per product)."""
+    from repro.sim.stats import measure_scaling
+
+    program = multiply_program(2)
+    protocol = DesignatedLeaderProtocol(program, zero_test_k=2)
+
+    def trial(n: int, seed: int) -> float:
+        counts = protocol.make_input_counts([4, 0], n)
+        return _run_to_halt(protocol, counts, seed).interactions
+
+    def sweep():
+        return measure_scaling([16, 24, 36, 54], trial, trials=10,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark,
+           ns=measurement.ns,
+           mean_interactions=[round(v) for v in measurement.means],
+           paper_bound="O(n^2 log n + n^{k+1}), k=2",
+           fitted_exponent=round(measurement.exponent(), 3))
+    assert 1.5 < measurement.exponent() < 3.6

@@ -1,0 +1,90 @@
+"""E14 — the Lemma 11 urn process: exact formulas vs sampled behaviour.
+
+Paper claims (urn of N tokens, m counter tokens, 1 timer, k-in-a-row loss):
+
+1. P[lose] = (N-1) / (m N^k + (N-1-m)) <= 1/(m N^{k-1});
+2. E[draws | win] <= N/m;
+3. E[draws] = O(N^k) when m = 0.
+
+Measured: empirical loss rates and draw counts for a grid of (N, m, k),
+reported next to the exact values.
+"""
+
+from conftest import record
+
+from repro.machines.urn import (
+    expected_draws_no_counters,
+    expected_draws_win_bound,
+    loss_probability,
+    sample_urn_game,
+)
+from repro.util.rng import spawn_seeds
+
+
+def test_loss_probability_grid(benchmark, base_seed):
+    grid = [(10, 1, 1), (10, 1, 2), (10, 3, 2), (20, 2, 2), (20, 5, 1)]
+    trials = 3000
+
+    def sweep():
+        rows = {}
+        for n_tokens, m, k in grid:
+            losses = 0
+            for s in spawn_seeds(base_seed + n_tokens + m + k, trials):
+                if not sample_urn_game(n_tokens, m, k, seed=s).won:
+                    losses += 1
+            rows[(n_tokens, m, k)] = losses / trials
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = {}
+    for (n_tokens, m, k), rate in rows.items():
+        exact = float(loss_probability(n_tokens, m, k))
+        report[f"N={n_tokens},m={m},k={k}"] = {
+            "empirical": round(rate, 5), "paper_exact": round(exact, 5)}
+        sigma = (exact * (1 - exact) / trials) ** 0.5
+        assert abs(rate - exact) < 5 * sigma + 2e-3
+    record(benchmark, trials_per_cell=trials, loss_probability=report)
+
+
+def test_winning_draw_bound(benchmark, base_seed):
+    n_tokens, m, k = 16, 4, 3
+    trials = 4000
+
+    def sweep():
+        draws = []
+        for s in spawn_seeds(base_seed, trials):
+            outcome = sample_urn_game(n_tokens, m, k, seed=s)
+            if outcome.won:
+                draws.append(outcome.draws)
+        return sum(draws) / len(draws)
+
+    mean = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bound = float(expected_draws_win_bound(n_tokens, m))
+    record(benchmark, mean_draws_given_win=round(mean, 3),
+           paper_bound_N_over_m=bound)
+    assert mean <= bound * 1.03
+
+
+def test_no_counter_draws_scale_as_nk(benchmark, base_seed):
+    k = 2
+    ns = [4, 6, 8, 12]
+    trials = 800
+
+    def sweep():
+        means = {}
+        for n_tokens in ns:
+            total = sum(
+                sample_urn_game(n_tokens, 0, k, seed=s).draws
+                for s in spawn_seeds(base_seed + n_tokens, trials))
+            means[n_tokens] = total / trials
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = {}
+    for n_tokens, mean in means.items():
+        exact = float(expected_draws_no_counters(n_tokens, k))
+        report[n_tokens] = {"empirical": round(mean, 2),
+                            "exact": round(exact, 2)}
+        assert abs(mean - exact) / exact < 0.2
+    record(benchmark, k=k, mean_draws_until_loss=report,
+           paper_bound="O(N^k)")

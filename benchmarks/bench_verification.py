@@ -1,0 +1,72 @@
+"""E9 — Theorem 6: stable computation decided by multiset reachability.
+
+Paper claim: a configuration is |Q| counters of log n bits; stable
+computation is a reachability question over these counted configurations
+(hence NL membership).
+
+Measured: explicit-search model-checking cost — reachable-configuration
+counts and wall time as the population grows — for the count-to-five and
+parity protocols.
+"""
+
+from conftest import record
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.counting import count_to_five
+from repro.protocols.remainder import parity_protocol
+
+
+def test_model_check_count_to_five(benchmark):
+    protocol = count_to_five()
+
+    def check(n=8):
+        results = verify_stable_computation(
+            protocol, lambda c: c.get(1, 0) >= 5,
+            all_inputs_of_size([0, 1], n))
+        assert all(results)
+        return sum(r.configurations for r in results)
+
+    total_configs = benchmark(check)
+    record(benchmark, protocol="count-to-five", population=8,
+           total_reachable_configurations=total_configs,
+           paper_claim="decidable via multiset reachability (Theorem 6)")
+
+
+def test_model_check_parity(benchmark):
+    protocol = parity_protocol()
+
+    def check(n=6):
+        results = verify_stable_computation(
+            protocol, lambda c: c.get(1, 0) % 2 == 1,
+            all_inputs_of_size([0, 1], n))
+        assert all(results)
+        return sum(r.configurations for r in results)
+
+    total_configs = benchmark(check)
+    record(benchmark, protocol="parity (Lemma 5 remainder)", population=6,
+           total_reachable_configurations=total_configs)
+
+
+def test_configuration_space_growth(benchmark):
+    """Reachable configurations grow polynomially in n for fixed Q —
+    the counting underlying the NL bound."""
+    from repro.analysis.reachability import reachable_configurations
+    from repro.core.configuration import initial_multiset
+
+    protocol = count_to_five()
+
+    def sweep():
+        sizes = {}
+        for n in (6, 10, 14, 18):
+            root = initial_multiset(protocol, {1: 5, 0: n - 5})
+            sizes[n] = len(reachable_configurations(protocol, root))
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.util.fitting import loglog_slope
+
+    slope = loglog_slope(list(sizes), list(sizes.values()))
+    record(benchmark, reachable_configurations_by_n=sizes,
+           fitted_growth_exponent=round(slope, 3),
+           paper_claim="configurations ~ n^{|Q|-1} at most (poly in n)")
+    assert slope < 6  # |Q| = 6 caps the polynomial degree

@@ -1,0 +1,139 @@
+"""E15 — Theorem 9: the population zero test.
+
+Paper claims, for a population of n agents (leader + timer + shares) and
+zero test with parameter k:
+
+1. P[wrong "zero" | counter value spread over m agents] = Theta(n^-k / m);
+2. E[interactions | correct, m > 0] = O(n^2 / m);
+3. E[interactions | m = 0] = O(n^{k+1}).
+
+Measured: error rates vs k, completion interactions vs m, and the m = 0
+cost vs n (fitting the n^{k+1} exponent).
+"""
+
+from conftest import record
+
+from repro.machines.counter import Assembler
+from repro.machines.pp_counter import (
+    HALTED,
+    DesignatedLeaderProtocol,
+    leader_states,
+)
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import measure_scaling
+from repro.util.fitting import loglog_slope
+from repro.util.rng import spawn_seeds
+
+
+def _nonzero_test_program():
+    asm = Assembler(1)
+    asm.jzdec(0, 2)
+    asm.halt(output=1)
+    asm.halt(output=0)
+    return asm.assemble()
+
+
+def _run_one(protocol, counts, seed, max_steps=50_000_000):
+    sim = simulate_counts(protocol, counts, seed=seed)
+    done = sim.run_until(
+        lambda s: leader_states(s.states)[0][1] == HALTED,
+        max_steps=max_steps, check_every=50)
+    assert done
+    return sim
+
+
+def test_error_rate_vs_k(benchmark, base_seed):
+    """Wrong-zero probability falls geometrically in k (claim 1)."""
+    n, value, trials = 12, 1, 400
+    program = _nonzero_test_program()
+
+    def sweep():
+        rates = {}
+        for k in (1, 2, 3):
+            protocol = DesignatedLeaderProtocol(program, zero_test_k=k)
+            counts = protocol.make_input_counts([value], n)
+            wrong = sum(
+                1 for s in spawn_seeds(base_seed + k, trials)
+                if leader_states(_run_one(protocol, counts, s).states)[0][6] != 1)
+            rates[k] = wrong / trials
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, n=n, m=value, trials=trials,
+           empirical_error_by_k={k: round(r, 4) for k, r in rates.items()},
+           paper_claim="Theta(n^-k / m)")
+    assert rates[1] > rates[2] >= rates[3]
+    assert rates[3] < 0.02
+
+
+def test_error_rate_vs_m(benchmark, base_seed):
+    """More nonzero-share agents -> proportionally fewer wrong zeros."""
+    n, k, trials = 14, 1, 600
+    program = _nonzero_test_program()
+    protocol = DesignatedLeaderProtocol(program, zero_test_k=k)
+
+    def sweep():
+        rates = {}
+        for m in (1, 2, 4):
+            counts = protocol.make_input_counts([m], n)
+            wrong = sum(
+                1 for s in spawn_seeds(base_seed + m, trials)
+                if leader_states(_run_one(protocol, counts, s).states)[0][6] != 1)
+            rates[m] = wrong / trials
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(benchmark, n=n, k=k, trials=trials,
+           empirical_error_by_m={m: round(r, 4) for m, r in rates.items()},
+           paper_claim="error ~ 1/m for fixed n, k")
+    assert rates[1] >= rates[2] >= rates[4]
+
+
+def test_time_vs_m_when_nonzero(benchmark, base_seed):
+    """Completion interactions scale like n^2/m (claim 2)."""
+    n, k, trials = 24, 2, 120
+    program = _nonzero_test_program()
+    protocol = DesignatedLeaderProtocol(program, zero_test_k=k)
+
+    def sweep():
+        means = {}
+        for m in (1, 2, 4, 8):
+            counts = protocol.make_input_counts([m], n)
+            total = sum(
+                _run_one(protocol, counts, s).interactions
+                for s in spawn_seeds(base_seed + m, trials))
+            means[m] = total / trials
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = loglog_slope(list(means), list(means.values()))
+    record(benchmark, n=n, k=k,
+           mean_interactions_by_m={m: round(v) for m, v in means.items()},
+           paper_claim="O(n^2 / m)",
+           fitted_slope_vs_m=round(slope, 3))
+    # Time decreases roughly like 1/m.
+    assert -1.4 < slope < -0.6
+
+
+def test_m_zero_cost_scales_n_k_plus_1(benchmark, base_seed):
+    """The all-zero zero test costs O(n^{k+1}) interactions (claim 3)."""
+    k, trials = 2, 30
+    program = _nonzero_test_program()
+    protocol = DesignatedLeaderProtocol(program, zero_test_k=k)
+
+    def trial(n: int, seed: int) -> float:
+        counts = protocol.make_input_counts([0], n)
+        return _run_one(protocol, counts, seed).interactions
+
+    def sweep():
+        return measure_scaling([8, 12, 16, 24], trial, trials=trials,
+                               seed=base_seed)
+
+    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = measurement.exponent()
+    record(benchmark, k=k,
+           ns=measurement.ns,
+           mean_interactions=[round(m) for m in measurement.means],
+           paper_bound=f"O(n^{k + 1})",
+           fitted_exponent=round(exponent, 3))
+    assert 2.4 < exponent < 3.6

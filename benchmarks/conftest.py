@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's quantitative claims (see
+DESIGN.md Sect. 2 and EXPERIMENTS.md).  The pattern is:
+
+* the *timed* body is one representative unit of work (a simulation run, a
+  measurement sweep, an exact analysis), executed once via
+  ``benchmark.pedantic(..., rounds=1)`` for heavy sweeps or repeatedly via
+  ``benchmark(...)`` for micro-benchmarks;
+* the *measured quantities* the paper predicts (interaction counts, error
+  rates, fitted exponents, exact-vs-sampled ratios) are recorded in
+  ``benchmark.extra_info`` so ``--benchmark-only`` output doubles as the
+  experiment report.
+"""
+
+import pytest
+
+BASE_SEED = 20040725  # PODC 2004 vintage
+
+
+@pytest.fixture
+def base_seed() -> int:
+    return BASE_SEED
+
+
+def record(benchmark, **info) -> None:
+    """Stash experiment measurements in the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,64 @@
+"""The 5% flock-of-birds question (Sect. 1 and Sect. 4.2).
+
+"Is at least 5% of the flock running a fever?" is not expressible with a
+fixed counting threshold — it is the Presburger predicate
+``20 x1 >= x0 + x1``.  This example answers it two ways:
+
+1. the hand-built Lemma 5 threshold protocol (``x0 - 19 x1 < 1``), and
+2. the Theorem 5 compiler applied to the formula text,
+
+then sweeps flock sizes right at the 5% boundary, and reports convergence
+times against the paper's Theorem 8 bound O(n^2 log n).
+
+Run:  python examples/flock_of_birds.py
+"""
+
+import math
+
+from repro.presburger.compiler import compile_predicate
+from repro.protocols.majority import flock_of_birds_protocol
+from repro.sim.convergence import run_until_correct_stable
+from repro.sim.engine import simulate_counts
+
+
+def verdict(protocol, healthy_symbol, feverish_symbol, healthy, feverish,
+            seed):
+    expected = 1 if 20 * feverish >= feverish + healthy else 0
+    sim = simulate_counts(
+        protocol, {healthy_symbol: healthy, feverish_symbol: feverish},
+        seed=seed)
+    result = run_until_correct_stable(sim, expected, max_steps=100_000_000)
+    assert result.stopped
+    return expected, result.converged_at
+
+
+def main() -> None:
+    hand_built = flock_of_birds_protocol()
+    compiled = compile_predicate("20*e >= e + h")
+
+    print("5% fever predicate at the boundary (hand-built vs compiled):")
+    print(f"{'flock':>7} {'feverish':>9} {'pct':>7} "
+          f"{'hand':>5} {'compiled':>9}")
+    for total, feverish in [(40, 2), (41, 2), (60, 3), (61, 3),
+                            (100, 5), (101, 5)]:
+        healthy = total - feverish
+        hand, _ = verdict(hand_built, 0, 1, healthy, feverish, seed=7)
+        comp, _ = verdict(compiled, "h", "e", healthy, feverish, seed=7)
+        pct = 100 * feverish / total
+        print(f"{total:>7} {feverish:>9} {pct:>6.2f}% {hand:>5} {comp:>9}")
+        assert hand == comp
+
+    print("\nconvergence vs flock size (exactly 5% feverish):")
+    print(f"{'n':>6} {'interactions':>14} {'n^2 log n':>12} {'ratio':>8}")
+    for n in (20, 40, 80, 160):
+        feverish = n // 20
+        _, converged_at = verdict(hand_built, 0, 1, n - feverish, feverish,
+                                  seed=11)
+        bound = n * n * math.log(n)
+        print(f"{n:>6} {converged_at:>14} {bound:>12.0f} "
+              f"{converged_at / bound:>8.3f}")
+    print("\n(ratio roughly constant -> Theta(n^2 log n), Theorem 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — population protocols.
+
+A from-scratch reproduction of Angluin, Aspnes, Diamadi, Fischer, Peralta,
+"Computation in networks of passively mobile finite-state sensors"
+(PODC 2004 / Distributed Computing 2006).
+
+Subpackages
+-----------
+``repro.core``
+    The formal model: protocols, populations, configurations, executions,
+    encoding conventions, one-step semantics.
+``repro.protocols``
+    Concrete protocols: counting, threshold, remainder, majority,
+    composition, leader election, Theorem 7 graph simulation, one-way.
+``repro.presburger``
+    Presburger arithmetic: formulas, Cooper quantifier elimination,
+    semilinear sets, and the Theorem 5 formula-to-protocol compiler.
+``repro.sim``
+    Simulation engines (conjugating automata), schedulers, stopping rules,
+    and trial harnesses.
+``repro.analysis``
+    Exact analysis: reachability, SCCs, stable-computation verification,
+    Markov chains (Theorem 11).
+``repro.machines``
+    Counter machines, Turing machines, Minsky's reduction, the Lemma 11 urn
+    process, and the Theorem 9/10 population simulation of counter machines.
+"""
+
+from repro.core import (
+    DictProtocol,
+    Population,
+    PopulationProtocol,
+    complete_population,
+)
+from repro.sim import MultisetSimulation, Simulation, simulate_counts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DictProtocol",
+    "PopulationProtocol",
+    "Population",
+    "complete_population",
+    "MultisetSimulation",
+    "Simulation",
+    "simulate_counts",
+    "__version__",
+]

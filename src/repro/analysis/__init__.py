@@ -1,0 +1,59 @@
+"""Exact analysis: reachability, SCCs, stable-computation verification,
+and Markov chains over configurations (Theorems 6 and 11)."""
+
+from repro.analysis.reachability import (
+    ConfigurationGraph,
+    is_reachable,
+    reachable_configurations,
+    witness_path,
+)
+from repro.analysis.scc import condensation, final_components, final_nodes, tarjan_scc
+from repro.analysis.stability import (
+    VerificationResult,
+    all_inputs_of_size,
+    is_output_stable,
+    verify_function_on_input,
+    verify_predicate_on_input,
+    verify_stable_computation,
+)
+from repro.analysis.graph_reachability import (
+    GraphConfigurationGraph,
+    verify_on_all_inputs,
+    verify_predicate_on_population,
+)
+from repro.analysis.minimize import (
+    equivalence_classes,
+    minimization_report,
+    minimize_protocol,
+)
+from repro.analysis.markov import (
+    ConvergenceDistribution,
+    MarkovAnalysis,
+    exact_output_distribution,
+)
+
+__all__ = [
+    "ConfigurationGraph",
+    "is_reachable",
+    "reachable_configurations",
+    "witness_path",
+    "condensation",
+    "final_components",
+    "final_nodes",
+    "tarjan_scc",
+    "VerificationResult",
+    "all_inputs_of_size",
+    "is_output_stable",
+    "verify_function_on_input",
+    "verify_predicate_on_input",
+    "verify_stable_computation",
+    "GraphConfigurationGraph",
+    "verify_on_all_inputs",
+    "verify_predicate_on_population",
+    "equivalence_classes",
+    "minimization_report",
+    "minimize_protocol",
+    "ConvergenceDistribution",
+    "MarkovAnalysis",
+    "exact_output_distribution",
+]

@@ -1,0 +1,133 @@
+"""Exact analysis on arbitrary interaction graphs.
+
+The multiset quotient (Theorem 6 style) is only sound on the complete
+graph.  On a restricted interaction graph agent identity matters, so the
+configuration space is the set of state *tuples* and a step applies one
+edge of the graph.  For small populations this space is still explicitly
+searchable, which gives an exact model checker for protocols on lines,
+rings, stars, ... — in particular, the Theorem 7 baton simulator can be
+*verified* (every fair computation on the graph converges to the correct
+unanimous output), not merely sampled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.scc import condensation
+from repro.analysis.stability import VerificationResult
+from repro.core.configuration import AgentConfiguration
+from repro.core.population import Population
+from repro.core.protocol import PopulationProtocol, Symbol
+
+
+class GraphConfigurationGraph:
+    """Reachable agent-tuple configurations of a protocol on a population."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        population: Population,
+        root: AgentConfiguration,
+        max_configurations: int = 2_000_000,
+    ):
+        if population.n != root.n:
+            raise ValueError("population size does not match configuration")
+        self.protocol = protocol
+        self.population = population
+        self.root = root
+        self.successors: dict[AgentConfiguration,
+                              tuple[AgentConfiguration, ...]] = {}
+        self._explore(max_configurations)
+
+    def _explore(self, max_configurations: int) -> None:
+        edges = self.population.edge_list()
+        frontier = deque([self.root])
+        discovered = {self.root}
+        while frontier:
+            config = frontier.popleft()
+            nexts = []
+            for (u, v) in edges:
+                after = config.apply_encounter(self.protocol, u, v)
+                if after is config:
+                    continue  # no-op: irrelevant for reachability
+                nexts.append(after)
+                if after not in discovered:
+                    discovered.add(after)
+                    frontier.append(after)
+                    if len(discovered) > max_configurations:
+                        raise MemoryError(
+                            "graph configuration space exceeded budget")
+            self.successors[config] = tuple(dict.fromkeys(nexts))
+
+    def __len__(self) -> int:
+        return len(self.successors)
+
+
+def verify_predicate_on_population(
+    protocol: PopulationProtocol,
+    population: Population,
+    inputs: Sequence[Symbol],
+    expected: bool,
+    max_configurations: int = 2_000_000,
+) -> VerificationResult:
+    """Exact stable-computation check on an arbitrary interaction graph.
+
+    Explores the reachable agent-configuration graph and requires every
+    final SCC to consist of configurations whose agents unanimously output
+    ``1 if expected else 0`` — the graph-level analogue of
+    :func:`repro.analysis.stability.verify_predicate_on_input`.
+    """
+    root = AgentConfiguration(
+        protocol.initial_state(symbol) for symbol in inputs)
+    graph = GraphConfigurationGraph(protocol, population, root,
+                                    max_configurations)
+    components, _, edges = condensation(graph.successors)
+    want = 1 if expected else 0
+    for component, out in zip(components, edges):
+        if out:
+            continue
+        for config in component:
+            outputs = set(config.outputs(protocol))
+            if outputs != {want}:
+                return VerificationResult(
+                    input_counts={"inputs": tuple(inputs)},
+                    expected=expected,
+                    holds=False,
+                    configurations=len(graph),
+                    counterexample=None,
+                    reason=(f"final configuration {config!r} outputs "
+                            f"{sorted(outputs)}, expected unanimous {want}"),
+                )
+    return VerificationResult(
+        input_counts={"inputs": tuple(inputs)},
+        expected=expected,
+        holds=True,
+        configurations=len(graph),
+    )
+
+
+def verify_on_all_inputs(
+    protocol: PopulationProtocol,
+    population: Population,
+    predicate,
+    alphabet: Sequence[Symbol],
+    max_configurations: int = 2_000_000,
+) -> list[VerificationResult]:
+    """Check every input assignment over ``alphabet`` on the population.
+
+    Enumerates all |alphabet|^n assignments (the graph case is not
+    permutation-invariant, so multisets do not suffice); ``predicate``
+    receives the symbol-count mapping.
+    """
+    import itertools
+
+    results = []
+    for assignment in itertools.product(alphabet, repeat=population.n):
+        counts: Mapping[Symbol, int] = {
+            symbol: assignment.count(symbol) for symbol in alphabet}
+        expected = bool(predicate(counts))
+        results.append(verify_predicate_on_population(
+            protocol, population, assignment, expected, max_configurations))
+    return results

@@ -1,0 +1,319 @@
+"""Exact Markov-chain analysis of conjugating automata (Theorem 11).
+
+Under uniform random pairing, the multiset configurations form a finite
+Markov chain: the ordered state pair ``(p, q)`` is drawn with probability
+``c_p (c_q - [p = q]) / (n (n - 1))`` and mapped through ``delta``.  The
+paper's Theorem 11 simulates this chain with a polynomial-time Turing
+machine; here we materialize the reachable chain and answer the same
+questions exactly:
+
+* the probability of converging to each output (absorption into closed
+  classes of output-stable configurations),
+* the expected number of interactions to convergence (hitting time of the
+  output-stable set), and
+* the distribution over closed classes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix, identity
+from scipy.sparse.linalg import spsolve
+
+from repro.analysis.reachability import ConfigurationGraph
+from repro.analysis.scc import condensation
+from repro.core.configuration import initial_multiset, multiset_outputs
+from repro.core.protocol import PopulationProtocol, Symbol
+from repro.core.semantics import enabled_state_pairs
+from repro.util.multiset import FrozenMultiset
+
+
+@dataclass
+class ConvergenceDistribution:
+    """Exact convergence behaviour from one initial configuration."""
+
+    #: Probability of stabilizing to each unanimous output value.
+    output_probability: dict
+    #: Probability mass that never reaches an output-stable configuration
+    #: (0.0 for protocols that stably compute a predicate).
+    divergence_probability: float
+    #: Expected interactions to reach an output-stable configuration
+    #: (``math.inf`` when divergence has positive probability).
+    expected_interactions: float
+    #: Number of reachable configurations in the chain.
+    configurations: int
+
+
+class MarkovAnalysis:
+    """The exact configuration chain of a protocol from one input."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        input_counts: "Mapping[Symbol, int] | None" = None,
+        *,
+        root: "FrozenMultiset | None" = None,
+        max_configurations: int = 200_000,
+    ):
+        if (input_counts is None) == (root is None):
+            raise ValueError("pass exactly one of input_counts= or root=")
+        if root is None:
+            root = initial_multiset(protocol, input_counts)
+        self.protocol = protocol
+        self.root = root
+        self.n = root.total
+        graph = ConfigurationGraph(protocol, [root], max_configurations)
+        self.configs: list[FrozenMultiset] = graph.configurations
+        self.index: dict[FrozenMultiset, int] = {
+            c: i for i, c in enumerate(self.configs)}
+        self._graph = graph
+        self._transition_matrix = self._build_matrix()
+        self._components, self._component_of, self._component_edges = condensation(
+            graph.successors)
+        self._stable_mask = self._compute_stable_mask()
+
+    # -- Chain construction ----------------------------------------------------
+
+    def _build_matrix(self) -> csr_matrix:
+        """Row-stochastic transition matrix including no-op self-loops."""
+        n_agents = self.n
+        denom = n_agents * (n_agents - 1)
+        rows, cols, data = [], [], []
+        for i, config in enumerate(self.configs):
+            mass: dict[int, float] = {}
+            accounted = 0
+            for p, q in enabled_state_pairs(config):
+                weight = config[p] * (config[q] - (1 if p == q else 0))
+                accounted += weight
+                succ_pair = self.protocol.delta(p, q)
+                if succ_pair == (p, q):
+                    j = i
+                else:
+                    succ = config.replace_pair((p, q), succ_pair)
+                    j = self.index[succ]
+                mass[j] = mass.get(j, 0.0) + weight / denom
+            if accounted != denom:
+                raise AssertionError(
+                    "pair weights do not sum to n(n-1); configuration corrupted")
+            for j, probability in mass.items():
+                rows.append(i)
+                cols.append(j)
+                data.append(probability)
+        size = len(self.configs)
+        return csr_matrix((data, (rows, cols)), shape=(size, size))
+
+    def _compute_stable_mask(self) -> np.ndarray:
+        """Boolean mask over configs: is the configuration output-stable?
+
+        A configuration is output-stable iff every configuration reachable
+        from it (its component's downward closure in the condensation) has
+        the same output multiset.
+        """
+        outputs_below: list[frozenset] = [frozenset()] * len(self._components)
+        # Tarjan yields components in reverse topological order: successors'
+        # components appear earlier in the list.
+        for ci, component in enumerate(self._components):
+            seen = set()
+            for succ_component in self._component_edges[ci]:
+                seen.update(outputs_below[succ_component])
+            for config in component:
+                seen.add(multiset_outputs(self.protocol, config))
+            outputs_below[ci] = frozenset(seen)
+        mask = np.zeros(len(self.configs), dtype=bool)
+        for i, config in enumerate(self.configs):
+            mask[i] = len(outputs_below[self._component_of[config]]) == 1
+        return mask
+
+    # -- Queries -----------------------------------------------------------------
+
+    @property
+    def transition_matrix(self) -> csr_matrix:
+        return self._transition_matrix
+
+    def output_stable_configurations(self) -> list[FrozenMultiset]:
+        return [c for c, stable in zip(self.configs, self._stable_mask) if stable]
+
+    def closed_classes(self) -> list[list[FrozenMultiset]]:
+        """The closed (final) communicating classes of the chain."""
+        return [component
+                for component, out in zip(self._components, self._component_edges)
+                if not out]
+
+    def stable_output_of(self, configuration: FrozenMultiset) -> "object | None":
+        """The unanimous stable output from ``configuration``, if stable."""
+        i = self.index[configuration]
+        if not self._stable_mask[i]:
+            return None
+        outputs = multiset_outputs(self.protocol, configuration)
+        if len(outputs) == 1:
+            return next(iter(outputs))
+        return FrozenMultiset(outputs.counts())
+
+    def absorption_probabilities(self) -> np.ndarray:
+        """P[eventually reach an output-stable configuration | start at root]...
+
+        Returns, for every configuration index, the probability that the
+        chain started there eventually enters the output-stable set.
+        """
+        return self._hitting_probabilities(self._stable_mask)
+
+    def _can_reach(self, target_mask: np.ndarray) -> np.ndarray:
+        """Mask of configurations from which the target set is reachable."""
+        reverse: list[list[int]] = [[] for _ in self.configs]
+        for config, successors in self._graph.successors.items():
+            i = self.index[config]
+            for succ in successors:
+                reverse[self.index[succ]].append(i)
+        mask = target_mask.copy()
+        stack = list(np.flatnonzero(target_mask))
+        while stack:
+            node = stack.pop()
+            for predecessor in reverse[node]:
+                if not mask[predecessor]:
+                    mask[predecessor] = True
+                    stack.append(predecessor)
+        return mask
+
+    def _hitting_probabilities(self, target_mask: np.ndarray) -> np.ndarray:
+        """P[eventually enter target set | start at each configuration].
+
+        States that cannot reach the target get probability 0; the linear
+        system is solved only on states that can reach it but are not in it
+        (where ``I - P_sub`` is nonsingular because escape from the block
+        has positive probability).
+        """
+        size = len(self.configs)
+        result = np.zeros(size)
+        result[target_mask] = 1.0
+        solve_mask = self._can_reach(target_mask) & ~target_mask
+        if not solve_mask.any():
+            return result
+        t_index = np.flatnonzero(solve_mask)
+        sub = self._transition_matrix[t_index][:, t_index]
+        to_target = np.asarray(
+            self._transition_matrix[t_index][:, np.flatnonzero(target_mask)]
+            .sum(axis=1)).ravel()
+        system = identity(len(t_index), format="csc") - sub.tocsc()
+        solved = spsolve(system, to_target)
+        result[t_index] = np.atleast_1d(solved)
+        return result
+
+    def convergence(self) -> ConvergenceDistribution:
+        """Full convergence distribution from the root configuration."""
+        # Group absorption by the stable output of the first stable config
+        # hit.  Because stable configurations keep their output forever, the
+        # chain's eventual output equals the output of whichever stable
+        # configuration it first enters.
+        size = len(self.configs)
+        stable_outputs = {}
+        for i in np.flatnonzero(self._stable_mask):
+            stable_outputs[i] = self.stable_output_of(self.configs[i])
+        distinct = sorted({repr(v) for v in stable_outputs.values()})
+        by_repr: dict[str, object] = {}
+        for value in stable_outputs.values():
+            by_repr.setdefault(repr(value), value)
+
+        output_probability: dict = {}
+        for key in distinct:
+            target_mask = np.zeros(size, dtype=bool)
+            for i, value in stable_outputs.items():
+                if repr(value) == key:
+                    target_mask[i] = True
+            probabilities = self._hitting_probabilities(target_mask)
+            output_probability[by_repr[key]] = float(probabilities[0])
+
+        reach_stable = self.absorption_probabilities()
+        divergence = max(0.0, 1.0 - float(reach_stable[0]))
+        expected = self.expected_convergence_interactions() \
+            if divergence < 1e-12 else math.inf
+        return ConvergenceDistribution(
+            output_probability=output_probability,
+            divergence_probability=divergence,
+            expected_interactions=expected,
+            configurations=size,
+        )
+
+    def expected_convergence_interactions(self) -> float:
+        """Expected interactions until an output-stable configuration.
+
+        ``math.inf`` if the chain can avoid the stable set forever with
+        positive probability.
+        """
+        reach = self._hitting_probabilities(self._stable_mask)
+        if np.any(reach < 1.0 - 1e-9):
+            return math.inf
+        transient = ~self._stable_mask
+        if not transient.any():
+            return 0.0
+        t_index = np.flatnonzero(transient)
+        sub = self._transition_matrix[t_index][:, t_index]
+        system = identity(len(t_index), format="csc") - sub.tocsc()
+        expected = spsolve(system, np.ones(len(t_index)))
+        expected = np.atleast_1d(expected)
+        if self._stable_mask[0]:
+            return 0.0
+        root_position = int(np.searchsorted(t_index, 0))
+        return float(expected[root_position])
+
+
+    def convergence_time_cdf(self, horizon: int) -> np.ndarray:
+        """``P[T <= t]`` for t = 0..horizon, T = interactions to stability.
+
+        Computed by evolving the initial distribution through the chain
+        with the output-stable set made absorbing.  Complements
+        :meth:`expected_convergence_interactions` with the full
+        distribution (quantiles, tail probabilities).
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        size = len(self.configs)
+        matrix = self._transition_matrix.tolil(copy=True)
+        for index in np.flatnonzero(self._stable_mask):
+            matrix.rows[index] = [index]
+            matrix.data[index] = [1.0]
+        matrix = matrix.tocsr()
+        distribution = np.zeros(size)
+        distribution[0] = 1.0
+        cdf = np.empty(horizon + 1)
+        cdf[0] = float(distribution[self._stable_mask].sum())
+        for t in range(1, horizon + 1):
+            distribution = distribution @ matrix
+            cdf[t] = float(distribution[self._stable_mask].sum())
+        return cdf
+
+    def convergence_time_quantile(self, probability: float,
+                                  horizon: int = 1_000_000) -> int:
+        """Smallest t with ``P[T <= t] >= probability`` (median at 0.5).
+
+        Searches incrementally; raises if the horizon is hit first.
+        """
+        if not 0 < probability < 1:
+            raise ValueError("probability must lie strictly between 0 and 1")
+        size = len(self.configs)
+        matrix = self._transition_matrix.tolil(copy=True)
+        for index in np.flatnonzero(self._stable_mask):
+            matrix.rows[index] = [index]
+            matrix.data[index] = [1.0]
+        matrix = matrix.tocsr()
+        distribution = np.zeros(size)
+        distribution[0] = 1.0
+        for t in range(horizon + 1):
+            if float(distribution[self._stable_mask].sum()) >= probability:
+                return t
+            distribution = distribution @ matrix
+        raise RuntimeError(f"quantile not reached within horizon {horizon}")
+
+
+def exact_output_distribution(
+    protocol: PopulationProtocol,
+    input_counts: Mapping[Symbol, int],
+    max_configurations: int = 200_000,
+) -> ConvergenceDistribution:
+    """Convenience wrapper: full convergence distribution for one input."""
+    return MarkovAnalysis(
+        protocol, input_counts, max_configurations=max_configurations
+    ).convergence()

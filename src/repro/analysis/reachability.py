@@ -1,0 +1,148 @@
+"""Reachable configuration graphs over multiset configurations.
+
+Theorem 6 observes that a population configuration on the complete
+interaction graph is faithfully represented by ``|Q|`` counters, and that
+stable computation can be decided by reachability over these counted
+configurations.  For small populations we materialize the reachable graph
+explicitly; this powers the stable-computation model checker
+(:mod:`repro.analysis.stability`) and the exact Markov-chain analysis
+(:mod:`repro.analysis.markov`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.core.protocol import PopulationProtocol
+from repro.core.semantics import enabled_transitions, apply_transition
+from repro.util.multiset import FrozenMultiset
+
+
+class ConfigurationGraph:
+    """The multiset-configuration graph reachable from given roots.
+
+    Nodes are :class:`FrozenMultiset` configurations; edges are one-step
+    transitions (state-changing interactions only — no-op self-loops carry
+    no reachability information).
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        roots: Iterable[FrozenMultiset],
+        max_configurations: int = 2_000_000,
+    ):
+        self.protocol = protocol
+        self.roots = list(roots)
+        self.successors: dict[FrozenMultiset, tuple[FrozenMultiset, ...]] = {}
+        self._explore(max_configurations)
+
+    def _explore(self, max_configurations: int) -> None:
+        frontier: deque[FrozenMultiset] = deque()
+        for root in self.roots:
+            if root not in self.successors:
+                self.successors[root] = ()
+                frontier.append(root)
+        # successors filled in as nodes are popped; the placeholder () above
+        # only marks discovery.
+        discovered = set(self.successors)
+        while frontier:
+            config = frontier.popleft()
+            nexts = []
+            for transition in enabled_transitions(self.protocol, config):
+                succ = apply_transition(config, transition)
+                nexts.append(succ)
+                if succ not in discovered:
+                    discovered.add(succ)
+                    frontier.append(succ)
+                    if len(discovered) > max_configurations:
+                        raise MemoryError(
+                            f"reachable configuration graph exceeded "
+                            f"{max_configurations} nodes")
+            self.successors[config] = tuple(dict.fromkeys(nexts))
+
+    @property
+    def configurations(self) -> list[FrozenMultiset]:
+        """All reachable configurations (roots first, BFS order)."""
+        return list(self.successors)
+
+    def __len__(self) -> int:
+        return len(self.successors)
+
+    def edges(self) -> Iterable[tuple[FrozenMultiset, FrozenMultiset]]:
+        for config, nexts in self.successors.items():
+            for succ in nexts:
+                yield config, succ
+
+
+def reachable_configurations(
+    protocol: PopulationProtocol,
+    root: FrozenMultiset,
+    max_configurations: int = 2_000_000,
+) -> set[FrozenMultiset]:
+    """The set of configurations reachable from ``root``."""
+    graph = ConfigurationGraph(protocol, [root], max_configurations)
+    return set(graph.successors)
+
+
+def witness_path(
+    protocol: PopulationProtocol,
+    source: FrozenMultiset,
+    target: FrozenMultiset,
+    max_configurations: int = 2_000_000,
+) -> "list[FrozenMultiset] | None":
+    """A shortest configuration path ``source ->* target``, or None.
+
+    BFS with parent tracking; used to produce human-readable evidence for
+    model-checker counterexamples ("this is how the bad configuration is
+    reached").
+    """
+    if source == target:
+        return [source]
+    parents: dict[FrozenMultiset, FrozenMultiset] = {}
+    frontier = deque([source])
+    seen = {source}
+    while frontier:
+        config = frontier.popleft()
+        for transition in enabled_transitions(protocol, config):
+            succ = apply_transition(config, transition)
+            if succ in seen:
+                continue
+            parents[succ] = config
+            if succ == target:
+                path = [succ]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            seen.add(succ)
+            frontier.append(succ)
+            if len(seen) > max_configurations:
+                raise MemoryError("witness search exceeded node budget")
+    return None
+
+
+def is_reachable(
+    protocol: PopulationProtocol,
+    source: FrozenMultiset,
+    target: FrozenMultiset,
+    max_configurations: int = 2_000_000,
+) -> bool:
+    """Decide ``source ->* target`` by explicit search."""
+    if source == target:
+        return True
+    frontier = deque([source])
+    seen = {source}
+    while frontier:
+        config = frontier.popleft()
+        for transition in enabled_transitions(protocol, config):
+            succ = apply_transition(config, transition)
+            if succ == target:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+                if len(seen) > max_configurations:
+                    raise MemoryError("reachability search exceeded node budget")
+    return False

@@ -1,0 +1,106 @@
+"""Strongly connected components and final classes.
+
+A strongly connected component of the transition graph is *final* iff no
+edge leaves it (Sect. 3.1); by Lemma 1 the set of configurations occurring
+infinitely often in any fair computation is exactly a final SCC.  Tarjan's
+algorithm is implemented iteratively (configuration graphs are deep).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+Node = Hashable
+
+
+def tarjan_scc(graph: Mapping[Node, Sequence[Node]]) -> list[list[Node]]:
+    """Strongly connected components of ``graph`` in reverse topological order.
+
+    ``graph`` maps each node to its successors; successors absent from the
+    key set are treated as having no outgoing edges.  The returned order
+    has every edge going from a later component to an earlier one, so final
+    components appear first among those they reach.
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for start in graph:
+        if start in index_of:
+            continue
+        # Iterative Tarjan: work items are (node, iterator position).
+        work = [(start, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recursed = False
+            successors = graph.get(node, ())
+            for i in range(child_index, len(successors)):
+                succ = successors[i]
+                if succ not in index_of:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recursed = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recursed:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def condensation(
+    graph: Mapping[Node, Sequence[Node]],
+) -> tuple[list[list[Node]], dict[Node, int], list[set[int]]]:
+    """SCCs, node -> component index, and component-level successor sets."""
+    components = tarjan_scc(graph)
+    component_of = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    edges: list[set[int]] = [set() for _ in components]
+    for node, successors in graph.items():
+        ci = component_of[node]
+        for succ in successors:
+            cj = component_of.get(succ)
+            if cj is None:
+                raise ValueError(f"successor {succ!r} missing from graph keys")
+            if cj != ci:
+                edges[ci].add(cj)
+    return components, component_of, edges
+
+
+def final_components(
+    graph: Mapping[Node, Sequence[Node]],
+) -> list[list[Node]]:
+    """The final (closed) SCCs: components with no outgoing edges."""
+    components, _, edges = condensation(graph)
+    return [component for component, out in zip(components, edges) if not out]
+
+
+def final_nodes(graph: Mapping[Node, Sequence[Node]]) -> set[Node]:
+    """All nodes belonging to a final SCC."""
+    result: set[Node] = set()
+    for component in final_components(graph):
+        result.update(component)
+    return result

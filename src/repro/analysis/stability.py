@@ -1,0 +1,213 @@
+"""Output stability and stable-computation verification (Sect. 3.2, Thm 6).
+
+A configuration ``C`` is *output-stable* if every configuration reachable
+from it has the same output assignment.  A protocol stably computes a
+predicate iff from every initial configuration, every fair computation
+converges to the correct unanimous output — equivalently (Lemma 1), every
+*final SCC* reachable from the initial configuration consists of
+configurations whose agents unanimously output the correct value.
+
+``verify_stable_computation`` is that equivalence run as an explicit model
+checker over multiset configurations: exactly the certificate structure
+behind the paper's NL upper bound, executed exhaustively for small ``n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.analysis.reachability import ConfigurationGraph
+from repro.analysis.scc import condensation
+from repro.core.configuration import initial_multiset, unanimous_output
+from repro.core.protocol import PopulationProtocol, Symbol
+from repro.util.multiset import FrozenMultiset
+
+
+def is_output_stable(
+    protocol: PopulationProtocol,
+    configuration: FrozenMultiset,
+    max_configurations: int = 2_000_000,
+) -> bool:
+    """Exact check: do all configurations reachable from here agree with it?
+
+    Compares output *multisets* (on the complete graph the output assignment
+    is determined up to agent renaming by the multiset of outputs, and for
+    unanimity questions the two notions coincide).
+    """
+    from repro.core.configuration import multiset_outputs
+
+    target = multiset_outputs(protocol, configuration)
+    graph = ConfigurationGraph(protocol, [configuration], max_configurations)
+    return all(
+        multiset_outputs(protocol, config) == target
+        for config in graph.configurations
+    )
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of model-checking one input against a protocol."""
+
+    input_counts: dict
+    expected: "bool | None"
+    holds: bool
+    #: Number of reachable configurations explored.
+    configurations: int
+    #: A reachable final configuration violating the specification (if any).
+    counterexample: "FrozenMultiset | None" = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def verify_predicate_on_input(
+    protocol: PopulationProtocol,
+    input_counts: Mapping[Symbol, int],
+    expected: bool,
+    max_configurations: int = 2_000_000,
+) -> VerificationResult:
+    """Check that every fair computation on this input stabilizes to ``expected``.
+
+    Exhaustively explores the reachable multiset-configuration graph,
+    condenses it, and requires every final SCC to consist solely of
+    configurations whose agents unanimously output ``1 if expected else 0``.
+    This is sound and complete for stable computation under the all-agents
+    predicate output convention (Lemma 1).
+    """
+    root = initial_multiset(protocol, input_counts)
+    graph = ConfigurationGraph(protocol, [root], max_configurations)
+    components, _, edges = condensation(graph.successors)
+    want = 1 if expected else 0
+    for component, out in zip(components, edges):
+        if out:
+            continue  # not final
+        for config in component:
+            got = unanimous_output(protocol, config)
+            if got != want:
+                return VerificationResult(
+                    input_counts=dict(input_counts),
+                    expected=expected,
+                    holds=False,
+                    configurations=len(graph),
+                    counterexample=config,
+                    reason=(f"final configuration outputs {got!r}, "
+                            f"expected unanimous {want}"),
+                )
+    return VerificationResult(
+        input_counts=dict(input_counts),
+        expected=expected,
+        holds=True,
+        configurations=len(graph),
+    )
+
+
+def verify_stable_computation(
+    protocol: PopulationProtocol,
+    predicate: Callable[[Mapping[Symbol, int]], bool],
+    inputs: Iterable[Mapping[Symbol, int]],
+    max_configurations: int = 2_000_000,
+) -> list[VerificationResult]:
+    """Model-check a protocol against a ground-truth predicate on many inputs.
+
+    Returns one :class:`VerificationResult` per input; all must hold for the
+    protocol to stably compute the predicate on the tested inputs.
+    """
+    results = []
+    for counts in inputs:
+        expected = bool(predicate(counts))
+        results.append(verify_predicate_on_input(
+            protocol, counts, expected, max_configurations))
+    return results
+
+
+def verify_function_on_input(
+    protocol: PopulationProtocol,
+    input_counts: Mapping[Symbol, int],
+    decode: Callable[[Mapping], object],
+    expected,
+    max_configurations: int = 2_000_000,
+) -> VerificationResult:
+    """Check stable computation of a *function* value on one input.
+
+    ``decode`` maps an output histogram (output symbol -> agent count) to
+    the represented value (e.g. summing for the integer output convention).
+
+    Convergence of a function computation requires the output *assignment*
+    to eventually freeze.  On the multiset quotient the sound criterion is:
+    in every final SCC reachable from the initial configuration, every
+    enabled transition preserves both participants' outputs (hence the
+    output assignment is literally constant there), and the common output
+    histogram decodes to ``expected``.  For unanimous-output predicates
+    this degenerates to :func:`verify_predicate_on_input`'s condition.
+    """
+    from repro.core.semantics import enabled_transitions
+
+    root = initial_multiset(protocol, input_counts)
+    graph = ConfigurationGraph(protocol, [root], max_configurations)
+    components, _, edges = condensation(graph.successors)
+    for component, out in zip(components, edges):
+        if out:
+            continue  # not final
+        for config in component:
+            for (p, q), (p2, q2) in enabled_transitions(protocol, config):
+                if (protocol.output(p) != protocol.output(p2)
+                        or protocol.output(q) != protocol.output(q2)):
+                    return VerificationResult(
+                        input_counts=dict(input_counts),
+                        expected=None,
+                        holds=False,
+                        configurations=len(graph),
+                        counterexample=config,
+                        reason=(f"transition ({p!r}, {q!r}) -> "
+                                f"({p2!r}, {q2!r}) changes an output inside "
+                                "a final SCC: outputs never stabilize"),
+                    )
+            from repro.core.configuration import multiset_outputs
+
+            histogram = multiset_outputs(protocol, config).counts()
+            value = decode(histogram)
+            if value != expected:
+                return VerificationResult(
+                    input_counts=dict(input_counts),
+                    expected=None,
+                    holds=False,
+                    configurations=len(graph),
+                    counterexample=config,
+                    reason=(f"final configuration decodes to {value!r}, "
+                            f"expected {expected!r}"),
+                )
+    return VerificationResult(
+        input_counts=dict(input_counts),
+        expected=None,
+        holds=True,
+        configurations=len(graph),
+    )
+
+
+def all_inputs_of_size(
+    alphabet: Iterable[Symbol],
+    n: int,
+) -> Iterable[dict[Symbol, int]]:
+    """All symbol-count vectors over ``alphabet`` summing to ``n``.
+
+    The exhaustive input enumeration used by the model-checking tests
+    (inputs are multisets because stably computable predicates are symmetric,
+    Theorem 1).
+    """
+    symbols = list(alphabet)
+
+    def rec(index: int, remaining: int) -> Iterable[dict]:
+        if index == len(symbols) - 1:
+            yield {symbols[index]: remaining}
+            return
+        for count in range(remaining + 1):
+            for rest in rec(index + 1, remaining - count):
+                result = {symbols[index]: count}
+                result.update(rest)
+                yield result
+
+    if not symbols:
+        raise ValueError("alphabet must be non-empty")
+    yield from rec(0, n)

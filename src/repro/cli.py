@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands expose the main pipeline:
+
+* ``qe FORMULA`` — print the quantifier-free (Theorem 4) normal form;
+* ``simulate FORMULA --counts x=3,y=4`` — compile (Theorem 5) and run the
+  protocol under uniform random pairing until the output stabilizes;
+* ``verify FORMULA --size N`` — model-check the compiled protocol
+  exhaustively on every input of total size N (Theorem 6 style);
+* ``exact FORMULA --counts x=3,y=4`` — exact Markov-chain analysis
+  (Theorem 11): output probabilities and expected convergence time.
+
+Examples::
+
+    python -m repro qe "E k. x = 2*k & k >= 0"
+    python -m repro simulate "20*e >= e + h" --counts e=2,h=38
+    python -m repro verify "x < y" --size 5
+    python -m repro exact "x = 1 mod 2" --counts x=3,pad=2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def _parse_counts(text: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        name, _, value = piece.partition("=")
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"counts must look like 'x=3,y=4'; got {piece!r}")
+        try:
+            counts[name.strip()] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"count for {name!r} must be an integer") from None
+    if not counts:
+        raise argparse.ArgumentTypeError("no counts given")
+    return counts
+
+
+def _compile(formula: str, counts: "dict[str, int] | None"):
+    from repro.presburger.compiler import compile_predicate
+    from repro.presburger.parser import parse
+
+    free = sorted(parse(formula).free_variables())
+    extra = []
+    if counts:
+        extra = [symbol for symbol in counts if symbol not in free]
+    return compile_predicate(formula, extra_symbols=extra)
+
+
+def cmd_qe(args: argparse.Namespace) -> int:
+    from repro.presburger.parser import parse
+    from repro.presburger.qe import eliminate_quantifiers
+
+    formula = parse(args.formula)
+    print(eliminate_quantifiers(formula))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.convergence import run_until_quiescent
+    from repro.sim.engine import simulate_counts
+
+    protocol = _compile(args.formula, args.counts)
+    missing = set(protocol.input_alphabet) - set(args.counts)
+    for symbol in missing:
+        args.counts[symbol] = 0
+    truth = protocol.ground_truth(args.counts)
+    sim = simulate_counts(protocol, args.counts, seed=args.seed)
+    result = run_until_quiescent(sim, patience=args.patience,
+                                 max_steps=args.max_steps)
+    print(f"formula : {args.formula}")
+    print(f"input   : {dict(sorted(args.counts.items()))}  (n = {sim.n})")
+    print(f"verdict : {result.output}  (ground truth: {int(truth)})")
+    print(f"converged after ~{result.converged_at} interactions "
+          f"({result.interactions} simulated)")
+    if result.output is None or result.output != int(truth):
+        print("WARNING: simulation had not stabilized to the correct "
+              "verdict; increase --patience/--max-steps", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.stability import (
+        all_inputs_of_size,
+        verify_stable_computation,
+    )
+
+    protocol = _compile(args.formula, None)
+    alphabet = sorted(protocol.input_alphabet)
+    results = verify_stable_computation(
+        protocol, lambda c: protocol.ground_truth(c),
+        all_inputs_of_size(alphabet, args.size))
+    explored = sum(r.configurations for r in results)
+    holds = all(results)
+    print(f"formula   : {args.formula}")
+    print(f"alphabet  : {alphabet}")
+    print(f"inputs    : all {len(results)} multisets of size {args.size}")
+    print(f"explored  : {explored} reachable configurations")
+    print(f"verdict   : {'stable computation HOLDS' if holds else 'FAILS'}")
+    if not holds:
+        for r in results:
+            if not r:
+                print(f"  counterexample input {r.input_counts}: {r.reason}")
+        return 1
+    return 0
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    from repro.analysis.markov import exact_output_distribution
+
+    protocol = _compile(args.formula, args.counts)
+    missing = set(protocol.input_alphabet) - set(args.counts)
+    for symbol in missing:
+        args.counts[symbol] = 0
+    dist = exact_output_distribution(protocol, args.counts)
+    print(f"formula : {args.formula}")
+    print(f"input   : {dict(sorted(args.counts.items()))}")
+    print(f"chain   : {dist.configurations} configurations")
+    for output, probability in sorted(dist.output_probability.items(),
+                                      key=lambda kv: repr(kv[0])):
+        print(f"P[output {output!r}] = {probability:.9f}")
+    print(f"P[diverge] = {dist.divergence_probability:.3e}")
+    print(f"E[interactions to convergence] = {dist.expected_interactions:.3f}")
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    from repro.protocols import registry
+
+    print(f"{'name':<22} {'paper':<14} summary")
+    for entry in registry.entries():
+        print(f"{entry.name:<22} {entry.paper_section:<14} {entry.summary}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.protocols import registry
+    from repro.sim.convergence import run_until_quiescent
+    from repro.sim.engine import simulate_counts
+
+    entry = registry.get(args.name)
+    params = dict(args.params or {})
+    protocol = entry.build(**params)
+    counts = {}
+    for symbol, count in args.counts.items():
+        # Built-in protocols use 0/1 integer symbols; coerce digit names.
+        key: object = int(symbol) if symbol.lstrip("-").isdigit() else symbol
+        counts[key] = count
+    sim = simulate_counts(protocol, counts, seed=args.seed)
+    result = run_until_quiescent(sim, patience=args.patience,
+                                 max_steps=args.max_steps)
+    print(f"protocol : {entry.name}  ({entry.paper_section})")
+    print(f"input    : {dict(sorted(counts.items(), key=repr))}  (n = {sim.n})")
+    if result.output is not None:
+        print(f"verdict  : {result.output}")
+    else:
+        print(f"outputs  : {sim.output_counts()}  (no unanimity)")
+    print(f"converged after ~{result.converged_at} interactions "
+          f"({result.interactions} simulated)")
+    if entry.truth is not None:
+        truth = entry.evaluate_truth(counts, **params)
+        print(f"truth    : {int(truth)}")
+        if result.output != int(truth):
+            print("WARNING: not yet stabilized to the correct verdict; "
+                  "increase --patience/--max-steps", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _parse_params(text: str) -> dict[str, int]:
+    return _parse_counts(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Population protocols (Angluin et al., PODC 2004): "
+                    "compile, simulate, and verify Presburger predicates.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    qe = sub.add_parser("qe", help="print the quantifier-free normal form")
+    qe.add_argument("formula")
+    qe.set_defaults(func=cmd_qe)
+
+    simulate = sub.add_parser("simulate",
+                              help="compile and simulate on given counts")
+    simulate.add_argument("formula")
+    simulate.add_argument("--counts", type=_parse_counts, required=True,
+                          help="symbol counts, e.g. 'e=2,h=38'")
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--patience", type=int, default=20_000)
+    simulate.add_argument("--max-steps", type=int, default=10_000_000)
+    simulate.set_defaults(func=cmd_simulate)
+
+    verify = sub.add_parser("verify",
+                            help="model-check all inputs of a given size")
+    verify.add_argument("formula")
+    verify.add_argument("--size", type=int, default=4)
+    verify.set_defaults(func=cmd_verify)
+
+    exact = sub.add_parser("exact",
+                           help="exact Markov-chain analysis of one input")
+    exact.add_argument("formula")
+    exact.add_argument("--counts", type=_parse_counts, required=True)
+    exact.set_defaults(func=cmd_exact)
+
+    protocols = sub.add_parser("protocols",
+                               help="list the built-in protocol catalogue")
+    protocols.set_defaults(func=cmd_protocols)
+
+    run = sub.add_parser("run", help="run a built-in protocol by name")
+    run.add_argument("name")
+    run.add_argument("--counts", type=_parse_counts, required=True,
+                     help="symbol counts, e.g. '1=6,0=14'")
+    run.add_argument("--params", type=_parse_params, default=None,
+                     help="protocol parameters, e.g. 'k=4'")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--patience", type=int, default=20_000)
+    run.add_argument("--max-steps", type=int, default=10_000_000)
+    run.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

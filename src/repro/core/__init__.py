@@ -1,0 +1,128 @@
+"""Core population-protocol model: protocols, populations, configurations,
+executions, encoding conventions, and one-step semantics (Sect. 3 of the
+paper)."""
+
+from repro.core.protocol import (
+    DictProtocol,
+    PopulationProtocol,
+    ProtocolError,
+    as_dict_protocol,
+)
+from repro.core.population import (
+    Population,
+    PopulationError,
+    complete_population,
+    grid_population,
+    line_population,
+    random_connected_population,
+    ring_population,
+    star_population,
+)
+from repro.core.configuration import (
+    AgentConfiguration,
+    initial_configuration,
+    initial_multiset,
+    multiset_outputs,
+    unanimous_output,
+)
+from repro.core.execution import Encounter, Execution, replay
+from repro.core.conventions import (
+    AllAgentsPredicateOutput,
+    IntegerInput,
+    IntegerOutput,
+    ScalarIntegerOutput,
+    StringInput,
+    SymbolCountInput,
+    SymbolCountOutput,
+    ZeroNonZeroPredicateOutput,
+    parikh,
+)
+from repro.core.dynamic import (
+    AnnihilationMajority,
+    DynamicProtocol,
+    DynamicSimulation,
+    annihilation_majority,
+    majority_by_annihilation,
+)
+from repro.core.pretty import describe, transition_matrix_text
+from repro.core.languages import (
+    LanguageAcceptor,
+    accepts_language,
+    is_symmetric_language,
+)
+from repro.core.serialization import (
+    SerializationError,
+    protocol_from_dict,
+    protocol_from_json,
+    protocol_to_dict,
+    protocol_to_json,
+)
+from repro.core.multiway import (
+    GroupCountToK,
+    MultiwayProtocol,
+    MultiwaySimulation,
+    PairwiseAsMultiway,
+)
+from repro.core.semantics import (
+    apply_transition,
+    enabled_transitions,
+    is_silent,
+    pair_count,
+    successors,
+)
+
+__all__ = [
+    "DictProtocol",
+    "PopulationProtocol",
+    "ProtocolError",
+    "as_dict_protocol",
+    "Population",
+    "PopulationError",
+    "complete_population",
+    "grid_population",
+    "line_population",
+    "random_connected_population",
+    "ring_population",
+    "star_population",
+    "AgentConfiguration",
+    "initial_configuration",
+    "initial_multiset",
+    "multiset_outputs",
+    "unanimous_output",
+    "Encounter",
+    "Execution",
+    "replay",
+    "AllAgentsPredicateOutput",
+    "IntegerInput",
+    "IntegerOutput",
+    "ScalarIntegerOutput",
+    "StringInput",
+    "SymbolCountInput",
+    "SymbolCountOutput",
+    "ZeroNonZeroPredicateOutput",
+    "parikh",
+    "AnnihilationMajority",
+    "DynamicProtocol",
+    "DynamicSimulation",
+    "annihilation_majority",
+    "majority_by_annihilation",
+    "describe",
+    "transition_matrix_text",
+    "LanguageAcceptor",
+    "accepts_language",
+    "is_symmetric_language",
+    "SerializationError",
+    "protocol_from_dict",
+    "protocol_from_json",
+    "protocol_to_dict",
+    "protocol_to_json",
+    "GroupCountToK",
+    "MultiwayProtocol",
+    "MultiwaySimulation",
+    "PairwiseAsMultiway",
+    "apply_transition",
+    "enabled_transitions",
+    "is_silent",
+    "pair_count",
+    "successors",
+]

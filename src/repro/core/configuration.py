@@ -1,0 +1,151 @@
+"""Population configurations (Sect. 3.1).
+
+A configuration maps each agent to a state.  Two representations are used:
+
+* :class:`AgentConfiguration` — an agent-indexed tuple of states.  Needed
+  whenever the interaction graph is not complete (agent identity matters for
+  which encounters are enabled).
+* multiset configurations — :class:`~repro.util.multiset.FrozenMultiset` of
+  states.  On the complete interaction graph all agents are interchangeable,
+  so the multiset of states is a faithful quotient (Sect. 4.4 uses exactly
+  this representation for the NL upper bound).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.util.multiset import FrozenMultiset
+
+
+class AgentConfiguration:
+    """An immutable agent-indexed configuration ``C : A -> Q``."""
+
+    __slots__ = ("states",)
+
+    def __init__(self, states: Iterable[State]):
+        self.states: tuple[State, ...] = tuple(states)
+        if len(self.states) < 2:
+            raise ValueError("a configuration needs at least two agents")
+
+    @property
+    def n(self) -> int:
+        return len(self.states)
+
+    def __getitem__(self, agent: int) -> State:
+        return self.states[agent]
+
+    def apply_encounter(
+        self,
+        protocol: PopulationProtocol,
+        initiator: int,
+        responder: int,
+    ) -> "AgentConfiguration":
+        """The configuration after encounter ``(initiator, responder)``."""
+        if initiator == responder:
+            raise ValueError("an agent cannot interact with itself")
+        p, q = self.states[initiator], self.states[responder]
+        p2, q2 = protocol.delta(p, q)
+        if p2 == p and q2 == q:
+            return self
+        states = list(self.states)
+        states[initiator] = p2
+        states[responder] = q2
+        return AgentConfiguration(states)
+
+    def outputs(self, protocol: PopulationProtocol) -> tuple[Symbol, ...]:
+        """The output assignment ``y_C`` determined by this configuration."""
+        return tuple(protocol.output(state) for state in self.states)
+
+    def to_multiset(self) -> FrozenMultiset:
+        """Forget agent identities: the multiset of states."""
+        return FrozenMultiset(self.states)
+
+    def permute(self, permutation: Sequence[int]) -> "AgentConfiguration":
+        """Configuration ``C o pi^{-1}``: agent ``permutation[a]`` gets C(a)."""
+        if sorted(permutation) != list(range(self.n)):
+            raise ValueError("not a permutation of the agent set")
+        states: list[State] = [None] * self.n
+        for agent, target in enumerate(permutation):
+            states[target] = self.states[agent]
+        return AgentConfiguration(states)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AgentConfiguration):
+            return self.states == other.states
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.states)
+
+    def __repr__(self) -> str:
+        return f"AgentConfiguration({list(self.states)!r})"
+
+
+# -- Construction from inputs --------------------------------------------------
+
+
+def initial_configuration(
+    protocol: PopulationProtocol,
+    input_assignment: Sequence[Symbol],
+) -> AgentConfiguration:
+    """The initial configuration ``C_x`` for input assignment ``x``.
+
+    ``input_assignment[a]`` is the input symbol of agent ``a``.
+    """
+    for symbol in input_assignment:
+        if symbol not in protocol.input_alphabet:
+            raise ValueError(f"input symbol {symbol!r} not in input alphabet")
+    return AgentConfiguration(
+        protocol.initial_state(symbol) for symbol in input_assignment)
+
+
+def initial_multiset(
+    protocol: PopulationProtocol,
+    input_counts: Mapping[Symbol, int],
+) -> FrozenMultiset:
+    """Initial multiset configuration from symbol counts.
+
+    ``input_counts`` maps each input symbol to the number of agents holding
+    it (the symbol-count input convention); symbols absent from the mapping
+    contribute zero agents.
+    """
+    counts: dict[State, int] = {}
+    total = 0
+    for symbol, count in input_counts.items():
+        if symbol not in protocol.input_alphabet:
+            raise ValueError(f"input symbol {symbol!r} not in input alphabet")
+        if count < 0:
+            raise ValueError(f"negative count for symbol {symbol!r}")
+        if count == 0:
+            continue
+        state = protocol.initial_state(symbol)
+        counts[state] = counts.get(state, 0) + count
+        total += count
+    if total < 2:
+        raise ValueError("a population needs at least two agents")
+    return FrozenMultiset(counts)
+
+
+def multiset_outputs(
+    protocol: PopulationProtocol,
+    configuration: FrozenMultiset,
+) -> FrozenMultiset:
+    """The multiset of outputs of a multiset configuration."""
+    outputs: dict[Symbol, int] = {}
+    for state, count in configuration.items():
+        out = protocol.output(state)
+        outputs[out] = outputs.get(out, 0) + count
+    return FrozenMultiset(outputs)
+
+
+def unanimous_output(
+    protocol: PopulationProtocol,
+    configuration: FrozenMultiset,
+) -> "Symbol | None":
+    """The common output symbol if all agents agree, else ``None``."""
+    outputs = {protocol.output(state) for state in configuration}
+    if len(outputs) == 1:
+        return next(iter(outputs))
+    return None

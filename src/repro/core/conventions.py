@@ -1,0 +1,222 @@
+"""Input/output encoding conventions (Sect. 3.4).
+
+Population protocols natively compute relations on input/output
+*assignments*; encoding conventions interpret assignments as values in other
+domains.  The paper defines:
+
+* the **symbol-count input convention** — an assignment represents the
+  vector counting how many agents hold each input symbol;
+* the **integer-based input convention** — each symbol carries a vector of
+  integers and the assignment represents the coordinatewise sum;
+* the **string input convention** — the i-th agent holds the i-th letter;
+* the **all-agents predicate output convention** — the output is ``True``
+  (``False``) when every agent outputs 1 (0), and ``bottom`` otherwise;
+* the **zero/non-zero predicate output convention** — ``False`` iff every
+  agent outputs 0.
+
+Decoders return Python values (tuples of ints, strings, booleans); ``None``
+stands for the paper's ``bottom`` (no valid represented value).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Hashable
+
+Symbol = Hashable
+
+
+def parikh(word: Sequence[Symbol], alphabet: Sequence[Symbol]) -> tuple[int, ...]:
+    """The Parikh map: count occurrences of each alphabet symbol in ``word``.
+
+    The i-th component of the result is the number of occurrences of
+    ``alphabet[i]``.  Raises if the word uses symbols outside the alphabet.
+    """
+    index = {symbol: i for i, symbol in enumerate(alphabet)}
+    if len(index) != len(alphabet):
+        raise ValueError("alphabet contains duplicate symbols")
+    counts = [0] * len(alphabet)
+    for letter in word:
+        if letter not in index:
+            raise ValueError(f"letter {letter!r} not in alphabet")
+        counts[index[letter]] += 1
+    return tuple(counts)
+
+
+class SymbolCountInput:
+    """Symbol-count input convention over an ordered alphabet.
+
+    Decodes an input assignment (sequence of symbols, one per agent) to the
+    k-tuple of symbol counts; encodes a count tuple back to a canonical
+    assignment.
+    """
+
+    def __init__(self, alphabet: Sequence[Symbol]):
+        self.alphabet: tuple[Symbol, ...] = tuple(alphabet)
+        if len(set(self.alphabet)) != len(self.alphabet):
+            raise ValueError("alphabet contains duplicate symbols")
+
+    def decode(self, assignment: Sequence[Symbol]) -> tuple[int, ...]:
+        return parikh(assignment, self.alphabet)
+
+    def encode(self, counts: Sequence[int]) -> list[Symbol]:
+        """A canonical assignment representing ``counts``.
+
+        The population size equals ``sum(counts)``; raises if any count is
+        negative.
+        """
+        if len(counts) != len(self.alphabet):
+            raise ValueError("count vector length must match alphabet size")
+        assignment: list[Symbol] = []
+        for symbol, count in zip(self.alphabet, counts):
+            if count < 0:
+                raise ValueError("counts must be non-negative")
+            assignment.extend([symbol] * count)
+        return assignment
+
+    def counts_mapping(self, counts: Sequence[int]) -> dict[Symbol, int]:
+        """Symbol -> count dict form of a count vector."""
+        if len(counts) != len(self.alphabet):
+            raise ValueError("count vector length must match alphabet size")
+        return dict(zip(self.alphabet, counts))
+
+
+class IntegerInput:
+    """Integer-based input convention (Sect. 3.4, Domain Z^k).
+
+    Each input symbol carries a fixed vector in Z^k; an assignment represents
+    the sum of its agents' vectors.  With the zero vector and all +/- unit
+    vectors available, any tuple whose L1 norm is at most n is representable
+    in a population of size n.
+    """
+
+    def __init__(self, symbol_vectors: Mapping[Symbol, Sequence[int]]):
+        if not symbol_vectors:
+            raise ValueError("need at least one symbol")
+        dims = {len(v) for v in symbol_vectors.values()}
+        if len(dims) != 1:
+            raise ValueError("all symbol vectors must have the same dimension")
+        self.dimension = dims.pop()
+        self.symbol_vectors: dict[Symbol, tuple[int, ...]] = {
+            s: tuple(int(c) for c in v) for s, v in symbol_vectors.items()}
+        self.alphabet: tuple[Symbol, ...] = tuple(self.symbol_vectors)
+
+    @classmethod
+    def standard(cls, dimension: int) -> "IntegerInput":
+        """Alphabet of the zero vector and all +/- unit vectors in Z^k."""
+        vectors: dict[Symbol, tuple[int, ...]] = {}
+        zero = tuple([0] * dimension)
+        vectors[zero] = zero
+        for i in range(dimension):
+            plus = tuple(1 if j == i else 0 for j in range(dimension))
+            minus = tuple(-1 if j == i else 0 for j in range(dimension))
+            vectors[plus] = plus
+            vectors[minus] = minus
+        return cls(vectors)
+
+    def decode(self, assignment: Sequence[Symbol]) -> tuple[int, ...]:
+        total = [0] * self.dimension
+        for symbol in assignment:
+            vector = self.symbol_vectors.get(symbol)
+            if vector is None:
+                raise ValueError(f"symbol {symbol!r} not in alphabet")
+            for i, c in enumerate(vector):
+                total[i] += c
+        return tuple(total)
+
+    def encode(self, value: Sequence[int], population_size: int) -> list[Symbol]:
+        """An assignment of ``population_size`` symbols summing to ``value``.
+
+        Only available when the alphabet contains the zero vector and the
+        +/- unit vectors (as in :meth:`standard`); raises otherwise or when
+        the L1 norm of ``value`` exceeds the population size.
+        """
+        if len(value) != self.dimension:
+            raise ValueError("value dimension mismatch")
+        by_vector = {v: s for s, v in self.symbol_vectors.items()}
+        zero = tuple([0] * self.dimension)
+        if zero not in by_vector:
+            raise ValueError("alphabet lacks the zero vector; cannot encode")
+        assignment: list[Symbol] = []
+        for i, component in enumerate(value):
+            unit = tuple((1 if component > 0 else -1) if j == i else 0
+                         for j in range(self.dimension))
+            if component != 0 and unit not in by_vector:
+                raise ValueError(f"alphabet lacks unit vector for coordinate {i}")
+            assignment.extend([by_vector[unit]] * abs(component))
+        if len(assignment) > population_size:
+            raise ValueError(
+                f"value {tuple(value)} needs {len(assignment)} agents, "
+                f"population has only {population_size}")
+        assignment.extend([by_vector[zero]] * (population_size - len(assignment)))
+        return assignment
+
+
+class StringInput:
+    """String input convention: agent i holds the i-th letter."""
+
+    def __init__(self, alphabet: Sequence[Symbol]):
+        self.alphabet: tuple[Symbol, ...] = tuple(alphabet)
+
+    def decode(self, assignment: Sequence[Symbol]) -> tuple[Symbol, ...]:
+        for letter in assignment:
+            if letter not in self.alphabet:
+                raise ValueError(f"letter {letter!r} not in alphabet")
+        return tuple(assignment)
+
+    def encode(self, word: Sequence[Symbol]) -> list[Symbol]:
+        return list(self.decode(word))
+
+
+class AllAgentsPredicateOutput:
+    """All-agents predicate output convention: unanimity or ``bottom``."""
+
+    def decode(self, outputs: Sequence[int]) -> "bool | None":
+        values = set(outputs)
+        if values == {1}:
+            return True
+        if values == {0}:
+            return False
+        return None
+
+
+class ZeroNonZeroPredicateOutput:
+    """Zero/non-zero predicate output convention (Sect. 3.6)."""
+
+    def decode(self, outputs: Sequence[int]) -> bool:
+        return any(out == 1 for out in outputs)
+
+
+class SymbolCountOutput:
+    """Symbol-count output convention: count agents per output symbol."""
+
+    def __init__(self, alphabet: Sequence[Symbol]):
+        self.alphabet: tuple[Symbol, ...] = tuple(alphabet)
+
+    def decode(self, outputs: Sequence[Symbol]) -> tuple[int, ...]:
+        return parikh(outputs, self.alphabet)
+
+
+class IntegerOutput:
+    """Integer-based output convention: sum the agents' output vectors."""
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+
+    def decode(self, outputs: Sequence[Sequence[int]]) -> tuple[int, ...]:
+        total = [0] * self.dimension
+        for vector in outputs:
+            if len(vector) != self.dimension:
+                raise ValueError("output vector dimension mismatch")
+            for i, c in enumerate(vector):
+                total[i] += int(c)
+        return tuple(total)
+
+
+class ScalarIntegerOutput:
+    """One-dimensional integer output where each agent outputs an int."""
+
+    def decode(self, outputs: Sequence[int]) -> int:
+        return sum(int(v) for v in outputs)

@@ -1,0 +1,104 @@
+"""Executions and traces (Sect. 3.1-3.2).
+
+An execution is a sequence of configurations, each obtained from the
+previous by one encounter.  :class:`Execution` records both configurations
+and the encounters that produced them, supports replay, and can detect
+when the *output assignment* stopped changing (the observable part of
+convergence).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.configuration import AgentConfiguration
+from repro.core.population import Population
+from repro.core.protocol import PopulationProtocol, Symbol
+
+
+@dataclass(frozen=True)
+class Encounter:
+    """One interaction: agent ``initiator`` meets agent ``responder``."""
+
+    initiator: int
+    responder: int
+
+    def __post_init__(self) -> None:
+        if self.initiator == self.responder:
+            raise ValueError("initiator and responder must be distinct agents")
+
+
+class Execution:
+    """A finite execution with its generating encounters.
+
+    ``configurations[i+1]`` is ``configurations[i]`` after ``encounters[i]``.
+    """
+
+    def __init__(self, protocol: PopulationProtocol, initial: AgentConfiguration):
+        self.protocol = protocol
+        self.configurations: list[AgentConfiguration] = [initial]
+        self.encounters: list[Encounter] = []
+
+    @property
+    def current(self) -> AgentConfiguration:
+        return self.configurations[-1]
+
+    @property
+    def steps(self) -> int:
+        return len(self.encounters)
+
+    def step(self, initiator: int, responder: int) -> AgentConfiguration:
+        """Apply one encounter and record it."""
+        encounter = Encounter(initiator, responder)
+        after = self.current.apply_encounter(self.protocol, initiator, responder)
+        self.encounters.append(encounter)
+        self.configurations.append(after)
+        return after
+
+    def extend(self, encounters: Iterable[tuple[int, int]]) -> AgentConfiguration:
+        """Apply a sequence of (initiator, responder) encounters."""
+        for initiator, responder in encounters:
+            self.step(initiator, responder)
+        return self.current
+
+    def outputs(self) -> tuple[Symbol, ...]:
+        """Output assignment of the current configuration."""
+        return self.current.outputs(self.protocol)
+
+    def output_history(self) -> list[tuple[Symbol, ...]]:
+        """Output assignment after every configuration in the execution."""
+        return [c.outputs(self.protocol) for c in self.configurations]
+
+    def last_output_change(self) -> int:
+        """Index of the last step at which the output assignment changed.
+
+        Returns 0 if the outputs never changed.
+        """
+        history = self.output_history()
+        last = 0
+        for i in range(1, len(history)):
+            if history[i] != history[i - 1]:
+                last = i
+        return last
+
+
+def replay(
+    protocol: PopulationProtocol,
+    initial: AgentConfiguration,
+    encounters: Sequence[tuple[int, int]],
+    population: "Population | None" = None,
+) -> Execution:
+    """Re-run a recorded encounter sequence from an initial configuration.
+
+    If ``population`` is given, every encounter is checked against its edge
+    set (an encounter not in ``E`` is a modeling error).
+    """
+    execution = Execution(protocol, initial)
+    for initiator, responder in encounters:
+        if population is not None and (initiator, responder) not in population.edges:
+            raise ValueError(
+                f"encounter ({initiator}, {responder}) is not an edge of the "
+                "interaction graph")
+        execution.step(initiator, responder)
+    return execution

@@ -1,0 +1,113 @@
+"""Language acceptance (Sect. 3.5).
+
+A protocol *accepts* a language ``L`` iff it stably computes the
+characteristic function of ``L`` under the string input convention.
+Corollary 1: only *symmetric* languages (closed under permuting letters)
+are acceptable, and by Lemma 2 acceptance depends only on the Parikh image
+— so the layer below hands words to protocols as symbol counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.conventions import parikh
+from repro.core.protocol import PopulationProtocol, Symbol
+
+
+def is_symmetric_language(
+    membership: Callable[[Sequence[Symbol]], bool],
+    words: Iterable[Sequence[Symbol]],
+) -> bool:
+    """Spot-check symmetry: membership agrees on sorted rearrangements.
+
+    Exhaustive only over the provided sample of words; a counterexample
+    proves asymmetry, agreement supports (but cannot prove) symmetry.
+    """
+    for word in words:
+        rearranged = sorted(word, key=repr)
+        if membership(list(word)) != membership(rearranged):
+            return False
+    return True
+
+
+class LanguageAcceptor:
+    """Run a predicate protocol as a language acceptor.
+
+    ``protocol`` must stably compute a predicate whose input alphabet
+    includes every letter of the words to be tested (Lemma 2: the
+    predicate receives the word's Parikh image as symbol counts).
+    """
+
+    def __init__(self, protocol: PopulationProtocol):
+        self.protocol = protocol
+
+    def parikh_of(self, word: Sequence[Symbol]) -> dict[Symbol, int]:
+        alphabet = sorted(self.protocol.input_alphabet, key=repr)
+        counts = parikh(word, alphabet)
+        return dict(zip(alphabet, counts))
+
+    def accepts(
+        self,
+        word: Sequence[Symbol],
+        *,
+        seed: "int | None" = None,
+        patience: int = 20_000,
+        max_steps: int = 10_000_000,
+    ) -> bool:
+        """Simulated acceptance (uniform random pairing).
+
+        Words must have length >= 2 (a population needs two agents).
+        """
+        from repro.sim.convergence import run_until_quiescent
+        from repro.sim.engine import Simulation
+
+        if len(word) < 2:
+            raise ValueError("words must have length at least 2 "
+                             "(one agent per letter)")
+        sim = Simulation(self.protocol, list(word), seed=seed)
+        result = run_until_quiescent(sim, patience=patience,
+                                     max_steps=max_steps)
+        if result.output is None:
+            raise RuntimeError(
+                "simulation did not stabilize; raise patience/max_steps")
+        return bool(result.output)
+
+    def accepts_exact(self, word: Sequence[Symbol],
+                      max_configurations: int = 2_000_000) -> bool:
+        """Exact acceptance by model checking (small words).
+
+        Verifies that every fair computation converges to a unanimous
+        verdict and returns it; raises if the protocol does not stably
+        decide this input.
+        """
+        from repro.analysis.stability import verify_predicate_on_input
+
+        counts = self.parikh_of(word)
+        for value in (True, False):
+            result = verify_predicate_on_input(
+                self.protocol, counts, value, max_configurations)
+            if result.holds:
+                return value
+        raise RuntimeError(
+            f"protocol does not stably decide input {counts!r}")
+
+
+def accepts_language(
+    protocol: PopulationProtocol,
+    words: Iterable[Sequence[Symbol]],
+    membership: Callable[[Sequence[Symbol]], bool],
+    *,
+    exact: bool = True,
+    seed: "int | None" = None,
+) -> bool:
+    """Does the protocol's verdict match ``membership`` on all ``words``?"""
+    acceptor = LanguageAcceptor(protocol)
+    for word in words:
+        if exact:
+            got = acceptor.accepts_exact(word)
+        else:
+            got = acceptor.accepts(word, seed=seed)
+        if got != bool(membership(list(word))):
+            return False
+    return True

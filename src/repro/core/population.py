@@ -1,0 +1,163 @@
+"""Populations and interaction graphs (Sect. 3.1).
+
+A population is a set of ``n`` agents together with an irreflexive relation
+``E`` of directed edges: ``(u, v) in E`` means ``u`` may interact with ``v``
+with ``u`` as initiator and ``v`` as responder.  The *standard population*
+``P_n`` uses agents ``0..n-1`` and the complete interaction graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.util.rng import resolve_rng
+
+
+class PopulationError(ValueError):
+    """Raised for malformed populations or graphs."""
+
+
+class Population:
+    """A set of agents plus a directed interaction graph.
+
+    Agents are identified by integers ``0..n-1``.  The graph must be
+    irreflexive; most theorems additionally require weak connectivity, which
+    :meth:`is_weakly_connected` checks.
+    """
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] | None = None):
+        if n < 2:
+            raise PopulationError("a population needs at least two agents")
+        self.n = n
+        if edges is None:
+            edge_set = frozenset(
+                (u, v) for u in range(n) for v in range(n) if u != v)
+            self._complete = True
+        else:
+            edge_set = frozenset((int(u), int(v)) for u, v in edges)
+            for u, v in edge_set:
+                if u == v:
+                    raise PopulationError(f"self-loop ({u}, {v}) is not allowed")
+                if not (0 <= u < n and 0 <= v < n):
+                    raise PopulationError(f"edge ({u}, {v}) out of range for n={n}")
+            self._complete = len(edge_set) == n * (n - 1)
+        if not edge_set:
+            raise PopulationError("interaction graph has no edges")
+        self.edges: frozenset[tuple[int, int]] = edge_set
+        self._edge_list: tuple[tuple[int, int], ...] = tuple(sorted(edge_set))
+
+    # -- Basic queries -------------------------------------------------------
+
+    @property
+    def agents(self) -> range:
+        """The agent identifiers ``0..n-1``."""
+        return range(self.n)
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff every ordered pair of distinct agents is an edge."""
+        return self._complete
+
+    def edge_list(self) -> Sequence[tuple[int, int]]:
+        """The edges in a deterministic order (for seeded sampling)."""
+        return self._edge_list
+
+    def out_neighbors(self, agent: int) -> list[int]:
+        """Agents this agent can initiate an interaction with."""
+        return [v for (u, v) in self._edge_list if u == agent]
+
+    def is_weakly_connected(self) -> bool:
+        """True iff the underlying undirected graph is connected."""
+        adjacency: dict[int, set[int]] = {a: set() for a in self.agents}
+        for u, v in self.edges:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == self.n
+
+    def __repr__(self) -> str:
+        kind = "complete" if self.is_complete else f"{len(self.edges)} edges"
+        return f"<Population n={self.n} ({kind})>"
+
+
+# -- Standard graph constructors ---------------------------------------------
+
+
+def complete_population(n: int) -> Population:
+    """The standard population ``P_n``: complete interaction graph on n agents."""
+    return Population(n)
+
+
+def _symmetrize(pairs: Iterable[tuple[int, int]]) -> set[tuple[int, int]]:
+    edges = set()
+    for u, v in pairs:
+        edges.add((u, v))
+        edges.add((v, u))
+    return edges
+
+
+def line_population(n: int) -> Population:
+    """A bidirectional line ``0 - 1 - ... - n-1``."""
+    return Population(n, _symmetrize((i, i + 1) for i in range(n - 1)))
+
+
+def ring_population(n: int) -> Population:
+    """A bidirectional cycle on n agents."""
+    if n < 3:
+        raise PopulationError("a ring needs at least three agents")
+    return Population(n, _symmetrize((i, (i + 1) % n) for i in range(n)))
+
+
+def star_population(n: int) -> Population:
+    """A star with agent 0 at the hub."""
+    return Population(n, _symmetrize((0, i) for i in range(1, n)))
+
+
+def grid_population(rows: int, cols: int) -> Population:
+    """A rows x cols bidirectional grid; agent ``r * cols + c`` at (r, c)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise PopulationError("grid must contain at least two agents")
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs.append((node, node + 1))
+            if r + 1 < rows:
+                pairs.append((node, node + cols))
+    return Population(rows * cols, _symmetrize(pairs))
+
+
+def random_connected_population(
+    n: int,
+    extra_edge_probability: float = 0.1,
+    seed: "int | None" = None,
+) -> Population:
+    """A random weakly-connected population.
+
+    Builds a random spanning tree (guaranteeing weak connectivity) and adds
+    each remaining undirected pair independently with probability
+    ``extra_edge_probability``.  All edges are bidirectional.
+    """
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise PopulationError("extra_edge_probability must lie in [0, 1]")
+    rng = resolve_rng(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    pairs = []
+    for i in range(1, n):
+        attach = nodes[rng.randrange(i)]
+        pairs.append((nodes[i], attach))
+    tree_pairs = {frozenset(p) for p in pairs}
+    for u, v in itertools.combinations(range(n), 2):
+        if frozenset((u, v)) not in tree_pairs and rng.random() < extra_edge_probability:
+            pairs.append((u, v))
+    return Population(n, _symmetrize(pairs))

@@ -1,0 +1,59 @@
+"""Human-readable protocol descriptions.
+
+``describe(protocol)`` renders a small protocol the way the paper prints
+them: alphabets, the input and output maps, and the non-no-op transition
+table.  Intended for notebooks, docs, and debugging compiled protocols.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol
+
+
+def describe(protocol: PopulationProtocol, max_transitions: int = 200) -> str:
+    """A multi-line description of a protocol's tables.
+
+    Raises ValueError if the protocol has more than ``max_transitions``
+    non-trivial transitions (describe is for small protocols; use the
+    serialization module for big ones).
+    """
+    states = sorted(protocol.states(), key=repr)
+    transitions = protocol.transition_table()
+    if len(transitions) > max_transitions:
+        raise ValueError(
+            f"protocol has {len(transitions)} transitions "
+            f"(> {max_transitions}); too large to describe")
+
+    lines = [repr(protocol)]
+    lines.append(f"states ({len(states)}): "
+                 + ", ".join(repr(s) for s in states))
+    lines.append("input map:")
+    for symbol in sorted(protocol.input_alphabet, key=repr):
+        lines.append(f"  I({symbol!r}) = {protocol.initial_state(symbol)!r}")
+    lines.append("output map:")
+    for state in states:
+        lines.append(f"  O({state!r}) = {protocol.output(state)!r}")
+    lines.append(f"transitions ({len(transitions)} non-no-op):")
+    for (p, q), (p2, q2) in sorted(transitions.items(), key=repr):
+        lines.append(f"  ({p!r}, {q!r}) -> ({p2!r}, {q2!r})")
+    return "\n".join(lines)
+
+
+def transition_matrix_text(protocol: PopulationProtocol) -> str:
+    """The full delta as a grid (initiator rows, responder columns).
+
+    Only sensible for protocols with a handful of states.
+    """
+    states = sorted(protocol.states(), key=repr)
+    if len(states) > 12:
+        raise ValueError("transition grid only renders up to 12 states")
+    width = max(len(repr(s)) for s in states) * 2 + 4
+    header = " " * width + " | ".join(f"{repr(q):>{width}}" for q in states)
+    rows = [header]
+    for p in states:
+        cells = []
+        for q in states:
+            p2, q2 = protocol.delta(p, q)
+            cells.append(f"{repr(p2)},{repr(q2)}".rjust(width))
+        rows.append(f"{repr(p):>{width}}" + " | ".join(cells))
+    return "\n".join(rows)

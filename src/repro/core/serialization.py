@@ -1,0 +1,106 @@
+"""Protocol serialization.
+
+Explicit (dict-based) protocols round-trip through JSON so compiled
+protocols can be saved, shipped, and reloaded without re-running the
+compiler.  States and symbols are encoded with a small tagged scheme that
+covers the value shapes used throughout the library: ints, strings, bools,
+None, and (nested) tuples thereof.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.protocol import DictProtocol, PopulationProtocol, as_dict_protocol
+
+
+class SerializationError(ValueError):
+    """Raised for unsupported values or malformed documents."""
+
+
+def _encode_value(value: Any):
+    if value is None or isinstance(value, (bool, int, str)):
+        return {"t": type(value).__name__ if value is not None else "none",
+                "v": value}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [_encode_value(item) for item in value]}
+    raise SerializationError(
+        f"cannot serialize value {value!r} of type {type(value).__name__}")
+
+
+def _decode_value(doc) -> Any:
+    if not isinstance(doc, dict) or "t" not in doc:
+        raise SerializationError(f"malformed value document: {doc!r}")
+    tag = doc["t"]
+    if tag == "none":
+        return None
+    if tag in ("bool", "int", "str"):
+        value = doc.get("v")
+        expected = {"bool": bool, "int": int, "str": str}[tag]
+        if not isinstance(value, expected) or (
+                tag == "int" and isinstance(value, bool)):
+            raise SerializationError(f"value {value!r} is not a {tag}")
+        return value
+    if tag == "tuple":
+        return tuple(_decode_value(item) for item in doc["v"])
+    raise SerializationError(f"unknown value tag {tag!r}")
+
+
+def protocol_to_dict(protocol: PopulationProtocol, name: str = "") -> dict:
+    """A JSON-ready document for any protocol (materialized if needed)."""
+    if not isinstance(protocol, DictProtocol):
+        protocol = as_dict_protocol(protocol, name or None)
+    return {
+        "format": "repro-protocol-v1",
+        "name": name or protocol.name,
+        "input_map": [
+            [_encode_value(symbol), _encode_value(protocol.initial_state(symbol))]
+            for symbol in sorted(protocol.input_alphabet, key=repr)],
+        "output_map": [
+            [_encode_value(state), _encode_value(protocol.output(state))]
+            for state in sorted(protocol.declared_states(), key=repr)],
+        "transitions": [
+            [_encode_value(p), _encode_value(q),
+             _encode_value(p2), _encode_value(q2)]
+            for (p, q), (p2, q2) in sorted(
+                protocol._transitions.items(), key=repr)],
+    }
+
+
+def protocol_from_dict(doc: dict) -> DictProtocol:
+    """Rebuild a :class:`DictProtocol` from :func:`protocol_to_dict`."""
+    if not isinstance(doc, dict) or doc.get("format") != "repro-protocol-v1":
+        raise SerializationError("not a repro-protocol-v1 document")
+    try:
+        input_map = {_decode_value(s): _decode_value(q)
+                     for s, q in doc["input_map"]}
+        output_map = {_decode_value(q): _decode_value(y)
+                      for q, y in doc["output_map"]}
+        transitions = {
+            (_decode_value(p), _decode_value(q)):
+            (_decode_value(p2), _decode_value(q2))
+            for p, q, p2, q2 in doc["transitions"]}
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed protocol document: {exc}") from exc
+    return DictProtocol(
+        input_map=input_map,
+        output_map=output_map,
+        transitions=transitions,
+        name=doc.get("name", "deserialized"),
+    )
+
+
+def protocol_to_json(protocol: PopulationProtocol, name: str = "",
+                     **json_kwargs) -> str:
+    """Serialize a protocol to a JSON string."""
+    return json.dumps(protocol_to_dict(protocol, name), **json_kwargs)
+
+
+def protocol_from_json(text: str) -> DictProtocol:
+    """Deserialize a protocol from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return protocol_from_dict(doc)

@@ -1,0 +1,84 @@
+"""Machine substrates: counter machines, Turing machines, Minsky's
+reduction, the Lemma 11 urn process, and the Theorem 9/10 population
+simulation of counter machines."""
+
+from repro.machines.counter import (
+    Assembler,
+    CounterMachineError,
+    CounterProgram,
+    CounterRunResult,
+    Halt,
+    Inc,
+    Jump,
+    JzDec,
+    divide_program,
+    multiply_program,
+    run_program,
+)
+from repro.machines.turing import (
+    TMResult,
+    TuringMachine,
+    TuringMachineError,
+    unary_halver_machine,
+    unary_parity_machine,
+)
+from repro.machines.minsky import TMCounterCompilation, tm_to_counter_program
+from repro.machines.urn import (
+    UrnOutcome,
+    expected_draws_no_counters,
+    expected_draws_win_bound,
+    loss_probability,
+    loss_probability_upper_bound,
+    sample_urn_game,
+)
+from repro.machines.urn_automaton import (
+    UrnAutomaton,
+    UrnAutomatonError,
+    UrnRunResult,
+    token_parity_automaton,
+    zero_test_automaton,
+)
+from repro.machines.pp_counter import (
+    DesignatedLeaderProtocol,
+    LeaderElectingCounterProtocol,
+    counter_totals,
+    leader_states,
+    simulate_counter_machine,
+)
+
+__all__ = [
+    "Assembler",
+    "CounterMachineError",
+    "CounterProgram",
+    "CounterRunResult",
+    "Halt",
+    "Inc",
+    "Jump",
+    "JzDec",
+    "divide_program",
+    "multiply_program",
+    "run_program",
+    "TMResult",
+    "TuringMachine",
+    "TuringMachineError",
+    "unary_halver_machine",
+    "unary_parity_machine",
+    "TMCounterCompilation",
+    "tm_to_counter_program",
+    "UrnOutcome",
+    "expected_draws_no_counters",
+    "expected_draws_win_bound",
+    "loss_probability",
+    "loss_probability_upper_bound",
+    "sample_urn_game",
+    "UrnAutomaton",
+    "UrnAutomatonError",
+    "UrnRunResult",
+    "token_parity_automaton",
+    "zero_test_automaton",
+    "DesignatedLeaderProtocol",
+    "LeaderElectingCounterProtocol",
+    "counter_totals",
+    "leader_states",
+    "simulate_counter_machine",
+]

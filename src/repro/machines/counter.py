@@ -1,0 +1,247 @@
+"""Minsky counter machines (Sect. 6.1).
+
+The instruction set is the one the population-protocol simulation realizes
+natively (Theorem 9): increment, *jump-if-zero-else-decrement* (the paper
+combines the zero test with the decrement: "the first encounter between the
+leader and an agent with non-zero counter value i can also decrement the
+counter"), unconditional jump, and halt with an output bit.
+
+Programs are sequences of instructions addressed by index; a small
+assembler supports symbolic labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+class CounterMachineError(RuntimeError):
+    """Raised on invalid programs or runtime faults."""
+
+
+@dataclass(frozen=True)
+class Inc:
+    """Increment counter ``counter``."""
+
+    counter: int
+
+
+@dataclass(frozen=True)
+class JzDec:
+    """If counter ``counter`` is zero jump to ``target``, else decrement it.
+
+    Minsky's classic combined test-and-decrement primitive.
+    """
+
+    counter: int
+    target: int
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional jump to instruction ``target``."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Stop; ``output`` is the machine's Boolean verdict (predicates) and
+    the counter contents are the function output."""
+
+    output: int = 0
+
+
+Instruction = "Inc | JzDec | Jump | Halt"
+
+
+class CounterProgram:
+    """A validated counter program."""
+
+    def __init__(self, instructions: Sequence, n_counters: int):
+        self.instructions: tuple = tuple(instructions)
+        if not self.instructions:
+            raise CounterMachineError("program must contain instructions")
+        self.n_counters = int(n_counters)
+        if self.n_counters < 1:
+            raise CounterMachineError("need at least one counter")
+        for index, instruction in enumerate(self.instructions):
+            if isinstance(instruction, (Inc, JzDec)):
+                if not 0 <= instruction.counter < self.n_counters:
+                    raise CounterMachineError(
+                        f"instruction {index}: counter {instruction.counter} "
+                        f"out of range (have {self.n_counters})")
+            if isinstance(instruction, (JzDec, Jump)):
+                if not 0 <= instruction.target < len(self.instructions):
+                    raise CounterMachineError(
+                        f"instruction {index}: jump target "
+                        f"{instruction.target} out of range")
+            elif not isinstance(instruction, (Inc, Halt)):
+                raise CounterMachineError(
+                    f"instruction {index}: unknown instruction {instruction!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int):
+        return self.instructions[index]
+
+    def __repr__(self) -> str:
+        return (f"<CounterProgram {len(self.instructions)} instructions, "
+                f"{self.n_counters} counters>")
+
+
+@dataclass
+class CounterRunResult:
+    """Outcome of a direct counter-machine run."""
+
+    counters: list[int]
+    output: int
+    steps: int
+    halted: bool
+
+
+def run_program(
+    program: CounterProgram,
+    initial: Sequence[int],
+    *,
+    max_steps: int = 10_000_000,
+    capacity: "int | None" = None,
+) -> CounterRunResult:
+    """Interpret a counter program directly.
+
+    ``capacity`` bounds each counter (the population simulation offers
+    ``O(n)`` capacity; exceeding it raises, mirroring the physical limit).
+    """
+    if len(initial) != program.n_counters:
+        raise CounterMachineError(
+            f"need {program.n_counters} initial values, got {len(initial)}")
+    counters = [int(v) for v in initial]
+    if any(v < 0 for v in counters):
+        raise CounterMachineError("counters are non-negative")
+    if capacity is not None and any(v > capacity for v in counters):
+        raise CounterMachineError("initial counter exceeds capacity")
+    pc = 0
+    for step in range(max_steps):
+        instruction = program[pc]
+        if isinstance(instruction, Inc):
+            counters[instruction.counter] += 1
+            if capacity is not None and counters[instruction.counter] > capacity:
+                raise CounterMachineError(
+                    f"counter {instruction.counter} exceeded capacity {capacity}")
+            pc += 1
+        elif isinstance(instruction, JzDec):
+            if counters[instruction.counter] == 0:
+                pc = instruction.target
+            else:
+                counters[instruction.counter] -= 1
+                pc += 1
+        elif isinstance(instruction, Jump):
+            pc = instruction.target
+        elif isinstance(instruction, Halt):
+            return CounterRunResult(
+                counters=counters, output=instruction.output,
+                steps=step, halted=True)
+        else:  # pragma: no cover - excluded by validation
+            raise CounterMachineError(f"unknown instruction {instruction!r}")
+    return CounterRunResult(counters=counters, output=0, steps=max_steps, halted=False)
+
+
+class Assembler:
+    """Tiny assembler with symbolic labels.
+
+    >>> asm = Assembler(n_counters=2)
+    >>> asm.label("loop")
+    >>> asm.jzdec(0, "done")
+    >>> asm.inc(1)
+    >>> asm.jump("loop")
+    >>> asm.label("done")
+    >>> asm.halt(output=1)
+    >>> program = asm.assemble()
+    """
+
+    def __init__(self, n_counters: int):
+        self.n_counters = n_counters
+        self._items: list = []           # Instruction placeholders
+        self._labels: dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise CounterMachineError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+
+    def inc(self, counter: int) -> None:
+        self._items.append(Inc(counter))
+
+    def jzdec(self, counter: int, target: "str | int") -> None:
+        self._items.append(("jzdec", counter, target))
+
+    def jump(self, target: "str | int") -> None:
+        self._items.append(("jump", target))
+
+    def halt(self, output: int = 0) -> None:
+        self._items.append(Halt(output))
+
+    def _resolve(self, target: "str | int") -> int:
+        if isinstance(target, int):
+            return target
+        try:
+            return self._labels[target]
+        except KeyError:
+            raise CounterMachineError(f"undefined label {target!r}") from None
+
+    def assemble(self) -> CounterProgram:
+        instructions = []
+        for item in self._items:
+            if isinstance(item, tuple) and item[0] == "jzdec":
+                instructions.append(JzDec(item[1], self._resolve(item[2])))
+            elif isinstance(item, tuple) and item[0] == "jump":
+                instructions.append(Jump(self._resolve(item[1])))
+            else:
+                instructions.append(item)
+        return CounterProgram(instructions, self.n_counters)
+
+
+# -- Library programs used in examples and benchmarks ----------------------------
+
+
+def multiply_program(b: int, source: int = 0, target: int = 1) -> CounterProgram:
+    """``target := b * source; source := 0`` (the paper's push inner loop)."""
+    if b < 1:
+        raise CounterMachineError("b must be positive")
+    n_counters = max(source, target) + 1
+    asm = Assembler(n_counters)
+    asm.label("loop")
+    asm.jzdec(source, "done")
+    for _ in range(b):
+        asm.inc(target)
+    asm.jump("loop")
+    asm.label("done")
+    asm.halt(output=0)
+    return asm.assemble()
+
+
+def divide_program(b: int, source: int = 0, target: int = 1) -> tuple[CounterProgram, int]:
+    """``target := source // b``; halts with ``output = source mod b``...
+
+    The remainder is accumulated in the finite-state control exactly as in
+    Minsky's reduction: the exit point of the subtraction loop encodes it.
+    Returns ``(program, n_counters)``.
+    """
+    if b < 2:
+        raise CounterMachineError("b must be at least 2")
+    n_counters = max(source, target) + 1
+    asm = Assembler(n_counters)
+    asm.label("loop")
+    # Subtract up to b from source; if it runs dry after r subtractions the
+    # remainder is r.
+    for r in range(b):
+        asm.label(f"sub{r}")
+        asm.jzdec(source, f"rem{r}")
+    asm.inc(target)
+    asm.jump("loop")
+    for r in range(b):
+        asm.label(f"rem{r}")
+        asm.halt(output=r)
+    return asm.assemble(), n_counters

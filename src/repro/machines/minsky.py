@@ -1,0 +1,199 @@
+"""Minsky's Turing-machine-to-counter-machine reduction (Sect. 6.1).
+
+The tape is split at the head into two stacks, each Gödel-numbered in base
+``b`` (one more than the number of non-blank symbols; blank is digit 0, so
+an empty stack of blanks is the counter value 0):
+
+    stack ``x_0, x_1, ..., x_m`` (top first)  ->  sum_i code(x_i) * b^i
+
+Pushing ``x`` is ``c := c*b + code(x)``; popping is ``c := c // b`` with
+the remainder — the popped symbol — recovered in the finite-state control
+(the exit point of the subtraction loop).  Both operations use one scratch
+counter, for three counters total, each bounded by ``b^(tape length)``:
+polynomial in ``n`` for logspace machines on unary inputs, which is what
+Theorem 10 needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.machines.counter import (
+    Assembler,
+    CounterProgram,
+    CounterRunResult,
+    run_program,
+)
+from repro.machines.turing import TuringMachine
+
+LEFT, RIGHT, SCRATCH = 0, 1, 2
+
+
+@dataclass
+class TMCounterCompilation:
+    """A compiled Turing machine with its encoding metadata."""
+
+    program: CounterProgram
+    base: int
+    symbol_code: dict[str, int]
+    code_symbol: dict[int, str]
+    turing_machine: TuringMachine
+
+    def encode_tape(self, tape_input: Sequence[str]) -> int:
+        """Gödel number of a tape (head at the leftmost cell)."""
+        value = 0
+        for symbol in reversed(list(tape_input)):
+            value = value * self.base + self._code(symbol)
+        return value
+
+    def _code(self, symbol: str) -> int:
+        try:
+            return self.symbol_code[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol!r} not in tape alphabet") from None
+
+    def decode_stack(self, value: int) -> list[str]:
+        """Symbols of a stack counter, top first (trailing blanks dropped)."""
+        symbols = []
+        while value:
+            value, digit = divmod(value, self.base)
+            symbols.append(self.code_symbol[digit])
+        return symbols
+
+    def initial_counters(self, tape_input: Sequence[str]) -> list[int]:
+        """Counter values representing the input tape, head at cell 0."""
+        return [0, self.encode_tape(tape_input), 0]
+
+    def run(self, tape_input: Sequence[str], *, max_steps: int = 10_000_000) -> CounterRunResult:
+        """Run the compiled counter machine on an encoded input tape."""
+        return run_program(self.program, self.initial_counters(tape_input),
+                           max_steps=max_steps)
+
+    def tape_of(self, result: CounterRunResult) -> list[str]:
+        """Reconstruct the final tape (left of head reversed + right).
+
+        Leading and trailing blanks are stripped: the stacks may carry
+        explicit blank digits for cells the head visited (e.g. the cell
+        under the head at halt), which are not part of the tape's content.
+        """
+        left = self.decode_stack(result.counters[LEFT])
+        right = self.decode_stack(result.counters[RIGHT])
+        tape = list(reversed(left)) + right
+        blank = self.turing_machine.blank
+        start = 0
+        end = len(tape)
+        while start < end and tape[start] == blank:
+            start += 1
+        while end > start and tape[end - 1] == blank:
+            end -= 1
+        return tape[start:end]
+
+
+def _emit_move(asm: Assembler, source: int, target: int, prefix: str,
+               done: str) -> None:
+    """``target += source; source := 0`` then jump to ``done``."""
+    asm.label(f"{prefix}_mv")
+    asm.jzdec(source, done)
+    asm.inc(target)
+    asm.jump(f"{prefix}_mv")
+
+
+def _emit_push(asm: Assembler, stack: int, digit: int, base: int,
+               prefix: str, done: str) -> None:
+    """``stack := stack * base + digit`` (scratch-mediated), jump to ``done``."""
+    asm.label(f"{prefix}_mul")
+    asm.jzdec(stack, f"{prefix}_mulmv")
+    for _ in range(base):
+        asm.inc(SCRATCH)
+    asm.jump(f"{prefix}_mul")
+    asm.label(f"{prefix}_mulmv")
+    asm.jzdec(SCRATCH, f"{prefix}_add")
+    asm.inc(stack)
+    asm.jump(f"{prefix}_mulmv")
+    asm.label(f"{prefix}_add")
+    for _ in range(digit):
+        asm.inc(stack)
+    asm.jump(done)
+
+
+def _emit_pop(asm: Assembler, stack: int, base: int, prefix: str,
+              continuations: Sequence[str]) -> None:
+    """``(stack, r) := divmod(stack, base)``; jump to ``continuations[r]``.
+
+    The quotient is accumulated in the scratch counter and moved back; the
+    remainder is encoded in the control flow (one continuation per digit).
+    """
+    asm.label(f"{prefix}_div")
+    for r in range(base):
+        asm.jzdec(stack, f"{prefix}_rem{r}")
+    asm.inc(SCRATCH)
+    asm.jump(f"{prefix}_div")
+    for r in range(base):
+        asm.label(f"{prefix}_rem{r}")
+        _emit_move(asm, SCRATCH, stack, f"{prefix}_r{r}", continuations[r])
+
+
+def tm_to_counter_program(tm: TuringMachine) -> TMCounterCompilation:
+    """Compile a Turing machine into a three-counter Minsky machine.
+
+    Halting TM configurations map to ``Halt`` instructions whose output bit
+    records acceptance; the final stack counters encode the final tape.
+    """
+    symbols = sorted(tm.tape_alphabet() - {tm.blank})
+    symbol_code = {tm.blank: 0}
+    for i, symbol in enumerate(symbols, start=1):
+        symbol_code[symbol] = i
+    code_symbol = {code: symbol for symbol, code in symbol_code.items()}
+    base = len(symbols) + 1
+
+    states = sorted(tm.states())
+    states.remove(tm.start_state)
+    states.insert(0, tm.start_state)  # execution starts at instruction 0
+
+    asm = Assembler(3)
+    for state in states:
+        prefix = f"st_{state}"
+        asm.label(prefix)
+        read_labels = [f"{prefix}_read{r}" for r in range(base)]
+        _emit_pop(asm, RIGHT, base, f"{prefix}_pop", read_labels)
+        for r in range(base):
+            asm.label(read_labels[r])
+            symbol = code_symbol[r]
+            action = tm.transitions.get((state, symbol))
+            branch = f"{prefix}_b{r}"
+            if action is None:
+                # Halted: restore the symbol under the head so the final
+                # tape decodes faithfully, then stop.
+                _emit_push(asm, RIGHT, r, base, f"{branch}_restore",
+                           f"{branch}_halt")
+                asm.label(f"{branch}_halt")
+                asm.halt(output=1 if state in tm.accept_states else 0)
+                continue
+            new_state, new_symbol, move = action
+            digit = symbol_code[new_symbol]
+            target = f"st_{new_state}"
+            if move == 1:
+                # Written symbol goes behind us, onto the left stack.
+                _emit_push(asm, LEFT, digit, base, f"{branch}_pushL", target)
+            elif move == 0:
+                _emit_push(asm, RIGHT, digit, base, f"{branch}_pushR", target)
+            else:
+                # Move left: written symbol onto the right stack, then the
+                # cell popped off the left stack goes on top of it.
+                _emit_push(asm, RIGHT, digit, base, f"{branch}_pushR",
+                           f"{branch}_popL")
+                asm.label(f"{branch}_popL")
+                left_labels = [f"{branch}_carry{r2}" for r2 in range(base)]
+                _emit_pop(asm, LEFT, base, f"{branch}_lpop", left_labels)
+                for r2 in range(base):
+                    asm.label(left_labels[r2])
+                    _emit_push(asm, RIGHT, r2, base, f"{branch}_c{r2}", target)
+    program = asm.assemble()
+    return TMCounterCompilation(
+        program=program,
+        base=base,
+        symbol_code=symbol_code,
+        code_symbol=code_symbol,
+        turing_machine=tm,
+    )

@@ -1,0 +1,449 @@
+"""Population-protocol simulation of counter machines (Theorems 9 and 10).
+
+A leader agent simulates the finite-state control of a counter machine; the
+other agents collectively store the counters as bounded per-agent *shares*
+(the integer-based representation of Sect. 3.4: counter ``i``'s value is
+the sum of component ``i`` over the population).  One agent carries the
+*timer* mark used by the probabilistic zero test: the leader concludes a
+counter is zero after ``k`` consecutive encounters with the timer, and
+otherwise decrements the first nonzero share it meets (the paper's combined
+test-and-decrement).
+
+Two variants are provided:
+
+* :class:`DesignatedLeaderProtocol` — the Theorem 9/10 setting: the input
+  configuration designates one leader and one timer.  This is the variant
+  whose error probability and running time the benchmarks measure.
+* :class:`LeaderElectingCounterProtocol` — the bootstrap of Sect. 6.1
+  ("How to elect a leader"): every agent starts as a candidate; fights
+  leave one leader, which re-initializes the population and restarts the
+  program.  One deviation from the paper's prose is documented in
+  DESIGN.md: instead of the winning leader retrieving the loser's timer
+  mark (which needs unbounded bookkeeping), a deposed leader that has
+  released a timer becomes a *cleaner* that retires exactly one timer mark
+  before turning into a plain follower.  The timer count still converges to
+  exactly one and never transiently hits zero while a released leader
+  exists.
+
+State encoding (hashable tuples):
+
+* leader:  ``("L", phase, pc, streak, carried, released, bit, my_input)``
+  where ``phase`` is ``"init"``, ``"run"`` or ``"halt"``; ``carried`` is
+  the tuple of shares the leader still holds; ``released`` flags whether
+  this leader has marked a timer; ``my_input`` is the leader's own input
+  share vector (re-carried on every restart so counter mass is exact after
+  the final re-initialization).
+* follower: ``("F", input_shares, timer, shares, bit)``; ``input_shares``
+  is remembered for re-initialization.
+* cleaner:  ``("C", input_shares, timer, shares, bit)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.machines.counter import CounterProgram, Halt, Inc, Jump, JzDec
+
+LEADER_TAG, FOLLOWER_TAG, CLEANER_TAG = "L", "F", "C"
+INIT, RUN, HALTED = "init", "run", "halt"
+
+
+class _CounterSimulationBase(PopulationProtocol):
+    """Shared machinery for both simulation variants."""
+
+    def __init__(
+        self,
+        program: CounterProgram,
+        *,
+        capacity: int,
+        zero_test_k: int,
+        share_symbols: "Sequence[tuple] | None",
+    ):
+        if capacity < 1:
+            raise ValueError("per-agent share capacity must be positive")
+        if zero_test_k < 1:
+            raise ValueError("zero-test parameter k must be at least 1")
+        self.program = program
+        self.capacity = capacity
+        self.zero_test_k = zero_test_k
+        self.n_counters = program.n_counters
+        self.zero_shares = tuple([0] * self.n_counters)
+        self.output_alphabet = frozenset({0, 1})
+        if share_symbols is None:
+            # Default share alphabet: the zero tuple and the unit vectors.
+            share_symbols = [self.zero_shares]
+            for c in range(self.n_counters):
+                unit = [0] * self.n_counters
+                unit[c] = 1
+                share_symbols.append(tuple(unit))
+        for symbol in share_symbols:
+            if len(symbol) != self.n_counters:
+                raise ValueError(f"share symbol {symbol!r} has wrong arity")
+            if any(not 0 <= v <= capacity for v in symbol):
+                raise ValueError(f"share symbol {symbol!r} out of capacity")
+        self.share_symbols = tuple(map(tuple, share_symbols))
+
+    # -- Control-flow helpers ---------------------------------------------------
+
+    def _normalized_entry(self, pc: int) -> tuple[str, int, int]:
+        """Follow Jump/Halt chains: returns (phase, pc, bit)."""
+        seen = set()
+        while True:
+            if pc in seen:
+                raise ValueError("program contains a jump-only cycle")
+            seen.add(pc)
+            instruction = self.program[pc]
+            if isinstance(instruction, Jump):
+                pc = instruction.target
+                continue
+            if isinstance(instruction, Halt):
+                return HALTED, pc, instruction.output
+            return RUN, pc, 0
+
+    @staticmethod
+    def _leader(phase: str, pc: int, streak: int, carried: tuple,
+                released: int, bit: int, my_input: tuple) -> tuple:
+        return (LEADER_TAG, phase, pc, streak, carried, released, bit, my_input)
+
+    # -- One simulated machine step (leader meets a share-holding agent) ---------
+
+    def _execute(self, leader: tuple, agent: tuple) -> tuple[tuple, tuple]:
+        """Run the leader's current instruction against ``agent``.
+
+        ``agent`` is a follower or cleaner tuple; returns updated (leader,
+        agent).  Assumes the leader is in the RUN phase.
+        """
+        _, _, pc, streak, carried, released, bit, my_input = leader
+        tag, input_shares, timer, shares, abit = agent
+
+        # Hand off any carried shares first (election variant): the leader
+        # must not execute zero tests while it privately holds counter mass.
+        if any(carried):
+            new_carried = list(carried)
+            new_shares = list(shares)
+            moved = False
+            for c in range(self.n_counters):
+                room = self.capacity - new_shares[c]
+                take = min(room, new_carried[c])
+                if take > 0:
+                    new_shares[c] += take
+                    new_carried[c] -= take
+                    moved = True
+            if moved:
+                leader2 = self._leader(RUN, pc, streak, tuple(new_carried),
+                                       released, bit, my_input)
+                return leader2, (tag, input_shares, timer, tuple(new_shares), abit)
+            return leader, agent  # no room here; keep looking
+
+        instruction = self.program[pc]
+        if isinstance(instruction, Inc):
+            c = instruction.counter
+            if shares[c] < self.capacity:
+                new_shares = list(shares)
+                new_shares[c] += 1
+                phase2, pc2, bit2 = self._normalized_entry(pc + 1)
+                leader2 = self._leader(phase2, pc2, 0, carried, released,
+                                       bit2, my_input)
+                return leader2, (tag, input_shares, timer, tuple(new_shares), abit)
+            return leader, agent
+        if isinstance(instruction, JzDec):
+            c = instruction.counter
+            if shares[c] > 0:
+                # Combined test-and-decrement: nonzero witness found.
+                new_shares = list(shares)
+                new_shares[c] -= 1
+                phase2, pc2, bit2 = self._normalized_entry(pc + 1)
+                leader2 = self._leader(phase2, pc2, 0, carried, released,
+                                       bit2, my_input)
+                return leader2, (tag, input_shares, timer, tuple(new_shares), abit)
+            if timer:
+                streak += 1
+                if streak >= self.zero_test_k:
+                    phase2, pc2, bit2 = self._normalized_entry(instruction.target)
+                    leader2 = self._leader(phase2, pc2, 0, carried, released,
+                                           bit2, my_input)
+                    return leader2, agent
+                return (self._leader(RUN, pc, streak, carried, released, bit,
+                                     my_input), agent)
+            # An unmarked zero-share agent resets the consecutive-timer run.
+            if streak:
+                return (self._leader(RUN, pc, 0, carried, released, bit,
+                                     my_input), agent)
+            return leader, agent
+        raise AssertionError(f"unexpected instruction {instruction!r}")
+
+    @staticmethod
+    def _spread(leader: tuple, agent: tuple) -> tuple[tuple, tuple]:
+        """A halted leader distributes its verdict bit."""
+        bit = leader[6]
+        tag, input_shares, timer, shares, abit = agent
+        if abit == bit:
+            return leader, agent
+        return leader, (tag, input_shares, timer, shares, bit)
+
+    def output(self, state: State) -> int:
+        return state[6] if state[0] == LEADER_TAG else state[4]
+
+
+class DesignatedLeaderProtocol(_CounterSimulationBase):
+    """Theorem 9/10 simulation with a designated leader and timer.
+
+    Input symbols: ``"L"`` (exactly one agent), ``"T"`` (exactly one agent,
+    the timer, holding zero shares), and share tuples in
+    ``[0, capacity]^n_counters`` for the remaining agents.  The value of
+    counter ``i`` is the sum of component ``i`` over all agents.
+
+    Under uniform random pairing this simulates the counter program with
+    per-zero-test error ``Theta(n^{-k} / m)`` (Theorem 9) and per-loop
+    error ``O(n^{-k} log n)`` (Theorem 10's accounting).
+    """
+
+    def __init__(
+        self,
+        program: CounterProgram,
+        *,
+        capacity: int = 4,
+        zero_test_k: int = 2,
+        share_symbols: "Sequence[tuple] | None" = None,
+    ):
+        super().__init__(program, capacity=capacity, zero_test_k=zero_test_k,
+                         share_symbols=share_symbols)
+        self.input_alphabet = frozenset({"L", "T"} | set(self.share_symbols))
+
+    def initial_state(self, symbol: Symbol) -> State:
+        if symbol == "L":
+            phase, pc, bit = self._normalized_entry(0)
+            return self._leader(phase, pc, 0, self.zero_shares, 1, bit,
+                                self.zero_shares)
+        if symbol == "T":
+            return (FOLLOWER_TAG, self.zero_shares, 1, self.zero_shares, 0)
+        if symbol in self.input_alphabet:
+            shares = tuple(symbol)
+            return (FOLLOWER_TAG, shares, 0, shares, 0)
+        raise ValueError(f"symbol {symbol!r} not in input alphabet")
+
+    def delta(self, initiator: State, responder: State) -> tuple[State, State]:
+        tag_i, tag_j = initiator[0], responder[0]
+        if tag_i == LEADER_TAG and tag_j == LEADER_TAG:
+            return initiator, responder  # cannot occur with valid inputs
+        if tag_i == LEADER_TAG:
+            return self._leader_meets(initiator, responder)
+        if tag_j == LEADER_TAG:
+            leader2, agent2 = self._leader_meets(responder, initiator)
+            return agent2, leader2
+        # Follower/follower: epidemic verdict spreading (safe here: a single
+        # run halts at most once, so a 1 bit is never stale).
+        bit_i, bit_j = initiator[4], responder[4]
+        if bit_i == bit_j:
+            return initiator, responder
+        bit = max(bit_i, bit_j)
+        return initiator[:4] + (bit,), responder[:4] + (bit,)
+
+    def _leader_meets(self, leader: tuple, agent: tuple) -> tuple[tuple, tuple]:
+        if leader[1] == HALTED:
+            return self._spread(leader, agent)
+        return self._execute(leader, agent)
+
+    # -- Input construction -------------------------------------------------------
+
+    def make_input_counts(
+        self,
+        counter_values: Sequence[int],
+        n: int,
+    ) -> dict[Symbol, int]:
+        """Symbol counts for an ``n``-agent population encoding the input.
+
+        Distributes each counter value as unit shares over the ``n - 2``
+        non-leader, non-timer agents; raises if the population is too small.
+        """
+        if len(counter_values) != self.n_counters:
+            raise ValueError(f"need {self.n_counters} counter values")
+        share_agents = n - 2
+        if share_agents < 1:
+            raise ValueError("population too small (need leader, timer, shares)")
+        total = sum(int(v) for v in counter_values)
+        if total > share_agents:
+            raise ValueError(
+                f"unit-share layout needs sum(counters) = {total} <= n - 2 "
+                f"= {share_agents}")
+        counts: dict[Symbol, int] = {"L": 1, "T": 1}
+        for c, value in enumerate(counter_values):
+            if value < 0:
+                raise ValueError("counter values are non-negative")
+            if value == 0:
+                continue
+            unit = [0] * self.n_counters
+            unit[c] = 1
+            counts[tuple(unit)] = counts.get(tuple(unit), 0) + value
+        spare = share_agents - total
+        if spare:
+            counts[self.zero_shares] = counts.get(self.zero_shares, 0) + spare
+        return counts
+
+
+class LeaderElectingCounterProtocol(_CounterSimulationBase):
+    """The Sect. 6.1 bootstrap: leader election + initialization + run.
+
+    Every agent starts as a leader candidate carrying its own input shares.
+    A leader that has not yet released a timer marks the first unmarked
+    non-leader it meets; the initialization phase ends after ``k``
+    consecutive timer encounters, upon which the program runs.  Fights
+    (leader meets leader) keep the initiator, restart its initialization,
+    and depose the responder — into a cleaner if it had released a timer
+    (the cleaner retires one timer mark, keeping the global timer count
+    headed to exactly one), else into a plain follower.
+    """
+
+    def __init__(
+        self,
+        program: CounterProgram,
+        *,
+        capacity: int = 4,
+        zero_test_k: int = 2,
+        share_symbols: "Sequence[tuple] | None" = None,
+    ):
+        super().__init__(program, capacity=capacity, zero_test_k=zero_test_k,
+                         share_symbols=share_symbols)
+        self.input_alphabet = frozenset(self.share_symbols)
+
+    def initial_state(self, symbol: Symbol) -> State:
+        if symbol not in self.input_alphabet:
+            raise ValueError(f"symbol {symbol!r} not in input alphabet")
+        carried = tuple(symbol)
+        return self._leader(INIT, 0, 0, carried, 0, 0, carried)
+
+    def delta(self, initiator: State, responder: State) -> tuple[State, State]:
+        tag_i, tag_j = initiator[0], responder[0]
+        if tag_i == LEADER_TAG and tag_j == LEADER_TAG:
+            return self._fight(initiator, responder)
+        if tag_i == LEADER_TAG:
+            return self._leader_meets(initiator, responder)
+        if tag_j == LEADER_TAG:
+            leader2, agent2 = self._leader_meets(responder, initiator)
+            return agent2, leader2
+        return self._non_leaders(initiator, responder)
+
+    # -- Leader vs leader -----------------------------------------------------------
+
+    def _fight(self, winner: tuple, loser: tuple) -> tuple[tuple, tuple]:
+        _, _, _, _, _, w_released, _, w_input = winner
+        l_released, l_input = loser[5], loser[7]
+        tag = CLEANER_TAG if l_released else FOLLOWER_TAG
+        deposed = (tag, l_input, 0, l_input, 0)
+        # The winner restarts initialization, re-carrying its own input so
+        # the final re-initialization restores the exact counter totals.
+        restarted = self._leader(INIT, 0, 0, w_input, w_released, 0, w_input)
+        return restarted, deposed
+
+    # -- Leader vs non-leader ----------------------------------------------------------
+
+    def _leader_meets(self, leader: tuple, agent: tuple) -> tuple[tuple, tuple]:
+        _, phase, pc, streak, carried, released, bit, my_input = leader
+        tag, input_shares, timer, shares, abit = agent
+        if phase == HALTED:
+            return self._spread(leader, agent)
+        if phase == RUN:
+            return self._execute(leader, agent)
+        # INIT phase.
+        if not released:
+            if timer:
+                # Someone else's mark; wait for an unmarked agent (marking a
+                # second timer of our own would double-count, and adopting
+                # this one could strand a cleaner).
+                return leader, agent
+            leader2 = self._leader(INIT, pc, 0, carried, 1, bit, my_input)
+            agent2 = (tag, input_shares, 1, input_shares, 0)
+            return leader2, agent2
+        if timer:
+            streak += 1
+            if streak >= self.zero_test_k:
+                phase2, pc2, bit2 = self._normalized_entry(0)
+                leader2 = self._leader(phase2, pc2, 0, carried, released,
+                                       bit2, my_input)
+                return leader2, agent
+            return (self._leader(INIT, pc, streak, carried, released, bit,
+                                 my_input), agent)
+        # Re-initialize this agent to its remembered input.
+        agent2 = (tag, input_shares, 0, input_shares, 0)
+        leader2 = self._leader(INIT, pc, 0, carried, released, bit, my_input)
+        if agent2 == agent and leader2 == leader:
+            return leader, agent
+        return leader2, agent2
+
+    # -- Non-leader pairs -----------------------------------------------------------------
+
+    @staticmethod
+    def _non_leaders(initiator: tuple, responder: tuple) -> tuple[tuple, tuple]:
+        tag_i, tag_j = initiator[0], responder[0]
+        # A cleaner retires one timer mark, then becomes a follower.
+        if tag_i == CLEANER_TAG and responder[2] == 1:
+            cleaner_done = (FOLLOWER_TAG,) + initiator[1:]
+            untimered = (responder[0], responder[1], 0, responder[3], responder[4])
+            return cleaner_done, untimered
+        if tag_j == CLEANER_TAG and initiator[2] == 1:
+            cleaner_done = (FOLLOWER_TAG,) + responder[1:]
+            untimered = (initiator[0], initiator[1], 0, initiator[3], initiator[4])
+            return untimered, cleaner_done
+        return initiator, responder
+
+
+def simulate_counter_machine(
+    program: CounterProgram,
+    counter_values: Sequence[int],
+    n: int,
+    *,
+    seed: "int | None" = None,
+    capacity: int = 4,
+    zero_test_k: int = 3,
+    max_interactions: int = 50_000_000,
+):
+    """One-call Theorem 9/10 run: program + inputs -> halted population.
+
+    Builds the designated-leader protocol, lays out the input counters as
+    unit shares over an ``n``-agent population, runs uniform random pairing
+    until the leader halts, and returns
+    ``(verdict_bit, final_counter_totals, interactions)``.
+
+    Raises RuntimeError if the interaction budget is exhausted (raise
+    ``max_interactions``, lower ``zero_test_k``, or grow ``n``).
+    """
+    from repro.sim.engine import simulate_counts
+
+    protocol = DesignatedLeaderProtocol(
+        program, capacity=capacity, zero_test_k=zero_test_k)
+    counts = protocol.make_input_counts(counter_values, n)
+    sim = simulate_counts(protocol, counts, seed=seed)
+    halted = sim.run_until(
+        lambda s: leader_states(s.states)[0][1] == HALTED,
+        max_steps=max_interactions, check_every=100)
+    if not halted:
+        raise RuntimeError(
+            f"counter-machine simulation did not halt within "
+            f"{max_interactions} interactions")
+    verdict = leader_states(sim.states)[0][6]
+    return verdict, counter_totals(sim.states), sim.interactions
+
+
+def counter_totals(states: "Sequence[State] | Mapping[State, int]") -> list[int]:
+    """Sum the counter shares across a configuration (followers, cleaners,
+    and any leader's carried shares)."""
+    if isinstance(states, Mapping):
+        items = states.items()
+    else:
+        items = ((state, 1) for state in states)
+    totals: "list[int] | None" = None
+    for state, count in items:
+        shares = state[4] if state[0] == LEADER_TAG else state[3]
+        if totals is None:
+            totals = [0] * len(shares)
+        for c, value in enumerate(shares):
+            totals[c] += value * count
+    if totals is None:
+        raise ValueError("empty configuration")
+    return totals
+
+
+def leader_states(states: "Sequence[State]") -> list[tuple]:
+    """All leader-tagged states in a configuration snapshot."""
+    return [state for state in states if state[0] == LEADER_TAG]

@@ -1,0 +1,136 @@
+"""Single-tape Turing machines (Sect. 6.1, Theorem 10 substrate).
+
+A deliberately small deterministic TM: states and tape symbols are strings,
+the tape is two-way infinite (dict-backed), and transitions map
+``(state, symbol) -> (state, symbol, move)`` with ``move`` in
+``{-1, 0, +1}``.  Inputs are written left to right starting at cell 0; the
+paper's Theorem 10 concerns logspace machines on unary inputs, for which
+this single-tape model is more than sufficient.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+BLANK = "_"
+
+
+class TuringMachineError(RuntimeError):
+    """Raised on malformed machines or runtime faults."""
+
+
+@dataclass
+class TMResult:
+    """Outcome of a Turing machine run."""
+
+    state: str
+    tape: dict[int, str]
+    head: int
+    steps: int
+    halted: bool
+
+    def tape_string(self) -> str:
+        """The non-blank tape contents, left to right."""
+        if not self.tape:
+            return ""
+        low = min(self.tape)
+        high = max(self.tape)
+        return "".join(self.tape.get(i, BLANK) for i in range(low, high + 1))
+
+    def count_symbol(self, symbol: str) -> int:
+        """Number of tape cells holding ``symbol`` (unary output decoding)."""
+        return sum(1 for s in self.tape.values() if s == symbol)
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine."""
+
+    def __init__(
+        self,
+        transitions: Mapping[tuple[str, str], tuple[str, str, int]],
+        *,
+        start_state: str,
+        accept_states: Sequence[str] = (),
+        blank: str = BLANK,
+    ):
+        self.transitions = dict(transitions)
+        self.start_state = start_state
+        self.accept_states = frozenset(accept_states)
+        self.blank = blank
+        for (state, symbol), (new_state, new_symbol, move) in self.transitions.items():
+            if move not in (-1, 0, 1):
+                raise TuringMachineError(
+                    f"transition ({state}, {symbol}) has invalid move {move}")
+
+    def states(self) -> frozenset:
+        found = {self.start_state} | set(self.accept_states)
+        for (state, _), (new_state, _, _) in self.transitions.items():
+            found.add(state)
+            found.add(new_state)
+        return frozenset(found)
+
+    def tape_alphabet(self) -> frozenset:
+        found = {self.blank}
+        for (_, symbol), (_, new_symbol, _) in self.transitions.items():
+            found.add(symbol)
+            found.add(new_symbol)
+        return frozenset(found)
+
+    def run(
+        self,
+        tape_input: Sequence[str],
+        *,
+        max_steps: int = 1_000_000,
+    ) -> TMResult:
+        """Run until no transition applies (halt) or the budget is spent."""
+        tape: dict[int, str] = {
+            i: s for i, s in enumerate(tape_input) if s != self.blank}
+        state = self.start_state
+        head = 0
+        for step in range(max_steps):
+            symbol = tape.get(head, self.blank)
+            action = self.transitions.get((state, symbol))
+            if action is None:
+                return TMResult(state=state, tape=tape, head=head,
+                                steps=step, halted=True)
+            state, new_symbol, move = action
+            if new_symbol == self.blank:
+                tape.pop(head, None)
+            else:
+                tape[head] = new_symbol
+            head += move
+        return TMResult(state=state, tape=tape, head=head,
+                        steps=max_steps, halted=False)
+
+    def accepts(self, tape_input: Sequence[str], *, max_steps: int = 1_000_000) -> bool:
+        result = self.run(tape_input, max_steps=max_steps)
+        if not result.halted:
+            raise TuringMachineError("machine did not halt within budget")
+        return result.state in self.accept_states
+
+
+# -- Reference machines used in tests and benchmarks -----------------------------
+
+
+def unary_parity_machine() -> TuringMachine:
+    """Accepts unary strings ``1^m`` with ``m`` odd (a logspace predicate)."""
+    transitions = {
+        ("even", "1"): ("odd", "1", 1),
+        ("odd", "1"): ("even", "1", 1),
+    }
+    return TuringMachine(transitions, start_state="even", accept_states=["odd"])
+
+
+def unary_halver_machine() -> TuringMachine:
+    """Rewrites ``1^m`` to leave ``floor(m/2)`` marks ``X`` (unary halving).
+
+    Scans right, alternately marking ``1 -> a`` (kept) and ``1 -> b``
+    (dropped); on hitting the blank it halts.  The output value is the
+    number of ``a`` cells — a simple logspace function on unary input.
+    """
+    transitions = {
+        ("drop", "1"): ("keep", "b", 1),
+        ("keep", "1"): ("drop", "a", 1),
+    }
+    return TuringMachine(transitions, start_state="drop", accept_states=["drop", "keep"])

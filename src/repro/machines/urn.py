@@ -1,0 +1,110 @@
+"""The Lemma 11 urn process.
+
+An urn holds ``N`` tokens: ``m`` counter tokens, one timer token, and
+``N - 1 - m`` unmarked tokens.  Tokens are drawn uniformly with
+replacement.  The drawer *wins* on drawing a counter token and *loses* on
+drawing the timer token ``k`` times in a row first.  The paper proves:
+
+1. ``P[lose] = (N - 1) / (m N^k + (N - 1 - m)) <= 1 / (m N^{k-1})``;
+2. conditioned on winning (m > 0), the expected number of draws up to and
+   including the first counter token is at most ``N / m``;
+3. for ``m = 0``, the expected number of draws until the loss event is
+   ``O(N^k)`` (exactly computable; see :func:`expected_draws_no_counters`).
+
+This module provides both the exact formulas and a sampled process, so the
+benchmarks can put measurement and theory side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.util.rng import resolve_rng
+
+
+def loss_probability(n_tokens: int, m: int, k: int) -> Fraction:
+    """Exact ``P[k timer draws in a row before any counter draw]``.
+
+    ``n_tokens`` is the urn size ``N`` (counter + timer + unmarked).
+    """
+    _check(n_tokens, m, k)
+    if m == 0:
+        return Fraction(1)
+    numerator = n_tokens - 1
+    denominator = m * n_tokens**k + (n_tokens - 1 - m)
+    return Fraction(numerator, denominator)
+
+
+def loss_probability_upper_bound(n_tokens: int, m: int, k: int) -> Fraction:
+    """The paper's closed-form upper bound ``1 / (m N^{k-1})``."""
+    _check(n_tokens, m, k)
+    if m == 0:
+        return Fraction(1)
+    return Fraction(1, m * n_tokens ** (k - 1))
+
+
+def expected_draws_win_bound(n_tokens: int, m: int) -> Fraction:
+    """Upper bound ``N / m`` on expected draws conditioned on winning."""
+    if m <= 0:
+        raise ValueError("m must be positive for the winning bound")
+    return Fraction(n_tokens, m)
+
+
+def expected_draws_no_counters(n_tokens: int, k: int) -> Fraction:
+    """Exact expected draws until k consecutive timers when ``m = 0``.
+
+    Classic consecutive-successes waiting time with success probability
+    ``p = 1/N`` per draw: ``E = (1 - p^k) / (p^k (1 - p))
+    = (N^k - 1) * N / (N - 1) / ...`` — computed exactly below; it is
+    ``Theta(N^k)``, matching the paper's bound.
+    """
+    _check(n_tokens, 0, k)
+    p = Fraction(1, n_tokens)
+    return (1 - p**k) / (p**k * (1 - p))
+
+
+def _check(n_tokens: int, m: int, k: int) -> None:
+    if n_tokens < 2:
+        raise ValueError("urn needs at least two tokens")
+    if not 0 <= m <= n_tokens - 1:
+        raise ValueError("need 0 <= m <= N - 1 (one token is the timer)")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+
+@dataclass
+class UrnOutcome:
+    """Result of one sampled urn game."""
+
+    won: bool
+    draws: int
+
+
+def sample_urn_game(
+    n_tokens: int,
+    m: int,
+    k: int,
+    *,
+    seed: "int | None" = None,
+    max_draws: int = 100_000_000,
+) -> UrnOutcome:
+    """Play one urn game; draws are uniform over the ``N`` tokens.
+
+    Token indices: 0 is the timer, ``1..m`` are counter tokens, the rest
+    unmarked.
+    """
+    _check(n_tokens, m, k)
+    rng = resolve_rng(seed)
+    streak = 0
+    for draws in range(1, max_draws + 1):
+        token = rng.randrange(n_tokens)
+        if 1 <= token <= m:
+            return UrnOutcome(won=True, draws=draws)
+        if token == 0:
+            streak += 1
+            if streak == k:
+                return UrnOutcome(won=False, draws=draws)
+        else:
+            streak = 0
+    raise RuntimeError("urn game exceeded the draw budget")

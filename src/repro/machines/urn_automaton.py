@@ -1,0 +1,160 @@
+"""Urn automata (Sect. 8; Angluin et al., "Urn automata", TR-1280).
+
+The paper's discussion section describes a storage device the authors
+explored alongside population protocols: an *urn* holding a multiset of
+tokens from a finite alphabet, accessed only by uniform random sampling,
+attached to a finite-state control.  Each step the control draws one
+token, and — based on its state and the drawn token — moves to a new
+state and puts back any multiset of replacement tokens.
+
+This module implements that machine and uses it to re-derive the Lemma 11
+zero-test game: the :func:`zero_test_automaton` is a two-outcome urn
+automaton whose loss probability must match the paper's closed form, which
+the tests verify against :mod:`repro.machines.urn`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.util.rng import resolve_rng
+
+Token = str
+ControlState = str
+
+#: Transition result: (new control state, tokens to add back to the urn).
+Action = tuple[ControlState, tuple[Token, ...]]
+
+
+class UrnAutomatonError(RuntimeError):
+    """Raised on malformed automata or runtime faults."""
+
+
+@dataclass
+class UrnRunResult:
+    """Outcome of an urn-automaton run."""
+
+    state: ControlState
+    urn: dict[Token, int]
+    draws: int
+    halted: bool
+
+
+class UrnAutomaton:
+    """A finite control with a randomly sampled urn.
+
+    ``transition(state, token) -> (new_state, replacement_tokens)``.
+    The drawn token is consumed; the replacements (possibly including a
+    copy of the drawn token) are added.  The machine halts on reaching a
+    state in ``halt_states`` or when the urn is empty (an empty draw is a
+    fault unless the current state is halting).
+    """
+
+    def __init__(
+        self,
+        transition: "Mapping[tuple[ControlState, Token], Action] | Callable[[ControlState, Token], Action]",
+        *,
+        start_state: ControlState,
+        halt_states: Iterable[ControlState],
+    ):
+        if callable(transition) and not isinstance(transition, Mapping):
+            self._transition = transition
+        else:
+            table = dict(transition)
+
+            def lookup(state: ControlState, token: Token) -> Action:
+                try:
+                    return table[(state, token)]
+                except KeyError:
+                    raise UrnAutomatonError(
+                        f"no transition for ({state!r}, {token!r})") from None
+
+            self._transition = lookup
+        self.start_state = start_state
+        self.halt_states = frozenset(halt_states)
+
+    def run(
+        self,
+        initial_urn: Mapping[Token, int],
+        *,
+        seed: "int | None" = None,
+        max_draws: int = 10_000_000,
+    ) -> UrnRunResult:
+        rng = resolve_rng(seed)
+        urn = {token: int(count) for token, count in initial_urn.items()
+               if count > 0}
+        state = self.start_state
+        draws = 0
+        while draws < max_draws:
+            if state in self.halt_states:
+                return UrnRunResult(state=state, urn=urn, draws=draws,
+                                    halted=True)
+            total = sum(urn.values())
+            if total == 0:
+                raise UrnAutomatonError(
+                    f"urn ran empty in non-halting state {state!r}")
+            # Uniform draw.
+            target = rng.randrange(total)
+            acc = 0
+            for token, count in urn.items():
+                acc += count
+                if target < acc:
+                    drawn = token
+                    break
+            draws += 1
+            remaining = urn[drawn] - 1
+            if remaining:
+                urn[drawn] = remaining
+            else:
+                del urn[drawn]
+            state, replacements = self._transition(state, drawn)
+            for token in replacements:
+                urn[token] = urn.get(token, 0) + 1
+        return UrnRunResult(state=state, urn=urn, draws=draws, halted=False)
+
+
+# -- Reference automata -------------------------------------------------------
+
+
+def zero_test_automaton(k: int) -> UrnAutomaton:
+    """The Lemma 11 game as an urn automaton.
+
+    Tokens: ``"counter"``, ``"timer"``, ``"blank"``.  Every draw is
+    replaced (the urn is read-only here).  The control counts consecutive
+    timer draws; drawing a counter token wins, ``k`` timers in a row lose.
+    """
+    if k < 1:
+        raise UrnAutomatonError("k must be at least 1")
+
+    def transition(state: ControlState, token: Token) -> Action:
+        if token == "counter":
+            return "win", (token,)
+        if token == "timer":
+            streak = int(state[1:]) + 1 if state.startswith("t") else 1
+            if streak >= k:
+                return "lose", (token,)
+            return f"t{streak}", (token,)
+        return "t0", (token,)
+
+    return UrnAutomaton(transition, start_state="t0",
+                        halt_states=["win", "lose"])
+
+
+def token_parity_automaton() -> UrnAutomaton:
+    """Consumes ``"one"`` tokens (not replaced) and tracks their parity.
+
+    Halts when it draws the single ``"end"`` sentinel; the final control
+    state is ``odd`` or ``even``.  A minimal example of the urn as
+    *consumable* storage.
+    """
+
+    def transition(state: ControlState, token: Token) -> Action:
+        if token == "one":
+            return ("odd" if state == "even" else "even"), ()
+        if token == "end":
+            return f"halt_{state}", ()
+        raise UrnAutomatonError(f"unexpected token {token!r}")
+
+    return UrnAutomaton(transition, start_state="even",
+                        halt_states=["halt_even", "halt_odd"])

@@ -1,0 +1,271 @@
+"""Compiling Presburger predicates to population protocols (Theorem 5).
+
+The pipeline is exactly the paper's proof:
+
+1. quantifiers are eliminated (Theorem 4 / Cooper), yielding a Boolean
+   combination of atoms in the extended language;
+2. negations and equalities are removed (``¬``/``=`` split into ``<`` and
+   congruence atoms);
+3. each atom ``Σ a_i x_i < c`` becomes a Lemma 5 threshold protocol and
+   each ``Σ a_i x_i ≡ c (mod m)`` a Lemma 5 remainder protocol;
+4. the atoms run in parallel and the Boolean structure is applied to their
+   output bits (Lemma 3 / Corollary 2).
+
+Both input conventions are supported: symbol-count (Theorem 5 proper, one
+input symbol per variable) and integer-based (Corollary 3: each input
+symbol carries a vector and atom weights become dot products).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.presburger.formulas import (
+    And,
+    Dvd,
+    FalseFormula,
+    Formula,
+    Lt,
+    Or,
+    TrueFormula,
+    is_quantifier_free,
+)
+from repro.presburger.parser import parse
+from repro.presburger.qe import eliminate_quantifiers, simplify, to_nnf
+from repro.protocols.composition import BooleanCombination
+from repro.protocols.remainder import RemainderProtocol
+from repro.protocols.threshold import ThresholdProtocol
+
+
+class ConstantProtocol(PopulationProtocol):
+    """A protocol whose every agent outputs a fixed bit and never changes."""
+
+    def __init__(self, bit: bool, alphabet: Sequence[Symbol]):
+        self.bit = 1 if bit else 0
+        self.input_alphabet = frozenset(alphabet)
+        self.output_alphabet = frozenset({0, 1})
+        if not self.input_alphabet:
+            raise ValueError("alphabet must be non-empty")
+
+    def initial_state(self, symbol: Symbol) -> str:
+        if symbol not in self.input_alphabet:
+            raise ValueError(f"symbol {symbol!r} not in alphabet")
+        return "*"
+
+    def output(self, state: str) -> int:
+        return self.bit
+
+    def delta(self, initiator: State, responder: State) -> tuple[State, State]:
+        return initiator, responder
+
+    def ground_truth(self, counts) -> bool:
+        """A formula that simplified to a constant holds (or not)
+        independently of the input."""
+        return bool(self.bit)
+
+
+class CompilationError(ValueError):
+    """Raised when a formula cannot be compiled to a protocol."""
+
+
+def _formula_of(formula: "Formula | str") -> Formula:
+    if isinstance(formula, str):
+        return parse(formula)
+    return formula
+
+
+def _atom_weights(
+    term_coeffs: Mapping[str, int],
+    symbol_weights: Mapping[Symbol, Mapping[str, int]],
+) -> dict[Symbol, int]:
+    """Per-symbol weights: dot product of atom coefficients with the
+    symbol's variable contributions."""
+    weights = {}
+    for symbol, contributions in symbol_weights.items():
+        weights[symbol] = sum(
+            coeff * contributions.get(variable, 0)
+            for variable, coeff in term_coeffs.items())
+    return weights
+
+
+class CompiledPredicateProtocol(BooleanCombination):
+    """A protocol compiled from a Presburger formula.
+
+    Carries the source formula, the compiled atoms, and a ground-truth
+    evaluator for tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        atoms: Sequence[Formula],
+        atom_protocols: Sequence[PopulationProtocol],
+        symbol_values: Mapping[Symbol, Mapping[str, int]],
+    ):
+        self.formula = formula
+        self.atoms = tuple(atoms)
+        self._symbol_values = {s: dict(v) for s, v in symbol_values.items()}
+        atom_index = {atom: i for i, atom in enumerate(self.atoms)}
+
+        def combine(*bits: bool) -> bool:
+            return _eval_with_bits(formula, atom_index, bits)
+
+        super().__init__(atom_protocols, combine)
+
+    def variable_values(self, counts: Mapping[Symbol, int]) -> dict[str, int]:
+        """Variable assignment represented by the given symbol counts."""
+        values: dict[str, int] = {}
+        for symbol, count in counts.items():
+            if symbol not in self._symbol_values:
+                raise ValueError(f"symbol {symbol!r} not in input alphabet")
+            for variable, contribution in self._symbol_values[symbol].items():
+                values[variable] = values.get(variable, 0) + contribution * count
+        for variable in self.formula.free_variables():
+            values.setdefault(variable, 0)
+        return values
+
+    def ground_truth(self, counts: Mapping[Symbol, int]) -> bool:
+        """Evaluate the source formula on the input encoded by ``counts``."""
+        from repro.presburger.formulas import evaluate
+
+        return evaluate(self.formula, self.variable_values(counts))
+
+
+def _eval_with_bits(
+    formula: Formula,
+    atom_index: Mapping[Formula, int],
+    bits: Sequence[bool],
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, (Lt, Dvd)):
+        return bool(bits[atom_index[formula]])
+    if isinstance(formula, And):
+        return all(_eval_with_bits(a, atom_index, bits) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(_eval_with_bits(a, atom_index, bits) for a in formula.args)
+    raise CompilationError(f"unexpected node in compiled formula: {formula!r}")
+
+
+def _compile(
+    formula: "Formula | str",
+    symbol_values: Mapping[Symbol, Mapping[str, int]],
+) -> PopulationProtocol:
+    """Shared compilation core.
+
+    ``symbol_values`` maps each input symbol to its contribution to each
+    variable (symbol-count: the unit map; integer convention: the symbol's
+    vector, keyed by variable name).
+    """
+    formula = _formula_of(formula)
+    if not is_quantifier_free(formula):
+        formula = eliminate_quantifiers(formula)
+    declared = {var for values in symbol_values.values() for var in values}
+    missing = formula.free_variables() - declared
+    if missing:
+        raise CompilationError(
+            f"free variables {sorted(missing)} have no input symbols")
+    # Positive boolean combination of Lt/Dvd atoms only.
+    formula = simplify(to_nnf(simplify(formula), split_eq=True))
+    alphabet = list(symbol_values)
+    if isinstance(formula, TrueFormula):
+        return ConstantProtocol(True, alphabet)
+    if isinstance(formula, FalseFormula):
+        return ConstantProtocol(False, alphabet)
+
+    atoms = list(dict.fromkeys(
+        atom for atom in _collect_atoms(formula)))
+    protocols = []
+    for atom in atoms:
+        coeffs = atom.term.coeffs
+        constant = atom.term.constant
+        weights = _atom_weights(coeffs, symbol_values)
+        if isinstance(atom, Lt):
+            # sum a_i x_i + c < 0  <=>  sum a_i x_i < -c.
+            protocols.append(ThresholdProtocol(weights, -constant))
+        elif isinstance(atom, Dvd):
+            # m | sum a_i x_i + c  <=>  sum a_i x_i ≡ -c (mod m).
+            protocols.append(RemainderProtocol(weights, -constant, atom.modulus))
+        else:
+            raise CompilationError(f"unexpected atom {atom!r} after NNF")
+    return CompiledPredicateProtocol(formula, atoms, protocols, symbol_values)
+
+
+def _collect_atoms(formula: Formula) -> list[Formula]:
+    if isinstance(formula, (Lt, Dvd)):
+        return [formula]
+    if isinstance(formula, (And, Or)):
+        result = []
+        for arg in formula.args:
+            result.extend(_collect_atoms(arg))
+        return result
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return []
+    raise CompilationError(f"unexpected node {formula!r} after NNF")
+
+
+def compile_predicate(
+    formula: "Formula | str",
+    *,
+    extra_symbols: Sequence[Symbol] = (),
+) -> PopulationProtocol:
+    """Theorem 5: compile a Presburger predicate for the symbol-count input.
+
+    Each free variable ``x`` of the formula becomes an input symbol (the
+    variable's own name) counting the agents holding it; ``extra_symbols``
+    adds inert padding symbols with weight zero in every atom (useful to
+    embed a predicate in a larger population).
+
+    The returned protocol stably computes the predicate under the all-agents
+    output convention on the family of standard populations.
+    """
+    formula = _formula_of(formula)
+    variables = sorted(formula.free_variables())
+    if not variables and not extra_symbols:
+        raise CompilationError(
+            "closed formulas need at least one input symbol; "
+            "pass extra_symbols=['_']")
+    symbol_values: dict[Symbol, dict[str, int]] = {
+        variable: {variable: 1} for variable in variables}
+    for symbol in extra_symbols:
+        if symbol in symbol_values:
+            raise CompilationError(f"extra symbol {symbol!r} shadows a variable")
+        symbol_values[symbol] = {}
+    return _compile(formula, symbol_values)
+
+
+def compile_integer_predicate(
+    formula: "Formula | str",
+    symbol_vectors: Mapping[Symbol, Sequence[int]],
+    variables: Sequence[str],
+) -> PopulationProtocol:
+    """Corollary 3: compile for the integer-based input convention.
+
+    ``symbol_vectors`` maps each input symbol to its vector in ``Z^k``;
+    ``variables`` names the formula's variables in vector-coordinate order.
+    The represented input is the coordinatewise sum of the agents' vectors,
+    and the compiled protocol weights each symbol by the dot product of its
+    vector with each atom's coefficients (the effect of the paper's
+    formula-rewriting construction, applied directly to the atoms).
+    """
+    formula = _formula_of(formula)
+    variables = list(variables)
+    free = formula.free_variables()
+    if not free <= set(variables):
+        raise CompilationError(
+            f"formula has free variables {sorted(free - set(variables))} "
+            "not named in variables=")
+    symbol_values: dict[Symbol, dict[str, int]] = {}
+    for symbol, vector in symbol_vectors.items():
+        vector = list(vector)
+        if len(vector) != len(variables):
+            raise CompilationError(
+                f"symbol {symbol!r} vector has dimension {len(vector)}, "
+                f"expected {len(variables)}")
+        symbol_values[symbol] = {
+            variable: int(component)
+            for variable, component in zip(variables, vector) if component}
+    return _compile(formula, symbol_values)

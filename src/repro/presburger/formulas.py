@@ -1,0 +1,404 @@
+"""Presburger formulas: syntax, evaluation, and normal forms (Sect. 4.2).
+
+The abstract syntax covers the paper's extended Presburger arithmetic:
+
+* atoms ``t < 0`` (:class:`Lt`), ``t = 0`` (:class:`Eq`), and
+  ``m | t`` (:class:`Dvd`, i.e. ``t ≡ 0 (mod m)`` — the paper's ``≡_m``);
+* Boolean connectives and quantifiers over the integers.
+
+Every comparison is normalized into these atoms by the builder functions
+(``lt``, ``le``, ``eq``, ``modeq``, ...).  :func:`evaluate` is a genuine
+decision procedure: quantifiers are evaluated by searching a finite witness
+window that is provably sufficient (outside the window the formula is
+periodic in the quantified variable), giving ground-truth semantics against
+which the Cooper quantifier elimination is tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.presburger.terms import LinearTerm, Var
+from repro.util.mathutil import lcm_many
+
+
+class Formula:
+    """Base class for Presburger formulas."""
+
+    def free_variables(self) -> frozenset:
+        raise NotImplementedError
+
+    # Connective sugar.
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    def free_variables(self) -> frozenset:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    def free_variables(self) -> frozenset:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Lt(Formula):
+    """The atom ``term < 0``."""
+
+    term: LinearTerm
+
+    def free_variables(self) -> frozenset:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.term} < 0)"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """The atom ``term = 0``."""
+
+    term: LinearTerm
+
+    def free_variables(self) -> frozenset:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.term} = 0)"
+
+
+@dataclass(frozen=True)
+class Dvd(Formula):
+    """The atom ``modulus | term`` (``term ≡ 0 (mod modulus)``)."""
+
+    modulus: int
+    term: LinearTerm
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2:
+            raise ValueError("modulus must be at least 2")
+
+    def free_variables(self) -> frozenset:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.modulus} | {self.term})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    args: tuple[Formula, ...]
+
+    def __init__(self, args: Iterable[Formula]):
+        object.__setattr__(self, "args", tuple(args))
+
+    def free_variables(self) -> frozenset:
+        return frozenset().union(*(a.free_variables() for a in self.args)) \
+            if self.args else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    args: tuple[Formula, ...]
+
+    def __init__(self, args: Iterable[Formula]):
+        object.__setattr__(self, "args", tuple(args))
+
+    def free_variables(self) -> frozenset:
+        return frozenset().union(*(a.free_variables() for a in self.args)) \
+            if self.args else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    arg: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.arg.free_variables()
+
+    def __repr__(self) -> str:
+        return f"!{self.arg!r}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: Var
+    body: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"(E {self.var}. {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    var: Var
+    body: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"(A {self.var}. {self.body!r})"
+
+
+# -- Builders -------------------------------------------------------------------
+
+TermLike = "LinearTerm | Var | int"
+
+
+def lt(a: TermLike, b: TermLike) -> Formula:
+    """``a < b``."""
+    return Lt(LinearTerm.of(a) - LinearTerm.of(b))
+
+
+def le(a: TermLike, b: TermLike) -> Formula:
+    """``a <= b``  (i.e. ``a < b + 1`` over the integers)."""
+    return Lt(LinearTerm.of(a) - LinearTerm.of(b) - 1)
+
+
+def gt(a: TermLike, b: TermLike) -> Formula:
+    """``a > b``."""
+    return lt(b, a)
+
+
+def ge(a: TermLike, b: TermLike) -> Formula:
+    """``a >= b``."""
+    return le(b, a)
+
+
+def eq(a: TermLike, b: TermLike) -> Formula:
+    """``a = b``."""
+    return Eq(LinearTerm.of(a) - LinearTerm.of(b))
+
+
+def ne(a: TermLike, b: TermLike) -> Formula:
+    """``a != b``."""
+    return Not(eq(a, b))
+
+
+def modeq(a: TermLike, b: TermLike, modulus: int) -> Formula:
+    """``a ≡ b (mod modulus)`` — the paper's ``≡_m`` relation."""
+    return Dvd(modulus, LinearTerm.of(a) - LinearTerm.of(b))
+
+
+def conj(*args: Formula) -> Formula:
+    return And(args) if args else TRUE
+
+
+def disj(*args: Formula) -> Formula:
+    return Or(args) if args else FALSE
+
+
+def exists(variables: "Var | Iterable[Var]", body: Formula) -> Formula:
+    if isinstance(variables, str):
+        variables = [variables]
+    result = body
+    for name in reversed(list(variables)):
+        result = Exists(name, result)
+    return result
+
+
+def forall(variables: "Var | Iterable[Var]", body: Formula) -> Formula:
+    if isinstance(variables, str):
+        variables = [variables]
+    result = body
+    for name in reversed(list(variables)):
+        result = Forall(name, result)
+    return result
+
+
+# -- Structural helpers -----------------------------------------------------------
+
+
+def substitute(formula: Formula, var: Var, replacement: TermLike) -> Formula:
+    """Capture-avoiding substitution of a term for a free variable."""
+    replacement_term = LinearTerm.of(replacement)
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Lt):
+        return Lt(formula.term.substitute(var, replacement_term))
+    if isinstance(formula, Eq):
+        return Eq(formula.term.substitute(var, replacement_term))
+    if isinstance(formula, Dvd):
+        return Dvd(formula.modulus, formula.term.substitute(var, replacement_term))
+    if isinstance(formula, And):
+        return And(substitute(a, var, replacement_term) for a in formula.args)
+    if isinstance(formula, Or):
+        return Or(substitute(a, var, replacement_term) for a in formula.args)
+    if isinstance(formula, Not):
+        return Not(substitute(formula.arg, var, replacement_term))
+    if isinstance(formula, (Exists, Forall)):
+        if formula.var == var:
+            return formula  # var is bound here; nothing to substitute
+        if formula.var in replacement_term.variables():
+            raise ValueError(
+                f"substitution would capture bound variable {formula.var!r}; "
+                "rename the bound variable first")
+        cls = type(formula)
+        return cls(formula.var, substitute(formula.body, var, replacement_term))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    if isinstance(formula, (Exists, Forall)):
+        return False
+    if isinstance(formula, (And, Or)):
+        return all(is_quantifier_free(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return is_quantifier_free(formula.arg)
+    return True
+
+
+def atoms_of(formula: Formula) -> list[Formula]:
+    """All atoms (Lt/Eq/Dvd) in the formula, in syntactic order."""
+    found: list[Formula] = []
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, (Lt, Eq, Dvd)):
+            found.append(node)
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Not):
+            walk(node.arg)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body)
+
+    walk(formula)
+    return found
+
+
+# -- Evaluation (a brute-force decision procedure) ----------------------------------
+
+
+class EvaluationError(ValueError):
+    """Raised when the brute-force evaluator cannot bound a quantifier.
+
+    This happens for nested quantifiers whose atoms mix the outer and inner
+    bound variables; use :func:`repro.presburger.qe.decide` (quantifier
+    elimination followed by quantifier-free evaluation) for such formulas.
+    """
+
+
+def _witness_window(body: Formula, var: Var, env: Mapping[Var, int]) -> range:
+    """A finite window of values of ``var`` sufficient to decide a quantifier.
+
+    Outside the interval spanned by the atoms' critical points, each atom's
+    truth value as a function of ``var`` is periodic with period dividing
+    the lcm of the divisibility moduli (thresholds and equalities become
+    constant/false).  Hence, scanning the critical interval extended by one
+    full period on each side is exhaustive.
+
+    Requires every atom mentioning ``var`` to have all of its *other*
+    variables bound by ``env`` — true whenever ``body`` is quantifier-free,
+    the case the brute-force evaluator supports.
+    """
+    criticals: list[int] = []
+    moduli: list[int] = [1]
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, (Lt, Eq)):
+            coeff = node.term.coefficient(var)
+            if coeff:
+                rest_term = node.term.drop(var)
+                if not rest_term.variables() <= set(env):
+                    raise EvaluationError(
+                        f"cannot bound quantifier over {var!r}: atom "
+                        f"{node!r} mixes it with unbound variables; use "
+                        "repro.presburger.qe.decide instead")
+                rest = rest_term.evaluate(env)
+                # Exact integer floor/ceil of -rest / coeff.
+                criticals.append(-rest // coeff)
+                criticals.append(-(rest // coeff))
+        elif isinstance(node, Dvd):
+            if node.term.coefficient(var):
+                moduli.append(node.modulus)
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Not):
+            walk(node.arg)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body)
+
+    walk(body)
+    period = lcm_many(moduli)
+    low = (min(criticals) if criticals else 0) - period
+    high = (max(criticals) if criticals else 0) + period
+    return range(low, high + 1)
+
+
+def evaluate(formula: Formula, env: "Mapping[Var, int] | None" = None) -> bool:
+    """Decide a Presburger formula under an assignment of its free variables.
+
+    Quantifiers are decided by exhaustive search over a provably sufficient
+    finite window (see :func:`_witness_window`).  Exponential in quantifier
+    depth — intended as ground truth for tests and small examples, not as
+    the production decision path (that is :mod:`repro.presburger.qe`).
+    """
+    env = dict(env or {})
+    missing = formula.free_variables() - set(env)
+    if missing:
+        raise KeyError(f"no values for free variables {sorted(missing)}")
+    return _eval(formula, env)
+
+
+def _eval(formula: Formula, env: dict) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Lt):
+        return formula.term.evaluate(env) < 0
+    if isinstance(formula, Eq):
+        return formula.term.evaluate(env) == 0
+    if isinstance(formula, Dvd):
+        return formula.term.evaluate(env) % formula.modulus == 0
+    if isinstance(formula, And):
+        return all(_eval(a, env) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(_eval(a, env) for a in formula.args)
+    if isinstance(formula, Not):
+        return not _eval(formula.arg, env)
+    if isinstance(formula, Exists):
+        window = _witness_window(formula.body, formula.var, env)
+        for value in window:
+            env[formula.var] = value
+            if _eval(formula.body, env):
+                del env[formula.var]
+                return True
+        env.pop(formula.var, None)
+        return False
+    if isinstance(formula, Forall):
+        return not _eval(Exists(formula.var, Not(formula.body)), env)
+    raise TypeError(f"unknown formula node {formula!r}")

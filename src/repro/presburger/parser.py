@@ -1,0 +1,241 @@
+"""A small textual language for Presburger formulas.
+
+Grammar (lowest to highest precedence)::
+
+    formula    := iff
+    iff        := implies ('<->' implies)*
+    implies    := or ('->' or)*          (right associative)
+    or         := and ('|' and)*
+    and        := unary ('&' unary)*
+    unary      := '!' unary | quantifier | '(' formula ')' | atom
+    quantifier := ('E' | 'A' | 'exists' | 'forall') var+ '.' formula
+    atom       := term cmp term ['mod' nat]   |  'true'  |  'false'
+    cmp        := '<' | '<=' | '>' | '>=' | '=' | '!='
+    term       := ['-'] product ( ('+' | '-') product )*
+    product    := nat '*' var | nat var | nat | var
+
+Congruences are written ``a = b mod m``; e.g. the paper's 5%-flock
+predicate is ``"20*e >= e + h"`` and its parity example is
+``"x = 1 mod 2"``.  ``E``/``A`` bind a list of variables:
+``"E q r. x = 3*q + r & 0 <= r & r < 3"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.presburger import formulas as F
+from repro.presburger.formulas import Formula
+from repro.presburger.terms import LinearTerm
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><->|->|<=|>=|!=|==|[-+*().!&|<>=])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_KEYWORDS_EXISTS = {"E", "exists"}
+_KEYWORDS_FORALL = {"A", "forall"}
+_RESERVED = _KEYWORDS_EXISTS | _KEYWORDS_FORALL | {"mod", "true", "false"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at position {position}")
+        position = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- Token helpers -------------------------------------------------------
+
+    def peek(self) -> "str | None":
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.position += 1
+            return True
+        return False
+
+    # -- Grammar ---------------------------------------------------------------
+
+    def formula(self) -> Formula:
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.accept("<->"):
+            right = self.implies()
+            left = F.Or((F.And((left, right)), F.And((F.Not(left), F.Not(right)))))
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.accept("->"):
+            right = self.implies()
+            return F.Or((F.Not(left), right))
+        return left
+
+    def or_(self) -> Formula:
+        parts = [self.and_()]
+        while self.accept("|"):
+            parts.append(self.and_())
+        return parts[0] if len(parts) == 1 else F.Or(parts)
+
+    def and_(self) -> Formula:
+        parts = [self.unary()]
+        while self.accept("&"):
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else F.And(parts)
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token == "!":
+            self.next()
+            return F.Not(self.unary())
+        if token in _KEYWORDS_EXISTS or token in _KEYWORDS_FORALL:
+            return self.quantifier()
+        if token == "(":
+            # Could be a parenthesized formula or a parenthesized term that
+            # starts an atom; try formula first, backtrack to atom.
+            saved = self.position
+            try:
+                self.next()
+                inner = self.formula()
+                self.expect(")")
+                return inner
+            except ParseError:
+                self.position = saved
+                return self.atom()
+        if token == "true":
+            self.next()
+            return F.TRUE
+        if token == "false":
+            self.next()
+            return F.FALSE
+        return self.atom()
+
+    def quantifier(self) -> Formula:
+        kind = self.next()
+        names = []
+        while True:
+            token = self.peek()
+            if token == ".":
+                break
+            if token is None or not token[0].isalpha() and token[0] != "_":
+                raise ParseError(f"expected variable name, got {token!r}")
+            if token in _RESERVED:
+                raise ParseError(f"{token!r} is reserved and cannot be a variable")
+            names.append(self.next())
+        if not names:
+            raise ParseError("quantifier binds no variables")
+        self.expect(".")
+        body = self.unary_or_rest()
+        builder = F.exists if kind in _KEYWORDS_EXISTS else F.forall
+        return builder(names, body)
+
+    def unary_or_rest(self) -> Formula:
+        # Quantifier scope extends as far right as possible.
+        return self.formula()
+
+    def atom(self) -> Formula:
+        left = self.term()
+        op = self.peek()
+        if op not in ("<", "<=", ">", ">=", "=", "==", "!="):
+            raise ParseError(f"expected comparison operator, got {op!r}")
+        self.next()
+        right = self.term()
+        if self.accept("mod"):
+            modulus_token = self.next()
+            if not modulus_token.isdigit():
+                raise ParseError(f"modulus must be a number, got {modulus_token!r}")
+            modulus = int(modulus_token)
+            if op in ("=", "=="):
+                return F.modeq(left, right, modulus)
+            if op == "!=":
+                return F.Not(F.modeq(left, right, modulus))
+            raise ParseError(f"'mod' only combines with = or !=, not {op!r}")
+        builders = {"<": F.lt, "<=": F.le, ">": F.gt, ">=": F.ge,
+                    "=": F.eq, "==": F.eq, "!=": F.ne}
+        return builders[op](left, right)
+
+    def term(self) -> LinearTerm:
+        negative = self.accept("-")
+        result = self.product()
+        if negative:
+            result = -result
+        while True:
+            if self.accept("+"):
+                result = result + self.product()
+            elif self.accept("-"):
+                result = result - self.product()
+            else:
+                return result
+
+    def product(self) -> LinearTerm:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input in term")
+        if token == "(":
+            self.next()
+            inner = self.term()
+            self.expect(")")
+            return inner
+        if token.isdigit():
+            self.next()
+            value = int(token)
+            nxt = self.peek()
+            if nxt == "*":
+                self.next()
+                return value * self.product()
+            if nxt is not None and re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", nxt) \
+                    and nxt not in _RESERVED:
+                self.next()
+                return value * LinearTerm.variable(nxt)
+            return LinearTerm.const(value)
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            if token in _RESERVED:
+                raise ParseError(f"{token!r} is reserved and cannot be a variable")
+            self.next()
+            return LinearTerm.variable(token)
+        raise ParseError(f"unexpected token {token!r} in term")
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula from text; raises :class:`ParseError` on bad input."""
+    parser = _Parser(_tokenize(text))
+    result = parser.formula()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input starting at {parser.peek()!r}")
+    return result

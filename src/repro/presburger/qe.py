@@ -1,0 +1,340 @@
+"""Cooper's quantifier-elimination algorithm (Theorem 4's normal form).
+
+The paper relies on the classical fact (Presburger 1929; the form used here
+is due to Cooper) that every Presburger formula is equivalent to a
+quantifier-free formula in the *extended* language with the congruence
+relations ``≡_m``.  The Theorem 5 compiler consumes exactly that normal
+form, so this module is the bridge from arbitrary Presburger formulas to
+population protocols.
+
+Implementation notes
+--------------------
+Elimination proceeds innermost-quantifier-first.  For one ``∃x φ`` with a
+quantifier-free NNF body:
+
+1. Negations are pushed into atoms (``¬(t<0) → -t-1<0``,
+   ``¬(t=0) → t<0 ∨ -t<0``, ``¬(m|t) → ∨_{r=1}^{m-1} m|(t+r)``) and
+   equalities are split into two inequalities, leaving only ``Lt`` and
+   ``Dvd`` atoms.
+2. The coefficients of ``x`` are normalized to ``±δ`` (``δ`` their lcm),
+   then ``δ·x`` is renamed to a fresh unit-coefficient variable with the
+   divisibility constraint ``δ | x``.
+3. With ``L`` the lcm of all ``Dvd`` moduli involving ``x`` and ``B`` the
+   set of lower-bound terms (atoms ``-x + t < 0``), Cooper's theorem gives
+
+   ``∃x φ(x)  ⇔  ∨_{j=1}^{L} φ_{-∞}(j) ∨ ∨_{b∈B} ∨_{j=1}^{L} φ(b + j)``
+
+   where ``φ_{-∞}`` replaces upper-bound atoms by true and lower-bound
+   atoms by false.
+4. The resulting disjunction is aggressively simplified (constant folding,
+   flattening, deduplication).
+"""
+
+from __future__ import annotations
+
+from repro.presburger.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Dvd,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Lt,
+    Not,
+    Or,
+    TrueFormula,
+    is_quantifier_free,
+    substitute,
+)
+from repro.presburger.terms import LinearTerm, Var
+from repro.util.mathutil import lcm_many
+
+
+# -- Simplification -----------------------------------------------------------
+
+
+def simplify(formula: Formula) -> Formula:
+    """Constant-fold, flatten, and deduplicate a formula (no QE)."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Lt):
+        if formula.term.is_constant():
+            return TRUE if formula.term.constant < 0 else FALSE
+        return formula
+    if isinstance(formula, Eq):
+        if formula.term.is_constant():
+            return TRUE if formula.term.constant == 0 else FALSE
+        return formula
+    if isinstance(formula, Dvd):
+        term = formula.term
+        if term.is_constant():
+            return TRUE if term.constant % formula.modulus == 0 else FALSE
+        # Reduce coefficients and constant modulo m; drop vanished variables.
+        m = formula.modulus
+        coeffs = {v: c % m for v, c in term.coeffs.items() if c % m}
+        constant = term.constant % m
+        if not coeffs:
+            return TRUE if constant == 0 else FALSE
+        return Dvd(m, LinearTerm(coeffs, constant))
+    if isinstance(formula, Not):
+        inner = simplify(formula.arg)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.arg
+        return Not(inner)
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        absorbing = FALSE if is_and else TRUE
+        neutral = TRUE if is_and else FALSE
+        flat: list[Formula] = []
+        seen: set = set()
+        for arg in formula.args:
+            arg = simplify(arg)
+            if arg == absorbing:
+                return absorbing
+            if arg == neutral:
+                continue
+            # Flatten nested same-type connectives.
+            parts = arg.args if isinstance(arg, type(formula)) else (arg,)
+            for part in parts:
+                if part == absorbing:
+                    return absorbing
+                if part == neutral:
+                    continue
+                if part not in seen:
+                    seen.add(part)
+                    flat.append(part)
+        if not flat:
+            return neutral
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat) if is_and else Or(flat)
+    if isinstance(formula, (Exists, Forall)):
+        body = simplify(formula.body)
+        if isinstance(body, (TrueFormula, FalseFormula)):
+            return body
+        if formula.var not in body.free_variables():
+            return body
+        return type(formula)(formula.var, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# -- Negation-normal form with atomic negation ---------------------------------
+
+
+def negate_atom(atom: Formula) -> Formula:
+    """Negation of an atom, expressed without ``Not`` (over the integers)."""
+    if isinstance(atom, Lt):
+        # not(t < 0)  <=>  t >= 0  <=>  -t - 1 < 0
+        return Lt(-atom.term - 1)
+    if isinstance(atom, Eq):
+        return Or((Lt(atom.term), Lt(-atom.term)))
+    if isinstance(atom, Dvd):
+        return Or(tuple(
+            Dvd(atom.modulus, atom.term + r) for r in range(1, atom.modulus)))
+    if isinstance(atom, TrueFormula):
+        return FALSE
+    if isinstance(atom, FalseFormula):
+        return TRUE
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def to_nnf(formula: Formula, *, split_eq: bool = False) -> Formula:
+    """Push negations to atoms and remove them; optionally split equalities.
+
+    With ``split_eq=True`` every ``Eq(t)`` becomes ``Lt(t-1) & Lt(-t-1)``
+    (``t <= 0 and t >= 0``), leaving only ``Lt``/``Dvd`` atoms — the form
+    Cooper's elimination step works on.  Requires a quantifier-free input.
+    """
+    if isinstance(formula, (Exists, Forall)):
+        raise ValueError("to_nnf expects a quantifier-free formula")
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Eq) and split_eq:
+        return And((Lt(formula.term - 1), Lt(-formula.term - 1)))
+    if isinstance(formula, (Lt, Eq, Dvd)):
+        return formula
+    if isinstance(formula, And):
+        return And(to_nnf(a, split_eq=split_eq) for a in formula.args)
+    if isinstance(formula, Or):
+        return Or(to_nnf(a, split_eq=split_eq) for a in formula.args)
+    if isinstance(formula, Not):
+        inner = formula.arg
+        if isinstance(inner, Not):
+            return to_nnf(inner.arg, split_eq=split_eq)
+        if isinstance(inner, And):
+            return Or(to_nnf(Not(a), split_eq=split_eq) for a in inner.args)
+        if isinstance(inner, Or):
+            return And(to_nnf(Not(a), split_eq=split_eq) for a in inner.args)
+        if isinstance(inner, (Lt, Eq, Dvd, TrueFormula, FalseFormula)):
+            return to_nnf(negate_atom(inner), split_eq=split_eq)
+        raise TypeError(f"unknown formula node {inner!r}")
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# -- Cooper's elimination of one existential quantifier --------------------------
+
+
+def _map_atoms(formula: Formula, mapper) -> Formula:
+    """Rebuild an NNF formula by transforming each atom."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (Lt, Dvd, Eq)):
+        return mapper(formula)
+    if isinstance(formula, And):
+        return And(_map_atoms(a, mapper) for a in formula.args)
+    if isinstance(formula, Or):
+        return Or(_map_atoms(a, mapper) for a in formula.args)
+    raise TypeError(f"expected NNF without Not/quantifiers, got {formula!r}")
+
+
+def eliminate_exists(var: Var, body: Formula) -> Formula:
+    """Quantifier-free formula equivalent to ``∃ var. body``.
+
+    ``body`` must be quantifier-free; the result is in the extended
+    language (``Lt``/``Dvd`` atoms plus Boolean structure).
+    """
+    if not is_quantifier_free(body):
+        raise ValueError("eliminate_exists expects a quantifier-free body")
+    body = simplify(to_nnf(simplify(body), split_eq=True))
+    if isinstance(body, (TrueFormula, FalseFormula)):
+        return body
+    if var not in body.free_variables():
+        return body
+
+    # Step 1: normalize x-coefficients to +-delta.
+    coefficients = []
+
+    def collect(node: Formula) -> None:
+        if isinstance(node, (Lt, Dvd)):
+            c = node.term.coefficient(var)
+            if c:
+                coefficients.append(c)
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                collect(arg)
+
+    collect(body)
+    if not coefficients:
+        return body
+    delta = lcm_many(coefficients)
+
+    def normalize(atom: Formula) -> Formula:
+        if isinstance(atom, Lt):
+            c = atom.term.coefficient(var)
+            if not c:
+                return atom
+            factor = delta // abs(c)
+            return Lt(atom.term * factor)  # coefficient of var becomes +-delta
+        if isinstance(atom, Dvd):
+            c = atom.term.coefficient(var)
+            if not c:
+                return atom
+            factor = delta // abs(c)
+            term = atom.term * factor
+            modulus = atom.modulus * factor
+            if term.coefficient(var) < 0:
+                term = -term  # m | t  <=>  m | -t
+            # modulus >= 2 always: atom.modulus >= 2 and factor >= 1.
+            return Dvd(modulus, term)
+        raise TypeError(f"unexpected atom {atom!r}")
+
+    body = _map_atoms(body, normalize)
+
+    # Step 2: substitute y = delta * x (y ranges over multiples of delta).
+    # Every atom now has var-coefficient exactly +-delta; rewrite it to
+    # coefficient +-1 on the same variable name and conjoin delta | var.
+    def unitize(atom: Formula) -> Formula:
+        if isinstance(atom, (Lt, Dvd)):
+            c = atom.term.coefficient(var)
+            if not c:
+                return atom
+            assert abs(c) == delta, (atom, delta)
+            unit = 1 if c > 0 else -1
+            new_term = atom.term.drop(var) + LinearTerm({var: unit})
+            if isinstance(atom, Lt):
+                return Lt(new_term)
+            return Dvd(atom.modulus, new_term)
+        raise TypeError(f"unexpected atom {atom!r}")
+
+    body = _map_atoms(body, unitize)
+    if delta > 1:
+        body = And((body, Dvd(delta, LinearTerm.variable(var))))
+
+    # Step 3: Cooper's disjunction over the lower bounds.
+    moduli = [1]
+    lower_bounds: list[LinearTerm] = []
+
+    def scan(node: Formula) -> None:
+        if isinstance(node, Lt):
+            c = node.term.coefficient(var)
+            if c == -1:
+                # -x + t < 0  <=>  x > t : lower bound with boundary term t.
+                lower_bounds.append(node.term.drop(var))
+        elif isinstance(node, Dvd):
+            if node.term.coefficient(var):
+                moduli.append(node.modulus)
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                scan(arg)
+
+    scan(body)
+    period = lcm_many(moduli)
+
+    def minus_infinity(atom: Formula) -> Formula:
+        if isinstance(atom, Lt):
+            c = atom.term.coefficient(var)
+            if c == 1:
+                return TRUE   # x + t < 0 holds as x -> -infinity
+            if c == -1:
+                return FALSE  # -x + t < 0 fails as x -> -infinity
+            return atom
+        return atom
+
+    phi_minus_inf = _map_atoms(body, minus_infinity)
+
+    disjuncts: list[Formula] = []
+    for j in range(1, period + 1):
+        disjuncts.append(simplify(substitute(phi_minus_inf, var, j)))
+    for bound in lower_bounds:
+        for j in range(1, period + 1):
+            disjuncts.append(simplify(substitute(body, var, bound + j)))
+    return simplify(Or(disjuncts))
+
+
+def eliminate_quantifiers(formula: Formula) -> Formula:
+    """Equivalent quantifier-free formula in the extended language.
+
+    Works innermost-first; ``∀x φ`` is handled as ``¬∃x ¬φ``.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula, Lt, Eq, Dvd)):
+        return formula
+    if isinstance(formula, And):
+        return simplify(And(eliminate_quantifiers(a) for a in formula.args))
+    if isinstance(formula, Or):
+        return simplify(Or(eliminate_quantifiers(a) for a in formula.args))
+    if isinstance(formula, Not):
+        return simplify(Not(eliminate_quantifiers(formula.arg)))
+    if isinstance(formula, Exists):
+        return eliminate_exists(formula.var, eliminate_quantifiers(formula.body))
+    if isinstance(formula, Forall):
+        inner = eliminate_quantifiers(formula.body)
+        return simplify(Not(eliminate_exists(formula.var, Not(inner))))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def decide(formula: Formula, env: "dict | None" = None) -> bool:
+    """Decide a Presburger formula: eliminate quantifiers, then evaluate.
+
+    Handles arbitrarily nested quantifiers (unlike the windowed brute-force
+    evaluator in :mod:`repro.presburger.formulas`).
+    """
+    from repro.presburger.formulas import evaluate
+
+    return evaluate(eliminate_quantifiers(formula), env or {})

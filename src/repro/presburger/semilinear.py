@@ -1,0 +1,155 @@
+"""Linear and semilinear sets (Sect. 4.2, Theorem 3, Corollary 4).
+
+A set ``L ⊆ N^k`` is *linear* if ``L = {v0 + κ1 v1 + ... + κm vm}`` for
+base ``v0`` and periods ``v1..vm`` in ``N^k``; *semilinear* sets are finite
+unions of linear sets.  By Ginsburg–Spanier these are exactly the
+Presburger-definable subsets of ``N^k``; :meth:`LinearSet.to_formula`
+realizes the easy direction (semilinear → Presburger), which combined with
+the Theorem 5 compiler yields Corollary 4: any symmetric language with a
+semilinear Parikh image is accepted by a population protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+
+from repro.presburger import formulas as F
+from repro.presburger.formulas import Formula
+from repro.presburger.terms import LinearTerm
+
+
+class LinearSet:
+    """``{base + sum_i k_i * periods[i] : k_i in N}`` in ``N^k``."""
+
+    def __init__(self, base: Sequence[int], periods: Iterable[Sequence[int]] = ()):
+        self.base: tuple[int, ...] = tuple(int(c) for c in base)
+        if any(c < 0 for c in self.base):
+            raise ValueError("base vector must be non-negative")
+        self.dimension = len(self.base)
+        cleaned = []
+        for period in periods:
+            vector = tuple(int(c) for c in period)
+            if len(vector) != self.dimension:
+                raise ValueError("period dimension mismatch")
+            if any(c < 0 for c in vector):
+                raise ValueError("period vectors must be non-negative")
+            if any(vector):
+                cleaned.append(vector)
+        # Deduplicate periods, preserving order.
+        self.periods: tuple[tuple[int, ...], ...] = tuple(dict.fromkeys(cleaned))
+
+    def __contains__(self, vector: Sequence[int]) -> bool:
+        return self.contains(vector)
+
+    def contains(self, vector: Sequence[int]) -> bool:
+        """Exact membership by depth-first search with memoization.
+
+        The residual after subtracting the base must be a non-negative
+        integer combination of the periods; since all periods are nonzero
+        and non-negative, the search space of residuals is finite.
+        """
+        target = tuple(int(c) for c in vector)
+        if len(target) != self.dimension:
+            raise ValueError("vector dimension mismatch")
+        residual = tuple(t - b for t, b in zip(target, self.base))
+        if any(c < 0 for c in residual):
+            return False
+        periods = self.periods
+
+        @lru_cache(maxsize=None)
+        def solvable(rest: tuple[int, ...], index: int) -> bool:
+            if not any(rest):
+                return True
+            if index == len(periods):
+                return False
+            period = periods[index]
+            # Choose how many copies of this period to use: 0 up to the
+            # componentwise bound.
+            bound = min(
+                (r // p for r, p in zip(rest, period) if p),
+                default=0,
+            )
+            for count in range(bound + 1):
+                remaining = tuple(r - count * p for r, p in zip(rest, period))
+                if solvable(remaining, index + 1):
+                    return True
+            return False
+
+        try:
+            return solvable(residual, 0)
+        finally:
+            solvable.cache_clear()
+
+    def sample(self, coefficients: Sequence[int]) -> tuple[int, ...]:
+        """The member ``base + sum coefficients[i] * periods[i]``."""
+        if len(coefficients) != len(self.periods):
+            raise ValueError("need one coefficient per period")
+        if any(k < 0 for k in coefficients):
+            raise ValueError("coefficients must be non-negative")
+        result = list(self.base)
+        for k, period in zip(coefficients, self.periods):
+            for i, c in enumerate(period):
+                result[i] += k * c
+        return tuple(result)
+
+    def to_formula(self, variables: Sequence[str]) -> Formula:
+        """A Presburger formula defining this set over the given variables.
+
+        ``∃ k_1..k_m: ∧_j (x_j = base_j + Σ_i k_i * period_i[j])
+        ∧ ∧_i k_i >= 0`` — quantified; run it through
+        :func:`repro.presburger.qe.eliminate_quantifiers` before compiling.
+        """
+        if len(variables) != self.dimension:
+            raise ValueError("need one variable per dimension")
+        ks = [f"_k{i}" for i in range(len(self.periods))]
+        for k in ks:
+            if k in variables:
+                raise ValueError(f"variable name {k!r} collides with coefficients")
+        constraints = []
+        for j, name in enumerate(variables):
+            rhs = LinearTerm.const(self.base[j])
+            for i, period in enumerate(self.periods):
+                if period[j]:
+                    rhs = rhs + period[j] * LinearTerm.variable(ks[i])
+            constraints.append(F.eq(LinearTerm.variable(name), rhs))
+        for k in ks:
+            constraints.append(F.ge(LinearTerm.variable(k), 0))
+        body = F.conj(*constraints)
+        return F.exists(ks, body) if ks else body
+
+    def __repr__(self) -> str:
+        return f"LinearSet(base={self.base}, periods={list(self.periods)})"
+
+
+class SemilinearSet:
+    """A finite union of linear sets."""
+
+    def __init__(self, parts: Iterable[LinearSet]):
+        self.parts: tuple[LinearSet, ...] = tuple(parts)
+        if not self.parts:
+            raise ValueError("a semilinear set needs at least one linear part "
+                             "(the empty set is LinearSet-free by convention)")
+        dimensions = {part.dimension for part in self.parts}
+        if len(dimensions) != 1:
+            raise ValueError("all parts must share one dimension")
+        self.dimension = dimensions.pop()
+
+    def __contains__(self, vector: Sequence[int]) -> bool:
+        return self.contains(vector)
+
+    def contains(self, vector: Sequence[int]) -> bool:
+        return any(part.contains(vector) for part in self.parts)
+
+    def union(self, other: "SemilinearSet | LinearSet") -> "SemilinearSet":
+        if isinstance(other, LinearSet):
+            other = SemilinearSet([other])
+        if other.dimension != self.dimension:
+            raise ValueError("dimension mismatch")
+        return SemilinearSet(self.parts + other.parts)
+
+    def to_formula(self, variables: Sequence[str]) -> Formula:
+        return F.disj(*(part.to_formula(variables) for part in self.parts))
+
+    def __repr__(self) -> str:
+        return f"SemilinearSet({list(self.parts)})"

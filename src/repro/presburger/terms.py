@@ -1,0 +1,152 @@
+"""Linear terms over named integer variables.
+
+Presburger arithmetic (Sect. 4.2) talks about terms built from variables,
+the constants 0 and 1, and addition; every such term is an integer linear
+combination ``sum_i a_i * x_i + c``.  :class:`LinearTerm` is the canonical
+immutable representation, with exact integer coefficients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+Var = str
+
+
+class LinearTerm:
+    """An immutable integer linear combination of variables plus a constant."""
+
+    __slots__ = ("_coeffs", "constant", "_key")
+
+    def __init__(self, coeffs: "Mapping[Var, int] | None" = None, constant: int = 0):
+        cleaned = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                coeff = int(coeff)
+                if coeff:
+                    cleaned[str(var)] = coeff
+        self._coeffs = cleaned
+        self.constant = int(constant)
+        self._key = (tuple(sorted(cleaned.items())), self.constant)
+
+    # -- Constructors -----------------------------------------------------------
+
+    @classmethod
+    def variable(cls, name: Var) -> "LinearTerm":
+        return cls({name: 1})
+
+    @classmethod
+    def const(cls, value: int) -> "LinearTerm":
+        return cls({}, value)
+
+    @classmethod
+    def of(cls, value: "LinearTerm | Var | int") -> "LinearTerm":
+        """Coerce a term, a variable name, or an integer into a LinearTerm."""
+        if isinstance(value, LinearTerm):
+            return value
+        if isinstance(value, str):
+            return cls.variable(value)
+        if isinstance(value, bool):
+            raise TypeError("booleans are not terms")
+        if isinstance(value, int):
+            return cls.const(value)
+        raise TypeError(f"cannot interpret {value!r} as a linear term")
+
+    # -- Inspection --------------------------------------------------------------
+
+    @property
+    def coeffs(self) -> dict[Var, int]:
+        """A fresh dict of variable -> nonzero coefficient."""
+        return dict(self._coeffs)
+
+    def coefficient(self, var: Var) -> int:
+        return self._coeffs.get(var, 0)
+
+    def variables(self) -> frozenset:
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def evaluate(self, env: Mapping[Var, int]) -> int:
+        """Evaluate under a full assignment of the term's variables."""
+        total = self.constant
+        for var, coeff in self._coeffs.items():
+            try:
+                total += coeff * int(env[var])
+            except KeyError:
+                raise KeyError(f"no value for variable {var!r}") from None
+        return total
+
+    # -- Algebra -------------------------------------------------------------------
+
+    def __add__(self, other: "LinearTerm | Var | int") -> "LinearTerm":
+        other = LinearTerm.of(other)
+        coeffs = dict(self._coeffs)
+        for var, coeff in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return LinearTerm(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinearTerm":
+        return LinearTerm({v: -c for v, c in self._coeffs.items()}, -self.constant)
+
+    def __sub__(self, other: "LinearTerm | Var | int") -> "LinearTerm":
+        return self + (-LinearTerm.of(other))
+
+    def __rsub__(self, other: "LinearTerm | Var | int") -> "LinearTerm":
+        return LinearTerm.of(other) + (-self)
+
+    def __mul__(self, scalar: int) -> "LinearTerm":
+        if not isinstance(scalar, int) or isinstance(scalar, bool):
+            raise TypeError("terms may only be multiplied by integers")
+        return LinearTerm({v: scalar * c for v, c in self._coeffs.items()},
+                          scalar * self.constant)
+
+    __rmul__ = __mul__
+
+    def substitute(self, var: Var, replacement: "LinearTerm | Var | int") -> "LinearTerm":
+        """Replace ``var`` by a term (exact, since coefficients stay integer)."""
+        coeff = self._coeffs.get(var, 0)
+        if coeff == 0:
+            return self
+        rest = LinearTerm(
+            {v: c for v, c in self._coeffs.items() if v != var}, self.constant)
+        return rest + coeff * LinearTerm.of(replacement)
+
+    def drop(self, var: Var) -> "LinearTerm":
+        """The term with ``var``'s contribution removed."""
+        if var not in self._coeffs:
+            return self
+        return LinearTerm(
+            {v: c for v, c in self._coeffs.items() if v != var}, self.constant)
+
+    # -- Plumbing ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LinearTerm):
+            return self._key == other._key
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        parts = []
+        for var, coeff in sorted(self._coeffs.items()):
+            if coeff == 1:
+                parts.append(f"{var}")
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        text = " + ".join(parts).replace("+ -", "- ")
+        return text
+
+
+def var(name: Var) -> LinearTerm:
+    """Shorthand: the term consisting of one variable."""
+    return LinearTerm.variable(name)

@@ -1,0 +1,87 @@
+"""The paper's protocol library.
+
+Concrete population protocols: the Sect. 1/3 examples, the Lemma 5 base
+predicates, composition combinators, leader election, output-convention
+conversion (Theorem 2), the Theorem 7 interaction-graph simulator, and the
+Sect. 8 one-way variant.
+"""
+
+from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.protocols.quotient import QuotientProtocol, QuotientRemainderProtocol
+from repro.protocols.threshold import ThresholdProtocol, count_at_least
+from repro.protocols.remainder import RemainderProtocol, parity_protocol
+from repro.protocols.majority import (
+    at_least_fraction,
+    flock_of_birds_protocol,
+    majority_protocol,
+    majority_truth,
+    strict_majority_protocol,
+)
+from repro.protocols.composition import (
+    BooleanCombination,
+    NegationProtocol,
+    ProductProtocol,
+    and_protocol,
+    not_protocol,
+    or_protocol,
+    xor_protocol,
+)
+from repro.protocols.leader import (
+    FOLLOWER,
+    LEADER,
+    LeaderElection,
+    expected_election_interactions,
+    leader_count,
+)
+from repro.protocols.output_conversion import (
+    AllAgentsFromZeroNonZero,
+    ZeroNonZeroWitness,
+)
+from repro.protocols.graph_simulation import GraphSimulationProtocol
+from repro.protocols.one_way import OneWayCountToK, is_one_way
+from repro.protocols.arithmetic import (
+    DifferenceProtocol,
+    MaxProtocol,
+    MinProtocol,
+    difference_inputs,
+    min_max_inputs,
+)
+
+__all__ = [
+    "AllAgentsFromZeroNonZero",
+    "ZeroNonZeroWitness",
+    "GraphSimulationProtocol",
+    "OneWayCountToK",
+    "is_one_way",
+    "DifferenceProtocol",
+    "MaxProtocol",
+    "MinProtocol",
+    "difference_inputs",
+    "min_max_inputs",
+    "CountToK",
+    "Epidemic",
+    "count_to_five",
+    "QuotientProtocol",
+    "QuotientRemainderProtocol",
+    "ThresholdProtocol",
+    "count_at_least",
+    "RemainderProtocol",
+    "parity_protocol",
+    "at_least_fraction",
+    "flock_of_birds_protocol",
+    "majority_protocol",
+    "majority_truth",
+    "strict_majority_protocol",
+    "BooleanCombination",
+    "NegationProtocol",
+    "ProductProtocol",
+    "and_protocol",
+    "not_protocol",
+    "or_protocol",
+    "xor_protocol",
+    "FOLLOWER",
+    "LEADER",
+    "LeaderElection",
+    "expected_election_interactions",
+    "leader_count",
+]

@@ -1,0 +1,108 @@
+"""Integer function protocols over the Z^k conventions (Sect. 3.4).
+
+The integer-based conventions represent numbers diffusely: the value is
+the sum of the agents' (signed) tokens.  Addition is therefore free — the
+union of two diffuse representations already represents the sum.  The
+protocols here compute the operations that need interaction:
+
+* :class:`DifferenceProtocol` — ``x - y`` by cancelling +/- token pairs;
+  the stable output under the scalar integer output convention is the
+  signed difference.
+* :class:`MinProtocol` / :class:`MaxProtocol` — ``min(x, y)`` and
+  ``max(x, y)`` of two unary-encoded inputs, by pairing tokens of the two
+  colours: each matched pair contributes one unit to the min; max is
+  recovered as ``x + y - min`` by also keeping the unmatched tokens.
+
+All three converge without a leader, so they are exact (probability-1)
+stable computations, certifiable by the model checker.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol
+
+
+class DifferenceProtocol(PopulationProtocol):
+    """Computes ``x - y`` under the scalar integer output convention.
+
+    Input symbols: ``"+"`` (a unit of x), ``"-"`` (a unit of y), ``"0"``
+    (padding).  A ``+`` and a ``-`` annihilate on meeting; once one sign
+    is exhausted the surviving tokens sum to ``x - y``.  Each agent's
+    output is the signed value of its token, so the decoded output
+    (sum over agents) stabilizes to ``x - y``.
+    """
+
+    input_alphabet = frozenset({"+", "-", "0"})
+    output_alphabet = frozenset({-1, 0, 1})
+
+    def initial_state(self, symbol: str) -> int:
+        try:
+            return {"+": 1, "-": -1, "0": 0}[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol!r} not in input alphabet") from None
+
+    def output(self, state: int) -> int:
+        return state
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == -responder and initiator != 0:
+            return 0, 0
+        return initiator, responder
+
+
+class MinProtocol(PopulationProtocol):
+    """Computes ``min(x, y)`` under the scalar integer output convention.
+
+    Input symbols: ``"x"`` (a unit of x), ``"y"`` (a unit of y), ``"0"``.
+    When an x-token meets a y-token they fuse into one *pair* token worth
+    one unit of the min (state ``"p"``, output 1) and one spent token
+    (state ``"s"``, output 0).  Unmatched tokens output 0, so the summed
+    output stabilizes to the number of matched pairs = min(x, y).
+    """
+
+    input_alphabet = frozenset({"x", "y", "0"})
+    output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: str) -> str:
+        if symbol not in self.input_alphabet:
+            raise ValueError(f"symbol {symbol!r} not in input alphabet")
+        return symbol
+
+    def output(self, state: str) -> int:
+        return 1 if state == "p" else 0
+
+    def delta(self, initiator: str, responder: str) -> tuple[str, str]:
+        pair = {initiator, responder}
+        if pair == {"x", "y"}:
+            return "p", "s"
+        return initiator, responder
+
+
+class MaxProtocol(MinProtocol):
+    """Computes ``max(x, y)`` = x + y - min(x, y).
+
+    Same dynamics as :class:`MinProtocol`; the output map charges one unit
+    for every *unmatched* x/y token and one for each matched pair
+    (the pair token counts once instead of twice).
+    """
+
+    def output(self, state: str) -> int:
+        return 1 if state in ("x", "y", "p") else 0
+
+
+def difference_inputs(x: int, y: int, n: int) -> dict[str, int]:
+    """Symbol counts representing (x, y) for :class:`DifferenceProtocol`."""
+    if x < 0 or y < 0:
+        raise ValueError("inputs are non-negative unary values")
+    if x + y > n:
+        raise ValueError(f"need x + y <= n, got {x} + {y} > {n}")
+    return {"+": x, "-": y, "0": n - x - y}
+
+
+def min_max_inputs(x: int, y: int, n: int) -> dict[str, int]:
+    """Symbol counts representing (x, y) for Min/MaxProtocol."""
+    if x < 0 or y < 0:
+        raise ValueError("inputs are non-negative unary values")
+    if x + y > n:
+        raise ValueError(f"need x + y <= n, got {x} + {y} > {n}")
+    return {"x": x, "y": y, "0": n - x - y}

@@ -1,0 +1,121 @@
+"""Protocol composition (Lemma 3 and Corollary 2).
+
+The parallel composition of protocols with a common input alphabet runs
+them independently on product states; any Boolean function of the component
+outputs is then stably computed by re-mapping the product output.  This is
+the paper's proof of Boolean closure and the engine room of the Presburger
+compiler (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.protocol import PopulationProtocol, ProtocolError, State, Symbol
+
+
+class ProductProtocol(PopulationProtocol):
+    """Parallel composition: components step independently on shared encounters.
+
+    All components must have the same input alphabet.  The product output is
+    the tuple of component outputs.
+    """
+
+    def __init__(self, components: Sequence[PopulationProtocol]):
+        if not components:
+            raise ProtocolError("need at least one component protocol")
+        alphabets = {frozenset(c.input_alphabet) for c in components}
+        if len(alphabets) != 1:
+            raise ProtocolError(
+                "all composed protocols must share one input alphabet")
+        self.components: tuple[PopulationProtocol, ...] = tuple(components)
+        self.input_alphabet = frozenset(components[0].input_alphabet)
+        self.output_alphabet = frozenset()  # refined lazily; see output()
+
+    def initial_state(self, symbol: Symbol) -> tuple[State, ...]:
+        return tuple(c.initial_state(symbol) for c in self.components)
+
+    def output(self, state: tuple[State, ...]) -> tuple[Symbol, ...]:
+        return tuple(c.output(s) for c, s in zip(self.components, state))
+
+    def delta(
+        self,
+        initiator: tuple[State, ...],
+        responder: tuple[State, ...],
+    ) -> tuple[tuple[State, ...], tuple[State, ...]]:
+        new_initiator = []
+        new_responder = []
+        for component, p, q in zip(self.components, initiator, responder):
+            p2, q2 = component.delta(p, q)
+            new_initiator.append(p2)
+            new_responder.append(q2)
+        return tuple(new_initiator), tuple(new_responder)
+
+
+class BooleanCombination(ProductProtocol):
+    """Apply a Boolean function to the outputs of composed predicate protocols.
+
+    Each component must output bits (0/1); ``combine`` receives one bool per
+    component and returns the combined truth value.  By Lemma 3 the result
+    stably computes ``combine(F_1, ..., F_k)`` whenever each component
+    stably computes ``F_i``.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[PopulationProtocol],
+        combine: Callable[..., bool],
+    ):
+        super().__init__(components)
+        for component in components:
+            extra = set(component.output_alphabet) - {0, 1}
+            if extra:
+                raise ProtocolError(
+                    f"component {component!r} outputs non-bits {extra!r}")
+        self.combine = combine
+        self.output_alphabet = frozenset({0, 1})
+
+    def output(self, state: tuple[State, ...]) -> int:
+        bits = [bool(c.output(s)) for c, s in zip(self.components, state)]
+        return 1 if self.combine(*bits) else 0
+
+
+class NegationProtocol(PopulationProtocol):
+    """Flip the output bit of a predicate protocol (states unchanged)."""
+
+    def __init__(self, inner: PopulationProtocol):
+        extra = set(inner.output_alphabet) - {0, 1}
+        if extra:
+            raise ProtocolError(f"inner protocol outputs non-bits {extra!r}")
+        self.inner = inner
+        self.input_alphabet = frozenset(inner.input_alphabet)
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: Symbol) -> State:
+        return self.inner.initial_state(symbol)
+
+    def output(self, state: State) -> int:
+        return 0 if self.inner.output(state) else 1
+
+    def delta(self, initiator: State, responder: State) -> tuple[State, State]:
+        return self.inner.delta(initiator, responder)
+
+
+def and_protocol(*components: PopulationProtocol) -> BooleanCombination:
+    """Conjunction of predicate protocols."""
+    return BooleanCombination(components, lambda *bits: all(bits))
+
+
+def or_protocol(*components: PopulationProtocol) -> BooleanCombination:
+    """Disjunction of predicate protocols."""
+    return BooleanCombination(components, lambda *bits: any(bits))
+
+
+def not_protocol(component: PopulationProtocol) -> NegationProtocol:
+    """Negation of a predicate protocol."""
+    return NegationProtocol(component)
+
+
+def xor_protocol(a: PopulationProtocol, b: PopulationProtocol) -> BooleanCombination:
+    """Exclusive-or of two predicate protocols."""
+    return BooleanCombination((a, b), lambda x, y: x != y)

@@ -1,0 +1,79 @@
+"""Counting protocols (Sect. 1 and Sect. 3.1 example).
+
+:class:`CountToK` generalizes the paper's count-to-five protocol: it stably
+computes the predicate "at least k agents received input 1".  States are
+``q_0 .. q_k``; when two agents meet, one takes both token counts (capped at
+k) and the other is zeroed; reaching a combined count of k triggers the
+alert state ``q_k``, which is epidemic (copied by everyone).
+
+:class:`Epidemic` is the one-bit alert-spreading fragment on its own (the
+"OR" protocol): any agent with a 1 converts everyone it meets.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol, State
+
+
+class CountToK(PopulationProtocol):
+    """Stably computes [#1-inputs >= k] under the all-agents convention.
+
+    For ``k = 5`` this is exactly the paper's count-to-five protocol: states
+    ``q_0..q_5``, input 0 -> ``q_0``, input 1 -> ``q_1``, output 1 only in
+    ``q_5``, and transitions ``(q_i, q_j) -> (q_{i+j}, q_0)`` when
+    ``i + j < 5`` and ``(q_i, q_j) -> (q_5, q_5)`` otherwise.
+    """
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.input_alphabet = frozenset({0, 1})
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> int:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return symbol
+
+    def output(self, state: int) -> int:
+        return 1 if state == self.k else 0
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        k = self.k
+        if initiator == k or responder == k:
+            # Alert state spreads to both parties.
+            return k, k
+        if initiator + responder >= k:
+            return k, k
+        return initiator + responder, 0
+
+
+class Epidemic(PopulationProtocol):
+    """One-bit OR: stably computes [#1-inputs >= 1].
+
+    The alert fragment of the flock-of-birds protocol in isolation.  This is
+    also the textbook "epidemic"/broadcast primitive whose completion time
+    on random pairing is the coupon-collector bound used throughout Sect. 6.
+    """
+
+    input_alphabet = frozenset({0, 1})
+    output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> int:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return symbol
+
+    def output(self, state: int) -> int:
+        return state
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == 1 or responder == 1:
+            return 1, 1
+        return 0, 0
+
+
+def count_to_five() -> CountToK:
+    """The exact Sect. 1 / Sect. 3.1 protocol (k = 5)."""
+    return CountToK(5)

@@ -1,0 +1,101 @@
+"""The Theorem 7 simulator: running any protocol on any connected graph.
+
+Fig. 1 of the paper defines a transition function ``delta'`` that lets a
+population with an arbitrary *weakly-connected* interaction graph simulate
+a protocol ``A`` designed for the complete graph.  Each agent carries a
+simulated ``A``-state plus a baton field:
+
+* ``D`` — the default initial baton (present only at the start);
+* ``S`` — the initiator baton;
+* ``R`` — the responder baton;
+* ``-`` — no baton.
+
+Group (a) transitions consume the initial ``D`` batons, creating at least
+one ``S`` and one ``R``; group (b) reduces them to exactly one of each;
+group (c) moves batons along edges; group (d) swaps simulated states
+between baton-free agents (mobility of the simulated agents); and
+group (e) — an encounter between the ``S`` and ``R`` holders — performs one
+simulated ``A``-transition with the ``S``-holder in the initiator role,
+and swaps the batons.
+
+The paper assumes ``n >= 4`` without loss of generality (smaller
+populations are handled by a finite table lookup in a parallel track); this
+implementation follows the main construction and therefore requires
+``n >= 4`` for the correctness guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+
+#: Baton values, in the paper's notation.
+DEFAULT, INITIATOR_BATON, RESPONDER_BATON, BLANK = "D", "S", "R", "-"
+
+SimState = tuple[State, str]
+
+
+class GraphSimulationProtocol(PopulationProtocol):
+    """``A'``: the Fig. 1 baton simulator of an inner protocol ``A``.
+
+    If ``inner`` stably computes a predicate on the standard (complete)
+    populations, this protocol stably computes the same predicate on any
+    population of ``n >= 4`` agents with a weakly-connected interaction
+    graph (Theorem 7).
+    """
+
+    def __init__(self, inner: PopulationProtocol):
+        self.inner = inner
+        self.input_alphabet = frozenset(inner.input_alphabet)
+        self.output_alphabet = frozenset(inner.output_alphabet)
+
+    def initial_state(self, symbol: Symbol) -> SimState:
+        return (self.inner.initial_state(symbol), DEFAULT)
+
+    def output(self, state: SimState) -> Symbol:
+        return self.inner.output(state[0])
+
+    def delta(self, initiator: SimState, responder: SimState) -> tuple[SimState, SimState]:
+        (x, baton_i), (y, baton_j) = initiator, responder
+
+        # Group (a): consume D batons.
+        if baton_i == DEFAULT and baton_j == DEFAULT:
+            return (x, INITIATOR_BATON), (y, RESPONDER_BATON)
+        if baton_i == DEFAULT:
+            return (x, BLANK), (y, baton_j)
+        if baton_j == DEFAULT:
+            return (x, baton_i), (y, BLANK)
+
+        # Group (b): collapse duplicate S / duplicate R batons.
+        if baton_i == INITIATOR_BATON and baton_j == INITIATOR_BATON:
+            return (x, INITIATOR_BATON), (y, BLANK)
+        if baton_i == RESPONDER_BATON and baton_j == RESPONDER_BATON:
+            return (x, RESPONDER_BATON), (y, BLANK)
+
+        # Group (e): one simulated A-transition; the S-holder is the
+        # simulated initiator; batons swap so they can pass in narrow graphs.
+        if baton_i == INITIATOR_BATON and baton_j == RESPONDER_BATON:
+            x2, y2 = self.inner.delta(x, y)
+            return (x2, RESPONDER_BATON), (y2, INITIATOR_BATON)
+        if baton_i == RESPONDER_BATON and baton_j == INITIATOR_BATON:
+            y2, x2 = self.inner.delta(y, x)
+            return (x2, INITIATOR_BATON), (y2, RESPONDER_BATON)
+
+        # Group (c): baton movement onto a blank neighbour (both directions).
+        if baton_i in (INITIATOR_BATON, RESPONDER_BATON) and baton_j == BLANK:
+            return (x, BLANK), (y, baton_i)
+        if baton_j in (INITIATOR_BATON, RESPONDER_BATON) and baton_i == BLANK:
+            return (x, baton_j), (y, BLANK)
+
+        # Group (d): swap simulated states between blank agents.
+        if baton_i == BLANK and baton_j == BLANK:
+            return (y, BLANK), (x, BLANK)
+
+        raise AssertionError(f"unhandled baton pair {baton_i!r}, {baton_j!r}")
+
+    @staticmethod
+    def is_clean(configuration_states) -> bool:
+        """Fig. 1 terminology: exactly one S, one R, and no D batons."""
+        batons = [baton for (_, baton) in configuration_states]
+        return (batons.count(INITIATOR_BATON) == 1
+                and batons.count(RESPONDER_BATON) == 1
+                and batons.count(DEFAULT) == 0)

@@ -1,0 +1,59 @@
+"""Standalone leader election (Sect. 6).
+
+Every agent starts as a leader; when two leaders meet, the responder
+abdicates.  Exactly one leader survives, after an expected ``(n-1)^2``
+interactions under uniform random pairing (the sum of the waiting times for
+the number of leaders to drop from ``i`` to ``i-1`` is
+``sum_{i=2..n} C(n,2)/C(i,2) = (n-1)^2``).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol
+from repro.util.multiset import FrozenMultiset
+
+LEADER = "L"
+FOLLOWER = "F"
+
+
+class LeaderElection(PopulationProtocol):
+    """Two-state pairwise leader elimination.
+
+    Input symbols are ignored (any symbol maps to the leader state), so the
+    protocol can run on any population.  The output is the leader bit, which
+    is *not* a stable predicate output — the point of this protocol is its
+    hitting time, analyzed exactly in :mod:`repro.analysis.markov` and
+    measured in ``benchmarks/bench_leader_election.py``.
+    """
+
+    input_alphabet = frozenset({0, 1})
+    output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> str:
+        return LEADER
+
+    def output(self, state: str) -> int:
+        return 1 if state == LEADER else 0
+
+    def delta(self, initiator: str, responder: str) -> tuple[str, str]:
+        if initiator == LEADER and responder == LEADER:
+            return LEADER, FOLLOWER
+        return initiator, responder
+
+
+def leader_count(configuration: FrozenMultiset) -> int:
+    """Number of agents currently in the leader state."""
+    return configuration[LEADER]
+
+
+def expected_election_interactions(n: int) -> int:
+    """The paper's exact expectation: ``(n-1)^2`` interactions.
+
+    Derivation (Sect. 6): with ``i`` leaders the probability that a uniform
+    ordered pair is a leader/leader meeting is ``C(i,2)/C(n,2)`` per
+    unordered draw, so the expected total is
+    ``sum_{i=2..n} C(n,2)/C(i,2) = (n-1)^2``.
+    """
+    if n < 2:
+        raise ValueError("need at least two agents")
+    return (n - 1) ** 2

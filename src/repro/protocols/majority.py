@@ -1,0 +1,47 @@
+"""Majority and fraction-threshold predicates as Lemma 5 instances.
+
+The flock-of-birds question "do at least 5% of the birds have elevated
+temperatures?" is the predicate ``x_1 >= 0.05 (x_0 + x_1)``, equivalently
+``20 x_1 >= x_0 + x_1``, i.e. ``x_0 - 19 x_1 < 1`` — a single threshold
+protocol (Sect. 4.2 example).  Majority is the special case "at least half".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.protocols.threshold import ThresholdProtocol
+
+
+def at_least_fraction(numerator: int, denominator: int) -> ThresholdProtocol:
+    """Protocol for ``[x_1 >= (numerator/denominator) * (x_0 + x_1)]``.
+
+    Inputs are 0/1 symbols; ``x_b`` counts agents with input ``b``.
+    Rearranged over integers:
+    ``d*x_1 >= p*(x_0 + x_1)``  <=>  ``p*x_0 - (d - p)*x_1 < 1``.
+    """
+    fraction = Fraction(numerator, denominator)
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    p, d = fraction.numerator, fraction.denominator
+    return ThresholdProtocol({0: p, 1: p - d}, c=1)
+
+
+def flock_of_birds_protocol() -> ThresholdProtocol:
+    """The paper's 5% fever predicate: ``20 x_1 >= x_0 + x_1``."""
+    return at_least_fraction(1, 20)
+
+
+def majority_protocol() -> ThresholdProtocol:
+    """``[x_1 >= x_0]``: weak majority of 1-inputs, i.e. ``x_0 - x_1 < 1``."""
+    return ThresholdProtocol({0: 1, 1: -1}, c=1)
+
+
+def strict_majority_protocol() -> ThresholdProtocol:
+    """``[x_1 > x_0]``, i.e. ``x_0 - x_1 < 0``."""
+    return ThresholdProtocol({0: 1, 1: -1}, c=0)
+
+
+def majority_truth(zeros: int, ones: int, *, strict: bool = False) -> bool:
+    """Ground-truth majority evaluation used by tests and benchmarks."""
+    return ones > zeros if strict else ones >= zeros

@@ -1,0 +1,65 @@
+"""One-way (immediate observation) protocols (Sect. 8).
+
+The paper's discussion section restricts the transition function to change
+only the *responder's* state — the responder observes the initiator but the
+initiator is unaware of the interaction.  The paper notes that threshold-k
+predicates remain computable under this restriction.
+
+:class:`OneWayCountToK` is the classical level-climbing construction: agents
+with input 1 start at level 1; a responder at level ``l`` that observes an
+initiator at the *same* level ``l`` climbs to ``l + 1``; level ``k`` is an
+epidemic alert.  Reaching level ``l`` requires ``l`` distinct 1-input
+agents (each climb needs a same-level witness), so level ``k`` is reached
+iff at least ``k`` agents had input 1.  The tests certify this exhaustively
+by model checking small populations.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol, State
+
+
+def is_one_way(protocol: PopulationProtocol) -> bool:
+    """Check that ``delta`` never changes the initiator's state.
+
+    Verified over the protocol's reachable state space.
+    """
+    states = protocol.states()
+    for p in states:
+        for q in states:
+            p2, _ = protocol.delta(p, q)
+            if p2 != p:
+                return False
+    return True
+
+
+class OneWayCountToK(PopulationProtocol):
+    """One-way protocol for ``[#1-inputs >= k]``.
+
+    States are levels ``0..k``; only the responder ever changes state.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.input_alphabet = frozenset({0, 1})
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> int:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return symbol
+
+    def output(self, state: int) -> int:
+        return 1 if state == self.k else 0
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        k = self.k
+        if initiator == k:
+            # Alert: the responder copies it (one-way epidemic).
+            return initiator, k
+        if 1 <= responder == initiator < k:
+            # The responder climbs past its same-level witness.
+            return initiator, responder + 1
+        return initiator, responder

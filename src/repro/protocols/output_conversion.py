@@ -1,0 +1,116 @@
+"""Output-convention conversion (Theorem 2).
+
+Given a protocol ``B`` that stably computes a predicate under the
+*zero/non-zero* output convention (false iff every agent outputs 0), the
+construction wraps it into a protocol ``A`` computing the same predicate
+under the *all-agents* convention.  States of ``A`` are triples
+``(leader, output, q)``: the embedded ``B`` runs on the ``q`` components, a
+leader-election subprotocol runs on the leader bits, leadership migrates to
+agents whose ``B``-output is 1, the leader's output bit follows its own
+``B``-output, and non-leaders copy the output bit of the last leader they
+met.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol, ProtocolError, State, Symbol
+
+ConvertedState = tuple[int, int, State]
+
+
+class AllAgentsFromZeroNonZero(PopulationProtocol):
+    """Theorem 2 wrapper: zero/non-zero convention -> all-agents convention.
+
+    If ``inner`` stably computes predicate ``psi`` with the zero/non-zero
+    output convention, this protocol stably computes ``psi`` with the
+    all-agents convention (all agents eventually agree on the bit
+    ``[inner's stable output assignment contains a 1]``).
+    """
+
+    def __init__(self, inner: PopulationProtocol):
+        extra = set(inner.output_alphabet) - {0, 1}
+        if extra:
+            raise ProtocolError(f"inner protocol outputs non-bits {extra!r}")
+        self.inner = inner
+        self.input_alphabet = frozenset(inner.input_alphabet)
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: Symbol) -> ConvertedState:
+        return (1, 0, self.inner.initial_state(symbol))
+
+    def output(self, state: ConvertedState) -> int:
+        return state[1]
+
+    def delta(
+        self,
+        initiator: ConvertedState,
+        responder: ConvertedState,
+    ) -> tuple[ConvertedState, ConvertedState]:
+        leader_i, bit_i, q_i = initiator
+        leader_j, bit_j, q_j = responder
+        # 1. The embedded protocol steps.
+        q_i2, q_j2 = self.inner.delta(q_i, q_j)
+        out_i = self.inner.output(q_i2)
+        out_j = self.inner.output(q_j2)
+        # 2. Leadership: two leaders collapse to one; a 0-output leader
+        #    hands leadership to a 1-output non-leader.
+        if leader_i and leader_j:
+            leader_i2, leader_j2 = 1, 0
+        elif leader_i and not leader_j:
+            if out_i == 0 and out_j == 1:
+                leader_i2, leader_j2 = 0, 1
+            else:
+                leader_i2, leader_j2 = 1, 0
+        elif leader_j and not leader_i:
+            if out_j == 0 and out_i == 1:
+                leader_i2, leader_j2 = 1, 0
+            else:
+                leader_i2, leader_j2 = 0, 1
+        else:
+            leader_i2, leader_j2 = 0, 0
+        # 3. Output bits: the leader follows its own embedded output; the
+        #    non-leader in the encounter copies the leader's (new) bit.
+        bit_i2, bit_j2 = bit_i, bit_j
+        if leader_i2:
+            bit_i2 = out_i
+            bit_j2 = bit_i2
+        elif leader_j2:
+            bit_j2 = out_j
+            bit_i2 = bit_j2
+        return (leader_i2, bit_i2, q_i2), (leader_j2, bit_j2, q_j2)
+
+
+class ZeroNonZeroWitness(PopulationProtocol):
+    """A deliberately zero/non-zero-style protocol for exercising Theorem 2.
+
+    Computes "at least ``k`` ones" but, unlike :class:`CountToK`, leaves the
+    verdict with a *single* witness agent: the agent holding the
+    accumulated tokens outputs 1 when its counter reaches ``k``; everyone
+    else outputs 0 forever.  Under the all-agents convention this computes
+    nothing; under the zero/non-zero convention it stably computes the
+    threshold predicate — the natural input to the Theorem 2 wrapper.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.input_alphabet = frozenset({0, 1})
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> int:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return symbol
+
+    def output(self, state: int) -> int:
+        return 1 if state >= self.k else 0
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        k = self.k
+        if 1 <= responder <= initiator < k:
+            # Consolidate tokens at the initiator, capped at k.
+            return min(k, initiator + responder), 0
+        if 1 <= initiator <= responder < k:
+            return 0, min(k, initiator + responder)
+        return initiator, responder

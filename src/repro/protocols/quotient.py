@@ -1,0 +1,83 @@
+"""Integer division protocols (Sect. 3.4, "Example of an integer function").
+
+:class:`QuotientProtocol` generalizes the paper's ``floor(m/3)`` protocol to
+any divisor ``d >= 2``.  States are pairs ``(r, b)`` with ``0 <= r < d`` a
+residue share and ``b in {0, 1}`` a quotient share; the configuration-level
+invariant is ``m = R + d * B`` where ``R`` sums the residue shares and ``B``
+the quotient shares.
+
+With the paper's output map (``O(r, b) = b``) and the integer output
+convention, the protocol computes ``floor(m / d)``; with the identity output
+map (:class:`QuotientRemainderProtocol`) it computes the ordered pair
+``(m mod d, floor(m / d))`` exactly as the paper remarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import PopulationProtocol
+
+
+class QuotientProtocol(PopulationProtocol):
+    """Computes ``floor(m/d)`` under the integer output convention.
+
+    ``m`` is the number of agents with input 1.  Agents accumulate residue
+    tokens; every time ``d`` tokens meet in one pair they are converted into
+    one quotient token.  For ``d = 3`` and the paper's state bound this is
+    exactly the Sect. 3.4 protocol: ``delta((1,0),(1,0)) = ((2,0),(0,0))``
+    and ``delta((i,0),(k,0)) = ((i+k-3,0),(0,1))`` when ``i+k >= 3``.
+    """
+
+    def __init__(self, d: int = 3):
+        if d < 2:
+            raise ValueError("divisor must be at least 2")
+        self.d = d
+        self.input_alphabet = frozenset({0, 1})
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> tuple[int, int]:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return (symbol, 0)
+
+    def output(self, state: tuple[int, int]) -> int:
+        return state[1]
+
+    def delta(
+        self,
+        initiator: tuple[int, int],
+        responder: tuple[int, int],
+    ) -> tuple[tuple[int, int], tuple[int, int]]:
+        (ri, bi), (rj, bj) = initiator, responder
+        combined = ri + rj
+        if rj == 0 or bj == 1:
+            # The responder has nothing to give, or cannot take on a new
+            # role; leave the pair unchanged (covers the paper's "all other
+            # transitions" clause).
+            return initiator, responder
+        if bi == 1:
+            return initiator, responder
+        if combined >= self.d:
+            # d residue tokens convert into one quotient token at the
+            # responder.
+            return (combined - self.d, 0), (0, 1)
+        if ri == 0:
+            return initiator, responder
+        # Consolidate residue tokens at the initiator.
+        return (combined, 0), (0, 0)
+
+
+class QuotientRemainderProtocol(QuotientProtocol):
+    """Same dynamics, identity output: computes ``(m mod d, floor(m/d))``.
+
+    Under the 2-dimensional integer output convention, summing agents'
+    output pairs yields ``(m mod d, floor(m/d))`` once the protocol has
+    converged.
+    """
+
+    def __init__(self, d: int = 3):
+        super().__init__(d)
+        self.output_alphabet = frozenset(
+            (r, b) for r in range(d) for b in (0, 1))
+
+    def output(self, state: tuple[int, int]) -> tuple[int, int]:
+        return state

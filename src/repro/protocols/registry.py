@@ -1,0 +1,149 @@
+"""Named registry of the library's built-in protocols.
+
+Gives the CLI (``python -m repro protocols`` / ``run``) and downstream
+tooling a discoverable catalogue.  Each entry has a factory (possibly
+parameterized), the paper section it implements, and a ground-truth
+predicate over symbol counts when the protocol computes a predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.core.protocol import PopulationProtocol
+from repro.protocols.counting import CountToK, Epidemic
+from repro.protocols.majority import (
+    flock_of_birds_protocol,
+    majority_protocol,
+    strict_majority_protocol,
+)
+from repro.protocols.one_way import OneWayCountToK
+from repro.protocols.quotient import QuotientProtocol
+from repro.protocols.remainder import parity_protocol
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One catalogue entry."""
+
+    name: str
+    summary: str
+    paper_section: str
+    factory: Callable[..., PopulationProtocol]
+    #: Ground truth over symbol counts, or None for non-predicate protocols.
+    truth: "Callable[[Mapping], bool] | None" = None
+    #: Names of integer parameters the factory accepts.
+    parameters: tuple = ()
+
+    def check_params(self, params: Mapping) -> dict:
+        unknown = set(params) - set(self.parameters)
+        if unknown:
+            raise ValueError(
+                f"protocol {self.name!r} takes parameters "
+                f"{list(self.parameters)}, not {sorted(unknown)}")
+        return dict(params)
+
+    def build(self, **params) -> PopulationProtocol:
+        """Instantiate the protocol with the given parameters."""
+        return self.factory(**self.check_params(params))
+
+    def evaluate_truth(self, counts: Mapping, **params) -> bool:
+        """Ground-truth verdict for the same parameters."""
+        if self.truth is None:
+            raise ValueError(
+                f"protocol {self.name!r} does not compute a predicate")
+        return bool(self.truth(counts, **self.check_params(params)))
+
+
+_REGISTRY: dict[str, ProtocolEntry] = {}
+
+
+def register(entry: ProtocolEntry) -> None:
+    if entry.name in _REGISTRY:
+        raise ValueError(f"protocol {entry.name!r} already registered")
+    _REGISTRY[entry.name] = entry
+
+
+def get(name: str) -> ProtocolEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+def names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def entries() -> list[ProtocolEntry]:
+    return [_REGISTRY[name] for name in names()]
+
+
+register(ProtocolEntry(
+    name="count-to-k",
+    summary="at least k agents have input 1 (k=5 is the paper's opener)",
+    paper_section="Sect. 1 / 3.1",
+    factory=lambda k=5: CountToK(k),
+    truth=lambda counts, k=5: counts.get(1, 0) >= k,
+    parameters=("k",),
+))
+
+register(ProtocolEntry(
+    name="epidemic",
+    summary="one-bit OR: some agent has input 1",
+    paper_section="Sect. 1 (alert spreading)",
+    factory=Epidemic,
+    truth=lambda counts: counts.get(1, 0) >= 1,
+))
+
+register(ProtocolEntry(
+    name="majority",
+    summary="at least as many 1-inputs as 0-inputs",
+    paper_section="Sect. 4 (Lemma 5 threshold instance)",
+    factory=majority_protocol,
+    truth=lambda counts: counts.get(1, 0) >= counts.get(0, 0),
+))
+
+register(ProtocolEntry(
+    name="strict-majority",
+    summary="strictly more 1-inputs than 0-inputs",
+    paper_section="Sect. 4 (Lemma 5 threshold instance)",
+    factory=strict_majority_protocol,
+    truth=lambda counts: counts.get(1, 0) > counts.get(0, 0),
+))
+
+register(ProtocolEntry(
+    name="flock-of-birds",
+    summary="at least 5% of inputs are 1 (20*x1 >= x0 + x1)",
+    paper_section="Sect. 1 / 4.2",
+    factory=flock_of_birds_protocol,
+    truth=lambda counts: 20 * counts.get(1, 0)
+    >= counts.get(0, 0) + counts.get(1, 0),
+))
+
+register(ProtocolEntry(
+    name="parity",
+    summary="the number of 1-inputs is odd",
+    paper_section="Sect. 4 (Lemma 5 remainder instance)",
+    factory=parity_protocol,
+    truth=lambda counts: counts.get(1, 0) % 2 == 1,
+))
+
+register(ProtocolEntry(
+    name="quotient-3",
+    summary="computes floor(m/3) of the 1-inputs (integer output)",
+    paper_section="Sect. 3.4",
+    factory=lambda d=3: QuotientProtocol(d),
+    parameters=("d",),
+))
+
+register(ProtocolEntry(
+    name="one-way-count-to-k",
+    summary="threshold-k with immediate observation (responder-only delta)",
+    paper_section="Sect. 8",
+    factory=lambda k=3: OneWayCountToK(k),
+    truth=lambda counts, k=3: counts.get(1, 0) >= k,
+    parameters=("k",),
+))

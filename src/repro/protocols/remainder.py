@@ -1,0 +1,73 @@
+"""The Lemma 5 remainder protocol: ``sum_i a_i x_i ≡ c (mod m)``.
+
+States are triples ``(leader, output, count)`` with ``count in [0, m)``.
+When a leader takes part in an encounter, the initiator becomes the leader
+and accumulates the combined count modulo ``m``; the responder's count is
+zeroed; both agents' output bits are set to ``[(u + u') mod m == c mod m]``.
+
+The invariant is that the sum of all count fields stays congruent to
+``sum_i a_i x_i`` modulo ``m``; once a single leader remains its count is
+exactly that value, and it distributes the verdict epidemically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.protocol import PopulationProtocol, Symbol
+
+RemainderState = tuple[int, int, int]
+
+
+class RemainderProtocol(PopulationProtocol):
+    """Stably computes ``[sum_i weights[sigma_i] * x_i ≡ c (mod m)]``."""
+
+    def __init__(self, weights: Mapping[Symbol, int], c: int, m: int):
+        if m < 2:
+            raise ValueError("modulus must be at least 2")
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        self.m = int(m)
+        self.c = int(c) % self.m
+        self.weights = {symbol: int(a) for symbol, a in weights.items()}
+        self.input_alphabet = frozenset(self.weights)
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: Symbol) -> RemainderState:
+        try:
+            weight = self.weights[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol!r} not in input alphabet") from None
+        return (1, 0, weight % self.m)
+
+    def output(self, state: RemainderState) -> int:
+        return state[1]
+
+    def delta(
+        self,
+        initiator: RemainderState,
+        responder: RemainderState,
+    ) -> tuple[RemainderState, RemainderState]:
+        leader_i, _, u = initiator
+        leader_j, _, u_prime = responder
+        if not (leader_i or leader_j):
+            return initiator, responder
+        combined = (u + u_prime) % self.m
+        bit = 1 if combined == self.c else 0
+        return (1, bit, combined), (0, bit, 0)
+
+    def predicate(self, counts: Mapping[Symbol, int]) -> bool:
+        """Ground truth: evaluate the congruence directly."""
+        total = sum(self.weights[symbol] * count
+                    for symbol, count in counts.items())
+        return total % self.m == self.c
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{a}*#{s!r}" for s, a in sorted(
+            self.weights.items(), key=lambda kv: repr(kv[0])))
+        return f"<RemainderProtocol [{terms} ≡ {self.c} (mod {self.m})]>"
+
+
+def parity_protocol() -> RemainderProtocol:
+    """``[#1-inputs is odd]`` over the binary alphabet."""
+    return RemainderProtocol({0: 0, 1: 1}, c=1, m=2)

@@ -1,0 +1,105 @@
+"""The Lemma 5 threshold protocol: ``sum_i a_i x_i < c``.
+
+States are triples ``(leader, output, count)`` where ``leader`` and
+``output`` are bits and ``count`` lies in ``[-s, s]`` for
+``s = max(|c| + 1, max_i |a_i|)``.  Each input symbol ``sigma_i`` maps to
+``(1, 0, a_i)``.  When a leader takes part in an encounter, the initiator
+becomes the leader, absorbs as much of the combined count as fits
+(``q(u, u') = max(-s, min(s, u + u'))``), leaves the remainder with the
+responder, and both agents' output bits are set to ``[q(u, u') < c]``.
+
+The protocol stably computes the predicate under the all-agents output
+convention; over uniform random pairing it converges in expected
+``O(n^2 log n)`` interactions (Sect. 6, Theorem 8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.protocol import PopulationProtocol, Symbol
+
+ThresholdState = tuple[int, int, int]
+
+
+class ThresholdProtocol(PopulationProtocol):
+    """Stably computes ``[sum_i weights[sigma_i] * x_i < c]``.
+
+    ``weights`` maps each input symbol to its integer coefficient ``a_i``
+    (``x_i`` being the number of agents holding ``sigma_i``); covering both
+    the symbol-count convention (one symbol per variable) and the
+    integer-based convention (a symbol's weight is the dot product of its
+    vector with the coefficient vector, cf. Corollary 3).
+    """
+
+    def __init__(self, weights: Mapping[Symbol, int], c: int):
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        self.weights = {symbol: int(a) for symbol, a in weights.items()}
+        self.c = int(c)
+        self.s = max(abs(self.c) + 1, max(abs(a) for a in self.weights.values()))
+        self.input_alphabet = frozenset(self.weights)
+        self.output_alphabet = frozenset({0, 1})
+
+    # -- The paper's q / r / b helpers ---------------------------------------
+
+    def absorb(self, u: int, u_prime: int) -> int:
+        """``q(u, u')``: the clamped combined count kept by the initiator."""
+        s = self.s
+        return max(-s, min(s, u + u_prime))
+
+    def remainder(self, u: int, u_prime: int) -> int:
+        """``r(u, u')``: what is left with the responder."""
+        return u + u_prime - self.absorb(u, u_prime)
+
+    def output_bit(self, u: int, u_prime: int) -> int:
+        """``b(u, u')``: 1 iff the absorbed count is below the threshold."""
+        return 1 if self.absorb(u, u_prime) < self.c else 0
+
+    # -- Protocol interface ---------------------------------------------------
+
+    def initial_state(self, symbol: Symbol) -> ThresholdState:
+        try:
+            weight = self.weights[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol!r} not in input alphabet") from None
+        return (1, 0, weight)
+
+    def output(self, state: ThresholdState) -> int:
+        return state[1]
+
+    def delta(
+        self,
+        initiator: ThresholdState,
+        responder: ThresholdState,
+    ) -> tuple[ThresholdState, ThresholdState]:
+        leader_i, _, u = initiator
+        leader_j, _, u_prime = responder
+        if not (leader_i or leader_j):
+            return initiator, responder
+        kept = self.absorb(u, u_prime)
+        left = self.remainder(u, u_prime)
+        bit = self.output_bit(u, u_prime)
+        return (1, bit, kept), (0, bit, left)
+
+    def predicate(self, counts: Mapping[Symbol, int]) -> bool:
+        """Ground truth: evaluate ``sum weights * counts < c`` directly."""
+        total = sum(self.weights[symbol] * count
+                    for symbol, count in counts.items())
+        return total < self.c
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{a}*#{s!r}" for s, a in sorted(
+            self.weights.items(), key=lambda kv: repr(kv[0])))
+        return f"<ThresholdProtocol [{terms} < {self.c}] s={self.s}>"
+
+
+def count_at_least(k: int) -> ThresholdProtocol:
+    """``[#1-inputs >= k]`` as a threshold protocol (negated form of < k).
+
+    Built as ``NOT(x_1 < k)`` by flipping the output convention: this
+    returns the protocol for ``-x_1 < -(k-1)``, i.e. ``x_1 > k - 1``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return ThresholdProtocol({0: 0, 1: -1}, -(k - 1))

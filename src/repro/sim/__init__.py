@@ -1,0 +1,59 @@
+"""Simulation engines, schedulers, stopping rules, and trial harnesses."""
+
+from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.skipping import SkippingSimulation
+from repro.sim.schedulers import (
+    GreedyChangeScheduler,
+    WeightedPairScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ShuffledSweepScheduler,
+    StallingScheduler,
+    UniformEdgeScheduler,
+    UniformPairScheduler,
+)
+from repro.sim.faults import CrashySimulation
+from repro.sim.trace import Trace, TracePoint, TraceRecorder, state_histogram
+from repro.sim.convergence import (
+    ConvergenceResult,
+    run_until_correct_stable,
+    run_until_quiescent,
+    run_until_silent,
+)
+from repro.sim.stats import (
+    ScalingMeasurement,
+    TrialSummary,
+    measure_scaling,
+    run_trials,
+    success_rate,
+)
+
+__all__ = [
+    "Simulation",
+    "simulate_counts",
+    "MultisetSimulation",
+    "SkippingSimulation",
+    "GreedyChangeScheduler",
+    "WeightedPairScheduler",
+    "CrashySimulation",
+    "Trace",
+    "TracePoint",
+    "TraceRecorder",
+    "state_histogram",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ShuffledSweepScheduler",
+    "StallingScheduler",
+    "UniformEdgeScheduler",
+    "UniformPairScheduler",
+    "ConvergenceResult",
+    "run_until_correct_stable",
+    "run_until_quiescent",
+    "run_until_silent",
+    "ScalingMeasurement",
+    "TrialSummary",
+    "measure_scaling",
+    "run_trials",
+    "success_rate",
+]

@@ -1,0 +1,223 @@
+"""The agent-array simulation engine.
+
+:class:`Simulation` executes a population protocol on an explicit array of
+agent states under a pluggable scheduler (uniform random pairing by
+default, i.e. the conjugating-automata model of Sect. 6).  It counts
+interactions, tracks when the output assignment last changed, and supports
+the stopping rules in :mod:`repro.sim.convergence`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.configuration import AgentConfiguration
+from repro.core.population import Population
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.schedulers import Scheduler, UniformEdgeScheduler, UniformPairScheduler
+from repro.util.multiset import FrozenMultiset
+from repro.util.rng import resolve_rng
+
+
+class Simulation:
+    """A running population-protocol execution.
+
+    Parameters
+    ----------
+    protocol:
+        The population protocol to execute.
+    inputs:
+        The input assignment: one input symbol per agent.  Alternatively
+        pass ``states`` to start from explicit agent states.
+    states:
+        Explicit initial states (mutually exclusive with ``inputs``).
+    population:
+        Interaction graph; defaults to the complete graph (the standard
+        population).
+    scheduler:
+        Encounter scheduler; defaults to uniform random pairing.
+    seed:
+        Seed or ``random.Random`` driving the scheduler.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        inputs: "Sequence[Symbol] | None" = None,
+        *,
+        states: "Sequence[State] | None" = None,
+        population: "Population | None" = None,
+        scheduler: "Scheduler | None" = None,
+        seed: "int | None" = None,
+    ):
+        self.protocol = protocol
+        if (inputs is None) == (states is None):
+            raise ValueError("pass exactly one of inputs= or states=")
+        if inputs is not None:
+            for symbol in inputs:
+                if symbol not in protocol.input_alphabet:
+                    raise ValueError(f"input symbol {symbol!r} not in alphabet")
+            self.states: list[State] = [
+                protocol.initial_state(symbol) for symbol in inputs]
+        else:
+            self.states = list(states)
+        n = len(self.states)
+        if n < 2:
+            raise ValueError("a population needs at least two agents")
+        if population is not None and population.n != n:
+            raise ValueError(
+                f"population has {population.n} agents but {n} states given")
+        self.population = population
+        if scheduler is None:
+            if population is None or population.is_complete:
+                scheduler = UniformPairScheduler(n)
+            else:
+                scheduler = UniformEdgeScheduler(population)
+        self.scheduler = scheduler
+        self.rng = resolve_rng(seed)
+        self.interactions = 0
+        self._outputs: list[Symbol] = [
+            protocol.output(state) for state in self.states]
+        #: Interaction count after which the output assignment last changed.
+        self.last_output_change = 0
+        self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.states)
+
+    def outputs(self) -> tuple[Symbol, ...]:
+        """Current output assignment."""
+        return tuple(self._outputs)
+
+    def configuration(self) -> AgentConfiguration:
+        """Snapshot of the current agent-indexed configuration."""
+        return AgentConfiguration(self.states)
+
+    def multiset(self) -> FrozenMultiset:
+        """Snapshot of the current multiset configuration."""
+        return FrozenMultiset(self.states)
+
+    def output_counts(self) -> dict[Symbol, int]:
+        """Histogram of current agent outputs."""
+        counts: dict[Symbol, int] = {}
+        for out in self._outputs:
+            counts[out] = counts.get(out, 0) + 1
+        return counts
+
+    def unanimous_output(self) -> "Symbol | None":
+        """The common output if all agents agree, else ``None``."""
+        first = self._outputs[0]
+        if all(out == first for out in self._outputs[1:]):
+            return first
+        return None
+
+    # -- Stepping --------------------------------------------------------------
+
+    def _delta(self, p: State, q: State) -> tuple[State, State]:
+        key = (p, q)
+        result = self._delta_cache.get(key)
+        if result is None:
+            result = self.protocol.delta(p, q)
+            self._delta_cache[key] = result
+        return result
+
+    # -- Checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state (agents, clock, RNG, scheduler).
+
+        Restoring a snapshot makes subsequent runs bit-identical to what
+        they would have been at capture time — useful for branching
+        experiments ("what if the computation continued twice from here?")
+        and for long-run checkpointing.
+        """
+        import copy
+
+        return {
+            "states": list(self.states),
+            "outputs": list(self._outputs),
+            "interactions": self.interactions,
+            "last_output_change": self.last_output_change,
+            "rng_state": self.rng.getstate(),
+            "scheduler": copy.deepcopy(self.scheduler),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Return to a previously captured :meth:`snapshot`."""
+        import copy
+
+        self.states = list(snap["states"])
+        self._outputs = list(snap["outputs"])
+        self.interactions = snap["interactions"]
+        self.last_output_change = snap["last_output_change"]
+        self.rng.setstate(snap["rng_state"])
+        self.scheduler = copy.deepcopy(snap["scheduler"])
+
+    def step(self) -> bool:
+        """Run one interaction.  Returns True iff any state changed."""
+        initiator, responder = self.scheduler.next_encounter(self.states, self.rng)
+        self.interactions += 1
+        p, q = self.states[initiator], self.states[responder]
+        p2, q2 = self._delta(p, q)
+        if p2 == p and q2 == q:
+            return False
+        self.states[initiator] = p2
+        self.states[responder] = q2
+        changed_output = False
+        out_p = self.protocol.output(p2)
+        if out_p != self._outputs[initiator]:
+            self._outputs[initiator] = out_p
+            changed_output = True
+        out_q = self.protocol.output(q2)
+        if out_q != self._outputs[responder]:
+            self._outputs[responder] = out_q
+            changed_output = True
+        if changed_output:
+            self.last_output_change = self.interactions
+        return True
+
+    def run(self, steps: int) -> None:
+        """Run a fixed number of interactions."""
+        for _ in range(steps):
+            self.step()
+
+    def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
+        """Run until ``condition(self)`` holds or ``max_steps`` pass.
+
+        Returns True iff the condition was met.  ``condition`` is evaluated
+        every ``check_every`` interactions (and before the first step).
+        """
+        if condition(self):
+            return True
+        remaining = max_steps
+        while remaining > 0:
+            chunk = min(check_every, remaining)
+            for _ in range(chunk):
+                self.step()
+            remaining -= chunk
+            if condition(self):
+                return True
+        return False
+
+
+def simulate_counts(
+    protocol: PopulationProtocol,
+    input_counts: Mapping[Symbol, int],
+    *,
+    seed: "int | None" = None,
+    scheduler: "Scheduler | None" = None,
+) -> Simulation:
+    """Build a :class:`Simulation` from symbol counts (symbol-count inputs).
+
+    Agents are laid out symbol-by-symbol; under uniform random pairing the
+    layout is irrelevant.
+    """
+    inputs: list[Symbol] = []
+    for symbol, count in sorted(input_counts.items(), key=lambda kv: repr(kv[0])):
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        inputs.extend([symbol] * count)
+    return Simulation(protocol, inputs, seed=seed, scheduler=scheduler)

@@ -1,0 +1,119 @@
+"""Crash-fault injection (Sect. 8, "Fault tolerance").
+
+The paper observes that the model is naturally robust to crash faults at
+the *interaction* level — "if an agent dies, say from an exhausted
+battery, the interactions between the remaining agents are unaffected" —
+but that many of its algorithms (especially leader-based ones) are not.
+This module makes that observation executable: a simulation in which
+agents can crash (silently stop interacting), with helpers to schedule
+crashes and measure which protocols survive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.util.rng import resolve_rng
+
+
+class CrashySimulation:
+    """Uniform-random-pairing simulation with crash faults.
+
+    Crashed agents keep their last state (their battery died; the sensor
+    is inert) but never take part in another interaction.  Outputs are
+    read from the *surviving* agents, matching the paper's reading that
+    the remaining population carries the computation.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        inputs: Sequence[Symbol],
+        *,
+        seed: "int | None" = None,
+    ):
+        self.protocol = protocol
+        self.states: list[State] = [
+            protocol.initial_state(symbol) for symbol in inputs]
+        if len(self.states) < 2:
+            raise ValueError("a population needs at least two agents")
+        self.rng = resolve_rng(seed)
+        self.alive: list[int] = list(range(len(self.states)))
+        self.crashed: set[int] = set()
+        self.interactions = 0
+
+    # -- Fault injection ---------------------------------------------------------
+
+    def crash(self, agent: int) -> None:
+        """Silently stop ``agent``; at least two agents must survive."""
+        if agent in self.crashed:
+            return
+        if len(self.alive) <= 2:
+            raise RuntimeError("cannot crash: only two agents remain")
+        self.crashed.add(agent)
+        self.alive.remove(agent)
+
+    def crash_random(self, count: int = 1) -> list[int]:
+        """Crash ``count`` uniformly chosen live agents."""
+        victims = []
+        for _ in range(count):
+            victim = self.alive[self.rng.randrange(len(self.alive))]
+            self.crash(victim)
+            victims.append(victim)
+        return victims
+
+    # -- Stepping -----------------------------------------------------------------
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.alive)
+
+    def step(self) -> bool:
+        """One interaction among the surviving agents."""
+        self.interactions += 1
+        i = self.rng.randrange(len(self.alive))
+        j = self.rng.randrange(len(self.alive) - 1)
+        if j >= i:
+            j += 1
+        initiator, responder = self.alive[i], self.alive[j]
+        p, q = self.states[initiator], self.states[responder]
+        p2, q2 = self.protocol.delta(p, q)
+        if (p2, q2) == (p, q):
+            return False
+        self.states[initiator] = p2
+        self.states[responder] = q2
+        return True
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    def run_with_crashes(
+        self,
+        crash_times: Iterable[int],
+        total_steps: int,
+    ) -> None:
+        """Run ``total_steps`` interactions, crashing one random agent at
+        each interaction index in ``crash_times``."""
+        schedule = sorted(set(crash_times))
+        for when in schedule:
+            if when < self.interactions:
+                raise ValueError("crash schedule must be in the future")
+        position = 0
+        while self.interactions < total_steps:
+            if position < len(schedule) and self.interactions >= schedule[position]:
+                self.crash_random()
+                position += 1
+            self.step()
+
+    # -- Reading the survivors -------------------------------------------------------
+
+    def surviving_outputs(self) -> list:
+        return [self.protocol.output(self.states[a]) for a in self.alive]
+
+    def unanimous_surviving_output(self):
+        outputs = set(self.surviving_outputs())
+        if len(outputs) == 1:
+            return outputs.pop()
+        return None

@@ -1,0 +1,138 @@
+"""Counted-multiset simulation engine.
+
+For large populations whose live state set stays small (the common case for
+the paper's protocols: a handful of leader states plus a few follower
+states), simulating on the multiset of states is far cheaper than on an
+agent array.  Under uniform random pairing the multiset dynamics are exactly
+the agent-level dynamics projected through the counting map: an ordered
+state pair ``(p, q)`` is drawn with probability proportional to
+``c_p * (c_q - [p == q])``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.util.multiset import FrozenMultiset
+from repro.util.rng import resolve_rng
+
+
+class MultisetSimulation:
+    """Simulate uniform random pairing on state counts.
+
+    Only valid for the complete interaction graph (where agent identity is
+    irrelevant).  State counts are kept in a plain dict for cheap updates.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        input_counts: "Mapping[Symbol, int] | None" = None,
+        *,
+        state_counts: "Mapping[State, int] | None" = None,
+        seed: "int | None" = None,
+    ):
+        self.protocol = protocol
+        if (input_counts is None) == (state_counts is None):
+            raise ValueError("pass exactly one of input_counts= or state_counts=")
+        counts: dict[State, int] = {}
+        if input_counts is not None:
+            for symbol, count in input_counts.items():
+                if symbol not in protocol.input_alphabet:
+                    raise ValueError(f"symbol {symbol!r} not in input alphabet")
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                if count:
+                    state = protocol.initial_state(symbol)
+                    counts[state] = counts.get(state, 0) + count
+        else:
+            for state, count in state_counts.items():
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                if count:
+                    counts[state] = counts.get(state, 0) + count
+        self.counts = counts
+        self.n = sum(counts.values())
+        if self.n < 2:
+            raise ValueError("a population needs at least two agents")
+        self.rng = resolve_rng(seed)
+        self.interactions = 0
+        self.last_change = 0
+        self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+
+    # -- Introspection ---------------------------------------------------------
+
+    def multiset(self) -> FrozenMultiset:
+        return FrozenMultiset(self.counts)
+
+    def output_counts(self) -> dict[Symbol, int]:
+        outputs: dict[Symbol, int] = {}
+        for state, count in self.counts.items():
+            out = self.protocol.output(state)
+            outputs[out] = outputs.get(out, 0) + count
+        return outputs
+
+    def unanimous_output(self) -> "Symbol | None":
+        outputs = self.output_counts()
+        if len(outputs) == 1:
+            return next(iter(outputs))
+        return None
+
+    # -- Stepping --------------------------------------------------------------
+
+    def _sample_state(self, exclude: "State | None" = None) -> State:
+        """Sample a state weighted by its count (minus one for ``exclude``)."""
+        total = self.n - (1 if exclude is not None else 0)
+        target = self.rng.randrange(total)
+        acc = 0
+        for state, count in self.counts.items():
+            if state == exclude:
+                count -= 1
+            acc += count
+            if target < acc:
+                return state
+        raise AssertionError("sampling fell off the end; counts corrupted?")
+
+    def step(self) -> bool:
+        """Run one interaction.  Returns True iff the configuration changed."""
+        self.interactions += 1
+        p = self._sample_state()
+        q = self._sample_state(exclude=p)
+        key = (p, q)
+        result = self._delta_cache.get(key)
+        if result is None:
+            result = self.protocol.delta(p, q)
+            self._delta_cache[key] = result
+        p2, q2 = result
+        if p2 == p and q2 == q:
+            return False
+        counts = self.counts
+        for state in (p, q):
+            remaining = counts[state] - 1
+            if remaining:
+                counts[state] = remaining
+            else:
+                del counts[state]
+        for state in (p2, q2):
+            counts[state] = counts.get(state, 0) + 1
+        self.last_change = self.interactions
+        return True
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
+        """Run until ``condition(self)`` holds or ``max_steps`` pass."""
+        if condition(self):
+            return True
+        remaining = max_steps
+        while remaining > 0:
+            chunk = min(check_every, remaining)
+            for _ in range(chunk):
+                self.step()
+            remaining -= chunk
+            if condition(self):
+                return True
+        return False

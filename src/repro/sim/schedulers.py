@@ -1,0 +1,211 @@
+"""Interaction schedulers.
+
+A scheduler chooses which ordered pair of agents interacts next.  The
+conjugating-automata model (Sect. 6) is the :class:`UniformPairScheduler` on
+the complete graph / :class:`UniformEdgeScheduler` in general: the next pair
+is drawn independently and uniformly from the interaction graph's edges.
+Random pairing guarantees the paper's fairness condition with probability 1.
+
+Deterministic schedulers are provided for tests: round-robin and shuffled
+sweeps over the edge set are fair for the protocols in this library and make
+executions reproducible without randomness, and the greedy scheduler
+accelerates convergence by preferring state-changing encounters.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.population import Population
+from repro.core.protocol import PopulationProtocol, State
+
+
+class Scheduler(ABC):
+    """Chooses the next encounter given the current agent states."""
+
+    @abstractmethod
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        """Return the (initiator, responder) agent pair to interact next."""
+
+
+class UniformPairScheduler(Scheduler):
+    """Uniform random ordered pair of distinct agents (complete graph).
+
+    This is the conjugating-automata interaction model.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("need at least two agents")
+        self.n = n
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        initiator = rng.randrange(self.n)
+        responder = rng.randrange(self.n - 1)
+        if responder >= initiator:
+            responder += 1
+        return initiator, responder
+
+
+class UniformEdgeScheduler(Scheduler):
+    """Uniform random edge of an arbitrary interaction graph."""
+
+    def __init__(self, population: Population):
+        self.edges = population.edge_list()
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        return self.edges[rng.randrange(len(self.edges))]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministically cycle through all edges in a fixed order."""
+
+    def __init__(self, population: Population):
+        self.edges = population.edge_list()
+        self._index = 0
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        edge = self.edges[self._index]
+        self._index = (self._index + 1) % len(self.edges)
+        return edge
+
+
+class ShuffledSweepScheduler(Scheduler):
+    """Sweep all edges in a fresh random order each round.
+
+    Every edge occurs once per round, so every permitted encounter happens
+    infinitely often; the shuffle varies the order across rounds.
+    """
+
+    def __init__(self, population: Population):
+        self.edges = list(population.edge_list())
+        self._queue: list[tuple[int, int]] = []
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        if not self._queue:
+            self._queue = list(self.edges)
+            rng.shuffle(self._queue)
+        return self._queue.pop()
+
+
+class WeightedPairScheduler(Scheduler):
+    """State-dependent weighted sampling (Sect. 8, "weighted sampling").
+
+    The paper conjectures that, under reasonable restrictions on the
+    weights, sampling population members proportionally to (positive,
+    bounded) state-dependent weights yields the same computational power
+    as uniform sampling.  This scheduler implements the model so the
+    conjecture can be exercised empirically: initiator and responder are
+    drawn (without replacement) with probability proportional to
+    ``weight(state)``.
+
+    ``weight`` must return a positive finite value for every state; the
+    guard is checked on every draw.
+    """
+
+    def __init__(self, n: int, weight):
+        if n < 2:
+            raise ValueError("need at least two agents")
+        self.n = n
+        self.weight = weight
+
+    def _draw(self, states: Sequence[State], rng: random.Random,
+              exclude: int) -> int:
+        weights = []
+        total = 0.0
+        for agent, state in enumerate(states):
+            w = 0.0 if agent == exclude else float(self.weight(state))
+            if agent != exclude and w <= 0:
+                raise ValueError(
+                    f"weight of state {state!r} must be positive, got {w}")
+            weights.append(w)
+            total += w
+        target = rng.random() * total
+        acc = 0.0
+        for agent, w in enumerate(weights):
+            acc += w
+            if target < acc:
+                return agent
+        return len(states) - 1 if exclude != len(states) - 1 else len(states) - 2
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        initiator = self._draw(states, rng, exclude=-1)
+        responder = self._draw(states, rng, exclude=initiator)
+        return initiator, responder
+
+
+class StallingScheduler(Scheduler):
+    """An *unfair* adversary: schedule a no-op encounter whenever one exists.
+
+    The paper's stable-computation guarantees hold only for fair
+    executions; this scheduler shows the fairness condition has teeth.
+    Once any no-op pair exists it is chosen forever, freezing the
+    configuration — e.g. count-to-five with five 1-inputs never alerts,
+    because after the first merge a (q0, q0) pair exists and the adversary
+    schedules it for eternity.  Used in tests and docs only.
+    """
+
+    def __init__(self, population: Population, protocol: PopulationProtocol):
+        self.edges = list(population.edge_list())
+        self.protocol = protocol
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        for (u, v) in self.edges:
+            if self.protocol.is_noop(states[u], states[v]):
+                return u, v
+        return self.edges[rng.randrange(len(self.edges))]
+
+
+class GreedyChangeScheduler(Scheduler):
+    """Prefer encounters that change state; fall back to uniform edges.
+
+    Not a model of the paper — a test utility that reaches stable
+    configurations in few steps by scanning for a productive encounter.
+    """
+
+    def __init__(self, population: Population, protocol: PopulationProtocol):
+        self.edges = list(population.edge_list())
+        self.protocol = protocol
+
+    def next_encounter(
+        self,
+        states: Sequence[State],
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        candidates = [
+            (u, v) for (u, v) in self.edges
+            if not self.protocol.is_noop(states[u], states[v])
+        ]
+        if candidates:
+            return candidates[rng.randrange(len(candidates))]
+        return self.edges[rng.randrange(len(self.edges))]

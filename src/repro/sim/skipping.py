@@ -1,0 +1,143 @@
+"""Exact no-op-skipping simulation.
+
+Late in a run most interactions are no-ops (e.g. after a Lemma 5 protocol
+elects its leader, only leader encounters change state).  Stepping those
+one at a time wastes nearly all the work.  This engine samples, *exactly*,
+the geometric number of uniform interactions until the next state-changing
+("reactive") encounter, advances the interaction clock by that amount, and
+then draws the reactive pair from the correct conditional distribution.
+
+The resulting process has exactly the law of the naive engine — the jump
+chain is identical and the holding times are the true geometrics — so any
+statistic of (configuration, interaction count) matches the plain
+:class:`~repro.sim.multiset_engine.MultisetSimulation` in distribution.
+When the configuration is silent the engine reports it instead of spinning
+forever.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.multiset_engine import MultisetSimulation
+
+
+class SkippingSimulation(MultisetSimulation):
+    """Multiset simulation that fast-forwards through no-op interactions.
+
+    Same constructor and inspection API as
+    :class:`~repro.sim.multiset_engine.MultisetSimulation`.  ``step()``
+    performs one *reactive* interaction, advancing ``interactions`` by the
+    sampled number of preceding no-ops plus one; it returns False (and
+    leaves the clock untouched) when the configuration is silent.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        input_counts: "Mapping[Symbol, int] | None" = None,
+        *,
+        state_counts: "Mapping[State, int] | None" = None,
+        seed: "int | None" = None,
+    ):
+        super().__init__(protocol, input_counts, state_counts=state_counts,
+                         seed=seed)
+        self.silent = False
+        #: Number of reactive (state-changing) steps performed.
+        self.reactive_steps = 0
+        #: Interaction-clock time of the last *output*-changing step.
+        self.last_output_change = 0
+        #: Reactive-step count at the last output change.
+        self.reactive_at_last_output_change = 0
+
+    def _reactive_pairs(self) -> list[tuple[tuple[State, State], tuple[State, State], int]]:
+        """All state-changing ordered pairs with their agent-pair weights."""
+        reactive = []
+        counts = self.counts
+        for p, cp in counts.items():
+            for q, cq in counts.items():
+                weight = cp * (cq - 1) if p == q else cp * cq
+                if weight <= 0:
+                    continue
+                key = (p, q)
+                result = self._delta_cache.get(key)
+                if result is None:
+                    result = self.protocol.delta(p, q)
+                    self._delta_cache[key] = result
+                if result != key:
+                    reactive.append((key, result, weight))
+        return reactive
+
+    def step(self) -> bool:
+        """One reactive interaction (clock advanced past skipped no-ops)."""
+        if self.silent:
+            return False
+        reactive = self._reactive_pairs()
+        total_pairs = self.n * (self.n - 1)
+        reactive_weight = sum(weight for _, _, weight in reactive)
+        if reactive_weight == 0:
+            self.silent = True
+            return False
+        # Number of no-ops before the reactive draw: geometric with
+        # success probability reactive_weight / total_pairs.  Inverse-CDF
+        # sampling keeps this exact for any probability.
+        probability = reactive_weight / total_pairs
+        u = self.rng.random()
+        if probability >= 1.0:
+            skipped = 0
+        else:
+            skipped = int(math.floor(math.log(1.0 - u)
+                                     / math.log(1.0 - probability)))
+        self.interactions += skipped + 1
+        # Draw the reactive pair proportionally to its weight.
+        target = self.rng.randrange(reactive_weight)
+        acc = 0
+        for (p, q), (p2, q2), weight in reactive:
+            acc += weight
+            if target < acc:
+                break
+        counts = self.counts
+        for state in (p, q):
+            remaining = counts[state] - 1
+            if remaining:
+                counts[state] = remaining
+            else:
+                del counts[state]
+        for state in (p2, q2):
+            counts[state] = counts.get(state, 0) + 1
+        self.last_change = self.interactions
+        self.reactive_steps += 1
+        out = self.protocol.output
+        if out(p2) != out(p) or out(q2) != out(q):
+            self.last_output_change = self.interactions
+            self.reactive_at_last_output_change = self.reactive_steps
+        return True
+
+    def run_to_silence(self, max_reactive_steps: int = 10_000_000) -> bool:
+        """Run until silent; returns True iff silence was reached."""
+        for _ in range(max_reactive_steps):
+            if not self.step():
+                return True
+        return self.silent
+
+    def run_until_output_quiescent(
+        self,
+        patience_reactive: int,
+        max_reactive_steps: int = 10_000_000,
+    ) -> bool:
+        """Run until no output changed for ``patience_reactive`` reactive
+        steps (or silence).  Returns True iff the rule fired.
+
+        Some protocols never become silent (e.g. Lemma 5 leadership keeps
+        migrating after convergence); reactive-step patience is the
+        skipping-engine analogue of interaction-count patience.
+        """
+        for _ in range(max_reactive_steps):
+            if not self.step():
+                return True
+            if (self.reactive_steps - self.reactive_at_last_output_change
+                    >= patience_reactive):
+                return True
+        return False

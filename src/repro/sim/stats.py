@@ -1,0 +1,146 @@
+"""Repeated-trial measurement harness.
+
+Experiments in Sect. 6 are statements about expectations ("expected total
+number of interactions ...") and error probabilities.  This module runs many
+independent seeded trials and aggregates means, medians, standard errors,
+and rates, and fits scaling exponents via :mod:`repro.util.fitting`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.util.fitting import loglog_slope
+from repro.util.rng import spawn_seeds
+
+
+@dataclass
+class TrialSummary:
+    """Aggregate statistics of one batch of trials."""
+
+    values: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    @property
+    def stderr(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return self.stdev / math.sqrt(len(self.values))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile (linear interpolation between order stats)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile level must lie in [0, 1]")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def __repr__(self) -> str:
+        return (f"TrialSummary(count={self.count}, mean={self.mean:.4g}, "
+                f"median={self.median:.4g}, stderr={self.stderr:.3g})")
+
+
+def run_trials(
+    trial: Callable[[int], float],
+    trials: int,
+    *,
+    seed: "int | None" = None,
+) -> TrialSummary:
+    """Run ``trial(seed_i)`` for ``trials`` derived seeds and summarize."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    seeds = spawn_seeds(seed, trials)
+    return TrialSummary([float(trial(s)) for s in seeds])
+
+
+def success_rate(
+    trial: Callable[[int], bool],
+    trials: int,
+    *,
+    seed: "int | None" = None,
+) -> float:
+    """Fraction of trials for which ``trial(seed_i)`` returns True."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    seeds = spawn_seeds(seed, trials)
+    return sum(1 for s in seeds if trial(s)) / trials
+
+
+@dataclass
+class ScalingMeasurement:
+    """Mean measured values across a sweep of population sizes."""
+
+    ns: list[int]
+    means: list[float]
+    summaries: list[TrialSummary] = field(repr=False, default_factory=list)
+
+    def exponent(self, *, divide_log: bool = False) -> float:
+        """Fitted polynomial exponent of the means (optionally / log n)."""
+        return loglog_slope(self.ns, self.means, divide_log=divide_log)
+
+    def table(self) -> str:
+        """Human-readable measurement table for EXPERIMENTS.md."""
+        lines = [f"{'n':>8}  {'mean':>14}  {'stderr':>10}"]
+        for n, summary in zip(self.ns, self.summaries):
+            lines.append(f"{n:>8}  {summary.mean:>14.2f}  {summary.stderr:>10.2f}")
+        return "\n".join(lines)
+
+
+def measure_scaling(
+    ns: Sequence[int],
+    trial: Callable[[int, int], float],
+    trials: int,
+    *,
+    seed: "int | None" = None,
+) -> ScalingMeasurement:
+    """Measure ``trial(n, seed)`` over a sweep of population sizes.
+
+    ``trial`` maps ``(n, seed)`` to the measured value (e.g. interactions to
+    convergence); each ``n`` gets ``trials`` independent seeds.
+    """
+    summaries = []
+    seeds = spawn_seeds(seed, len(ns))
+    for n, n_seed in zip(ns, seeds):
+        summaries.append(run_trials(lambda s, n=n: trial(n, s), trials, seed=n_seed))
+    return ScalingMeasurement(
+        ns=list(ns),
+        means=[s.mean for s in summaries],
+        summaries=summaries,
+    )

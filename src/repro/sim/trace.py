@@ -1,0 +1,125 @@
+"""Execution trace recording.
+
+Records time series from a running simulation — output histograms and
+state histograms at a fixed sampling period — for plotting, CSV export,
+and convergence diagnostics.  Works with both engines (anything exposing
+``step()``, ``interactions``, and either ``output_counts()`` or states).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TracePoint:
+    """One sample: interaction count plus a value histogram."""
+
+    interactions: int
+    counts: dict
+
+
+@dataclass
+class Trace:
+    """A recorded time series of histograms."""
+
+    points: list[TracePoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def keys(self) -> list:
+        """All histogram keys appearing anywhere in the trace."""
+        seen: dict = {}
+        for point in self.points:
+            for key in point.counts:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def series(self, key) -> list[tuple[int, int]]:
+        """The (interactions, count) series of one key (0 when absent)."""
+        return [(p.interactions, p.counts.get(key, 0)) for p in self.points]
+
+    def final(self) -> "TracePoint | None":
+        return self.points[-1] if self.points else None
+
+    def to_csv(self) -> str:
+        """CSV text: one row per sample, one column per key."""
+        keys = self.keys()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["interactions"] + [repr(k) for k in keys])
+        for point in self.points:
+            writer.writerow([point.interactions]
+                            + [point.counts.get(k, 0) for k in keys])
+        return buffer.getvalue()
+
+    def first_time(self, predicate: Callable[[Mapping], bool]) -> "int | None":
+        """Interactions at the first sample whose histogram satisfies
+        ``predicate``, or None."""
+        for point in self.points:
+            if predicate(point.counts):
+                return point.interactions
+        return None
+
+
+class TraceRecorder:
+    """Samples a histogram from a simulation every ``period`` interactions.
+
+    ``histogram`` defaults to the simulation's ``output_counts()``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        *,
+        period: int = 100,
+        histogram: "Callable[[object], Mapping] | None" = None,
+    ):
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self.sim = sim
+        self.period = period
+        self.histogram = histogram or (lambda s: s.output_counts())
+        self.trace = Trace()
+        self._sample()
+
+    def _sample(self) -> None:
+        self.trace.points.append(TracePoint(
+            interactions=self.sim.interactions,
+            counts=dict(self.histogram(self.sim)),
+        ))
+
+    def run(self, steps: int) -> Trace:
+        """Run ``steps`` interactions, sampling every ``period``."""
+        remaining = steps
+        while remaining > 0:
+            chunk = min(self.period, remaining)
+            for _ in range(chunk):
+                self.sim.step()
+            remaining -= chunk
+            self._sample()
+        return self.trace
+
+    def run_until(self, condition, max_steps: int) -> Trace:
+        """Run until ``condition(sim)`` holds (checked per sample)."""
+        remaining = max_steps
+        while remaining > 0 and not condition(self.sim):
+            chunk = min(self.period, remaining)
+            for _ in range(chunk):
+                self.sim.step()
+            remaining -= chunk
+            self._sample()
+        return self.trace
+
+
+def state_histogram(sim) -> dict:
+    """State-count histogram of an agent-array simulation (for recorders
+    that track states rather than outputs)."""
+    counts: dict = {}
+    for state in sim.states:
+        counts[state] = counts.get(state, 0) + 1
+    return counts

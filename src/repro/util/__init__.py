@@ -1,0 +1,17 @@
+"""Shared utilities: frozen multisets, RNG plumbing, math helpers, fitting."""
+
+from repro.util.multiset import FrozenMultiset, multiset_from_counts
+from repro.util.rng import resolve_rng
+from repro.util.mathutil import lcm_many, harmonic_number, sign
+from repro.util.fitting import loglog_slope, linear_fit
+
+__all__ = [
+    "FrozenMultiset",
+    "multiset_from_counts",
+    "resolve_rng",
+    "lcm_many",
+    "harmonic_number",
+    "sign",
+    "loglog_slope",
+    "linear_fit",
+]

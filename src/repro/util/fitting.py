@@ -1,0 +1,68 @@
+"""Least-squares fits for scaling experiments.
+
+The paper's expected-time results are asymptotic (``(n-1)^2``,
+``Theta(n^2 log n)``, ``O(n^{k+1})``).  The benchmark harness estimates the
+polynomial exponent of measured interaction counts by fitting a line on
+log-log axes, optionally after dividing out a ``log n`` factor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Ordinary least squares fit ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept)``.  Requires at least two points.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all equal; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return slope, intercept
+
+
+def loglog_slope(
+    ns: Sequence[float],
+    values: Sequence[float],
+    *,
+    divide_log: bool = False,
+) -> float:
+    """Fitted exponent ``p`` for ``values ~ C * n^p`` (times ``log n`` if asked).
+
+    With ``divide_log=True`` the values are first divided by ``log n`` so a
+    ``Theta(n^2 log n)`` series fits an exponent close to 2.
+    """
+    if any(n <= 0 for n in ns):
+        raise ValueError("sample sizes must be positive for log-log fitting")
+    if divide_log and any(n <= 1 for n in ns):
+        raise ValueError("sample sizes must exceed 1 to divide by log n")
+    if any(v <= 0 for v in values):
+        raise ValueError("values must be positive for log-log fitting")
+    ys = list(values)
+    if divide_log:
+        ys = [v / math.log(n) for v, n in zip(ys, ns)]
+    slope, _ = linear_fit([math.log(n) for n in ns], [math.log(y) for y in ys])
+    return slope
+
+
+def rsquared(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of determination of the OLS line through (xs, ys)."""
+    slope, intercept = linear_fit(xs, ys)
+    mean_y = sum(ys) / len(ys)
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,72 @@
+"""Small exact-arithmetic helpers used across the library."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from fractions import Fraction
+
+
+def sign(value: int) -> int:
+    """Return -1, 0, or +1 according to the sign of ``value``."""
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of the absolute values of ``values``.
+
+    Zero entries are ignored; the lcm of an empty collection is 1.
+    """
+    result = 1
+    for value in values:
+        value = abs(value)
+        if value:
+            result = result * value // math.gcd(result, value)
+    return result
+
+
+def harmonic_number(n: int) -> float:
+    """The n-th harmonic number H_n = 1 + 1/2 + ... + 1/n."""
+    if n < 0:
+        raise ValueError("harmonic_number requires n >= 0")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def floordiv_exact(a: int, b: int) -> tuple[int, int]:
+    """Quotient and non-negative remainder with ``a == q*b + r, 0 <= r < |b|``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero")
+    q, r = divmod(a, b)
+    if r < 0:
+        # Python's divmod already yields 0 <= r < b for b > 0; for b < 0
+        # normalize to a non-negative remainder.
+        q += 1
+        r -= b
+    return q, r
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k), 0 for out-of-range k."""
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def exact_mean(values: Iterable[int]) -> Fraction:
+    """Exact rational mean of a non-empty iterable of integers."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return Fraction(sum(values), len(values))

@@ -1,0 +1,39 @@
+"""Randomness plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that is
+either ``None`` (fresh entropy), an ``int`` seed, or an existing
+:class:`random.Random` instance.  Centralizing the resolution keeps
+experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+SeedLike = "int | random.Random | None"
+
+
+def resolve_rng(seed: "int | random.Random | None" = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``None`` creates a freshly-seeded generator; an ``int`` creates a
+    deterministic generator; an existing generator is passed through
+    unchanged (so callers can share one stream across components).
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(f"seed must be None, int, or random.Random, not {type(seed).__name__}")
+    return random.Random(seed)
+
+
+def spawn_seeds(seed: "int | random.Random | None", count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    Used by trial harnesses that run many independent simulations: each trial
+    gets its own seed so trials are reproducible individually.
+    """
+    rng = resolve_rng(seed)
+    return [rng.randrange(2**63) for _ in range(count)]

@@ -1,0 +1,103 @@
+"""Tests for exact function-computation verification.
+
+Model-checks the paper's integer-function protocols (quotient, difference,
+min, max) exhaustively: every final SCC must have an output-preserving
+(frozen) output assignment that decodes to the right value.
+"""
+
+import pytest
+
+from repro.analysis.stability import verify_function_on_input
+from repro.core.protocol import DictProtocol
+from repro.protocols.arithmetic import (
+    DifferenceProtocol,
+    MaxProtocol,
+    MinProtocol,
+    difference_inputs,
+    min_max_inputs,
+)
+from repro.protocols.quotient import QuotientProtocol, QuotientRemainderProtocol
+
+
+def decode_scalar(histogram) -> int:
+    return sum(output * count for output, count in histogram.items())
+
+
+def decode_pair(histogram) -> tuple[int, int]:
+    first = sum(output[0] * count for output, count in histogram.items())
+    second = sum(output[1] * count for output, count in histogram.items())
+    return first, second
+
+
+class TestQuotientExact:
+    @pytest.mark.parametrize("m", range(7))
+    def test_quotient_of_m(self, m):
+        protocol = QuotientProtocol(3)
+        n = 7
+        result = verify_function_on_input(
+            protocol, {1: m, 0: n - m}, decode_scalar, m // 3)
+        assert result.holds, result.reason
+
+    @pytest.mark.parametrize("m", [0, 3, 5])
+    def test_quotient_remainder_pair(self, m):
+        protocol = QuotientRemainderProtocol(3)
+        n = 6
+        result = verify_function_on_input(
+            protocol, {1: m, 0: n - m}, decode_pair, (m % 3, m // 3))
+        assert result.holds, result.reason
+
+    def test_wrong_expectation_caught(self):
+        protocol = QuotientProtocol(3)
+        result = verify_function_on_input(
+            protocol, {1: 5, 0: 2}, decode_scalar, 99)
+        assert not result.holds
+        assert "decodes to" in result.reason
+
+
+class TestArithmeticExact:
+    @pytest.mark.parametrize("x,y", [(0, 0), (3, 1), (2, 4), (3, 3)])
+    def test_difference(self, x, y):
+        result = verify_function_on_input(
+            DifferenceProtocol(), difference_inputs(x, y, 7),
+            decode_scalar, x - y)
+        assert result.holds, result.reason
+
+    @pytest.mark.parametrize("x,y", [(0, 2), (3, 1), (2, 2)])
+    def test_min(self, x, y):
+        result = verify_function_on_input(
+            MinProtocol(), min_max_inputs(x, y, 6), decode_scalar, min(x, y))
+        assert result.holds, result.reason
+
+    @pytest.mark.parametrize("x,y", [(0, 2), (3, 1), (2, 2)])
+    def test_max(self, x, y):
+        result = verify_function_on_input(
+            MaxProtocol(), min_max_inputs(x, y, 6), decode_scalar, max(x, y))
+        assert result.holds, result.reason
+
+
+class TestOutputInstabilityDetected:
+    def test_oscillating_outputs_rejected(self):
+        """A protocol whose final SCC keeps flipping outputs can never
+        converge, whatever the decoded values average to."""
+        blinker = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "b": 1},
+            transitions={("a", "a"): ("b", "b"), ("b", "b"): ("a", "a"),
+                         ("a", "b"): ("b", "a"), ("b", "a"): ("a", "b")},
+        )
+        result = verify_function_on_input(
+            blinker, {0: 2}, decode_scalar, 1)
+        assert not result.holds
+        assert "never stabilize" in result.reason
+
+    def test_output_preserving_swap_accepted(self):
+        """State churn with frozen outputs is fine (the paper's point that
+        configurations need not stop changing)."""
+        swapper = DictProtocol(
+            input_map={0: "a", 1: "b"},
+            output_map={"a": 0, "b": 1, "c": 1},
+            transitions={("b", "a"): ("c", "a"), ("c", "a"): ("b", "a")},
+        )
+        result = verify_function_on_input(
+            swapper, {0: 2, 1: 1}, decode_scalar, 1)
+        assert result.holds, result.reason

@@ -1,0 +1,159 @@
+"""Tests for the exact Markov-chain analysis (Theorem 11)."""
+
+import math
+
+import pytest
+
+from repro.analysis.markov import MarkovAnalysis, exact_output_distribution
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.leader import LEADER, LeaderElection
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.engine import simulate_counts
+from repro.util.multiset import FrozenMultiset
+
+
+class TestChainConstruction:
+    def test_rows_are_stochastic(self):
+        analysis = MarkovAnalysis(count_to_five(), {1: 3, 0: 2})
+        import numpy as np
+
+        matrix = analysis.transition_matrix
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        for value in sums:
+            assert math.isclose(float(value), 1.0, abs_tol=1e-12)
+
+    def test_input_arguments_exclusive(self):
+        with pytest.raises(ValueError):
+            MarkovAnalysis(count_to_five(), {1: 3}, root=FrozenMultiset({1: 3}))
+
+    def test_root_is_first(self):
+        analysis = MarkovAnalysis(count_to_five(), {1: 2, 0: 2})
+        assert analysis.configs[0] == FrozenMultiset({1: 2, 0: 2})
+
+
+class TestStableSet:
+    def test_alert_configs_stable(self):
+        analysis = MarkovAnalysis(CountToK(2), {1: 2, 0: 1})
+        stable = analysis.output_stable_configurations()
+        assert FrozenMultiset({2: 3}) in stable
+
+    def test_stable_output_of(self):
+        analysis = MarkovAnalysis(CountToK(2), {1: 2, 0: 1})
+        assert analysis.stable_output_of(FrozenMultiset({2: 3})) == 1
+        assert analysis.stable_output_of(FrozenMultiset({1: 2, 0: 1})) is None
+
+    def test_closed_classes_exist(self):
+        analysis = MarkovAnalysis(count_to_five(), {1: 5})
+        classes = analysis.closed_classes()
+        assert classes
+        assert any(FrozenMultiset({5: 5}) in cls for cls in classes)
+
+
+class TestLeaderElectionExpectation:
+    """Exact (n-1)^2 from the chain (the paper's Sect. 6 formula)."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7])
+    def test_expected_time(self, n):
+        analysis = MarkovAnalysis(LeaderElection(), {1: n})
+        assert analysis.expected_convergence_interactions() == \
+            pytest.approx((n - 1) ** 2, rel=1e-9)
+
+
+class TestConvergenceDistribution:
+    def test_predicate_protocol_converges_with_probability_one(self):
+        dist = exact_output_distribution(parity_protocol(), {1: 3, 0: 2})
+        assert dist.divergence_probability == pytest.approx(0.0, abs=1e-12)
+        assert dist.output_probability.get(1, 0.0) == pytest.approx(1.0)
+        assert math.isfinite(dist.expected_interactions)
+
+    def test_correct_verdict_majority(self):
+        dist = exact_output_distribution(majority_protocol(), {0: 2, 1: 3})
+        assert dist.output_probability.get(1, 0.0) == pytest.approx(1.0)
+        dist = exact_output_distribution(majority_protocol(), {0: 3, 1: 2})
+        assert dist.output_probability.get(0, 0.0) == pytest.approx(1.0)
+
+    def test_expected_time_matches_simulation(self, seed):
+        """Cross-check the exact expectation against sampled runs."""
+        protocol = parity_protocol()
+        counts = {1: 3, 0: 3}
+        analysis = MarkovAnalysis(protocol, counts)
+        exact = analysis.expected_convergence_interactions()
+
+        stable_set = set(analysis.output_stable_configurations())
+        total = 0
+        trials = 400
+        from repro.util.rng import spawn_seeds
+        for s in spawn_seeds(seed, trials):
+            sim = simulate_counts(protocol, counts, seed=s)
+            sim.run_until(lambda sm: sm.multiset() in stable_set,
+                          max_steps=100_000, check_every=1)
+            total += sim.interactions
+        sampled = total / trials
+        assert abs(sampled - exact) / exact < 0.15
+
+    def test_divergence_detected_for_oscillator(self):
+        from repro.core.protocol import DictProtocol
+
+        blinker = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "b": 1},
+            transitions={("a", "a"): ("b", "b"), ("b", "b"): ("a", "a")},
+        )
+        dist = exact_output_distribution(blinker, {0: 2})
+        assert dist.divergence_probability == pytest.approx(1.0)
+        assert math.isinf(dist.expected_interactions)
+
+    def test_probabilistic_split(self):
+        """A protocol whose verdict is genuinely random: first meeting
+        decides.  From (a, a) the chain moves to all-x or all-y with equal
+        probability."""
+        from repro.core.protocol import DictProtocol
+
+        coin = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "x": 0, "y": 1},
+            transitions={
+                ("a", "a"): ("x", "x"),
+                ("a", "x"): ("x", "x"), ("x", "a"): ("x", "x"),
+                ("a", "y"): ("y", "y"), ("y", "a"): ("y", "y"),
+                ("x", "y"): ("y", "y"), ("y", "x"): ("y", "y"),
+            },
+        )
+        # From {a, a, y}: a-a meetings push towards x, y meetings towards y.
+        dist = MarkovAnalysis(
+            coin, root=FrozenMultiset({"a": 2, "y": 1})).convergence()
+        total = sum(dist.output_probability.values())
+        assert total == pytest.approx(1.0)
+        assert 0 < dist.output_probability.get(1, 0) < 1
+
+
+class TestNonUnanimousStableOutput:
+    def test_stable_output_of_returns_multiset(self):
+        """A stable configuration whose agents disagree (legal for
+        function computations) reports its output multiset."""
+        from repro.core.protocol import DictProtocol
+
+        frozen = DictProtocol(
+            input_map={0: "a", 1: "b"},
+            output_map={"a": 0, "b": 1},
+            transitions={},  # nothing ever moves: instantly stable
+        )
+        analysis = MarkovAnalysis(frozen, {0: 2, 1: 1})
+        config = FrozenMultiset({"a": 2, "b": 1})
+        stable = analysis.stable_output_of(config)
+        assert stable == FrozenMultiset({0: 2, 1: 1})
+
+    def test_convergence_keys_by_output_multiset(self):
+        from repro.core.protocol import DictProtocol
+
+        frozen = DictProtocol(
+            input_map={0: "a", 1: "b"},
+            output_map={"a": 0, "b": 1},
+            transitions={},
+        )
+        dist = MarkovAnalysis(frozen, {0: 2, 1: 1}).convergence()
+        assert dist.divergence_probability == pytest.approx(0.0)
+        (key, probability), = dist.output_probability.items()
+        assert probability == pytest.approx(1.0)
+        assert key == FrozenMultiset({0: 2, 1: 1})

@@ -1,0 +1,83 @@
+"""Tests for the exact convergence-time distribution (CDF / quantiles)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import MarkovAnalysis
+from repro.protocols.leader import LeaderElection
+from repro.protocols.remainder import parity_protocol
+from repro.sim.engine import simulate_counts
+from repro.util.rng import spawn_seeds
+
+
+class TestTwoAgentElection:
+    """n = 2: the first interaction always elects; T = 1 deterministically."""
+
+    def test_cdf_is_step_at_one(self):
+        analysis = MarkovAnalysis(LeaderElection(), {1: 2})
+        cdf = analysis.convergence_time_cdf(3)
+        assert cdf[0] == pytest.approx(0.0)
+        assert cdf[1] == pytest.approx(1.0)
+        assert cdf[3] == pytest.approx(1.0)
+
+    def test_quantiles(self):
+        analysis = MarkovAnalysis(LeaderElection(), {1: 2})
+        assert analysis.convergence_time_quantile(0.5) == 1
+        assert analysis.convergence_time_quantile(0.99) == 1
+
+
+class TestThreeAgentElection:
+    """n = 3: the first step always eliminates one of three leaders; then
+    a leader/leader pair has probability 2/6 per step, so
+    ``P[T <= t] = 1 - (2/3)^(t-1)`` for t >= 1 (and E[T] = 1 + 3 = 4)."""
+
+    def test_cdf_geometric(self):
+        analysis = MarkovAnalysis(LeaderElection(), {1: 3})
+        cdf = analysis.convergence_time_cdf(10)
+        assert cdf[0] == pytest.approx(0.0)
+        for t in range(1, 11):
+            assert cdf[t] == pytest.approx(1 - (2 / 3) ** (t - 1))
+
+    def test_expectation_consistent_with_cdf(self):
+        analysis = MarkovAnalysis(LeaderElection(), {1: 3})
+        horizon = 200
+        cdf = analysis.convergence_time_cdf(horizon)
+        # E[T] = sum_{t>=0} P[T > t], truncated (tail negligible).
+        expectation = float(np.sum(1.0 - cdf))
+        assert expectation == pytest.approx(
+            analysis.expected_convergence_interactions(), abs=1e-6)
+
+
+class TestMonotonicity:
+    def test_cdf_monotone_and_bounded(self):
+        analysis = MarkovAnalysis(parity_protocol(), {1: 2, 0: 2})
+        cdf = analysis.convergence_time_cdf(300)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert 0.0 <= cdf[0] and cdf[-1] <= 1.0 + 1e-12
+        assert cdf[-1] > 0.99  # converges with probability 1
+
+    def test_bad_arguments(self):
+        analysis = MarkovAnalysis(LeaderElection(), {1: 2})
+        with pytest.raises(ValueError):
+            analysis.convergence_time_cdf(-1)
+        with pytest.raises(ValueError):
+            analysis.convergence_time_quantile(1.5)
+
+
+class TestAgainstSampling:
+    def test_median_matches_simulation(self, seed):
+        protocol = parity_protocol()
+        counts = {1: 3, 0: 2}
+        analysis = MarkovAnalysis(protocol, counts)
+        median = analysis.convergence_time_quantile(0.5, horizon=100_000)
+
+        stable = set(analysis.output_stable_configurations())
+        times = []
+        for s in spawn_seeds(seed, 400):
+            sim = simulate_counts(protocol, counts, seed=s)
+            sim.run_until(lambda x: x.multiset() in stable,
+                          max_steps=100_000, check_every=1)
+            times.append(sim.interactions)
+        times.sort()
+        sampled_median = times[len(times) // 2]
+        assert abs(sampled_median - median) <= max(3, 0.25 * median)

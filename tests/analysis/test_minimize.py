@@ -1,0 +1,121 @@
+"""Tests for protocol state-space minimization."""
+
+import pytest
+
+from repro.analysis.minimize import (
+    equivalence_classes,
+    minimization_report,
+    minimize_protocol,
+)
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.core.protocol import DictProtocol
+from repro.presburger.compiler import compile_predicate
+from repro.protocols.composition import and_protocol
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.remainder import RemainderProtocol
+
+
+class TestEquivalenceClasses:
+    def test_already_minimal_protocol(self):
+        p = count_to_five()
+        classes = equivalence_classes(p)
+        assert len(classes) == len(p.states())
+
+    def test_redundant_states_merged(self):
+        # Two states 'b1'/'b2' are behaviourally identical sinks.
+        p = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "b1": 1, "b2": 1},
+            transitions={("a", "a"): ("b1", "b2"),
+                         ("a", "b1"): ("b2", "b1"),
+                         ("a", "b2"): ("b1", "b2"),
+                         ("b1", "a"): ("b1", "b2"),
+                         ("b2", "a"): ("b2", "b1")},
+        )
+        classes = equivalence_classes(p)
+        merged = [c for c in classes if {"b1", "b2"} <= set(c)]
+        assert merged, f"b1/b2 should merge; got {classes}"
+
+    def test_outputs_never_merge_across(self):
+        p = CountToK(3)
+        for members in equivalence_classes(p):
+            outputs = {p.output(s) for s in members}
+            assert len(outputs) == 1
+
+
+class TestMinimizeProtocol:
+    def test_minimized_count_to_five_same_size(self):
+        p = count_to_five()
+        m = minimize_protocol(p)
+        assert len(m.declared_states()) == len(p.states())
+
+    def test_minimized_still_stably_computes(self):
+        p = count_to_five()
+        m = minimize_protocol(p)
+        results = verify_stable_computation(
+            m, lambda c: c.get(1, 0) >= 5, all_inputs_of_size([0, 1], 7))
+        assert all(results)
+
+    def test_self_product_already_minimal(self):
+        # AND of a predicate with itself runs both components in lockstep:
+        # only diagonal states are reachable, so nothing can merge.
+        inner = RemainderProtocol({0: 0, 1: 1}, c=1, m=2)
+        product = and_protocol(inner, inner)
+        report = minimization_report(product)
+        assert report["states_after"] == report["states_before"]
+
+    def test_contradiction_collapses_to_one_state(self):
+        # (x odd) AND (x even) is identically false: every product state
+        # outputs 0 forever, so the congruence merges them all.
+        odd = RemainderProtocol({0: 0, 1: 1}, c=1, m=2)
+        even = RemainderProtocol({0: 0, 1: 1}, c=0, m=2)
+        product = and_protocol(odd, even)
+        report = minimization_report(product)
+        assert report["states_before"] > 1
+        assert report["states_after"] == 1
+        minimized = minimize_protocol(product)
+        results = verify_stable_computation(
+            minimized, lambda c: False, all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_compiled_protocol_minimizes_and_verifies(self):
+        p = compile_predicate("x < 2 | x > 3", extra_symbols=["pad"])
+        report = minimization_report(p)
+        assert report["states_after"] <= report["states_before"]
+        minimized = minimize_protocol(p)
+        results = verify_stable_computation(
+            minimized,
+            lambda c: c.get("x", 0) < 2 or c.get("x", 0) > 3,
+            all_inputs_of_size(["x", "pad"], 5))
+        assert all(results)
+
+    def test_quotient_respects_io_maps(self):
+        p = CountToK(2)
+        m = minimize_protocol(p)
+        # Same verdict structure for the alphabet.
+        for symbol in p.input_alphabet:
+            state = m.initial_state(symbol)
+            assert m.output(state) == p.output(p.initial_state(symbol))
+
+    def test_report_fields(self):
+        report = minimization_report(count_to_five())
+        assert set(report) == {"states_before", "states_after", "reduction"}
+        assert report["reduction"] == pytest.approx(0.0)
+
+
+class TestMinimizeWrappedProtocols:
+    def test_baton_simulator_minimizes_and_still_works(self):
+        """The Theorem 7 wrapper's state space minimizes without changing
+        behaviour (verified exactly on a line graph)."""
+        from repro.analysis.graph_reachability import (
+            verify_predicate_on_population,
+        )
+        from repro.core.population import line_population
+        from repro.protocols.graph_simulation import GraphSimulationProtocol
+
+        wrapped = GraphSimulationProtocol(CountToK(2))
+        minimized = minimize_protocol(wrapped)
+        for inputs, expected in ([(1, 1, 0, 0), True], [(1, 0, 0, 0), False]):
+            result = verify_predicate_on_population(
+                minimized, line_population(4), inputs, expected)
+            assert result.holds, result.reason

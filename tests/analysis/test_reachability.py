@@ -1,0 +1,120 @@
+"""Tests for configuration-graph reachability."""
+
+import pytest
+
+from repro.analysis.reachability import (
+    ConfigurationGraph,
+    is_reachable,
+    reachable_configurations,
+)
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.leader import FOLLOWER, LEADER, LeaderElection
+from repro.util.multiset import FrozenMultiset
+
+
+class TestConfigurationGraph:
+    def test_count_to_two_structure(self):
+        p = CountToK(2)
+        root = FrozenMultiset({1: 2})
+        graph = ConfigurationGraph(p, [root])
+        # {1,1} -> {2,2} (alert both) is the only move.
+        assert set(graph.successors[root]) == {FrozenMultiset({2: 2})}
+        assert len(graph) == 2
+
+    def test_roots_first(self):
+        p = CountToK(2)
+        root = FrozenMultiset({1: 2, 0: 1})
+        graph = ConfigurationGraph(p, [root])
+        assert graph.configurations[0] == root
+
+    def test_multiple_roots(self):
+        p = CountToK(2)
+        roots = [FrozenMultiset({1: 2}), FrozenMultiset({0: 2})]
+        graph = ConfigurationGraph(p, roots)
+        assert all(r in graph.successors for r in roots)
+
+    def test_edges_iterate(self):
+        p = LeaderElection()
+        root = FrozenMultiset({LEADER: 3})
+        graph = ConfigurationGraph(p, [root])
+        edges = list(graph.edges())
+        assert (root, FrozenMultiset({LEADER: 2, FOLLOWER: 1})) in edges
+
+    def test_budget_guard(self):
+        p = count_to_five()
+        root = FrozenMultiset({1: 30, 0: 30})
+        with pytest.raises(MemoryError):
+            ConfigurationGraph(p, [root], max_configurations=10)
+
+    def test_leader_election_chain_length(self):
+        # With n leaders the reachable configurations are exactly
+        # {i leaders, n - i followers} for 1 <= i <= n.
+        n = 6
+        graph = ConfigurationGraph(LeaderElection(), [FrozenMultiset({LEADER: n})])
+        assert len(graph) == n
+
+
+class TestReachableConfigurations:
+    def test_count_to_five_token_invariant(self):
+        p = count_to_five()
+        root = FrozenMultiset({1: 3, 0: 2})
+        for config in reachable_configurations(p, root):
+            tokens = sum(state * count for state, count in config.items())
+            assert tokens == 3  # below the alert threshold, tokens conserved
+
+
+class TestIsReachable:
+    def test_positive(self):
+        p = CountToK(3)
+        source = FrozenMultiset({1: 3})
+        target = FrozenMultiset({3: 3})
+        assert is_reachable(p, source, target)
+
+    def test_negative(self):
+        p = CountToK(3)
+        source = FrozenMultiset({1: 2, 0: 1})
+        target = FrozenMultiset({3: 3})
+        assert not is_reachable(p, source, target)
+
+    def test_reflexive(self):
+        p = CountToK(3)
+        config = FrozenMultiset({0: 3})
+        assert is_reachable(p, config, config)
+
+
+class TestWitnessPath:
+    def test_shortest_path_found(self):
+        from repro.analysis.reachability import witness_path
+        from repro.protocols.counting import CountToK
+
+        p = CountToK(3)
+        source = FrozenMultiset({1: 3})
+        target = FrozenMultiset({3: 3})
+        path = witness_path(p, source, target)
+        assert path is not None
+        assert path[0] == source
+        assert path[-1] == target
+        # Each hop is one interaction.
+        from repro.core.semantics import successors
+
+        for a, b in zip(path, path[1:]):
+            assert b in successors(p, a)
+        # Minimal: merge (1+1=2), alert the pair (2+1 >= 3), then convert
+        # the remaining agent — three hops, four configurations.
+        assert len(path) == 4
+
+    def test_unreachable_returns_none(self):
+        from repro.analysis.reachability import witness_path
+        from repro.protocols.counting import CountToK
+
+        p = CountToK(3)
+        assert witness_path(p, FrozenMultiset({1: 2, 0: 1}),
+                            FrozenMultiset({3: 3})) is None
+
+    def test_trivial_path(self):
+        from repro.analysis.reachability import witness_path
+        from repro.protocols.counting import CountToK
+
+        p = CountToK(3)
+        config = FrozenMultiset({0: 3})
+        assert witness_path(p, config, config) == [config]

@@ -1,0 +1,94 @@
+"""Tests for Tarjan SCC and final-component detection."""
+
+import random
+
+from repro.analysis.scc import condensation, final_components, final_nodes, tarjan_scc
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        graph = {1: [2], 2: [3], 3: [1]}
+        components = tarjan_scc(graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == [1, 2, 3]
+
+    def test_dag(self):
+        graph = {1: [2], 2: [3], 3: []}
+        components = tarjan_scc(graph)
+        assert [sorted(c) for c in components] == [[3], [2], [1]]
+
+    def test_reverse_topological_order(self):
+        graph = {1: [2, 3], 2: [4], 3: [4], 4: []}
+        components = tarjan_scc(graph)
+        position = {c[0]: i for i, c in enumerate(components)}
+        # Successors appear before their predecessors.
+        assert position[4] < position[2]
+        assert position[4] < position[3]
+        assert position[2] < position[1]
+
+    def test_two_cycles_with_bridge(self):
+        graph = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        components = tarjan_scc(graph)
+        comps = sorted(sorted(c) for c in components)
+        assert comps == [[1, 2], [3, 4]]
+
+    def test_successor_not_in_keys(self):
+        graph = {1: [2]}  # node 2 has no key
+        components = tarjan_scc(graph)
+        assert sorted(sorted(c) for c in components) == [[1], [2]]
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        graph = {i: [i + 1] for i in range(n)}
+        graph[n] = []
+        components = tarjan_scc(graph)
+        assert len(components) == n + 1
+
+    def test_matches_networkx_on_random_graphs(self):
+        import networkx as nx
+
+        rng = random.Random(0)
+        for _ in range(20):
+            n = rng.randrange(2, 25)
+            edges = [(rng.randrange(n), rng.randrange(n))
+                     for _ in range(rng.randrange(1, 3 * n))]
+            graph = {i: sorted({v for (u, v) in edges if u == i})
+                     for i in range(n)}
+            ours = {frozenset(c) for c in tarjan_scc(graph)}
+            nx_graph = nx.DiGraph(edges)
+            nx_graph.add_nodes_from(range(n))
+            theirs = {frozenset(c)
+                      for c in nx.strongly_connected_components(nx_graph)}
+            assert ours == theirs
+
+
+class TestCondensation:
+    def test_component_edges(self):
+        graph = {1: [2], 2: [1, 3], 3: []}
+        components, component_of, edges = condensation(graph)
+        ci = component_of[1]
+        cj = component_of[3]
+        assert component_of[2] == ci
+        assert edges[ci] == {cj}
+        assert edges[cj] == set()
+
+    def test_no_self_edges(self):
+        graph = {1: [1, 2], 2: []}
+        _, component_of, edges = condensation(graph)
+        assert component_of[1] not in edges[component_of[1]]
+
+
+class TestFinalComponents:
+    def test_sink_cycle_final(self):
+        graph = {1: [2], 2: [3], 3: [2]}
+        finals = final_components(graph)
+        assert [sorted(c) for c in finals] == [[2, 3]]
+
+    def test_multiple_finals(self):
+        graph = {0: [1, 2], 1: [], 2: []}
+        finals = {frozenset(c) for c in final_components(graph)}
+        assert finals == {frozenset([1]), frozenset([2])}
+
+    def test_final_nodes(self):
+        graph = {0: [1], 1: [2], 2: [1]}
+        assert final_nodes(graph) == {1, 2}

@@ -1,0 +1,106 @@
+"""Tests for output stability and the stable-computation model checker."""
+
+import pytest
+
+from repro.analysis.stability import (
+    all_inputs_of_size,
+    is_output_stable,
+    verify_predicate_on_input,
+    verify_stable_computation,
+)
+from repro.core.protocol import DictProtocol
+from repro.protocols.counting import CountToK, count_to_five
+from repro.util.multiset import FrozenMultiset
+
+
+class TestIsOutputStable:
+    def test_alert_configuration_stable(self):
+        p = count_to_five()
+        assert is_output_stable(p, FrozenMultiset({5: 3}))
+
+    def test_sub_threshold_terminal_stable(self):
+        p = count_to_five()
+        # One agent with 4 tokens: states keep swapping but outputs fixed.
+        assert is_output_stable(p, FrozenMultiset({4: 1, 0: 4}))
+
+    def test_initial_above_threshold_not_stable(self):
+        p = count_to_five()
+        assert not is_output_stable(p, FrozenMultiset({1: 5}))
+
+
+class TestVerifyPredicateOnInput:
+    def test_positive_case(self):
+        p = count_to_five()
+        result = verify_predicate_on_input(p, {1: 5, 0: 2}, True)
+        assert result.holds
+        assert result.configurations > 1
+        assert result.counterexample is None
+
+    def test_wrong_expectation_produces_counterexample(self):
+        p = count_to_five()
+        result = verify_predicate_on_input(p, {1: 5, 0: 2}, False)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert "expected unanimous 0" in result.reason
+
+    def test_bool_protocol(self):
+        p = count_to_five()
+        assert bool(verify_predicate_on_input(p, {1: 5, 0: 2}, True))
+
+
+class TestBrokenProtocolDetected:
+    def test_non_converging_protocol_fails(self):
+        """A protocol whose output oscillates forever must be rejected."""
+        blinker = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "b": 1},
+            transitions={("a", "a"): ("b", "b"), ("b", "b"): ("a", "a"),
+                         ("a", "b"): ("a", "a"), ("b", "a"): ("b", "b")},
+        )
+        result = verify_predicate_on_input(blinker, {0: 2}, False)
+        assert not result.holds
+
+    def test_disagreeing_final_output_fails(self):
+        """A final configuration without unanimity violates the all-agents
+        convention."""
+        splitter = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "x": 0, "y": 1},
+            transitions={("a", "a"): ("x", "y")},
+        )
+        result = verify_predicate_on_input(splitter, {0: 2}, False)
+        assert not result.holds
+
+
+class TestVerifyStableComputation:
+    def test_all_inputs_pass(self):
+        p = CountToK(2)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 2, all_inputs_of_size([0, 1], 4))
+        assert len(results) == 5
+        assert all(results)
+
+    def test_wrong_predicate_caught(self):
+        p = CountToK(2)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 3,  # wrong threshold
+            all_inputs_of_size([0, 1], 4))
+        assert not all(results)
+
+
+class TestAllInputsOfSize:
+    def test_enumeration(self):
+        inputs = list(all_inputs_of_size(["a", "b"], 2))
+        assert {tuple(sorted(i.items())) for i in inputs} == {
+            (("a", 0), ("b", 2)), (("a", 1), ("b", 1)), (("a", 2), ("b", 0))}
+
+    def test_count_matches_stars_and_bars(self):
+        inputs = list(all_inputs_of_size(["a", "b", "c"], 4))
+        assert len(inputs) == 15  # C(4 + 2, 2)
+
+    def test_single_symbol(self):
+        assert list(all_inputs_of_size(["a"], 3)) == [{"a": 3}]
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            list(all_inputs_of_size([], 3))

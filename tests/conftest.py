@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Keeps hypothesis deadlines off (simulation-heavy property tests have
+variable runtimes) and provides a couple of widely used fixtures.
+"""
+
+import pytest
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def seed() -> int:
+    """A fixed seed for deterministic simulation tests."""
+    return 0xC0FFEE

@@ -1,0 +1,108 @@
+"""Tests for configurations."""
+
+import pytest
+
+from repro.core.configuration import (
+    AgentConfiguration,
+    initial_configuration,
+    initial_multiset,
+    multiset_outputs,
+    unanimous_output,
+)
+from repro.protocols.counting import count_to_five
+from repro.util.multiset import FrozenMultiset
+
+
+class TestAgentConfiguration:
+    def test_indexing(self):
+        c = AgentConfiguration([1, 2, 3])
+        assert c[0] == 1
+        assert c.n == 3
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            AgentConfiguration([1])
+
+    def test_apply_encounter(self):
+        p = count_to_five()
+        c = AgentConfiguration([1, 1, 0])
+        after = c.apply_encounter(p, 0, 1)
+        assert after.states == (2, 0, 0)
+
+    def test_apply_encounter_noop_returns_self(self):
+        p = count_to_five()
+        c = AgentConfiguration([0, 0, 1])
+        assert c.apply_encounter(p, 0, 1) is c
+
+    def test_self_encounter_rejected(self):
+        p = count_to_five()
+        with pytest.raises(ValueError):
+            AgentConfiguration([1, 1]).apply_encounter(p, 1, 1)
+
+    def test_outputs(self):
+        p = count_to_five()
+        c = AgentConfiguration([5, 0, 4])
+        assert c.outputs(p) == (1, 0, 0)
+
+    def test_to_multiset(self):
+        c = AgentConfiguration([1, 1, 0])
+        assert c.to_multiset() == FrozenMultiset([0, 1, 1])
+
+    def test_permute(self):
+        c = AgentConfiguration(["a", "b", "c"])
+        # agent 0 -> position 2, agent 1 -> position 0, agent 2 -> position 1
+        p = c.permute([2, 0, 1])
+        assert p.states == ("b", "c", "a")
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            AgentConfiguration([1, 2]).permute([0, 0])
+
+    def test_equality_and_hash(self):
+        a = AgentConfiguration([1, 2])
+        b = AgentConfiguration([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AgentConfiguration([2, 1])
+
+
+class TestInitialConfigurations:
+    def test_initial_configuration(self):
+        p = count_to_five()
+        c = initial_configuration(p, [0, 1, 1])
+        assert c.states == (0, 1, 1)
+
+    def test_initial_configuration_bad_symbol(self):
+        with pytest.raises(ValueError):
+            initial_configuration(count_to_five(), [0, 7])
+
+    def test_initial_multiset(self):
+        p = count_to_five()
+        ms = initial_multiset(p, {0: 2, 1: 3})
+        assert ms == FrozenMultiset({0: 2, 1: 3})
+
+    def test_initial_multiset_skips_zero_counts(self):
+        p = count_to_five()
+        ms = initial_multiset(p, {0: 3, 1: 0})
+        assert ms == FrozenMultiset({0: 3})
+
+    def test_initial_multiset_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            initial_multiset(count_to_five(), {1: 1})
+
+    def test_initial_multiset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            initial_multiset(count_to_five(), {0: 3, 1: -1})
+
+
+class TestOutputViews:
+    def test_multiset_outputs(self):
+        p = count_to_five()
+        ms = FrozenMultiset({5: 2, 0: 1})
+        assert multiset_outputs(p, ms) == FrozenMultiset({1: 2, 0: 1})
+
+    def test_unanimous_output(self):
+        p = count_to_five()
+        assert unanimous_output(p, FrozenMultiset({5: 3})) == 1
+        assert unanimous_output(p, FrozenMultiset({0: 1, 3: 2})) == 0
+        assert unanimous_output(p, FrozenMultiset({5: 1, 0: 1})) is None

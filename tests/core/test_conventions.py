@@ -1,0 +1,141 @@
+"""Tests for input/output encoding conventions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.conventions import (
+    AllAgentsPredicateOutput,
+    IntegerInput,
+    IntegerOutput,
+    ScalarIntegerOutput,
+    StringInput,
+    SymbolCountInput,
+    SymbolCountOutput,
+    ZeroNonZeroPredicateOutput,
+    parikh,
+)
+
+
+class TestParikh:
+    def test_counts(self):
+        assert parikh("abcab", "abc") == (2, 2, 1)
+
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            parikh("abz", "ab")
+
+    def test_duplicate_alphabet(self):
+        with pytest.raises(ValueError):
+            parikh("a", "aa")
+
+    @given(st.lists(st.sampled_from("ab")))
+    def test_total_preserved(self, word):
+        counts = parikh(word, "ab")
+        assert sum(counts) == len(word)
+
+
+class TestSymbolCountInput:
+    def test_roundtrip(self):
+        conv = SymbolCountInput("ab")
+        assignment = conv.encode([2, 3])
+        assert conv.decode(assignment) == (2, 3)
+
+    def test_decode_any_order(self):
+        conv = SymbolCountInput("ab")
+        assert conv.decode(["b", "a", "b"]) == (1, 2)
+
+    def test_encode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SymbolCountInput("ab").encode([1, -1])
+
+    def test_encode_wrong_length(self):
+        with pytest.raises(ValueError):
+            SymbolCountInput("ab").encode([1])
+
+    def test_counts_mapping(self):
+        conv = SymbolCountInput("ab")
+        assert conv.counts_mapping([1, 2]) == {"a": 1, "b": 2}
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolCountInput("aa")
+
+
+class TestIntegerInput:
+    def test_standard_alphabet_size(self):
+        conv = IntegerInput.standard(2)
+        assert len(conv.alphabet) == 5  # zero + 4 unit vectors
+
+    def test_decode_sums(self):
+        conv = IntegerInput.standard(2)
+        assignment = [(1, 0), (1, 0), (0, -1), (0, 0)]
+        assert conv.decode(assignment) == (2, -1)
+
+    @given(st.integers(-4, 4), st.integers(-4, 4))
+    def test_encode_decode_roundtrip(self, a, b):
+        conv = IntegerInput.standard(2)
+        n = abs(a) + abs(b) + 3
+        assignment = conv.encode((a, b), n)
+        assert len(assignment) == n
+        assert conv.decode(assignment) == (a, b)
+
+    def test_encode_too_large(self):
+        conv = IntegerInput.standard(1)
+        with pytest.raises(ValueError):
+            conv.encode((5,), 3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            IntegerInput({"a": (1, 0), "b": (1,)})
+
+    def test_unknown_symbol(self):
+        conv = IntegerInput.standard(1)
+        with pytest.raises(ValueError):
+            conv.decode([("weird",)])
+
+
+class TestStringInput:
+    def test_identity(self):
+        conv = StringInput("ab")
+        assert conv.decode(["a", "b", "a"]) == ("a", "b", "a")
+
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            StringInput("ab").decode(["c"])
+
+
+class TestPredicateOutputs:
+    def test_all_agents_true(self):
+        assert AllAgentsPredicateOutput().decode([1, 1, 1]) is True
+
+    def test_all_agents_false(self):
+        assert AllAgentsPredicateOutput().decode([0, 0]) is False
+
+    def test_all_agents_bottom(self):
+        assert AllAgentsPredicateOutput().decode([0, 1]) is None
+
+    def test_zero_nonzero(self):
+        conv = ZeroNonZeroPredicateOutput()
+        assert conv.decode([0, 0, 1]) is True
+        assert conv.decode([0, 0, 0]) is False
+
+
+class TestValueOutputs:
+    def test_symbol_count_output(self):
+        assert SymbolCountOutput("xy").decode(["x", "y", "x"]) == (2, 1)
+
+    def test_integer_output(self):
+        conv = IntegerOutput(2)
+        assert conv.decode([(1, 2), (0, -1)]) == (1, 1)
+
+    def test_integer_output_dimension_check(self):
+        with pytest.raises(ValueError):
+            IntegerOutput(2).decode([(1,)])
+
+    def test_integer_output_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            IntegerOutput(0)
+
+    def test_scalar_output(self):
+        assert ScalarIntegerOutput().decode([1, 0, 1, 1]) == 3

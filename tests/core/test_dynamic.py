@@ -1,0 +1,109 @@
+"""Tests for population change (Sect. 8 birth/death interactions)."""
+
+import pytest
+
+from repro.core.dynamic import (
+    AnnihilationMajority,
+    DynamicProtocol,
+    DynamicSimulation,
+    annihilation_majority,
+    majority_by_annihilation,
+)
+
+
+class TestAnnihilationRules:
+    def test_opposites_annihilate(self):
+        p = annihilation_majority()
+        assert p.delta_dynamic("x", "y") == ()
+        assert p.delta_dynamic("y", "x") == ()
+
+    def test_same_colour_noop(self):
+        p = annihilation_majority()
+        assert p.delta_dynamic("x", "x") == ("x", "x")
+
+    def test_bad_symbol(self):
+        with pytest.raises(ValueError):
+            annihilation_majority().initial_state("z")
+
+
+class TestDynamicSimulation:
+    def test_population_shrinks_by_pairs(self, seed):
+        sim = DynamicSimulation(annihilation_majority(),
+                                ["x"] * 5 + ["y"] * 3, seed=seed)
+        sizes = {sim.n}
+        for _ in range(5000):
+            sim.step()
+            sizes.add(sim.n)
+        assert min(sizes) >= 2
+        assert all(size % 2 == 0 for size in sizes if size != 8)
+
+    def test_difference_invariant(self, seed):
+        """#x - #y is conserved by every rule (the correctness invariant)."""
+        sim = DynamicSimulation(annihilation_majority(),
+                                ["x"] * 7 + ["y"] * 4, seed=seed)
+        for _ in range(5000):
+            sim.step()
+            outputs = sim.surviving_outputs()
+            assert outputs.count("x") - outputs.count("y") == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicSimulation(annihilation_majority(), ["x"])
+
+    def test_step_noop_below_two_agents(self, seed):
+        sim = DynamicSimulation(annihilation_majority(), ["x", "y"],
+                                seed=seed)
+        sim.step()  # annihilates the only pair
+        assert sim.n == 0
+        assert sim.step() is False
+
+    def test_offspring_bound_enforced(self, seed):
+        class Exploder(AnnihilationMajority):
+            max_offspring = 2
+
+            def delta_dynamic(self, p, q):
+                return (p, q, p)  # 3 > max_offspring
+
+        sim = DynamicSimulation(Exploder(), ["x", "x"], seed=seed)
+        with pytest.raises(RuntimeError):
+            sim.step()
+
+    def test_spawning_protocol(self, seed):
+        """Birth works too: a splitter doubles until a cap."""
+
+        class Splitter(DynamicProtocol):
+            input_alphabet = frozenset({"a"})
+            output_alphabet = frozenset({"a"})
+
+            def initial_state(self, symbol):
+                return "a"
+
+            def output(self, state):
+                return "a"
+
+            def delta_dynamic(self, p, q):
+                return ("a", "a", "a")  # pair becomes a triple
+
+        sim = DynamicSimulation(Splitter(), ["a", "a"], seed=seed,
+                                max_population=64)
+        with pytest.raises(RuntimeError):
+            sim.run(200)  # exceeds the cap, loudly
+        assert sim.n > 2
+
+
+class TestMajorityByAnnihilation:
+    @pytest.mark.parametrize("x,y,expected", [
+        (7, 3, "x"), (3, 7, "y"), (5, 5, None), (2, 1, "x"),
+    ])
+    def test_verdicts(self, x, y, expected, seed):
+        assert majority_by_annihilation(x, y, seed=seed) == expected
+
+    def test_always_correct_over_seeds(self, seed):
+        from repro.util.rng import spawn_seeds
+
+        for s in spawn_seeds(seed, 25):
+            assert majority_by_annihilation(6, 4, seed=s) == "x"
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            majority_by_annihilation(1, 0)

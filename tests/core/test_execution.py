@@ -1,0 +1,110 @@
+"""Tests for executions — including the paper's Sect. 3.2 worked example."""
+
+import pytest
+
+from repro.core.configuration import initial_configuration
+from repro.core.execution import Encounter, Execution, replay
+from repro.core.population import Population, complete_population
+from repro.protocols.counting import count_to_five
+
+
+class TestEncounter:
+    def test_distinct_agents_required(self):
+        with pytest.raises(ValueError):
+            Encounter(2, 2)
+
+
+class TestExecution:
+    def test_step_records(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [1, 1, 0]))
+        e.step(0, 1)
+        assert e.steps == 1
+        assert e.current.states == (2, 0, 0)
+        assert e.encounters == [Encounter(0, 1)]
+
+    def test_extend(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [1, 1, 1, 0]))
+        e.extend([(0, 1), (0, 2)])
+        assert e.current.states == (3, 0, 0, 0)
+
+    def test_outputs_and_history(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [1, 1, 1, 1, 1, 0]))
+        e.extend([(0, 1), (0, 2), (0, 3), (0, 4)])
+        # Agent 0 accumulated 4 tokens, then met agent 4 (1 token): the sum
+        # reached 5, so exactly that pair entered the alert state.
+        assert e.outputs() == (1, 0, 0, 0, 1, 0)
+        history = e.output_history()
+        assert history[0] == (0, 0, 0, 0, 0, 0)
+        assert history[-1] == (1, 0, 0, 0, 1, 0)
+
+    def test_last_output_change(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [1, 1, 0]))
+        e.extend([(0, 1), (0, 2), (1, 2)])  # only state moves, outputs fixed
+        assert e.last_output_change() == 0
+
+    def test_last_output_change_detects_alert(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [1, 1, 1, 1, 1, 0]))
+        e.extend([(1, 2), (0, 1), (0, 2), (0, 3), (0, 4)])
+        assert e.last_output_change() == 5
+
+
+class TestPaperWorkedExample:
+    """The exact computation displayed in Sect. 3.2 of the paper.
+
+    Input assignment (0, 1, 0, 1, 1, 1); encounters (2,4), (6,5), (2,6),
+    (3,2) in the paper's 1-indexed notation.
+    """
+
+    def test_trace(self):
+        p = count_to_five()
+        e = Execution(p, initial_configuration(p, [0, 1, 0, 1, 1, 1]))
+        assert e.current.states == (0, 1, 0, 1, 1, 1)
+
+        e.step(1, 3)  # paper's (2, 4)
+        assert e.current.states == (0, 2, 0, 0, 1, 1)
+
+        e.step(5, 4)  # paper's (6, 5)
+        assert e.current.states == (0, 2, 0, 0, 0, 2)
+
+        e.step(1, 5)  # paper's (2, 6)
+        assert e.current.states == (0, 4, 0, 0, 0, 0)
+
+        e.step(2, 1)  # paper's (3, 2)
+        assert e.current.states == (0, 0, 4, 0, 0, 0)
+
+        # The paper notes all reachable outputs from here equal all-zeros.
+        assert e.outputs() == (0, 0, 0, 0, 0, 0)
+
+    def test_reachable_outputs_stay_zero(self):
+        """From the final trace configuration, outputs are stable at 0."""
+        from repro.analysis.stability import is_output_stable
+        from repro.util.multiset import FrozenMultiset
+
+        p = count_to_five()
+        assert is_output_stable(p, FrozenMultiset({0: 5, 4: 1}))
+
+
+class TestReplay:
+    def test_replay_reproduces(self):
+        p = count_to_five()
+        initial = initial_configuration(p, [0, 1, 0, 1, 1, 1])
+        encounters = [(1, 3), (5, 4), (1, 5), (2, 1)]
+        e = replay(p, initial, encounters)
+        assert e.current.states == (0, 0, 4, 0, 0, 0)
+
+    def test_replay_checks_population_edges(self):
+        p = count_to_five()
+        initial = initial_configuration(p, [1, 1, 1])
+        pop = Population(3, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            replay(p, initial, [(0, 2)], population=pop)
+
+    def test_replay_accepts_complete_population(self):
+        p = count_to_five()
+        initial = initial_configuration(p, [1, 1, 1])
+        replay(p, initial, [(0, 2), (2, 1)], population=complete_population(3))

@@ -1,0 +1,86 @@
+"""Tests for language acceptance (Sect. 3.5, Corollaries 1 and 4)."""
+
+import itertools
+
+import pytest
+
+from repro.core.languages import (
+    LanguageAcceptor,
+    accepts_language,
+    is_symmetric_language,
+)
+from repro.presburger.compiler import compile_predicate
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+
+
+def words_over(alphabet, max_length):
+    for length in range(2, max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+class TestSymmetryCheck:
+    def test_symmetric_language_passes(self):
+        # "more 1s than 0s" is symmetric.
+        assert is_symmetric_language(
+            lambda w: list(w).count(1) > list(w).count(0),
+            words_over([0, 1], 4))
+
+    def test_asymmetric_language_caught(self):
+        # "starts with 1" is not symmetric.
+        assert not is_symmetric_language(
+            lambda w: len(w) > 0 and w[0] == 1,
+            words_over([0, 1], 3))
+
+
+class TestParityLanguage:
+    def test_exact_acceptance(self):
+        acceptor = LanguageAcceptor(parity_protocol())
+        for word in words_over([0, 1], 4):
+            assert acceptor.accepts_exact(word) == \
+                (list(word).count(1) % 2 == 1)
+
+    def test_simulated_acceptance(self, seed):
+        acceptor = LanguageAcceptor(parity_protocol())
+        assert acceptor.accepts([1, 1, 1, 0, 0], seed=seed)
+        assert not acceptor.accepts([1, 1, 0, 0], seed=seed)
+
+    def test_short_words_rejected(self, seed):
+        with pytest.raises(ValueError):
+            LanguageAcceptor(parity_protocol()).accepts([1], seed=seed)
+
+
+class TestMajorityLanguage:
+    def test_accepts_language_helper(self):
+        assert accepts_language(
+            majority_protocol(),
+            words_over([0, 1], 4),
+            lambda w: w.count(1) >= w.count(0))
+
+    def test_wrong_language_detected(self):
+        assert not accepts_language(
+            majority_protocol(),
+            words_over([0, 1], 4),
+            lambda w: w.count(1) > 2 * w.count(0))
+
+
+class TestCompiledLanguage:
+    """Corollary 4 flavour: a compiled Presburger predicate as an
+    acceptor for the symmetric language it defines."""
+
+    def test_equal_counts_language(self):
+        protocol = compile_predicate("x = y")
+        acceptor = LanguageAcceptor(protocol)
+        assert acceptor.accepts_exact(["x", "y"])
+        assert acceptor.accepts_exact(["y", "x", "x", "y"])
+        assert not acceptor.accepts_exact(["x", "x", "y"])
+
+    def test_parikh_of(self):
+        protocol = compile_predicate("x = y")
+        acceptor = LanguageAcceptor(protocol)
+        assert acceptor.parikh_of(["x", "y", "x"]) == {"x": 2, "y": 1}
+
+    def test_unknown_letter_rejected(self):
+        protocol = compile_predicate("x = y")
+        with pytest.raises(ValueError):
+            LanguageAcceptor(protocol).parikh_of(["z", "x"])

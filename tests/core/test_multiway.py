@@ -1,0 +1,119 @@
+"""Tests for group interactions (Sect. 8)."""
+
+import pytest
+
+from repro.core.multiway import (
+    GroupCountToK,
+    MultiwaySimulation,
+    PairwiseAsMultiway,
+)
+from repro.protocols.counting import CountToK
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import run_trials
+
+
+class TestPairwiseEmbedding:
+    def test_delta_matches_inner(self):
+        inner = CountToK(3)
+        wrapped = PairwiseAsMultiway(inner)
+        assert wrapped.arity == 2
+        assert wrapped.delta_group((1, 2)) == inner.delta(1, 2)
+        assert wrapped.output(3) == inner.output(3)
+        assert wrapped.initial_state(1) == 1
+
+    def test_wrong_arity_rejected(self):
+        wrapped = PairwiseAsMultiway(CountToK(3))
+        with pytest.raises(ValueError):
+            wrapped.delta_group((1, 1, 1))
+
+    def test_simulation_equivalent_semantics(self, seed):
+        inner = CountToK(3)
+        wrapped = PairwiseAsMultiway(inner)
+        sim = MultiwaySimulation(wrapped, [1, 1, 1, 0, 0], seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=100_000, check_every=10)
+        assert sim.unanimous_output() == 1
+
+
+class TestGroupCountToK:
+    def test_merge_rule(self):
+        p = GroupCountToK(5, arity=3)
+        assert p.delta_group((1, 1, 1)) == (3, 0, 0)
+        assert p.delta_group((2, 2, 1)) == (5, 5, 5)   # reaches k
+        assert p.delta_group((0, 0, 0)) == (0, 0, 0)
+        assert p.delta_group((2, 0, 0)) == (2, 0, 0)   # already consolidated
+
+    def test_alert_spreads_through_groups(self):
+        p = GroupCountToK(5, arity=3)
+        assert p.delta_group((5, 0, 1)) == (5, 5, 5)
+
+    def test_moves_tokens_to_first(self):
+        p = GroupCountToK(5, arity=3)
+        assert p.delta_group((0, 2, 1)) == (3, 0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupCountToK(0)
+        with pytest.raises(ValueError):
+            GroupCountToK(3, arity=1)
+        with pytest.raises(ValueError):
+            GroupCountToK(3, arity=3).delta_group((1, 1))
+
+    @pytest.mark.parametrize("ones,expected", [(4, 0), (5, 1), (8, 1)])
+    def test_correctness(self, ones, expected, seed):
+        p = GroupCountToK(5, arity=3)
+        inputs = [1] * ones + [0] * (12 - ones)
+        sim = MultiwaySimulation(p, inputs, seed=seed)
+        sim.run(60_000)
+        assert sim.unanimous_output() == expected
+
+    def test_sum_bounded_by_ones_before_alert(self, seed):
+        p = GroupCountToK(6, arity=3)
+        sim = MultiwaySimulation(p, [1] * 4 + [0] * 6, seed=seed)
+        for _ in range(5000):
+            sim.step()
+            assert 6 not in sim.states   # four ones can never alert
+            assert sum(sim.states) == 4  # token conservation
+
+
+class TestArityAdvantage:
+    def test_three_way_converges_in_fewer_interactions(self, seed):
+        """Each productive 3-way meeting merges more counters, so the
+        3-way protocol needs fewer interactions than the pairwise one."""
+        ones, zeros, k = 9, 9, 9
+
+        def pairwise_trial(s):
+            sim = simulate_counts(CountToK(k), {1: ones, 0: zeros}, seed=s)
+            sim.run_until(lambda x: x.unanimous_output() == 1,
+                          max_steps=10_000_000, check_every=10)
+            return sim.interactions
+
+        def threeway_trial(s):
+            sim = MultiwaySimulation(GroupCountToK(k, arity=3),
+                                     [1] * ones + [0] * zeros, seed=s)
+            sim.run_until(lambda x: x.unanimous_output() == 1,
+                          max_steps=10_000_000, check_every=10)
+            return sim.interactions
+
+        pairwise = run_trials(pairwise_trial, trials=40, seed=seed)
+        threeway = run_trials(threeway_trial, trials=40, seed=seed + 1)
+        assert threeway.mean < pairwise.mean
+
+
+class TestMultiwaySimulation:
+    def test_needs_enough_agents(self):
+        with pytest.raises(ValueError):
+            MultiwaySimulation(GroupCountToK(3, arity=4), [1, 1, 1])
+
+    def test_deterministic_by_seed(self):
+        p = GroupCountToK(4, arity=3)
+        a = MultiwaySimulation(p, [1] * 5 + [0] * 3, seed=5)
+        b = MultiwaySimulation(p, [1] * 5 + [0] * 3, seed=5)
+        a.run(500)
+        b.run(500)
+        assert a.states == b.states
+
+    def test_outputs_view(self):
+        p = GroupCountToK(2, arity=3)
+        sim = MultiwaySimulation(p, [1, 1, 1, 0], seed=0)
+        assert sim.outputs() == (0, 0, 0, 0)

@@ -1,0 +1,109 @@
+"""Tests for populations and interaction graphs."""
+
+import pytest
+
+from repro.core.population import (
+    Population,
+    PopulationError,
+    complete_population,
+    grid_population,
+    line_population,
+    random_connected_population,
+    ring_population,
+    star_population,
+)
+
+
+class TestPopulation:
+    def test_complete_by_default(self):
+        p = Population(4)
+        assert p.is_complete
+        assert len(p.edges) == 12
+
+    def test_explicit_complete_detected(self):
+        edges = [(u, v) for u in range(3) for v in range(3) if u != v]
+        assert Population(3, edges).is_complete
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PopulationError):
+            Population(3, [(0, 0), (0, 1), (1, 0), (1, 2), (2, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(PopulationError):
+            Population(3, [(0, 5)])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(PopulationError):
+            Population(1)
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(PopulationError):
+            Population(3, [])
+
+    def test_out_neighbors(self):
+        p = Population(3, [(0, 1), (0, 2), (1, 0)])
+        assert p.out_neighbors(0) == [1, 2]
+        assert p.out_neighbors(2) == []
+
+
+class TestConnectivity:
+    def test_complete_connected(self):
+        assert complete_population(5).is_weakly_connected()
+
+    def test_line_connected(self):
+        assert line_population(6).is_weakly_connected()
+
+    def test_disconnected_detected(self):
+        p = Population(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert not p.is_weakly_connected()
+
+    def test_one_way_edges_count_as_weak(self):
+        p = Population(3, [(0, 1), (1, 2)])
+        assert p.is_weakly_connected()
+
+
+class TestConstructors:
+    def test_line_edge_count(self):
+        assert len(line_population(5).edges) == 8  # 4 undirected pairs
+
+    def test_ring_edge_count(self):
+        assert len(ring_population(5).edges) == 10
+
+    def test_ring_too_small(self):
+        with pytest.raises(PopulationError):
+            ring_population(2)
+
+    def test_star_hub(self):
+        p = star_population(5)
+        assert set(p.out_neighbors(0)) == {1, 2, 3, 4}
+        assert p.out_neighbors(3) == [0]
+
+    def test_grid_shape(self):
+        p = grid_population(2, 3)
+        assert p.n == 6
+        # Interior adjacency: agent 1 (row 0, col 1) touches 0, 2, 4.
+        assert set(p.out_neighbors(1)) == {0, 2, 4}
+
+    def test_grid_too_small(self):
+        with pytest.raises(PopulationError):
+            grid_population(1, 1)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            p = random_connected_population(12, 0.05, seed=seed)
+            assert p.is_weakly_connected()
+
+    def test_random_connected_deterministic_by_seed(self):
+        a = random_connected_population(10, 0.2, seed=3)
+        b = random_connected_population(10, 0.2, seed=3)
+        assert a.edges == b.edges
+
+    def test_random_connected_bad_probability(self):
+        with pytest.raises(PopulationError):
+            random_connected_population(5, 1.5)
+
+    def test_all_constructors_bidirectional(self):
+        for p in (line_population(5), ring_population(5), star_population(5),
+                  grid_population(2, 3), random_connected_population(8, 0.3, seed=1)):
+            for (u, v) in p.edges:
+                assert (v, u) in p.edges

@@ -1,0 +1,39 @@
+"""Tests for protocol pretty-printing."""
+
+import pytest
+
+from repro.core.pretty import describe, transition_matrix_text
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.threshold import ThresholdProtocol
+
+
+class TestDescribe:
+    def test_contains_all_sections(self):
+        text = describe(CountToK(2))
+        assert "states (3)" in text
+        assert "I(1) = 1" in text
+        assert "O(2) = 1" in text
+        assert "(1, 1) -> (2, 2)" in text
+
+    def test_transition_count_shown(self):
+        text = describe(count_to_five())
+        assert "non-no-op" in text
+
+    def test_size_guard(self):
+        big = ThresholdProtocol({"a": 5, "b": -5}, c=4)
+        with pytest.raises(ValueError):
+            describe(big, max_transitions=10)
+
+    def test_deterministic(self):
+        assert describe(CountToK(3)) == describe(CountToK(3))
+
+
+class TestTransitionMatrix:
+    def test_grid_renders(self):
+        text = transition_matrix_text(CountToK(2))
+        # Row for state 1 meeting state 1 must show the alert pair.
+        assert "2,2" in text.replace(" ", "")
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            transition_matrix_text(CountToK(20))  # 21 states > 12

@@ -1,0 +1,129 @@
+"""Tests for the protocol base classes."""
+
+import pytest
+
+from repro.core.protocol import (
+    DictProtocol,
+    PopulationProtocol,
+    ProtocolError,
+    as_dict_protocol,
+)
+from repro.protocols.counting import CountToK, count_to_five
+
+
+class TestDictProtocol:
+    def make(self) -> DictProtocol:
+        return DictProtocol(
+            input_map={0: "a", 1: "b"},
+            output_map={"a": 0, "b": 1, "c": 1},
+            transitions={("a", "b"): ("c", "a")},
+            name="toy",
+        )
+
+    def test_alphabets(self):
+        p = self.make()
+        assert p.input_alphabet == {0, 1}
+        assert p.output_alphabet == {0, 1}
+
+    def test_delta_defaults_to_noop(self):
+        p = self.make()
+        assert p.delta("b", "a") == ("b", "a")
+        assert p.delta("a", "b") == ("c", "a")
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(ProtocolError):
+            self.make().initial_state(7)
+
+    def test_unknown_state_output_raises(self):
+        with pytest.raises(ProtocolError):
+            self.make().output("zz")
+
+    def test_transition_with_unmapped_state_rejected(self):
+        with pytest.raises(ProtocolError):
+            DictProtocol(
+                input_map={0: "a"},
+                output_map={"a": 0},
+                transitions={("a", "a"): ("a", "ghost")},
+            )
+
+    def test_initial_state_without_output_rejected(self):
+        with pytest.raises(ProtocolError):
+            DictProtocol(
+                input_map={0: "ghost"},
+                output_map={"a": 0},
+                transitions={},
+            )
+
+    def test_empty_input_map_rejected(self):
+        with pytest.raises(ProtocolError):
+            DictProtocol(input_map={}, output_map={}, transitions={})
+
+
+class TestStateDiscovery:
+    def test_count_to_five_states(self):
+        p = count_to_five()
+        assert p.states() == frozenset(range(6))
+
+    def test_count_to_two(self):
+        p = CountToK(2)
+        assert p.states() == frozenset({0, 1, 2})
+
+    def test_states_includes_unreached_initials(self):
+        p = DictProtocol(
+            input_map={0: "a"},
+            output_map={"a": 0, "b": 1},
+            transitions={("a", "a"): ("b", "b")},
+        )
+        assert p.states() == frozenset({"a", "b"})
+
+    def test_max_states_guard(self):
+        class Runaway(PopulationProtocol):
+            input_alphabet = frozenset({0})
+            output_alphabet = frozenset({0})
+
+            def initial_state(self, symbol):
+                return 0
+
+            def output(self, state):
+                return 0
+
+            def delta(self, p, q):
+                return p + 1, q  # unbounded state space
+
+        with pytest.raises(ProtocolError):
+            Runaway().states(max_states=100)
+
+
+class TestDerivedHelpers:
+    def test_is_noop(self):
+        p = count_to_five()
+        assert p.is_noop(0, 0)
+        assert not p.is_noop(1, 1)
+
+    def test_transition_table_omits_noops(self):
+        p = CountToK(2)
+        table = p.transition_table()
+        assert ((0, 0)) not in table
+        assert table[(1, 1)] == (2, 2)
+
+    def test_validate_passes_for_library_protocol(self):
+        count_to_five().validate()
+
+    def test_validate_catches_bad_output(self):
+        class Bad(CountToK):
+            def output(self, state):
+                return "surprise"
+
+        with pytest.raises(ProtocolError):
+            Bad(3).validate()
+
+    def test_as_dict_protocol_equivalent(self):
+        p = CountToK(3)
+        d = as_dict_protocol(p)
+        states = p.states()
+        for symbol in p.input_alphabet:
+            assert d.initial_state(symbol) == p.initial_state(symbol)
+        for s in states:
+            assert d.output(s) == p.output(s)
+            for t in states:
+                assert d.delta(s, t) == p.delta(s, t)

@@ -1,0 +1,102 @@
+"""Tests for the one-step multiset semantics."""
+
+from repro.core.semantics import (
+    apply_transition,
+    enabled_state_pairs,
+    enabled_transitions,
+    is_silent,
+    pair_count,
+    successors,
+)
+from repro.protocols.counting import CountToK, count_to_five
+from repro.util.multiset import FrozenMultiset
+
+
+class TestEnabledPairs:
+    def test_distinct_states(self):
+        ms = FrozenMultiset({0: 1, 1: 1})
+        pairs = set(enabled_state_pairs(ms))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_same_state_needs_two_agents(self):
+        assert set(enabled_state_pairs(FrozenMultiset({1: 1, 0: 1}))) == \
+            {(1, 0), (0, 1)}
+        assert (1, 1) in set(enabled_state_pairs(FrozenMultiset({1: 2})))
+
+
+class TestTransitions:
+    def test_enabled_transitions_skip_noops(self):
+        p = count_to_five()
+        ms = FrozenMultiset({0: 3})
+        assert enabled_transitions(p, ms) == []
+
+    def test_enabled_transitions_found(self):
+        p = count_to_five()
+        ms = FrozenMultiset({1: 2})
+        transitions = enabled_transitions(p, ms)
+        assert (((1, 1), (2, 0))) in transitions
+
+    def test_apply_transition(self):
+        ms = FrozenMultiset({1: 2})
+        after = apply_transition(ms, ((1, 1), (2, 0)))
+        assert after == FrozenMultiset({2: 1, 0: 1})
+
+
+class TestSuccessors:
+    def test_successor_set(self):
+        p = CountToK(3)
+        ms = FrozenMultiset({1: 2, 0: 1})
+        succ = successors(p, ms)
+        assert FrozenMultiset({2: 1, 0: 2}) in succ
+        # delta(0, 1) = (1, 0) swaps states between agents: a state-changing
+        # step at the agent level that maps the multiset to itself, so the
+        # configuration IS its own successor here.
+        assert ms in succ
+        assert len(succ) == 2
+
+    def test_noop_only_config_has_no_successors(self):
+        p = CountToK(3)
+        assert successors(p, FrozenMultiset({0: 4})) == set()
+
+    def test_population_size_preserved(self):
+        p = count_to_five()
+        ms = FrozenMultiset({1: 4, 0: 2})
+        for succ in successors(p, ms):
+            assert succ.total == ms.total
+
+
+class TestSilence:
+    def test_initial_not_silent(self):
+        p = count_to_five()
+        assert not is_silent(p, FrozenMultiset({1: 2}))
+
+    def test_all_zero_silent(self):
+        p = count_to_five()
+        assert is_silent(p, FrozenMultiset({0: 5}))
+
+    def test_alert_config_silent(self):
+        p = count_to_five()
+        assert is_silent(p, FrozenMultiset({5: 4}))
+
+    def test_tail_swap_prevents_silence(self):
+        # (q0, q4) -> (q4, q0) changes states, so not silent even though
+        # the outputs are stable.
+        p = count_to_five()
+        assert not is_silent(p, FrozenMultiset({0: 3, 4: 1}))
+
+
+class TestPairCount:
+    def test_distinct(self):
+        ms = FrozenMultiset({0: 3, 1: 2})
+        assert pair_count(ms, 0, 1) == 6
+        assert pair_count(ms, 1, 0) == 6
+
+    def test_same(self):
+        ms = FrozenMultiset({0: 3})
+        assert pair_count(ms, 0, 0) == 6  # 3 * 2 ordered pairs
+
+    def test_total_weight(self):
+        ms = FrozenMultiset({0: 3, 1: 2, 2: 1})
+        n = ms.total
+        total = sum(pair_count(ms, p, q) for p in ms for q in ms)
+        assert total == n * (n - 1)

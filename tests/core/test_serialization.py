@@ -1,0 +1,123 @@
+"""Tests for protocol serialization."""
+
+import pytest
+
+from repro.core.protocol import DictProtocol
+from repro.core.serialization import (
+    SerializationError,
+    protocol_from_dict,
+    protocol_from_json,
+    protocol_to_dict,
+    protocol_to_json,
+)
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.threshold import ThresholdProtocol
+
+
+def assert_equivalent(a, b) -> None:
+    states = a.states() if not isinstance(a, DictProtocol) else a.declared_states()
+    for symbol in a.input_alphabet:
+        assert b.initial_state(symbol) == a.initial_state(symbol)
+    for p in states:
+        assert b.output(p) == a.output(p)
+        for q in states:
+            assert b.delta(p, q) == a.delta(p, q)
+
+
+class TestRoundTrip:
+    def test_count_to_five(self):
+        original = count_to_five()
+        restored = protocol_from_json(protocol_to_json(original, "c5"))
+        assert restored.name == "c5"
+        assert restored.input_alphabet == original.input_alphabet
+        assert_equivalent(original, restored)
+
+    def test_threshold_with_tuple_states(self):
+        original = ThresholdProtocol({"a": 1, "b": -1}, c=1)
+        restored = protocol_from_json(protocol_to_json(original))
+        assert_equivalent(original, restored)
+
+    def test_compiled_protocol(self):
+        from repro.presburger.compiler import compile_predicate
+
+        original = compile_predicate("x = 1 mod 2 & x < y")
+        restored = protocol_from_json(protocol_to_json(original))
+        # Spot-check behaviour via the model checker.
+        from repro.analysis.stability import (
+            all_inputs_of_size,
+            verify_stable_computation,
+        )
+
+        results = verify_stable_computation(
+            restored, lambda c: original.ground_truth(c),
+            all_inputs_of_size(["x", "y"], 4))
+        assert all(results)
+
+    def test_dict_protocol_round_trip(self):
+        original = DictProtocol(
+            input_map={0: ("a", 1), 1: ("b", None)},
+            output_map={("a", 1): 0, ("b", None): 1, ("c", True): 1},
+            transitions={(("a", 1), ("b", None)): (("c", True), ("a", 1))},
+            name="weird-states",
+        )
+        restored = protocol_from_json(protocol_to_json(original))
+        assert restored.initial_state(1) == ("b", None)
+        assert restored.delta(("a", 1), ("b", None)) == (("c", True), ("a", 1))
+
+    def test_json_is_deterministic(self):
+        a = protocol_to_json(CountToK(3))
+        b = protocol_to_json(CountToK(3))
+        assert a == b
+
+
+class TestErrors:
+    def test_unsupported_state_type(self):
+        bad = DictProtocol(
+            input_map={0: frozenset({1})},
+            output_map={frozenset({1}): 0},
+            transitions={},
+        )
+        with pytest.raises(SerializationError):
+            protocol_to_dict(bad)
+
+    def test_bad_format_tag(self):
+        with pytest.raises(SerializationError):
+            protocol_from_dict({"format": "something-else"})
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            protocol_from_json("{not json")
+
+    def test_malformed_value(self):
+        doc = protocol_to_dict(CountToK(2))
+        doc["input_map"][0][0] = {"t": "mystery", "v": 1}
+        with pytest.raises(SerializationError):
+            protocol_from_dict(doc)
+
+    def test_bool_int_distinction_preserved(self):
+        # True and 1 are distinct states after a round trip.
+        original = DictProtocol(
+            input_map={0: True, 1: 1},
+            output_map={True: 0, 1: 1},
+            transitions={},
+        )
+        restored = protocol_from_json(protocol_to_json(original))
+        assert restored.initial_state(0) is True
+        assert restored.initial_state(1) == 1
+        assert restored.initial_state(1) is not True
+
+
+class TestWrappedProtocolRoundTrip:
+    def test_graph_simulation_protocol(self):
+        """The Theorem 7 wrapper (tuple-of-str states) serializes and the
+        restored copy behaves identically on every reachable pair."""
+        from repro.protocols.counting import CountToK
+        from repro.protocols.graph_simulation import GraphSimulationProtocol
+
+        original = GraphSimulationProtocol(CountToK(2))
+        restored = protocol_from_json(protocol_to_json(original))
+        states = original.states()
+        for p in states:
+            assert restored.output(p) == original.output(p)
+            for q in states:
+                assert restored.delta(p, q) == original.delta(p, q)

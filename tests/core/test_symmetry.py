@@ -1,0 +1,73 @@
+"""Theorem 1 / Corollary 1: invariance under agent renaming.
+
+The paper proves that any predicate stably computed on the standard
+population is invariant under permuting the input assignment.  These are
+executable versions of that argument: permuting agents and conjugating the
+encounter sequence produces the permuted execution (the simulation lemma
+inside the proof of Theorem 1), and verdicts depend only on symbol counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import initial_configuration
+from repro.core.execution import replay
+from repro.protocols.counting import count_to_five
+from repro.protocols.majority import majority_protocol
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import Simulation
+
+
+@st.composite
+def permutations(draw, n: int):
+    items = list(range(n))
+    return draw(st.permutations(items))
+
+
+class TestExecutionConjugation:
+    """R_A(x, y) implies R_A(x ∘ pi, y ∘ pi): permuted inputs with
+    permuted encounters yield the permuted configuration."""
+
+    @settings(max_examples=40)
+    @given(st.lists(st.sampled_from([0, 1]), min_size=4, max_size=8),
+           st.data())
+    def test_conjugated_replay(self, inputs, data):
+        protocol = count_to_five()
+        n = len(inputs)
+        pi = data.draw(permutations(n))
+        encounters = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+            .filter(lambda e: e[0] != e[1]),
+            min_size=0, max_size=12))
+
+        plain = replay(protocol, initial_configuration(protocol, inputs),
+                       encounters)
+
+        permuted_inputs = [None] * n
+        for agent, symbol in enumerate(inputs):
+            permuted_inputs[pi[agent]] = symbol
+        permuted_encounters = [(pi[i], pi[j]) for i, j in encounters]
+        permuted = replay(
+            protocol, initial_configuration(protocol, permuted_inputs),
+            permuted_encounters)
+
+        assert permuted.current == plain.current.permute(pi)
+
+
+class TestVerdictInvariance:
+    """Corollary 1: acceptance depends only on the Parikh image."""
+
+    @settings(max_examples=10)
+    @given(st.integers(0, 8), st.integers(0, 10_000))
+    def test_majority_any_arrangement(self, ones, seed):
+        protocol = majority_protocol()
+        n = 10
+        expected = 1 if ones >= n - ones else 0
+        base = [1] * ones + [0] * (n - ones)
+        arrangements = [base, list(reversed(base)),
+                        base[::2] + base[1::2]]
+        for inputs in arrangements:
+            sim = Simulation(protocol, inputs, seed=seed)
+            result = run_until_quiescent(sim, patience=10_000,
+                                         max_steps=2_000_000)
+            assert result.output == expected

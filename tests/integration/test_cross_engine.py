@@ -1,0 +1,91 @@
+"""Cross-engine consistency: every engine tells the same story.
+
+The agent-array, counted-multiset, and no-op-skipping engines (and, for
+small inputs, the exact chain) must agree on verdicts and, in
+distribution, on convergence times.
+"""
+
+import pytest
+
+from repro.analysis.markov import MarkovAnalysis
+from repro.protocols.counting import CountToK
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.engine import simulate_counts
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.skipping import SkippingSimulation
+from repro.sim.stats import run_trials
+
+
+CASES = [
+    (parity_protocol, {1: 5, 0: 7}, 1),
+    (parity_protocol, {1: 4, 0: 6}, 0),
+    # Kept small: the Lemma 5 threshold chain grows quickly with n.
+    (majority_protocol, {1: 5, 0: 3}, 1),
+    (lambda: CountToK(3), {1: 3, 0: 5}, 1),
+    (lambda: CountToK(3), {1: 2, 0: 6}, 0),
+]
+
+
+@pytest.mark.parametrize("factory,counts,expected", CASES)
+class TestVerdictAgreement:
+    def test_agent_engine(self, factory, counts, expected, seed):
+        sim = simulate_counts(factory(), counts, seed=seed)
+        done = sim.run_until(
+            lambda s: s.unanimous_output() == expected,
+            max_steps=2_000_000, check_every=20)
+        assert done
+
+    def test_multiset_engine(self, factory, counts, expected, seed):
+        sim = MultisetSimulation(factory(), counts, seed=seed)
+        done = sim.run_until(
+            lambda s: s.unanimous_output() == expected,
+            max_steps=2_000_000, check_every=20)
+        assert done
+
+    def test_skipping_engine(self, factory, counts, expected, seed):
+        sim = SkippingSimulation(factory(), counts, seed=seed)
+        done = sim.run_until(
+            lambda s: s.unanimous_output() == expected,
+            max_steps=200_000, check_every=1)
+        assert done
+
+    def test_exact_chain(self, factory, counts, expected, seed):
+        dist = MarkovAnalysis(factory(), counts).convergence()
+        assert dist.output_probability.get(expected, 0.0) == \
+            pytest.approx(1.0)
+
+
+class TestTimeDistributionAgreement:
+    """Hitting times of the stable set: three engines, one law."""
+
+    def test_parity_mean_times_agree(self, seed):
+        protocol_factory = parity_protocol
+        counts = {1: 3, 0: 3}
+        analysis = MarkovAnalysis(protocol_factory(), counts)
+        stable = set(analysis.output_stable_configurations())
+        exact = analysis.expected_convergence_interactions()
+
+        def agent_trial(s):
+            sim = simulate_counts(protocol_factory(), counts, seed=s)
+            sim.run_until(lambda x: x.multiset() in stable,
+                          max_steps=100_000, check_every=1)
+            return sim.interactions
+
+        def multiset_trial(s):
+            sim = MultisetSimulation(protocol_factory(), counts, seed=s)
+            sim.run_until(lambda x: x.multiset() in stable,
+                          max_steps=100_000, check_every=1)
+            return sim.interactions
+
+        def skipping_trial(s):
+            sim = SkippingSimulation(protocol_factory(), counts, seed=s)
+            sim.run_until(lambda x: x.multiset() in stable,
+                          max_steps=100_000, check_every=1)
+            return sim.interactions
+
+        trials = 300
+        for trial in (agent_trial, multiset_trial, skipping_trial):
+            summary = run_trials(trial, trials=trials, seed=seed)
+            assert abs(summary.mean - exact) < 5 * summary.stderr + 1, \
+                f"{trial.__name__}: {summary.mean} vs exact {exact}"

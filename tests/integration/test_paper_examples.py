@@ -1,0 +1,122 @@
+"""End-to-end reproduction of every worked example in the paper's text."""
+
+import pytest
+
+from repro.core.conventions import (
+    AllAgentsPredicateOutput,
+    IntegerOutput,
+    SymbolCountInput,
+)
+from repro.presburger.compiler import compile_predicate
+from repro.presburger.parser import parse
+from repro.presburger.qe import decide
+from repro.protocols.counting import count_to_five
+from repro.protocols.majority import flock_of_birds_protocol
+from repro.protocols.quotient import QuotientRemainderProtocol
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import Simulation, simulate_counts
+
+
+class TestSectionOneFlockOfBirds:
+    """'whether at least five birds in the flock have elevated temperatures'"""
+
+    def test_small_flock(self, seed):
+        protocol = count_to_five()
+        flock = [1, 0, 1, 1, 0, 1, 1, 0, 0, 0]  # 5 elevated
+        sim = Simulation(protocol, flock, seed=seed)
+        result = run_until_quiescent(sim, patience=8_000, max_steps=500_000)
+        assert result.output == 1
+        assert AllAgentsPredicateOutput().decode(sim.outputs()) is True
+
+    def test_four_elevated_is_negative(self, seed):
+        protocol = count_to_five()
+        flock = [1, 0, 1, 1, 0, 1, 0, 0]
+        sim = Simulation(protocol, flock, seed=seed)
+        result = run_until_quiescent(sim, patience=8_000, max_steps=500_000)
+        assert result.output == 0
+
+
+class TestSectionFourFivePercent:
+    """'whether at least 5% of the birds in the flock have elevated
+    temperatures' == 20 x1 >= x0 + x1."""
+
+    def test_equivalence_of_formulations(self):
+        original = parse("20*x1 >= x0 + x1")
+        for x0 in range(0, 50, 7):
+            for x1 in range(0, 5):
+                assert decide(original, {"x0": x0, "x1": x1}) == \
+                    (20 * x1 >= x0 + x1)
+
+    def test_protocol_on_boundary(self, seed):
+        protocol = flock_of_birds_protocol()
+        # 60 birds, 3 elevated: 5% exactly.
+        sim = simulate_counts(protocol, {0: 57, 1: 3}, seed=seed)
+        result = run_until_quiescent(sim, patience=40_000, max_steps=4_000_000)
+        assert result.output == 1
+        # 61 birds, 3 elevated: 4.9%.
+        sim = simulate_counts(protocol, {0: 58, 1: 3}, seed=seed)
+        result = run_until_quiescent(sim, patience=40_000, max_steps=4_000_000)
+        assert result.output == 0
+
+
+class TestSectionThreeIntegerFunction:
+    """The floor(m/3) example with its (m mod 3, floor(m/3)) variant."""
+
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 8, 13])
+    def test_quotient_pair(self, m, seed):
+        protocol = QuotientRemainderProtocol(3)
+        sim = simulate_counts(protocol, {1: m, 0: max(2, 16 - m)}, seed=seed)
+        from repro.core.semantics import is_silent
+        sim.run_until(lambda s: is_silent(protocol, s.multiset()),
+                      max_steps=2_000_000, check_every=100)
+        remainder, quotient = IntegerOutput(2).decode(sim.outputs())
+        assert (remainder, quotient) == (m % 3, m // 3)
+
+
+class TestSectionFourTwoExample:
+    """The xi_m congruence definition and the Corollary 3 example
+    Phi(y1, y2) = (y1 - 2 y2 ≡ 0 (mod 3)) with its vector alphabet."""
+
+    def test_xi_m_definition(self):
+        xi3 = parse("E z. E q. (x + z = y) & (q + q + q = z)")
+        for x in range(-6, 7):
+            for y in range(-6, 7):
+                assert decide(xi3, {"x": x, "y": y}) == ((x - y) % 3 == 0)
+
+    def test_corollary_3_example(self):
+        from repro.analysis.stability import (
+            all_inputs_of_size,
+            verify_stable_computation,
+        )
+        from repro.presburger.compiler import compile_integer_predicate
+
+        vectors = {
+            (0, 0): (0, 0), (1, 0): (1, 0), (-1, 0): (-1, 0),
+            (0, 1): (0, 1), (0, -1): (0, -1),
+        }
+        protocol = compile_integer_predicate(
+            "y1 = 2*y2 mod 3", vectors, ["y1", "y2"])
+
+        def truth(counts):
+            y1 = counts.get((1, 0), 0) - counts.get((-1, 0), 0)
+            y2 = counts.get((0, 1), 0) - counts.get((0, -1), 0)
+            return (y1 - 2 * y2) % 3 == 0
+
+        results = verify_stable_computation(
+            protocol, truth, all_inputs_of_size(list(vectors), 3))
+        assert all(results)
+
+
+class TestSymbolCountConvention:
+    """Theorem 1 / Lemma 2: acceptance depends only on the Parikh image."""
+
+    def test_permuted_inputs_agree(self, seed):
+        protocol = compile_predicate("x = 1 mod 2", extra_symbols=["y"])
+        convention = SymbolCountInput(["x", "y"])
+        word_a = convention.encode([3, 4])
+        word_b = list(reversed(word_a))
+        for word in (word_a, word_b):
+            sim = Simulation(protocol, word, seed=seed)
+            result = run_until_quiescent(sim, patience=10_000,
+                                         max_steps=1_000_000)
+            assert result.output == 1

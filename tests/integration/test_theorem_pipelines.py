@@ -1,0 +1,143 @@
+"""Cross-module integration: each headline theorem exercised end to end."""
+
+import pytest
+
+from repro.analysis.markov import exact_output_distribution
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.core.population import line_population, random_connected_population
+from repro.machines.minsky import tm_to_counter_program
+from repro.machines.pp_counter import (
+    HALTED,
+    DesignatedLeaderProtocol,
+    leader_states,
+)
+from repro.machines.turing import unary_parity_machine
+from repro.presburger.compiler import compile_predicate
+from repro.protocols.graph_simulation import GraphSimulationProtocol
+from repro.protocols.output_conversion import (
+    AllAgentsFromZeroNonZero,
+    ZeroNonZeroWitness,
+)
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import Simulation, simulate_counts
+from repro.util.rng import spawn_seeds
+
+
+class TestTheorem5FullPipeline:
+    """Text -> parse -> QE -> protocol -> exhaustive model check, with
+    formulas mixing quantifiers, congruences, and Boolean structure."""
+
+    @pytest.mark.parametrize("text", [
+        "E k. x = 2*k & k >= 0",                 # even
+        "x = y | x = 2*y",                       # disjunction of equalities
+        "!(x < y) & x + y = 1 mod 2",            # negation + congruence
+        "A z. z < 0 | x + z >= z",               # vacuous-ish universal
+    ])
+    def test_model_checked(self, text):
+        protocol = compile_predicate(text, extra_symbols=["pad"]) \
+            if "y" not in text else compile_predicate(text)
+        alphabet = sorted(protocol.input_alphabet)
+        results = verify_stable_computation(
+            protocol,
+            lambda counts: protocol.ground_truth(counts),
+            all_inputs_of_size(alphabet, 4))
+        assert all(results)
+
+
+class TestTheorem5PlusTheorem7:
+    """A compiled Presburger predicate running on a line graph through the
+    baton simulator: the compiler and the graph simulator compose."""
+
+    def test_parity_on_a_line(self, seed):
+        inner = compile_predicate("x = 1 mod 2", extra_symbols=["pad"])
+        protocol = GraphSimulationProtocol(inner)
+        population = line_population(6)
+        inputs = ["x", "x", "x", "pad", "pad", "pad"]
+        sim = Simulation(protocol, inputs, population=population, seed=seed)
+        result = run_until_quiescent(sim, patience=60_000, max_steps=6_000_000)
+        assert result.output == 1
+
+    def test_on_random_graph(self, seed):
+        inner = compile_predicate("x >= 2", extra_symbols=["pad"])
+        protocol = GraphSimulationProtocol(inner)
+        population = random_connected_population(7, 0.2, seed=9)
+        inputs = ["x", "pad", "x", "pad", "pad", "pad", "pad"]
+        sim = Simulation(protocol, inputs, population=population, seed=seed)
+        result = run_until_quiescent(sim, patience=60_000, max_steps=6_000_000)
+        assert result.output == 1
+
+
+class TestTheorem2PlusCompiler:
+    """The Theorem 2 wrapper composes with arbitrary inner protocols."""
+
+    def test_wrapped_witness_matches_compiled_threshold(self, seed):
+        wrapped = AllAgentsFromZeroNonZero(ZeroNonZeroWitness(2))
+        compiled = compile_predicate("x >= 2", extra_symbols=["pad"])
+        for ones in (0, 1, 2, 4):
+            sim_w = simulate_counts(wrapped, {1: ones, 0: 6 - ones}, seed=seed)
+            res_w = run_until_quiescent(sim_w, patience=10_000,
+                                        max_steps=1_000_000)
+            sim_c = simulate_counts(compiled, {"x": ones, "pad": 6 - ones},
+                                    seed=seed)
+            res_c = run_until_quiescent(sim_c, patience=10_000,
+                                        max_steps=1_000_000)
+            assert res_w.output == res_c.output == (1 if ones >= 2 else 0)
+
+
+class TestTheorem10FullStack:
+    """Turing machine -> Minsky counters -> population protocol.
+
+    The complete Theorem 10 pipeline on unary parity, run at small n.
+    """
+
+    @pytest.mark.parametrize("m,expected", [(1, 1), (2, 0), (3, 1)])
+    def test_unary_parity_on_population(self, m, expected, seed):
+        tm = unary_parity_machine()
+        compilation = tm_to_counter_program(tm)
+        protocol = DesignatedLeaderProtocol(
+            compilation.program, capacity=6, zero_test_k=3)
+        initial = compilation.initial_counters(["1"] * m)
+        # Distribute the Gödel-number counters as unit shares.
+        n = max(20, sum(initial) + 6)
+        counts = protocol.make_input_counts(initial, n)
+        sim = simulate_counts(protocol, counts, seed=seed)
+        done = sim.run_until(
+            lambda s: (leader_states(s.states)
+                       and leader_states(s.states)[0][1] == HALTED),
+            max_steps=6_000_000, check_every=200)
+        assert done
+        assert leader_states(sim.states)[0][6] == expected
+
+    def test_error_rate_small_over_seeds(self, seed):
+        tm = unary_parity_machine()
+        compilation = tm_to_counter_program(tm)
+        protocol = DesignatedLeaderProtocol(
+            compilation.program, capacity=6, zero_test_k=3)
+        initial = compilation.initial_counters(["1", "1", "1"])
+        counts = protocol.make_input_counts(initial, 24)
+        wrong = 0
+        trials = 8
+        for s in spawn_seeds(seed, trials):
+            sim = simulate_counts(protocol, counts, seed=s)
+            sim.run_until(
+                lambda sm: (leader_states(sm.states)
+                            and leader_states(sm.states)[0][1] == HALTED),
+                max_steps=6_000_000, check_every=200)
+            if leader_states(sim.states)[0][6] != 1:
+                wrong += 1
+        assert wrong <= 1  # error probability O(n^-k log n) is tiny here
+
+
+class TestTheorem11CrossCheck:
+    """Exact Markov verdict == simulated verdict for compiled predicates."""
+
+    def test_compiled_majority_chain(self, seed):
+        protocol = compile_predicate("y < x")  # more x's than y's
+        counts = {"x": 3, "y": 1}
+        dist = exact_output_distribution(protocol, counts)
+        assert dist.output_probability.get(1, 0) == pytest.approx(1.0)
+        assert dist.divergence_probability == pytest.approx(0.0, abs=1e-12)
+
+        sim = simulate_counts(protocol, counts, seed=seed)
+        result = run_until_quiescent(sim, patience=8_000, max_steps=800_000)
+        assert result.output == 1

@@ -1,0 +1,142 @@
+"""Tests for counter machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.counter import (
+    Assembler,
+    CounterMachineError,
+    CounterProgram,
+    Halt,
+    Inc,
+    Jump,
+    JzDec,
+    divide_program,
+    multiply_program,
+    run_program,
+)
+
+
+class TestValidation:
+    def test_counter_range_checked(self):
+        with pytest.raises(CounterMachineError):
+            CounterProgram([Inc(2), Halt()], n_counters=2)
+
+    def test_jump_target_checked(self):
+        with pytest.raises(CounterMachineError):
+            CounterProgram([Jump(5)], n_counters=1)
+
+    def test_jzdec_target_checked(self):
+        with pytest.raises(CounterMachineError):
+            CounterProgram([JzDec(0, 9)], n_counters=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CounterMachineError):
+            CounterProgram([], n_counters=1)
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(CounterMachineError):
+            CounterProgram(["bogus"], n_counters=1)
+
+
+class TestInterpreter:
+    def test_inc_and_halt(self):
+        program = CounterProgram([Inc(0), Inc(0), Halt(output=1)], 1)
+        result = run_program(program, [0])
+        assert result.halted
+        assert result.counters == [2]
+        assert result.output == 1
+
+    def test_jzdec_branches(self):
+        # if c0 == 0 halt(0) else decrement and halt(1)
+        program = CounterProgram([JzDec(0, 2), Halt(output=1), Halt(output=0)], 1)
+        assert run_program(program, [0]).output == 0
+        result = run_program(program, [3])
+        assert result.output == 1
+        assert result.counters == [2]
+
+    def test_nonhalting_budget(self):
+        program = CounterProgram([Jump(0)], 1)
+        result = run_program(program, [0], max_steps=100)
+        assert not result.halted
+        assert result.steps == 100
+
+    def test_initial_length_checked(self):
+        program = CounterProgram([Halt()], 2)
+        with pytest.raises(CounterMachineError):
+            run_program(program, [1])
+
+    def test_negative_initial_rejected(self):
+        program = CounterProgram([Halt()], 1)
+        with pytest.raises(CounterMachineError):
+            run_program(program, [-1])
+
+    def test_capacity_enforced(self):
+        program = CounterProgram([Inc(0), Inc(0), Halt()], 1)
+        with pytest.raises(CounterMachineError):
+            run_program(program, [0], capacity=1)
+
+    def test_initial_capacity_enforced(self):
+        program = CounterProgram([Halt()], 1)
+        with pytest.raises(CounterMachineError):
+            run_program(program, [9], capacity=4)
+
+
+class TestAssembler:
+    def test_label_resolution(self):
+        asm = Assembler(1)
+        asm.label("start")
+        asm.jzdec(0, "end")
+        asm.jump("start")
+        asm.label("end")
+        asm.halt(output=1)
+        program = asm.assemble()
+        result = run_program(program, [5])
+        assert result.output == 1
+        assert result.counters == [0]
+
+    def test_undefined_label(self):
+        asm = Assembler(1)
+        asm.jump("nowhere")
+        with pytest.raises(CounterMachineError):
+            asm.assemble()
+
+    def test_duplicate_label(self):
+        asm = Assembler(1)
+        asm.label("a")
+        with pytest.raises(CounterMachineError):
+            asm.label("a")
+
+    def test_numeric_targets_pass_through(self):
+        asm = Assembler(1)
+        asm.jzdec(0, 1)
+        asm.halt()
+        program = asm.assemble()
+        assert program[0] == JzDec(0, 1)
+
+
+class TestLibraryPrograms:
+    @settings(max_examples=30)
+    @given(st.integers(0, 30), st.integers(1, 6))
+    def test_multiply(self, value, b):
+        result = run_program(multiply_program(b), [value, 0])
+        assert result.halted
+        assert result.counters == [0, b * value]
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 50), st.integers(2, 7))
+    def test_divide(self, value, b):
+        program, _ = divide_program(b)
+        result = run_program(program, [value, 0])
+        assert result.halted
+        assert result.counters[1] == value // b
+        assert result.output == value % b
+
+    def test_multiply_validates_b(self):
+        with pytest.raises(CounterMachineError):
+            multiply_program(0)
+
+    def test_divide_validates_b(self):
+        with pytest.raises(CounterMachineError):
+            divide_program(1)

@@ -1,0 +1,284 @@
+"""Tests for the Theorem 9/10 population simulation of counter machines."""
+
+import pytest
+
+from repro.machines.counter import (
+    Assembler,
+    divide_program,
+    multiply_program,
+    run_program,
+)
+from repro.machines.pp_counter import (
+    CLEANER_TAG,
+    FOLLOWER_TAG,
+    HALTED,
+    LEADER_TAG,
+    DesignatedLeaderProtocol,
+    LeaderElectingCounterProtocol,
+    counter_totals,
+    leader_states,
+)
+from repro.sim.engine import Simulation, simulate_counts
+from repro.util.rng import spawn_seeds
+
+
+def nonzero_test_program():
+    """halt(1) if counter 0 nonzero else halt(0)."""
+    asm = Assembler(1)
+    asm.jzdec(0, 2)
+    asm.halt(output=1)
+    asm.halt(output=0)
+    return asm.assemble()
+
+
+def run_until_halted(sim: Simulation, max_steps: int = 3_000_000) -> bool:
+    return sim.run_until(
+        lambda s: all(st[1] == HALTED for st in leader_states(s.states)) and
+        leader_states(s.states),
+        max_steps=max_steps, check_every=100)
+
+
+class TestDesignatedInputs:
+    def test_make_input_counts(self):
+        proto = DesignatedLeaderProtocol(multiply_program(2))
+        counts = proto.make_input_counts([3, 0], 10)
+        assert counts["L"] == 1 and counts["T"] == 1
+        assert counts[(1, 0)] == 3
+        assert counts[(0, 0)] == 5
+        assert sum(counts.values()) == 10
+
+    def test_population_too_small(self):
+        proto = DesignatedLeaderProtocol(multiply_program(2))
+        with pytest.raises(ValueError):
+            proto.make_input_counts([9, 0], 5)
+
+    def test_bad_symbol_rejected(self):
+        proto = DesignatedLeaderProtocol(multiply_program(2))
+        with pytest.raises(ValueError):
+            proto.initial_state((9, 9))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DesignatedLeaderProtocol(multiply_program(2), capacity=0)
+        with pytest.raises(ValueError):
+            DesignatedLeaderProtocol(multiply_program(2), zero_test_k=0)
+
+
+class TestInvariants:
+    def test_counter_mass_conserved_during_run(self, seed):
+        """Between instruction effects, total shares only change by +-1 per
+        Inc/Dec; mass never leaks to nowhere (sum over agents + nothing)."""
+        proto = DesignatedLeaderProtocol(multiply_program(3), zero_test_k=3)
+        counts = proto.make_input_counts([4, 0], 20)
+        sim = simulate_counts(proto, counts, seed=seed)
+        previous = counter_totals(sim.states)
+        for _ in range(5000):
+            sim.step()
+            totals = counter_totals(sim.states)
+            assert abs(totals[0] - previous[0]) <= 1
+            assert abs(totals[1] - previous[1]) <= 1
+            previous = totals
+
+    def test_exactly_one_leader_forever(self, seed):
+        proto = DesignatedLeaderProtocol(multiply_program(2), zero_test_k=2)
+        counts = proto.make_input_counts([2, 0], 12)
+        sim = simulate_counts(proto, counts, seed=seed)
+        for _ in range(3000):
+            sim.step()
+            assert len(leader_states(sim.states)) == 1
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("value,b", [(0, 3), (1, 2), (5, 3), (7, 2)])
+    def test_result_matches_direct_interpreter(self, value, b, seed):
+        program = multiply_program(b)
+        direct = run_program(program, [value, 0])
+        proto = DesignatedLeaderProtocol(program, zero_test_k=3)
+        n = max(25, b * value + 5)
+        counts = proto.make_input_counts([value, 0], n)
+        sim = simulate_counts(proto, counts, seed=seed)
+        assert run_until_halted(sim)
+        assert counter_totals(sim.states) == direct.counters
+
+
+class TestDivision:
+    @pytest.mark.parametrize("value,b", [(0, 2), (7, 2), (11, 3)])
+    def test_quotient_and_remainder(self, value, b, seed):
+        program, _ = divide_program(b)
+        direct = run_program(program, [value, 0])
+        proto = DesignatedLeaderProtocol(program, zero_test_k=3)
+        counts = proto.make_input_counts([value, 0], max(25, value + 5))
+        sim = simulate_counts(proto, counts, seed=seed)
+        assert run_until_halted(sim)
+        assert counter_totals(sim.states) == direct.counters
+        leader = leader_states(sim.states)[0]
+        assert leader[6] == direct.output  # remainder in the control state
+
+
+class TestVerdictSpreading:
+    def test_all_agents_learn_output(self, seed):
+        proto = DesignatedLeaderProtocol(nonzero_test_program(), zero_test_k=3)
+        counts = proto.make_input_counts([3], 15)
+        sim = simulate_counts(proto, counts, seed=seed)
+        assert run_until_halted(sim)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=1_000_000, check_every=100)
+        assert sim.unanimous_output() == 1
+
+
+class TestZeroTestErrors:
+    def test_error_rate_decreases_with_k(self, seed):
+        """Wrong 'zero' verdicts become rarer as k grows (Theorem 9)."""
+        value, n, trials = 1, 12, 150
+
+        def error_rate(k: int) -> float:
+            program = nonzero_test_program()
+            proto = DesignatedLeaderProtocol(program, zero_test_k=k)
+            counts = proto.make_input_counts([value], n)
+            wrong = 0
+            for s in spawn_seeds(seed + k, trials):
+                sim = simulate_counts(proto, counts, seed=s)
+                assert run_until_halted(sim, max_steps=500_000)
+                leader = leader_states(sim.states)[0]
+                if leader[6] != 1:
+                    wrong += 1
+            return wrong / trials
+
+        rate_k1 = error_rate(1)
+        rate_k3 = error_rate(3)
+        assert rate_k3 <= rate_k1
+        assert rate_k3 < 0.05
+
+    def test_zero_counter_reports_zero(self, seed):
+        proto = DesignatedLeaderProtocol(nonzero_test_program(), zero_test_k=2)
+        counts = proto.make_input_counts([0], 10)
+        sim = simulate_counts(proto, counts, seed=seed)
+        assert run_until_halted(sim)
+        assert leader_states(sim.states)[0][6] == 0
+
+
+class TestLeaderElectionVariant:
+    def test_converges_to_single_halted_leader(self, seed):
+        proto = LeaderElectingCounterProtocol(nonzero_test_program(),
+                                              zero_test_k=3)
+        sim = simulate_counts(proto, {(1,): 3, (0,): 9}, seed=seed)
+        done = sim.run_until(
+            lambda s: (len(leader_states(s.states)) == 1 and
+                       leader_states(s.states)[0][1] == HALTED),
+            max_steps=3_000_000, check_every=200)
+        assert done
+        assert leader_states(sim.states)[0][6] == 1
+
+    def test_exactly_one_timer_left(self, seed):
+        proto = LeaderElectingCounterProtocol(nonzero_test_program(),
+                                              zero_test_k=3)
+        for s in spawn_seeds(seed, 10):
+            sim = simulate_counts(proto, {(1,): 2, (0,): 8}, seed=s)
+            sim.run_until(
+                lambda s_: (len(leader_states(s_.states)) == 1 and
+                            leader_states(s_.states)[0][1] == HALTED),
+                max_steps=3_000_000, check_every=200)
+            timers = sum(1 for st in sim.states
+                         if st[0] != LEADER_TAG and st[2] == 1)
+            cleaners = sum(1 for st in sim.states if st[0] == CLEANER_TAG)
+            assert timers == 1 + cleaners  # each cleaner retires one more
+
+    def test_leader_count_reaches_one_and_stays(self, seed):
+        proto = LeaderElectingCounterProtocol(nonzero_test_program(),
+                                              zero_test_k=2)
+        sim = simulate_counts(proto, {(1,): 2, (0,): 6}, seed=seed)
+        sim.run_until(lambda s: len(leader_states(s.states)) == 1,
+                      max_steps=1_000_000, check_every=50)
+        assert len(leader_states(sim.states)) == 1
+        for _ in range(5000):
+            sim.step()
+            assert len(leader_states(sim.states)) == 1
+
+    def test_zero_answer(self, seed):
+        proto = LeaderElectingCounterProtocol(nonzero_test_program(),
+                                              zero_test_k=3)
+        sim = simulate_counts(proto, {(0,): 10}, seed=seed)
+        done = sim.run_until(
+            lambda s: (len(leader_states(s.states)) == 1 and
+                       leader_states(s.states)[0][1] == HALTED),
+            max_steps=3_000_000, check_every=200)
+        assert done
+        assert leader_states(sim.states)[0][6] == 0
+
+    def test_bad_symbol(self):
+        proto = LeaderElectingCounterProtocol(nonzero_test_program())
+        with pytest.raises(ValueError):
+            proto.initial_state("L")
+
+    def test_election_variant_runs_multiplication(self, seed):
+        """Full pipeline with handoff: the winner must dump its carried
+        input shares before zero-testing, then run the program."""
+        program = multiply_program(2)
+        direct = run_program(program, [4, 0])
+        proto = LeaderElectingCounterProtocol(program, capacity=3,
+                                              zero_test_k=3)
+        counts = {(1, 0): 4, (0, 0): 16}
+        sim = simulate_counts(proto, counts, seed=seed)
+        done = sim.run_until(
+            lambda s: (len(leader_states(s.states)) == 1 and
+                       leader_states(s.states)[0][1] == HALTED),
+            max_steps=5_000_000, check_every=200)
+        assert done
+        assert counter_totals(sim.states) == direct.counters
+        # The winner's carried shares were fully handed off.
+        assert leader_states(sim.states)[0][4] == (0, 0)
+
+    def test_counter_mass_exact_whp_after_final_restart(self, seed):
+        """Totals are exact with high probability: the winner's final
+        re-initialization restores every agent's input shares unless the
+        k-consecutive-timer cutoff fires early (probability O(n^-k)).
+        At k=4 all twenty seeded runs must be exact."""
+        program = nonzero_test_program()
+        proto = LeaderElectingCounterProtocol(program, capacity=2,
+                                              zero_test_k=4)
+        counts = {(1,): 5, (0,): 7}
+        exact = 0
+        trials = 20
+        for s in spawn_seeds(seed, trials):
+            sim = simulate_counts(proto, counts, seed=s)
+            done = sim.run_until(
+                lambda s_: (len(leader_states(s_.states)) == 1 and
+                            leader_states(s_.states)[0][1] == HALTED),
+                max_steps=20_000_000, check_every=200)
+            assert done
+            # The program consumed exactly one token (the JzDec decrement).
+            if counter_totals(sim.states)[0] == 4:
+                exact += 1
+        assert exact >= trials - 1
+
+
+class TestCounterTotalsHelper:
+    def test_on_mapping(self):
+        proto = DesignatedLeaderProtocol(multiply_program(2))
+        counts = proto.make_input_counts([3, 0], 8)
+        states = {proto.initial_state(sym): c for sym, c in counts.items()}
+        assert counter_totals(states) == [3, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            counter_totals([])
+
+
+class TestHighLevelApi:
+    def test_simulate_counter_machine(self, seed):
+        from repro.machines.pp_counter import simulate_counter_machine
+
+        program = multiply_program(3)
+        verdict, totals, interactions = simulate_counter_machine(
+            program, [4, 0], 25, seed=seed)
+        assert totals == [0, 12]
+        assert interactions > 0
+        assert verdict == 0  # multiply halts with output 0
+
+    def test_budget_exhaustion_raises(self, seed):
+        from repro.machines.pp_counter import simulate_counter_machine
+
+        program = multiply_program(3)
+        with pytest.raises(RuntimeError):
+            simulate_counter_machine(program, [4, 0], 25, seed=seed,
+                                     max_interactions=10)

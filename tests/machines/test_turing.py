@@ -1,0 +1,95 @@
+"""Tests for the Turing machine substrate."""
+
+import pytest
+
+from repro.machines.turing import (
+    BLANK,
+    TuringMachine,
+    TuringMachineError,
+    unary_halver_machine,
+    unary_parity_machine,
+)
+
+
+class TestConstruction:
+    def test_invalid_move_rejected(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine({("q", "1"): ("q", "1", 7)}, start_state="q")
+
+    def test_states_and_alphabet(self):
+        tm = unary_parity_machine()
+        assert tm.states() == {"even", "odd"}
+        assert tm.tape_alphabet() == {"1", BLANK}
+
+
+class TestExecution:
+    def test_halts_when_no_transition(self):
+        tm = unary_parity_machine()
+        result = tm.run(["1", "1", "1"])
+        assert result.halted
+        assert result.state == "odd"
+        assert result.steps == 3
+
+    def test_budget(self):
+        loop = TuringMachine({("q", BLANK): ("q", BLANK, 1)}, start_state="q")
+        result = loop.run([], max_steps=50)
+        assert not result.halted
+        assert result.steps == 50
+
+    def test_accepts(self):
+        tm = unary_parity_machine()
+        assert tm.accepts(["1"] * 5)
+        assert not tm.accepts(["1"] * 4)
+        assert not tm.accepts([])
+
+    def test_accepts_raises_on_nonhalting(self):
+        loop = TuringMachine({("q", BLANK): ("q", BLANK, 1)}, start_state="q")
+        with pytest.raises(TuringMachineError):
+            loop.accepts([], max_steps=10)
+
+    def test_tape_writes(self):
+        tm = unary_halver_machine()
+        result = tm.run(["1"] * 5)
+        assert result.tape_string() == "babab"
+
+    def test_blank_writes_erase(self):
+        eraser = TuringMachine(
+            {("q", "1"): ("q", BLANK, 1)}, start_state="q")
+        result = eraser.run(["1", "1"])
+        assert result.tape == {}
+
+    def test_left_moves(self):
+        # Walk right to the end, then walk back rewriting 1 -> x.
+        tm = TuringMachine({
+            ("r", "1"): ("r", "1", 1),
+            ("r", BLANK): ("l", BLANK, -1),
+            ("l", "1"): ("l", "x", -1),
+        }, start_state="r")
+        result = tm.run(["1", "1", "1"])
+        assert result.halted
+        assert result.tape_string() == "xxx"
+        assert result.head == -1
+
+
+class TestResultHelpers:
+    def test_count_symbol(self):
+        tm = unary_halver_machine()
+        result = tm.run(["1"] * 9)
+        assert result.count_symbol("a") == 4
+        assert result.count_symbol("b") == 5
+
+    def test_empty_tape_string(self):
+        tm = unary_parity_machine()
+        result = tm.run([])
+        assert result.tape_string() == ""
+
+
+class TestReferenceMachines:
+    @pytest.mark.parametrize("m", range(10))
+    def test_parity(self, m):
+        assert unary_parity_machine().accepts(["1"] * m) == (m % 2 == 1)
+
+    @pytest.mark.parametrize("m", range(12))
+    def test_halver(self, m):
+        result = unary_halver_machine().run(["1"] * m)
+        assert result.count_symbol("a") == m // 2

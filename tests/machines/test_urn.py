@@ -1,0 +1,106 @@
+"""Tests for the Lemma 11 urn process: exact formulas vs sampling."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machines.urn import (
+    expected_draws_no_counters,
+    expected_draws_win_bound,
+    loss_probability,
+    loss_probability_upper_bound,
+    sample_urn_game,
+)
+from repro.util.rng import spawn_seeds
+
+
+class TestExactFormulas:
+    def test_paper_formula_shape(self):
+        n_tokens, m, k = 10, 3, 2
+        assert loss_probability(n_tokens, m, k) == \
+            Fraction(n_tokens - 1, m * n_tokens**k + (n_tokens - 1 - m))
+
+    def test_upper_bound_holds(self):
+        for n_tokens in (5, 10, 30):
+            for m in range(1, n_tokens - 1):
+                for k in (1, 2, 3):
+                    assert loss_probability(n_tokens, m, k) <= \
+                        loss_probability_upper_bound(n_tokens, m, k)
+
+    def test_no_counters_always_lose(self):
+        assert loss_probability(10, 0, 2) == 1
+
+    def test_monotone_in_m(self):
+        values = [loss_probability(10, m, 2) for m in range(1, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_k(self):
+        values = [loss_probability(10, 3, k) for k in range(1, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_win_bound(self):
+        assert expected_draws_win_bound(10, 2) == Fraction(5)
+
+    def test_win_bound_requires_positive_m(self):
+        with pytest.raises(ValueError):
+            expected_draws_win_bound(10, 0)
+
+    def test_no_counter_expectation_theta_nk(self):
+        # E ~ N^k for large N.
+        for n_tokens in (10, 20):
+            for k in (1, 2, 3):
+                value = expected_draws_no_counters(n_tokens, k)
+                assert n_tokens**k <= value <= 2 * n_tokens**k
+
+    def test_k1_no_counter_expectation_exact(self):
+        # k = 1: geometric with success probability 1/N -> expectation N.
+        assert expected_draws_no_counters(8, 1) == 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            loss_probability(1, 0, 1)
+        with pytest.raises(ValueError):
+            loss_probability(10, 10, 1)
+        with pytest.raises(ValueError):
+            loss_probability(10, 1, 0)
+
+
+class TestSampledProcess:
+    def test_deterministic_by_seed(self):
+        a = sample_urn_game(10, 2, 2, seed=5)
+        b = sample_urn_game(10, 2, 2, seed=5)
+        assert (a.won, a.draws) == (b.won, b.draws)
+
+    def test_no_counters_always_lose(self, seed):
+        for s in spawn_seeds(seed, 20):
+            outcome = sample_urn_game(6, 0, 2, seed=s)
+            assert not outcome.won
+
+    @pytest.mark.parametrize("n_tokens,m,k", [(8, 2, 1), (10, 3, 2), (6, 1, 2)])
+    def test_loss_rate_matches_formula(self, n_tokens, m, k, seed):
+        trials = 4000
+        losses = sum(
+            0 if sample_urn_game(n_tokens, m, k, seed=s).won else 1
+            for s in spawn_seeds(seed, trials))
+        want = float(loss_probability(n_tokens, m, k))
+        rate = losses / trials
+        sigma = (want * (1 - want) / trials) ** 0.5
+        assert abs(rate - want) < 5 * sigma + 1e-3
+
+    def test_expected_draws_bound_conditioned_on_win(self, seed):
+        n_tokens, m, k = 12, 3, 3
+        draws = []
+        for s in spawn_seeds(seed, 3000):
+            outcome = sample_urn_game(n_tokens, m, k, seed=s)
+            if outcome.won:
+                draws.append(outcome.draws)
+        mean = sum(draws) / len(draws)
+        assert mean <= float(expected_draws_win_bound(n_tokens, m)) * 1.05
+
+    def test_no_counter_draws_scale(self, seed):
+        n_tokens, k = 6, 2
+        total = sum(sample_urn_game(n_tokens, 0, k, seed=s).draws
+                    for s in spawn_seeds(seed, 1500))
+        mean = total / 1500
+        want = float(expected_draws_no_counters(n_tokens, k))
+        assert abs(mean - want) / want < 0.15

@@ -1,0 +1,202 @@
+"""Tests for the Theorem 5 / Corollary 3 formula-to-protocol compiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.presburger.compiler import (
+    CompilationError,
+    CompiledPredicateProtocol,
+    ConstantProtocol,
+    compile_integer_predicate,
+    compile_predicate,
+)
+from repro.presburger.parser import parse
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestConstantProtocol:
+    def test_outputs_fixed_bit(self):
+        p = ConstantProtocol(True, ["a"])
+        s = p.initial_state("a")
+        assert p.output(s) == 1
+        assert p.delta(s, s) == (s, s)
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            ConstantProtocol(False, ["a"]).initial_state("z")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantProtocol(True, [])
+
+
+class TestCompilationBasics:
+    def test_accepts_text_and_ast(self):
+        assert isinstance(compile_predicate("x < 3"), CompiledPredicateProtocol)
+        assert isinstance(compile_predicate(parse("x < 3")),
+                          CompiledPredicateProtocol)
+
+    def test_free_variables_become_symbols(self):
+        p = compile_predicate("x + y < 4")
+        assert p.input_alphabet == {"x", "y"}
+
+    def test_extra_symbols(self):
+        p = compile_predicate("x < 3", extra_symbols=["pad"])
+        assert p.input_alphabet == {"x", "pad"}
+
+    def test_extra_symbol_collision(self):
+        with pytest.raises(CompilationError):
+            compile_predicate("x < 3", extra_symbols=["x"])
+
+    def test_closed_formula_needs_symbols(self):
+        with pytest.raises(CompilationError):
+            compile_predicate("E x. x = 5")
+
+    def test_closed_formula_with_pad(self):
+        p = compile_predicate("E x. x = 5", extra_symbols=["_"])
+        assert isinstance(p, ConstantProtocol)
+        assert p.bit == 1
+
+    def test_unsatisfiable_compiles_to_constant_false(self):
+        p = compile_predicate("E x. x < 0 & x > 0", extra_symbols=["_"])
+        assert isinstance(p, ConstantProtocol)
+        assert p.bit == 0
+
+    def test_ground_truth_helper(self):
+        p = compile_predicate("2*x < y + 1")
+        assert p.ground_truth({"x": 1, "y": 2}) is True
+        assert p.ground_truth({"x": 2, "y": 2}) is False
+
+    def test_ground_truth_rejects_unknown_symbol(self):
+        p = compile_predicate("x < 3")
+        with pytest.raises(ValueError):
+            p.ground_truth({"zz": 1})
+
+
+class TestExactSemantics:
+    """Model-check compiled protocols exhaustively on small populations."""
+
+    @pytest.mark.parametrize("text", [
+        "x < 2",
+        "x >= 3",
+        "x = 2",
+        "x != 2",
+        "x = 1 mod 2",
+        "x = 0 mod 3",
+        "x < 2 | x > 3",
+        "x >= 1 & x = 0 mod 2",
+    ])
+    def test_single_variable(self, text):
+        p = compile_predicate(text, extra_symbols=["pad"])
+        results = verify_stable_computation(
+            p, lambda c: p.ground_truth(c), all_inputs_of_size(["x", "pad"], 5))
+        assert all(results)
+
+    @pytest.mark.parametrize("text", [
+        "x < y",
+        "x = y",
+        "2*x + 1 >= y",
+        "x = y mod 2",
+        "x + y = 0 mod 3",
+    ])
+    def test_two_variables(self, text):
+        p = compile_predicate(text)
+        results = verify_stable_computation(
+            p, lambda c: p.ground_truth(c), all_inputs_of_size(["x", "y"], 4))
+        assert all(results)
+
+    def test_quantified_formula(self):
+        # "x is even", phrased with a quantifier.
+        p = compile_predicate("E k. x = 2*k & k >= 0", extra_symbols=["pad"])
+        results = verify_stable_computation(
+            p, lambda c: c.get("x", 0) % 2 == 0,
+            all_inputs_of_size(["x", "pad"], 5))
+        assert all(results)
+
+
+class TestSimulatedSemantics:
+    @settings(max_examples=15)
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers(0, 10_000))
+    def test_flock_of_birds(self, hot, cold, seed):
+        if hot + cold < 2:
+            hot, cold = 1, 1
+        p = compile_predicate("20*e >= e + h")
+        sim = simulate_counts(p, {"e": hot, "h": cold}, seed=seed)
+        result = run_until_quiescent(sim, patience=15_000, max_steps=1_500_000)
+        assert result.output == (1 if 20 * hot >= hot + cold else 0)
+
+    def test_three_atom_formula(self, seed):
+        text = "x = 1 mod 2 & x + 2 > y & y >= 1"
+        p = compile_predicate(text)
+        for (xs, ys) in [(3, 2), (3, 6), (4, 2), (3, 0)]:
+            sim = simulate_counts(p, {"x": xs, "y": ys}, seed=seed)
+            result = run_until_quiescent(sim, patience=15_000, max_steps=1_500_000)
+            want = 1 if (xs % 2 == 1 and xs + 2 > ys and ys >= 1) else 0
+            assert result.output == want, (xs, ys)
+
+
+class TestIntegerConvention:
+    """Corollary 3: vector-alphabet inputs."""
+
+    VECTORS = {
+        "zero": (0, 0), "+x": (1, 0), "-x": (-1, 0),
+        "+y": (0, 1), "-y": (0, -1),
+    }
+
+    def test_alphabet(self):
+        p = compile_integer_predicate("x = 2*y mod 3", self.VECTORS, ["x", "y"])
+        assert p.input_alphabet == set(self.VECTORS)
+
+    def test_variable_values_decoding(self):
+        p = compile_integer_predicate("x < y", self.VECTORS, ["x", "y"])
+        values = p.variable_values({"+x": 3, "-x": 1, "+y": 2, "zero": 4})
+        assert values == {"x": 2, "y": 2}
+
+    def test_exact_congruence(self):
+        p = compile_integer_predicate("x = 2*y mod 3", self.VECTORS, ["x", "y"])
+
+        def truth(counts):
+            values = p.variable_values(counts)
+            return (values["x"] - 2 * values["y"]) % 3 == 0
+
+        results = verify_stable_computation(
+            p, truth, all_inputs_of_size(list(self.VECTORS), 3))
+        assert all(results)
+
+    def test_negative_values_simulated(self, seed):
+        p = compile_integer_predicate("x < 0", self.VECTORS, ["x", "y"])
+        sim = simulate_counts(p, {"-x": 3, "+x": 1, "zero": 4}, seed=seed)
+        result = run_until_quiescent(sim, patience=10_000, max_steps=800_000)
+        assert result.output == 1
+
+    def test_vector_dimension_checked(self):
+        with pytest.raises(CompilationError):
+            compile_integer_predicate("x < 0", {"a": (1, 2)}, ["x"])
+
+    def test_free_variable_coverage_checked(self):
+        with pytest.raises(CompilationError):
+            compile_integer_predicate("x + z < 0", {"a": (1,)}, ["x"])
+
+
+class TestCorollary4Pipeline:
+    """Semilinear set -> formula -> protocol (Corollary 4)."""
+
+    def test_semilinear_language_accepted(self):
+        from repro.presburger.semilinear import LinearSet, SemilinearSet
+
+        # Parikh image {(a, b) : a = b + 2k, k >= 0} over alphabet {a, b}:
+        # words with at least as many a's as b's and a - b even.
+        s = SemilinearSet([LinearSet((0, 0), [(1, 1), (2, 0)])])
+        formula = s.to_formula(["a", "b"])
+        p = compile_predicate(formula)
+
+        def truth(counts):
+            a, b = counts.get("a", 0), counts.get("b", 0)
+            return a >= b and (a - b) % 2 == 0
+
+        results = verify_stable_computation(
+            p, truth, all_inputs_of_size(["a", "b"], 4))
+        assert all(results)

@@ -1,0 +1,139 @@
+"""Tests for Presburger formula syntax and evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.presburger import formulas as F
+from repro.presburger.formulas import EvaluationError, evaluate
+from repro.presburger.terms import LinearTerm, var
+
+x, y = var("x"), var("y")
+
+
+class TestBuilders:
+    def test_lt(self):
+        assert evaluate(F.lt(x, 3), {"x": 2})
+        assert not evaluate(F.lt(x, 3), {"x": 3})
+
+    def test_le(self):
+        assert evaluate(F.le(x, 3), {"x": 3})
+        assert not evaluate(F.le(x, 3), {"x": 4})
+
+    def test_gt_ge(self):
+        assert evaluate(F.gt(x, 3), {"x": 4})
+        assert evaluate(F.ge(x, 3), {"x": 3})
+
+    def test_eq_ne(self):
+        assert evaluate(F.eq(x + 1, 4), {"x": 3})
+        assert evaluate(F.ne(x, 4), {"x": 3})
+
+    def test_modeq(self):
+        f = F.modeq(x, 2, 5)
+        assert evaluate(f, {"x": 7})
+        assert not evaluate(f, {"x": 8})
+
+    def test_dvd_modulus_check(self):
+        with pytest.raises(ValueError):
+            F.Dvd(1, x)
+
+    def test_connective_sugar(self):
+        f = F.lt(x, 3) & F.gt(x, 0) | ~F.eq(x, 10)
+        assert evaluate(f, {"x": 10}) is False or True  # just type-checks
+        assert evaluate(F.lt(x, 3) & F.gt(x, 0), {"x": 1})
+        assert not evaluate(F.lt(x, 3) & F.gt(x, 0), {"x": 5})
+
+    def test_empty_conj_disj(self):
+        assert evaluate(F.conj(), {})
+        assert not evaluate(F.disj(), {})
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert F.lt(x + y, 3).free_variables() == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        f = F.exists("x", F.lt(x, y))
+        assert f.free_variables() == {"y"}
+
+    def test_multi_quantifier(self):
+        f = F.forall(["x", "y"], F.lt(x, y))
+        assert f.free_variables() == set()
+
+
+class TestSubstitution:
+    def test_atom_substitution(self):
+        f = F.lt(x, y)
+        g = F.substitute(f, "x", 3)
+        assert evaluate(g, {"y": 4})
+        assert not evaluate(g, {"y": 3})
+
+    def test_bound_variable_untouched(self):
+        f = F.exists("x", F.eq(x, y))
+        assert F.substitute(f, "x", 99) == f
+
+    def test_capture_detected(self):
+        f = F.exists("x", F.eq(x, y))
+        with pytest.raises(ValueError):
+            F.substitute(f, "y", x)
+
+
+class TestQuantifierEvaluation:
+    def test_exists_simple(self):
+        # E x. 2x = y  <=>  y even
+        f = F.exists("x", F.eq(2 * x, y))
+        assert evaluate(f, {"y": 6})
+        assert not evaluate(f, {"y": 7})
+
+    def test_exists_with_bounds(self):
+        # E x. 0 <= x & x < y
+        f = F.exists("x", F.ge(x, 0) & F.lt(x, y))
+        assert evaluate(f, {"y": 1})
+        assert not evaluate(f, {"y": 0})
+
+    def test_forall(self):
+        # A x. (2 | x) | (2 | x + 1) — every integer is even or odd.
+        f = F.forall("x", F.Or((F.Dvd(2, x), F.Dvd(2, x + 1))))
+        assert evaluate(f, {})
+
+    def test_forall_false(self):
+        f = F.forall("x", F.lt(x, 100))
+        assert not evaluate(f, {})
+
+    def test_divisibility_only_window(self):
+        # E x. x ≡ 3 (mod 7) — needs the periodic window only.
+        f = F.exists("x", F.modeq(x, 3, 7))
+        assert evaluate(f, {})
+
+    def test_missing_free_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(F.lt(x, 3), {})
+
+    def test_nested_mixing_raises_evaluation_error(self):
+        # E z. E q. (x + z = y) & (3q = z): inner atom mixes z and q.
+        f = F.exists(["z", "q"],
+                     F.conj(F.eq(x + var("z"), y), F.eq(3 * var("q"), var("z"))))
+        with pytest.raises(EvaluationError):
+            evaluate(f, {"x": 1, "y": 4})
+
+    @given(st.integers(-30, 30), st.integers(1, 8))
+    def test_exists_multiple_of(self, value, m):
+        # E k. x = m*k  <=>  m | x
+        f = F.exists("k", F.eq(x, m * var("k")))
+        assert evaluate(f, {"x": value}) == (value % m == 0)
+
+
+class TestStructure:
+    def test_is_quantifier_free(self):
+        assert F.is_quantifier_free(F.lt(x, 1) & F.gt(x, 0))
+        assert not F.is_quantifier_free(F.Not(F.exists("x", F.lt(x, 1))))
+
+    def test_atoms_of(self):
+        f = F.lt(x, 1) & F.Not(F.modeq(x, 0, 2))
+        kinds = [type(a).__name__ for a in F.atoms_of(f)]
+        assert kinds == ["Lt", "Dvd"]
+
+    def test_repr_smoke(self):
+        f = F.exists("x", F.lt(x, y) & F.modeq(x, 0, 2))
+        text = repr(f)
+        assert "E x." in text and "2 |" in text

@@ -1,0 +1,146 @@
+"""Tests for the formula parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.presburger.formulas import evaluate
+from repro.presburger.parser import ParseError, parse
+from repro.presburger.qe import decide
+
+
+class TestTerms:
+    def test_coefficients(self):
+        f = parse("2*x + 3 < y")
+        assert evaluate(f, {"x": 0, "y": 4})
+        assert not evaluate(f, {"x": 1, "y": 4})
+
+    def test_implicit_multiplication(self):
+        f = parse("2x < 5")
+        assert evaluate(f, {"x": 2})
+        assert not evaluate(f, {"x": 3})
+
+    def test_unary_minus(self):
+        f = parse("-x < 0")
+        assert evaluate(f, {"x": 1})
+        assert not evaluate(f, {"x": -1})
+
+    def test_parenthesized_terms(self):
+        f = parse("2*(x + 1) = y")
+        assert evaluate(f, {"x": 2, "y": 6})
+
+    def test_subtraction_chain(self):
+        f = parse("x - y - 1 = 0")
+        assert evaluate(f, {"x": 5, "y": 4})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("text,env,expected", [
+        ("x < 3", {"x": 2}, True),
+        ("x <= 3", {"x": 3}, True),
+        ("x > 3", {"x": 3}, False),
+        ("x >= 3", {"x": 3}, True),
+        ("x = 3", {"x": 3}, True),
+        ("x == 3", {"x": 3}, True),
+        ("x != 3", {"x": 3}, False),
+    ])
+    def test_operators(self, text, env, expected):
+        assert evaluate(parse(text), env) == expected
+
+    def test_congruence(self):
+        f = parse("x = 2 mod 5")
+        assert evaluate(f, {"x": 12})
+        assert not evaluate(f, {"x": 13})
+
+    def test_negated_congruence(self):
+        f = parse("x != 0 mod 2")
+        assert evaluate(f, {"x": 3})
+        assert not evaluate(f, {"x": 4})
+
+    def test_mod_with_inequality_rejected(self):
+        with pytest.raises(ParseError):
+            parse("x < 2 mod 5")
+
+
+class TestConnectives:
+    def test_precedence_and_over_or(self):
+        f = parse("x = 1 | x = 2 & x = 3")  # or(x=1, and(x=2, x=3))
+        assert evaluate(f, {"x": 1})
+        assert not evaluate(f, {"x": 2})
+
+    def test_not(self):
+        assert evaluate(parse("!(x < 0)"), {"x": 3})
+
+    def test_implication(self):
+        f = parse("x > 0 -> x > -5")
+        for v in (-10, 0, 3):
+            assert evaluate(f, {"x": v})
+
+    def test_iff(self):
+        f = parse("x > 0 <-> 0 < x")
+        for v in (-2, 0, 2):
+            assert evaluate(f, {"x": v})
+
+    def test_boolean_constants(self):
+        assert evaluate(parse("true"), {})
+        assert not evaluate(parse("false"), {})
+        assert evaluate(parse("false -> x = 99"), {"x": 0})
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        f = parse("E k. x = 2*k")
+        assert evaluate(f, {"x": 8})
+        assert not evaluate(f, {"x": 9})
+
+    def test_forall(self):
+        f = parse("A z. z < x | z >= x")
+        assert evaluate(f, {"x": 0})
+
+    def test_multi_variable_quantifier(self):
+        f = parse("E q r. x = 3*q + r & 0 <= r & r < 3 & r = 1")
+        assert decide(f, {"x": 7})
+        assert not decide(f, {"x": 6})
+
+    def test_keyword_forms(self):
+        f = parse("exists k. x = 2*k")
+        assert evaluate(f, {"x": 4})
+        g = parse("forall z. z = z")
+        assert evaluate(g, {})
+
+    def test_reserved_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("E mod. mod < 3")
+
+    def test_empty_binder_rejected(self):
+        with pytest.raises(ParseError):
+            parse("E . x < 3")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "x <", "x ! y", "(x < 1", "x < 1)", "< 3", "x @ 3", "E x x < 1",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse("x < 1 zzz zzz")
+
+
+class TestAgainstBuilders:
+    @given(st.integers(-20, 20), st.integers(-20, 20))
+    def test_flock_formula(self, h, e):
+        f = parse("20*e >= e + h")
+        want = 20 * e >= e + h
+        assert evaluate(f, {"h": h, "e": e}) == want
+
+    @given(st.integers(-20, 20))
+    def test_paper_xi_m(self, x_value):
+        """The paper's xi_m definition, literally transcribed."""
+        f = parse("E z. E q. (x + z = y) & (q + q + q = z)")
+        for y_value in range(-3, 4):
+            assert decide(f, {"x": x_value, "y": y_value}) == \
+                ((y_value - x_value) % 3 == 0)

@@ -1,0 +1,218 @@
+"""Tests for Cooper quantifier elimination (Theorem 4's normal form)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import formulas as F
+from repro.presburger.formulas import Exists, evaluate
+from repro.presburger.qe import (
+    decide,
+    eliminate_exists,
+    eliminate_quantifiers,
+    negate_atom,
+    simplify,
+    to_nnf,
+)
+from repro.presburger.terms import LinearTerm, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+# -- Random quantifier-free formula generator ------------------------------------
+
+term_st = st.builds(
+    LinearTerm,
+    st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-3, 3), max_size=2),
+    st.integers(-4, 4),
+)
+
+atom_st = st.one_of(
+    st.builds(F.Lt, term_st),
+    st.builds(F.Eq, term_st),
+    st.builds(lambda m, t: F.Dvd(m, t), st.integers(2, 4), term_st),
+)
+
+
+def qf_formulas(depth: int = 2):
+    return st.recursive(
+        atom_st,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: F.And((a, b)), children, children),
+            st.builds(lambda a, b: F.Or((a, b)), children, children),
+            st.builds(F.Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(F.lt(1, 2)) == F.TRUE
+        assert simplify(F.lt(2, 1)) == F.FALSE
+        assert simplify(F.eq(3, 3)) == F.TRUE
+        assert simplify(F.Dvd(3, LinearTerm.const(6))) == F.TRUE
+        assert simplify(F.Dvd(3, LinearTerm.const(7))) == F.FALSE
+
+    def test_connective_folding(self):
+        f = F.And((F.TRUE, F.lt(x, 1)))
+        assert simplify(f) == F.Lt(x - 1)
+        assert simplify(F.And((F.FALSE, F.lt(x, 1)))) == F.FALSE
+        assert simplify(F.Or((F.TRUE, F.lt(x, 1)))) == F.TRUE
+
+    def test_flattening_and_dedup(self):
+        f = F.And((F.lt(x, 1), F.And((F.lt(x, 1), F.lt(y, 2)))))
+        result = simplify(f)
+        assert isinstance(result, F.And)
+        assert len(result.args) == 2
+
+    def test_double_negation(self):
+        assert simplify(F.Not(F.Not(F.lt(x, 1)))) == F.Lt(x - 1)
+
+    def test_dvd_coefficient_reduction(self):
+        f = F.Dvd(3, 7 * x + 9)
+        result = simplify(f)
+        assert result == F.Dvd(3, 1 * x)
+
+    def test_vacuous_quantifier_dropped(self):
+        f = F.exists("z", F.lt(x, 1))
+        assert simplify(f) == F.Lt(x - 1)
+
+    @given(qf_formulas(), st.fixed_dictionaries(
+        {"x": st.integers(-8, 8), "y": st.integers(-8, 8)}))
+    def test_simplify_preserves_semantics(self, formula, env):
+        assert evaluate(simplify(formula), env) == evaluate(formula, env)
+
+
+class TestNegateAtom:
+    @given(atom_st, st.fixed_dictionaries(
+        {"x": st.integers(-8, 8), "y": st.integers(-8, 8)}))
+    def test_negation_semantics(self, atom, env):
+        assert evaluate(negate_atom(atom), env) == (not evaluate(atom, env))
+
+
+class TestToNnf:
+    @given(qf_formulas(), st.fixed_dictionaries(
+        {"x": st.integers(-8, 8), "y": st.integers(-8, 8)}))
+    def test_nnf_preserves_semantics(self, formula, env):
+        nnf = to_nnf(formula, split_eq=True)
+        assert evaluate(nnf, env) == evaluate(formula, env)
+
+    @given(qf_formulas())
+    def test_nnf_has_no_not_or_eq(self, formula):
+        nnf = to_nnf(formula, split_eq=True)
+
+        def check(node):
+            assert not isinstance(node, (F.Not, F.Eq))
+            if isinstance(node, (F.And, F.Or)):
+                for arg in node.args:
+                    check(arg)
+
+        check(nnf)
+
+
+class TestEliminateExists:
+    @settings(max_examples=120)
+    @given(qf_formulas(), st.integers(-6, 6))
+    def test_matches_bruteforce(self, body, y_value):
+        eliminated = eliminate_exists("x", body)
+        assert F.is_quantifier_free(eliminated)
+        assert "x" not in eliminated.free_variables()
+        want = evaluate(Exists("x", body), {"y": y_value})
+        got = evaluate(eliminated, {"y": y_value})
+        assert got == want
+
+    def test_unbounded_below_formula(self):
+        # E x. x < y : always true over Z.
+        assert evaluate(eliminate_exists("x", F.lt(x, y)), {"y": -100})
+
+    def test_no_occurrence_is_identity(self):
+        body = F.lt(y, 3)
+        assert eliminate_exists("x", body) == simplify(body)
+
+
+class TestEliminateQuantifiers:
+    def test_even_predicate(self):
+        f = F.exists("k", F.eq(2 * var("k"), y))
+        qf = eliminate_quantifiers(f)
+        assert qf == F.Dvd(2, y) or evaluate(qf, {"y": 4})
+        for v in range(-6, 7):
+            assert evaluate(qf, {"y": v}) == (v % 2 == 0)
+
+    def test_nested_quantifiers_xi_m(self):
+        """The paper's xi_m(x, y) for m = 3 eliminates to x ≡ y (mod 3)."""
+        f = F.exists(["z", "q"],
+                     F.conj(F.eq(x + z, y), F.eq(3 * var("q"), z)))
+        qf = eliminate_quantifiers(f)
+        assert F.is_quantifier_free(qf)
+        for xv in range(-4, 5):
+            for yv in range(-4, 5):
+                assert evaluate(qf, {"x": xv, "y": yv}) == \
+                    ((yv - xv) % 3 == 0)
+
+    def test_forall(self):
+        # A z. z >= x -> z >= y  <=>  y <= x.
+        f = F.forall("z", F.Or((F.lt(z, x), F.ge(z, y))))
+        qf = eliminate_quantifiers(f)
+        for xv in range(-3, 4):
+            for yv in range(-3, 4):
+                assert evaluate(qf, {"x": xv, "y": yv}) == (yv <= xv)
+
+    def test_alternating_quantifiers(self):
+        # A x. E k. x = 2k | x = 2k + 1 : true.
+        f = F.forall("x", F.exists(
+            "k", F.Or((F.eq(x, 2 * var("k")), F.eq(x, 2 * var("k") + 1)))))
+        assert eliminate_quantifiers(f) == F.TRUE
+
+    def test_unsatisfiable_closed_formula(self):
+        # E x. x < 0 & x > 0.
+        f = F.exists("x", F.conj(F.lt(x, 0), F.gt(x, 0)))
+        assert eliminate_quantifiers(f) == F.FALSE
+
+    def test_divisibility_combination(self):
+        # E x. (2 | x) & (3 | x) & x = y : i.e. 6 | y.
+        f = F.exists("x", F.conj(F.Dvd(2, x), F.Dvd(3, x), F.eq(x, y)))
+        qf = eliminate_quantifiers(f)
+        for v in range(-12, 13):
+            assert evaluate(qf, {"y": v}) == (v % 6 == 0)
+
+
+class TestDecide:
+    def test_closed_true(self):
+        assert decide(F.exists("x", F.eq(x, 5)))
+
+    def test_with_environment(self):
+        f = F.exists("k", F.eq(x, 2 * var("k")))
+        assert decide(f, {"x": 10})
+        assert not decide(f, {"x": 11})
+
+
+class TestEliminationOrderIndependence:
+    """For independent quantifiers, elimination order cannot change
+    semantics: QE of E x E y φ agrees with QE of E y E x φ."""
+
+    @settings(max_examples=40)
+    @given(qf_formulas())
+    def test_exists_commute(self, body):
+        both_orders = []
+        for outer, inner in (("x", "y"), ("y", "x")):
+            step1 = eliminate_exists(inner, body)
+            step2 = eliminate_exists(outer, step1)
+            both_orders.append(step2)
+        a, b = both_orders
+        assert F.is_quantifier_free(a) and F.is_quantifier_free(b)
+        assert not a.free_variables() and not b.free_variables()
+        assert evaluate(a, {}) == evaluate(b, {})
+
+    @settings(max_examples=40)
+    @given(qf_formulas())
+    def test_forall_exists_duality(self, body):
+        """A x φ == !E x !φ, computed through full elimination."""
+        from repro.presburger.formulas import Forall, Not
+
+        direct = eliminate_quantifiers(Forall("x", body))
+        dual = eliminate_quantifiers(Not(Exists("x", Not(body))))
+        for y_value in (-3, 0, 4):
+            env = {"y": y_value}
+            env_a = {v: env[v] for v in direct.free_variables()}
+            env_b = {v: env[v] for v in dual.free_variables()}
+            assert evaluate(direct, env_a) == evaluate(dual, env_b)

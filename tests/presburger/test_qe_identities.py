@@ -1,0 +1,110 @@
+"""Quantifier elimination against textbook number-theoretic identities.
+
+Each test encodes a known truth of integer arithmetic as a Presburger
+formula and checks that Cooper elimination yields exactly the expected
+(quantifier-free) content.  These are end-to-end correctness anchors,
+complementing the randomized property tests.
+"""
+
+import pytest
+
+from repro.presburger import formulas as F
+from repro.presburger.formulas import evaluate
+from repro.presburger.parser import parse
+from repro.presburger.qe import decide, eliminate_quantifiers
+from repro.presburger.terms import var
+
+a, b, x, y = var("a"), var("b"), var("x"), var("y")
+
+
+class TestChineseRemainder:
+    def test_crt_3_5_always_solvable(self):
+        """gcd(3,5)=1: E x. x ≡ a (3) & x ≡ b (5) holds for all a, b."""
+        formula = F.exists("x", F.conj(F.modeq(x, a, 3), F.modeq(x, b, 5)))
+        qf = eliminate_quantifiers(formula)
+        for av in range(-4, 5):
+            for bv in range(-4, 5):
+                assert evaluate(qf, {"a": av, "b": bv})
+
+    def test_non_coprime_moduli_constraint(self):
+        """E x. x ≡ a (2) & x ≡ b (4) solvable iff a ≡ b (mod 2)."""
+        formula = F.exists("x", F.conj(F.modeq(x, a, 2), F.modeq(x, b, 4)))
+        qf = eliminate_quantifiers(formula)
+        for av in range(-4, 5):
+            for bv in range(-4, 5):
+                assert evaluate(qf, {"a": av, "b": bv}) == ((av - bv) % 2 == 0)
+
+
+class TestBezoutFlavoured:
+    def test_2x_plus_3y_hits_everything(self):
+        """2x + 3y ranges over all of Z (gcd = 1)."""
+        formula = F.exists(["x", "y"], F.eq(2 * x + 3 * y, a))
+        qf = eliminate_quantifiers(formula)
+        for av in range(-8, 9):
+            assert evaluate(qf, {"a": av})
+
+    def test_4x_plus_6y_hits_even(self):
+        """4x + 6y ranges exactly over multiples of gcd(4,6) = 2."""
+        formula = F.exists(["x", "y"], F.eq(4 * x + 6 * y, a))
+        qf = eliminate_quantifiers(formula)
+        for av in range(-12, 13):
+            assert evaluate(qf, {"a": av}) == (av % 2 == 0)
+
+
+class TestOrderingFacts:
+    def test_no_integer_strictly_between_consecutive(self):
+        """A x. !(a < x & x < a + 1): integers are discrete."""
+        formula = F.forall("x", F.Not(F.conj(F.lt(a, x), F.lt(x, a + 1))))
+        assert eliminate_quantifiers(formula) == F.TRUE
+
+    def test_dense_between_with_gap_two(self):
+        """E x. a < x & x < a + 2 always (namely x = a + 1)."""
+        formula = F.exists("x", F.conj(F.lt(a, x), F.lt(x, a + 2)))
+        assert eliminate_quantifiers(formula) == F.TRUE
+
+    def test_no_maximum_integer(self):
+        formula = F.exists("x", F.gt(x, a))
+        assert eliminate_quantifiers(formula) == F.TRUE
+
+    def test_trichotomy(self):
+        formula = F.forall("x", F.disj(F.lt(x, a), F.eq(x, a), F.gt(x, a)))
+        assert eliminate_quantifiers(formula) == F.TRUE
+
+
+class TestDivisionAlgorithm:
+    def test_unique_remainder_exists(self):
+        """A a >= 0 ... E q r. a = 3q + r & 0 <= r < 3 — phrased openly."""
+        formula = parse("E q r. a = 3*q + r & 0 <= r & r < 3")
+        qf = eliminate_quantifiers(formula)
+        for av in range(-9, 10):
+            assert evaluate(qf, {"a": av})
+
+    def test_specific_remainder_characterizes_congruence(self):
+        formula = parse("E q. a = 3*q + 2")
+        qf = eliminate_quantifiers(formula)
+        for av in range(-9, 10):
+            assert evaluate(qf, {"a": av}) == (av % 3 == 2)
+
+
+class TestEvenOddDecomposition:
+    def test_every_integer_even_or_odd(self):
+        formula = F.forall("x", F.disj(
+            F.exists("k", F.eq(x, 2 * var("k"))),
+            F.exists("k", F.eq(x, 2 * var("k") + 1))))
+        assert eliminate_quantifiers(formula) == F.TRUE
+
+    def test_no_integer_both(self):
+        formula = F.exists("x", F.conj(
+            F.modeq(x, 0, 2), F.modeq(x, 1, 2)))
+        assert eliminate_quantifiers(formula) == F.FALSE
+
+
+class TestDecideConvenience:
+    @pytest.mark.parametrize("text,env,expected", [
+        ("E x. 5*x = a", {"a": 15}, True),
+        ("E x. 5*x = a", {"a": 17}, False),
+        ("A x. E y. y = x + 1", {}, True),
+        ("E x. A y. y >= x", {}, False),     # no least integer
+    ])
+    def test_closed_and_open(self, text, env, expected):
+        assert decide(parse(text), env) == expected

@@ -1,0 +1,118 @@
+"""Tests for linear/semilinear sets (Theorem 3 / Corollary 4 substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger.formulas import evaluate
+from repro.presburger.qe import eliminate_quantifiers
+from repro.presburger.semilinear import LinearSet, SemilinearSet
+
+
+class TestLinearSet:
+    def test_base_only(self):
+        s = LinearSet((2, 3))
+        assert (2, 3) in s
+        assert (2, 4) not in s
+
+    def test_single_period(self):
+        evens = LinearSet((0,), [(2,)])
+        assert (0,) in evens
+        assert (8,) in evens
+        assert (7,) not in evens
+
+    def test_two_periods(self):
+        # {(a + b, b)} for a, b >= 0: first component >= second.
+        s = LinearSet((0, 0), [(1, 0), (1, 1)])
+        assert (3, 2) in s
+        assert (2, 2) in s
+        assert (1, 2) not in s
+
+    def test_zero_periods_dropped(self):
+        s = LinearSet((1,), [(0,)])
+        assert s.periods == ()
+
+    def test_duplicate_periods_dropped(self):
+        s = LinearSet((0,), [(2,), (2,)])
+        assert s.periods == ((2,),)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSet((-1,))
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSet((0,), [(-1,)])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSet((0, 0), [(1,)])
+        with pytest.raises(ValueError):
+            LinearSet((0,)).contains((1, 2))
+
+    def test_sample_membership(self):
+        s = LinearSet((1, 0), [(2, 1), (0, 3)])
+        v = s.sample([3, 2])
+        assert v == (1 + 6, 3 + 6)
+        assert v in s
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=2),
+           st.lists(st.lists(st.integers(0, 3), min_size=2, max_size=2),
+                    min_size=1, max_size=3),
+           st.lists(st.integers(0, 4), min_size=1, max_size=3))
+    def test_samples_always_members(self, base, periods, coefficients):
+        s = LinearSet(base, periods)
+        coefficients = (coefficients + [0] * len(s.periods))[:len(s.periods)]
+        assert s.sample(coefficients) in s
+
+
+class TestLinearSetFormula:
+    def test_formula_matches_membership(self):
+        s = LinearSet((1, 0), [(2, 1)])
+        formula = eliminate_quantifiers(s.to_formula(["a", "b"]))
+        for a in range(0, 10):
+            for b in range(0, 5):
+                assert evaluate(formula, {"a": a, "b": b}) == ((a, b) in s)
+
+    def test_base_only_formula(self):
+        s = LinearSet((3,))
+        formula = s.to_formula(["n"])
+        for n in range(8):
+            assert evaluate(formula, {"n": n}) == (n == 3)
+
+    def test_variable_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSet((0, 0)).to_formula(["only_one"])
+
+
+class TestSemilinearSet:
+    def test_union_semantics(self):
+        evens = LinearSet((0,), [(2,)])
+        threes = LinearSet((3,), [(3,)])
+        s = SemilinearSet([evens, threes])
+        assert (4,) in s
+        assert (9,) in s
+        assert (1,) not in s
+
+    def test_union_method(self):
+        s = SemilinearSet([LinearSet((0,), [(2,)])])
+        s2 = s.union(LinearSet((1,), [(2,)]))
+        assert all((v,) in s2 for v in range(6))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SemilinearSet([])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            SemilinearSet([LinearSet((0,)), LinearSet((0, 0))])
+
+    def test_formula_matches_membership(self):
+        s = SemilinearSet([
+            LinearSet((0,), [(2,)]),   # even
+            LinearSet((1,), [(4,)]),   # 1 mod 4
+        ])
+        formula = eliminate_quantifiers(s.to_formula(["n"]))
+        for n in range(20):
+            assert evaluate(formula, {"n": n}) == ((n,) in s)

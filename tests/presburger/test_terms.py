@@ -1,0 +1,115 @@
+"""Tests for linear terms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.presburger.terms import LinearTerm, var
+
+envs = st.fixed_dictionaries({"x": st.integers(-50, 50),
+                              "y": st.integers(-50, 50)})
+
+terms = st.builds(
+    LinearTerm,
+    st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-5, 5), max_size=2),
+    st.integers(-10, 10),
+)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        t = LinearTerm({"x": 0, "y": 2}, 1)
+        assert t.variables() == {"y"}
+
+    def test_of_coercions(self):
+        assert LinearTerm.of(5) == LinearTerm.const(5)
+        assert LinearTerm.of("x") == var("x")
+        t = var("x") + 1
+        assert LinearTerm.of(t) is t
+
+    def test_of_rejects_bool(self):
+        with pytest.raises(TypeError):
+            LinearTerm.of(True)
+
+    def test_of_rejects_junk(self):
+        with pytest.raises(TypeError):
+            LinearTerm.of(1.5)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        t = var("x") + var("x") + 3
+        assert t.coefficient("x") == 2
+        assert t.constant == 3
+
+    def test_subtraction_cancels(self):
+        t = (var("x") + 1) - (var("x") - 1)
+        assert t.is_constant()
+        assert t.constant == 2
+
+    def test_scalar_multiplication(self):
+        t = 3 * (var("x") - 2)
+        assert t.coefficient("x") == 3
+        assert t.constant == -6
+
+    def test_non_integer_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            var("x") * 1.5  # noqa: B018
+
+    @given(terms, terms, envs)
+    def test_add_homomorphism(self, t1, t2, env):
+        assert (t1 + t2).evaluate(env) == t1.evaluate(env) + t2.evaluate(env)
+
+    @given(terms, envs)
+    def test_negation(self, t, env):
+        assert (-t).evaluate(env) == -t.evaluate(env)
+
+    @given(terms, st.integers(-6, 6), envs)
+    def test_scaling(self, t, k, env):
+        assert (k * t).evaluate(env) == k * t.evaluate(env)
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        t = 2 * var("x") + var("y")
+        result = t.substitute("x", var("y") + 1)
+        assert result.coefficient("y") == 3
+        assert result.constant == 2
+        assert "x" not in result.variables()
+
+    def test_substitute_absent_is_identity(self):
+        t = var("y") + 1
+        assert t.substitute("x", 100) == t
+
+    @given(terms, st.integers(-10, 10), envs)
+    def test_substitution_semantics(self, t, value, env):
+        substituted = t.substitute("x", value)
+        full_env = dict(env)
+        full_env["x"] = value
+        assert substituted.evaluate(env) == t.evaluate(full_env)
+
+    def test_drop(self):
+        t = var("x") + var("y") + 5
+        dropped = t.drop("x")
+        assert dropped == var("y") + 5
+
+
+class TestEvaluation:
+    def test_missing_variable(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_constant_term(self):
+        assert LinearTerm.const(7).evaluate({}) == 7
+
+
+class TestPlumbing:
+    def test_equality_and_hash(self):
+        a = var("x") + 1
+        b = 1 + var("x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_readable(self):
+        assert repr(2 * var("x") - var("y") + 1) == "2*x - y + 1"
+        assert repr(LinearTerm.const(0)) == "0"

@@ -1,0 +1,94 @@
+"""Tests for the integer-function protocols (difference, min, max)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conventions import ScalarIntegerOutput
+from repro.core.semantics import is_silent
+from repro.protocols.arithmetic import (
+    DifferenceProtocol,
+    MaxProtocol,
+    MinProtocol,
+    difference_inputs,
+    min_max_inputs,
+)
+from repro.sim.engine import simulate_counts
+
+
+def run_to_silence(protocol, counts, seed):
+    sim = simulate_counts(protocol, counts, seed=seed)
+    done = sim.run_until(lambda s: is_silent(protocol, s.multiset()),
+                         max_steps=5_000_000, check_every=max(4, sim.n))
+    assert done
+    return sim
+
+
+class TestDifference:
+    def test_annihilation_rule(self):
+        p = DifferenceProtocol()
+        assert p.delta(1, -1) == (0, 0)
+        assert p.delta(-1, 1) == (0, 0)
+        assert p.delta(1, 1) == (1, 1)
+        assert p.delta(0, -1) == (0, -1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            DifferenceProtocol().initial_state("z")
+        with pytest.raises(ValueError):
+            difference_inputs(5, 5, 8)
+        with pytest.raises(ValueError):
+            difference_inputs(-1, 0, 8)
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 5000))
+    def test_computes_difference(self, x, y, seed):
+        n = max(x + y + 2, 4)
+        sim = run_to_silence(DifferenceProtocol(),
+                             difference_inputs(x, y, n), seed)
+        assert ScalarIntegerOutput().decode(sim.outputs()) == x - y
+
+    def test_sum_invariant_every_step(self, seed):
+        p = DifferenceProtocol()
+        sim = simulate_counts(p, difference_inputs(5, 3, 12), seed=seed)
+        for _ in range(500):
+            sim.step()
+            assert sum(sim.states) == 2
+
+
+class TestMinMax:
+    def test_pairing_rule(self):
+        p = MinProtocol()
+        assert p.delta("x", "y") == ("p", "s")
+        assert p.delta("y", "x") == ("p", "s")
+        assert p.delta("x", "x") == ("x", "x")
+        assert p.delta("p", "y") == ("p", "y")
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 5000))
+    def test_min(self, x, y, seed):
+        n = max(x + y + 2, 4)
+        sim = run_to_silence(MinProtocol(), min_max_inputs(x, y, n), seed)
+        assert ScalarIntegerOutput().decode(sim.outputs()) == min(x, y)
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 5000))
+    def test_max(self, x, y, seed):
+        n = max(x + y + 2, 4)
+        sim = run_to_silence(MaxProtocol(), min_max_inputs(x, y, n), seed)
+        assert ScalarIntegerOutput().decode(sim.outputs()) == max(x, y)
+
+    def test_min_plus_max_is_sum(self, seed):
+        x, y = 5, 3
+        n = 12
+        sim_min = run_to_silence(MinProtocol(), min_max_inputs(x, y, n), seed)
+        sim_max = run_to_silence(MaxProtocol(), min_max_inputs(x, y, n), seed)
+        decoded_min = ScalarIntegerOutput().decode(sim_min.outputs())
+        decoded_max = ScalarIntegerOutput().decode(sim_max.outputs())
+        assert decoded_min + decoded_max == x + y
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            MinProtocol().initial_state("q")
+        with pytest.raises(ValueError):
+            min_max_inputs(5, 5, 8)

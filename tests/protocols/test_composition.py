@@ -1,0 +1,113 @@
+"""Tests for protocol composition (Lemma 3 / Corollary 2)."""
+
+import pytest
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.core.protocol import ProtocolError
+from repro.protocols.composition import (
+    BooleanCombination,
+    ProductProtocol,
+    and_protocol,
+    not_protocol,
+    or_protocol,
+    xor_protocol,
+)
+from repro.protocols.counting import CountToK
+from repro.protocols.remainder import RemainderProtocol
+from repro.protocols.threshold import ThresholdProtocol
+
+
+def at_least(k):
+    return CountToK(k)
+
+
+def ones_mod(m, c):
+    return RemainderProtocol({0: 0, 1: 1}, c=c, m=m)
+
+
+class TestProductProtocol:
+    def test_components_step_independently(self):
+        prod = ProductProtocol([at_least(3), ones_mod(2, 1)])
+        s = prod.initial_state(1)
+        assert s == (1, (1, 0, 1))
+        p2, q2 = prod.delta(s, s)
+        assert p2[0] == 2 and q2[0] == 0          # counting component
+        assert p2[1][0] == 1 and q2[1][0] == 0    # leader bits of remainder
+
+    def test_mismatched_alphabets_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProductProtocol([at_least(2), ThresholdProtocol({"a": 1}, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProductProtocol([])
+
+    def test_output_tuple(self):
+        prod = ProductProtocol([at_least(1), ones_mod(2, 1)])
+        s = prod.initial_state(1)
+        assert prod.output(s) == (1, 0)
+
+
+class TestBooleanCombination:
+    def test_requires_bit_components(self):
+        nonbit = CountToK(2)
+        nonbit.output_alphabet = frozenset({"x"})
+        with pytest.raises(ProtocolError):
+            BooleanCombination([nonbit], lambda b: b)
+
+    def test_and_exact(self):
+        # at least 2 ones AND odd number of ones.
+        p = and_protocol(at_least(2), ones_mod(2, 1))
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 2 and c.get(1, 0) % 2 == 1,
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_or_exact(self):
+        p = or_protocol(at_least(3), ones_mod(2, 0))
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 3 or c.get(1, 0) % 2 == 0,
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_xor_exact(self):
+        p = xor_protocol(at_least(2), ones_mod(2, 1))
+        results = verify_stable_computation(
+            p, lambda c: (c.get(1, 0) >= 2) != (c.get(1, 0) % 2 == 1),
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_three_way_combination(self):
+        p = BooleanCombination(
+            [at_least(1), at_least(3), ones_mod(2, 1)],
+            lambda a, b, c: a and (b or c))
+        results = verify_stable_computation(
+            p,
+            lambda counts: counts.get(1, 0) >= 1 and (
+                counts.get(1, 0) >= 3 or counts.get(1, 0) % 2 == 1),
+            all_inputs_of_size([0, 1], 4))
+        assert all(results)
+
+
+class TestNegation:
+    def test_not_exact(self):
+        p = not_protocol(at_least(2))
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) < 2, all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_double_negation_matches(self):
+        p = not_protocol(not_protocol(at_least(2)))
+        inner = at_least(2)
+        for s in inner.states():
+            assert p.output(s) == inner.output(s)
+
+    def test_requires_bits(self):
+        nonbit = CountToK(2)
+        nonbit.output_alphabet = frozenset({"x"})
+        with pytest.raises(ProtocolError):
+            not_protocol(nonbit)
+
+    def test_delta_passthrough(self):
+        p = not_protocol(at_least(2))
+        assert p.delta(1, 1) == at_least(2).delta(1, 1)

@@ -1,0 +1,98 @@
+"""Tests for the count-to-k and epidemic protocols (paper Sect. 1/3)."""
+
+import pytest
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestDefinition:
+    def test_paper_transition_table(self):
+        p = count_to_five()
+        # delta(q_i, q_j) = (q_{i+j}, q_0) when i + j < 5, else (q_5, q_5).
+        assert p.delta(2, 2) == (4, 0)
+        assert p.delta(3, 2) == (5, 5)
+        assert p.delta(5, 0) == (5, 5)
+        assert p.delta(0, 0) == (0, 0)
+
+    def test_input_output_maps(self):
+        p = count_to_five()
+        assert p.initial_state(0) == 0
+        assert p.initial_state(1) == 1
+        assert p.output(5) == 1
+        assert all(p.output(i) == 0 for i in range(5))
+
+    def test_bad_input_symbol(self):
+        with pytest.raises(ValueError):
+            count_to_five().initial_state(2)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            CountToK(0)
+
+
+class TestStableComputation:
+    """Exhaustive model checks: every fair computation converges correctly."""
+
+    @pytest.mark.parametrize("n", [5, 6, 7, 8])
+    def test_count_to_five_exact(self, n):
+        p = count_to_five()
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 5, all_inputs_of_size([0, 1], n))
+        assert all(results)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_count_to_k_exact(self, k):
+        p = CountToK(k)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= k, all_inputs_of_size([0, 1], k + 2))
+        assert all(results)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("ones,expected", [(4, 0), (5, 1), (9, 1), (0, 0)])
+    def test_random_pairing_converges(self, ones, expected, seed):
+        p = count_to_five()
+        sim = simulate_counts(p, {0: 12 - ones, 1: ones}, seed=seed)
+        result = run_until_quiescent(sim, patience=6000, max_steps=500_000)
+        assert result.output == expected
+
+    def test_token_count_invariant(self, seed):
+        """Before any alert, the total token count is conserved."""
+        p = count_to_five()
+        sim = simulate_counts(p, {0: 8, 1: 4}, seed=seed)
+        for _ in range(2000):
+            sim.step()
+            states = sim.states
+            assert 5 not in states  # 4 ones can never alert
+            assert sum(states) == 4
+
+
+class TestEpidemic:
+    def test_or_semantics_exact(self):
+        p = Epidemic()
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 1, all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_one_infected_spreads_to_all(self, seed):
+        p = Epidemic()
+        sim = simulate_counts(p, {0: 49, 1: 1}, seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=200_000, check_every=50)
+        assert sim.unanimous_output() == 1
+
+    def test_no_spontaneous_infection(self, seed):
+        p = Epidemic()
+        sim = simulate_counts(p, {0: 20}, seed=seed)
+        sim.run(5000)
+        assert sim.unanimous_output() == 0
+
+    def test_monotone(self):
+        p = Epidemic()
+        for a in (0, 1):
+            for b in (0, 1):
+                p2, q2 = p.delta(a, b)
+                assert p2 >= a and q2 >= b

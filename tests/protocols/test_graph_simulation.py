@@ -1,0 +1,156 @@
+"""Tests for the Theorem 7 / Fig. 1 baton simulator."""
+
+import pytest
+
+from repro.core.population import (
+    line_population,
+    random_connected_population,
+    ring_population,
+    star_population,
+)
+from repro.protocols.counting import CountToK, count_to_five
+from repro.protocols.graph_simulation import (
+    BLANK,
+    DEFAULT,
+    INITIATOR_BATON,
+    RESPONDER_BATON,
+    GraphSimulationProtocol,
+)
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import Simulation
+
+
+class TestFigureOneRules:
+    """The transition table of Fig. 1, rule by rule."""
+
+    def setup_method(self):
+        self.p = GraphSimulationProtocol(CountToK(3))
+
+    def test_group_a_double_default(self):
+        assert self.p.delta(("x", DEFAULT), ("y", DEFAULT)) == \
+            (("x", INITIATOR_BATON), ("y", RESPONDER_BATON))
+
+    def test_group_a_initiator_default(self):
+        for other in (INITIATOR_BATON, RESPONDER_BATON, BLANK):
+            assert self.p.delta(("x", DEFAULT), ("y", other)) == \
+                (("x", BLANK), ("y", other))
+
+    def test_group_a_responder_default(self):
+        for other in (INITIATOR_BATON, RESPONDER_BATON, BLANK):
+            assert self.p.delta(("x", other), ("y", DEFAULT)) == \
+                (("x", other), ("y", BLANK))
+
+    def test_group_b_duplicate_batons(self):
+        assert self.p.delta(("x", INITIATOR_BATON), ("y", INITIATOR_BATON)) == \
+            (("x", INITIATOR_BATON), ("y", BLANK))
+        assert self.p.delta(("x", RESPONDER_BATON), ("y", RESPONDER_BATON)) == \
+            (("x", RESPONDER_BATON), ("y", BLANK))
+
+    def test_group_c_baton_movement(self):
+        assert self.p.delta(("x", INITIATOR_BATON), ("y", BLANK)) == \
+            (("x", BLANK), ("y", INITIATOR_BATON))
+        assert self.p.delta(("x", BLANK), ("y", RESPONDER_BATON)) == \
+            (("x", RESPONDER_BATON), ("y", BLANK))
+
+    def test_group_d_state_swap(self):
+        assert self.p.delta(("x", BLANK), ("y", BLANK)) == \
+            (("y", BLANK), ("x", BLANK))
+
+    def test_group_e_simulated_transition(self):
+        inner = CountToK(3)
+        x2, y2 = inner.delta(1, 1)
+        assert self.p.delta((1, INITIATOR_BATON), (1, RESPONDER_BATON)) == \
+            ((x2, RESPONDER_BATON), (y2, INITIATOR_BATON))
+
+    def test_group_e_reversed_roles(self):
+        """(yR, xS) -> (y'S, x'R): the S-holder is the simulated initiator
+        even when it is the A'-responder."""
+        inner = CountToK(3)
+        x2, y2 = inner.delta(2, 1)  # S-holder has 2, R-holder has 1
+        got = self.p.delta((1, RESPONDER_BATON), (2, INITIATOR_BATON))
+        assert got == ((y2, INITIATOR_BATON), (x2, RESPONDER_BATON))
+
+    def test_batons_conserved_after_cleanup(self):
+        """Once no D batons remain, every rule preserves the baton multiset."""
+        import collections
+        for b1 in (INITIATOR_BATON, RESPONDER_BATON, BLANK):
+            for b2 in (INITIATOR_BATON, RESPONDER_BATON, BLANK):
+                before = collections.Counter([b1, b2])
+                (_, nb1), (_, nb2) = self.p.delta((1, b1), (0, b2))
+                after = collections.Counter([nb1, nb2])
+                if b1 == b2 and b1 in (INITIATOR_BATON, RESPONDER_BATON):
+                    # group (b) deliberately destroys a duplicate baton
+                    assert after[BLANK] == before[BLANK] + 1
+                else:
+                    assert after == before
+
+    def test_io_maps_pass_through(self):
+        inner = CountToK(3)
+        assert self.p.initial_state(1) == (1, DEFAULT)
+        assert self.p.output((3, BLANK)) == inner.output(3)
+
+
+class TestCleanliness:
+    def test_is_clean(self):
+        states = [(0, INITIATOR_BATON), (0, RESPONDER_BATON), (0, BLANK)]
+        assert GraphSimulationProtocol.is_clean(states)
+        assert not GraphSimulationProtocol.is_clean(
+            states + [(0, DEFAULT)])
+        assert not GraphSimulationProtocol.is_clean(
+            [(0, INITIATOR_BATON), (0, INITIATOR_BATON), (0, RESPONDER_BATON)])
+
+    def test_simulation_becomes_clean(self, seed):
+        p = GraphSimulationProtocol(CountToK(2))
+        pop = line_population(6)
+        sim = Simulation(p, [1, 0, 1, 0, 0, 0], population=pop, seed=seed)
+        sim.run_until(lambda s: GraphSimulationProtocol.is_clean(s.states),
+                      max_steps=100_000, check_every=20)
+        assert GraphSimulationProtocol.is_clean(sim.states)
+        # Cleanliness is preserved forever after.
+        for _ in range(2000):
+            sim.step()
+        assert GraphSimulationProtocol.is_clean(sim.states)
+
+
+@pytest.mark.parametrize("make_population", [
+    line_population,
+    ring_population,
+    star_population,
+    lambda n: random_connected_population(n, 0.2, seed=5),
+], ids=["line", "ring", "star", "random"])
+class TestStableComputationOnGraphs:
+    """Theorem 7 end to end on assorted weakly-connected graphs."""
+
+    def test_count_to_five_positive(self, make_population, seed):
+        p = GraphSimulationProtocol(count_to_five())
+        pop = make_population(8)
+        inputs = [1, 1, 0, 1, 0, 1, 1, 0]  # five ones
+        sim = Simulation(p, inputs, population=pop, seed=seed)
+        result = run_until_quiescent(sim, patience=80_000, max_steps=8_000_000)
+        assert result.output == 1
+
+    def test_count_to_five_negative(self, make_population, seed):
+        p = GraphSimulationProtocol(count_to_five())
+        pop = make_population(8)
+        inputs = [1, 1, 0, 1, 0, 0, 1, 0]  # four ones
+        sim = Simulation(p, inputs, population=pop, seed=seed)
+        result = run_until_quiescent(sim, patience=80_000, max_steps=8_000_000)
+        assert result.output == 0
+
+    def test_parity(self, make_population, seed):
+        p = GraphSimulationProtocol(parity_protocol())
+        pop = make_population(7)
+        inputs = [1, 0, 1, 1, 0, 0, 0]  # three ones: odd
+        sim = Simulation(p, inputs, population=pop, seed=seed)
+        result = run_until_quiescent(sim, patience=80_000, max_steps=8_000_000)
+        assert result.output == 1
+
+    def test_majority(self, make_population, seed):
+        p = GraphSimulationProtocol(majority_protocol())
+        pop = make_population(7)
+        inputs = [1, 1, 1, 1, 0, 0, 0]
+        sim = Simulation(p, inputs, population=pop, seed=seed)
+        result = run_until_quiescent(sim, patience=80_000, max_steps=8_000_000)
+        assert result.output == 1

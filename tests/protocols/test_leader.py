@@ -1,0 +1,77 @@
+"""Tests for leader election and its (n-1)^2 expected time (paper Sect. 6)."""
+
+import pytest
+
+from repro.analysis.markov import MarkovAnalysis
+from repro.protocols.leader import (
+    FOLLOWER,
+    LEADER,
+    LeaderElection,
+    expected_election_interactions,
+    leader_count,
+)
+from repro.sim.engine import simulate_counts
+from repro.sim.stats import run_trials
+from repro.util.multiset import FrozenMultiset
+
+
+class TestDynamics:
+    def test_two_leaders_collapse(self):
+        p = LeaderElection()
+        assert p.delta(LEADER, LEADER) == (LEADER, FOLLOWER)
+
+    def test_other_pairs_noop(self):
+        p = LeaderElection()
+        assert p.delta(LEADER, FOLLOWER) == (LEADER, FOLLOWER)
+        assert p.delta(FOLLOWER, LEADER) == (FOLLOWER, LEADER)
+        assert p.delta(FOLLOWER, FOLLOWER) == (FOLLOWER, FOLLOWER)
+
+    def test_all_inputs_start_as_leader(self):
+        p = LeaderElection()
+        assert p.initial_state(0) == LEADER
+        assert p.initial_state(1) == LEADER
+
+    def test_leader_count_helper(self):
+        assert leader_count(FrozenMultiset({LEADER: 3, FOLLOWER: 2})) == 3
+
+
+class TestExactExpectation:
+    """The paper's formula sum_{i=2..n} C(n,2)/C(i,2) = (n-1)^2, checked
+    against the exact Markov chain."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_markov_matches_formula(self, n):
+        analysis = MarkovAnalysis(LeaderElection(), {1: n})
+        expected = analysis.expected_convergence_interactions()
+        assert expected == pytest.approx(expected_election_interactions(n), rel=1e-9)
+
+    def test_formula_values(self):
+        assert expected_election_interactions(2) == 1
+        assert expected_election_interactions(10) == 81
+
+    def test_formula_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            expected_election_interactions(1)
+
+
+class TestSimulatedExpectation:
+    def test_mean_close_to_formula(self, seed):
+        n = 12
+
+        def trial(trial_seed: int) -> float:
+            sim = simulate_counts(LeaderElection(), {1: n}, seed=trial_seed)
+            sim.run_until(
+                lambda s: sum(1 for st in s.states if st == LEADER) == 1,
+                max_steps=100_000, check_every=1)
+            return sim.interactions
+
+        summary = run_trials(trial, trials=300, seed=seed)
+        want = expected_election_interactions(n)
+        # 300 trials: allow a generous 5-sigma band.
+        assert abs(summary.mean - want) < 5 * summary.stderr + 1
+
+    def test_leader_never_vanishes(self, seed):
+        sim = simulate_counts(LeaderElection(), {1: 9}, seed=seed)
+        for _ in range(3000):
+            sim.step()
+            assert sum(1 for st in sim.states if st == LEADER) >= 1

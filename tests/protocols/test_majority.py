@@ -1,0 +1,83 @@
+"""Tests for majority / fraction-threshold predicates (flock of birds)."""
+
+import pytest
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.majority import (
+    at_least_fraction,
+    flock_of_birds_protocol,
+    majority_protocol,
+    majority_truth,
+    strict_majority_protocol,
+)
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestConstruction:
+    def test_flock_weights(self):
+        p = flock_of_birds_protocol()
+        # 20 x1 >= x0 + x1  <=>  x0 - 19 x1 < 1.
+        assert p.weights == {0: 1, 1: -19}
+        assert p.c == 1
+
+    def test_fraction_reduced(self):
+        # 10/20 reduces to 1/2 = majority weights.
+        assert at_least_fraction(10, 20).weights == {0: 1, 1: -1}
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            at_least_fraction(0, 5)
+        with pytest.raises(ValueError):
+            at_least_fraction(6, 5)
+
+
+class TestExactSemantics:
+    def test_majority_exact(self):
+        p = majority_protocol()
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= c.get(0, 0),
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_strict_majority_exact(self):
+        p = strict_majority_protocol()
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) > c.get(0, 0),
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    def test_one_third_exact(self):
+        p = at_least_fraction(1, 3)
+        results = verify_stable_computation(
+            p, lambda c: 3 * c.get(1, 0) >= c.get(0, 0) + c.get(1, 0),
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+
+class TestFlockSimulation:
+    """The paper's 5% question on simulated flocks."""
+
+    @pytest.mark.parametrize("hot,total,expected", [
+        (2, 40, 1),   # exactly 5%
+        (2, 41, 0),   # just below
+        (1, 20, 1),
+        (0, 20, 0),
+        (5, 100, 1),
+        (4, 100, 0),
+    ])
+    def test_boundary_cases(self, hot, total, expected, seed):
+        p = flock_of_birds_protocol()
+        sim = simulate_counts(p, {0: total - hot, 1: hot}, seed=seed)
+        result = run_until_quiescent(sim, patience=30_000, max_steps=3_000_000)
+        assert result.output == expected
+
+
+class TestTruthHelper:
+    def test_weak(self):
+        assert majority_truth(3, 3) is True
+        assert majority_truth(4, 3) is False
+
+    def test_strict(self):
+        assert majority_truth(3, 3, strict=True) is False
+        assert majority_truth(3, 4, strict=True) is True

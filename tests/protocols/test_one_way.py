@@ -1,0 +1,80 @@
+"""Tests for the one-way (immediate observation) protocol (Sect. 8)."""
+
+import pytest
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.counting import count_to_five
+from repro.protocols.one_way import OneWayCountToK, is_one_way
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestOneWayProperty:
+    def test_protocol_is_one_way(self):
+        assert is_one_way(OneWayCountToK(3))
+
+    def test_two_way_protocol_detected(self):
+        assert not is_one_way(count_to_five())
+
+
+class TestDynamics:
+    def test_responder_climbs_on_same_level(self):
+        p = OneWayCountToK(4)
+        assert p.delta(2, 2) == (2, 3)
+
+    def test_no_climb_on_different_levels(self):
+        p = OneWayCountToK(4)
+        assert p.delta(2, 1) == (2, 1)
+        assert p.delta(1, 2) == (1, 2)
+
+    def test_zero_level_inert(self):
+        p = OneWayCountToK(4)
+        assert p.delta(0, 0) == (0, 0)
+
+    def test_alert_spreads_one_way(self):
+        p = OneWayCountToK(3)
+        assert p.delta(3, 0) == (3, 3)
+        assert p.delta(0, 3) == (0, 3)  # responder unchanged? no: observes 0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            OneWayCountToK(0)
+
+
+class TestStableComputation:
+    """The paper's claim: threshold-k is still computable one-way.
+
+    Model-checked exhaustively: soundness (level k requires k ones) and
+    completeness (k ones always eventually alert) over all small inputs.
+    """
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exact(self, k):
+        p = OneWayCountToK(k)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= k,
+            all_inputs_of_size([0, 1], k + 3))
+        assert all(results)
+
+    def test_exact_k4_n6(self):
+        p = OneWayCountToK(4)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 4, all_inputs_of_size([0, 1], 6))
+        assert all(results)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("ones,expected", [(2, 0), (3, 1), (6, 1)])
+    def test_random_pairing(self, ones, expected, seed):
+        p = OneWayCountToK(3)
+        sim = simulate_counts(p, {0: 12 - ones, 1: ones}, seed=seed)
+        result = run_until_quiescent(sim, patience=30_000, max_steps=3_000_000)
+        assert result.output == expected
+
+    def test_max_level_bounded_by_ones(self, seed):
+        p = OneWayCountToK(5)
+        ones = 3
+        sim = simulate_counts(p, {0: 9, 1: ones}, seed=seed)
+        for _ in range(30_000):
+            sim.step()
+            assert max(sim.states) <= ones

@@ -1,0 +1,84 @@
+"""Tests for the Theorem 2 output-convention conversion."""
+
+import pytest
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.core.protocol import ProtocolError
+from repro.protocols.output_conversion import (
+    AllAgentsFromZeroNonZero,
+    ZeroNonZeroWitness,
+)
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestWitnessProtocol:
+    """The inner protocol computes thresholds only in the zero/non-zero
+    sense: a single witness raises its output to 1."""
+
+    def test_witness_accumulates(self):
+        p = ZeroNonZeroWitness(3)
+        assert p.delta(1, 1) == (2, 0)
+        assert p.delta(2, 1) == (3, 0)
+        assert p.delta(2, 2) == (3, 0)  # capped at k
+
+    def test_single_agent_outputs_one(self, seed):
+        p = ZeroNonZeroWitness(3)
+        sim = simulate_counts(p, {0: 6, 1: 4}, seed=seed)
+        sim.run_until(lambda s: 1 in [p.output(st) for st in s.states],
+                      max_steps=200_000, check_every=20)
+        outputs = [p.output(st) for st in sim.states]
+        assert outputs.count(1) == 1  # exactly one witness
+        assert outputs.count(0) == 9
+
+    def test_not_all_agents_convention(self):
+        """Under the all-agents convention the witness protocol does NOT
+        stably compute the threshold — this is why Theorem 2 is needed."""
+        from repro.analysis.stability import verify_predicate_on_input
+
+        p = ZeroNonZeroWitness(2)
+        result = verify_predicate_on_input(p, {0: 2, 1: 2}, True)
+        assert not result.holds
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ZeroNonZeroWitness(0)
+
+
+class TestConversion:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_converted_protocol_exact(self, k):
+        converted = AllAgentsFromZeroNonZero(ZeroNonZeroWitness(k))
+        results = verify_stable_computation(
+            converted, lambda c: c.get(1, 0) >= k,
+            all_inputs_of_size([0, 1], k + 2))
+        assert all(results)
+
+    @pytest.mark.parametrize("ones,expected", [(0, 0), (2, 0), (3, 1), (7, 1)])
+    def test_converted_simulation(self, ones, expected, seed):
+        converted = AllAgentsFromZeroNonZero(ZeroNonZeroWitness(3))
+        sim = simulate_counts(converted, {0: 10 - min(ones, 9), 1: ones},
+                              seed=seed)
+        result = run_until_quiescent(sim, patience=15_000, max_steps=1_000_000)
+        assert result.output == expected
+
+    def test_leadership_moves_to_positive_output(self, seed):
+        """After stabilization the (unique) leader is an agent whose
+        embedded output is 1 whenever any agent outputs 1."""
+        converted = AllAgentsFromZeroNonZero(ZeroNonZeroWitness(2))
+        sim = simulate_counts(converted, {0: 6, 1: 4}, seed=seed)
+        run_until_quiescent(sim, patience=15_000, max_steps=1_000_000)
+        leaders = [st for st in sim.states if st[0] == 1]
+        assert len(leaders) == 1
+        inner = converted.inner
+        assert inner.output(leaders[0][2]) == 1
+
+    def test_rejects_non_bit_inner(self):
+        nonbit = ZeroNonZeroWitness(2)
+        nonbit.output_alphabet = frozenset({"x"})
+        with pytest.raises(ProtocolError):
+            AllAgentsFromZeroNonZero(nonbit)
+
+    def test_initial_state_shape(self):
+        converted = AllAgentsFromZeroNonZero(ZeroNonZeroWitness(2))
+        assert converted.initial_state(1) == (1, 0, 1)

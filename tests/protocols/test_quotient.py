@@ -1,0 +1,89 @@
+"""Tests for the floor(m/d) protocol (paper Sect. 3.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.conventions import IntegerOutput, ScalarIntegerOutput
+from repro.protocols.quotient import QuotientProtocol, QuotientRemainderProtocol
+from repro.sim.engine import simulate_counts
+from repro.sim.schedulers import GreedyChangeScheduler
+from repro.core.population import complete_population
+from repro.core.semantics import is_silent
+
+
+def run_to_fixpoint(protocol, ones, zeros, seed):
+    """Run with a greedy scheduler until no state-changing pair remains
+    among token holders (quotient protocols are eventually quiescent up to
+    no-ops)."""
+    sim = simulate_counts(protocol, {0: zeros, 1: ones}, seed=seed)
+    sim.scheduler = GreedyChangeScheduler(
+        complete_population(sim.n), protocol)
+    # The greedy scheduler reaches the fixpoint in few productive steps.
+    sim.run_until(lambda s: is_silent(protocol, s.multiset()),
+                  max_steps=200_000, check_every=sim.n)
+    return sim
+
+
+class TestPaperDefinition:
+    def test_paper_rules_for_d3(self):
+        p = QuotientProtocol(3)
+        assert p.delta((1, 0), (1, 0)) == ((2, 0), (0, 0))
+        assert p.delta((2, 0), (1, 0)) == ((0, 0), (0, 1))
+        assert p.delta((2, 0), (2, 0)) == ((1, 0), (0, 1))
+        # "All other transitions leave the pair unchanged."
+        assert p.delta((2, 0), (0, 0)) == ((2, 0), (0, 0))
+        assert p.delta((0, 1), (1, 0)) == ((0, 1), (1, 0))
+        assert p.delta((1, 0), (0, 1)) == ((1, 0), (0, 1))
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            QuotientProtocol(1)
+
+    def test_io_maps(self):
+        p = QuotientProtocol(3)
+        assert p.initial_state(1) == (1, 0)
+        assert p.initial_state(0) == (0, 0)
+        assert p.output((2, 0)) == 0
+        assert p.output((0, 1)) == 1
+
+
+class TestInvariant:
+    @given(st.integers(0, 12), st.integers(2, 5), st.integers(0, 200))
+    def test_m_equals_r_plus_d_b(self, ones, d, seed):
+        """The paper's induction invariant: m = R + d*B in every reachable
+        configuration."""
+        p = QuotientProtocol(d)
+        zeros = max(2, 14 - ones)
+        sim = simulate_counts(p, {0: zeros, 1: ones}, seed=seed)
+        for _ in range(300):
+            sim.step()
+        r = sum(state[0] for state in sim.states)
+        b = sum(state[1] for state in sim.states)
+        assert ones == r + d * b
+
+
+class TestComputesQuotient:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    @pytest.mark.parametrize("ones", [0, 1, 5, 7, 11])
+    def test_quotient_value(self, d, ones, seed):
+        p = QuotientProtocol(d)
+        sim = run_to_fixpoint(p, ones, max(2, 14 - ones), seed)
+        decoded = ScalarIntegerOutput().decode(sim.outputs())
+        assert decoded == ones // d
+
+    @pytest.mark.parametrize("ones", [0, 4, 8, 9])
+    def test_quotient_and_remainder(self, ones, seed):
+        """With the identity output map the protocol computes the ordered
+        pair (m mod 3, floor(m/3)) as the paper remarks."""
+        p = QuotientRemainderProtocol(3)
+        sim = run_to_fixpoint(p, ones, max(2, 12 - ones), seed)
+        remainder, quotient = IntegerOutput(2).decode(sim.outputs())
+        assert (remainder, quotient) == (ones % 3, ones // 3)
+
+    def test_random_scheduler_also_converges(self, seed):
+        p = QuotientProtocol(3)
+        sim = simulate_counts(p, {0: 6, 1: 7}, seed=seed)
+        sim.run_until(lambda s: is_silent(p, s.multiset()),
+                      max_steps=500_000, check_every=100)
+        assert ScalarIntegerOutput().decode(sim.outputs()) == 7 // 3

@@ -1,0 +1,75 @@
+"""Tests for the protocol catalogue."""
+
+import pytest
+
+from repro.core.protocol import PopulationProtocol
+from repro.protocols import registry
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestCatalogue:
+    def test_names_sorted(self):
+        assert registry.names() == sorted(registry.names())
+
+    def test_expected_entries_present(self):
+        for name in ("count-to-k", "epidemic", "majority", "parity",
+                     "flock-of-birds", "quotient-3", "one-way-count-to-k"):
+            assert name in registry.names()
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            registry.get("teleportation")
+
+    def test_duplicate_registration_rejected(self):
+        entry = registry.get("parity")
+        with pytest.raises(ValueError):
+            registry.register(entry)
+
+    def test_all_factories_build(self):
+        for entry in registry.entries():
+            protocol = entry.build()
+            assert isinstance(protocol, PopulationProtocol)
+            protocol.validate()
+
+
+class TestParameters:
+    def test_parameterized_build(self):
+        protocol = registry.get("count-to-k").build(k=3)
+        assert protocol.k == 3
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            registry.get("count-to-k").build(zoom=3)
+
+    def test_parameterless_entry_rejects_params(self):
+        with pytest.raises(ValueError):
+            registry.get("majority").build(k=3)
+
+    def test_truth_respects_parameters(self):
+        entry = registry.get("count-to-k")
+        assert entry.evaluate_truth({1: 3}, k=3)
+        assert not entry.evaluate_truth({1: 2}, k=3)
+
+    def test_truth_missing_for_functions(self):
+        with pytest.raises(ValueError):
+            registry.get("quotient-3").evaluate_truth({1: 3})
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name,counts,params", [
+        ("epidemic", {1: 1, 0: 9}, {}),
+        ("majority", {1: 6, 0: 4}, {}),
+        ("parity", {1: 3, 0: 5}, {}),
+        ("count-to-k", {1: 4, 0: 4}, {"k": 4}),
+        ("one-way-count-to-k", {1: 3, 0: 5}, {"k": 3}),
+    ])
+    def test_catalogue_protocols_match_their_truth(self, name, counts,
+                                                   params, seed):
+        entry = registry.get(name)
+        protocol = entry.build(**params)
+        expected = 1 if entry.evaluate_truth(counts, **params) else 0
+        sim = simulate_counts(protocol, counts, seed=seed)
+        result = run_until_quiescent(sim, patience=20_000,
+                                     max_steps=3_000_000)
+        assert result.output == expected

@@ -1,0 +1,89 @@
+"""Tests for the Lemma 5 remainder protocol and parity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.remainder import RemainderProtocol, parity_protocol
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestConstruction:
+    def test_residues_normalized(self):
+        p = RemainderProtocol({"a": 7, "b": -1}, c=5, m=3)
+        assert p.c == 2
+        assert p.initial_state("a") == (1, 0, 1)   # 7 mod 3
+        assert p.initial_state("b") == (1, 0, 2)   # -1 mod 3
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            RemainderProtocol({"a": 1}, 0, 1)
+
+    def test_empty_weights(self):
+        with pytest.raises(ValueError):
+            RemainderProtocol({}, 0, 2)
+
+
+class TestDynamics:
+    def test_leader_accumulates_mod_m(self):
+        p = RemainderProtocol({"a": 1}, c=0, m=3)
+        new_leader, new_follower = p.delta((1, 0, 2), (1, 0, 2))
+        assert new_leader == (1, 1 if (2 + 2) % 3 == 0 else 0, 1)
+        assert new_follower[2] == 0
+        assert new_follower[0] == 0
+
+    def test_no_leader_noop(self):
+        p = RemainderProtocol({"a": 1}, c=0, m=3)
+        follower = (0, 0, 0)
+        assert p.delta(follower, follower) == (follower, follower)
+
+    def test_sum_mod_m_invariant(self, seed):
+        p = RemainderProtocol({"a": 1}, c=0, m=5)
+        sim = simulate_counts(p, {"a": 13}, seed=seed)
+        for _ in range(500):
+            sim.step()
+            assert sum(state[2] for state in sim.states) % 5 == 13 % 5
+
+
+class TestStableComputation:
+    @pytest.mark.parametrize("m,c", [(2, 0), (2, 1), (3, 1), (4, 2)])
+    def test_exact(self, m, c):
+        p = RemainderProtocol({"a": 1, "pad": 0}, c=c, m=m)
+        results = verify_stable_computation(
+            p, lambda counts: counts.get("a", 0) % m == c,
+            all_inputs_of_size(["a", "pad"], 5))
+        assert all(results)
+
+    def test_exact_weighted(self):
+        p = RemainderProtocol({"a": 1, "b": 2}, c=0, m=3)
+        results = verify_stable_computation(
+            p,
+            lambda counts: (counts.get("a", 0) + 2 * counts.get("b", 0)) % 3 == 0,
+            all_inputs_of_size(["a", "b"], 5))
+        assert all(results)
+
+    @settings(max_examples=25)
+    @given(st.integers(2, 20), st.integers(2, 6), st.integers(0, 10_000))
+    def test_simulation_matches_truth(self, count, m, seed):
+        p = RemainderProtocol({"a": 1}, c=1, m=m)
+        sim = simulate_counts(p, {"a": count}, seed=seed)
+        result = run_until_quiescent(sim, patience=12_000, max_steps=800_000)
+        assert result.output == (1 if count % m == 1 else 0)
+
+
+class TestParity:
+    def test_parity_exact(self):
+        p = parity_protocol()
+        results = verify_stable_computation(
+            p, lambda counts: counts.get(1, 0) % 2 == 1,
+            all_inputs_of_size([0, 1], 5))
+        assert all(results)
+
+    @pytest.mark.parametrize("ones,expected", [(3, 1), (4, 0), (0, 0), (7, 1)])
+    def test_parity_simulation(self, ones, expected, seed):
+        p = parity_protocol()
+        sim = simulate_counts(p, {0: 10 - min(ones, 8), 1: ones}, seed=seed)
+        result = run_until_quiescent(sim, patience=10_000, max_steps=500_000)
+        assert result.output == expected

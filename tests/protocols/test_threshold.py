@@ -1,0 +1,146 @@
+"""Tests for the Lemma 5 threshold protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
+from repro.protocols.threshold import ThresholdProtocol, count_at_least
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+
+
+class TestConstruction:
+    def test_s_parameter(self):
+        p = ThresholdProtocol({"a": 3, "b": -1}, c=2)
+        assert p.s == max(abs(2) + 1, 3)
+
+    def test_s_dominated_by_weights(self):
+        p = ThresholdProtocol({"a": 9}, c=0)
+        assert p.s == 9
+
+    def test_initial_state(self):
+        p = ThresholdProtocol({"a": 3, "b": -1}, c=2)
+        assert p.initial_state("a") == (1, 0, 3)
+        assert p.initial_state("b") == (1, 0, -1)
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            ThresholdProtocol({"a": 1}, 0).initial_state("z")
+
+    def test_empty_weights(self):
+        with pytest.raises(ValueError):
+            ThresholdProtocol({}, 0)
+
+
+class TestPaperHelpers:
+    def test_q_r_identity(self):
+        p = ThresholdProtocol({"a": 1}, c=3)
+        s = p.s
+        for u in range(-s, s + 1):
+            for v in range(-s, s + 1):
+                q = p.absorb(u, v)
+                r = p.remainder(u, v)
+                assert q + r == u + v
+                assert -s <= q <= s
+                assert -s <= r <= s
+
+    def test_output_bit(self):
+        p = ThresholdProtocol({"a": 1}, c=2)
+        assert p.output_bit(0, 1) == 1   # 1 < 2
+        assert p.output_bit(1, 1) == 0   # 2 < 2 is false
+
+
+class TestDynamics:
+    def test_no_leader_pair_is_noop(self):
+        p = ThresholdProtocol({"a": 1}, c=1)
+        follower = (0, 1, 0)
+        assert p.delta(follower, follower) == (follower, follower)
+
+    def test_leader_absorbs(self):
+        p = ThresholdProtocol({"a": 1}, c=2)
+        leader = (1, 0, 1)
+        other = (1, 0, 1)
+        new_leader, new_follower = p.delta(leader, other)
+        assert new_leader == (1, 0, 2)
+        assert new_follower == (0, 0, 0)
+
+    def test_clamping_leaves_remainder(self):
+        p = ThresholdProtocol({"a": 2}, c=0)  # s = 2
+        new_leader, new_follower = p.delta((1, 0, 2), (0, 0, 2))
+        assert new_leader[2] == 2
+        assert new_follower[2] == 2
+
+    def test_count_sum_invariant(self, seed):
+        p = ThresholdProtocol({"a": 2, "b": -3}, c=1)
+        sim = simulate_counts(p, {"a": 5, "b": 3}, seed=seed)
+        expected = 5 * 2 + 3 * (-3)
+        for _ in range(500):
+            sim.step()
+            assert sum(state[2] for state in sim.states) == expected
+
+    def test_single_leader_eventually(self, seed):
+        p = ThresholdProtocol({"a": 1}, c=3)
+        sim = simulate_counts(p, {"a": 10}, seed=seed)
+        sim.run_until(
+            lambda s: sum(state[0] for state in s.states) == 1,
+            max_steps=100_000, check_every=50)
+        assert sum(state[0] for state in sim.states) == 1
+
+    def test_leader_count_never_increases(self, seed):
+        p = ThresholdProtocol({"a": 1}, c=3)
+        sim = simulate_counts(p, {"a": 8}, seed=seed)
+        previous = 8
+        for _ in range(2000):
+            sim.step()
+            leaders = sum(state[0] for state in sim.states)
+            assert leaders <= previous
+            previous = leaders
+
+
+class TestStableComputation:
+    @pytest.mark.parametrize("c", [-1, 0, 1, 2])
+    def test_exact_single_variable(self, c):
+        p = ThresholdProtocol({"a": 1, "pad": 0}, c=c)
+        results = verify_stable_computation(
+            p, lambda counts: counts.get("a", 0) < c,
+            all_inputs_of_size(["a", "pad"], 4))
+        assert all(results)
+
+    def test_exact_two_variables(self):
+        # x - y < 1, i.e. majority of b.
+        p = ThresholdProtocol({"a": 1, "b": -1}, c=1)
+        results = verify_stable_computation(
+            p, lambda counts: counts.get("a", 0) - counts.get("b", 0) < 1,
+            all_inputs_of_size(["a", "b"], 4))
+        assert all(results)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 14), st.integers(0, 14), st.integers(0, 10_000))
+    def test_simulation_matches_truth(self, a_count, b_count, seed):
+        if a_count + b_count < 2:
+            a_count, b_count = 2, b_count
+        p = ThresholdProtocol({"a": 2, "b": -1}, c=3)
+        sim = simulate_counts(p, {"a": a_count, "b": b_count}, seed=seed)
+        result = run_until_quiescent(sim, patience=12_000, max_steps=800_000)
+        want = 1 if 2 * a_count - b_count < 3 else 0
+        assert result.output == want
+
+
+class TestCountAtLeast:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_counting_semantics(self, k):
+        p = count_at_least(k)
+        results = verify_stable_computation(
+            p, lambda counts: counts.get(1, 0) >= k,
+            all_inputs_of_size([0, 1], k + 2))
+        assert all(results)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            count_at_least(0)
+
+    def test_predicate_helper(self):
+        p = ThresholdProtocol({"a": 2, "b": -1}, c=3)
+        assert p.predicate({"a": 1, "b": 0}) is True
+        assert p.predicate({"a": 2, "b": 0}) is False

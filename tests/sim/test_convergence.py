@@ -1,0 +1,69 @@
+"""Tests for convergence stopping rules."""
+
+from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.protocols.majority import majority_protocol
+from repro.sim.convergence import (
+    run_until_correct_stable,
+    run_until_quiescent,
+    run_until_silent,
+)
+from repro.sim.engine import Simulation, simulate_counts
+
+
+class TestRunUntilSilent:
+    def test_stops_on_silence(self, seed):
+        sim = simulate_counts(CountToK(3), {1: 5, 0: 3}, seed=seed)
+        result = run_until_silent(sim, max_steps=500_000)
+        assert result.stopped
+        assert result.output == 1
+
+    def test_budget_respected(self, seed):
+        # count-to-five with 4 ones never goes silent: (q0, q4) swaps forever.
+        sim = simulate_counts(count_to_five(), {1: 4, 0: 4}, seed=seed)
+        result = run_until_silent(sim, max_steps=3_000)
+        assert not result.stopped
+        assert result.output == 0  # outputs converged anyway
+
+    def test_converged_at_recorded(self, seed):
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 9}, seed=seed)
+        result = run_until_silent(sim, max_steps=200_000)
+        assert result.stopped
+        assert 0 < result.converged_at <= result.interactions
+
+
+class TestRunUntilQuiescent:
+    def test_patience_window(self, seed):
+        sim = simulate_counts(majority_protocol(), {0: 4, 1: 6}, seed=seed)
+        result = run_until_quiescent(sim, patience=5_000, max_steps=2_000_000)
+        assert result.stopped
+        assert result.output == 1
+        assert result.interactions - result.converged_at >= 5_000
+
+    def test_budget_exhaustion_reported(self, seed):
+        sim = simulate_counts(majority_protocol(), {0: 6, 1: 6}, seed=seed)
+        result = run_until_quiescent(sim, patience=10**9, max_steps=2_000)
+        assert not result.stopped
+
+
+class TestRunUntilCorrectStable:
+    def test_measures_convergence_time(self, seed):
+        sim = simulate_counts(majority_protocol(), {0: 3, 1: 9}, seed=seed)
+        result = run_until_correct_stable(sim, 1, max_steps=2_000_000)
+        assert result.stopped
+        assert result.output == 1
+        assert result.converged_at <= result.interactions
+
+    def test_extends_when_outputs_regress(self, seed):
+        # Start from scratch; outputs flip around early, so converged_at
+        # must exceed zero.
+        sim = simulate_counts(majority_protocol(), {0: 5, 1: 7}, seed=seed)
+        result = run_until_correct_stable(sim, 1, max_steps=2_000_000)
+        assert result.stopped
+        assert result.converged_at > 0
+
+    def test_already_correct_initially(self, seed):
+        # All agents start with output 0 and the answer is 0.
+        sim = simulate_counts(count_to_five(), {1: 2, 0: 4}, seed=seed)
+        result = run_until_correct_stable(sim, 0, max_steps=100_000)
+        assert result.stopped
+        assert result.converged_at == 0

@@ -1,0 +1,136 @@
+"""Tests for the agent-array simulation engine."""
+
+import pytest
+
+from repro.core.population import Population, line_population
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.protocols.leader import LEADER, LeaderElection
+from repro.sim.engine import Simulation, simulate_counts
+from repro.util.multiset import FrozenMultiset
+
+
+class TestConstruction:
+    def test_inputs_build_initial_states(self):
+        sim = Simulation(count_to_five(), [0, 1, 1], seed=0)
+        assert sim.states == [0, 1, 1]
+
+    def test_states_argument(self):
+        sim = Simulation(count_to_five(), states=[4, 0], seed=0)
+        assert sim.states == [4, 0]
+
+    def test_both_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(count_to_five(), [0, 1], states=[0, 1])
+
+    def test_neither_argument_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(count_to_five())
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(count_to_five(), [0, 7])
+
+    def test_population_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Simulation(count_to_five(), [0, 1, 1],
+                       population=line_population(4))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            Simulation(count_to_five(), [1])
+
+
+class TestStepping:
+    def test_deterministic_under_seed(self):
+        a = Simulation(count_to_five(), [1] * 8 + [0] * 4, seed=7)
+        b = Simulation(count_to_five(), [1] * 8 + [0] * 4, seed=7)
+        a.run(500)
+        b.run(500)
+        assert a.states == b.states
+        assert a.interactions == b.interactions == 500
+
+    def test_step_returns_changed_flag(self):
+        sim = Simulation(Epidemic(), [0, 0], seed=1)
+        assert sim.step() is False  # nothing can change
+
+    def test_interaction_counter(self):
+        sim = Simulation(Epidemic(), [0, 1, 0], seed=1)
+        sim.run(100)
+        assert sim.interactions == 100
+
+    def test_outputs_track_states(self, seed):
+        sim = Simulation(Epidemic(), [1, 0, 0, 0], seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=10_000, check_every=1)
+        assert sim.outputs() == (1, 1, 1, 1)
+
+    def test_last_output_change_monotone(self, seed):
+        sim = Simulation(Epidemic(), [1] + [0] * 9, seed=seed)
+        sim.run(5000)
+        final_change = sim.last_output_change
+        sim.run(1000)
+        assert sim.last_output_change == final_change  # all ones already
+
+
+class TestViews:
+    def test_multiset_view(self, seed):
+        sim = Simulation(count_to_five(), [1, 1, 0], seed=seed)
+        assert sim.multiset() == FrozenMultiset({1: 2, 0: 1})
+
+    def test_configuration_snapshot_is_immutable_copy(self, seed):
+        sim = Simulation(count_to_five(), [1, 1, 0], seed=seed)
+        snapshot = sim.configuration()
+        sim.run(100)
+        assert snapshot.states == (1, 1, 0)
+
+    def test_output_counts(self):
+        sim = Simulation(count_to_five(), states=[5, 5, 0], seed=0)
+        assert sim.output_counts() == {1: 2, 0: 1}
+
+    def test_unanimous_output(self):
+        sim = Simulation(count_to_five(), states=[5, 5], seed=0)
+        assert sim.unanimous_output() == 1
+        sim2 = Simulation(count_to_five(), states=[5, 0], seed=0)
+        assert sim2.unanimous_output() is None
+
+
+class TestRunUntil:
+    def test_condition_met(self, seed):
+        sim = Simulation(LeaderElection(), [1] * 6, seed=seed)
+        met = sim.run_until(
+            lambda s: sum(1 for st in s.states if st == LEADER) == 1,
+            max_steps=50_000)
+        assert met
+
+    def test_budget_exhausted(self, seed):
+        sim = Simulation(Epidemic(), [0] * 5, seed=seed)
+        met = sim.run_until(lambda s: s.unanimous_output() == 1, max_steps=100)
+        assert not met
+        assert sim.interactions == 100
+
+    def test_immediate_condition_runs_nothing(self, seed):
+        sim = Simulation(Epidemic(), [1, 1], seed=seed)
+        met = sim.run_until(lambda s: True, max_steps=100)
+        assert met
+        assert sim.interactions == 0
+
+
+class TestRestrictedGraph:
+    def test_edges_respected(self, seed):
+        # Directed edge (0, 1) only: agent 0 always initiator.
+        pop = Population(2, [(0, 1)])
+        p = count_to_five()
+        sim = Simulation(p, [1, 1], population=pop, seed=seed)
+        sim.run(50)
+        # delta(1, 1) = (2, 0); further (2, 0) no-ops. Never (0, 2).
+        assert sim.states == [2, 0]
+
+
+class TestSimulateCounts:
+    def test_layout(self, seed):
+        sim = simulate_counts(count_to_five(), {0: 2, 1: 3}, seed=seed)
+        assert sorted(sim.states) == [0, 0, 1, 1, 1]
+
+    def test_negative_count_rejected(self, seed):
+        with pytest.raises(ValueError):
+            simulate_counts(count_to_five(), {0: -1, 1: 3}, seed=seed)

@@ -1,0 +1,100 @@
+"""Tests for crash-fault injection (Sect. 8 discussion)."""
+
+import pytest
+
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.protocols.threshold import ThresholdProtocol
+from repro.sim.faults import CrashySimulation
+from repro.util.rng import spawn_seeds
+
+
+class TestMechanics:
+    def test_crash_removes_agent(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0, 0, 0], seed=seed)
+        sim.crash(2)
+        assert sim.n_alive == 3
+        assert 2 in sim.crashed
+
+    def test_crash_idempotent(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0, 0, 0], seed=seed)
+        sim.crash(2)
+        sim.crash(2)
+        assert sim.n_alive == 3
+
+    def test_cannot_crash_below_two(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0, 0], seed=seed)
+        sim.crash(0)
+        with pytest.raises(RuntimeError):
+            sim.crash(1)
+
+    def test_crashed_agents_never_interact(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0, 0, 0, 0, 0], seed=seed)
+        sim.crash(0)  # the only infected agent dies
+        frozen_state = sim.states[0]
+        sim.run(5000)
+        assert sim.states[0] == frozen_state
+        # Nobody else could ever catch the bit.
+        assert sim.unanimous_surviving_output() == 0
+
+    def test_crash_random_reports_victims(self, seed):
+        sim = CrashySimulation(Epidemic(), [0] * 8, seed=seed)
+        victims = sim.crash_random(3)
+        assert len(victims) == 3
+        assert sim.n_alive == 5
+
+    def test_schedule_must_be_future(self, seed):
+        sim = CrashySimulation(Epidemic(), [0] * 6, seed=seed)
+        sim.run(10)
+        with pytest.raises(ValueError):
+            sim.run_with_crashes([5], total_steps=100)
+
+
+class TestRobustness:
+    """The paper's observation: the epidemic survives crashes among the
+    uninfected; token-holder crashes can change the answer."""
+
+    def test_epidemic_survives_follower_crashes(self, seed):
+        for s in spawn_seeds(seed, 10):
+            sim = CrashySimulation(Epidemic(), [1] + [0] * 19, seed=s)
+            # Crash five agents that are currently uninfected.
+            sim.run(5)
+            uninfected = [a for a in sim.alive if sim.states[a] == 0][:5]
+            for victim in uninfected:
+                sim.crash(victim)
+            sim.run(20_000)
+            assert sim.unanimous_surviving_output() == 1
+
+    def test_count_to_five_breaks_when_token_holder_dies(self, seed):
+        """Crashing the agent holding all tokens silently flips the
+        survivors' answer — the fragility the paper warns about."""
+        protocol = count_to_five()
+        sim = CrashySimulation(protocol, [1, 1, 1, 1, 0, 0, 0, 0], seed=seed)
+        # Consolidate all four tokens onto one agent, then kill it.
+        sim.run_until_tokens = None
+        for _ in range(100_000):
+            sim.step()
+            holders = [a for a in sim.alive if sim.states[a] == 4]
+            if holders:
+                sim.crash(holders[0])
+                break
+        else:
+            pytest.skip("tokens never consolidated")
+        sim.run(20_000)
+        # Survivors now hold zero tokens: the population can never answer
+        # "yes" even if more 1-inputs arrive conceptually.
+        assert all(sim.states[a] == 0 for a in sim.alive)
+
+    def test_leaderless_threshold_survives_nonleader_crashes(self, seed):
+        """Crashing agents with zero count after convergence does not
+        disturb the verdict."""
+        protocol = ThresholdProtocol({"a": 1, "b": -1}, c=1)
+        inputs = ["b"] * 8 + ["a"] * 4
+        sim = CrashySimulation(protocol, inputs, seed=seed)
+        sim.run(30_000)
+        # Crash three non-leader, zero-count agents.
+        victims = [a for a in sim.alive
+                   if sim.states[a][0] == 0 and sim.states[a][2] == 0][:3]
+        for victim in victims:
+            sim.crash(victim)
+        sim.run(30_000)
+        assert sim.unanimous_surviving_output() == 1  # 4 - 8 < 1

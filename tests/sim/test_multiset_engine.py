@@ -1,0 +1,93 @@
+"""Tests for the counted-multiset simulation engine."""
+
+import pytest
+
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.protocols.leader import FOLLOWER, LEADER, LeaderElection
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.stats import run_trials
+from repro.util.multiset import FrozenMultiset
+
+
+class TestConstruction:
+    def test_from_input_counts(self):
+        sim = MultisetSimulation(count_to_five(), {0: 3, 1: 2})
+        assert sim.multiset() == FrozenMultiset({0: 3, 1: 2})
+        assert sim.n == 5
+
+    def test_from_state_counts(self):
+        sim = MultisetSimulation(count_to_five(), state_counts={4: 1, 0: 3})
+        assert sim.multiset() == FrozenMultiset({4: 1, 0: 3})
+
+    def test_both_rejected(self):
+        with pytest.raises(ValueError):
+            MultisetSimulation(count_to_five(), {0: 3}, state_counts={0: 3})
+
+    def test_bad_symbol(self):
+        with pytest.raises(ValueError):
+            MultisetSimulation(count_to_five(), {9: 3})
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            MultisetSimulation(count_to_five(), {1: 1})
+
+
+class TestStepping:
+    def test_population_size_invariant(self, seed):
+        sim = MultisetSimulation(count_to_five(), {0: 5, 1: 5}, seed=seed)
+        for _ in range(2000):
+            sim.step()
+            assert sum(sim.counts.values()) == 10
+
+    def test_counts_stay_positive(self, seed):
+        sim = MultisetSimulation(count_to_five(), {0: 5, 1: 5}, seed=seed)
+        for _ in range(2000):
+            sim.step()
+            assert all(v > 0 for v in sim.counts.values())
+
+    def test_epidemic_reaches_everyone(self, seed):
+        sim = MultisetSimulation(Epidemic(), {0: 99, 1: 1}, seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=500_000, check_every=100)
+        assert sim.counts == {1: 100}
+
+    def test_deterministic_under_seed(self):
+        a = MultisetSimulation(count_to_five(), {0: 5, 1: 6}, seed=3)
+        b = MultisetSimulation(count_to_five(), {0: 5, 1: 6}, seed=3)
+        a.run(1000)
+        b.run(1000)
+        assert a.counts == b.counts
+
+
+class TestViews:
+    def test_output_counts(self):
+        sim = MultisetSimulation(count_to_five(), state_counts={5: 2, 3: 1})
+        assert sim.output_counts() == {1: 2, 0: 1}
+
+    def test_unanimous(self):
+        sim = MultisetSimulation(count_to_five(), state_counts={5: 3})
+        assert sim.unanimous_output() == 1
+
+
+class TestAgreementWithAgentEngine:
+    """The two engines sample the same chain: election times must agree in
+    distribution with the exact mean (n-1)^2."""
+
+    def test_leader_election_mean(self, seed):
+        n = 10
+
+        def trial(trial_seed):
+            sim = MultisetSimulation(LeaderElection(), {1: n}, seed=trial_seed)
+            sim.run_until(lambda s: s.counts.get(LEADER, 0) == 1,
+                          max_steps=50_000, check_every=1)
+            return sim.interactions
+
+        summary = run_trials(trial, trials=300, seed=seed)
+        want = (n - 1) ** 2
+        assert abs(summary.mean - want) < 5 * summary.stderr + 1
+
+    def test_follower_count(self, seed):
+        sim = MultisetSimulation(LeaderElection(), {1: 7}, seed=seed)
+        sim.run_until(lambda s: s.counts.get(LEADER, 0) == 1,
+                      max_steps=50_000, check_every=1)
+        assert sim.counts[FOLLOWER] == 6

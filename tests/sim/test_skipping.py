@@ -1,0 +1,102 @@
+"""Tests for the exact no-op-skipping engine."""
+
+import pytest
+
+from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.protocols.leader import LEADER, LeaderElection, \
+    expected_election_interactions
+from repro.protocols.quotient import QuotientProtocol
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.skipping import SkippingSimulation
+from repro.sim.stats import run_trials
+
+
+class TestMechanics:
+    def test_detects_silence(self, seed):
+        sim = SkippingSimulation(CountToK(3), {1: 4, 0: 2}, seed=seed)
+        assert sim.run_to_silence()
+        assert sim.silent
+        assert sim.unanimous_output() == 1
+        # Further steps are no-ops and do not advance the clock.
+        clock = sim.interactions
+        assert sim.step() is False
+        assert sim.interactions == clock
+
+    def test_every_step_is_reactive(self, seed):
+        sim = SkippingSimulation(count_to_five(), {1: 6, 0: 6}, seed=seed)
+        before = dict(sim.counts)
+        changed = sim.step()
+        assert changed
+        assert dict(sim.counts) != before
+
+    def test_clock_includes_skipped_noops(self, seed):
+        # One infected agent among many: most pairs are no-ops, so the
+        # clock should advance far faster than the reactive step count.
+        sim = SkippingSimulation(Epidemic(), {1: 1, 0: 63}, seed=seed)
+        reactive_steps = 0
+        while not sim.silent and reactive_steps < 100:
+            if sim.step():
+                reactive_steps += 1
+        assert sim.counts == {1: 64}
+        assert reactive_steps == 63          # exactly n-1 infections
+        assert sim.interactions > 63         # but many more interactions
+
+    def test_population_preserved(self, seed):
+        sim = SkippingSimulation(QuotientProtocol(3), {1: 9, 0: 5}, seed=seed)
+        sim.run_to_silence()
+        assert sum(sim.counts.values()) == 14
+
+
+class TestExactness:
+    """The skipping engine matches the naive engine in distribution."""
+
+    def test_leader_election_expectation(self, seed):
+        n = 12
+        want = expected_election_interactions(n)
+
+        def trial(s):
+            sim = SkippingSimulation(LeaderElection(), {1: n}, seed=s)
+            sim.run_until(lambda x: x.counts.get(LEADER, 0) == 1,
+                          max_steps=10_000_000, check_every=1)
+            return sim.interactions
+
+        summary = run_trials(trial, trials=400, seed=seed)
+        assert abs(summary.mean - want) < 5 * summary.stderr + 1
+
+    def test_epidemic_time_agrees_with_naive(self, seed):
+        n = 32
+
+        def skipping_trial(s):
+            sim = SkippingSimulation(Epidemic(), {1: 1, 0: n - 1}, seed=s)
+            sim.run_to_silence()
+            return sim.interactions
+
+        def naive_trial(s):
+            sim = MultisetSimulation(Epidemic(), {1: 1, 0: n - 1}, seed=s)
+            sim.run_until(lambda x: x.counts.get(1, 0) == n,
+                          max_steps=10_000_000, check_every=1)
+            return sim.interactions
+
+        fast = run_trials(skipping_trial, trials=200, seed=seed)
+        slow = run_trials(naive_trial, trials=200, seed=seed + 1)
+        spread = (fast.stderr**2 + slow.stderr**2) ** 0.5
+        assert abs(fast.mean - slow.mean) < 5 * spread + 1
+
+    def test_jump_chain_identical_verdicts(self, seed):
+        sim = SkippingSimulation(count_to_five(), {1: 7, 0: 5}, seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=1_000_000, check_every=1)
+        assert sim.unanimous_output() == 1
+
+
+class TestSpeedup:
+    def test_far_fewer_engine_steps_than_interactions(self, seed):
+        """The point of the engine: simulated interactions >> reactive
+        steps for convergence-tail-heavy protocols."""
+        sim = SkippingSimulation(CountToK(10), {1: 10, 0: 200}, seed=seed)
+        reactive = 0
+        while not sim.silent and reactive < 100_000:
+            if sim.step():
+                reactive += 1
+        assert sim.silent or sim.unanimous_output() == 1
+        assert sim.interactions > 5 * reactive

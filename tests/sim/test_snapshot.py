@@ -1,0 +1,85 @@
+"""Tests for simulation checkpointing."""
+
+from repro.core.population import line_population
+from repro.protocols.counting import count_to_five
+from repro.protocols.majority import majority_protocol
+from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.schedulers import RoundRobinScheduler, ShuffledSweepScheduler
+
+
+class TestSnapshotRestore:
+    def test_restored_run_is_bit_identical(self, seed):
+        sim = simulate_counts(majority_protocol(), {0: 5, 1: 7}, seed=seed)
+        sim.run(500)
+        snap = sim.snapshot()
+        sim.run(1000)
+        states_a = list(sim.states)
+        clock_a = sim.interactions
+
+        sim.restore(snap)
+        assert sim.interactions == 500
+        sim.run(1000)
+        assert sim.states == states_a
+        assert sim.interactions == clock_a
+
+    def test_snapshot_is_isolated_from_later_steps(self, seed):
+        sim = simulate_counts(count_to_five(), {1: 6, 0: 6}, seed=seed)
+        snap = sim.snapshot()
+        frozen = list(snap["states"])
+        sim.run(2000)
+        assert snap["states"] == frozen
+
+    def test_branching_runs_diverge_only_via_rng(self, seed):
+        """Restoring and reseeding gives a different but valid branch."""
+        sim = simulate_counts(majority_protocol(), {0: 4, 1: 8}, seed=seed)
+        sim.run(300)
+        snap = sim.snapshot()
+
+        sim.run(3000)
+        branch_a = sim.multiset()
+
+        sim.restore(snap)
+        sim.rng.seed(12345)  # branch with fresh randomness
+        sim.run(3000)
+        branch_b = sim.multiset()
+
+        # Both branches conserve the population and the count invariant.
+        assert branch_a.total == branch_b.total == 12
+        total = sum(s[2] for s in branch_a.elements())
+        assert total == sum(s[2] for s in branch_b.elements())
+
+    def test_stateful_scheduler_restored(self, seed):
+        pop = line_population(6)
+        sim = Simulation(count_to_five(), [1, 1, 1, 1, 1, 0],
+                         population=pop,
+                         scheduler=RoundRobinScheduler(pop), seed=seed)
+        sim.run(7)
+        snap = sim.snapshot()
+        sim.run(13)
+        after_a = list(sim.states)
+        sim.restore(snap)
+        sim.run(13)
+        assert sim.states == after_a
+
+    def test_shuffled_sweep_scheduler_restored(self, seed):
+        pop = line_population(5)
+        sim = Simulation(count_to_five(), [1, 1, 1, 0, 0],
+                         population=pop,
+                         scheduler=ShuffledSweepScheduler(pop), seed=seed)
+        sim.run(3)  # mid-sweep: the scheduler queue is partially drained
+        snap = sim.snapshot()
+        sim.run(20)
+        after_a = list(sim.states)
+        sim.restore(snap)
+        sim.run(20)
+        assert sim.states == after_a
+
+    def test_last_output_change_restored(self, seed):
+        sim = simulate_counts(count_to_five(), {1: 6, 0: 2}, seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=100_000, check_every=10)
+        snap = sim.snapshot()
+        recorded = sim.last_output_change
+        sim.run(500)
+        sim.restore(snap)
+        assert sim.last_output_change == recorded

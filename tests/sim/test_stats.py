@@ -1,0 +1,90 @@
+"""Tests for the trial-measurement harness."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    ScalingMeasurement,
+    TrialSummary,
+    measure_scaling,
+    run_trials,
+    success_rate,
+)
+
+
+class TestTrialSummary:
+    def test_statistics(self):
+        s = TrialSummary([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert math.isclose(s.stdev, math.sqrt(5 / 3))
+        assert math.isclose(s.stderr, s.stdev / 2)
+
+    def test_odd_median(self):
+        assert TrialSummary([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_single_value(self):
+        s = TrialSummary([5.0])
+        assert s.stdev == 0.0
+        assert s.stderr == 0.0
+
+
+class TestRunTrials:
+    def test_deterministic_by_seed(self):
+        a = run_trials(lambda s: s % 100, trials=10, seed=1)
+        b = run_trials(lambda s: s % 100, trials=10, seed=1)
+        assert a.values == b.values
+
+    def test_distinct_seeds_per_trial(self):
+        seen = []
+        run_trials(lambda s: seen.append(s) or 0.0, trials=20, seed=2)
+        assert len(set(seen)) == 20
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda s: 0.0, trials=0)
+
+
+class TestSuccessRate:
+    def test_constant_true(self):
+        assert success_rate(lambda s: True, trials=10, seed=0) == 1.0
+
+    def test_half(self):
+        rate = success_rate(lambda s: s % 2 == 0, trials=1000, seed=0)
+        assert 0.4 < rate < 0.6
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate(lambda s: True, trials=0)
+
+
+class TestMeasureScaling:
+    def test_quadratic_exponent_recovered(self):
+        measurement = measure_scaling(
+            [8, 16, 32, 64], lambda n, s: float(n * n), trials=3, seed=0)
+        assert math.isclose(measurement.exponent(), 2.0, abs_tol=1e-9)
+
+    def test_n2_logn_with_log_division(self):
+        measurement = measure_scaling(
+            [16, 32, 64, 128],
+            lambda n, s: n * n * math.log(n), trials=2, seed=0)
+        assert math.isclose(
+            measurement.exponent(divide_log=True), 2.0, abs_tol=1e-9)
+
+    def test_table_renders(self):
+        measurement = measure_scaling([4, 8], lambda n, s: float(n), trials=2,
+                                      seed=0)
+        table = measurement.table()
+        assert "mean" in table and "4" in table
+
+    def test_structure(self):
+        measurement = measure_scaling([4, 8], lambda n, s: float(n), trials=5,
+                                      seed=0)
+        assert isinstance(measurement, ScalingMeasurement)
+        assert measurement.ns == [4, 8]
+        assert measurement.means == [4.0, 8.0]
+        assert all(summary.count == 5 for summary in measurement.summaries)

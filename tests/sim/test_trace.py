@@ -1,0 +1,84 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.sim.engine import simulate_counts
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.trace import Trace, TracePoint, TraceRecorder, state_histogram
+
+
+class TestTraceRecorder:
+    def test_samples_at_period(self, seed):
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 9}, seed=seed)
+        recorder = TraceRecorder(sim, period=50)
+        trace = recorder.run(500)
+        assert len(trace) == 11  # initial sample + 10 periods
+        assert trace.points[0].interactions == 0
+        assert trace.points[-1].interactions == 500
+
+    def test_bad_period(self, seed):
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 3}, seed=seed)
+        with pytest.raises(ValueError):
+            TraceRecorder(sim, period=0)
+
+    def test_epidemic_counts_monotone(self, seed):
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 19}, seed=seed)
+        trace = TraceRecorder(sim, period=25).run(4000)
+        infected = [count for _, count in trace.series(1)]
+        assert infected[0] == 1
+        assert all(b >= a for a, b in zip(infected, infected[1:]))
+        assert infected[-1] == 20
+
+    def test_run_until(self, seed):
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 9}, seed=seed)
+        recorder = TraceRecorder(sim, period=20)
+        trace = recorder.run_until(
+            lambda s: s.unanimous_output() == 1, max_steps=100_000)
+        assert trace.final().counts == {1: 10}
+
+    def test_custom_histogram(self, seed):
+        sim = simulate_counts(count_to_five(), {1: 3, 0: 3}, seed=seed)
+        recorder = TraceRecorder(sim, period=10, histogram=state_histogram)
+        trace = recorder.run(200)
+        # Token conservation visible in every state histogram.
+        for point in trace.points:
+            tokens = sum(state * count for state, count in point.counts.items())
+            assert tokens == 3
+
+    def test_works_with_multiset_engine(self, seed):
+        sim = MultisetSimulation(Epidemic(), {1: 1, 0: 99}, seed=seed)
+        trace = TraceRecorder(sim, period=100).run(2000)
+        assert len(trace) == 21
+
+
+class TestTrace:
+    def make_trace(self) -> Trace:
+        return Trace([
+            TracePoint(0, {0: 5, 1: 1}),
+            TracePoint(100, {0: 3, 1: 3}),
+            TracePoint(200, {1: 6}),
+        ])
+
+    def test_keys_union(self):
+        assert set(self.make_trace().keys()) == {0, 1}
+
+    def test_series_fills_zeros(self):
+        trace = self.make_trace()
+        assert trace.series(0) == [(0, 5), (100, 3), (200, 0)]
+
+    def test_first_time(self):
+        trace = self.make_trace()
+        assert trace.first_time(lambda c: c.get(1, 0) >= 3) == 100
+        assert trace.first_time(lambda c: c.get(1, 0) >= 99) is None
+
+    def test_final(self):
+        assert self.make_trace().final().interactions == 200
+        assert Trace().final() is None
+
+    def test_to_csv(self):
+        csv_text = self.make_trace().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("interactions")
+        assert len(lines) == 4
+        assert lines[3].split(",")[0] == "200"

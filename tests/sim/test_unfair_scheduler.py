@@ -1,0 +1,49 @@
+"""The fairness condition has teeth: an unfair adversary defeats
+stable computation (motivates the Sect. 3.1 definition)."""
+
+from repro.core.population import complete_population
+from repro.protocols.counting import count_to_five
+from repro.protocols.majority import majority_protocol
+from repro.sim.engine import Simulation
+from repro.sim.schedulers import StallingScheduler
+
+
+class TestStallingAdversary:
+    def test_count_to_five_never_alerts(self, seed):
+        """Five 1-inputs should stabilize to 1 under fairness; the
+        stalling adversary freezes the run after the first merge."""
+        protocol = count_to_five()
+        population = complete_population(8)
+        sim = Simulation(protocol, [1, 1, 1, 1, 1, 0, 0, 0],
+                         population=population,
+                         scheduler=StallingScheduler(population, protocol),
+                         seed=seed)
+        sim.run(20_000)
+        assert sim.unanimous_output() == 0  # wrong answer, forever
+        # The configuration froze: a no-op pair exists and is replayed.
+        frozen = list(sim.states)
+        sim.run(5_000)
+        assert sim.states == frozen
+
+    def test_majority_stalls_before_leader_unique(self, seed):
+        """The Lemma 5 protocol needs leader encounters; the adversary can
+        avoid them as soon as any no-op pair exists."""
+        protocol = majority_protocol()
+        population = complete_population(6)
+        sim = Simulation(protocol, [1, 1, 1, 1, 0, 0],
+                         population=population,
+                         scheduler=StallingScheduler(population, protocol),
+                         seed=seed)
+        sim.run(20_000)
+        leaders = sum(1 for s in sim.states if s[0] == 1)
+        # Follower/follower pairs are no-ops, so beyond the very first
+        # steps nothing ever changes: more than one leader survives.
+        assert leaders >= 2
+
+    def test_fair_schedule_recovers(self, seed):
+        """Same initial condition, fair (uniform) scheduling: correct."""
+        protocol = count_to_five()
+        sim = Simulation(protocol, [1, 1, 1, 1, 1, 0, 0, 0], seed=seed)
+        sim.run_until(lambda s: s.unanimous_output() == 1,
+                      max_steps=500_000, check_every=20)
+        assert sim.unanimous_output() == 1

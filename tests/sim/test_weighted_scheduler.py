@@ -1,0 +1,93 @@
+"""Tests for weighted sampling (Sect. 8: "weighted sampling").
+
+The paper conjectures that bounded positive state-dependent weights do not
+change what is stably computable.  These tests exercise the mechanism and
+support the conjecture empirically: weighted runs of the library protocols
+reach the same verdicts as uniform runs.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.protocols.counting import count_to_five
+from repro.protocols.majority import majority_protocol
+from repro.protocols.remainder import parity_protocol
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.schedulers import WeightedPairScheduler
+
+
+class TestMechanism:
+    def test_uniform_weights_are_uniform(self):
+        sched = WeightedPairScheduler(4, weight=lambda s: 1.0)
+        rng = random.Random(0)
+        states = ["a"] * 4
+        counts = Counter(sched.next_encounter(states, rng)
+                         for _ in range(24_000))
+        assert len(counts) == 12
+        for count in counts.values():
+            assert abs(count - 2000) < 350
+
+    def test_never_self_pair(self):
+        sched = WeightedPairScheduler(5, weight=lambda s: 1.0 + s)
+        rng = random.Random(1)
+        states = [0, 1, 2, 3, 4]
+        for _ in range(2000):
+            i, j = sched.next_encounter(states, rng)
+            assert i != j
+
+    def test_heavier_states_sampled_more(self):
+        sched = WeightedPairScheduler(2 + 2, weight=lambda s: 10.0 if s else 1.0)
+        rng = random.Random(2)
+        states = [1, 1, 0, 0]
+        initiators = Counter(
+            sched.next_encounter(states, rng)[0] for _ in range(20_000))
+        heavy = initiators[0] + initiators[1]
+        light = initiators[2] + initiators[3]
+        assert heavy > 5 * light
+
+    def test_nonpositive_weight_rejected(self):
+        sched = WeightedPairScheduler(3, weight=lambda s: 0.0)
+        with pytest.raises(ValueError):
+            sched.next_encounter([0, 0, 0], random.Random(0))
+
+    def test_small_population_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedPairScheduler(1, weight=lambda s: 1.0)
+
+
+class TestConjectureSupport:
+    """Weighted sampling computes the same verdicts (paper's conjecture)."""
+
+    @pytest.mark.parametrize("ones,expected", [(5, 1), (4, 0)])
+    def test_count_to_five_state_dependent_weights(self, ones, expected, seed):
+        protocol = count_to_five()
+        # Token-heavy agents are favoured 3:1 — bounded positive weights.
+        scheduler = WeightedPairScheduler(
+            12, weight=lambda s: 3.0 if s > 0 else 1.0)
+        sim = simulate_counts(protocol, {1: ones, 0: 12 - ones},
+                              scheduler=scheduler, seed=seed)
+        result = run_until_quiescent(sim, patience=10_000, max_steps=2_000_000)
+        assert result.output == expected
+
+    def test_majority_weighted(self, seed):
+        protocol = majority_protocol()
+        scheduler = WeightedPairScheduler(
+            12, weight=lambda s: 2.0 if s[0] else 1.0)  # leaders favoured
+        sim = Simulation(protocol, [1] * 7 + [0] * 5,
+                         scheduler=scheduler, seed=seed)
+        result = run_until_quiescent(sim, patience=10_000, max_steps=2_000_000)
+        assert result.output == 1
+
+    def test_parity_weighted_vs_uniform(self, seed):
+        protocol = parity_protocol()
+        for ones, expected in ((3, 1), (4, 0)):
+            scheduler = WeightedPairScheduler(
+                10, weight=lambda s: 1.0 + s[2])
+            sim = simulate_counts(protocol, {1: ones, 0: 10 - ones},
+                                  scheduler=scheduler, seed=seed)
+            result = run_until_quiescent(sim, patience=10_000,
+                                         max_steps=2_000_000)
+            assert result.output == expected

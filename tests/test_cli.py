@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_counts, build_parser, main
+
+
+class TestParseCounts:
+    def test_basic(self):
+        assert _parse_counts("x=3,y=4") == {"x": 3, "y": 4}
+
+    def test_whitespace_tolerant(self):
+        assert _parse_counts(" x = 3 , y = 4 ") == {"x": 3, "y": 4}
+
+    def test_rejects_missing_value(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_counts("x")
+
+    def test_rejects_non_integer(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_counts("x=three")
+
+    def test_rejects_empty(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_counts("")
+
+
+class TestQeCommand:
+    def test_prints_quantifier_free_form(self, capsys):
+        assert main(["qe", "E k. x = 2*k"]) == 0
+        out = capsys.readouterr().out
+        assert "2 |" in out
+
+    def test_parse_error_propagates(self):
+        from repro.presburger.parser import ParseError
+
+        with pytest.raises(ParseError):
+            main(["qe", "x <"])
+
+
+class TestSimulateCommand:
+    def test_positive_verdict(self, capsys):
+        code = main(["simulate", "20*e >= e + h", "--counts", "e=2,h=38",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict : 1" in out
+
+    def test_negative_verdict(self, capsys):
+        code = main(["simulate", "x >= 3", "--counts", "x=1,pad=5",
+                     "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict : 0" in out
+
+    def test_budget_too_small_reports_failure(self, capsys):
+        code = main(["simulate", "x = y", "--counts", "x=6,y=6",
+                     "--seed", "1", "--max-steps", "1",
+                     "--patience", "1000000"])
+        assert code == 1
+
+
+class TestVerifyCommand:
+    def test_holds(self, capsys):
+        assert main(["verify", "x < y", "--size", "4"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_small_size(self, capsys):
+        assert main(["verify", "x = 0 mod 2", "--size", "3"]) == 0
+
+
+class TestExactCommand:
+    def test_probabilities_printed(self, capsys):
+        code = main(["exact", "x = 1 mod 2", "--counts", "x=3,pad=2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P[output 1] = 1.0" in out
+        assert "E[interactions to convergence]" in out
+
+
+class TestProtocolsCommand:
+    def test_lists_catalogue(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "count-to-k" in out
+        assert "flock-of-birds" in out
+
+
+class TestRunCommand:
+    def test_builtin_protocol(self, capsys):
+        code = main(["run", "count-to-k", "--counts", "1=6,0=14",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict  : 1" in out
+        assert "truth    : 1" in out
+
+    def test_parameterized(self, capsys):
+        code = main(["run", "count-to-k", "--counts", "1=3,0=5",
+                     "--params", "k=3", "--seed", "1"])
+        assert code == 0
+        assert "verdict  : 1" in capsys.readouterr().out
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            main(["run", "warp-drive", "--counts", "1=3"])
+
+    def test_function_protocol_prints_outputs(self, capsys):
+        code = main(["run", "quotient-3", "--counts", "1=7,0=5",
+                     "--seed", "3", "--patience", "5000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol : quotient-3" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

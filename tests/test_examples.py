@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts keep running end to end.
+
+Only the fast examples run here (the full set runs in CI / by hand); each
+is executed in-process via runpy with its __main__ guard honoured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "exact_analysis.py",
+    "language_acceptance.py",
+    "presburger_playground.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"example {script} missing"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} produced no output"
+    assert "WRONG" not in out
+    assert "FAIL]" not in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+        assert "def main()" in text, f"{script.name} lacks a main()"

@@ -1,0 +1,79 @@
+"""Tests for scaling fits."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fitting import linear_fit, loglog_slope, rsquared
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 3.0, 5.0, 7.0]
+        slope, intercept = linear_fit(xs, ys)
+        assert math.isclose(slope, 2.0)
+        assert math.isclose(intercept, 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_one_point_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_degenerate_xs_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    def test_recovers_random_line(self, slope, intercept):
+        xs = [0.0, 1.0, 2.5, 4.0]
+        ys = [slope * x + intercept for x in xs]
+        got_slope, got_intercept = linear_fit(xs, ys)
+        assert math.isclose(got_slope, slope, abs_tol=1e-9)
+        assert math.isclose(got_intercept, intercept, abs_tol=1e-9)
+
+
+class TestLogLogSlope:
+    def test_quadratic(self):
+        ns = [10, 20, 40, 80]
+        values = [3.0 * n**2 for n in ns]
+        assert math.isclose(loglog_slope(ns, values), 2.0, abs_tol=1e-9)
+
+    def test_n2_log_n_with_division(self):
+        ns = [16, 32, 64, 128, 256]
+        values = [5.0 * n**2 * math.log(n) for n in ns]
+        assert math.isclose(
+            loglog_slope(ns, values, divide_log=True), 2.0, abs_tol=1e-9)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            loglog_slope([2, 4], [1.0, 0.0])
+
+    def test_rejects_nonpositive_ns(self):
+        with pytest.raises(ValueError):
+            loglog_slope([0, 4], [1.0, 2.0])
+
+    def test_rejects_n_one_only_with_log_division(self):
+        loglog_slope([1, 4], [1.0, 2.0])  # fine without division
+        with pytest.raises(ValueError):
+            loglog_slope([1, 4], [1.0, 2.0], divide_log=True)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [2.0, 4.0, 6.0]
+        assert math.isclose(rsquared(xs, ys), 1.0)
+
+    def test_constant_ys(self):
+        assert rsquared([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == 1.0
+
+    def test_noisy_below_one(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1.0, 4.0, 2.0, 5.0]
+        assert rsquared(xs, ys) < 1.0

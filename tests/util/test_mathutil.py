@@ -1,0 +1,101 @@
+"""Tests for math helpers."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.mathutil import (
+    binomial,
+    exact_mean,
+    floordiv_exact,
+    harmonic_number,
+    lcm_many,
+    mean,
+    sign,
+)
+
+
+class TestSign:
+    def test_values(self):
+        assert sign(5) == 1
+        assert sign(-3) == -1
+        assert sign(0) == 0
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_many([4, 6]) == 12
+        assert lcm_many([2, 3, 5]) == 30
+
+    def test_absolute_values(self):
+        assert lcm_many([-4, 6]) == 12
+
+    def test_zeros_ignored(self):
+        assert lcm_many([0, 5]) == 5
+
+    def test_empty_is_one(self):
+        assert lcm_many([]) == 1
+
+    @given(st.lists(st.integers(-20, 20), max_size=6))
+    def test_divides_all(self, values):
+        result = lcm_many(values)
+        for v in values:
+            if v:
+                assert result % abs(v) == 0
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0
+        assert harmonic_number(1) == 1.0
+        assert math.isclose(harmonic_number(4), 1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+    def test_log_growth(self):
+        # H_n ~ ln n + gamma
+        n = 10_000
+        assert abs(harmonic_number(n) - (math.log(n) + 0.5772156649)) < 1e-4
+
+
+class TestFloordivExact:
+    @given(st.integers(-100, 100), st.integers(-10, 10).filter(bool))
+    def test_invariant(self, a, b):
+        q, r = floordiv_exact(a, b)
+        assert a == q * b + r
+        assert 0 <= r < abs(b)
+
+    def test_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            floordiv_exact(5, 0)
+
+
+class TestBinomial:
+    def test_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(5, 0) == 1
+
+    def test_out_of_range(self):
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_exact_mean(self):
+        assert exact_mean([1, 2]) == Fraction(3, 2)
+
+    def test_exact_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_mean([])

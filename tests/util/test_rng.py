@@ -1,0 +1,41 @@
+"""Tests for RNG plumbing."""
+
+import random
+
+import pytest
+
+from repro.util.rng import resolve_rng, spawn_seeds
+
+
+class TestResolveRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(resolve_rng(None), random.Random)
+
+    def test_int_is_deterministic(self):
+        a = resolve_rng(42)
+        b = resolve_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_generator_passthrough(self):
+        rng = random.Random(1)
+        assert resolve_rng(rng) is rng
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            resolve_rng(1.5)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_count(self):
+        assert len(spawn_seeds(1, 10)) == 10
+
+    def test_distinct(self):
+        seeds = spawn_seeds(1, 100)
+        assert len(set(seeds)) == 100

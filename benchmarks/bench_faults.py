@@ -1,0 +1,73 @@
+"""Overhead of the fault-injection layer.
+
+Not a paper claim — infrastructure health: the ``faults=`` hooks ride the
+hot path of both engines, so the no-plan path must stay within noise of
+the seed engines and even an *inert* plan (a model whose faults never
+fire) should cost only the hook dispatch.  An active plan's cost is
+dominated by its own fault logic, recorded here for scale.
+"""
+
+from conftest import record
+
+from repro.protocols.counting import CountToK
+from repro.protocols.majority import majority_protocol
+from repro.sim.engine import simulate_counts
+from repro.sim.faults import CrashAt, FaultPlan, OmissionRate
+from repro.sim.multiset_engine import MultisetSimulation
+
+STEPS = 20_000
+
+
+def test_agent_engine_no_plan(benchmark, base_seed):
+    """Baseline: the fault hooks compiled in but no plan attached."""
+    sim = simulate_counts(majority_protocol(), {0: 300, 1: 700},
+                          seed=base_seed)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=1000, steps_per_round=STEPS, plan="none")
+
+
+def test_agent_engine_inert_plan(benchmark, base_seed):
+    """An attached plan whose models never fire (pure dispatch cost)."""
+    plan = FaultPlan(OmissionRate(0.0), seed=base_seed)
+    sim = simulate_counts(majority_protocol(), {0: 300, 1: 700},
+                          seed=base_seed, faults=plan)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=1000, steps_per_round=STEPS,
+           plan="inert OmissionRate(0.0)")
+
+
+def test_agent_engine_active_plan(benchmark, base_seed):
+    """Crashes plus live omission draws on every step."""
+    plan = FaultPlan([CrashAt(100, 50), OmissionRate(0.2)], seed=base_seed)
+    sim = simulate_counts(CountToK(5), {1: 300, 0: 700},
+                          seed=base_seed, faults=plan)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=1000, steps_per_round=STEPS,
+           plan="CrashAt(100, 50) + OmissionRate(0.2)",
+           crashes=plan.crashes)
+
+
+def test_multiset_engine_no_plan(benchmark, base_seed):
+    sim = MultisetSimulation(majority_protocol(), {0: 30_000, 1: 70_000},
+                             seed=base_seed)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=100_000, steps_per_round=STEPS, plan="none")
+
+
+def test_multiset_engine_inert_plan(benchmark, base_seed):
+    plan = FaultPlan(OmissionRate(0.0), seed=base_seed)
+    sim = MultisetSimulation(majority_protocol(), {0: 30_000, 1: 70_000},
+                             seed=base_seed, faults=plan)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=100_000, steps_per_round=STEPS,
+           plan="inert OmissionRate(0.0)")
+
+
+def test_multiset_engine_active_plan(benchmark, base_seed):
+    # Dead sensors force the both-alive rejection draw on every step.
+    plan = FaultPlan(CrashAt(100, 30_000), seed=base_seed)
+    sim = MultisetSimulation(majority_protocol(), {0: 30_000, 1: 70_000},
+                             seed=base_seed, faults=plan)
+    benchmark(lambda: sim.run(STEPS))
+    record(benchmark, n=100_000, steps_per_round=STEPS,
+           plan="CrashAt(100, 30000)", dead=sim.dead)

@@ -2,30 +2,38 @@
 
 The paper closes by noting that the *model* tolerates crashes naturally
 (survivors keep interacting as before), but many of its *algorithms* do
-not.  This example makes both halves concrete:
+not.  This example drives the fault-injection layer
+(:mod:`repro.sim.faults`) to make both halves concrete:
 
 * the epidemic/OR protocol shrugs off crashes of uninfected agents;
-* count-to-five silently loses the computation if the agent holding the
-  consolidated tokens dies.
+* count-to-five silently loses the computation if an agent holding the
+  consolidated tokens dies;
+* ``RedundantCountToK`` repairs that single point of failure with capped
+  token piles, at the price of input slack;
+* omission faults merely dilate time: dropping half the encounters
+  roughly doubles convergence, nothing more.
+
+A fuller sweep is available as ``python -m repro robustness``.
 
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.protocols.counting import CountToK, Epidemic
-from repro.sim.faults import CrashySimulation
+from repro.protocols.counting import CountToK, Epidemic, RedundantCountToK
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+from repro.sim.faults import FaultPlan, OmissionRate, TargetedCrash
 from repro.util.rng import spawn_seeds
 
 
 def epidemic_under_crashes(trials: int = 50) -> None:
     survived = 0
     for seed in spawn_seeds(2024, trials):
-        sim = CrashySimulation(Epidemic(), [1] + [0] * 29, seed=seed)
-        sim.run(10)
-        # A third of the uninfected population dies.
-        victims = [a for a in sim.alive if sim.states[a] == 0][:10]
-        for victim in victims:
-            sim.crash(victim)
-        sim.run(30_000)
+        # A third of the uninfected population dies at step 10.
+        plan = FaultPlan(TargetedCrash(lambda s: s == 0, 10, after_step=10),
+                         seed=seed + 1)
+        sim = simulate_counts(Epidemic(), {1: 1, 0: 29},
+                              seed=seed, faults=plan)
+        run_until_quiescent(sim, patience=2_000, max_steps=30_000)
         if sim.unanimous_surviving_output() == 1:
             survived += 1
     print("epidemic/OR with 10 of 30 agents crashing mid-run:")
@@ -35,27 +43,58 @@ def epidemic_under_crashes(trials: int = 50) -> None:
 def count_to_five_single_point_of_failure(trials: int = 50) -> None:
     broken = 0
     for seed in spawn_seeds(4048, trials):
-        sim = CrashySimulation(CountToK(5), [1] * 4 + [0] * 12, seed=seed)
-        # Wait until one agent has consolidated all four tokens, kill it.
-        for _ in range(200_000):
-            sim.step()
-            holders = [a for a in sim.alive if sim.states[a] == 4]
-            if holders:
-                sim.crash(holders[0])
-                break
-        sim.run(30_000)
-        if all(sim.states[a] == 0 for a in sim.alive):
+        # Kill the first agent seen holding 3+ consolidated tokens.
+        plan = FaultPlan(TargetedCrash(lambda s: 3 <= s < 5), seed=seed + 1)
+        sim = simulate_counts(CountToK(5), {1: 5, 0: 11},
+                              seed=seed, faults=plan)
+        run_until_quiescent(sim, patience=2_000, max_steps=30_000)
+        if sim.unanimous_surviving_output() == 0:
             broken += 1
-    print("count-to-five after the 4-token holder crashes:")
-    print(f"  survivors left with zero tokens in {broken}/{trials} trials")
-    print("  (the four 1-inputs are unrecoverable: a single point of "
-          "failure,\n   exactly the fragility the paper's discussion "
+    print("count-to-five (5 ones, true answer 1) after a token holder "
+          "crashes:")
+    print(f"  verdict wrongly 0 in {broken}/{trials} trials")
+    print("  (the consolidated tokens are unrecoverable: a single point "
+          "of failure,\n   exactly the fragility the paper's discussion "
           "warns about)\n")
+
+
+def redundant_counting_rescue(trials: int = 50) -> None:
+    correct = 0
+    for seed in spawn_seeds(6072, trials):
+        # Same attack: kill the first agent holding a full (= cap) pile.
+        plan = FaultPlan(TargetedCrash(lambda s: s == 3), seed=seed + 1)
+        sim = simulate_counts(RedundantCountToK(5, cap=3), {1: 8, 0: 8},
+                              seed=seed, faults=plan)
+        run_until_quiescent(sim, patience=2_000, max_steps=30_000)
+        if sim.unanimous_surviving_output() == 1:
+            correct += 1
+    print("redundant count-to-five (capped piles, 8 ones) under the same "
+          "attack:")
+    print(f"  correct verdict in {correct}/{trials} trials")
+    print("  (a crash costs at most cap = 3 tokens; the slack keeps "
+          "#1 >= 5 alive)\n")
+
+
+def omission_time_dilation(trials: int = 20) -> None:
+    totals = {0.0: 0, 0.5: 0}
+    for rate in totals:
+        for seed in spawn_seeds(8096, trials):
+            plan = FaultPlan(OmissionRate(rate), seed=seed + 1)
+            sim = simulate_counts(Epidemic(), {1: 1, 0: 29},
+                                  seed=seed, faults=plan)
+            result = run_until_quiescent(sim, patience=3_000,
+                                         max_steps=100_000)
+            totals[rate] += result.converged_at
+    print("omission faults only dilate time (epidemic, n = 30):")
+    for rate, total in sorted(totals.items()):
+        print(f"  drop rate {rate:.0%}: mean convergence "
+              f"~{total / trials:.0f} interactions")
+    print()
 
 
 def graceful_degradation() -> None:
     """Crashing *after* convergence never disturbs the verdict."""
-    sim = CrashySimulation(CountToK(5), [1] * 6 + [0] * 10, seed=7)
+    sim = simulate_counts(CountToK(5), {1: 6, 0: 10}, seed=7)
     sim.run(100_000)
     before = sim.unanimous_surviving_output()
     sim.crash_random(8)
@@ -69,6 +108,8 @@ def graceful_degradation() -> None:
 def main() -> None:
     epidemic_under_crashes()
     count_to_five_single_point_of_failure()
+    redundant_counting_rescue()
+    omission_time_dilation()
     graceful_degradation()
 
 

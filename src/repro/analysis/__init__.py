@@ -1,5 +1,6 @@
 """Exact analysis: reachability, SCCs, stable-computation verification,
-and Markov chains over configurations (Theorems 6 and 11)."""
+Markov chains over configurations (Theorems 6 and 11), and empirical
+resilience measurement under injected faults (Sect. 8)."""
 
 from repro.analysis.reachability import (
     ConfigurationGraph,
@@ -31,6 +32,17 @@ from repro.analysis.markov import (
     MarkovAnalysis,
     exact_output_distribution,
 )
+from repro.analysis.robustness import (
+    FaultScenario,
+    ResilienceCurve,
+    ResiliencePoint,
+    ResilienceRow,
+    format_rows,
+    measure_correctness,
+    resilience_curve,
+    run_robustness,
+    scenarios_for,
+)
 
 __all__ = [
     "ConfigurationGraph",
@@ -56,4 +68,13 @@ __all__ = [
     "ConvergenceDistribution",
     "MarkovAnalysis",
     "exact_output_distribution",
+    "FaultScenario",
+    "ResilienceCurve",
+    "ResiliencePoint",
+    "ResilienceRow",
+    "format_rows",
+    "measure_correctness",
+    "resilience_curve",
+    "run_robustness",
+    "scenarios_for",
 ]

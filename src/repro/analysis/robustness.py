@@ -1,0 +1,273 @@
+"""Protocol resilience measurement under injected faults.
+
+Sect. 8 of the paper observes that the population-protocol *model*
+tolerates crashes naturally while many of its *algorithms* do not.  This
+harness turns that remark into measurable science: it sweeps fault
+intensity over protocols from the registry and reports
+correctness-probability-vs-fault curves — the epidemic/OR protocol
+shrugs off crashes of uninfected agents, :class:`~repro.protocols.counting.CountToK`
+has the single-point-of-failure the paper warns about, and
+:class:`~repro.protocols.counting.RedundantCountToK` demonstrates how
+token replication (capped piles) buys crash tolerance.
+
+Faults are injected through :mod:`repro.sim.faults`; correctness of a
+trial is the unanimous output of the *surviving* agents matching the
+ground truth of the original input.  Exposed on the command line as
+``python -m repro robustness``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.protocols import registry
+from repro.sim.convergence import run_until_quiescent
+from repro.sim.engine import simulate_counts
+from repro.sim.faults import (
+    CrashAt,
+    FaultPlan,
+    OmissionRate,
+    TargetedCrash,
+)
+from repro.util.rng import spawn_seeds
+
+#: Maps a fault seed to the plan for one trial (None = fault-free trial).
+PlanFactory = Callable[[int], "FaultPlan | None"]
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """Measured correctness at one fault intensity."""
+
+    intensity: float
+    trials: int
+    correct: int
+
+    @property
+    def rate(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+
+@dataclass
+class ResilienceCurve:
+    """Correctness-vs-fault-intensity curve for one protocol."""
+
+    protocol: str
+    fault: str
+    points: list[ResiliencePoint] = field(default_factory=list)
+
+    def table(self) -> str:
+        lines = [f"{'intensity':>10}  {'trials':>6}  {'correct':>7}  {'rate':>5}"]
+        for p in self.points:
+            lines.append(f"{p.intensity:>10.3g}  {p.trials:>6}  "
+                         f"{p.correct:>7}  {p.rate:>5.2f}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One protocol/scenario cell of the resilience report."""
+
+    protocol: str
+    scenario: str
+    trials: int
+    correct: int
+
+    @property
+    def rate(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One named fault configuration for a protocol."""
+
+    label: str
+    counts: Mapping
+    #: Fault-seed -> plan; None runs the scenario fault-free.
+    plan_factory: "PlanFactory | None" = None
+
+
+def measure_correctness(
+    protocol_factory: Callable[[], object],
+    counts: Mapping,
+    expected,
+    plan_factory: "PlanFactory | None",
+    *,
+    trials: int,
+    seed: "int | None" = None,
+    patience: int = 10_000,
+    max_steps: int = 300_000,
+) -> int:
+    """Number of trials whose surviving agents stabilize to ``expected``.
+
+    Each trial gets an independent engine seed and fault seed; a fresh
+    protocol and fault plan are built per trial (plans are single-use).
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    streams = spawn_seeds(seed, 2 * trials)
+    engine_seeds, fault_seeds = streams[:trials], streams[trials:]
+    correct = 0
+    for engine_seed, fault_seed in zip(engine_seeds, fault_seeds):
+        plan = plan_factory(fault_seed) if plan_factory is not None else None
+        sim = simulate_counts(protocol_factory(), counts,
+                              seed=engine_seed, faults=plan)
+        result = run_until_quiescent(sim, patience=patience,
+                                     max_steps=max_steps)
+        if result.output == expected:
+            correct += 1
+    return correct
+
+
+def resilience_curve(
+    protocol_factory: Callable[[], object],
+    counts: Mapping,
+    expected,
+    fault_factory: Callable[[float, int], "FaultPlan | None"],
+    intensities: Sequence[float],
+    *,
+    trials: int = 30,
+    seed: "int | None" = None,
+    patience: int = 10_000,
+    max_steps: int = 300_000,
+    protocol_name: str = "",
+    fault_name: str = "",
+) -> ResilienceCurve:
+    """Sweep ``fault_factory(intensity, fault_seed)`` over intensities.
+
+    Returns the correctness-probability-vs-fault curve; the canonical way
+    to measure how fast a protocol degrades (cf. the convergence-in-
+    probability viewpoint of Bournez et al.).
+    """
+    curve = ResilienceCurve(protocol=protocol_name, fault=fault_name)
+    curve_seeds = spawn_seeds(seed, len(intensities))
+    for intensity, point_seed in zip(intensities, curve_seeds):
+        correct = measure_correctness(
+            protocol_factory, counts, expected,
+            lambda fault_seed, x=intensity: fault_factory(x, fault_seed),
+            trials=trials, seed=point_seed,
+            patience=patience, max_steps=max_steps)
+        curve.points.append(ResiliencePoint(
+            intensity=float(intensity), trials=trials, correct=correct))
+    return curve
+
+
+# -- Canonical scenarios -----------------------------------------------------------
+
+
+def _curated_scenarios(name: str) -> "list[FaultScenario] | None":
+    """Hand-built scenario suites for the paper's headline protocols."""
+    if name == "epidemic":
+        return [
+            FaultScenario("no faults", {1: 1, 0: 19}),
+            FaultScenario(
+                "crash 5 uninfected @ step 10", {1: 1, 0: 19},
+                lambda s: FaultPlan(
+                    TargetedCrash(lambda st: st == 0, 5, after_step=10),
+                    seed=s)),
+            FaultScenario(
+                "crash 8 random @ step 10", {1: 1, 0: 19},
+                lambda s: FaultPlan(CrashAt(10, 8), seed=s)),
+            FaultScenario(
+                "drop 50% of encounters", {1: 1, 0: 19},
+                lambda s: FaultPlan(OmissionRate(0.5), seed=s)),
+        ]
+    if name == "count-to-k":
+        return [
+            FaultScenario("no faults", {1: 5, 0: 11}),
+            FaultScenario(
+                "crash token holder (pile >= 3)", {1: 5, 0: 11},
+                lambda s: FaultPlan(
+                    TargetedCrash(lambda st: 3 <= st < 5, 1), seed=s)),
+            FaultScenario(
+                "crash 1 random @ step 50", {1: 5, 0: 11},
+                lambda s: FaultPlan(CrashAt(50, 1), seed=s)),
+        ]
+    if name == "redundant-count-to-k":
+        # Slack 3 = cap: a single crash costs at most the cap, so the
+        # predicate [#1 >= 5] survives any one crash by construction.
+        return [
+            FaultScenario("no faults", {1: 8, 0: 8}),
+            FaultScenario(
+                "crash largest pile (= cap)", {1: 8, 0: 8},
+                lambda s: FaultPlan(
+                    TargetedCrash(lambda st: st == 3, 1), seed=s)),
+            FaultScenario(
+                "crash 1 random @ step 50", {1: 8, 0: 8},
+                lambda s: FaultPlan(CrashAt(50, 1), seed=s)),
+        ]
+    return None
+
+
+def _generic_scenarios(entry) -> list[FaultScenario]:
+    """Fallback suite for any registered binary predicate protocol."""
+    counts = {1: 9, 0: 6}
+    return [
+        FaultScenario("no faults", counts),
+        FaultScenario(
+            "crash 2 random @ step 25", counts,
+            lambda s: FaultPlan(CrashAt(25, 2), seed=s)),
+        FaultScenario(
+            "drop 30% of encounters", counts,
+            lambda s: FaultPlan(OmissionRate(0.3), seed=s)),
+    ]
+
+
+def scenarios_for(name: str) -> list[FaultScenario]:
+    """The scenario suite used by ``repro robustness`` for ``name``."""
+    entry = registry.get(name)
+    curated = _curated_scenarios(entry.name)
+    if curated is not None:
+        return curated
+    if entry.truth is None:
+        raise ValueError(
+            f"protocol {entry.name!r} does not compute a predicate; "
+            "no generic resilience scenario applies")
+    protocol = entry.build()
+    if not set(protocol.input_alphabet) <= {0, 1}:
+        raise ValueError(
+            f"protocol {entry.name!r} has a non-binary input alphabet; "
+            "add a curated scenario to measure it")
+    return _generic_scenarios(entry)
+
+
+def run_robustness(
+    names: Sequence[str],
+    *,
+    trials: int = 40,
+    seed: "int | None" = 0,
+    patience: int = 10_000,
+    max_steps: int = 300_000,
+) -> list[ResilienceRow]:
+    """Run the scenario suite for each named protocol; one row per scenario."""
+    rows: list[ResilienceRow] = []
+    suite_seeds = spawn_seeds(seed, len(names))
+    for name, suite_seed in zip(names, suite_seeds):
+        entry = registry.get(name)
+        scenarios = scenarios_for(name)
+        scenario_seeds = spawn_seeds(suite_seed, len(scenarios))
+        for scenario, scenario_seed in zip(scenarios, scenario_seeds):
+            expected = int(entry.evaluate_truth(scenario.counts))
+            correct = measure_correctness(
+                entry.build, scenario.counts, expected,
+                scenario.plan_factory,
+                trials=trials, seed=scenario_seed,
+                patience=patience, max_steps=max_steps)
+            rows.append(ResilienceRow(
+                protocol=entry.name, scenario=scenario.label,
+                trials=trials, correct=correct))
+    return rows
+
+
+def format_rows(rows: Sequence[ResilienceRow]) -> str:
+    """The ``repro robustness`` resilience table."""
+    width = max([len(r.scenario) for r in rows] + [8])
+    pwidth = max([len(r.protocol) for r in rows] + [8])
+    lines = [f"{'protocol':<{pwidth}}  {'scenario':<{width}}  "
+             f"{'trials':>6}  {'correct':>7}  {'rate':>5}"]
+    for r in rows:
+        lines.append(f"{r.protocol:<{pwidth}}  {r.scenario:<{width}}  "
+                     f"{r.trials:>6}  {r.correct:>7}  {r.rate:>5.2f}")
+    return "\n".join(lines)

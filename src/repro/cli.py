@@ -8,7 +8,10 @@ Four commands expose the main pipeline:
 * ``verify FORMULA --size N`` — model-check the compiled protocol
   exhaustively on every input of total size N (Theorem 6 style);
 * ``exact FORMULA --counts x=3,y=4`` — exact Markov-chain analysis
-  (Theorem 11): output probabilities and expected convergence time.
+  (Theorem 11): output probabilities and expected convergence time;
+* ``robustness --protocol NAME ...`` — fault-injection resilience table
+  for built-in protocols (Sect. 8): correctness rates under crash,
+  omission, and corruption scenarios.
 
 Examples::
 
@@ -16,6 +19,7 @@ Examples::
     python -m repro simulate "20*e >= e + h" --counts e=2,h=38
     python -m repro verify "x < y" --size 5
     python -m repro exact "x = 1 mod 2" --counts x=3,pad=2
+    python -m repro robustness --protocol epidemic --protocol count_to_k
 """
 
 from __future__ import annotations
@@ -177,6 +181,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.analysis.robustness import format_rows, run_robustness
+
+    try:
+        rows = run_robustness(
+            args.protocol, trials=args.trials, seed=args.seed,
+            patience=args.patience, max_steps=args.max_steps)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    print(format_rows(rows))
+    return 0
+
+
 def _parse_params(text: str) -> dict[str, int]:
     return _parse_counts(text)
 
@@ -228,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--patience", type=int, default=20_000)
     run.add_argument("--max-steps", type=int, default=10_000_000)
     run.set_defaults(func=cmd_run)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="measure protocol correctness under injected faults")
+    robustness.add_argument("--protocol", action="append", required=True,
+                            help="registry protocol name (repeatable)")
+    robustness.add_argument("--trials", type=int, default=40,
+                            help="trials per scenario (default 40)")
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument("--patience", type=int, default=10_000)
+    robustness.add_argument("--max-steps", type=int, default=300_000)
+    robustness.set_defaults(func=cmd_robustness)
 
     return parser
 

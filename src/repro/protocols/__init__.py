@@ -6,7 +6,12 @@ conversion (Theorem 2), the Theorem 7 interaction-graph simulator, and the
 Sect. 8 one-way variant.
 """
 
-from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.protocols.counting import (
+    CountToK,
+    Epidemic,
+    RedundantCountToK,
+    count_to_five,
+)
 from repro.protocols.quotient import QuotientProtocol, QuotientRemainderProtocol
 from repro.protocols.threshold import ThresholdProtocol, count_at_least
 from repro.protocols.remainder import RemainderProtocol, parity_protocol
@@ -60,6 +65,7 @@ __all__ = [
     "min_max_inputs",
     "CountToK",
     "Epidemic",
+    "RedundantCountToK",
     "count_to_five",
     "QuotientProtocol",
     "QuotientRemainderProtocol",

@@ -74,6 +74,62 @@ class Epidemic(PopulationProtocol):
         return 0, 0
 
 
+class RedundantCountToK(PopulationProtocol):
+    """Crash-tolerant count-to-k: token replication via capped piles.
+
+    :class:`CountToK` consolidates all tokens onto single agents, so one
+    crash can erase the whole computation — the single point of failure
+    the paper's Sect. 8 discussion warns about.  This variant bounds every
+    agent's pile at ``cap`` tokens (``ceil(k/2) <= cap <= k - 1``): merges
+    that would exceed the cap *rebalance* to ``(cap, rest)`` instead, and
+    the alert fires when a meeting pair jointly witnesses ``k`` tokens
+    (``i + j >= k``, reachable because ``2 * cap >= k``).
+
+    Token mass is therefore spread over at least ``ceil(#1 / cap)``
+    agents and a single crash destroys at most ``cap`` tokens: with input
+    slack (``#1 >= k + f * cap``) the predicate ``[#1 >= k]`` survives
+    any ``f`` crashes — replication buys crash tolerance at the price of
+    slack, the trade mandated by the impossibility results of the
+    "when birds die" fault-tolerance line.  With ``cap = k - 1`` the
+    dynamics degenerate to (almost) :class:`CountToK`.
+    """
+
+    def __init__(self, k: int = 5, cap: "int | None" = None):
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        if cap is None:
+            cap = (k + 1) // 2
+        if not (k + 1) // 2 <= cap <= k - 1:
+            raise ValueError(
+                f"cap must lie in [ceil(k/2), k-1] = "
+                f"[{(k + 1) // 2}, {k - 1}], got {cap}")
+        self.k = k
+        self.cap = cap
+        self.input_alphabet = frozenset({0, 1})
+        self.output_alphabet = frozenset({0, 1})
+
+    def initial_state(self, symbol: int) -> int:
+        if symbol not in (0, 1):
+            raise ValueError(f"input symbol must be 0 or 1, got {symbol!r}")
+        return symbol
+
+    def output(self, state: int) -> int:
+        return 1 if state == self.k else 0
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        k, cap = self.k, self.cap
+        if initiator == k or responder == k:
+            # Alert state spreads to both parties.
+            return k, k
+        if initiator + responder >= k:
+            # The pair jointly witnesses k tokens.
+            return k, k
+        if initiator + responder <= cap:
+            return initiator + responder, 0
+        # Rebalance instead of consolidating past the cap.
+        return cap, initiator + responder - cap
+
+
 def count_to_five() -> CountToK:
     """The exact Sect. 1 / Sect. 3.1 protocol (k = 5)."""
     return CountToK(5)

@@ -12,7 +12,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 from repro.core.protocol import PopulationProtocol
-from repro.protocols.counting import CountToK, Epidemic
+from repro.protocols.counting import CountToK, Epidemic, RedundantCountToK
 from repro.protocols.majority import (
     flock_of_birds_protocol,
     majority_protocol,
@@ -66,11 +66,14 @@ def register(entry: ProtocolEntry) -> None:
 
 
 def get(name: str) -> ProtocolEntry:
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        # Accept snake_case spellings of the kebab-case names.
+        entry = _REGISTRY.get(name.replace("_", "-"))
+    if entry is None:
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+        raise KeyError(f"unknown protocol {name!r}; known: {known}")
+    return entry
 
 
 def names() -> list[str]:
@@ -88,6 +91,15 @@ register(ProtocolEntry(
     factory=lambda k=5: CountToK(k),
     truth=lambda counts, k=5: counts.get(1, 0) >= k,
     parameters=("k",),
+))
+
+register(ProtocolEntry(
+    name="redundant-count-to-k",
+    summary="crash-tolerant count-to-k: capped piles, one crash costs <= cap",
+    paper_section="Sect. 8",
+    factory=lambda k=5, cap=None: RedundantCountToK(k, cap),
+    truth=lambda counts, k=5, cap=None: counts.get(1, 0) >= k,
+    parameters=("k", "cap"),
 ))
 
 register(ProtocolEntry(

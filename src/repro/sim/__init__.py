@@ -13,7 +13,19 @@ from repro.sim.schedulers import (
     UniformEdgeScheduler,
     UniformPairScheduler,
 )
-from repro.sim.faults import CrashySimulation
+from repro.sim.faults import (
+    CorruptAt,
+    CorruptionRate,
+    CrashAt,
+    CrashRate,
+    CrashySimulation,
+    FaultModel,
+    FaultPlan,
+    OmissionRate,
+    OmitAt,
+    TargetedCrash,
+    reset_corruptor,
+)
 from repro.sim.trace import Trace, TracePoint, TraceRecorder, state_histogram
 from repro.sim.convergence import (
     ConvergenceResult,
@@ -37,6 +49,16 @@ __all__ = [
     "GreedyChangeScheduler",
     "WeightedPairScheduler",
     "CrashySimulation",
+    "FaultModel",
+    "FaultPlan",
+    "CrashAt",
+    "CrashRate",
+    "TargetedCrash",
+    "CorruptAt",
+    "CorruptionRate",
+    "OmitAt",
+    "OmissionRate",
+    "reset_corruptor",
     "Trace",
     "TracePoint",
     "TraceRecorder",

@@ -23,6 +23,18 @@ from repro.core.semantics import is_silent
 from repro.sim.engine import Simulation
 
 
+def _verdict(sim):
+    """The unanimous output of the *surviving* agents.
+
+    With crash faults injected, a dead sensor's frozen output must not
+    count against unanimity (the paper reads the verdict off the
+    remaining population).  Falls back to plain unanimity for simulations
+    without the surviving-output accessor.
+    """
+    getter = getattr(sim, "unanimous_surviving_output", None)
+    return getter() if getter is not None else sim.unanimous_output()
+
+
 @dataclass
 class ConvergenceResult:
     """Outcome of a convergence measurement run."""
@@ -54,7 +66,7 @@ def run_until_silent(sim: Simulation, max_steps: int, check_every: int = 0) -> C
     return ConvergenceResult(
         interactions=sim.interactions,
         converged_at=sim.last_output_change,
-        output=sim.unanimous_output(),
+        output=_verdict(sim),
         stopped=stopped,
     )
 
@@ -78,7 +90,7 @@ def run_until_quiescent(
     return ConvergenceResult(
         interactions=sim.interactions,
         converged_at=sim.last_output_change,
-        output=sim.unanimous_output(),
+        output=_verdict(sim),
         stopped=stopped,
     )
 
@@ -112,6 +124,6 @@ def run_until_correct_stable(
     return ConvergenceResult(
         interactions=sim.interactions,
         converged_at=sim.last_output_change,
-        output=sim.unanimous_output(),
+        output=_verdict(sim),
         stopped=stopped,
     )

@@ -38,6 +38,12 @@ class Simulation:
         Encounter scheduler; defaults to uniform random pairing.
     seed:
         Seed or ``random.Random`` driving the scheduler.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` injecting crash,
+        corruption, and omission faults.  Fault randomness comes from the
+        plan's own RNG, so with no plan attached (and even with one, on
+        this engine) the scheduler's RNG stream is identical to a
+        fault-free run of the same seed.
     """
 
     def __init__(
@@ -49,6 +55,7 @@ class Simulation:
         population: "Population | None" = None,
         scheduler: "Scheduler | None" = None,
         seed: "int | None" = None,
+        faults=None,
     ):
         self.protocol = protocol
         if (inputs is None) == (states is None):
@@ -81,12 +88,33 @@ class Simulation:
         #: Interaction count after which the output assignment last changed.
         self.last_output_change = 0
         self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+        #: Agents that have crashed (state frozen, encounters inert).
+        self.crashed: set[int] = set()
+        self._faults = faults
+        if faults is not None:
+            faults.bind(self)
 
     # -- Introspection ---------------------------------------------------------
 
     @property
     def n(self) -> int:
         return len(self.states)
+
+    @property
+    def n_alive(self) -> int:
+        """Number of agents that have not crashed."""
+        return len(self.states) - len(self.crashed)
+
+    @property
+    def faults(self):
+        """The attached :class:`~repro.sim.faults.FaultPlan`, or None."""
+        return self._faults
+
+    def alive_agents(self) -> list[int]:
+        """Ids of the live agents, in ascending order."""
+        if not self.crashed:
+            return list(range(len(self.states)))
+        return [a for a in range(len(self.states)) if a not in self.crashed]
 
     def outputs(self) -> tuple[Symbol, ...]:
         """Current output assignment."""
@@ -114,6 +142,109 @@ class Simulation:
             return first
         return None
 
+    def surviving_outputs(self) -> list[Symbol]:
+        """Outputs of the live agents (= all outputs when nothing crashed)."""
+        if not self.crashed:
+            return list(self._outputs)
+        return [self._outputs[a] for a in range(len(self.states))
+                if a not in self.crashed]
+
+    def unanimous_surviving_output(self) -> "Symbol | None":
+        """The common output of the *live* agents if they agree, else None.
+
+        The paper reads the verdict off the surviving population: a dead
+        sensor's frozen output does not count against unanimity.
+        """
+        outs = self.surviving_outputs()
+        first = outs[0]
+        if all(out == first for out in outs[1:]):
+            return first
+        return None
+
+    # -- Fault primitives --------------------------------------------------------
+
+    def crash(self, agent: int) -> None:
+        """Silently stop ``agent``: freeze its state and make every later
+        encounter involving it inert.
+
+        Invariant: at least two agents must remain alive after the crash
+        (a population protocol needs a pair to interact), so crashing is
+        refused when only two live agents are left.  Crashing an
+        already-crashed agent is a no-op.
+        """
+        if not 0 <= agent < len(self.states):
+            raise ValueError(f"no such agent: {agent}")
+        if agent in self.crashed:
+            return
+        if self.n_alive <= 2:
+            raise RuntimeError(
+                "cannot crash: a crash must leave at least two live agents")
+        self.crashed.add(agent)
+
+    def crash_random(self, count: int = 1, *, rng=None) -> list[int]:
+        """Crash ``count`` uniformly chosen live agents; all-or-nothing.
+
+        The count is validated up front against the >= 2-survivors
+        invariant: an impossible request raises ``RuntimeError`` before
+        any agent is crashed.  ``rng`` defaults to the engine RNG; fault
+        plans pass their own.
+        """
+        if count < 0:
+            raise ValueError("crash count must be non-negative")
+        if count > self.n_alive - 2:
+            raise RuntimeError(
+                f"cannot crash {count} of {self.n_alive} live agents: "
+                "a crash must leave at least two live agents")
+        rng = self.rng if rng is None else rng
+        alive = self.alive_agents()
+        victims = []
+        for _ in range(count):
+            victim = alive.pop(rng.randrange(len(alive)))
+            self.crash(victim)
+            victims.append(victim)
+        return victims
+
+    def crash_matching(self, match, count: int = 1, *, rng=None) -> int:
+        """Crash up to ``count`` random live agents whose state satisfies
+        ``match``; returns how many were crashed.
+
+        Best-effort (used by adversarial fault models): stops early when
+        no live agent matches or only two survivors remain.
+        """
+        rng = self.rng if rng is None else rng
+        candidates = [a for a in self.alive_agents()
+                      if match(self.states[a])]
+        applied = 0
+        while candidates and applied < count and self.n_alive > 2:
+            victim = candidates.pop(rng.randrange(len(candidates)))
+            self.crash(victim)
+            applied += 1
+        return applied
+
+    def set_state(self, agent: int, state: State) -> bool:
+        """Overwrite one agent's state, keeping output bookkeeping intact.
+
+        Returns True iff the state changed.  Used by corruption faults and
+        by experiment code that perturbs a running simulation.
+        """
+        if self.states[agent] == state:
+            return False
+        self.states[agent] = state
+        out = self.protocol.output(state)
+        if out != self._outputs[agent]:
+            self._outputs[agent] = out
+            self.last_output_change = self.interactions
+        return True
+
+    def corrupt_random(self, corruptor, *, rng=None) -> bool:
+        """Rewrite a uniformly random live agent's state via
+        ``corruptor(state, protocol, rng)``; returns True iff it changed."""
+        rng = self.rng if rng is None else rng
+        alive = self.alive_agents()
+        agent = alive[rng.randrange(len(alive))]
+        return self.set_state(
+            agent, corruptor(self.states[agent], self.protocol, rng))
+
     # -- Stepping --------------------------------------------------------------
 
     def _delta(self, p: State, q: State) -> tuple[State, State]:
@@ -136,14 +267,20 @@ class Simulation:
         """
         import copy
 
-        return {
+        snap = {
             "states": list(self.states),
             "outputs": list(self._outputs),
             "interactions": self.interactions,
             "last_output_change": self.last_output_change,
             "rng_state": self.rng.getstate(),
             "scheduler": copy.deepcopy(self.scheduler),
+            "crashed": set(self.crashed),
         }
+        if self._faults is not None:
+            # Seed the memo so the plan copy keeps pointing at *this* sim
+            # instead of dragging a deep copy of it into the snapshot.
+            snap["faults"] = copy.deepcopy(self._faults, {id(self): self})
+        return snap
 
     def restore(self, snap: dict) -> None:
         """Return to a previously captured :meth:`snapshot`."""
@@ -155,11 +292,30 @@ class Simulation:
         self.last_output_change = snap["last_output_change"]
         self.rng.setstate(snap["rng_state"])
         self.scheduler = copy.deepcopy(snap["scheduler"])
+        self.crashed = set(snap.get("crashed", ()))
+        if "faults" in snap:
+            # Re-copy so the same snapshot can be restored repeatedly.
+            self._faults = copy.deepcopy(snap["faults"], {id(self): self})
 
     def step(self) -> bool:
-        """Run one interaction.  Returns True iff any state changed."""
+        """Run one interaction.  Returns True iff any state changed.
+
+        With a fault plan attached, step-boundary faults (crashes and
+        corruptions) are applied first; the scheduled encounter is then
+        inert if either party has crashed, and may be dropped by omission
+        faults.  Inert and omitted encounters still advance the
+        interaction counter (global time passes).
+        """
+        plan = self._faults
+        if plan is not None:
+            plan.pre_step(self)
         initiator, responder = self.scheduler.next_encounter(self.states, self.rng)
         self.interactions += 1
+        if self.crashed and (initiator in self.crashed
+                             or responder in self.crashed):
+            return False
+        if plan is not None and plan.drop_encounter(self):
+            return False
         p, q = self.states[initiator], self.states[responder]
         p2, q2 = self._delta(p, q)
         if p2 == p and q2 == q:
@@ -209,6 +365,7 @@ def simulate_counts(
     *,
     seed: "int | None" = None,
     scheduler: "Scheduler | None" = None,
+    faults=None,
 ) -> Simulation:
     """Build a :class:`Simulation` from symbol counts (symbol-count inputs).
 
@@ -220,4 +377,5 @@ def simulate_counts(
         if count < 0:
             raise ValueError("counts must be non-negative")
         inputs.extend([symbol] * count)
-    return Simulation(protocol, inputs, seed=seed, scheduler=scheduler)
+    return Simulation(protocol, inputs, seed=seed, scheduler=scheduler,
+                      faults=faults)

@@ -32,6 +32,7 @@ class MultisetSimulation:
         *,
         state_counts: "Mapping[State, int] | None" = None,
         seed: "int | None" = None,
+        faults=None,
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
@@ -60,13 +61,36 @@ class MultisetSimulation:
         self.interactions = 0
         self.last_change = 0
         self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+        #: Multiset of crashed agents' frozen states (identity-free crash
+        #: bookkeeping; ``counts`` holds only the live agents).
+        self.crashed_counts: dict[State, int] = {}
+        self.dead = 0
+        self._faults = faults
+        if faults is not None:
+            faults.bind(self)
 
     # -- Introspection ---------------------------------------------------------
 
+    @property
+    def n_alive(self) -> int:
+        """Number of agents that have not crashed."""
+        return self.n - self.dead
+
+    @property
+    def faults(self):
+        """The attached :class:`~repro.sim.faults.FaultPlan`, or None."""
+        return self._faults
+
     def multiset(self) -> FrozenMultiset:
+        """Snapshot of the live agents' multiset configuration."""
         return FrozenMultiset(self.counts)
 
+    def crashed_multiset(self) -> FrozenMultiset:
+        """Snapshot of the crashed agents' frozen states."""
+        return FrozenMultiset(self.crashed_counts)
+
     def output_counts(self) -> dict[Symbol, int]:
+        """Histogram of the live agents' outputs."""
         outputs: dict[Symbol, int] = {}
         for state, count in self.counts.items():
             out = self.protocol.output(state)
@@ -79,12 +103,88 @@ class MultisetSimulation:
             return next(iter(outputs))
         return None
 
+    def unanimous_surviving_output(self) -> "Symbol | None":
+        """Alias of :meth:`unanimous_output`: the live counts *are* the
+        survivors (crashed mass lives in ``crashed_counts``)."""
+        return self.unanimous_output()
+
+    # -- Fault primitives --------------------------------------------------------
+
+    def _remove_live(self, state: State) -> None:
+        remaining = self.counts[state] - 1
+        if remaining:
+            self.counts[state] = remaining
+        else:
+            del self.counts[state]
+
+    def _crash_state(self, state: State) -> None:
+        self._remove_live(state)
+        self.crashed_counts[state] = self.crashed_counts.get(state, 0) + 1
+        self.dead += 1
+
+    def crash_random(self, count: int = 1, *, rng=None) -> list[State]:
+        """Crash ``count`` uniformly chosen live agents; all-or-nothing.
+
+        Validated up front against the >= 2-survivors invariant (an
+        impossible request raises before anything is applied).  Returns
+        the frozen states of the victims (agents have no identity here).
+        """
+        if count < 0:
+            raise ValueError("crash count must be non-negative")
+        if count > self.n_alive - 2:
+            raise RuntimeError(
+                f"cannot crash {count} of {self.n_alive} live agents: "
+                "a crash must leave at least two live agents")
+        rng = self.rng if rng is None else rng
+        victims = []
+        for _ in range(count):
+            state = self._sample_state(rng=rng)
+            self._crash_state(state)
+            victims.append(state)
+        return victims
+
+    def crash_matching(self, match, count: int = 1, *, rng=None) -> int:
+        """Crash up to ``count`` random live agents whose state satisfies
+        ``match``; best-effort, never below two survivors."""
+        rng = self.rng if rng is None else rng
+        applied = 0
+        while applied < count and self.n_alive > 2:
+            candidates = [(s, c) for s, c in self.counts.items() if match(s)]
+            total = sum(c for _, c in candidates)
+            if not total:
+                break
+            target = rng.randrange(total)
+            acc = 0
+            for state, c in candidates:
+                acc += c
+                if target < acc:
+                    self._crash_state(state)
+                    applied += 1
+                    break
+        return applied
+
+    def corrupt_random(self, corruptor, *, rng=None) -> bool:
+        """Rewrite a uniformly random live agent's state via
+        ``corruptor(state, protocol, rng)``; returns True iff it changed."""
+        rng = self.rng if rng is None else rng
+        state = self._sample_state(rng=rng)
+        new = corruptor(state, self.protocol, rng)
+        if new == state:
+            return False
+        self._remove_live(state)
+        self.counts[new] = self.counts.get(new, 0) + 1
+        self.last_change = self.interactions
+        return True
+
     # -- Stepping --------------------------------------------------------------
 
-    def _sample_state(self, exclude: "State | None" = None) -> State:
-        """Sample a state weighted by its count (minus one for ``exclude``)."""
-        total = self.n - (1 if exclude is not None else 0)
-        target = self.rng.randrange(total)
+    def _sample_state(self, exclude: "State | None" = None, *,
+                      rng=None) -> State:
+        """Sample a live state weighted by its count (minus one for
+        ``exclude``)."""
+        rng = self.rng if rng is None else rng
+        total = self.n - self.dead - (1 if exclude is not None else 0)
+        target = rng.randrange(total)
         acc = 0
         for state, count in self.counts.items():
             if state == exclude:
@@ -95,8 +195,27 @@ class MultisetSimulation:
         raise AssertionError("sampling fell off the end; counts corrupted?")
 
     def step(self) -> bool:
-        """Run one interaction.  Returns True iff the configuration changed."""
+        """Run one interaction.  Returns True iff the configuration changed.
+
+        With a fault plan attached, step-boundary faults apply first; when
+        agents have crashed, the scheduled pair is drawn uniformly over
+        *all* ``n`` sensors (dead ones included, so global time matches
+        the agent-array engine) and a pair touching a dead sensor is
+        inert; omission faults may then drop the live encounter.
+        """
+        plan = self._faults
+        if plan is not None:
+            plan.pre_step(self)
         self.interactions += 1
+        if plan is not None:
+            if self.dead:
+                n, m = self.n, self.n - self.dead
+                # Both parties of a uniform ordered pair over n sensors are
+                # alive with probability m(m-1)/(n(n-1)).
+                if plan.rng.randrange(n * (n - 1)) >= m * (m - 1):
+                    return False
+            if plan.drop_encounter(self):
+                return False
         p = self._sample_state()
         q = self._sample_state(exclude=p)
         key = (p, q)

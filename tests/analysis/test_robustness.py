@@ -1,0 +1,118 @@
+"""Tests for the fault-injection resilience harness."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    FaultScenario,
+    ResiliencePoint,
+    ResilienceRow,
+    format_rows,
+    measure_correctness,
+    resilience_curve,
+    run_robustness,
+    scenarios_for,
+)
+from repro.protocols.counting import CountToK, Epidemic
+from repro.sim.faults import CrashAt, FaultPlan, OmissionRate, TargetedCrash
+
+
+class TestMeasureCorrectness:
+    def test_fault_free_epidemic_is_always_correct(self):
+        correct = measure_correctness(
+            Epidemic, {1: 1, 0: 11}, 1, None,
+            trials=5, seed=1, patience=2000, max_steps=50_000)
+        assert correct == 5
+
+    def test_targeted_holder_crash_always_breaks_count_to_k(self):
+        correct = measure_correctness(
+            lambda: CountToK(5), {1: 5, 0: 11}, 1,
+            lambda s: FaultPlan(TargetedCrash(lambda st: 3 <= st < 5),
+                                seed=s),
+            trials=5, seed=1, patience=2000, max_steps=50_000)
+        assert correct == 0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            measure_correctness(Epidemic, {1: 1, 0: 3}, 1, None, trials=0)
+
+    def test_trials_are_independent(self):
+        # Same seed reproduces; different seed may differ but stays valid.
+        kwargs = dict(trials=4, patience=1500, max_steps=30_000)
+        first = measure_correctness(
+            Epidemic, {1: 1, 0: 9}, 1,
+            lambda s: FaultPlan(CrashAt(5, 6), seed=s), seed=7, **kwargs)
+        again = measure_correctness(
+            Epidemic, {1: 1, 0: 9}, 1,
+            lambda s: FaultPlan(CrashAt(5, 6), seed=s), seed=7, **kwargs)
+        assert first == again
+        assert 0 <= first <= 4
+
+
+class TestResilienceCurve:
+    def test_omission_sweep_monotone_extremes(self):
+        curve = resilience_curve(
+            Epidemic, {1: 1, 0: 9}, 1,
+            lambda p, s: FaultPlan(OmissionRate(p), seed=s),
+            [0.0, 0.5], trials=4, seed=3,
+            patience=2000, max_steps=60_000,
+            protocol_name="epidemic", fault_name="omission")
+        assert curve.protocol == "epidemic"
+        assert [p.intensity for p in curve.points] == [0.0, 0.5]
+        # Omissions only dilate time; both intensities stay correct.
+        assert all(p.rate == 1.0 for p in curve.points)
+        assert "intensity" in curve.table()
+
+    def test_point_rate(self):
+        assert ResiliencePoint(0.5, 4, 3).rate == 0.75
+        assert ResiliencePoint(0.5, 0, 0).rate == 0.0
+
+
+class TestScenarios:
+    def test_curated_protocols_have_suites(self):
+        for name in ("epidemic", "count-to-k", "redundant-count-to-k"):
+            suite = scenarios_for(name)
+            assert suite[0].label == "no faults"
+            assert suite[0].plan_factory is None
+            assert len(suite) >= 3
+            assert all(isinstance(s, FaultScenario) for s in suite)
+
+    def test_generic_fallback_for_predicate_protocols(self):
+        suite = scenarios_for("majority")
+        assert [s.label for s in suite][0] == "no faults"
+        assert len(suite) == 3
+
+    def test_snake_case_names_accepted(self):
+        assert [s.label for s in scenarios_for("count_to_k")] == \
+            [s.label for s in scenarios_for("count-to-k")]
+
+    def test_non_predicate_protocol_rejected(self):
+        with pytest.raises(ValueError, match="does not compute a predicate"):
+            scenarios_for("quotient-3")
+
+
+class TestRunRobustness:
+    def test_resilience_table_tells_the_story(self):
+        rows = run_robustness(
+            ["epidemic", "count_to_k", "redundant-count-to-k"],
+            trials=4, seed=0, patience=3000, max_steps=60_000)
+        by_key = {(r.protocol, r.scenario): r for r in rows}
+        # Fault-free rows are perfect for all three protocols.
+        for name in ("epidemic", "count-to-k", "redundant-count-to-k"):
+            assert by_key[(name, "no faults")].rate == 1.0
+        # Epidemic survives targeted crashes of uninfected agents.
+        assert by_key[("epidemic",
+                       "crash 5 uninfected @ step 10")].rate == 1.0
+        # CountToK collapses when the token holder dies...
+        assert by_key[("count-to-k",
+                       "crash token holder (pile >= 3)")].rate == 0.0
+        # ...and the redundant variant shrugs the same attack off.
+        assert by_key[("redundant-count-to-k",
+                       "crash largest pile (= cap)")].rate == 1.0
+
+    def test_format_rows(self):
+        rows = [ResilienceRow("epidemic", "no faults", 4, 4),
+                ResilienceRow("count-to-k", "holder crash", 4, 0)]
+        text = format_rows(rows)
+        assert "protocol" in text and "rate" in text
+        assert " 1.00" in text and " 0.00" in text
+        assert len(text.splitlines()) == 3

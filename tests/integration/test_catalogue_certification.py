@@ -12,6 +12,7 @@ from repro.protocols import registry
 
 PREDICATE_ENTRIES = [
     ("count-to-k", {"k": 3}, 5),
+    ("redundant-count-to-k", {"k": 3, "cap": 2}, 5),
     ("epidemic", {}, 5),
     ("majority", {}, 5),
     ("strict-majority", {}, 5),

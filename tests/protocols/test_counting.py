@@ -3,9 +3,16 @@
 import pytest
 
 from repro.analysis.stability import all_inputs_of_size, verify_stable_computation
-from repro.protocols.counting import CountToK, Epidemic, count_to_five
+from repro.protocols.counting import (
+    CountToK,
+    Epidemic,
+    RedundantCountToK,
+    count_to_five,
+)
 from repro.sim.convergence import run_until_quiescent
 from repro.sim.engine import simulate_counts
+from repro.sim.faults import FaultPlan, TargetedCrash
+from repro.util.rng import spawn_seeds
 
 
 class TestDefinition:
@@ -96,3 +103,64 @@ class TestEpidemic:
             for b in (0, 1):
                 p2, q2 = p.delta(a, b)
                 assert p2 >= a and q2 >= b
+
+
+class TestRedundantCountToK:
+    def test_transition_rules(self):
+        p = RedundantCountToK(5, cap=3)
+        assert p.delta(1, 1) == (2, 0)        # plain merge under the cap
+        assert p.delta(3, 1) == (3, 1)        # rebalance at the cap
+        assert p.delta(2, 2) == (3, 1)        # rebalance, piles stay <= cap
+        assert p.delta(2, 3) == (5, 5)        # pair jointly witnesses k
+        assert p.delta(3, 3) == (5, 5)
+        assert p.delta(5, 0) == (5, 5)        # alert is epidemic
+        assert p.delta(0, 0) == (0, 0)
+
+    def test_default_cap_is_half_k_rounded_up(self):
+        assert RedundantCountToK(5).cap == 3
+        assert RedundantCountToK(6).cap == 3
+        assert RedundantCountToK(9).cap == 5
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            RedundantCountToK(1)
+        with pytest.raises(ValueError):
+            RedundantCountToK(5, cap=2)   # 2 * cap < k: alert unreachable
+        with pytest.raises(ValueError):
+            RedundantCountToK(5, cap=5)   # cap = k collides with the alert
+
+    def test_no_pile_exceeds_cap_before_alert(self, seed):
+        p = RedundantCountToK(5, cap=3)
+        sim = simulate_counts(p, {1: 4, 0: 8}, seed=seed)
+        for _ in range(2000):
+            sim.step()
+            assert 5 not in sim.states     # 4 tokens can never alert
+            assert all(s <= 3 for s in sim.states)
+            assert sum(sim.states) == 4    # token conservation
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_stable_computation_exact(self, n):
+        p = RedundantCountToK(3, cap=2)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 3, all_inputs_of_size([0, 1], n))
+        assert all(results)
+
+    @pytest.mark.parametrize("cap", [3, 4])
+    def test_stable_computation_k5(self, cap):
+        p = RedundantCountToK(5, cap=cap)
+        results = verify_stable_computation(
+            p, lambda c: c.get(1, 0) >= 5, all_inputs_of_size([0, 1], 6))
+        assert all(results)
+
+    def test_survives_crash_of_largest_pile(self, seed):
+        """With slack >= cap, killing a full pile cannot flip the answer —
+        the crash tolerance CountToK lacks (see TestRobustness in
+        tests/sim/test_faults.py for the fragile half)."""
+        for s in spawn_seeds(seed, 10):
+            plan = FaultPlan(TargetedCrash(lambda st: st == 3, 1),
+                             seed=s + 1)
+            sim = simulate_counts(RedundantCountToK(5, cap=3),
+                                  {1: 8, 0: 8}, seed=s, faults=plan)
+            result = run_until_quiescent(sim, patience=4000,
+                                         max_steps=100_000)
+            assert result.output == 1

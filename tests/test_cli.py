@@ -119,6 +119,43 @@ class TestRunCommand:
         assert "protocol : quotient-3" in out
 
 
+class TestRobustnessCommand:
+    def test_emits_resilience_table(self, capsys):
+        code = main(["robustness", "--protocol", "epidemic",
+                     "--trials", "3", "--seed", "1",
+                     "--patience", "2000", "--max-steps", "50000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("protocol")
+        assert "no faults" in out
+        # Fault-free epidemic is always right.
+        assert " 1.00" in out
+
+    def test_accepts_snake_case_and_repeats(self, capsys):
+        code = main(["robustness", "--protocol", "count_to_k",
+                     "--protocol", "redundant-count-to-k",
+                     "--trials", "2", "--seed", "1",
+                     "--patience", "2000", "--max-steps", "50000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "count-to-k" in out
+        assert "redundant-count-to-k" in out
+        assert "crash token holder (pile >= 3)" in out
+
+    def test_unknown_protocol_is_clean_error(self, capsys):
+        code = main(["robustness", "--protocol", "warp-drive"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown protocol" in captured.err
+
+    def test_non_predicate_protocol_is_clean_error(self, capsys):
+        code = main(["robustness", "--protocol", "quotient-3"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not compute a predicate" in captured.err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -15,6 +15,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 FAST_EXAMPLES = [
     "quickstart.py",
     "exact_analysis.py",
+    "fault_tolerance.py",
     "language_acceptance.py",
     "presburger_playground.py",
 ]

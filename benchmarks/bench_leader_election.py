@@ -11,13 +11,13 @@ within sampling error), and the timed cost of one election run.
 from conftest import record
 
 from repro.analysis.markov import MarkovAnalysis
+from repro.exp import ExperimentSpec, InputGrid, StopRule, aggregate, run_experiment, scaling
 from repro.protocols.leader import (
     LEADER,
     LeaderElection,
     expected_election_interactions,
 )
 from repro.sim.engine import simulate_counts
-from repro.sim.stats import measure_scaling
 
 
 def _election_interactions(n: int, seed: int) -> float:
@@ -29,13 +29,24 @@ def _election_interactions(n: int, seed: int) -> float:
 
 
 def test_leader_election_mean_vs_formula(benchmark, base_seed):
-    ns = [8, 16, 32, 64]
+    # The Sect. 6 sweep as a declarative experiment: a single leader is
+    # exactly a silent configuration, and its last output change is the
+    # election's hitting time, so stop=silent + metric=converged_at
+    # measures the paper's (n-1)^2 quantity.
+    spec = ExperimentSpec(
+        protocol="leader-election",
+        ns=(8, 16, 32, 64),
+        trials=60,
+        inputs=InputGrid(kind="all-ones"),
+        stop=StopRule(rule="silent", max_steps=10_000_000),
+        seed=base_seed,
+    )
 
     def sweep():
-        return measure_scaling(ns, _election_interactions, trials=60,
-                               seed=base_seed)
+        return run_experiment(spec, workers=2)
 
-    measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    measurement = scaling(aggregate(result.records, metric="converged_at"))
     ratios = {
         n: mean / expected_election_interactions(n)
         for n, mean in zip(measurement.ns, measurement.means)
@@ -43,7 +54,8 @@ def test_leader_election_mean_vs_formula(benchmark, base_seed):
     record(benchmark,
            ns=measurement.ns,
            measured_means=[round(m, 1) for m in measurement.means],
-           paper_expectation=[expected_election_interactions(n) for n in ns],
+           paper_expectation=[expected_election_interactions(n)
+                              for n in measurement.ns],
            measured_over_paper_ratio={n: round(r, 3) for n, r in ratios.items()},
            fitted_exponent=round(measurement.exponent(), 3))
     for ratio in ratios.values():

@@ -8,13 +8,17 @@ fixed counting threshold — it is the Presburger predicate
 2. the Theorem 5 compiler applied to the formula text,
 
 then sweeps flock sizes right at the 5% boundary, and reports convergence
-times against the paper's Theorem 8 bound O(n^2 log n).
+times against the paper's Theorem 8 bound O(n^2 log n).  The sweep runs
+on the experiment orchestration subsystem (repro.exp): it is one
+declarative spec, executed across two worker processes, with per-trial
+seeds derived from the spec's content hash.
 
 Run:  python examples/flock_of_birds.py
 """
 
 import math
 
+from repro.exp import ExperimentSpec, InputGrid, StopRule, aggregate, run_experiment
 from repro.presburger.compiler import compile_predicate
 from repro.protocols.majority import flock_of_birds_protocol
 from repro.sim.convergence import run_until_correct_stable
@@ -49,14 +53,23 @@ def main() -> None:
         assert hand == comp
 
     print("\nconvergence vs flock size (exactly 5% feverish):")
-    print(f"{'n':>6} {'interactions':>14} {'n^2 log n':>12} {'ratio':>8}")
-    for n in (20, 40, 80, 160):
-        feverish = n // 20
-        _, converged_at = verdict(hand_built, 0, 1, n - feverish, feverish,
-                                  seed=11)
-        bound = n * n * math.log(n)
-        print(f"{n:>6} {converged_at:>14} {bound:>12.0f} "
-              f"{converged_at / bound:>8.3f}")
+    spec = ExperimentSpec(
+        protocol="flock-of-birds",
+        ns=(20, 40, 80, 160),
+        trials=3,
+        inputs=InputGrid(kind="fraction", fraction=0.05),
+        stop=StopRule(rule="correct-stable", max_steps=100_000_000),
+        seed=11,
+    )
+    result = run_experiment(spec, workers=2)
+    assert all(r["stopped"] and r["correct"] for r in result.records)
+    print(f"(experiment {spec.short_hash}: {spec.trials} trials/point "
+          "across 2 workers)")
+    print(f"{'n':>6} {'mean interactions':>18} {'n^2 log n':>12} {'ratio':>8}")
+    for point in aggregate(result.records, metric="converged_at"):
+        bound = point.n * point.n * math.log(point.n)
+        print(f"{point.n:>6} {point.summary.mean:>18.0f} {bound:>12.0f} "
+              f"{point.summary.mean / bound:>8.3f}")
     print("\n(ratio roughly constant -> Theta(n^2 log n), Theorem 8)")
 
 

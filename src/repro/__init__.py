@@ -21,6 +21,10 @@ Subpackages
 ``repro.analysis``
     Exact analysis: reachability, SCCs, stable-computation verification,
     Markov chains (Theorem 11).
+``repro.exp``
+    Experiment orchestration: declarative sweep specs, parallel workers
+    with execution-independent seeding, resumable JSONL result stores,
+    and scaling reports.
 ``repro.machines``
     Counter machines, Turing machines, Minsky's reduction, the Lemma 11 urn
     process, and the Theorem 9/10 population simulation of counter machines.

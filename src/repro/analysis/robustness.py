@@ -14,6 +14,13 @@ Faults are injected through :mod:`repro.sim.faults`; correctness of a
 trial is the unanimous output of the *surviving* agents matching the
 ground truth of the original input.  Exposed on the command line as
 ``python -m repro robustness``.
+
+Intensity sweeps (:func:`resilience_curve`) run on the experiment
+orchestration subsystem (:mod:`repro.exp`): the sweep is a declarative
+spec, trials parallelize over workers, and results can persist to a
+resumable store.  The curated scenario suites (:func:`run_robustness`)
+remain callable-based — adversarial faults like "crash the token holder"
+are predicates over protocol states, not data.
 """
 
 from __future__ import annotations
@@ -122,35 +129,60 @@ def measure_correctness(
 
 
 def resilience_curve(
-    protocol_factory: Callable[[], object],
+    protocol: str,
     counts: Mapping,
-    expected,
-    fault_factory: Callable[[float, int], "FaultPlan | None"],
+    fault: str,
     intensities: Sequence[float],
     *,
+    params: "Mapping | None" = None,
+    at_step: int = 0,
     trials: int = 30,
-    seed: "int | None" = None,
+    seed: int = 0,
     patience: int = 10_000,
     max_steps: int = 300_000,
-    protocol_name: str = "",
-    fault_name: str = "",
+    workers: int = 1,
+    store=None,
 ) -> ResilienceCurve:
-    """Sweep ``fault_factory(intensity, fault_seed)`` over intensities.
+    """Sweep a declarative fault kind over intensities for one protocol.
 
     Returns the correctness-probability-vs-fault curve; the canonical way
     to measure how fast a protocol degrades (cf. the convergence-in-
-    probability viewpoint of Bournez et al.).
+    probability viewpoint of Bournez et al.).  ``protocol`` is a registry
+    name and ``fault`` a :data:`repro.exp.spec.FAULT_KINDS` kind, so the
+    whole sweep is one declarative :class:`~repro.exp.spec.ExperimentSpec`
+    executed by :func:`repro.exp.runner.run_experiment` — it parallelizes
+    over ``workers`` and resumes from ``store`` like any experiment.
     """
-    curve = ResilienceCurve(protocol=protocol_name, fault=fault_name)
-    curve_seeds = spawn_seeds(seed, len(intensities))
-    for intensity, point_seed in zip(intensities, curve_seeds):
-        correct = measure_correctness(
-            protocol_factory, counts, expected,
-            lambda fault_seed, x=intensity: fault_factory(x, fault_seed),
-            trials=trials, seed=point_seed,
-            patience=patience, max_steps=max_steps)
+    from repro.exp.report import aggregate
+    from repro.exp.runner import run_experiment
+    from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+
+    entry = registry.get(protocol)
+    if entry.truth is None:
+        raise ValueError(
+            f"protocol {entry.name!r} does not compute a predicate; "
+            "a resilience curve needs a ground truth")
+    n = sum(counts.values())
+    spec = ExperimentSpec(
+        protocol=entry.name,
+        ns=(n,),
+        trials=trials,
+        params=dict(params or {}),
+        inputs=InputGrid.explicit({n: counts}),
+        faults=FaultAxis(fault, tuple(float(x) for x in intensities),
+                         at_step=at_step),
+        stop=StopRule(rule="quiescent", patience=patience,
+                      max_steps=max_steps),
+        seed=seed,
+    )
+    result = run_experiment(spec, store=store, workers=workers)
+    curve = ResilienceCurve(protocol=entry.name, fault=fault)
+    by_intensity = {a.intensity: a for a in aggregate(result.records)}
+    for intensity in intensities:
+        agg = by_intensity[float(intensity)]
         curve.points.append(ResiliencePoint(
-            intensity=float(intensity), trials=trials, correct=correct))
+            intensity=float(intensity), trials=agg.trials,
+            correct=agg.correct))
     return curve
 
 

@@ -11,7 +11,14 @@ Four commands expose the main pipeline:
   (Theorem 11): output probabilities and expected convergence time;
 * ``robustness --protocol NAME ...`` — fault-injection resilience table
   for built-in protocols (Sect. 8): correctness rates under crash,
-  omission, and corruption scenarios.
+  omission, and corruption scenarios;
+* ``exp run`` / ``exp report`` — the experiment orchestration subsystem:
+  declarative sweeps (many sizes x intensities x trials) executed across
+  a worker pool into a resumable JSONL store, then aggregated into
+  scaling tables with log-log exponent fits.
+
+``repro run`` and ``repro robustness`` accept ``--json`` for
+machine-readable output.
 
 Examples::
 
@@ -20,6 +27,9 @@ Examples::
     python -m repro verify "x < y" --size 5
     python -m repro exact "x = 1 mod 2" --counts x=3,pad=2
     python -m repro robustness --protocol epidemic --protocol count_to_k
+    python -m repro exp run --protocol leader-election --ns 8,16,32 \\
+        --trials 20 --stop silent --store election.jsonl --workers 4
+    python -m repro exp report --store election.jsonl
 """
 
 from __future__ import annotations
@@ -147,7 +157,14 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def _json_symbol(symbol):
+    """JSON object keys must be strings; keep ints readable."""
+    return str(symbol)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     from repro.protocols import registry
     from repro.sim.convergence import run_until_quiescent
     from repro.sim.engine import simulate_counts
@@ -163,6 +180,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     sim = simulate_counts(protocol, counts, seed=args.seed)
     result = run_until_quiescent(sim, patience=args.patience,
                                  max_steps=args.max_steps)
+    truth = None
+    if entry.truth is not None:
+        truth = int(entry.evaluate_truth(counts, **params))
+    wrong = truth is not None and result.output != truth
+    if args.json:
+        payload = {
+            "protocol": entry.name,
+            "params": params,
+            "input": {_json_symbol(s): c for s, c in
+                      sorted(counts.items(), key=lambda kv: repr(kv[0]))},
+            "n": sim.n,
+            "output": result.output,
+            "output_counts": {_json_symbol(s): c
+                              for s, c in sorted(sim.output_counts().items(),
+                                                 key=lambda kv: repr(kv[0]))},
+            "converged_at": result.converged_at,
+            "interactions": result.interactions,
+            "stopped": result.stopped,
+            "truth": truth,
+            "correct": None if truth is None else not wrong,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if wrong else 0
     print(f"protocol : {entry.name}  ({entry.paper_section})")
     print(f"input    : {dict(sorted(counts.items(), key=repr))}  (n = {sim.n})")
     if result.output is not None:
@@ -171,10 +211,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"outputs  : {sim.output_counts()}  (no unanimity)")
     print(f"converged after ~{result.converged_at} interactions "
           f"({result.interactions} simulated)")
-    if entry.truth is not None:
-        truth = entry.evaluate_truth(counts, **params)
-        print(f"truth    : {int(truth)}")
-        if result.output != int(truth):
+    if truth is not None:
+        print(f"truth    : {truth}")
+        if wrong:
             print("WARNING: not yet stabilized to the correct verdict; "
                   "increase --patience/--max-steps", file=sys.stderr)
             return 1
@@ -182,6 +221,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_robustness(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis.robustness import format_rows, run_robustness
 
     try:
@@ -191,7 +232,142 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 1
+    if args.json:
+        payload = [{"protocol": r.protocol, "scenario": r.scenario,
+                    "trials": r.trials, "correct": r.correct,
+                    "rate": r.rate} for r in rows]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(format_rows(rows))
+    return 0
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated integer list, got {text!r}") from None
+
+
+def _parse_float_list(text: str) -> list[float]:
+    try:
+        return [float(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated float list, got {text!r}") from None
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Build an ExperimentSpec from ``exp run`` flags or a --spec file."""
+    import json
+
+    from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            return ExperimentSpec.from_dict(json.load(handle))
+    if not args.protocol or not args.ns:
+        raise ValueError("pass --spec FILE, or both --protocol and --ns")
+    kind, _, value = (args.input or "all-ones").partition(":")
+    if kind == "ones":
+        inputs = InputGrid(kind="ones", ones=int(value or 1))
+    elif kind == "fraction":
+        inputs = InputGrid(kind="fraction", fraction=float(value or 0.5))
+    elif kind == "all-ones" and not value:
+        inputs = InputGrid(kind="all-ones")
+    else:
+        raise ValueError(
+            f"unknown --input {args.input!r}; use all-ones, ones:K, "
+            "or fraction:F (explicit tables need a --spec file)")
+    faults = None
+    if args.fault:
+        if not args.intensities:
+            raise ValueError("--fault needs --intensities")
+        faults = FaultAxis(args.fault, tuple(args.intensities),
+                           at_step=args.at_step)
+    return ExperimentSpec(
+        protocol=args.protocol,
+        ns=tuple(args.ns),
+        trials=args.trials,
+        params=dict(args.params or {}),
+        inputs=inputs,
+        faults=faults,
+        stop=StopRule(rule=args.stop, patience=args.patience,
+                      max_steps=args.max_steps,
+                      check_every=args.check_every),
+        seed=args.seed,
+    )
+
+
+def cmd_exp_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.report import aggregate, format_report, report_dict
+    from repro.exp.runner import plan_size, run_experiment
+    from repro.exp.store import ResultStore
+
+    try:
+        spec = _spec_from_args(args)
+        spec.validate()
+        store = ResultStore(args.store) if args.store else None
+        result = run_experiment(spec, store=store, workers=args.workers)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    aggregates = aggregate(result.records, metric=args.metric)
+    if args.json:
+        payload = report_dict(aggregates, spec=spec, metric=args.metric)
+        payload["executed"] = result.executed
+        payload["skipped"] = result.skipped
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"plan     : {plan_size(spec)} trials "
+          f"({result.executed} executed, {result.skipped} resumed)")
+    if args.store:
+        print(f"store    : {args.store}")
+    print(format_report(aggregates, spec=spec, metric=args.metric))
+    return 0
+
+
+def cmd_exp_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.report import (
+        aggregate,
+        format_report,
+        report_dict,
+        summary_csv,
+        trials_csv,
+    )
+    from repro.exp.store import ResultStore
+
+    try:
+        store = ResultStore(args.store)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spec = store.spec()
+    if spec is None:
+        print(f"error: {args.store!r} has no experiment header",
+              file=sys.stderr)
+        return 1
+    records = store.records()
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(trials_csv(records))
+        print(f"wrote {len(records)} trial rows to {args.csv}")
+    aggregates = aggregate(records, metric=args.metric)
+    if args.summary_csv:
+        with open(args.summary_csv, "w", encoding="utf-8") as handle:
+            handle.write(summary_csv(aggregates, metric=args.metric))
+        print(f"wrote {len(aggregates)} summary rows to {args.summary_csv}")
+    if args.json:
+        print(json.dumps(report_dict(aggregates, spec=spec,
+                                     metric=args.metric),
+                         indent=2, sort_keys=True))
+        return 0
+    print(format_report(aggregates, spec=spec, metric=args.metric))
     return 0
 
 
@@ -245,6 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--patience", type=int, default=20_000)
     run.add_argument("--max-steps", type=int, default=10_000_000)
+    run.add_argument("--json", action="store_true",
+                     help="emit a machine-readable JSON result")
     run.set_defaults(func=cmd_run)
 
     robustness = sub.add_parser(
@@ -257,7 +435,69 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--seed", type=int, default=0)
     robustness.add_argument("--patience", type=int, default=10_000)
     robustness.add_argument("--max-steps", type=int, default=300_000)
+    robustness.add_argument("--json", action="store_true",
+                            help="emit the resilience rows as JSON")
     robustness.set_defaults(func=cmd_robustness)
+
+    exp = sub.add_parser(
+        "exp",
+        help="experiment orchestration: declarative sweeps with "
+             "parallel workers and a resumable result store")
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="execute a sweep spec (resuming from the store)")
+    exp_run.add_argument("--spec", default=None,
+                         help="JSON spec file (overrides the inline flags)")
+    exp_run.add_argument("--protocol", default=None,
+                         help="registry protocol name (inline spec)")
+    exp_run.add_argument("--ns", type=_parse_int_list, default=None,
+                         help="population sizes, e.g. '8,16,32'")
+    exp_run.add_argument("--trials", type=int, default=10,
+                         help="trials per sweep point (default 10)")
+    exp_run.add_argument("--params", type=_parse_params, default=None,
+                         help="protocol parameters, e.g. 'k=4'")
+    exp_run.add_argument("--input", default=None,
+                         help="input generator: all-ones, ones:K, or "
+                              "fraction:F (default all-ones)")
+    exp_run.add_argument("--fault", default=None,
+                         help="fault axis kind: crash-rate, "
+                              "corruption-rate, omission-rate, crash-at")
+    exp_run.add_argument("--intensities", type=_parse_float_list,
+                         default=None,
+                         help="fault intensities, e.g. '0,0.1,0.3'")
+    exp_run.add_argument("--at-step", type=int, default=0,
+                         help="step for the crash-at fault kind")
+    exp_run.add_argument("--stop", default="quiescent",
+                         choices=("quiescent", "silent", "correct-stable"))
+    exp_run.add_argument("--patience", type=int, default=10_000)
+    exp_run.add_argument("--max-steps", type=int, default=300_000)
+    exp_run.add_argument("--check-every", type=int, default=0,
+                         help="silence-check period (0 = engine default)")
+    exp_run.add_argument("--seed", type=int, default=0)
+    exp_run.add_argument("--store", default=None,
+                         help="JSONL result store (enables resume)")
+    exp_run.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default 1 = in-process)")
+    exp_run.add_argument("--metric", default="converged_at",
+                         choices=("converged_at", "interactions"))
+    exp_run.add_argument("--json", action="store_true",
+                         help="emit the aggregated report as JSON")
+    exp_run.set_defaults(func=cmd_exp_run)
+
+    exp_report = exp_sub.add_parser(
+        "report", help="aggregate a result store into tables/CSV")
+    exp_report.add_argument("--store", required=True,
+                            help="JSONL result store written by 'exp run'")
+    exp_report.add_argument("--metric", default="converged_at",
+                            choices=("converged_at", "interactions"))
+    exp_report.add_argument("--csv", default=None,
+                            help="write the trial-level CSV here")
+    exp_report.add_argument("--summary-csv", default=None,
+                            help="write the per-point summary CSV here")
+    exp_report.add_argument("--json", action="store_true",
+                            help="emit the aggregated report as JSON")
+    exp_report.set_defaults(func=cmd_exp_report)
 
     return parser
 

@@ -1,0 +1,70 @@
+"""Experiment orchestration: declarative sweeps, parallel workers,
+resumable result stores, and aggregation/reporting.
+
+The paper's quantitative claims (Sect. 6) are statements about sweeps —
+many seeds x many population sizes x many protocols.  This package runs
+them as data instead of bespoke loops:
+
+* :mod:`repro.exp.spec` — :class:`ExperimentSpec`, the declarative sweep
+  description with a stable content hash;
+* :mod:`repro.exp.runner` — order-independent seeded execution, serial
+  or across a multiprocessing pool;
+* :mod:`repro.exp.store` — append-only JSONL store making sweeps
+  resumable at trial granularity;
+* :mod:`repro.exp.report` — per-point aggregates, scaling tables with
+  log-log exponent fits, CSV export.
+
+Exposed on the command line as ``python -m repro exp run`` /
+``python -m repro exp report``.
+"""
+
+from repro.exp.report import (
+    PointAggregate,
+    aggregate,
+    format_report,
+    report_dict,
+    scaling,
+    summary_csv,
+    trials_csv,
+)
+from repro.exp.runner import (
+    ExperimentResult,
+    SweepPoint,
+    plan_size,
+    run_experiment,
+    run_trial,
+    sweep_points,
+    trial_id,
+    trial_seeds,
+)
+from repro.exp.spec import (
+    ExperimentSpec,
+    FaultAxis,
+    InputGrid,
+    StopRule,
+)
+from repro.exp.store import ResultStore, StoreMismatch
+
+__all__ = [
+    "ExperimentSpec",
+    "InputGrid",
+    "FaultAxis",
+    "StopRule",
+    "SweepPoint",
+    "sweep_points",
+    "trial_id",
+    "trial_seeds",
+    "run_trial",
+    "run_experiment",
+    "ExperimentResult",
+    "plan_size",
+    "ResultStore",
+    "StoreMismatch",
+    "PointAggregate",
+    "aggregate",
+    "scaling",
+    "format_report",
+    "report_dict",
+    "trials_csv",
+    "summary_csv",
+]

@@ -1,0 +1,213 @@
+"""Aggregation and export of experiment records.
+
+Turns the runner's (or store's) trial records into per-point
+:class:`~repro.sim.stats.TrialSummary` aggregates, sweep-level
+:class:`~repro.sim.stats.ScalingMeasurement` tables with log-log
+exponent fits, human-readable report text, and CSV exports.  Every
+function consumes records in any order and sorts canonically first, so
+its output is byte-identical for any worker count (the subsystem's
+determinism contract extends all the way to the rendered report).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exp.runner import record_sort_key
+from repro.exp.spec import ExperimentSpec
+from repro.sim.stats import ScalingMeasurement, TrialSummary
+
+#: Record fields that may be aggregated as a metric.
+METRICS = ("converged_at", "interactions")
+
+#: Column order of the trial-level CSV export.
+TRIAL_COLUMNS = ("n", "intensity", "trial", "engine_seed", "fault_seed",
+                 "interactions", "converged_at", "output", "correct",
+                 "stopped", "crashes", "corruptions", "omissions")
+
+
+@dataclass(frozen=True)
+class PointAggregate:
+    """Aggregated trials of one sweep point."""
+
+    n: int
+    intensity: "float | None"
+    summary: TrialSummary
+    #: Number of trials whose output matched the ground truth (None when
+    #: the protocol computes no predicate).
+    correct: "int | None"
+
+    @property
+    def trials(self) -> int:
+        return self.summary.count
+
+    @property
+    def rate(self) -> "float | None":
+        """Correctness rate, or None for non-predicate protocols."""
+        if self.correct is None or not self.trials:
+            return None
+        return self.correct / self.trials
+
+
+def aggregate(records: Sequence[dict], *,
+              metric: str = "converged_at") -> list[PointAggregate]:
+    """Group records by sweep point and summarize ``metric`` per point."""
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; known: {METRICS}")
+    grouped: dict[tuple, list[dict]] = {}
+    for record in sorted(records, key=record_sort_key):
+        grouped.setdefault((record["n"], record.get("intensity")),
+                           []).append(record)
+    aggregates = []
+    for (n, intensity), group in grouped.items():
+        verdicts = [r["correct"] for r in group]
+        correct = (None if any(v is None for v in verdicts)
+                   else sum(1 for v in verdicts if v))
+        aggregates.append(PointAggregate(
+            n=n, intensity=intensity,
+            summary=TrialSummary([float(r[metric]) for r in group]),
+            correct=correct))
+    return aggregates
+
+
+def scaling(aggregates: Sequence[PointAggregate], *,
+            intensity: "float | None" = None) -> ScalingMeasurement:
+    """The n-sweep at one fault intensity as a ScalingMeasurement.
+
+    ``intensity=None`` selects the fault-free axis (specs without a fault
+    axis put every point there).
+    """
+    selected = [a for a in aggregates if a.intensity == intensity]
+    if not selected:
+        seen = sorted({a.intensity for a in aggregates}, key=repr)
+        raise ValueError(
+            f"no points at intensity {intensity!r}; store has {seen}")
+    selected.sort(key=lambda a: a.n)
+    return ScalingMeasurement(
+        ns=[a.n for a in selected],
+        means=[a.summary.mean for a in selected],
+        summaries=[a.summary for a in selected])
+
+
+def _fit_line(aggregates: Sequence[PointAggregate],
+              intensity: "float | None") -> "str | None":
+    selected = [a for a in aggregates if a.intensity == intensity]
+    if len({a.n for a in selected}) < 2:
+        return None
+    if any(a.summary.mean <= 0 or math.isnan(a.summary.mean)
+           for a in selected):
+        return None
+    measurement = scaling(aggregates, intensity=intensity)
+    label = "" if intensity is None else f" @ intensity {intensity:g}"
+    return (f"fitted exponent{label}: {measurement.exponent():.3f}  "
+            f"(log-div: {measurement.exponent(divide_log=True):.3f})")
+
+
+def format_report(aggregates: Sequence[PointAggregate], *,
+                  spec: "ExperimentSpec | None" = None,
+                  metric: str = "converged_at") -> str:
+    """The ``repro exp report`` table: one row per sweep point."""
+    lines = []
+    if spec is not None:
+        lines.append(f"experiment {spec.short_hash}: {spec.protocol}  "
+                     f"(ns={list(spec.ns)}, trials={spec.trials})")
+    has_fault_axis = any(a.intensity is not None for a in aggregates)
+    has_rate = any(a.rate is not None for a in aggregates)
+    header = f"{'n':>8}"
+    if has_fault_axis:
+        header += f"  {'intensity':>10}"
+    header += f"  {'trials':>6}  {'mean ' + metric:>16}  {'stderr':>10}"
+    if has_rate:
+        header += f"  {'rate':>5}"
+    lines.append(header)
+    ordered = sorted(aggregates,
+                     key=lambda a: (a.n, -1.0 if a.intensity is None
+                                    else a.intensity))
+    for agg in ordered:
+        row = f"{agg.n:>8}"
+        if has_fault_axis:
+            row += f"  {0.0 if agg.intensity is None else agg.intensity:>10.3g}"
+        row += (f"  {agg.trials:>6}  {agg.summary.mean:>16.2f}"
+                f"  {agg.summary.stderr:>10.2f}")
+        if has_rate:
+            rate = agg.rate
+            row += "  " + ("  n/a" if rate is None else f"{rate:>5.2f}")
+        lines.append(row)
+    intensities = sorted({a.intensity for a in aggregates},
+                         key=lambda x: (x is not None, x))
+    for intensity in intensities:
+        fit = _fit_line(aggregates, intensity)
+        if fit:
+            lines.append(fit)
+    return "\n".join(lines)
+
+
+def trials_csv(records: Sequence[dict]) -> str:
+    """Trial-level CSV (canonical row order; one row per trial)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(TRIAL_COLUMNS)
+    for record in sorted(records, key=record_sort_key):
+        writer.writerow([record.get(column) for column in TRIAL_COLUMNS])
+    return buffer.getvalue()
+
+
+def summary_csv(aggregates: Sequence[PointAggregate], *,
+                metric: str = "converged_at") -> str:
+    """Point-level CSV: mean/stderr/median of the metric plus rates."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["n", "intensity", "trials", f"mean_{metric}",
+                     f"stderr_{metric}", f"median_{metric}", "correct",
+                     "rate"])
+    ordered = sorted(aggregates,
+                     key=lambda a: (a.n, -1.0 if a.intensity is None
+                                    else a.intensity))
+    for agg in ordered:
+        writer.writerow([
+            agg.n, agg.intensity, agg.trials,
+            repr(agg.summary.mean), repr(agg.summary.stderr),
+            repr(agg.summary.median), agg.correct, agg.rate,
+        ])
+    return buffer.getvalue()
+
+
+def report_dict(aggregates: Sequence[PointAggregate], *,
+                spec: "ExperimentSpec | None" = None,
+                metric: str = "converged_at") -> dict:
+    """JSON-ready report (the ``--json`` shape of ``repro exp``)."""
+    points = []
+    ordered = sorted(aggregates,
+                     key=lambda a: (a.n, -1.0 if a.intensity is None
+                                    else a.intensity))
+    for agg in ordered:
+        mean = agg.summary.mean
+        points.append({
+            "n": agg.n,
+            "intensity": agg.intensity,
+            "trials": agg.trials,
+            "mean": None if math.isnan(mean) else mean,
+            "stderr": agg.summary.stderr,
+            "correct": agg.correct,
+            "rate": agg.rate,
+        })
+    data: dict = {"metric": metric, "points": points}
+    if spec is not None:
+        data["spec"] = spec.to_dict()
+        data["spec_hash"] = spec.content_hash()
+    fits = {}
+    for intensity in sorted({a.intensity for a in aggregates},
+                            key=lambda x: (x is not None, x)):
+        selected = [a for a in aggregates if a.intensity == intensity]
+        if (len({a.n for a in selected}) >= 2
+                and all(a.summary.mean > 0 for a in selected)):
+            measurement = scaling(aggregates, intensity=intensity)
+            fits["fault-free" if intensity is None else repr(intensity)] = \
+                measurement.exponent()
+    if fits:
+        data["fitted_exponents"] = fits
+    return data

@@ -1,0 +1,237 @@
+"""Experiment execution: spec -> trial records, optionally in parallel.
+
+The runner turns an :class:`~repro.exp.spec.ExperimentSpec` into its
+point grid (``ns`` x fault intensities), derives every trial's seeds
+purely from ``(spec content hash, point, trial index)`` via
+:func:`repro.util.rng.derive_seed`, and executes the trials either
+in-process or across a ``multiprocessing`` pool.  Because no seed
+depends on execution order, the set of records produced is bit-identical
+whether the sweep ran on one worker or sixteen, forwards or backwards —
+the determinism invariant the test suite pins down.
+
+With a :class:`~repro.exp.store.ResultStore` attached, each record is
+appended as it completes and already-stored trials are skipped up front,
+making interrupted sweeps resumable at trial granularity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exp.spec import ExperimentSpec
+from repro.exp.store import ResultStore
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    n: int
+    #: Fault intensity, or None when the spec has no fault axis.
+    intensity: "float | None" = None
+
+    @property
+    def key(self) -> str:
+        """Canonical label; part of every trial's identity."""
+        if self.intensity is None:
+            return f"n={self.n}"
+        return f"n={self.n};intensity={self.intensity!r}"
+
+
+def sweep_points(spec: ExperimentSpec) -> list[SweepPoint]:
+    """The spec's full point grid, in canonical order."""
+    if spec.faults is None:
+        return [SweepPoint(n) for n in spec.ns]
+    return [SweepPoint(n, float(x))
+            for n in spec.ns for x in spec.faults.intensities]
+
+
+def trial_id(spec_hash: str, point: SweepPoint, trial: int) -> str:
+    """Stable 16-hex identity of one trial (the store's resume key)."""
+    text = f"{spec_hash}|{point.key}|trial={trial}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def trial_seeds(spec_hash: str, point: SweepPoint, trial: int) -> tuple[int, int]:
+    """The ``(engine_seed, fault_seed)`` pair of one trial.
+
+    This is the seed-derivation contract: both streams are pure functions
+    of the spec hash, the point label, and the trial index — never of
+    worker count, scheduling order, or how many trials ran before.
+    """
+    engine = derive_seed(spec_hash, point.key, trial, "engine")
+    fault = derive_seed(spec_hash, point.key, trial, "fault")
+    return engine, fault
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
+              *, spec_hash: "str | None" = None) -> dict:
+    """Execute one trial and return its JSON-ready record."""
+    from repro.protocols import registry
+    from repro.sim.convergence import (
+        run_until_correct_stable,
+        run_until_quiescent,
+        run_until_silent,
+    )
+    from repro.sim.engine import simulate_counts
+
+    spec_hash = spec_hash or spec.content_hash()
+    engine_seed, fault_seed = trial_seeds(spec_hash, point, trial)
+
+    entry = registry.get(spec.protocol)
+    params = dict(spec.params)
+    protocol = entry.build(**params)
+    counts = spec.inputs.counts_for(point.n)
+    plan = None
+    if spec.faults is not None:
+        plan = spec.faults.build_plan(point.intensity, fault_seed)
+    sim = simulate_counts(protocol, counts, seed=engine_seed, faults=plan)
+
+    expected = None
+    if entry.truth is not None:
+        expected = int(entry.evaluate_truth(counts, **params))
+
+    stop = spec.stop
+    if stop.rule == "quiescent":
+        result = run_until_quiescent(sim, patience=stop.patience,
+                                     max_steps=stop.max_steps)
+    elif stop.rule == "silent":
+        result = run_until_silent(sim, max_steps=stop.max_steps,
+                                  check_every=stop.check_every)
+    elif stop.rule == "correct-stable":
+        if expected is None:
+            raise ValueError(
+                f"stopping rule 'correct-stable' needs a predicate "
+                f"protocol; {spec.protocol!r} has no ground truth")
+        result = run_until_correct_stable(sim, expected,
+                                          max_steps=stop.max_steps)
+    else:
+        raise ValueError(f"unknown stopping rule {stop.rule!r}")
+
+    record = {
+        "kind": "trial",
+        "id": trial_id(spec_hash, point, trial),
+        "n": point.n,
+        "intensity": point.intensity,
+        "trial": trial,
+        "engine_seed": engine_seed,
+        "fault_seed": fault_seed,
+        "interactions": result.interactions,
+        "converged_at": result.converged_at,
+        "output": _jsonable(result.output),
+        "correct": (None if expected is None
+                    else result.output == expected),
+        "stopped": result.stopped,
+        "crashes": plan.crashes if plan else 0,
+        "corruptions": plan.corruptions if plan else 0,
+        "omissions": plan.omissions if plan else 0,
+    }
+    return record
+
+
+def _pool_task(task) -> dict:
+    """Top-level worker entry point (must pickle across processes)."""
+    spec_dict, spec_hash, n, intensity, trial = task
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return run_trial(spec, SweepPoint(n, intensity), trial,
+                     spec_hash=spec_hash)
+
+
+def record_sort_key(record: dict):
+    """Canonical record order: by point, then trial index."""
+    intensity = record.get("intensity")
+    return (record["n"],
+            -1.0 if intensity is None else float(intensity),
+            record["trial"])
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of :func:`run_experiment`: all records, canonically sorted."""
+
+    spec: ExperimentSpec
+    spec_hash: str
+    records: list[dict]
+    #: Trials executed by this call (the rest came from the store).
+    executed: int
+    #: Trials skipped because the store already held them.
+    skipped: int
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    store: "ResultStore | None" = None,
+    workers: int = 1,
+    progress: "Callable[[dict], None] | None" = None,
+) -> ExperimentResult:
+    """Execute every trial of ``spec`` that the store does not already hold.
+
+    ``workers > 1`` fans the pending trials out over a multiprocessing
+    pool; records are appended to the store as they complete (in
+    completion order — the store is an unordered set keyed by trial id)
+    and the returned :class:`ExperimentResult` is canonically sorted, so
+    aggregated output is identical for any worker count.  ``progress`` is
+    called with each freshly executed record.
+    """
+    spec.validate()
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    spec_hash = spec.content_hash()
+
+    done_records: list[dict] = []
+    done_ids: set = set()
+    if store is not None:
+        store.bind_spec(spec)
+        done_records = store.records()
+        done_ids = store.completed_ids()
+
+    pending: list[tuple] = []
+    for point in sweep_points(spec):
+        for trial in range(spec.trials):
+            if trial_id(spec_hash, point, trial) not in done_ids:
+                pending.append((point, trial))
+
+    fresh: list[dict] = []
+
+    def collect(record: dict) -> None:
+        if store is not None:
+            store.append(record)
+        fresh.append(record)
+        if progress is not None:
+            progress(record)
+
+    if workers == 1 or len(pending) <= 1:
+        for point, trial in pending:
+            collect(run_trial(spec, point, trial, spec_hash=spec_hash))
+    else:
+        import multiprocessing
+
+        spec_dict = spec.to_dict()
+        tasks = [(spec_dict, spec_hash, point.n, point.intensity, trial)
+                 for point, trial in pending]
+        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+            for record in pool.imap_unordered(_pool_task, tasks):
+                collect(record)
+
+    records = sorted(done_records + fresh, key=record_sort_key)
+    return ExperimentResult(spec=spec, spec_hash=spec_hash, records=records,
+                            executed=len(fresh), skipped=len(done_records))
+
+
+def plan_size(spec: ExperimentSpec) -> int:
+    """Total number of trials the spec describes."""
+    return len(sweep_points(spec)) * spec.trials

@@ -1,0 +1,325 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes a whole sweep — protocol, input
+generator, population sizes, optional fault-intensity axis, trials per
+point, stopping rule, base seed — as plain data.  Everything the runner
+does is a pure function of the spec, so a spec serializes to/from a dict
+(JSON-friendly) and has a stable content hash that keys the result store
+and the per-trial seed derivation.
+
+The hash contract: two specs with equal :meth:`ExperimentSpec.to_dict`
+output have equal :meth:`ExperimentSpec.content_hash`, across processes
+and Python versions (the hash is SHA-256 over canonical JSON, never
+``hash()``).  Any field change — even the base seed — changes the hash,
+so stores never silently mix results from different experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+#: Input-generator kinds understood by :class:`InputGrid`.
+INPUT_KINDS = ("all-ones", "ones", "fraction", "explicit")
+#: Fault kinds understood by :class:`FaultAxis` (see repro.sim.faults).
+FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate", "crash-at")
+#: Stopping rules understood by :class:`StopRule` (see repro.sim.convergence).
+STOP_RULES = ("quiescent", "silent", "correct-stable")
+
+
+def _coerce_symbol(symbol):
+    """Registry protocols use 0/1 integer symbols; JSON keys are strings."""
+    if isinstance(symbol, str) and symbol.lstrip("-").isdigit():
+        return int(symbol)
+    return symbol
+
+
+def _counts_to_dict(counts: Mapping) -> dict:
+    return {str(symbol): int(count)
+            for symbol, count in sorted(counts.items(), key=lambda kv: repr(kv[0]))}
+
+
+def _counts_from_dict(data: Mapping) -> dict:
+    return {_coerce_symbol(symbol): int(count) for symbol, count in data.items()}
+
+
+@dataclass(frozen=True)
+class InputGrid:
+    """Maps each population size ``n`` on the sweep axis to input counts.
+
+    Kinds:
+
+    * ``all-ones`` — every agent gets input 1 (``{1: n}``); the natural
+      input for leader election, where symbols are ignored anyway;
+    * ``ones`` — a fixed number of 1-inputs, rest 0 (``{1: ones, 0: n-ones}``);
+    * ``fraction`` — ``floor(fraction * n)`` 1-inputs, rest 0 — e.g. the
+      flock-of-birds sweep holds the feverish fraction at exactly 5%;
+    * ``explicit`` — a literal table from ``n`` to a counts mapping, for
+      sweeps whose inputs don't follow a formula.
+    """
+
+    kind: str = "all-ones"
+    ones: "int | None" = None
+    fraction: "float | None" = None
+    #: For kind="explicit": {n: {symbol: count}}.
+    table: "Mapping | None" = None
+
+    def validate(self, ns: Sequence[int]) -> None:
+        if self.kind not in INPUT_KINDS:
+            raise ValueError(
+                f"unknown input kind {self.kind!r}; known: {INPUT_KINDS}")
+        if self.kind == "ones":
+            if self.ones is None or self.ones < 0:
+                raise ValueError("input kind 'ones' needs ones >= 0")
+            if any(self.ones > n for n in ns):
+                raise ValueError("ones exceeds a swept population size")
+        if self.kind == "fraction":
+            if self.fraction is None or not 0.0 <= self.fraction <= 1.0:
+                raise ValueError("input kind 'fraction' needs fraction in [0, 1]")
+        if self.kind == "explicit":
+            if not self.table:
+                raise ValueError("input kind 'explicit' needs a table")
+            missing = [n for n in ns if n not in self.table]
+            if missing:
+                raise ValueError(f"explicit input table lacks entries for n={missing}")
+
+    def counts_for(self, n: int) -> dict:
+        """The input counts for one swept population size."""
+        if self.kind == "all-ones":
+            return {1: n}
+        if self.kind == "ones":
+            return {1: self.ones, 0: n - self.ones}
+        if self.kind == "fraction":
+            ones = int(self.fraction * n + 1e-9)
+            return {1: ones, 0: n - ones}
+        if self.kind == "explicit":
+            return dict(self.table[n])
+        raise ValueError(f"unknown input kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind}
+        if self.ones is not None:
+            data["ones"] = self.ones
+        if self.fraction is not None:
+            data["fraction"] = self.fraction
+        if self.table is not None:
+            data["table"] = {str(n): _counts_to_dict(counts)
+                             for n, counts in sorted(self.table.items())}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "InputGrid":
+        table = data.get("table")
+        if table is not None:
+            table = {int(n): _counts_from_dict(counts)
+                     for n, counts in table.items()}
+        return cls(kind=data.get("kind", "all-ones"),
+                   ones=data.get("ones"),
+                   fraction=data.get("fraction"),
+                   table=table)
+
+    @classmethod
+    def explicit(cls, table: Mapping) -> "InputGrid":
+        """Shorthand for an explicit ``{n: counts}`` table."""
+        return cls(kind="explicit", table={int(n): dict(c)
+                                           for n, c in table.items()})
+
+
+@dataclass(frozen=True)
+class FaultAxis:
+    """A declarative fault-intensity sweep axis.
+
+    Each intensity value becomes one point of the sweep (crossed with
+    every ``n``); intensity ``0.0`` means fault-free.  The kinds map onto
+    :mod:`repro.sim.faults` models:
+
+    * ``crash-rate`` — per-step crash probability (:class:`CrashRate`);
+    * ``corruption-rate`` — per-step sensor-glitch probability
+      (:class:`CorruptionRate`);
+    * ``omission-rate`` — per-encounter drop probability
+      (:class:`OmissionRate`);
+    * ``crash-at`` — intensity is the *number of agents* crashed once
+      ``at_step`` interactions have completed (:class:`CrashAt`).
+    """
+
+    kind: str
+    intensities: tuple = ()
+    at_step: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if not self.intensities:
+            raise ValueError("fault axis needs at least one intensity")
+        if self.kind.endswith("-rate"):
+            if any(not 0.0 <= x <= 1.0 for x in self.intensities):
+                raise ValueError(f"{self.kind} intensities must lie in [0, 1]")
+        if self.kind == "crash-at":
+            if self.at_step < 0:
+                raise ValueError("crash-at needs at_step >= 0")
+            if any(x < 0 or x != int(x) for x in self.intensities):
+                raise ValueError("crash-at intensities are agent counts >= 0")
+
+    def build_plan(self, intensity: float, seed: int):
+        """A fresh single-use :class:`FaultPlan` for one trial (None = no-op)."""
+        from repro.sim.faults import (
+            CorruptionRate,
+            CrashAt,
+            CrashRate,
+            FaultPlan,
+            OmissionRate,
+        )
+
+        if not intensity:
+            return None
+        if self.kind == "crash-rate":
+            model = CrashRate(intensity)
+        elif self.kind == "corruption-rate":
+            model = CorruptionRate(intensity)
+        elif self.kind == "omission-rate":
+            model = OmissionRate(intensity)
+        elif self.kind == "crash-at":
+            model = CrashAt(self.at_step, int(intensity))
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        return FaultPlan(model, seed=seed)
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind,
+                      "intensities": [float(x) for x in self.intensities]}
+        if self.kind == "crash-at":
+            data["at_step"] = self.at_step
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultAxis":
+        return cls(kind=data["kind"],
+                   intensities=tuple(float(x) for x in data["intensities"]),
+                   at_step=int(data.get("at_step", 0)))
+
+
+@dataclass(frozen=True)
+class StopRule:
+    """When a trial stops (see :mod:`repro.sim.convergence`).
+
+    * ``quiescent`` — outputs unchanged for ``patience`` interactions;
+    * ``silent`` — no enabled encounter changes any state;
+    * ``correct-stable`` — all agents output the ground truth, held long
+      enough to be stable (needs a predicate protocol).
+    """
+
+    rule: str = "quiescent"
+    patience: int = 10_000
+    max_steps: int = 300_000
+    #: Check period for the silent rule (0 = the engine default, n).
+    check_every: int = 0
+
+    def validate(self) -> None:
+        if self.rule not in STOP_RULES:
+            raise ValueError(
+                f"unknown stopping rule {self.rule!r}; known: {STOP_RULES}")
+        if self.patience < 1:
+            raise ValueError("patience must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be positive")
+        if self.check_every < 0:
+            raise ValueError("check_every must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "patience": self.patience,
+                "max_steps": self.max_steps, "check_every": self.check_every}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StopRule":
+        return cls(rule=data.get("rule", "quiescent"),
+                   patience=int(data.get("patience", 10_000)),
+                   max_steps=int(data.get("max_steps", 300_000)),
+                   check_every=int(data.get("check_every", 0)))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative sweep: protocol x inputs x sizes x faults x trials.
+
+    The full point grid is ``ns`` crossed with the fault axis's
+    intensities (or just ``ns`` when ``faults`` is None), with ``trials``
+    independent trials per point.  ``seed`` is the experiment's base
+    entropy label: it enters the content hash, and every trial's engine
+    and fault seeds are derived from ``(content_hash, point, trial)`` —
+    see :func:`repro.exp.runner.trial_seeds`.
+    """
+
+    protocol: str
+    ns: tuple = ()
+    trials: int = 1
+    params: Mapping = field(default_factory=dict)
+    inputs: InputGrid = field(default_factory=InputGrid)
+    faults: "FaultAxis | None" = None
+    scheduler: str = "uniform"
+    stop: StopRule = field(default_factory=StopRule)
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on bad specs."""
+        if not self.protocol:
+            raise ValueError("spec needs a protocol name")
+        if not self.ns:
+            raise ValueError("spec needs at least one population size")
+        if any(n < 2 for n in self.ns):
+            raise ValueError("population sizes must be at least 2")
+        if len(set(self.ns)) != len(self.ns):
+            raise ValueError("population sizes must be distinct")
+        if self.trials < 1:
+            raise ValueError("spec needs at least one trial per point")
+        if self.scheduler != "uniform":
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; known: ('uniform',)")
+        self.inputs.validate(self.ns)
+        if self.faults is not None:
+            self.faults.validate()
+        self.stop.validate()
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "ns": [int(n) for n in self.ns],
+            "trials": self.trials,
+            "params": {str(k): self.params[k] for k in sorted(self.params)},
+            "inputs": self.inputs.to_dict(),
+            "faults": self.faults.to_dict() if self.faults else None,
+            "scheduler": self.scheduler,
+            "stop": self.stop.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+        faults = data.get("faults")
+        return cls(
+            protocol=data["protocol"],
+            ns=tuple(int(n) for n in data["ns"]),
+            trials=int(data.get("trials", 1)),
+            params=dict(data.get("params", {})),
+            inputs=InputGrid.from_dict(data.get("inputs", {})),
+            faults=FaultAxis.from_dict(faults) if faults else None,
+            scheduler=data.get("scheduler", "uniform"),
+            stop=StopRule.from_dict(data.get("stop", {})),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical serialization the content hash is computed over."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the canonical serialization."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        """First 12 hex chars of the content hash (display / file names)."""
+        return self.content_hash()[:12]

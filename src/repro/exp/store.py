@@ -1,0 +1,129 @@
+"""Append-only JSONL result store.
+
+Layout: line 1 is a spec header ``{"kind": "spec", "hash": ..., "spec":
+{...}}``; every further line is one completed trial ``{"kind": "trial",
+"id": ..., ...}``.  Appending is the only write operation, so a store is
+exactly as durable as its filesystem: killing a sweep mid-run loses at
+most the trial being written, and re-running the same spec against the
+store skips every trial whose id is already present (resume).
+
+A truncated final line (the usual crash artifact) is detected at open
+and cut back to the last complete record, so resume works even when the
+interrupt landed mid-write.  A header whose hash differs from the spec
+being run is an error — stores never mix experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable, Mapping
+
+from repro.exp.spec import ExperimentSpec
+
+
+class StoreMismatch(ValueError):
+    """The store on disk belongs to a different experiment spec."""
+
+
+class ResultStore:
+    """One experiment's trial records, persisted as JSONL.
+
+    Opening parses the whole file (specs are sweeps, not databases;
+    record counts are thousands, not billions), repairs a torn tail, and
+    indexes completed trial ids for O(1) resume checks.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._spec_header: "dict | None" = None
+        self._records: list[dict] = []
+        self._ids: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        good_bytes = 0
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # torn tail: drop the partial record
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                if record.get("kind") == "spec":
+                    self._spec_header = record
+                elif record.get("kind") == "trial":
+                    self._records.append(record)
+                    self._ids.add(record["id"])
+                good_bytes += len(line)
+        if good_bytes < os.path.getsize(self.path):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+
+    # -- Introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, trial_id: str) -> bool:
+        return trial_id in self._ids
+
+    def completed_ids(self) -> set:
+        """Ids of every trial already recorded."""
+        return set(self._ids)
+
+    def records(self) -> list[dict]:
+        """All trial records, in append order."""
+        return list(self._records)
+
+    def spec_hash(self) -> "str | None":
+        """Content hash of the spec this store belongs to, if any."""
+        return self._spec_header["hash"] if self._spec_header else None
+
+    def spec(self) -> "ExperimentSpec | None":
+        """The spec recorded in the header, if any."""
+        if self._spec_header is None:
+            return None
+        return ExperimentSpec.from_dict(self._spec_header["spec"])
+
+    # -- Writing ---------------------------------------------------------------
+
+    def _append_line(self, record: Mapping) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def bind_spec(self, spec: ExperimentSpec) -> None:
+        """Attach the store to ``spec``: write the header, or verify it.
+
+        Raises :class:`StoreMismatch` when the store already holds results
+        for a different spec.
+        """
+        spec_hash = spec.content_hash()
+        if self._spec_header is not None:
+            if self._spec_header["hash"] != spec_hash:
+                raise StoreMismatch(
+                    f"store {self.path!r} holds experiment "
+                    f"{self._spec_header['hash'][:12]}, not {spec_hash[:12]}; "
+                    "use a fresh store per spec")
+            return
+        header = {"kind": "spec", "hash": spec_hash, "spec": spec.to_dict()}
+        self._append_line(header)
+        self._spec_header = header
+
+    def append(self, record: Mapping) -> None:
+        """Persist one completed trial record (idempotent by id)."""
+        if record.get("kind") != "trial" or "id" not in record:
+            raise ValueError("records must have kind='trial' and an id")
+        if record["id"] in self._ids:
+            return
+        self._append_line(record)
+        self._records.append(dict(record))
+        self._ids.add(record["id"])
+
+    def extend(self, records: Iterable[Mapping]) -> None:
+        for record in records:
+            self.append(record)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.protocol import PopulationProtocol
 from repro.protocols.counting import CountToK, Epidemic, RedundantCountToK
+from repro.protocols.leader import LeaderElection
 from repro.protocols.majority import (
     flock_of_birds_protocol,
     majority_protocol,
@@ -141,6 +142,13 @@ register(ProtocolEntry(
     paper_section="Sect. 4 (Lemma 5 remainder instance)",
     factory=parity_protocol,
     truth=lambda counts: counts.get(1, 0) % 2 == 1,
+))
+
+register(ProtocolEntry(
+    name="leader-election",
+    summary="pairwise leader elimination; expected (n-1)^2 hitting time",
+    paper_section="Sect. 6",
+    factory=LeaderElection,
 ))
 
 register(ProtocolEntry(

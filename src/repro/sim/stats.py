@@ -18,7 +18,12 @@ from repro.util.rng import spawn_seeds
 
 @dataclass
 class TrialSummary:
-    """Aggregate statistics of one batch of trials."""
+    """Aggregate statistics of one batch of trials.
+
+    An empty batch is well-defined: every statistic of no data is
+    ``nan`` (count is 0), so aggregation pipelines that filter trials
+    never crash on an empty group — they propagate ``nan`` instead.
+    """
 
     values: list[float] = field(repr=False, default_factory=list)
 
@@ -28,10 +33,14 @@ class TrialSummary:
 
     @property
     def mean(self) -> float:
+        if not self.values:
+            return math.nan
         return sum(self.values) / len(self.values)
 
     @property
     def median(self) -> float:
+        if not self.values:
+            return math.nan
         ordered = sorted(self.values)
         mid = len(ordered) // 2
         if len(ordered) % 2:
@@ -40,6 +49,8 @@ class TrialSummary:
 
     @property
     def stdev(self) -> float:
+        if not self.values:
+            return math.nan
         if len(self.values) < 2:
             return 0.0
         mu = self.mean
@@ -47,22 +58,30 @@ class TrialSummary:
 
     @property
     def stderr(self) -> float:
+        if not self.values:
+            return math.nan
         if len(self.values) < 2:
             return 0.0
         return self.stdev / math.sqrt(len(self.values))
 
     @property
     def minimum(self) -> float:
+        if not self.values:
+            return math.nan
         return min(self.values)
 
     @property
     def maximum(self) -> float:
+        if not self.values:
+            return math.nan
         return max(self.values)
 
     def quantile(self, q: float) -> float:
         """Empirical quantile (linear interpolation between order stats)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile level must lie in [0, 1]")
+        if not self.values:
+            return math.nan
         ordered = sorted(self.values)
         if len(ordered) == 1:
             return ordered[0]

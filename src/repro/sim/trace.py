@@ -47,15 +47,45 @@ class Trace:
         return self.points[-1] if self.points else None
 
     def to_csv(self) -> str:
-        """CSV text: one row per sample, one column per key."""
+        """CSV text: one row per sample, one column per key.
+
+        Headers are the plain ``str()`` of each key — a string key ``"a"``
+        becomes the column ``a``, not ``'a'``.  Distinct keys with equal
+        ``str()`` (e.g. ``1`` and ``"1"``) would collide; such traces are
+        rejected rather than silently merged.
+        """
         keys = self.keys()
+        headers = [str(k) for k in keys]
+        if len(set(headers)) != len(headers):
+            raise ValueError(
+                "trace keys collide under str(); cannot export to CSV")
         buffer = io.StringIO()
         writer = csv.writer(buffer)
-        writer.writerow(["interactions"] + [repr(k) for k in keys])
+        writer.writerow(["interactions"] + headers)
         for point in self.points:
             writer.writerow([point.interactions]
                             + [point.counts.get(k, 0) for k in keys])
         return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_csv` output.
+
+        Keys come back as the column-header strings (CSV carries no type
+        information), values as integers; zero counts are kept explicit
+        so ``trace.to_csv() == Trace.from_csv(trace.to_csv()).to_csv()``
+        whenever all keys are strings.
+        """
+        rows = list(csv.reader(io.StringIO(text)))
+        if not rows or rows[0][:1] != ["interactions"]:
+            raise ValueError("not a trace CSV: missing 'interactions' header")
+        keys = rows[0][1:]
+        points = [
+            TracePoint(interactions=int(row[0]),
+                       counts={k: int(v) for k, v in zip(keys, row[1:])})
+            for row in rows[1:] if row
+        ]
+        return cls(points)
 
     def first_time(self, predicate: Callable[[Mapping], bool]) -> "int | None":
         """Interactions at the first sample whose histogram satisfies

@@ -8,6 +8,7 @@ experiments reproducible end to end.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 SeedLike = "int | random.Random | None"
@@ -37,3 +38,23 @@ def spawn_seeds(seed: "int | random.Random | None", count: int) -> list[int]:
     """
     rng = resolve_rng(seed)
     return [rng.randrange(2**63) for _ in range(count)]
+
+
+def derive_seed(*parts) -> int:
+    """Deterministic 63-bit seed derived from a label path.
+
+    Unlike :func:`spawn_seeds` (which walks one sequential RNG stream, so
+    trial ``i``'s seed depends on how many seeds were drawn before it),
+    this hashes the labels themselves: ``derive_seed(h, "n", 32, "trial", 7)``
+    is a pure function of its arguments.  The experiment orchestration
+    subsystem uses it to give every trial a seed that is independent of
+    worker count and execution order.
+
+    Parts are joined by their ``str()`` with an unambiguous separator and
+    hashed with SHA-256; the top 63 bits of the digest are the seed.
+    """
+    if not parts:
+        raise ValueError("derive_seed needs at least one label part")
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -13,7 +13,7 @@ from repro.analysis.robustness import (
     scenarios_for,
 )
 from repro.protocols.counting import CountToK, Epidemic
-from repro.sim.faults import CrashAt, FaultPlan, OmissionRate, TargetedCrash
+from repro.sim.faults import CrashAt, FaultPlan, TargetedCrash
 
 
 class TestMeasureCorrectness:
@@ -51,16 +51,36 @@ class TestMeasureCorrectness:
 class TestResilienceCurve:
     def test_omission_sweep_monotone_extremes(self):
         curve = resilience_curve(
-            Epidemic, {1: 1, 0: 9}, 1,
-            lambda p, s: FaultPlan(OmissionRate(p), seed=s),
+            "epidemic", {1: 1, 0: 9}, "omission-rate",
             [0.0, 0.5], trials=4, seed=3,
-            patience=2000, max_steps=60_000,
-            protocol_name="epidemic", fault_name="omission")
+            patience=2000, max_steps=60_000)
         assert curve.protocol == "epidemic"
+        assert curve.fault == "omission-rate"
         assert [p.intensity for p in curve.points] == [0.0, 0.5]
         # Omissions only dilate time; both intensities stay correct.
         assert all(p.rate == 1.0 for p in curve.points)
         assert "intensity" in curve.table()
+
+    def test_declarative_sweep_is_an_experiment(self, tmp_path):
+        # The curve runs on repro.exp: persists to a store and resumes.
+        from repro.exp import ResultStore
+
+        path = tmp_path / "curve.jsonl"
+        kwargs = dict(trials=3, seed=5, patience=1500, max_steps=40_000)
+        first = resilience_curve("epidemic", {1: 1, 0: 7}, "crash-rate",
+                                 [0.0, 0.02], store=ResultStore(path),
+                                 **kwargs)
+        resumed = resilience_curve("epidemic", {1: 1, 0: 7}, "crash-rate",
+                                   [0.0, 0.02], store=ResultStore(path),
+                                   **kwargs)
+        assert [p.correct for p in first.points] == \
+            [p.correct for p in resumed.points]
+        assert first.points[0].rate == 1.0
+
+    def test_rejects_non_predicate_protocol(self):
+        with pytest.raises(ValueError, match="does not compute a predicate"):
+            resilience_curve("quotient-3", {1: 6}, "omission-rate", [0.0],
+                             trials=1)
 
     def test_point_rate(self):
         assert ResiliencePoint(0.5, 4, 3).rate == 0.75

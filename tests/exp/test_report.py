@@ -1,0 +1,151 @@
+"""Tests for experiment aggregation and export."""
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro.exp.report import (
+    aggregate,
+    format_report,
+    report_dict,
+    scaling,
+    summary_csv,
+    trials_csv,
+)
+from repro.exp.runner import run_experiment
+from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+
+
+def record(n, trial, converged_at, *, intensity=None, correct=True):
+    return {"kind": "trial", "id": f"{n}-{intensity}-{trial}", "n": n,
+            "intensity": intensity, "trial": trial, "engine_seed": 1,
+            "fault_seed": 2, "interactions": 10 * converged_at,
+            "converged_at": converged_at, "output": 1, "correct": correct,
+            "stopped": True, "crashes": 0, "corruptions": 0, "omissions": 0}
+
+
+QUADRATIC = [record(n, t, n * n)
+             for n in (8, 16, 32) for t in range(3)]
+
+
+class TestAggregate:
+    def test_groups_by_point(self):
+        aggs = aggregate(QUADRATIC)
+        assert [(a.n, a.trials) for a in aggs] == [(8, 3), (16, 3), (32, 3)]
+        assert aggs[0].summary.mean == pytest.approx(64.0)
+        assert aggs[0].rate == 1.0
+
+    def test_input_order_is_irrelevant(self):
+        assert aggregate(QUADRATIC) == aggregate(QUADRATIC[::-1])
+
+    def test_metric_selection(self):
+        aggs = aggregate(QUADRATIC, metric="interactions")
+        assert aggs[0].summary.mean == pytest.approx(640.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(QUADRATIC, metric="vibes")
+
+    def test_non_predicate_records_have_no_rate(self):
+        aggs = aggregate([record(8, 0, 49, correct=None)])
+        assert aggs[0].correct is None
+        assert aggs[0].rate is None
+
+    def test_intensity_axis_separates_points(self):
+        records = [record(8, t, 60 + t, intensity=x)
+                   for x in (0.0, 0.5) for t in range(2)]
+        aggs = aggregate(records)
+        assert [(a.n, a.intensity) for a in aggs] == [(8, 0.0), (8, 0.5)]
+
+
+class TestScaling:
+    def test_exponent_fit(self):
+        measurement = scaling(aggregate(QUADRATIC))
+        assert measurement.ns == [8, 16, 32]
+        assert measurement.exponent() == pytest.approx(2.0, abs=0.01)
+
+    def test_selects_intensity(self):
+        records = ([record(n, 0, n * n, intensity=0.0) for n in (8, 16)]
+                   + [record(n, 0, n * n * n, intensity=0.5)
+                      for n in (8, 16)])
+        flat = scaling(aggregate(records), intensity=0.0)
+        cubic = scaling(aggregate(records), intensity=0.5)
+        assert flat.exponent() == pytest.approx(2.0, abs=0.01)
+        assert cubic.exponent() == pytest.approx(3.0, abs=0.01)
+
+    def test_missing_intensity_rejected(self):
+        with pytest.raises(ValueError, match="no points at intensity"):
+            scaling(aggregate(QUADRATIC), intensity=0.7)
+
+
+class TestFormatReport:
+    def test_table_contains_points_and_fit(self):
+        text = format_report(aggregate(QUADRATIC))
+        assert "mean converged_at" in text
+        assert "fitted exponent" in text
+        assert " 32 " in text or text.splitlines()[-2].lstrip().startswith("32")
+
+    def test_fault_axis_column_appears(self):
+        records = [record(8, t, 60, intensity=x)
+                   for x in (0.0, 0.5) for t in range(2)]
+        text = format_report(aggregate(records))
+        assert "intensity" in text
+
+
+class TestCsvExports:
+    def test_trials_csv_is_order_independent(self):
+        assert trials_csv(QUADRATIC) == trials_csv(QUADRATIC[::-1])
+
+    def test_trials_csv_shape(self):
+        rows = list(csv.reader(io.StringIO(trials_csv(QUADRATIC))))
+        assert rows[0][0] == "n" and "converged_at" in rows[0]
+        assert len(rows) == 1 + len(QUADRATIC)
+
+    def test_summary_csv_shape(self):
+        rows = list(csv.reader(io.StringIO(summary_csv(
+            aggregate(QUADRATIC)))))
+        assert rows[0][:3] == ["n", "intensity", "trials"]
+        assert len(rows) == 4
+        assert float(rows[1][3]) == pytest.approx(64.0)
+
+
+class TestReportDict:
+    def test_shape(self):
+        data = report_dict(aggregate(QUADRATIC))
+        assert data["metric"] == "converged_at"
+        assert [p["n"] for p in data["points"]] == [8, 16, 32]
+        assert data["fitted_exponents"]["fault-free"] == \
+            pytest.approx(2.0, abs=0.01)
+
+    def test_json_serializable_end_to_end(self):
+        import json
+
+        spec = ExperimentSpec(protocol="epidemic", ns=(6, 8), trials=2,
+                              inputs=InputGrid(kind="ones", ones=1),
+                              faults=FaultAxis("omission-rate", (0.0, 0.3)),
+                              stop=StopRule(patience=400,
+                                            max_steps=20_000), seed=3)
+        result = run_experiment(spec)
+        data = report_dict(aggregate(result.records), spec=spec)
+        parsed = json.loads(json.dumps(data))
+        assert parsed["spec_hash"] == spec.content_hash()
+        assert len(parsed["points"]) == 4
+
+
+class TestEmptyGroups:
+    def test_aggregate_of_nothing_is_empty(self):
+        assert aggregate([]) == []
+
+    def test_nan_summaries_do_not_crash_the_report(self):
+        # TrialSummary of an empty batch is all-nan; the formatter and
+        # exporters must pass it through rather than raising.
+        from repro.exp.report import PointAggregate
+        from repro.sim.stats import TrialSummary
+
+        empty = PointAggregate(n=8, intensity=None,
+                               summary=TrialSummary([]), correct=None)
+        assert math.isnan(empty.summary.mean)
+        assert "nan" in format_report([empty])
+        assert "nan" in summary_csv([empty])

@@ -1,0 +1,198 @@
+"""Tests for the experiment runner's two core invariants.
+
+1. **Parallel-vs-serial determinism** — the same spec produces identical
+   result records whether it runs on one worker or four, because every
+   trial's seeds derive from ``(spec hash, point, trial)`` alone.
+2. **Resume-after-interrupt** — truncating the store mid-sweep and
+   re-running executes only the missing trials and reconstructs the
+   exact same record set.
+"""
+
+import os
+
+import pytest
+
+from repro.exp.report import trials_csv
+from repro.exp.runner import (
+    SweepPoint,
+    plan_size,
+    run_experiment,
+    run_trial,
+    sweep_points,
+    trial_id,
+    trial_seeds,
+)
+from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+from repro.exp.store import ResultStore
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    base = dict(protocol="epidemic", ns=(6, 8), trials=3,
+                inputs=InputGrid(kind="ones", ones=1),
+                stop=StopRule(patience=500, max_steps=20_000), seed=7)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSeedDerivation:
+    def test_pure_function_of_identity(self):
+        point = SweepPoint(8, 0.3)
+        assert trial_seeds("abc", point, 2) == trial_seeds("abc", point, 2)
+
+    def test_distinct_across_trials_points_and_streams(self):
+        seeds = set()
+        for point in (SweepPoint(8), SweepPoint(16), SweepPoint(8, 0.1)):
+            for trial in range(5):
+                engine, fault = trial_seeds("abc", point, trial)
+                seeds.update((engine, fault))
+        assert len(seeds) == 30  # no collisions anywhere
+
+    def test_spec_hash_feeds_the_seeds(self):
+        point = SweepPoint(8)
+        assert trial_seeds("abc", point, 0) != trial_seeds("abd", point, 0)
+
+    def test_trial_id_stable(self):
+        assert trial_id("abc", SweepPoint(8), 1) == \
+            trial_id("abc", SweepPoint(8), 1)
+        assert trial_id("abc", SweepPoint(8), 1) != \
+            trial_id("abc", SweepPoint(8), 2)
+
+
+class TestSweepPoints:
+    def test_without_fault_axis(self):
+        assert sweep_points(make_spec()) == [SweepPoint(6), SweepPoint(8)]
+
+    def test_with_fault_axis(self):
+        spec = make_spec(faults=FaultAxis("omission-rate", (0.0, 0.5)))
+        points = sweep_points(spec)
+        assert points == [SweepPoint(6, 0.0), SweepPoint(6, 0.5),
+                          SweepPoint(8, 0.0), SweepPoint(8, 0.5)]
+        assert plan_size(spec) == 4 * spec.trials
+
+
+class TestRunTrial:
+    def test_reproducible(self):
+        spec = make_spec()
+        first = run_trial(spec, SweepPoint(6), 0)
+        again = run_trial(spec, SweepPoint(6), 0)
+        assert first == again
+
+    def test_record_shape(self):
+        record = run_trial(make_spec(), SweepPoint(6), 1)
+        assert record["kind"] == "trial"
+        assert record["n"] == 6 and record["trial"] == 1
+        assert record["correct"] is True  # epidemic with one 1 is true
+        assert record["output"] == 1
+        assert record["converged_at"] <= record["interactions"]
+
+    def test_faulty_trial_counts_faults(self):
+        spec = make_spec(ns=(10,),
+                         faults=FaultAxis("crash-at", (2.0,), at_step=5))
+        record = run_trial(spec, SweepPoint(10, 2.0), 0)
+        assert record["crashes"] == 2
+
+    def test_correct_stable_needs_a_predicate(self):
+        spec = make_spec(protocol="leader-election",
+                         inputs=InputGrid(kind="all-ones"),
+                         stop=StopRule(rule="correct-stable",
+                                       max_steps=10_000))
+        with pytest.raises(ValueError, match="correct-stable"):
+            run_trial(spec, SweepPoint(6), 0)
+
+    def test_silent_rule_measures_election_hitting_time(self):
+        spec = make_spec(protocol="leader-election",
+                         inputs=InputGrid(kind="all-ones"),
+                         stop=StopRule(rule="silent", max_steps=100_000))
+        record = run_trial(spec, SweepPoint(6), 0)
+        assert record["stopped"]
+        assert record["correct"] is None  # no ground-truth predicate
+        assert 0 < record["converged_at"] <= record["interactions"]
+
+
+class TestParallelSerialDeterminism:
+    def test_worker_count_is_invisible(self):
+        """Acceptance: workers=4 is byte-identical to workers=1."""
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=4)
+        assert serial.records == parallel.records
+        assert trials_csv(serial.records) == trials_csv(parallel.records)
+
+    def test_worker_count_is_invisible_with_fault_axis(self):
+        spec = make_spec(trials=2,
+                         faults=FaultAxis("omission-rate", (0.0, 0.4)))
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=3)
+        assert serial.records == parallel.records
+
+    def test_store_contents_identical_across_worker_counts(self, tmp_path):
+        spec = make_spec()
+        store1 = ResultStore(tmp_path / "serial.jsonl")
+        store4 = ResultStore(tmp_path / "parallel.jsonl")
+        run_experiment(spec, store=store1, workers=1)
+        run_experiment(spec, store=store4, workers=4)
+        key = lambda r: (r["n"], r["trial"])
+        assert sorted(store1.records(), key=key) == \
+            sorted(store4.records(), key=key)
+
+
+class TestResume:
+    def test_completed_spec_executes_zero_new_trials(self, tmp_path):
+        """Acceptance: re-running a completed spec is a no-op."""
+        spec = make_spec()
+        path = tmp_path / "r.jsonl"
+        first = run_experiment(spec, store=ResultStore(path), workers=2)
+        assert first.executed == plan_size(spec)
+
+        executed_again = []
+        second = run_experiment(spec, store=ResultStore(path), workers=2,
+                                progress=executed_again.append)
+        assert second.executed == 0
+        assert executed_again == []
+        assert second.skipped == plan_size(spec)
+        assert second.records == first.records
+
+    def test_truncated_store_reruns_only_missing_trials(self, tmp_path):
+        """Acceptance: interrupt mid-sweep, resume, only the gap runs."""
+        spec = make_spec()
+        path = tmp_path / "r.jsonl"
+        complete = run_experiment(spec, store=ResultStore(path), workers=1)
+
+        # Simulate an interrupt: cut the file mid-record, losing the last
+        # record entirely and tearing the one before it.
+        lines = path.read_bytes().splitlines(keepends=True)
+        torn = b"".join(lines[:-2]) + lines[-2][:20]
+        path.write_bytes(torn)
+
+        store = ResultStore(path)
+        survivors = len(store)
+        assert survivors == plan_size(spec) - 2
+
+        resumed = run_experiment(spec, store=store, workers=2)
+        assert resumed.executed == 2
+        assert resumed.skipped == survivors
+        assert resumed.records == complete.records
+        assert trials_csv(resumed.records) == trials_csv(complete.records)
+
+    def test_resume_works_without_a_store(self):
+        # store=None simply runs everything, every time.
+        spec = make_spec(ns=(6,), trials=2)
+        first = run_experiment(spec)
+        second = run_experiment(spec)
+        assert first.records == second.records
+        assert second.executed == 2 and second.skipped == 0
+
+
+class TestValidationAndErrors:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(make_spec(trials=0))
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(make_spec(), workers=0)
+
+    def test_unknown_protocol_surfaces(self):
+        with pytest.raises(KeyError):
+            run_experiment(make_spec(protocol="warp-drive", ns=(6,),
+                                     trials=1))

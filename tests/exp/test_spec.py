@@ -1,0 +1,131 @@
+"""Tests for the declarative experiment spec."""
+
+import pytest
+
+from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+from repro.sim.faults import FaultPlan
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    base = dict(protocol="epidemic", ns=(6, 8), trials=2,
+                inputs=InputGrid(kind="ones", ones=1),
+                stop=StopRule(patience=500, max_steps=20_000), seed=7)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = make_spec(params={"k": 3},
+                         faults=FaultAxis("omission-rate", (0.0, 0.3)))
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.content_hash() == spec.content_hash()
+
+    def test_explicit_table_round_trip_coerces_symbols(self):
+        spec = make_spec(ns=(5,),
+                         inputs=InputGrid.explicit({5: {1: 2, 0: 3}}))
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        # JSON stringifies the 0/1 symbols; from_dict restores ints.
+        assert again.inputs.counts_for(5) == {1: 2, 0: 3}
+        assert again.content_hash() == spec.content_hash()
+
+    def test_json_round_trip(self):
+        import json
+
+        spec = make_spec()
+        again = ExperimentSpec.from_dict(json.loads(spec.canonical_json()))
+        assert again == spec
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert make_spec().content_hash() == make_spec().content_hash()
+
+    def test_every_field_feeds_the_hash(self):
+        base = make_spec()
+        variants = [
+            make_spec(protocol="majority"),
+            make_spec(ns=(6, 8, 10)),
+            make_spec(trials=3),
+            make_spec(params={"k": 9}),
+            make_spec(inputs=InputGrid(kind="ones", ones=2)),
+            make_spec(faults=FaultAxis("crash-rate", (0.1,))),
+            make_spec(stop=StopRule(patience=501, max_steps=20_000)),
+            make_spec(seed=8),
+        ]
+        hashes = {spec.content_hash() for spec in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_short_hash_prefixes_full(self):
+        spec = make_spec()
+        assert spec.content_hash().startswith(spec.short_hash)
+        assert len(spec.short_hash) == 12
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        make_spec().validate()
+
+    @pytest.mark.parametrize("overrides", [
+        {"protocol": ""},
+        {"ns": ()},
+        {"ns": (1, 8)},
+        {"ns": (8, 8)},
+        {"trials": 0},
+        {"scheduler": "warp"},
+        {"inputs": InputGrid(kind="nope")},
+        {"inputs": InputGrid(kind="ones", ones=None)},
+        {"inputs": InputGrid(kind="ones", ones=9)},  # ones > min(ns)=6
+        {"inputs": InputGrid(kind="fraction", fraction=1.5)},
+        {"inputs": InputGrid(kind="explicit", table=None)},
+        {"inputs": InputGrid.explicit({6: {1: 1}})},  # missing n=8
+        {"faults": FaultAxis("omission-rate", ())},
+        {"faults": FaultAxis("warp-rate", (0.1,))},
+        {"faults": FaultAxis("crash-rate", (1.5,))},
+        {"faults": FaultAxis("crash-at", (1.5,))},
+        {"stop": StopRule(rule="sometime")},
+        {"stop": StopRule(patience=0)},
+        {"stop": StopRule(max_steps=0)},
+    ])
+    def test_bad_specs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            make_spec(**overrides).validate()
+
+
+class TestInputGrid:
+    def test_all_ones(self):
+        assert InputGrid(kind="all-ones").counts_for(7) == {1: 7}
+
+    def test_fixed_ones(self):
+        assert InputGrid(kind="ones", ones=2).counts_for(10) == {1: 2, 0: 8}
+
+    def test_fraction_floors(self):
+        grid = InputGrid(kind="fraction", fraction=0.05)
+        assert grid.counts_for(20) == {1: 1, 0: 19}
+        assert grid.counts_for(39) == {1: 1, 0: 38}
+        assert grid.counts_for(40) == {1: 2, 0: 38}
+
+    def test_explicit(self):
+        grid = InputGrid.explicit({6: {"a": 2, "b": 4}})
+        assert grid.counts_for(6) == {"a": 2, "b": 4}
+
+
+class TestFaultAxis:
+    def test_zero_intensity_is_fault_free(self):
+        axis = FaultAxis("omission-rate", (0.0, 0.5))
+        assert axis.build_plan(0.0, seed=1) is None
+
+    @pytest.mark.parametrize("kind", ["crash-rate", "corruption-rate",
+                                      "omission-rate"])
+    def test_rate_kinds_build_plans(self, kind):
+        plan = FaultAxis(kind, (0.2,)).build_plan(0.2, seed=1)
+        assert isinstance(plan, FaultPlan)
+        assert len(plan.models) == 1
+
+    def test_crash_at_uses_count_and_step(self):
+        plan = FaultAxis("crash-at", (3.0,), at_step=40).build_plan(3.0, 1)
+        model = plan.models[0]
+        assert model.step == 40
+        assert model.count == 3

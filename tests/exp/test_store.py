@@ -1,0 +1,108 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.exp.spec import ExperimentSpec, InputGrid, StopRule
+from repro.exp.store import ResultStore, StoreMismatch
+
+
+def make_spec(seed=7) -> ExperimentSpec:
+    return ExperimentSpec(protocol="epidemic", ns=(6,), trials=2,
+                          inputs=InputGrid(kind="ones", ones=1),
+                          stop=StopRule(patience=500, max_steps=20_000),
+                          seed=seed)
+
+
+def trial(i: int) -> dict:
+    return {"kind": "trial", "id": f"{i:016x}", "n": 6, "intensity": None,
+            "trial": i, "interactions": 100 + i, "converged_at": 10 + i}
+
+
+class TestBasics:
+    def test_fresh_store_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert len(store) == 0
+        assert store.spec() is None
+        assert store.completed_ids() == set()
+
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.bind_spec(make_spec())
+        store.append(trial(0))
+        store.append(trial(1))
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.completed_ids() == {trial(0)["id"], trial(1)["id"]}
+        assert reloaded.records()[0]["interactions"] == 100
+        assert reloaded.spec() == make_spec()
+        assert reloaded.spec_hash() == make_spec().content_hash()
+
+    def test_append_is_idempotent_by_id(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.bind_spec(make_spec())
+        store.append(trial(0))
+        store.append(trial(0))
+        assert len(store) == 1
+        assert len(ResultStore(store.path)) == 1
+
+    def test_malformed_records_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with pytest.raises(ValueError):
+            store.append({"kind": "trial"})  # no id
+        with pytest.raises(ValueError):
+            store.append({"id": "x"})  # no kind
+
+
+class TestSpecBinding:
+    def test_rebinding_same_spec_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.bind_spec(make_spec())
+        store.bind_spec(make_spec())
+        assert ResultStore(store.path).spec() == make_spec()
+
+    def test_mismatched_spec_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.bind_spec(make_spec(seed=7))
+        with pytest.raises(StoreMismatch):
+            store.bind_spec(make_spec(seed=8))
+        with pytest.raises(StoreMismatch):
+            ResultStore(store.path).bind_spec(make_spec(seed=8))
+
+
+class TestTornTailRepair:
+    def test_partial_last_line_is_dropped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.bind_spec(make_spec())
+        store.append(trial(0))
+        store.append(trial(1))
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 10)  # cut into the final record
+
+        repaired = ResultStore(path)
+        assert len(repaired) == 1
+        assert trial(0)["id"] in repaired
+        assert trial(1)["id"] not in repaired
+        # The torn bytes are gone; appending produces a clean file again.
+        repaired.append(trial(1))
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert len(lines) == 3  # header + two trials
+
+    def test_missing_trailing_newline_is_dropped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.bind_spec(make_spec())
+        store.append(trial(0))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(trial(1)))  # no newline: torn write
+
+        repaired = ResultStore(path)
+        assert len(repaired) == 1
+        repaired.append(trial(1))
+        assert len(ResultStore(path)) == 2

@@ -32,6 +32,16 @@ class TestTrialSummary:
         assert s.stdev == 0.0
         assert s.stderr == 0.0
 
+    def test_empty_summary_is_all_nan(self):
+        # An empty batch (e.g. every trial of a sweep point filtered out)
+        # must propagate as nan through aggregation, not crash.
+        s = TrialSummary([])
+        assert s.count == 0
+        for stat in (s.mean, s.median, s.stdev, s.stderr,
+                     s.minimum, s.maximum):
+            assert math.isnan(stat)
+        assert math.isnan(s.quantile(0.5))
+
 
 class TestRunTrials:
     def test_deterministic_by_seed(self):

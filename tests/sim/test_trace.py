@@ -82,3 +82,30 @@ class TestTrace:
         assert lines[0].startswith("interactions")
         assert len(lines) == 4
         assert lines[3].split(",")[0] == "200"
+
+    def test_to_csv_headers_are_plain_str(self):
+        # String keys must export as bare column names, not repr()s.
+        trace = Trace([TracePoint(0, {"infected": 1, "susceptible": 9})])
+        header = trace.to_csv().splitlines()[0]
+        assert header == "interactions,infected,susceptible"
+        assert "'" not in header
+
+    def test_to_csv_rejects_str_collisions(self):
+        trace = Trace([TracePoint(0, {1: 2, "1": 3})])
+        with pytest.raises(ValueError, match="collide"):
+            trace.to_csv()
+
+    def test_csv_round_trip(self):
+        trace = Trace([
+            TracePoint(0, {"a": 5, "b": 1}),
+            TracePoint(100, {"a": 3, "b": 3}),
+            TracePoint(200, {"b": 6}),
+        ])
+        again = Trace.from_csv(trace.to_csv())
+        assert again.to_csv() == trace.to_csv()
+        assert [p.interactions for p in again.points] == [0, 100, 200]
+        assert again.points[2].counts == {"a": 0, "b": 6}
+
+    def test_from_csv_rejects_garbage(self):
+        with pytest.raises(ValueError, match="interactions"):
+            Trace.from_csv("n,mean\n4,16\n")

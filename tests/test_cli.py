@@ -156,6 +156,148 @@ class TestRobustnessCommand:
         assert "does not compute a predicate" in captured.err
 
 
+class TestJsonOutput:
+    def test_run_json_payload(self, capsys):
+        import json
+
+        code = main(["run", "count-to-k", "--counts", "1=6,0=14",
+                     "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["protocol"] == "count-to-k"
+        assert payload["n"] == 20
+        assert payload["output"] == 1
+        assert payload["truth"] == 1
+        assert payload["correct"] is True
+        assert payload["input"] == {"0": 14, "1": 6}
+
+    def test_robustness_json_rows(self, capsys):
+        import json
+
+        code = main(["robustness", "--protocol", "epidemic",
+                     "--trials", "2", "--seed", "1",
+                     "--patience", "2000", "--max-steps", "50000",
+                     "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert rows[0]["protocol"] == "epidemic"
+        assert rows[0]["scenario"] == "no faults"
+        assert rows[0]["rate"] == 1.0
+
+
+EXP_FLAGS = ["--protocol", "epidemic", "--ns", "6,8", "--trials", "2",
+             "--input", "ones:1", "--patience", "500",
+             "--max-steps", "20000", "--seed", "3"]
+
+
+class TestExpRunCommand:
+    def test_inline_sweep_prints_report(self, capsys):
+        code = main(["exp", "run"] + EXP_FLAGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan     : 4 trials (4 executed, 0 resumed)" in out
+        assert "mean converged_at" in out
+        assert "fitted exponent" in out
+
+    def test_store_enables_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(["exp", "run", "--store", store] + EXP_FLAGS) == 0
+        first = capsys.readouterr().out
+        assert "(4 executed, 0 resumed)" in first
+
+        assert main(["exp", "run", "--store", store] + EXP_FLAGS) == 0
+        second = capsys.readouterr().out
+        assert "(0 executed, 4 resumed)" in second
+
+    def test_spec_file(self, tmp_path, capsys):
+        from repro.exp.spec import ExperimentSpec, InputGrid, StopRule
+
+        spec = ExperimentSpec(protocol="epidemic", ns=(6,), trials=2,
+                              inputs=InputGrid(kind="ones", ones=1),
+                              stop=StopRule(patience=500,
+                                            max_steps=20_000), seed=3)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.canonical_json(), encoding="utf-8")
+        code = main(["exp", "run", "--spec", str(path)])
+        assert code == 0
+        assert "2 trials" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(["exp", "run", "--json"] + EXP_FLAGS)
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["executed"] == 4
+        assert [p["n"] for p in payload["points"]] == [6, 8]
+
+    def test_workers_flag_matches_serial_output(self, capsys):
+        assert main(["exp", "run", "--json"] + EXP_FLAGS) == 0
+        serial = capsys.readouterr().out
+        assert main(["exp", "run", "--json", "--workers", "2"]
+                    + EXP_FLAGS) == 0
+        parallel = capsys.readouterr().out
+        # --json omits executed/skipped differences only when equal; here
+        # both run everything, so the whole payload must match bytewise.
+        assert serial == parallel
+
+    def test_missing_protocol_is_clean_error(self, capsys):
+        code = main(["exp", "run", "--ns", "6"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--protocol" in captured.err
+
+    def test_unknown_protocol_is_clean_error(self, capsys):
+        code = main(["exp", "run", "--protocol", "warp-drive",
+                     "--ns", "6", "--trials", "1"])
+        assert code == 1
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_fault_needs_intensities(self, capsys):
+        code = main(["exp", "run", "--fault", "omission-rate"] + EXP_FLAGS)
+        assert code == 1
+        assert "--intensities" in capsys.readouterr().err
+
+
+class TestExpReportCommand:
+    def run_sweep(self, tmp_path) -> str:
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(["exp", "run", "--store", store] + EXP_FLAGS) == 0
+        return store
+
+    def test_reads_store(self, tmp_path, capsys):
+        store = self.run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["exp", "report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "mean converged_at" in out
+
+    def test_csv_exports(self, tmp_path, capsys):
+        store = self.run_sweep(tmp_path)
+        trials = tmp_path / "trials.csv"
+        summary = tmp_path / "summary.csv"
+        code = main(["exp", "report", "--store", store,
+                     "--csv", str(trials), "--summary-csv", str(summary)])
+        assert code == 0
+        assert trials.read_text().startswith("n,")
+        assert len(summary.read_text().strip().splitlines()) == 3
+
+    def test_json(self, tmp_path, capsys):
+        import json
+
+        store = self.run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["exp", "report", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["points"]) == 2
+
+    def test_headerless_store_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["exp", "report", "--store", str(path)]) == 1
+        assert "header" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -164,3 +306,7 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_exp_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp"])

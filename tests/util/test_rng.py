@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.util.rng import resolve_rng, spawn_seeds
+from repro.util.rng import derive_seed, resolve_rng, spawn_seeds
 
 
 class TestResolveRng:
@@ -39,3 +39,26 @@ class TestSpawnSeeds:
     def test_distinct(self):
         seeds = spawn_seeds(1, 100)
         assert len(set(seeds)) == 100
+
+
+class TestDeriveSeed:
+    def test_pure_function_of_labels(self):
+        assert derive_seed("abc", 8, 0) == derive_seed("abc", 8, 0)
+
+    def test_order_and_boundaries_matter(self):
+        # "ab","c" vs "a","bc" must not collide: parts are delimited.
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+        assert derive_seed(1, 2) != derive_seed(2, 1)
+
+    def test_distinct_across_label_space(self):
+        seeds = {derive_seed("spec", n, t)
+                 for n in range(10) for t in range(10)}
+        assert len(seeds) == 100
+
+    def test_fits_in_a_nonnegative_int64(self):
+        for part in ("x", 0, 3.5):
+            assert 0 <= derive_seed(part) < 2 ** 63
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            derive_seed()

@@ -23,7 +23,6 @@ from repro.protocols.counting import CountToK, Epidemic
 from repro.protocols.one_way import OneWayCountToK
 from repro.sim.convergence import run_until_correct_stable
 from repro.sim.engine import Simulation, simulate_counts
-from repro.sim.faults import CrashySimulation
 from repro.sim.schedulers import WeightedPairScheduler
 from repro.sim.stats import run_trials
 from repro.util.rng import spawn_seeds
@@ -119,12 +118,15 @@ def test_fault_tolerance_contrast(benchmark, base_seed):
     point of failure (the paper's closing discussion)."""
     trials = 30
 
+    def alive(sim):
+        return [a for a in range(len(sim.states)) if a not in sim.crashed]
+
     def sweep():
         epidemic_ok = 0
         for s in spawn_seeds(base_seed, trials):
-            sim = CrashySimulation(Epidemic(), [1] + [0] * 19, seed=s)
+            sim = Simulation(Epidemic(), [1] + [0] * 19, seed=s)
             sim.run(5)
-            victims = [a for a in sim.alive if sim.states[a] == 0][:5]
+            victims = [a for a in alive(sim) if sim.states[a] == 0][:5]
             for victim in victims:
                 sim.crash(victim)
             sim.run(20_000)
@@ -133,15 +135,15 @@ def test_fault_tolerance_contrast(benchmark, base_seed):
 
         holder_killed_breaks = 0
         for s in spawn_seeds(base_seed + 1, trials):
-            sim = CrashySimulation(CountToK(5), [1] * 4 + [0] * 8, seed=s)
+            sim = Simulation(CountToK(5), [1] * 4 + [0] * 8, seed=s)
             for _ in range(100_000):
                 sim.step()
-                holders = [a for a in sim.alive if sim.states[a] == 4]
+                holders = [a for a in alive(sim) if sim.states[a] == 4]
                 if holders:
                     sim.crash(holders[0])
                     break
             sim.run(20_000)
-            if all(sim.states[a] == 0 for a in sim.alive):
+            if all(sim.states[a] == 0 for a in alive(sim)):
                 holder_killed_breaks += 1
         return epidemic_ok / trials, holder_killed_breaks / trials
 

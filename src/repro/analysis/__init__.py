@@ -1,6 +1,7 @@
 """Exact analysis: reachability, SCCs, stable-computation verification,
-Markov chains over configurations (Theorems 6 and 11), and empirical
-resilience measurement under injected faults (Sect. 8)."""
+Markov chains over configurations (Theorems 6 and 11), empirical
+resilience measurement under injected faults (Sect. 8), and counterexample
+shrinking for chaos-harness monitor violations."""
 
 from repro.analysis.reachability import (
     ConfigurationGraph,
@@ -43,6 +44,18 @@ from repro.analysis.robustness import (
     run_robustness,
     scenarios_for,
 )
+from repro.analysis.shrink import (
+    CaseOutcome,
+    ChaosCase,
+    ReplayResult,
+    ShrinkResult,
+    artifact_dict,
+    case_from_record,
+    replay_artifact,
+    run_case,
+    shrink_case,
+    shrink_violation,
+)
 
 __all__ = [
     "ConfigurationGraph",
@@ -77,4 +90,14 @@ __all__ = [
     "resilience_curve",
     "run_robustness",
     "scenarios_for",
+    "CaseOutcome",
+    "ChaosCase",
+    "ReplayResult",
+    "ShrinkResult",
+    "artifact_dict",
+    "case_from_record",
+    "replay_artifact",
+    "run_case",
+    "shrink_case",
+    "shrink_violation",
 ]

@@ -15,7 +15,10 @@ Four commands expose the main pipeline:
 * ``exp run`` / ``exp report`` — the experiment orchestration subsystem:
   declarative sweeps (many sizes x intensities x trials) executed across
   a worker pool into a resumable JSONL store, then aggregated into
-  scaling tables with log-log exponent fits.
+  scaling tables with log-log exponent fits;
+* ``chaos run`` / ``chaos replay`` — monitor-instrumented campaigns over
+  scheduler x fault-intensity grids; violations are shrunk to minimal
+  JSON reproductions (``--shrink``) that replay bit-identically.
 
 ``repro run`` and ``repro robustness`` accept ``--json`` for
 machine-readable output.
@@ -30,6 +33,10 @@ Examples::
     python -m repro exp run --protocol leader-election --ns 8,16,32 \\
         --trials 20 --stop silent --store election.jsonl --workers 4
     python -m repro exp report --store election.jsonl
+    python -m repro chaos run --protocol majority --ns 10 --input ones:6 \\
+        --fault corruption-rate --intensities 0.005 --trials 4 \\
+        --shrink repro.json --fail-on-violation
+    python -m repro chaos replay repro.json
 """
 
 from __future__ import annotations
@@ -293,6 +300,9 @@ def _spec_from_args(args: argparse.Namespace):
         params=dict(args.params or {}),
         inputs=inputs,
         faults=faults,
+        schedulers=tuple(getattr(args, "schedulers", None) or ()),
+        monitors=tuple(getattr(args, "monitors", None) or ()),
+        confirm=getattr(args, "confirm", 0),
         stop=StopRule(rule=args.stop, patience=args.patience,
                       max_steps=args.max_steps,
                       check_every=args.check_every),
@@ -373,6 +383,130 @@ def cmd_exp_report(args: argparse.Namespace) -> int:
 
 def _parse_params(text: str) -> dict[str, int]:
     return _parse_counts(text)
+
+
+def _parse_str_list(text: str) -> list[str]:
+    items = [piece.strip() for piece in text.split(",") if piece.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return items
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.shrink import (
+        case_from_record,
+        dump_artifact,
+        shrink_case,
+    )
+    from repro.exp.report import aggregate, format_report, report_dict
+    from repro.exp.runner import plan_size, run_experiment
+    from repro.exp.store import ResultStore
+
+    try:
+        spec = _spec_from_args(args)
+        spec.validate()
+        if not spec.monitors:
+            raise ValueError("chaos run needs at least one --monitors entry")
+        store = ResultStore(args.store) if args.store else None
+        result = run_experiment(spec, store=store, workers=args.workers)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    violated = [r for r in result.records
+                if r.get("violation") is not None]
+    shrink_payload = None
+    if args.shrink and violated:
+        # Shrink the canonically-first violation (records are sorted, so
+        # the pick is deterministic for a given spec).
+        record = violated[0]
+        try:
+            shrunk = shrink_case(case_from_record(record),
+                                 monitor=record["violation"]["monitor"],
+                                 max_evals=args.max_shrink_evals)
+        except ValueError as exc:
+            print(f"error: shrink failed: {exc}", file=sys.stderr)
+            return 1
+        dump_artifact(args.shrink, shrunk)
+        shrink_payload = {
+            "artifact": args.shrink,
+            "original_n": shrunk.original.n,
+            "shrunk_n": shrunk.case.n,
+            "violation": shrunk.violation,
+            "evals": shrunk.evals,
+        }
+    aggregates = aggregate(result.records, metric=args.metric)
+    exit_code = 1 if (violated and args.fail_on_violation) else 0
+    if args.json:
+        payload = report_dict(aggregates, spec=spec, metric=args.metric)
+        payload["executed"] = result.executed
+        payload["skipped"] = result.skipped
+        payload["violations"] = [
+            {"id": r["id"], "n": r["n"], "intensity": r["intensity"],
+             "scheduler": r.get("scheduler"), "trial": r["trial"],
+             "monitor": r["violation"]["monitor"],
+             "step": r["violation"]["step"]} for r in violated]
+        if shrink_payload is not None:
+            payload["shrink"] = shrink_payload
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code
+    print(f"plan     : {plan_size(spec)} trials "
+          f"({result.executed} executed, {result.skipped} resumed)")
+    if args.store:
+        print(f"store    : {args.store}")
+    print(f"violations: {len(violated)} / {len(result.records)} trials")
+    for record in violated[:10]:
+        violation = record["violation"]
+        label = f"n={record['n']}"
+        if record.get("intensity") is not None:
+            label += f" intensity={record['intensity']:g}"
+        if record.get("scheduler"):
+            label += f" scheduler={record['scheduler']}"
+        print(f"  [{violation['monitor']}] at step {violation['step']}  "
+              f"({label}, trial {record['trial']})")
+    if len(violated) > 10:
+        print(f"  ... and {len(violated) - 10} more")
+    if shrink_payload is not None:
+        print(f"shrunk   : n {shrink_payload['original_n']} -> "
+              f"{shrink_payload['shrunk_n']}, violation "
+              f"[{shrink_payload['violation']['monitor']}] at step "
+              f"{shrink_payload['violation']['step']} "
+              f"({shrink_payload['evals']} replays) -> {args.shrink}")
+    print(format_report(aggregates, spec=spec, metric=args.metric))
+    return exit_code
+
+
+def cmd_chaos_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.shrink import load_artifact, replay_artifact
+
+    try:
+        artifact = load_artifact(args.artifact)
+        outcome = replay_artifact(artifact)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "reproduced": outcome.reproduced,
+            "expected": outcome.expected,
+            "actual": outcome.actual,
+            "error": outcome.error,
+        }, indent=2, sort_keys=True))
+        return 0 if outcome.reproduced else 1
+    expected = outcome.expected
+    print(f"artifact : {args.artifact}")
+    print(f"expected : [{expected['monitor']}] at step {expected['step']}")
+    if outcome.actual is None:
+        detail = outcome.error or "no violation tripped"
+        print(f"actual   : {detail}")
+    else:
+        print(f"actual   : [{outcome.actual['monitor']}] at step "
+              f"{outcome.actual['step']}")
+    print(f"verdict  : {'REPRODUCED' if outcome.reproduced else 'DIVERGED'}")
+    return 0 if outcome.reproduced else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -498,6 +632,81 @@ def build_parser() -> argparse.ArgumentParser:
     exp_report.add_argument("--json", action="store_true",
                             help="emit the aggregated report as JSON")
     exp_report.set_defaults(func=cmd_exp_report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="monitor-instrumented campaigns with adversarial schedulers, "
+             "violation shrinking, and bit-identical replay")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="execute a monitored campaign (scheduler x fault grid)")
+    chaos_run.add_argument("--spec", default=None,
+                           help="JSON spec file (overrides the inline flags)")
+    chaos_run.add_argument("--protocol", default=None,
+                           help="registry protocol name (inline spec)")
+    chaos_run.add_argument("--ns", type=_parse_int_list, default=None,
+                           help="population sizes, e.g. '8,16,32'")
+    chaos_run.add_argument("--trials", type=int, default=10,
+                           help="trials per sweep point (default 10)")
+    chaos_run.add_argument("--params", type=_parse_params, default=None,
+                           help="protocol parameters, e.g. 'k=4'")
+    chaos_run.add_argument("--input", default=None,
+                           help="input generator: all-ones, ones:K, or "
+                                "fraction:F (default all-ones)")
+    chaos_run.add_argument("--fault", default=None,
+                           help="fault axis kind: crash-rate, "
+                                "corruption-rate, omission-rate, crash-at")
+    chaos_run.add_argument("--intensities", type=_parse_float_list,
+                           default=None,
+                           help="fault intensities, e.g. '0,0.005,0.02'")
+    chaos_run.add_argument("--at-step", type=int, default=0,
+                           help="step for the crash-at fault kind")
+    chaos_run.add_argument("--schedulers", type=_parse_str_list,
+                           default=None,
+                           help="scheduler axis, e.g. 'uniform,"
+                                "partition:heal=5000,eclipse:budget=500'")
+    chaos_run.add_argument("--monitors", type=_parse_str_list,
+                           default=["conservation", "containment",
+                                    "flicker"],
+                           help="monitor suite (default "
+                                "conservation,containment,flicker); also: "
+                                "fairness:budget=B, watchdog:steps=S")
+    chaos_run.add_argument("--confirm", type=int, default=2_000,
+                           help="extra interactions after the stop rule "
+                                "with flicker monitors armed (default 2000)")
+    chaos_run.add_argument("--stop", default="quiescent",
+                           choices=("quiescent", "silent", "correct-stable"))
+    chaos_run.add_argument("--patience", type=int, default=10_000)
+    chaos_run.add_argument("--max-steps", type=int, default=300_000)
+    chaos_run.add_argument("--check-every", type=int, default=0,
+                           help="silence-check period (0 = engine default)")
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument("--store", default=None,
+                           help="JSONL result store (enables resume)")
+    chaos_run.add_argument("--workers", type=int, default=1,
+                           help="worker processes (default 1 = in-process)")
+    chaos_run.add_argument("--metric", default="converged_at",
+                           choices=("converged_at", "interactions"))
+    chaos_run.add_argument("--shrink", default=None, metavar="OUT.json",
+                           help="shrink the first violation to a minimal "
+                                "reproduction artifact at this path")
+    chaos_run.add_argument("--max-shrink-evals", type=int, default=400,
+                           help="replay budget for the shrinker (default 400)")
+    chaos_run.add_argument("--fail-on-violation", action="store_true",
+                           help="exit non-zero when any trial violated")
+    chaos_run.add_argument("--json", action="store_true",
+                           help="emit the campaign report as JSON")
+    chaos_run.set_defaults(func=cmd_chaos_run)
+
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="re-execute a shrunk reproduction artifact")
+    chaos_replay.add_argument("artifact",
+                              help="chaos-repro JSON written by "
+                                   "'chaos run --shrink'")
+    chaos_replay.add_argument("--json", action="store_true",
+                              help="emit the replay outcome as JSON")
+    chaos_replay.set_defaults(func=cmd_chaos_replay)
 
     return parser
 

@@ -27,7 +27,8 @@ METRICS = ("converged_at", "interactions")
 #: Column order of the trial-level CSV export.
 TRIAL_COLUMNS = ("n", "intensity", "trial", "engine_seed", "fault_seed",
                  "interactions", "converged_at", "output", "correct",
-                 "stopped", "crashes", "corruptions", "omissions")
+                 "stopped", "crashes", "corruptions", "omissions",
+                 "scheduler", "violation")
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,11 @@ class PointAggregate:
     #: Number of trials whose output matched the ground truth (None when
     #: the protocol computes no predicate).
     correct: "int | None"
+    #: Scheduler spec of the point (None without a scheduler axis).
+    scheduler: "str | None" = None
+    #: Number of trials ending in a MonitorViolation (None when the
+    #: sweep ran unmonitored).
+    violations: "int | None" = None
 
     @property
     def trials(self) -> int:
@@ -60,32 +66,43 @@ def aggregate(records: Sequence[dict], *,
         raise ValueError(f"unknown metric {metric!r}; known: {METRICS}")
     grouped: dict[tuple, list[dict]] = {}
     for record in sorted(records, key=record_sort_key):
-        grouped.setdefault((record["n"], record.get("intensity")),
-                           []).append(record)
+        grouped.setdefault((record["n"], record.get("intensity"),
+                            record.get("scheduler")), []).append(record)
     aggregates = []
-    for (n, intensity), group in grouped.items():
+    for (n, intensity, scheduler), group in grouped.items():
         verdicts = [r["correct"] for r in group]
         correct = (None if any(v is None for v in verdicts)
                    else sum(1 for v in verdicts if v))
+        violations = None
+        if any("violation" in r for r in group):
+            violations = sum(1 for r in group
+                             if r.get("violation") is not None)
+        values = [float("nan") if r[metric] is None else float(r[metric])
+                  for r in group]
         aggregates.append(PointAggregate(
-            n=n, intensity=intensity,
-            summary=TrialSummary([float(r[metric]) for r in group]),
-            correct=correct))
+            n=n, intensity=intensity, summary=TrialSummary(values),
+            correct=correct, scheduler=scheduler, violations=violations))
     return aggregates
 
 
 def scaling(aggregates: Sequence[PointAggregate], *,
-            intensity: "float | None" = None) -> ScalingMeasurement:
-    """The n-sweep at one fault intensity as a ScalingMeasurement.
+            intensity: "float | None" = None,
+            scheduler: "str | None" = None) -> ScalingMeasurement:
+    """The n-sweep at one fault intensity (and scheduler) as a
+    ScalingMeasurement.
 
     ``intensity=None`` selects the fault-free axis (specs without a fault
-    axis put every point there).
+    axis put every point there); likewise ``scheduler=None`` selects the
+    axis of sweeps without a scheduler dimension.
     """
-    selected = [a for a in aggregates if a.intensity == intensity]
+    selected = [a for a in aggregates
+                if a.intensity == intensity and a.scheduler == scheduler]
     if not selected:
-        seen = sorted({a.intensity for a in aggregates}, key=repr)
+        seen = sorted({(a.intensity, a.scheduler) for a in aggregates},
+                      key=repr)
         raise ValueError(
-            f"no points at intensity {intensity!r}; store has {seen}")
+            f"no points at intensity {intensity!r} / scheduler "
+            f"{scheduler!r}; store has {seen}")
     selected.sort(key=lambda a: a.n)
     return ScalingMeasurement(
         ns=[a.n for a in selected],
@@ -94,15 +111,20 @@ def scaling(aggregates: Sequence[PointAggregate], *,
 
 
 def _fit_line(aggregates: Sequence[PointAggregate],
-              intensity: "float | None") -> "str | None":
-    selected = [a for a in aggregates if a.intensity == intensity]
+              intensity: "float | None",
+              scheduler: "str | None" = None) -> "str | None":
+    selected = [a for a in aggregates
+                if a.intensity == intensity and a.scheduler == scheduler]
     if len({a.n for a in selected}) < 2:
         return None
     if any(a.summary.mean <= 0 or math.isnan(a.summary.mean)
            for a in selected):
         return None
-    measurement = scaling(aggregates, intensity=intensity)
+    measurement = scaling(aggregates, intensity=intensity,
+                          scheduler=scheduler)
     label = "" if intensity is None else f" @ intensity {intensity:g}"
+    if scheduler is not None:
+        label += f" [{scheduler}]"
     return (f"fitted exponent{label}: {measurement.exponent():.3f}  "
             f"(log-div: {measurement.exponent(divide_log=True):.3f})")
 
@@ -116,31 +138,43 @@ def format_report(aggregates: Sequence[PointAggregate], *,
         lines.append(f"experiment {spec.short_hash}: {spec.protocol}  "
                      f"(ns={list(spec.ns)}, trials={spec.trials})")
     has_fault_axis = any(a.intensity is not None for a in aggregates)
+    has_sched_axis = any(a.scheduler is not None for a in aggregates)
+    has_monitors = any(a.violations is not None for a in aggregates)
     has_rate = any(a.rate is not None for a in aggregates)
+    sched_width = max([len("scheduler")]
+                      + [len(a.scheduler or "") for a in aggregates])
     header = f"{'n':>8}"
     if has_fault_axis:
         header += f"  {'intensity':>10}"
+    if has_sched_axis:
+        header += f"  {'scheduler':>{sched_width}}"
     header += f"  {'trials':>6}  {'mean ' + metric:>16}  {'stderr':>10}"
     if has_rate:
         header += f"  {'rate':>5}"
+    if has_monitors:
+        header += f"  {'violations':>10}"
     lines.append(header)
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity))
+                                    else a.intensity, a.scheduler or ""))
     for agg in ordered:
         row = f"{agg.n:>8}"
         if has_fault_axis:
             row += f"  {0.0 if agg.intensity is None else agg.intensity:>10.3g}"
+        if has_sched_axis:
+            row += f"  {agg.scheduler or 'uniform':>{sched_width}}"
         row += (f"  {agg.trials:>6}  {agg.summary.mean:>16.2f}"
                 f"  {agg.summary.stderr:>10.2f}")
         if has_rate:
             rate = agg.rate
             row += "  " + ("  n/a" if rate is None else f"{rate:>5.2f}")
+        if has_monitors:
+            row += f"  {agg.violations if agg.violations is not None else 0:>10}"
         lines.append(row)
-    intensities = sorted({a.intensity for a in aggregates},
-                         key=lambda x: (x is not None, x))
-    for intensity in intensities:
-        fit = _fit_line(aggregates, intensity)
+    axes = sorted({(a.intensity, a.scheduler) for a in aggregates},
+                  key=lambda x: (x[0] is not None, x[0], x[1] or ""))
+    for intensity, scheduler in axes:
+        fit = _fit_line(aggregates, intensity, scheduler)
         if fit:
             lines.append(fit)
     return "\n".join(lines)
@@ -152,7 +186,13 @@ def trials_csv(records: Sequence[dict]) -> str:
     writer = csv.writer(buffer)
     writer.writerow(TRIAL_COLUMNS)
     for record in sorted(records, key=record_sort_key):
-        writer.writerow([record.get(column) for column in TRIAL_COLUMNS])
+        row = []
+        for column in TRIAL_COLUMNS:
+            value = record.get(column)
+            if column == "violation" and isinstance(value, dict):
+                value = f"{value['monitor']}@{value['step']}"
+            row.append(value)
+        writer.writerow(row)
     return buffer.getvalue()
 
 
@@ -163,15 +203,16 @@ def summary_csv(aggregates: Sequence[PointAggregate], *,
     writer = csv.writer(buffer)
     writer.writerow(["n", "intensity", "trials", f"mean_{metric}",
                      f"stderr_{metric}", f"median_{metric}", "correct",
-                     "rate"])
+                     "rate", "scheduler", "violations"])
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity))
+                                    else a.intensity, a.scheduler or ""))
     for agg in ordered:
         writer.writerow([
             agg.n, agg.intensity, agg.trials,
             repr(agg.summary.mean), repr(agg.summary.stderr),
             repr(agg.summary.median), agg.correct, agg.rate,
+            agg.scheduler, agg.violations,
         ])
     return buffer.getvalue()
 
@@ -183,10 +224,12 @@ def report_dict(aggregates: Sequence[PointAggregate], *,
     points = []
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity))
+                                    else a.intensity, a.scheduler or ""))
+    has_sched_axis = any(a.scheduler is not None for a in aggregates)
+    has_monitors = any(a.violations is not None for a in aggregates)
     for agg in ordered:
         mean = agg.summary.mean
-        points.append({
+        point = {
             "n": agg.n,
             "intensity": agg.intensity,
             "trials": agg.trials,
@@ -194,20 +237,30 @@ def report_dict(aggregates: Sequence[PointAggregate], *,
             "stderr": agg.summary.stderr,
             "correct": agg.correct,
             "rate": agg.rate,
-        })
+        }
+        if has_sched_axis:
+            point["scheduler"] = agg.scheduler
+        if has_monitors:
+            point["violations"] = agg.violations
+        points.append(point)
     data: dict = {"metric": metric, "points": points}
     if spec is not None:
         data["spec"] = spec.to_dict()
         data["spec_hash"] = spec.content_hash()
     fits = {}
-    for intensity in sorted({a.intensity for a in aggregates},
-                            key=lambda x: (x is not None, x)):
-        selected = [a for a in aggregates if a.intensity == intensity]
+    for intensity, scheduler in sorted(
+            {(a.intensity, a.scheduler) for a in aggregates},
+            key=lambda x: (x[0] is not None, x[0], x[1] or "")):
+        selected = [a for a in aggregates
+                    if a.intensity == intensity and a.scheduler == scheduler]
         if (len({a.n for a in selected}) >= 2
                 and all(a.summary.mean > 0 for a in selected)):
-            measurement = scaling(aggregates, intensity=intensity)
-            fits["fault-free" if intensity is None else repr(intensity)] = \
-                measurement.exponent()
+            measurement = scaling(aggregates, intensity=intensity,
+                                  scheduler=scheduler)
+            label = "fault-free" if intensity is None else repr(intensity)
+            if scheduler is not None:
+                label += f"|{scheduler}"
+            fits[label] = measurement.exponent()
     if fits:
         data["fitted_exponents"] = fits
     return data

@@ -32,21 +32,36 @@ class SweepPoint:
     n: int
     #: Fault intensity, or None when the spec has no fault axis.
     intensity: "float | None" = None
+    #: Scheduler spec string, or None when the spec has no scheduler axis.
+    scheduler: "str | None" = None
 
     @property
     def key(self) -> str:
-        """Canonical label; part of every trial's identity."""
-        if self.intensity is None:
-            return f"n={self.n}"
-        return f"n={self.n};intensity={self.intensity!r}"
+        """Canonical label; part of every trial's identity.
+
+        Axes contribute a segment only when swept, so every trial id
+        minted before an axis existed is unchanged — stores written by
+        older specs resume cleanly.
+        """
+        key = f"n={self.n}"
+        if self.intensity is not None:
+            key += f";intensity={self.intensity!r}"
+        if self.scheduler is not None:
+            key += f";scheduler={self.scheduler}"
+        return key
 
 
 def sweep_points(spec: ExperimentSpec) -> list[SweepPoint]:
     """The spec's full point grid, in canonical order."""
-    if spec.faults is None:
-        return [SweepPoint(n) for n in spec.ns]
-    return [SweepPoint(n, float(x))
-            for n in spec.ns for x in spec.faults.intensities]
+    intensities: "list[float | None]" = [None]
+    if spec.faults is not None:
+        intensities = [float(x) for x in spec.faults.intensities]
+    schedulers: "list[str | None]" = [None]
+    if spec.schedulers:
+        schedulers = list(spec.schedulers)
+    return [SweepPoint(n, intensity, scheduler)
+            for n in spec.ns for intensity in intensities
+            for scheduler in schedulers]
 
 
 def trial_id(spec_hash: str, point: SweepPoint, trial: int) -> str:
@@ -73,9 +88,26 @@ def _jsonable(value):
     return repr(value)
 
 
+def _fault_descriptor(spec: ExperimentSpec, point: SweepPoint) -> "dict | None":
+    """JSON description of the point's fault plan (chaos-case format)."""
+    if spec.faults is None or not point.intensity:
+        return None
+    desc = {"kind": spec.faults.kind, "intensity": point.intensity}
+    if spec.faults.kind == "crash-at":
+        desc["at_step"] = spec.faults.at_step
+    return desc
+
+
 def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
               *, spec_hash: "str | None" = None) -> dict:
-    """Execute one trial and return its JSON-ready record."""
+    """Execute one trial and return its JSON-ready record.
+
+    With ``spec.monitors`` set the simulation is monitor-instrumented and
+    carries a reproduction context (the chaos-case dict consumed by
+    :mod:`repro.analysis.shrink`); a tripped monitor ends the trial and
+    lands in the record's ``violation`` field instead of propagating.
+    """
+    from repro.exp.spec import _counts_to_dict
     from repro.protocols import registry
     from repro.sim.convergence import (
         run_until_correct_stable,
@@ -83,6 +115,12 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
         run_until_silent,
     )
     from repro.sim.engine import simulate_counts
+    from repro.sim.monitors import (
+        MonitorViolation,
+        OutputFlickerMonitor,
+        build_monitors,
+    )
+    from repro.sim.schedulers import scheduler_from_spec
 
     spec_hash = spec_hash or spec.content_hash()
     engine_seed, fault_seed = trial_seeds(spec_hash, point, trial)
@@ -94,28 +132,58 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
     plan = None
     if spec.faults is not None:
         plan = spec.faults.build_plan(point.intensity, fault_seed)
-    sim = simulate_counts(protocol, counts, seed=engine_seed, faults=plan)
+    sched_text = point.scheduler or spec.scheduler
+    scheduler = scheduler_from_spec(sched_text, n=point.n, protocol=protocol)
+    monitors = build_monitors(spec.monitors)
+    sim = simulate_counts(protocol, counts, seed=engine_seed, faults=plan,
+                          scheduler=scheduler, monitors=monitors)
+    if monitors:
+        sim.monitor_context = {
+            "protocol": spec.protocol,
+            "params": {str(k): params[k] for k in sorted(params)},
+            "counts": _counts_to_dict(counts),
+            "scheduler": sched_text,
+            "fault": _fault_descriptor(spec, point),
+            "engine_seed": engine_seed,
+            "fault_seed": fault_seed,
+            "monitors": list(spec.monitors),
+            "stop": spec.stop.to_dict(),
+            "confirm": spec.confirm,
+        }
 
     expected = None
     if entry.truth is not None:
         expected = int(entry.evaluate_truth(counts, **params))
 
     stop = spec.stop
-    if stop.rule == "quiescent":
-        result = run_until_quiescent(sim, patience=stop.patience,
-                                     max_steps=stop.max_steps)
-    elif stop.rule == "silent":
-        result = run_until_silent(sim, max_steps=stop.max_steps,
-                                  check_every=stop.check_every)
-    elif stop.rule == "correct-stable":
-        if expected is None:
-            raise ValueError(
-                f"stopping rule 'correct-stable' needs a predicate "
-                f"protocol; {spec.protocol!r} has no ground truth")
-        result = run_until_correct_stable(sim, expected,
-                                          max_steps=stop.max_steps)
-    else:
-        raise ValueError(f"unknown stopping rule {stop.rule!r}")
+    violation = None
+    result = None
+    try:
+        if stop.rule == "quiescent":
+            result = run_until_quiescent(sim, patience=stop.patience,
+                                         max_steps=stop.max_steps)
+        elif stop.rule == "silent":
+            result = run_until_silent(sim, max_steps=stop.max_steps,
+                                      check_every=stop.check_every)
+        elif stop.rule == "correct-stable":
+            if expected is None:
+                raise ValueError(
+                    f"stopping rule 'correct-stable' needs a predicate "
+                    f"protocol; {spec.protocol!r} has no ground truth")
+            result = run_until_correct_stable(sim, expected,
+                                              max_steps=stop.max_steps)
+        else:
+            raise ValueError(f"unknown stopping rule {stop.rule!r}")
+    except MonitorViolation as tripped:
+        violation = tripped
+    if violation is None and result.stopped and spec.confirm:
+        for monitor in monitors:
+            if isinstance(monitor, OutputFlickerMonitor):
+                monitor.arm(sim)
+        try:
+            sim.run(spec.confirm)
+        except MonitorViolation as tripped:
+            violation = tripped
 
     record = {
         "kind": "trial",
@@ -125,24 +193,31 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
         "trial": trial,
         "engine_seed": engine_seed,
         "fault_seed": fault_seed,
-        "interactions": result.interactions,
-        "converged_at": result.converged_at,
-        "output": _jsonable(result.output),
-        "correct": (None if expected is None
+        "interactions": sim.interactions,
+        "converged_at": result.converged_at if result else None,
+        "output": _jsonable(result.output) if result else None,
+        "correct": (None if expected is None or result is None
                     else result.output == expected),
-        "stopped": result.stopped,
+        "stopped": result.stopped if result else False,
         "crashes": plan.crashes if plan else 0,
         "corruptions": plan.corruptions if plan else 0,
         "omissions": plan.omissions if plan else 0,
     }
+    # Chaos-only keys stay out of plain-sweep records so pre-existing
+    # stores and their fixtures keep their exact shape.
+    if point.scheduler is not None or spec.scheduler != "uniform":
+        record["scheduler"] = sched_text
+    if monitors:
+        record["violation"] = (None if violation is None
+                               else violation.to_dict())
     return record
 
 
 def _pool_task(task) -> dict:
     """Top-level worker entry point (must pickle across processes)."""
-    spec_dict, spec_hash, n, intensity, trial = task
+    spec_dict, spec_hash, n, intensity, scheduler, trial = task
     spec = ExperimentSpec.from_dict(spec_dict)
-    return run_trial(spec, SweepPoint(n, intensity), trial,
+    return run_trial(spec, SweepPoint(n, intensity, scheduler), trial,
                      spec_hash=spec_hash)
 
 
@@ -151,6 +226,7 @@ def record_sort_key(record: dict):
     intensity = record.get("intensity")
     return (record["n"],
             -1.0 if intensity is None else float(intensity),
+            record.get("scheduler") or "",
             record["trial"])
 
 
@@ -221,7 +297,8 @@ def run_experiment(
         import multiprocessing
 
         spec_dict = spec.to_dict()
-        tasks = [(spec_dict, spec_hash, point.n, point.intensity, trial)
+        tasks = [(spec_dict, spec_hash, point.n, point.intensity,
+                  point.scheduler, trial)
                  for point, trial in pending]
         with multiprocessing.Pool(min(workers, len(tasks))) as pool:
             for record in pool.imap_unordered(_pool_task, tasks):

@@ -258,12 +258,28 @@ class ExperimentSpec:
     params: Mapping = field(default_factory=dict)
     inputs: InputGrid = field(default_factory=InputGrid)
     faults: "FaultAxis | None" = None
+    #: Scheduler spec string for every trial (see
+    #: :func:`repro.sim.schedulers.scheduler_from_spec`); ``uniform`` is
+    #: the engine default.  For a scheduler *axis* use ``schedulers``.
     scheduler: str = "uniform"
+    #: Optional scheduler sweep axis (crossed with ns x intensities);
+    #: overrides ``scheduler`` point-wise.  Chaos campaigns use this.
+    schedulers: tuple = ()
+    #: Monitor spec strings attached to every trial (see
+    #: :func:`repro.sim.monitors.build_monitors`); a tripped monitor
+    #: turns the trial record into a violation record.
+    monitors: tuple = ()
+    #: Extra interactions run after the stopping rule fires, with any
+    #: flicker monitors armed — catches "claimed stable, then changed".
+    confirm: int = 0
     stop: StopRule = field(default_factory=StopRule)
     seed: int = 0
 
     def validate(self) -> None:
         """Check internal consistency; raises ``ValueError`` on bad specs."""
+        from repro.sim.monitors import validate_monitor_spec
+        from repro.sim.schedulers import validate_scheduler_spec
+
         if not self.protocol:
             raise ValueError("spec needs a protocol name")
         if not self.ns:
@@ -274,16 +290,22 @@ class ExperimentSpec:
             raise ValueError("population sizes must be distinct")
         if self.trials < 1:
             raise ValueError("spec needs at least one trial per point")
-        if self.scheduler != "uniform":
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; known: ('uniform',)")
+        validate_scheduler_spec(self.scheduler)
+        for text in self.schedulers:
+            validate_scheduler_spec(text)
+        if len(set(self.schedulers)) != len(self.schedulers):
+            raise ValueError("scheduler axis entries must be distinct")
+        for text in self.monitors:
+            validate_monitor_spec(text)
+        if self.confirm < 0:
+            raise ValueError("confirm must be non-negative")
         self.inputs.validate(self.ns)
         if self.faults is not None:
             self.faults.validate()
         self.stop.validate()
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "protocol": self.protocol,
             "ns": [int(n) for n in self.ns],
             "trials": self.trials,
@@ -294,6 +316,15 @@ class ExperimentSpec:
             "stop": self.stop.to_dict(),
             "seed": self.seed,
         }
+        # Chaos-only fields serialize only when used, so every spec
+        # writable before they existed keeps its exact content hash.
+        if self.schedulers:
+            data["schedulers"] = list(self.schedulers)
+        if self.monitors:
+            data["monitors"] = list(self.monitors)
+        if self.confirm:
+            data["confirm"] = self.confirm
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ExperimentSpec":
@@ -306,6 +337,9 @@ class ExperimentSpec:
             inputs=InputGrid.from_dict(data.get("inputs", {})),
             faults=FaultAxis.from_dict(faults) if faults else None,
             scheduler=data.get("scheduler", "uniform"),
+            schedulers=tuple(data.get("schedulers", ())),
+            monitors=tuple(data.get("monitors", ())),
+            confirm=int(data.get("confirm", 0)),
             stop=StopRule.from_dict(data.get("stop", {})),
             seed=int(data.get("seed", 0)),
         )

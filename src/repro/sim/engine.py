@@ -19,6 +19,16 @@ from repro.util.multiset import FrozenMultiset
 from repro.util.rng import resolve_rng
 
 
+class SimulationHalted(RuntimeError):
+    """The simulation cannot take another step.
+
+    Raised when the model's preconditions for an encounter no longer hold
+    — e.g. fewer than two live agents remain, so no pair can interact.
+    Distinct from a :class:`~repro.sim.monitors.MonitorViolation`: halting
+    is the engine refusing to proceed, not an invariant breaking silently.
+    """
+
+
 class Simulation:
     """A running population-protocol execution.
 
@@ -56,6 +66,7 @@ class Simulation:
         scheduler: "Scheduler | None" = None,
         seed: "int | None" = None,
         faults=None,
+        monitors=(),
     ):
         self.protocol = protocol
         if (inputs is None) == (states is None):
@@ -93,6 +104,29 @@ class Simulation:
         self._faults = faults
         if faults is not None:
             faults.bind(self)
+        #: Attached runtime monitors (see :mod:`repro.sim.monitors`).
+        self.monitors: list = []
+        #: Reproduction tuple embedded into MonitorViolations; harnesses
+        #: set this to a declarative description of the trial.
+        self.monitor_context: "dict | None" = None
+        for monitor in monitors:
+            self.attach_monitor(monitor)
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a runtime monitor to this simulation instance.
+
+        Swaps ``step`` for a monitored wrapper on this instance only, so
+        simulations with no monitors keep the original hot path untouched.
+        """
+        monitor.on_attach(self)
+        self.monitors.append(monitor)
+        self.step = self._monitored_step
+
+    def _monitored_step(self) -> bool:
+        changed = type(self).step(self)
+        for monitor in self.monitors:
+            monitor.after_step(self, changed)
+        return changed
 
     # -- Introspection ---------------------------------------------------------
 
@@ -366,6 +400,7 @@ def simulate_counts(
     seed: "int | None" = None,
     scheduler: "Scheduler | None" = None,
     faults=None,
+    monitors=(),
 ) -> Simulation:
     """Build a :class:`Simulation` from symbol counts (symbol-count inputs).
 
@@ -378,4 +413,4 @@ def simulate_counts(
             raise ValueError("counts must be non-negative")
         inputs.extend([symbol] * count)
     return Simulation(protocol, inputs, seed=seed, scheduler=scheduler,
-                      faults=faults)
+                      faults=faults, monitors=monitors)

@@ -38,11 +38,12 @@ over :class:`~repro.sim.engine.Simulation`'s crash primitives.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.protocol import PopulationProtocol, State, Symbol
-from repro.sim.engine import Simulation
+from repro.sim.engine import Simulation, SimulationHalted
 from repro.sim.schedulers import Scheduler
 from repro.util.rng import resolve_rng
 
@@ -322,6 +323,10 @@ class _AliveUniformPairScheduler(Scheduler):
 
     def next_encounter(self, states, rng) -> tuple[int, int]:
         alive = self.alive
+        if len(alive) < 2:
+            raise SimulationHalted(
+                f"only {len(alive)} live agent(s) remain: no encounter "
+                "is possible")
         i = rng.randrange(len(alive))
         j = rng.randrange(len(alive) - 1)
         if j >= i:
@@ -353,6 +358,11 @@ class CrashySimulation(Simulation):
         *,
         seed: "int | None" = None,
     ):
+        warnings.warn(
+            "CrashySimulation is deprecated; attach a FaultPlan (e.g. "
+            "FaultPlan([CrashAt(step, count)], seed=...)) to a plain "
+            "Simulation or use its crash()/crash_random() primitives",
+            DeprecationWarning, stacklevel=2)
         alive: list[int] = []
         super().__init__(protocol, inputs, seed=seed,
                          scheduler=_AliveUniformPairScheduler(alive))

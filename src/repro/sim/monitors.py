@@ -1,0 +1,457 @@
+"""Runtime invariant monitors for the simulation engines.
+
+The paper's guarantees are *stability* statements: Theorem 5 promises the
+correct output only on fair executions, conservation of agents is an
+axiom of the model, and a protocol's state space is fixed by its
+transition function.  Nothing in a finished run certifies that these
+held *while it ran* — a buggy protocol, an adversarial scheduler, or an
+injected fault can silently violate any of them.  A :class:`Monitor`
+watches one such invariant on a live simulation and raises a structured
+:class:`MonitorViolation` the moment it breaks, carrying everything
+needed to reproduce the failure.
+
+Monitors attach to both engines (:class:`~repro.sim.engine.Simulation`
+and :class:`~repro.sim.multiset_engine.MultisetSimulation`) via their
+``monitors=`` constructor argument or ``attach_monitor``.  Attachment
+swaps the engine's ``step`` for a monitored wrapper on that *instance*
+only, so a simulation with no monitors runs the exact same bytecode as
+before this module existed — zero overhead on the unmonitored hot path.
+
+Built-ins:
+
+* :class:`ConservationMonitor` — the population neither grows nor
+  shrinks (live + crashed agents always sum to the initial ``n``);
+* :class:`StateContainmentMonitor` — every agent state stays inside the
+  protocol's reachable state space (catches deltas or corruptors that
+  invent states);
+* :class:`OutputFlickerMonitor` — once :meth:`OutputFlickerMonitor.arm`
+  declares the run stabilized, any later output change is a violation
+  (the "claimed convergence, then flickered" failure mode);
+* :class:`FairnessBudgetMonitor` — the paper's fairness condition with a
+  step budget: a non-no-op encounter that stays continuously enabled for
+  ``budget`` interactions without the configuration ever changing has
+  been starved by the scheduler;
+* :class:`NoProgressWatchdog` — step and wall-clock budgets on progress;
+  a non-silent configuration that changes nothing for too long (or a run
+  that outlives its wall-clock allowance) is reported with the full
+  reproduction tuple.
+
+The reproduction tuple travels on ``sim.monitor_context``: harnesses
+(see :mod:`repro.analysis.shrink`) set it to a declarative description
+of the trial (protocol, input, scheduler, fault plan, seeds) and every
+violation embeds it, so a caught :class:`MonitorViolation` is directly
+shrinkable and replayable.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "Monitor",
+    "MonitorViolation",
+    "ConservationMonitor",
+    "StateContainmentMonitor",
+    "OutputFlickerMonitor",
+    "FairnessBudgetMonitor",
+    "NoProgressWatchdog",
+    "MONITOR_KINDS",
+    "build_monitors",
+    "validate_monitor_spec",
+]
+
+
+class MonitorViolation(RuntimeError):
+    """A runtime invariant broke during a simulation step.
+
+    Parameters
+    ----------
+    monitor:
+        The :attr:`Monitor.name` of the monitor that fired.
+    step:
+        ``sim.interactions`` at the moment of the violation.
+    detail:
+        Monitor-specific facts about the breakage (JSON-able).
+    context:
+        The reproduction tuple (protocol, input, scheduler, fault plan,
+        seeds) as set on ``sim.monitor_context`` by the harness, or None
+        when the simulation was driven directly.
+    """
+
+    def __init__(self, monitor: str, step: int, detail: "dict | None" = None,
+                 context: "dict | None" = None):
+        self.monitor = monitor
+        self.step = step
+        self.detail = dict(detail or {})
+        self.context = context
+        facts = ", ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        super().__init__(
+            f"[{monitor}] violated at interaction {step}"
+            + (f": {facts}" if facts else ""))
+
+    def to_dict(self, *, include_context: bool = True) -> dict:
+        """JSON-ready form (what chaos campaign records persist)."""
+        data = {"monitor": self.monitor, "step": self.step,
+                "detail": dict(self.detail)}
+        if include_context and self.context is not None:
+            data["context"] = self.context
+        return data
+
+
+class Monitor(ABC):
+    """Watches one invariant of a running simulation.
+
+    ``on_attach`` runs once when the monitor is attached (before any
+    monitored step); ``after_step`` runs after every interaction with
+    ``changed`` telling whether the encounter changed any state.  A
+    monitor signals breakage by raising :class:`MonitorViolation`
+    (usually via :meth:`violate`); it must never mutate the simulation.
+    A monitor instance watches a single simulation — build fresh
+    monitors per run.
+    """
+
+    #: Stable identifier used in violations and monitor spec strings.
+    name = "monitor"
+
+    def on_attach(self, sim) -> None:
+        """Called once when attached; snapshot whatever you need."""
+
+    @abstractmethod
+    def after_step(self, sim, changed: bool) -> None:
+        """Called after every interaction; raise to report a violation."""
+
+    def violate(self, sim, **detail) -> None:
+        """Raise a :class:`MonitorViolation` for the current step."""
+        raise MonitorViolation(
+            self.name, sim.interactions, detail,
+            context=getattr(sim, "monitor_context", None))
+
+
+def _is_multiset(sim) -> bool:
+    """The two engines are duck-typed apart by their configuration store."""
+    return hasattr(sim, "counts")
+
+
+def _live_pairs(sim):
+    """Ordered state pairs some live encounter could realize right now.
+
+    On the multiset engine (complete graph by construction) these are the
+    pairs of live states with enough multiplicity; on the agent engine
+    they follow the interaction graph restricted to live agents.
+    """
+    if _is_multiset(sim):
+        counts = sim.counts
+        for p, cp in counts.items():
+            for q, cq in counts.items():
+                if p is not q or cp >= 2:
+                    yield p, q
+        return
+    if sim.population is None or sim.population.is_complete:
+        seen = {}
+        for agent, state in enumerate(sim.states):
+            if agent not in sim.crashed:
+                seen[state] = seen.get(state, 0) + 1
+        for p, cp in seen.items():
+            for q in seen:
+                if p is not q or cp >= 2:
+                    yield p, q
+        return
+    states, crashed = sim.states, sim.crashed
+    for (u, v) in sim.population.edge_list():
+        if u not in crashed and v not in crashed:
+            yield states[u], states[v]
+
+
+class ConservationMonitor(Monitor):
+    """Population conservation: live + crashed agents always sum to n.
+
+    The model has no birth or death (a crash freezes an agent, it does
+    not remove it); an engine or fault model that loses or duplicates
+    agents corrupts every downstream count.  Cheap enough to run every
+    step on the agent engine; on the multiset engine the live-count sum
+    is O(distinct states), so ``check_every`` amortizes it.
+    """
+
+    name = "conservation"
+
+    def __init__(self, check_every: int = 1):
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        self.check_every = check_every
+        self._n = 0
+
+    def on_attach(self, sim) -> None:
+        self._n = sim.n
+
+    def after_step(self, sim, changed: bool) -> None:
+        if sim.interactions % self.check_every:
+            return
+        if _is_multiset(sim):
+            live = sum(sim.counts.values())
+            dead = sum(sim.crashed_counts.values())
+            if live + dead != self._n or dead != sim.dead:
+                self.violate(sim, expected=self._n, live=live, dead=dead)
+            if any(c <= 0 for c in sim.counts.values()):
+                self.violate(sim, nonpositive_count=dict(sim.counts))
+        else:
+            live = sim.n_alive
+            if len(sim.states) != self._n or live + len(sim.crashed) != self._n:
+                self.violate(sim, expected=self._n,
+                             agents=len(sim.states), live=live,
+                             crashed=len(sim.crashed))
+
+
+class StateContainmentMonitor(Monitor):
+    """Every agent state stays inside the protocol's reachable state set.
+
+    The reachable set is computed once at attach time (or passed
+    explicitly via ``allowed``); a delta or corruptor that produces a
+    state outside it has left the protocol's declared state space.
+    Scanning is O(n) on the agent engine, so ``check_every`` defaults to
+    a small window there and to every step on the multiset engine (where
+    it is O(distinct live states)).
+    """
+
+    name = "containment"
+
+    def __init__(self, allowed: "Iterable | None" = None,
+                 check_every: "int | None" = None):
+        if check_every is not None and check_every < 1:
+            raise ValueError("check_every must be positive")
+        self._allowed = None if allowed is None else frozenset(allowed)
+        self.check_every = check_every
+
+    def on_attach(self, sim) -> None:
+        if self._allowed is None:
+            self._allowed = frozenset(sim.protocol.states())
+        if self.check_every is None:
+            self.check_every = 1 if _is_multiset(sim) else 16
+
+    def after_step(self, sim, changed: bool) -> None:
+        if sim.interactions % self.check_every:
+            return
+        allowed = self._allowed
+        if _is_multiset(sim):
+            for state in sim.counts:
+                if state not in allowed:
+                    self.violate(sim, state=repr(state))
+        else:
+            for agent, state in enumerate(sim.states):
+                if state not in allowed:
+                    self.violate(sim, agent=agent, state=repr(state))
+
+
+class OutputFlickerMonitor(Monitor):
+    """Output changed after the run claimed stabilization.
+
+    A stopping rule that fires and is then contradicted by a later
+    output change is the convergence-measurement failure mode: the
+    harness *claimed* the computation was stable and reported a verdict
+    that subsequently flipped.  The monitor is inert until
+    :meth:`arm` is called (typically right after a stopping rule fires);
+    from then on any change to the output assignment is a violation.
+    """
+
+    name = "flicker"
+
+    def __init__(self):
+        self.armed = False
+        self._armed_at = 0
+        self._outputs = None
+
+    def arm(self, sim) -> None:
+        """Declare the run stabilized as of now; later changes violate."""
+        self.armed = True
+        self._armed_at = sim.interactions
+        if _is_multiset(sim):
+            self._outputs = dict(sim.output_counts())
+
+    def after_step(self, sim, changed: bool) -> None:
+        if not self.armed:
+            return
+        if self._outputs is not None:
+            # No `changed` gate: corruption faults mutate counts in
+            # pre_step, before the encounter reports its change flag.
+            if sim.output_counts() != self._outputs:
+                self.violate(sim, stabilized_at=self._armed_at,
+                             claimed=_jsonable_hist(self._outputs),
+                             now=_jsonable_hist(sim.output_counts()))
+        elif sim.last_output_change > self._armed_at:
+            self.violate(sim, stabilized_at=self._armed_at,
+                         changed_at=sim.last_output_change)
+
+
+def _jsonable_hist(hist: dict) -> dict:
+    return {repr(k): v for k, v in sorted(hist.items(), key=lambda kv: repr(kv[0]))}
+
+
+class FairnessBudgetMonitor(Monitor):
+    """Fairness with a budget: an enabled encounter may not starve forever.
+
+    The paper's fairness condition (Sect. 3): a configuration reachable
+    at every point of the suffix must eventually be reached.  Its
+    finite-run shadow: if the configuration has not changed for
+    ``budget`` interactions while some non-no-op encounter is enabled,
+    that encounter was continuously enabled for the whole window and
+    never fired — the scheduler exhausted its fairness budget.  A silent
+    configuration (no enabled encounter changes anything) resets the
+    account: there is nothing left to be unfair about.
+    """
+
+    name = "fairness"
+
+    def __init__(self, budget: int = 50_000):
+        if budget < 1:
+            raise ValueError("fairness budget must be positive")
+        self.budget = budget
+        self._idle = 0
+
+    def after_step(self, sim, changed: bool) -> None:
+        if changed:
+            self._idle = 0
+            return
+        self._idle += 1
+        if self._idle < self.budget:
+            return
+        protocol = sim.protocol
+        for p, q in _live_pairs(sim):
+            if not protocol.is_noop(p, q):
+                self.violate(sim, budget=self.budget,
+                             starved_pair=(repr(p), repr(q)))
+        self._idle = 0  # silent: re-arm in case faults revive the run
+
+
+class NoProgressWatchdog(Monitor):
+    """Step and wall-clock budgets on forward progress.
+
+    Fires when no encounter has changed any state for ``max_idle``
+    interactions and the configuration is *not* silent (a silent
+    configuration has legitimately terminated — with ``allow_silent``
+    false even that trips the watchdog), or when the run exceeds
+    ``wall_clock`` seconds.  Wall-clock checks happen every
+    ``check_every`` interactions to keep the clock off the hot path;
+    note a wall-clock violation is inherently non-reproducible, so chaos
+    campaigns default to the step budget only.
+    """
+
+    name = "watchdog"
+
+    def __init__(self, max_idle: "int | None" = None,
+                 wall_clock: "float | None" = None,
+                 check_every: int = 256, allow_silent: bool = True):
+        if max_idle is None and wall_clock is None:
+            raise ValueError("watchdog needs a step or wall-clock budget")
+        if max_idle is not None and max_idle < 1:
+            raise ValueError("max_idle must be positive")
+        if wall_clock is not None and wall_clock <= 0:
+            raise ValueError("wall_clock must be positive")
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        self.max_idle = max_idle
+        self.wall_clock = wall_clock
+        self.check_every = check_every
+        self.allow_silent = allow_silent
+        self._idle = 0
+        self._started = None
+
+    def on_attach(self, sim) -> None:
+        self._started = time.monotonic()
+
+    def _is_silent(self, sim) -> bool:
+        from repro.core.semantics import is_silent
+        from repro.util.multiset import FrozenMultiset
+
+        if _is_multiset(sim):
+            live = FrozenMultiset(sim.counts)
+        else:
+            live = FrozenMultiset(
+                s for a, s in enumerate(sim.states) if a not in sim.crashed)
+        return is_silent(sim.protocol, live)
+
+    def after_step(self, sim, changed: bool) -> None:
+        if self.max_idle is not None:
+            self._idle = 0 if changed else self._idle + 1
+            if self._idle >= self.max_idle:
+                if not self.allow_silent or not self._is_silent(sim):
+                    self.violate(sim, max_idle=self.max_idle,
+                                 idle_steps=self._idle)
+                self._idle = 0  # silent and allowed: re-arm
+        if (self.wall_clock is not None
+                and sim.interactions % self.check_every == 0):
+            elapsed = time.monotonic() - self._started
+            if elapsed > self.wall_clock:
+                self.violate(sim, wall_clock=self.wall_clock,
+                             elapsed=round(elapsed, 3))
+
+
+# -- Declarative monitor specs ------------------------------------------------------
+
+#: Monitor kinds understood by :func:`build_monitors` spec strings.
+MONITOR_KINDS = ("conservation", "containment", "flicker", "fairness",
+                 "watchdog")
+
+_MONITOR_ARGS = {
+    "conservation": {"check": int},
+    "containment": {"check": int},
+    "flicker": {},
+    "fairness": {"budget": int},
+    "watchdog": {"steps": int, "wall": float, "check": int},
+}
+
+
+def _parse_monitor_spec(text: str) -> tuple[str, dict]:
+    kind, _, tail = text.strip().partition(":")
+    if kind not in MONITOR_KINDS:
+        raise ValueError(
+            f"unknown monitor kind {kind!r}; known: {MONITOR_KINDS}")
+    known = _MONITOR_ARGS[kind]
+    args: dict = {}
+    for piece in filter(None, (p.strip() for p in tail.split(","))):
+        name, sep, value = piece.partition("=")
+        if not sep or name.strip() not in known:
+            raise ValueError(
+                f"monitor {kind!r} takes {sorted(known)} arguments, "
+                f"got {piece!r}")
+        try:
+            args[name.strip()] = known[name.strip()](value)
+        except ValueError:
+            raise ValueError(
+                f"bad value {value!r} for monitor argument {name!r}") from None
+    return kind, args
+
+
+def validate_monitor_spec(text: str) -> None:
+    """Raise ``ValueError`` unless ``text`` is a valid monitor spec string."""
+    _parse_monitor_spec(text)
+
+
+def build_monitors(specs: "Sequence[str]") -> list[Monitor]:
+    """Instantiate monitors from spec strings.
+
+    Formats: ``conservation[:check=K]``, ``containment[:check=K]``,
+    ``flicker``, ``fairness[:budget=B]``, and
+    ``watchdog[:steps=S][,wall=T][,check=K]``.  Used by the chaos
+    harness so a campaign's monitor suite is plain serializable data.
+    """
+    monitors: list[Monitor] = []
+    for text in specs:
+        kind, args = _parse_monitor_spec(text)
+        if kind == "conservation":
+            monitors.append(ConservationMonitor(
+                check_every=args.get("check", 1)))
+        elif kind == "containment":
+            monitors.append(StateContainmentMonitor(
+                check_every=args.get("check")))
+        elif kind == "flicker":
+            monitors.append(OutputFlickerMonitor())
+        elif kind == "fairness":
+            monitors.append(FairnessBudgetMonitor(
+                budget=args.get("budget", 50_000)))
+        elif kind == "watchdog":
+            monitors.append(NoProgressWatchdog(
+                max_idle=args.get("steps", 100_000),
+                wall_clock=args.get("wall"),
+                check_every=args.get("check", 256)))
+    return monitors

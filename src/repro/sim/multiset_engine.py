@@ -33,6 +33,7 @@ class MultisetSimulation:
         state_counts: "Mapping[State, int] | None" = None,
         seed: "int | None" = None,
         faults=None,
+        monitors=(),
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
@@ -68,6 +69,25 @@ class MultisetSimulation:
         self._faults = faults
         if faults is not None:
             faults.bind(self)
+        #: Attached runtime monitors (see :mod:`repro.sim.monitors`).
+        self.monitors: list = []
+        #: Reproduction tuple embedded into MonitorViolations.
+        self.monitor_context: "dict | None" = None
+        for monitor in monitors:
+            self.attach_monitor(monitor)
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a runtime monitor (instance-level ``step`` swap, so the
+        unmonitored hot path is untouched)."""
+        monitor.on_attach(self)
+        self.monitors.append(monitor)
+        self.step = self._monitored_step
+
+    def _monitored_step(self) -> bool:
+        changed = type(self).step(self)
+        for monitor in self.monitors:
+            monitor.after_step(self, changed)
+        return changed
 
     # -- Introspection ---------------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""Tests for chaos-case replay, delta-debug shrinking, and artifacts."""
+
+import json
+
+import pytest
+
+from repro.analysis.shrink import (
+    ChaosCase,
+    artifact_dict,
+    case_from_record,
+    dump_artifact,
+    load_artifact,
+    replay_artifact,
+    run_case,
+    shrink_case,
+    shrink_violation,
+)
+from repro.exp.spec import StopRule
+from repro.sim.schedulers import _parse_scheduler_spec
+
+#: The acceptance-criteria scenario: majority under corruption faults,
+#: which trips the flicker monitor (converged verdict later flipped).
+BROKEN = ChaosCase(
+    protocol="majority",
+    counts={1: 6, 0: 4},
+    fault={"kind": "corruption-rate", "intensity": 0.005},
+    monitors=("conservation", "containment", "flicker"),
+    stop=StopRule(rule="quiescent", patience=600, max_steps=60_000),
+    confirm=4_000,
+    engine_seed=0,
+    fault_seed=1_000,
+)
+
+GOOD = ChaosCase(
+    protocol="epidemic",
+    counts={1: 2, 0: 6},
+    monitors=("conservation", "containment", "flicker"),
+    stop=StopRule(rule="quiescent", patience=400, max_steps=40_000),
+    confirm=1_000,
+)
+
+
+class TestRunCase:
+    def test_clean_case_produces_no_violation(self):
+        outcome = run_case(GOOD)
+        assert outcome.violation is None
+        assert outcome.error is None
+        assert outcome.result is not None and outcome.result.stopped
+
+    def test_broken_case_fails_deterministically(self):
+        first = run_case(BROKEN)
+        second = run_case(BROKEN)
+        assert first.failed and second.failed
+        assert first.violation.monitor == second.violation.monitor
+        assert first.violation.step == second.violation.step
+
+    def test_trace_records_delivered_faults(self):
+        outcome = run_case(BROKEN, trace=True)
+        assert outcome.failed
+        assert outcome.events  # corruption faults were delivered
+        assert all(e["kind"] in ("crash", "corrupt", "omit")
+                   for e in outcome.events)
+
+    def test_impossible_case_reports_error(self):
+        impossible = ChaosCase(
+            protocol="epidemic", counts={1: 3},
+            fault={"kind": "crash-at", "intensity": 3, "at_step": 0},
+            monitors=("conservation",))
+        outcome = run_case(impossible)
+        assert not outcome.failed
+        assert outcome.error is not None
+
+    def test_round_trips_through_dict(self):
+        rebuilt = ChaosCase.from_dict(BROKEN.to_dict())
+        assert rebuilt == BROKEN
+        assert rebuilt.n == 10
+
+
+class TestShrink:
+    def test_acceptance_scenario_shrinks_by_half(self):
+        result = shrink_case(BROKEN)
+        # The issue's acceptance bar: at most half the population and at
+        # most half the (eventized) fault events of the original.
+        assert result.case.n <= BROKEN.n // 2
+        assert result.eventized
+        assert result.case.fault["kind"] == "events"
+        traced = run_case(BROKEN, trace=True)
+        assert len(result.case.fault["events"]) <= max(1, len(traced.events) // 2)
+        # The minimized case still fails the same monitor.
+        assert result.violation["monitor"] == result.original_violation["monitor"]
+        assert result.evals <= 400
+
+    def test_shrunk_case_replays_identically(self):
+        result = shrink_case(BROKEN)
+        outcome = run_case(result.case)
+        assert outcome.failed
+        assert outcome.violation.monitor == result.violation["monitor"]
+        assert outcome.violation.step == result.violation["step"]
+
+    def test_scheduler_budget_shrinks(self):
+        # An eclipse budget big enough to trip the watchdog: the shrinker
+        # halves the budget while the violation persists.
+        case = ChaosCase(
+            protocol="epidemic", counts={1: 1, 0: 5},
+            scheduler="eclipse:budget=4096",
+            monitors=("watchdog:steps=1000",),
+            stop=StopRule(rule="silent", max_steps=3_000))
+        baseline = run_case(case)
+        if not baseline.failed:
+            pytest.skip("scenario does not trip the watchdog on this seed")
+        result = shrink_case(case)
+        kind, args = _parse_scheduler_spec(result.case.scheduler)
+        assert kind == "eclipse"
+        assert args["budget"] < 4096
+
+    def test_non_failing_case_rejected(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_case(GOOD)
+
+    def test_shrink_violation_needs_context(self):
+        outcome = run_case(BROKEN)
+        # run_case sets monitor_context, so this violation is shrinkable.
+        result = shrink_violation(outcome.violation, max_evals=50)
+        assert result.case.n <= BROKEN.n
+
+    def test_eval_budget_respected(self):
+        result = shrink_case(BROKEN, max_evals=5)
+        assert result.evals <= 5
+
+
+class TestArtifacts:
+    def test_artifact_round_trip_reproduces(self, tmp_path):
+        result = shrink_case(BROKEN)
+        path = tmp_path / "repro.json"
+        dump_artifact(path, result)
+        artifact = load_artifact(path)
+        assert artifact["kind"] == "chaos-repro"
+        replay = replay_artifact(artifact)
+        assert replay.reproduced
+        assert replay.actual["step"] == artifact["violation"]["step"]
+
+    def test_artifact_is_plain_json(self, tmp_path):
+        result = shrink_case(BROKEN, max_evals=20)
+        data = artifact_dict(result)
+        assert json.loads(json.dumps(data)) == data
+        assert data["original"]["case"]["counts"] == {"1": 6, "0": 4}
+
+    def test_replay_rejects_foreign_artifacts(self):
+        with pytest.raises(ValueError, match="chaos-repro"):
+            replay_artifact({"kind": "something-else"})
+
+    def test_tampered_artifact_diverges(self, tmp_path):
+        result = shrink_case(BROKEN)
+        artifact = artifact_dict(result)
+        artifact["violation"]["step"] += 1
+        replay = replay_artifact(artifact)
+        assert not replay.reproduced
+
+
+class TestCaseFromRecord:
+    def test_rebuilds_from_violation_context(self):
+        outcome = run_case(BROKEN)
+        record = {"violation": outcome.violation.to_dict()}
+        case = case_from_record(record)
+        assert case == BROKEN
+
+    def test_unmonitored_record_rejected(self):
+        with pytest.raises(ValueError, match="context"):
+            case_from_record({"violation": None})

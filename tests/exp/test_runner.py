@@ -196,3 +196,60 @@ class TestValidationAndErrors:
         with pytest.raises(KeyError):
             run_experiment(make_spec(protocol="warp-drive", ns=(6,),
                                      trials=1))
+
+
+class TestSchedulerAxis:
+    def test_sweep_points_cross_scheduler_axis(self):
+        spec = make_spec(schedulers=("uniform", "eclipse:budget=100"))
+        points = sweep_points(spec)
+        assert len(points) == 4  # 2 ns x 2 schedulers
+        assert {p.scheduler for p in points} == {"uniform",
+                                                 "eclipse:budget=100"}
+
+    def test_point_key_segment_only_when_swept(self):
+        assert SweepPoint(8).key == "n=8"
+        assert SweepPoint(8, 0.5).key == "n=8;intensity=0.5"
+        assert (SweepPoint(8, None, "eclipse:budget=3").key
+                == "n=8;scheduler=eclipse:budget=3")
+
+    def test_legacy_record_shape_preserved(self):
+        # Without monitors or a scheduler axis, records keep their
+        # pre-chaos shape: no "scheduler", no "violation" keys.
+        record = run_trial(make_spec(), SweepPoint(6), 0)
+        assert "scheduler" not in record
+        assert "violation" not in record
+
+    def test_scheduler_axis_is_deterministic(self):
+        spec = make_spec(schedulers=("uniform", "partition:heal=200"))
+        first = run_experiment(spec).records
+        second = run_experiment(spec).records
+        assert first == second
+
+
+class TestMonitoredTrials:
+    def test_clean_monitored_trial_records_null_violation(self):
+        spec = make_spec(monitors=("conservation", "containment"))
+        record = run_trial(spec, SweepPoint(6), 0)
+        assert record["violation"] is None
+        assert record["stopped"]
+
+    def test_violation_record_carries_reproduction_context(self):
+        spec = ExperimentSpec(
+            protocol="majority", ns=(10,), trials=1,
+            inputs=InputGrid(kind="ones", ones=6),
+            faults=FaultAxis("corruption-rate", (0.005,)),
+            monitors=("conservation", "containment", "flicker"),
+            confirm=4_000,
+            stop=StopRule(rule="quiescent", patience=600, max_steps=60_000),
+            seed=0)
+        result = run_experiment(spec)
+        violated = [r for r in result.records
+                    if r.get("violation") is not None]
+        assert violated, "corruption should trip the flicker monitor"
+        violation = violated[0]["violation"]
+        context = violation["context"]
+        assert context["protocol"] == "majority"
+        assert context["engine_seed"] == violated[0]["engine_seed"]
+        assert context["fault"] == {"kind": "corruption-rate",
+                                    "intensity": 0.005}
+        assert sum(int(c) for c in context["counts"].values()) == 10

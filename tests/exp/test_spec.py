@@ -129,3 +129,46 @@ class TestFaultAxis:
         model = plan.models[0]
         assert model.step == 40
         assert model.count == 3
+
+
+class TestChaosFields:
+    """The chaos-only fields (schedulers/monitors/confirm) must not
+    disturb any spec written before they existed."""
+
+    def test_defaults_stay_out_of_the_dict(self):
+        data = make_spec().to_dict()
+        assert "schedulers" not in data
+        assert "monitors" not in data
+        assert "confirm" not in data
+
+    def test_explicit_defaults_hash_like_legacy_specs(self):
+        legacy = make_spec()
+        explicit = make_spec(schedulers=(), monitors=(), confirm=0)
+        assert explicit.content_hash() == legacy.content_hash()
+
+    def test_set_fields_round_trip_and_feed_the_hash(self):
+        base = make_spec()
+        variants = [
+            make_spec(schedulers=("uniform", "eclipse:budget=100")),
+            make_spec(monitors=("conservation", "flicker")),
+            make_spec(confirm=500),
+        ]
+        for spec in variants:
+            again = ExperimentSpec.from_dict(spec.to_dict())
+            assert again == spec
+            assert spec.content_hash() != base.content_hash()
+
+    def test_adversarial_scheduler_spec_accepted(self):
+        make_spec(scheduler="partition:blocks=2,heal=100").validate()
+        make_spec(schedulers=("uniform", "eclipse:budget=10")).validate()
+
+    @pytest.mark.parametrize("overrides", [
+        {"schedulers": ("warp",)},
+        {"schedulers": ("uniform", "uniform")},  # duplicate axis value
+        {"monitors": ("warp",)},
+        {"monitors": ("fairness:budget=x",)},
+        {"confirm": -1},
+    ])
+    def test_bad_chaos_fields_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            make_spec(**overrides).validate()

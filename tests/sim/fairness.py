@@ -1,0 +1,59 @@
+"""Reusable fairness-contract assertion for schedulers.
+
+The paper's fairness condition demands that from any configuration
+occurring infinitely often, every reachable successor also occurs
+infinitely often; for pairwise schedulers over a fixed interaction graph
+this reduces to "every edge is scheduled infinitely often from any
+recurring configuration".  :func:`assert_fair_in_the_limit` checks the
+finite proxy: driven from one *frozen* configuration for a bounded
+number of encounters, every ordered pair the scheduler is supposed to
+serve gets scheduled at least once.
+
+A scheduler that passes for every frozen configuration it can recur in
+is fair in the limit; one that starves some pair forever (the
+:class:`~repro.sim.schedulers.StallingScheduler`) fails the assertion,
+which is exactly the contract the adversarial schedulers are tested
+against in ``test_fairness_contracts.py``.
+"""
+
+import random
+from collections import Counter
+from collections.abc import Sequence
+
+
+def all_ordered_pairs(n: int) -> list:
+    """Every ordered pair of distinct agents (the complete graph)."""
+    return [(i, j) for i in range(n) for j in range(n) if i != j]
+
+
+def assert_fair_in_the_limit(
+    scheduler,
+    states: Sequence,
+    *,
+    steps: int = 40_000,
+    seed: int = 0,
+    pairs: "Sequence | None" = None,
+    min_hits: int = 1,
+) -> Counter:
+    """Drive ``scheduler`` from a frozen configuration; assert coverage.
+
+    ``states`` is held fixed across all ``steps`` encounters (the frozen
+    recurring configuration).  ``pairs`` is the set of ordered pairs the
+    scheduler must serve — defaults to the scheduler's own edge list
+    when it has one, else to every ordered pair over ``len(states)``
+    agents.  Raises ``AssertionError`` listing the starved pairs when
+    any of them was scheduled fewer than ``min_hits`` times.  Returns
+    the full schedule histogram for additional assertions.
+    """
+    if pairs is None:
+        edges = getattr(scheduler, "edges", None)
+        pairs = list(edges) if edges else all_ordered_pairs(len(states))
+    rng = random.Random(seed)
+    hits: Counter = Counter()
+    for _ in range(steps):
+        hits[scheduler.next_encounter(states, rng)] += 1
+    starved = sorted(pair for pair in pairs if hits[pair] < min_hits)
+    assert not starved, (
+        f"scheduler starved {len(starved)} pair(s) over {steps} encounters "
+        f"(unfair within the test horizon): {starved[:10]}")
+    return hits

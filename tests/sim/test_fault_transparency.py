@@ -10,11 +10,17 @@ itself fails the suite.
 
 import hashlib
 
+import pytest
+
 from repro.protocols.counting import CountToK, Epidemic
 from repro.protocols.majority import majority_protocol
 from repro.sim.engine import Simulation, simulate_counts
 from repro.sim.faults import CrashAt, CrashySimulation, FaultPlan, OmissionRate
 from repro.sim.multiset_engine import MultisetSimulation
+
+# The legacy CrashySimulation fingerprints below are part of the
+# transparency contract; its deprecation is tested in test_faults.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def _digest(value) -> str:

@@ -18,8 +18,13 @@ from repro.sim.faults import (
     TargetedCrash,
     reset_corruptor,
 )
+from repro.sim.engine import SimulationHalted
 from repro.sim.multiset_engine import MultisetSimulation
 from repro.util.rng import spawn_seeds
+
+# CrashySimulation is exercised deliberately throughout this module; its
+# DeprecationWarning is pinned explicitly by TestDeprecation below.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestMechanics:
@@ -317,3 +322,39 @@ class TestRunWithCrashesSchedule:
             sim.run_with_crashes([5, 20], total_steps=100)
         assert sim.interactions == 10
         assert not sim.crashed
+
+
+class TestDeprecation:
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_crashy_simulation_warns_toward_fault_plan(self, seed):
+        with pytest.warns(DeprecationWarning, match="FaultPlan"):
+            CrashySimulation(Epidemic(), [1, 0, 0], seed=seed)
+
+
+class TestLoneSurvivor:
+    def test_scheduler_halts_instead_of_crashing(self, seed):
+        # crash() enforces the >= 2-survivors invariant, so reach the
+        # degenerate state the way a buggy harness would: mutate the
+        # bookkeeping directly.  The scheduler must raise the structured
+        # SimulationHalted, not an IndexError from an empty draw.
+        sim = CrashySimulation(Epidemic(), [1, 0, 0, 0], seed=seed)
+        for agent in (1, 2, 3):
+            sim.crashed.add(agent)
+            sim.alive.remove(agent)
+        with pytest.raises(SimulationHalted, match="1 live agent"):
+            sim.run(1)
+        assert sim.interactions == 0  # nothing was simulated
+
+    def test_zero_survivors_also_halt(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0], seed=seed)
+        sim.crashed.update({0, 1})
+        sim.alive.clear()
+        with pytest.raises(SimulationHalted, match="0 live agent"):
+            sim.step()
+
+    def test_two_survivors_keep_running(self, seed):
+        sim = CrashySimulation(Epidemic(), [1, 0, 0, 0], seed=seed)
+        sim.crash(1)
+        sim.crash(2)
+        sim.run(100)
+        assert sim.interactions == 100

@@ -1,0 +1,234 @@
+"""Tests for the runtime invariant monitors on both engines."""
+
+import pytest
+
+from repro.core.population import complete_population
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.sim.engine import Simulation
+from repro.sim.monitors import (
+    ConservationMonitor,
+    FairnessBudgetMonitor,
+    MonitorViolation,
+    NoProgressWatchdog,
+    OutputFlickerMonitor,
+    StateContainmentMonitor,
+    build_monitors,
+    validate_monitor_spec,
+)
+from repro.sim.multiset_engine import MultisetSimulation
+from repro.sim.schedulers import StallingScheduler
+
+
+class TestAttachment:
+    def test_unmonitored_hot_path_untouched(self):
+        sim = Simulation(Epidemic(), [1, 0, 0], seed=0)
+        assert "step" not in sim.__dict__  # class attribute only
+        assert sim.monitors == []
+
+    def test_attach_swaps_instance_step(self):
+        sim = Simulation(Epidemic(), [1, 0, 0], seed=0,
+                         monitors=[ConservationMonitor()])
+        assert sim.__dict__["step"] == sim._monitored_step
+        assert len(sim.monitors) == 1
+
+    def test_monitored_trajectory_identical(self):
+        plain = Simulation(Epidemic(), [1, 0, 0, 0], seed=42)
+        watched = Simulation(Epidemic(), [1, 0, 0, 0], seed=42,
+                             monitors=[ConservationMonitor(),
+                                       StateContainmentMonitor()])
+        plain.run(500)
+        watched.run(500)
+        assert plain.states == watched.states
+        assert plain.interactions == watched.interactions
+
+    def test_clean_run_raises_nothing(self):
+        monitors = build_monitors(["conservation", "containment",
+                                   "fairness:budget=200",
+                                   "watchdog:steps=200"])
+        sim = MultisetSimulation(Epidemic(), {1: 2, 0: 6}, seed=0,
+                                 monitors=monitors)
+        sim.run(2_000)  # converges and goes silent; no monitor fires
+
+
+class TestConservation:
+    def test_agent_engine_detects_lost_agent(self):
+        sim = Simulation(Epidemic(), [1, 0, 0], seed=0,
+                         monitors=[ConservationMonitor()])
+        sim.states.append(0)  # an agent the model never admitted
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        assert excinfo.value.monitor == "conservation"
+        assert excinfo.value.detail["expected"] == 3
+
+    def test_multiset_engine_detects_duplicated_agent(self):
+        sim = MultisetSimulation(Epidemic(), {1: 2, 0: 2}, seed=0,
+                                 monitors=[ConservationMonitor()])
+        state = next(iter(sim.counts))
+        sim.counts[state] += 1
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        assert excinfo.value.monitor == "conservation"
+
+    def test_crashes_conserve(self):
+        sim = Simulation(Epidemic(), [1, 0, 0, 0], seed=0,
+                         monitors=[ConservationMonitor()])
+        sim.crash(2)
+        sim.run(200)  # crashed agents still count toward n
+
+
+class TestContainment:
+    def test_agent_engine_detects_alien_state(self):
+        # Crashing the corrupted agent freezes the alien state, so it
+        # survives whatever the first encounter is.
+        sim = Simulation(Epidemic(), [1, 0, 0], seed=0,
+                         monitors=[StateContainmentMonitor(check_every=1)])
+        sim.set_state(1, 99)
+        sim.crash(1)
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        assert excinfo.value.monitor == "containment"
+        assert excinfo.value.detail == {"agent": 1, "state": "99"}
+
+    def test_multiset_engine_detects_alien_state(self):
+        sim = MultisetSimulation(Epidemic(), {1: 2, 0: 2}, seed=0,
+                                 monitors=[StateContainmentMonitor()])
+        sim.counts[99] = sim.counts.pop(next(iter(sim.counts)))
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        assert excinfo.value.monitor == "containment"
+
+    def test_explicit_allowed_set(self):
+        monitor = StateContainmentMonitor(allowed={0}, check_every=1)
+        sim = Simulation(Epidemic(), [0, 0, 1], seed=0, monitors=[monitor])
+        with pytest.raises(MonitorViolation):
+            sim.run(1)
+
+
+class TestFlicker:
+    def test_inert_until_armed(self):
+        sim = Simulation(Epidemic(), [1, 0, 0, 0], seed=0,
+                         monitors=[OutputFlickerMonitor()])
+        sim.run(2_000)  # outputs change plenty; monitor never armed
+
+    def test_agent_engine_fires_on_post_arm_change(self):
+        monitor = OutputFlickerMonitor()
+        sim = Simulation(Epidemic(), [0, 0, 0], seed=0, monitors=[monitor])
+        sim.run(10)
+        monitor.arm(sim)
+        sim.set_state(0, 1)  # output flips after claimed stabilization
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(5)
+        assert excinfo.value.monitor == "flicker"
+        assert excinfo.value.detail["stabilized_at"] == 10
+
+    def test_multiset_engine_fires_on_histogram_change(self):
+        monitor = OutputFlickerMonitor()
+        sim = MultisetSimulation(Epidemic(), {0: 4}, seed=0,
+                                 monitors=[monitor])
+        sim.run(10)
+        monitor.arm(sim)
+        sim.counts.pop(0)
+        sim.counts[1] = 4
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        assert excinfo.value.monitor == "flicker"
+
+
+class TestFairnessBudget:
+    def test_fires_on_starved_productive_pair(self):
+        pop = complete_population(4)
+        protocol = Epidemic()
+        sim = Simulation(protocol, [1, 0, 0, 0], population=pop,
+                         scheduler=StallingScheduler(pop, protocol), seed=0,
+                         monitors=[FairnessBudgetMonitor(budget=100)])
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(10_000)
+        assert excinfo.value.monitor == "fairness"
+        assert excinfo.value.detail["budget"] == 100
+        assert sim.interactions <= 200
+
+    def test_silent_configuration_resets_budget(self):
+        sim = MultisetSimulation(Epidemic(), {1: 4}, seed=0,
+                                 monitors=[FairnessBudgetMonitor(budget=50)])
+        sim.run(1_000)  # silent from the start: nothing to starve
+
+
+class TestWatchdog:
+    def test_fires_on_frozen_nonsilent_run(self):
+        pop = complete_population(4)
+        protocol = Epidemic()
+        sim = Simulation(protocol, [1, 0, 0, 0], population=pop,
+                         scheduler=StallingScheduler(pop, protocol), seed=0,
+                         monitors=[NoProgressWatchdog(max_idle=100)])
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(10_000)
+        assert excinfo.value.monitor == "watchdog"
+
+    def test_silent_run_is_allowed(self):
+        sim = MultisetSimulation(Epidemic(), {1: 4}, seed=0,
+                                 monitors=[NoProgressWatchdog(max_idle=50)])
+        sim.run(1_000)
+
+    def test_allow_silent_false_trips_on_termination(self):
+        sim = MultisetSimulation(
+            Epidemic(), {1: 4}, seed=0,
+            monitors=[NoProgressWatchdog(max_idle=50, allow_silent=False)])
+        with pytest.raises(MonitorViolation):
+            sim.run(1_000)
+
+    def test_wall_clock_budget(self):
+        sim = Simulation(Epidemic(), [1, 0, 0, 0], seed=0,
+                         monitors=[NoProgressWatchdog(wall_clock=1e-9,
+                                                      check_every=8)])
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1_000)
+        assert "elapsed" in excinfo.value.detail
+
+    def test_needs_some_budget(self):
+        with pytest.raises(ValueError):
+            NoProgressWatchdog()
+
+
+class TestViolationPayload:
+    def test_carries_reproduction_context(self):
+        sim = Simulation(Epidemic(), [1, 0, 0], seed=0,
+                         monitors=[ConservationMonitor()])
+        sim.monitor_context = {"protocol": "epidemic", "engine_seed": 0}
+        sim.states.append(0)
+        with pytest.raises(MonitorViolation) as excinfo:
+            sim.run(1)
+        violation = excinfo.value
+        assert violation.context == {"protocol": "epidemic", "engine_seed": 0}
+        assert violation.to_dict()["context"]["protocol"] == "epidemic"
+        assert "context" not in violation.to_dict(include_context=False)
+
+    def test_message_names_monitor_and_step(self):
+        violation = MonitorViolation("fairness", 42, {"budget": 7})
+        assert "[fairness]" in str(violation)
+        assert "42" in str(violation)
+
+
+class TestSpecs:
+    def test_build_monitors_round_trip(self):
+        monitors = build_monitors([
+            "conservation:check=4", "containment:check=8", "flicker",
+            "fairness:budget=123", "watchdog:steps=99,check=16"])
+        kinds = [m.name for m in monitors]
+        assert kinds == ["conservation", "containment", "flicker",
+                         "fairness", "watchdog"]
+        assert monitors[0].check_every == 4
+        assert monitors[3].budget == 123
+        assert monitors[4].max_idle == 99
+
+    @pytest.mark.parametrize("bad", [
+        "warp", "conservation:budget=1", "fairness:budget=x",
+        "watchdog:steps", "flicker:check=1"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            validate_monitor_spec(bad)
+
+    def test_count_to_five_containment_is_quiet(self):
+        monitors = build_monitors(["conservation", "containment"])
+        sim = MultisetSimulation(count_to_five(), {1: 5}, seed=1,
+                                 monitors=monitors)
+        sim.run(3_000)

@@ -310,3 +310,97 @@ class TestParser:
     def test_exp_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exp"])
+
+
+CHAOS_GOOD_FLAGS = ["--protocol", "epidemic", "--ns", "8", "--trials", "2",
+                    "--monitors", "conservation,containment,flicker",
+                    "--confirm", "500", "--patience", "400",
+                    "--max-steps", "40000", "--seed", "0"]
+
+CHAOS_BAD_FLAGS = ["--protocol", "majority", "--ns", "10",
+                   "--input", "ones:6", "--fault", "corruption-rate",
+                   "--intensities", "0.005", "--trials", "2",
+                   "--monitors", "conservation,containment,flicker",
+                   "--confirm", "4000", "--patience", "600",
+                   "--max-steps", "60000", "--seed", "0"]
+
+
+class TestChaosRunCommand:
+    def test_known_good_protocol_has_no_violations(self, capsys):
+        code = main(["chaos", "run", "--fail-on-violation"]
+                    + CHAOS_GOOD_FLAGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "violations: 0 / 2 trials" in out
+
+    def test_known_bad_protocol_violates_and_fails(self, capsys):
+        code = main(["chaos", "run", "--fail-on-violation"]
+                    + CHAOS_BAD_FLAGS)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[flicker]" in out
+
+    def test_shrink_then_replay_round_trip(self, tmp_path, capsys):
+        artifact = str(tmp_path / "repro.json")
+        code = main(["chaos", "run", "--shrink", artifact]
+                    + CHAOS_BAD_FLAGS)
+        out = capsys.readouterr().out
+        assert code == 0  # no --fail-on-violation
+        assert "shrunk   :" in out
+
+        code = main(["chaos", "replay", artifact])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REPRODUCED" in out
+
+    def test_replay_json_payload(self, tmp_path, capsys):
+        import json
+
+        artifact = str(tmp_path / "repro.json")
+        assert main(["chaos", "run", "--shrink", artifact]
+                    + CHAOS_BAD_FLAGS) == 0
+        capsys.readouterr()
+        assert main(["chaos", "replay", artifact, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reproduced"] is True
+        assert payload["actual"]["step"] == payload["expected"]["step"]
+
+    def test_scheduler_axis_in_report(self, capsys):
+        code = main(["chaos", "run", "--schedulers",
+                     "uniform,eclipse:budget=500"] + CHAOS_GOOD_FLAGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eclipse:budget=500" in out
+
+    def test_store_enables_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "chaos.jsonl")
+        assert main(["chaos", "run", "--store", store]
+                    + CHAOS_GOOD_FLAGS) == 0
+        assert "(2 executed, 0 resumed)" in capsys.readouterr().out
+        assert main(["chaos", "run", "--store", store]
+                    + CHAOS_GOOD_FLAGS) == 0
+        assert "(0 executed, 2 resumed)" in capsys.readouterr().out
+
+    def test_monitors_are_required(self, tmp_path, capsys):
+        from repro.exp.spec import ExperimentSpec, InputGrid, StopRule
+
+        spec = ExperimentSpec(protocol="epidemic", ns=(6,), trials=1,
+                              inputs=InputGrid(kind="ones", ones=1),
+                              stop=StopRule(patience=500,
+                                            max_steps=20_000), seed=3)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.canonical_json(), encoding="utf-8")
+        code = main(["chaos", "run", "--spec", str(path)])
+        assert code == 1
+        assert "--monitors" in capsys.readouterr().err
+
+    def test_replay_missing_artifact_is_clean_error(self, capsys):
+        code = main(["chaos", "replay", "/nonexistent/repro.json"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestChaosParser:
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])

@@ -6,7 +6,7 @@ while paying only for state-changing interactions, pushing the sweep to
 n = 1024 and sharpening the fitted exponent.
 """
 
-from conftest import record
+from conftest import json_row
 
 from repro.protocols.majority import majority_protocol
 from repro.protocols.remainder import parity_protocol
@@ -36,12 +36,13 @@ def test_majority_scaling_to_1024(benchmark, base_seed):
 
     measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent = measurement.exponent(divide_log=True)
-    record(benchmark,
-           engine="no-op skipping (exact law)",
-           ns=measurement.ns,
-           measured_means=[round(m) for m in measurement.means],
-           paper_bound="O(n^2 log n) (Theorem 8)",
-           fitted_exponent_after_log_division=round(exponent, 3))
+    json_row(benchmark,
+             protocol="majority",
+             engine="no-op skipping (exact law)",
+             ns=measurement.ns,
+             measured_means=[round(m) for m in measurement.means],
+             paper_bound="O(n^2 log n) (Theorem 8)",
+             fitted_exponent_after_log_division=round(exponent, 3))
     assert exponent < 2.4  # within the paper's upper bound
 
 
@@ -56,12 +57,13 @@ def test_parity_scaling_to_1024(benchmark, base_seed):
 
     measurement = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent = measurement.exponent(divide_log=True)
-    record(benchmark,
-           engine="no-op skipping (exact law)",
-           ns=measurement.ns,
-           measured_means=[round(m) for m in measurement.means],
-           paper_bound="O(n^2 log n) (Theorem 8)",
-           fitted_exponent_after_log_division=round(exponent, 3))
+    json_row(benchmark,
+             protocol="parity",
+             engine="no-op skipping (exact law)",
+             ns=measurement.ns,
+             measured_means=[round(m) for m in measurement.means],
+             paper_bound="O(n^2 log n) (Theorem 8)",
+             fitted_exponent_after_log_division=round(exponent, 3))
     assert 1.6 < exponent < 2.4
 
 
@@ -76,8 +78,8 @@ def test_skipping_engine_speedup(benchmark, base_seed):
 
     interactions, reactive = benchmark.pedantic(run_once, rounds=1,
                                                 iterations=1)
-    record(benchmark, n=1024,
-           interactions_simulated=interactions,
-           reactive_steps_paid_for=reactive,
-           skip_factor=round(interactions / max(reactive, 1), 1))
+    json_row(benchmark, protocol="parity", n=1024,
+             interactions_simulated=interactions,
+             reactive_steps_paid_for=reactive,
+             skip_factor=round(interactions / max(reactive, 1), 1))
     assert interactions > reactive

@@ -3,10 +3,14 @@
 Not a paper claim — infrastructure health for all other experiments.  The
 agent-array engine pays O(1) per interaction regardless of |Q|; the
 counted-multiset engine pays O(live states) per interaction but is
-insensitive to n.
+insensitive to n.  (The compiled fast paths are benchmarked against
+these references in ``bench_kernels.py``.)
+
+Rows are emitted machine-readable via ``conftest.json_row`` — set
+``REPRO_BENCH_JSON`` to collect them as JSONL.
 """
 
-from conftest import record
+from conftest import json_row, throughput
 
 from repro.protocols.majority import majority_protocol
 from repro.sim.engine import simulate_counts
@@ -19,8 +23,10 @@ def test_agent_engine_throughput(benchmark, base_seed):
     steps = 20_000
 
     benchmark(lambda: sim.run(steps))
-    record(benchmark, n=1000, steps_per_round=steps,
-           engine="agent array (O(1)/interaction)")
+    json_row(benchmark, protocol="majority", n=1000, engine="agent",
+             steps=steps, unit="interactions",
+             ips=throughput(benchmark, steps),
+             note="agent array (O(1)/interaction)")
 
 
 def test_multiset_engine_throughput(benchmark, base_seed):
@@ -29,8 +35,10 @@ def test_multiset_engine_throughput(benchmark, base_seed):
     steps = 20_000
 
     benchmark(lambda: sim.run(steps))
-    record(benchmark, n=100_000, steps_per_round=steps,
-           engine="counted multiset (O(live states)/interaction)")
+    json_row(benchmark, protocol="majority", n=100_000, engine="multiset",
+             steps=steps, unit="interactions",
+             ips=throughput(benchmark, steps),
+             note="counted multiset (O(live states)/interaction)")
 
 
 def test_skipping_engine_reactive_throughput(benchmark, base_seed):
@@ -47,9 +55,12 @@ def test_skipping_engine_reactive_throughput(benchmark, base_seed):
         return sim.interactions, sim.reactive_steps
 
     interactions, reactive = benchmark(run)
-    record(benchmark, n=1000, reactive_steps=reactive,
-           interactions_covered=interactions,
-           engine="no-op skipping (pays only for reactive steps)")
+    json_row(benchmark, protocol="majority", n=1000,
+             engine="skipping-incremental", steps=reactive,
+             unit="reactive-steps",
+             ips=throughput(benchmark, reactive),
+             interactions_covered=interactions,
+             note="no-op skipping (pays only for reactive steps)")
 
 
 def test_multiset_engine_large_population(benchmark, base_seed):
@@ -60,4 +71,6 @@ def test_multiset_engine_large_population(benchmark, base_seed):
     steps = 10_000
 
     benchmark(lambda: sim.run(steps))
-    record(benchmark, n=1_000_000, steps_per_round=steps)
+    json_row(benchmark, protocol="majority", n=1_000_000, engine="multiset",
+             steps=steps, unit="interactions",
+             ips=throughput(benchmark, steps))

@@ -1,0 +1,43 @@
+"""Compiled-kernel benchmarks: reference engines vs. batched fast paths.
+
+One benchmark per (workload, engine) cell of the ``repro bench`` smoke
+grid, so the pytest-benchmark report shows the reference engine and its
+bit-identical compiled twin side by side:
+
+* ``multiset`` vs ``batched-multiset`` — counted-multiset stepping;
+* ``agent`` vs ``batched-agent`` — agent-array stepping;
+* ``skipping-rebuild`` vs ``skipping-incremental`` — reactive-table
+  maintenance in the no-op-skipping engine.
+
+Timing includes engine construction (and protocol compilation for the
+batched engines), matching what a cold caller pays; the committed
+full-size numbers live in ``BENCH_engines.json`` at the repo root.
+"""
+
+import pytest
+from conftest import json_row
+
+from repro.exp.bench import SMOKE_GRID, _build_protocol, _input_counts, \
+    _time_engine, _unit
+
+CASES = [(workload, engine)
+         for workload in SMOKE_GRID
+         for engine in workload["engines"]]
+
+
+@pytest.mark.parametrize(
+    "workload,engine", CASES,
+    ids=[f"{w['protocol']}-n{w['n']}-{e}" for w, e in CASES])
+def test_kernel_throughput(benchmark, base_seed, workload, engine):
+    protocol = _build_protocol(workload["protocol"])
+    counts = _input_counts(workload["protocol"], workload["n"])
+    steps = workload["steps"]
+
+    seconds = benchmark.pedantic(
+        lambda: _time_engine(engine, protocol, counts, steps, base_seed),
+        rounds=1, iterations=1)
+    json_row(benchmark,
+             protocol=workload["protocol"], n=workload["n"], engine=engine,
+             steps=steps, unit=_unit(engine),
+             seconds=round(seconds, 6), ips=round(steps / seconds, 1))
+    assert seconds > 0

@@ -10,8 +10,14 @@ DESIGN.md Sect. 2 and EXPERIMENTS.md).  The pattern is:
 * the *measured quantities* the paper predicts (interaction counts, error
   rates, fitted exponents, exact-vs-sampled ratios) are recorded in
   ``benchmark.extra_info`` so ``--benchmark-only`` output doubles as the
-  experiment report.
+  experiment report;
+* benchmarks that should feed dashboards or ad-hoc analysis report via
+  :func:`json_row`, which additionally appends one JSON object per line
+  to the file named by ``$REPRO_BENCH_JSON`` (when set).
 """
+
+import json
+import os
 
 import pytest
 
@@ -27,3 +33,32 @@ def record(benchmark, **info) -> None:
     """Stash experiment measurements in the benchmark report."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def json_row(benchmark, **fields) -> None:
+    """Record measurements and emit them as a machine-readable JSONL row.
+
+    Same ``extra_info`` side effect as :func:`record`; additionally, when
+    the ``REPRO_BENCH_JSON`` environment variable names a file, appends
+    ``{"benchmark": <test name>, **fields}`` to it as one JSON line —
+    the cross-suite collection format shared with ``repro bench``'s rows.
+    """
+    record(benchmark, **fields)
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    row = {"benchmark": getattr(benchmark, "name", None)}
+    row.update(fields)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True))
+        handle.write("\n")
+
+
+def throughput(benchmark, units: int) -> "float | None":
+    """Units per second of the benchmark's best round (None before any
+    round has run or when the stats API is unavailable)."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    best = getattr(stats, "min", None)
+    if not best:
+        return None
+    return round(units / best, 1)

@@ -18,7 +18,10 @@ Four commands expose the main pipeline:
   scaling tables with log-log exponent fits;
 * ``chaos run`` / ``chaos replay`` — monitor-instrumented campaigns over
   scheduler x fault-intensity grids; violations are shrunk to minimal
-  JSON reproductions (``--shrink``) that replay bit-identically.
+  JSON reproductions (``--shrink``) that replay bit-identically;
+* ``bench`` — engine kernel benchmarks (reference vs. compiled fast
+  paths) with a JSON baseline and a throughput-regression gate; CI runs
+  ``bench --smoke --baseline BENCH_engines.json``.
 
 ``repro run`` and ``repro robustness`` accept ``--json`` for
 machine-readable output.
@@ -37,6 +40,7 @@ Examples::
         --fault corruption-rate --intensities 0.005 --trials 4 \\
         --shrink repro.json --fail-on-violation
     python -m repro chaos replay repro.json
+    python -m repro bench --smoke --baseline BENCH_engines.json
 """
 
 from __future__ import annotations
@@ -303,6 +307,7 @@ def _spec_from_args(args: argparse.Namespace):
         schedulers=tuple(getattr(args, "schedulers", None) or ()),
         monitors=tuple(getattr(args, "monitors", None) or ()),
         confirm=getattr(args, "confirm", 0),
+        engine=getattr(args, "engine", None) or "agent",
         stop=StopRule(rule=args.stop, patience=args.patience,
                       max_steps=args.max_steps,
                       check_every=args.check_every),
@@ -477,6 +482,58 @@ def cmd_chaos_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.bench import (
+        compare_to_baseline,
+        format_rows,
+        load_bench_file,
+        run_kernel_benchmarks,
+        speedup_summary,
+        write_bench_file,
+    )
+
+    progress = None
+    if not args.json:
+        def progress(row):
+            print(f"  {row['engine']:<22} {row['protocol']} n={row['n']}: "
+                  f"{row['ips']:,.0f} {row['unit']}/s", file=sys.stderr)
+
+    rows = run_kernel_benchmarks(smoke=args.smoke, seed=args.seed,
+                                 repeats=args.repeats, progress=progress)
+    speedups = speedup_summary(rows)
+    regressions = []
+    if args.baseline:
+        try:
+            baseline = load_bench_file(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc.args[0] if exc.args else exc}",
+                  file=sys.stderr)
+            return 1
+        regressions = compare_to_baseline(rows, baseline,
+                                          max_regression=args.max_regression)
+    if args.out:
+        write_bench_file(args.out, rows)
+    if args.json:
+        print(json.dumps({"rows": rows, "speedups": speedups,
+                          "regressions": regressions},
+                         indent=2, sort_keys=True))
+        return 1 if regressions else 0
+    print(format_rows(rows))
+    for pair in speedups:
+        print(f"speedup  : {pair['fast']} vs {pair['reference']} "
+              f"({pair['protocol']}, n={pair['n']}): {pair['speedup']}x")
+    if args.out:
+        print(f"wrote    : {args.out}")
+    for reg in regressions:
+        print(f"REGRESSION: {reg['engine']} ({reg['protocol']}, "
+              f"n={reg['n']}) {reg['baseline_ips']:,.0f} -> "
+              f"{reg['ips']:,.0f} {reg['unit']}/s "
+              f"({reg['ratio']}x slower than baseline)", file=sys.stderr)
+    return 1 if regressions else 0
+
+
 def cmd_chaos_replay(args: argparse.Namespace) -> int:
     import json
 
@@ -608,6 +665,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--max-steps", type=int, default=300_000)
     exp_run.add_argument("--check-every", type=int, default=0,
                          help="silence-check period (0 = engine default)")
+    exp_run.add_argument("--engine", default="agent",
+                         choices=("agent", "batched"),
+                         help="trial engine: the reference agent-array "
+                              "engine, or the bit-identical batched fast "
+                              "path (fault-free uniform sweeps only)")
     exp_run.add_argument("--seed", type=int, default=0)
     exp_run.add_argument("--store", default=None,
                          help="JSONL result store (enables resume)")
@@ -707,6 +769,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_replay.add_argument("--json", action="store_true",
                               help="emit the replay outcome as JSON")
     chaos_replay.set_defaults(func=cmd_chaos_replay)
+
+    bench = sub.add_parser(
+        "bench",
+        help="engine kernel benchmarks with a throughput-regression gate")
+    bench.add_argument("--smoke", action="store_true",
+                       help="run the small CI grid instead of the full one")
+    bench.add_argument("--out", default=None, metavar="FILE.json",
+                       help="write the rows as a JSON baseline file")
+    bench.add_argument("--baseline", default=None, metavar="FILE.json",
+                       help="compare against this baseline; exit non-zero "
+                            "on regression")
+    bench.add_argument("--max-regression", type=float, default=3.0,
+                       help="throughput-drop factor that fails the gate "
+                            "(default 3.0)")
+    bench.add_argument("--seed", type=int, default=20040725)
+    bench.add_argument("--repeats", type=int, default=2,
+                       help="timings per row; best-of is kept (default 2)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit rows, speedups, and regressions as JSON")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -97,6 +97,23 @@ class PopulationProtocol(ABC):
         """True if the encounter leaves both agents' states unchanged."""
         return self.delta(initiator, responder) == (initiator, responder)
 
+    def compiled(self, *, key: "Hashable | None" = None,
+                 max_states: int = 1_000_000):
+        """This protocol lowered to dense integer tables, memoized per
+        process.
+
+        Returns a :class:`~repro.sim.compiled.CompiledProtocol` — the
+        interned-state/flat-table form the batched engines
+        (:mod:`repro.sim.batched`) consume.  ``key``, when given, is a
+        stable cross-instance identity (e.g. a registry name plus
+        parameters) letting equal protocols built repeatedly — one per
+        experiment trial, say — share a single compilation per process.
+        See :func:`repro.sim.compiled.compile_protocol`.
+        """
+        from repro.sim.compiled import compile_protocol
+
+        return compile_protocol(self, key=key, max_states=max_states)
+
     def transition_table(self) -> dict[tuple[State, State], tuple[State, State]]:
         """Explicit table of all non-no-op transitions over reachable states."""
         table = {}

@@ -12,12 +12,21 @@ them as data instead of bespoke loops:
 * :mod:`repro.exp.store` — append-only JSONL store making sweeps
   resumable at trial granularity;
 * :mod:`repro.exp.report` — per-point aggregates, scaling tables with
-  log-log exponent fits, CSV export.
+  log-log exponent fits, CSV export;
+* :mod:`repro.exp.bench` — engine kernel benchmarks and the
+  perf-regression gate behind ``python -m repro bench``.
 
 Exposed on the command line as ``python -m repro exp run`` /
 ``python -m repro exp report``.
 """
 
+from repro.exp.bench import (
+    compare_to_baseline,
+    load_bench_file,
+    run_kernel_benchmarks,
+    speedup_summary,
+    write_bench_file,
+)
 from repro.exp.report import (
     PointAggregate,
     aggregate,
@@ -67,4 +76,9 @@ __all__ = [
     "report_dict",
     "trials_csv",
     "summary_csv",
+    "run_kernel_benchmarks",
+    "speedup_summary",
+    "write_bench_file",
+    "load_bench_file",
+    "compare_to_baseline",
 ]

@@ -1,0 +1,269 @@
+"""Engine kernel benchmarks and the perf-regression gate.
+
+:func:`run_kernel_benchmarks` times every simulation engine — reference
+and compiled fast path side by side — on fixed workloads and returns
+machine-readable rows ``{protocol, n, engine, steps, unit, seconds,
+ips}``.  ``repro bench`` prints them, writes them to a JSON baseline
+file (``BENCH_engines.json`` at the repo root is the committed one),
+and compares a fresh run against a committed baseline, failing when any
+engine's throughput regressed by more than ``--max-regression`` (CI
+runs ``repro bench --smoke --baseline BENCH_engines.json``).
+
+Workloads:
+
+* ``leader-election`` (paper Sect. 4) on the multiset engines — the
+  canonical two-state protocol at large ``n``, where the batched
+  multiset engine's advantage is the headline number;
+* ``leader-election`` on the agent-array engines at moderate ``n``;
+* ``threshold-mixed`` — a Lemma 5 threshold protocol with mixed-sign
+  weights (``ThresholdProtocol({1: 20, 0: -19}, 0)``) whose live state
+  set stays wide (~20-30 states), the regime separating the skipping
+  engine's incremental reactive tables from the full rebuild.
+
+Ratios are computed between *this run's* reference and fast-path rows,
+so machine speed cancels; the baseline gate compares same-key rows
+across runs, so it is only meaningful on comparable hardware — hence
+the generous default threshold (3x) that catches algorithmic
+regressions, not machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+#: Benchmark seed (the paper's publication date, like the test suites).
+BENCH_SEED = 20040725
+
+#: Engines timed per workload; reference first, fast path second, so a
+#: grid row's speedup reads fast/reference.
+ENGINE_PAIRS = (
+    ("multiset", "batched-multiset"),
+    ("agent", "batched-agent"),
+    ("skipping-rebuild", "skipping-incremental"),
+)
+
+#: The full grid (committed-baseline sizes; ~1 minute total).
+FULL_GRID = (
+    {"protocol": "leader-election", "n": 100_000, "steps": 2_000_000,
+     "engines": ("multiset", "batched-multiset")},
+    {"protocol": "leader-election", "n": 10_000, "steps": 500_000,
+     "engines": ("agent", "batched-agent")},
+    {"protocol": "threshold-mixed", "n": 5_000, "steps": 4_000,
+     "engines": ("skipping-rebuild", "skipping-incremental")},
+)
+
+#: The smoke grid (CI sizes; a few seconds total).
+SMOKE_GRID = (
+    {"protocol": "leader-election", "n": 1_000, "steps": 50_000,
+     "engines": ("multiset", "batched-multiset")},
+    {"protocol": "leader-election", "n": 500, "steps": 25_000,
+     "engines": ("agent", "batched-agent")},
+    {"protocol": "threshold-mixed", "n": 500, "steps": 400,
+     "engines": ("skipping-rebuild", "skipping-incremental")},
+)
+
+
+def _build_protocol(name: str):
+    if name == "threshold-mixed":
+        from repro.protocols.threshold import ThresholdProtocol
+
+        return ThresholdProtocol({1: 20, 0: -19}, 0)
+    from repro.protocols import registry
+
+    return registry.get(name).build()
+
+
+def _input_counts(name: str, n: int) -> dict:
+    if name == "threshold-mixed":
+        return {1: n // 2, 0: n - n // 2}
+    return {1: n}
+
+
+def _time_engine(engine: str, protocol, counts, steps: int,
+                 seed: int) -> float:
+    """Build one simulation, run ``steps`` units, return elapsed seconds.
+
+    The unit is interactions for the stepping engines and *reactive*
+    steps for the skipping engines (their whole point is to not execute
+    the no-ops in between).  Construction cost — including protocol
+    compilation for the batched engines — is charged to the run, since
+    that is what a caller actually pays.
+    """
+    if engine == "multiset":
+        from repro.sim.multiset_engine import MultisetSimulation
+
+        sim = MultisetSimulation(protocol, counts, seed=seed)
+        start = time.perf_counter()
+        sim.run(steps)
+    elif engine == "batched-multiset":
+        from repro.sim.batched import BatchedMultisetSimulation
+
+        start = time.perf_counter()
+        sim = BatchedMultisetSimulation(protocol, counts, seed=seed)
+        sim.run(steps)
+    elif engine == "agent":
+        from repro.sim.engine import simulate_counts
+
+        sim = simulate_counts(protocol, counts, seed=seed)
+        start = time.perf_counter()
+        sim.run(steps)
+    elif engine == "batched-agent":
+        from repro.sim.batched import batched_simulate_counts
+
+        start = time.perf_counter()
+        sim = batched_simulate_counts(protocol, counts, seed=seed)
+        sim.run(steps)
+    elif engine in ("skipping-rebuild", "skipping-incremental"):
+        from repro.sim.skipping import SkippingSimulation
+
+        sim = SkippingSimulation(protocol, counts, seed=seed,
+                                 incremental=engine == "skipping-incremental")
+        start = time.perf_counter()
+        for _ in range(steps):
+            if not sim.step():
+                raise RuntimeError(
+                    f"benchmark workload went silent after "
+                    f"{sim.reactive_steps} reactive steps; pick a livelier "
+                    "protocol or fewer steps")
+    else:
+        raise ValueError(f"unknown benchmark engine {engine!r}")
+    return time.perf_counter() - start
+
+
+def _unit(engine: str) -> str:
+    return ("reactive-steps" if engine.startswith("skipping")
+            else "interactions")
+
+
+def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
+                          repeats: int = 2,
+                          progress=None) -> list[dict]:
+    """Time every grid workload; returns one row per (workload, engine).
+
+    ``smoke`` selects the small CI grid; the default run covers the full
+    grid *and* the smoke grid, so a baseline written from a full run has
+    matching rows for CI smoke comparisons.  Each row's throughput is
+    the best of ``repeats`` runs (best-of, not mean: scheduling noise
+    only ever slows a run down).
+    """
+    grid = SMOKE_GRID if smoke else FULL_GRID + SMOKE_GRID
+    rows: list[dict] = []
+    for workload in grid:
+        protocol = _build_protocol(workload["protocol"])
+        counts = _input_counts(workload["protocol"], workload["n"])
+        steps = workload["steps"]
+        for engine in workload["engines"]:
+            seconds = min(
+                _time_engine(engine, protocol, counts, steps, seed)
+                for _ in range(max(1, repeats)))
+            row = {
+                "protocol": workload["protocol"],
+                "n": workload["n"],
+                "engine": engine,
+                "steps": steps,
+                "unit": _unit(engine),
+                "seconds": round(seconds, 6),
+                "ips": round(steps / seconds, 1),
+            }
+            rows.append(row)
+            if progress is not None:
+                progress(row)
+    return rows
+
+
+def speedup_summary(rows: list[dict]) -> list[dict]:
+    """Fast-path/reference throughput ratios per workload.
+
+    Pairs rows of the same ``(protocol, n, steps)`` through
+    :data:`ENGINE_PAIRS`; these ratios are what the acceptance targets
+    (batched multiset >= 5x, incremental skipping >= 3x) read off.
+    """
+    by_key = {(r["protocol"], r["n"], r["steps"], r["engine"]): r
+              for r in rows}
+    summary = []
+    for reference, fast in ENGINE_PAIRS:
+        for row in rows:
+            if row["engine"] != reference:
+                continue
+            other = by_key.get(
+                (row["protocol"], row["n"], row["steps"], fast))
+            if other is None:
+                continue
+            summary.append({
+                "protocol": row["protocol"],
+                "n": row["n"],
+                "steps": row["steps"],
+                "reference": reference,
+                "fast": fast,
+                "speedup": round(other["ips"] / row["ips"], 2),
+            })
+    return summary
+
+
+def write_bench_file(path: str, rows: list[dict]) -> None:
+    """Write rows (plus derived speedups) as the JSON baseline format."""
+    payload = {
+        "schema": 1,
+        "seed": BENCH_SEED,
+        "rows": rows,
+        "speedups": speedup_summary(rows),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_file(path: str) -> list[dict]:
+    """Rows of a baseline file written by :func:`write_bench_file`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path!r} is not a bench baseline file")
+    return payload["rows"]
+
+
+def compare_to_baseline(rows: list[dict], baseline: list[dict],
+                        max_regression: float = 3.0) -> list[dict]:
+    """Regressions of ``rows`` against same-key baseline rows.
+
+    A regression is a matching ``(protocol, n, engine, steps, unit)``
+    row whose throughput fell by more than ``max_regression`` (ratio =
+    baseline_ips / ips).  Rows without a baseline counterpart are
+    ignored — adding a workload never fails the gate retroactively.
+    """
+    if max_regression <= 0:
+        raise ValueError("max_regression must be positive")
+    index = {(r["protocol"], r["n"], r["engine"], r["steps"], r["unit"]): r
+             for r in baseline}
+    regressions = []
+    for row in rows:
+        key = (row["protocol"], row["n"], row["engine"], row["steps"],
+               row["unit"])
+        base = index.get(key)
+        if base is None or not base["ips"] or not row["ips"]:
+            continue
+        ratio = base["ips"] / row["ips"]
+        if ratio > max_regression:
+            regressions.append({
+                "protocol": row["protocol"],
+                "n": row["n"],
+                "engine": row["engine"],
+                "steps": row["steps"],
+                "unit": row["unit"],
+                "baseline_ips": base["ips"],
+                "ips": row["ips"],
+                "ratio": round(ratio, 2),
+            })
+    return regressions
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Human-readable table of benchmark rows."""
+    lines = [f"{'protocol':<18} {'n':>7} {'engine':<22} {'steps':>9} "
+             f"{'unit':<14} {'ips':>12}"]
+    for row in rows:
+        lines.append(
+            f"{row['protocol']:<18} {row['n']:>7} {row['engine']:<22} "
+            f"{row['steps']:>9} {row['unit']:<14} {row['ips']:>12,.0f}")
+    return "\n".join(lines)

@@ -133,10 +133,30 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
     if spec.faults is not None:
         plan = spec.faults.build_plan(point.intensity, fault_seed)
     sched_text = point.scheduler or spec.scheduler
-    scheduler = scheduler_from_spec(sched_text, n=point.n, protocol=protocol)
     monitors = build_monitors(spec.monitors)
-    sim = simulate_counts(protocol, counts, seed=engine_seed, faults=plan,
-                          scheduler=scheduler, monitors=monitors)
+    if (spec.engine == "batched" and plan is None and not monitors
+            and sched_text == "uniform"):
+        from repro.sim.batched import batched_simulate_counts
+        from repro.sim.compiled import compile_protocol
+
+        # One compilation per worker process, not one per trial: the key
+        # names the protocol identity, so every trial of the sweep (and
+        # of any sweep over the same protocol) shares the tables.
+        try:
+            key = ("registry", spec.protocol,
+                   tuple(sorted(params.items())))
+            hash(key)
+        except TypeError:
+            key = None
+        compiled = compile_protocol(protocol, key=key)
+        sim = batched_simulate_counts(protocol, counts, seed=engine_seed,
+                                      compiled=compiled)
+    else:
+        scheduler = scheduler_from_spec(sched_text, n=point.n,
+                                        protocol=protocol)
+        sim = simulate_counts(protocol, counts, seed=engine_seed,
+                              faults=plan, scheduler=scheduler,
+                              monitors=monitors)
     if monitors:
         sim.monitor_context = {
             "protocol": spec.protocol,
@@ -207,6 +227,8 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
     # stores and their fixtures keep their exact shape.
     if point.scheduler is not None or spec.scheduler != "uniform":
         record["scheduler"] = sched_text
+    if spec.engine != "agent":
+        record["engine"] = spec.engine
     if monitors:
         record["violation"] = (None if violation is None
                                else violation.to_dict())

@@ -27,6 +27,8 @@ INPUT_KINDS = ("all-ones", "ones", "fraction", "explicit")
 FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate", "crash-at")
 #: Stopping rules understood by :class:`StopRule` (see repro.sim.convergence).
 STOP_RULES = ("quiescent", "silent", "correct-stable")
+#: Trial engines understood by the runner (see repro.exp.runner.run_trial).
+ENGINES = ("agent", "batched")
 
 
 def _coerce_symbol(symbol):
@@ -272,6 +274,11 @@ class ExperimentSpec:
     #: Extra interactions run after the stopping rule fires, with any
     #: flicker monitors armed — catches "claimed stable, then changed".
     confirm: int = 0
+    #: Simulation engine: ``agent`` (the reference agent-array engine) or
+    #: ``batched`` (:class:`~repro.sim.batched.BatchedSimulation` — the
+    #: bit-identical compiled fast path; only valid for fault-free,
+    #: monitor-free sweeps under the uniform scheduler).
+    engine: str = "agent"
     stop: StopRule = field(default_factory=StopRule)
     seed: int = 0
 
@@ -299,6 +306,24 @@ class ExperimentSpec:
             validate_monitor_spec(text)
         if self.confirm < 0:
             raise ValueError("confirm must be non-negative")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}")
+        if self.engine == "batched":
+            blockers = []
+            if self.faults is not None:
+                blockers.append("a fault axis")
+            if self.monitors:
+                blockers.append("monitors")
+            if self.schedulers:
+                blockers.append("a scheduler axis")
+            elif self.scheduler != "uniform":
+                blockers.append(f"scheduler {self.scheduler!r}")
+            if blockers:
+                raise ValueError(
+                    "engine 'batched' replays the exact uniform-pairing "
+                    "RNG law and cannot combine with "
+                    + ", ".join(blockers))
         self.inputs.validate(self.ns)
         if self.faults is not None:
             self.faults.validate()
@@ -324,6 +349,8 @@ class ExperimentSpec:
             data["monitors"] = list(self.monitors)
         if self.confirm:
             data["confirm"] = self.confirm
+        if self.engine != "agent":
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -340,6 +367,7 @@ class ExperimentSpec:
             schedulers=tuple(data.get("schedulers", ())),
             monitors=tuple(data.get("monitors", ())),
             confirm=int(data.get("confirm", 0)),
+            engine=data.get("engine", "agent"),
             stop=StopRule.from_dict(data.get("stop", {})),
             seed=int(data.get("seed", 0)),
         )

@@ -1,0 +1,822 @@
+"""Batched fast-path engines: same process law, amortized interpreter cost.
+
+:class:`BatchedMultisetSimulation` and :class:`BatchedSimulation` execute
+**exactly** the stochastic process of their reference engines
+(:class:`~repro.sim.multiset_engine.MultisetSimulation` and
+:class:`~repro.sim.engine.Simulation` under uniform pairing) — not merely
+the same law in distribution, but the *same trajectory for the same seed*.
+The fixed-seed fingerprint tests pin this down.
+
+How bit-identical batching works
+--------------------------------
+
+Both reference engines consume their ``random.Random`` in a rigid pattern:
+``randrange(n)`` for the initiator draw, then ``randrange(n - 1)`` for the
+responder draw, alternating forever.  CPython's ``randrange(m)`` is
+rejection sampling over ``getrandbits(m.bit_length())``, and each
+``getrandbits(k)`` with ``k <= 32`` consumes exactly one 32-bit Mersenne
+Twister word (truncated to its top ``k`` bits).  So when ``n`` and
+``n - 1`` have the same bit length, the engines' entire draw stream is a
+pure function of the raw word stream: a word ``w`` yields the value
+``w >> (32 - k)``, which is *rejected* when ``>= bound`` and *accepted*
+otherwise.  :class:`_PairDrawStream` pulls words in blocks through
+``getrandbits(32 * B)`` on the **same** ``random.Random`` instance and
+replays that rejection logic vectorized, producing the identical accepted
+draw sequence far faster than ``randrange`` call-by-call.  The single
+subtlety is a word decoding to exactly ``n - 1``: it is accepted for an
+initiator draw (bound ``n``) but rejected for a responder draw (bound
+``n - 1``).  Since accepted draws strictly alternate roles, the role at
+any ambiguous word is determined by the parity of accepted draws before
+it, which a short sequential fix-up over only the ambiguous positions
+resolves.
+
+On top of the decoded stream each engine runs an adaptive hybrid stepper:
+while reactive encounters are frequent it steps scalar over compiled
+integer tables (no hashing, no dict lookups); once the mean no-op gap
+grows it switches to vectorized windows — ``searchsorted`` over the count
+cumsum (multiset) or direct state-array gathers (agent) plus a reactive
+mask — paying one numpy round per *reactive* event instead of Python work
+per interaction.  Populations where ``n`` and ``n - 1`` differ in bit
+length (``n`` or ``n - 1`` a power of two, or ``n == 2``), ``n > 2**31``,
+or a non-stdlib RNG fall back to a compiled scalar path that calls
+``rng.randrange`` like the reference engines — still bit-identical, still
+faster than the reference, just not block-decoded.
+
+Neither batched engine supports fault plans, monitors, restricted
+interaction graphs, or custom schedulers — use the reference engines for
+those.  See ``docs/PERFORMANCE.md`` for the selection guide.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.configuration import AgentConfiguration
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.compiled import CompiledProtocol, compile_protocol
+from repro.util.multiset import FrozenMultiset
+from repro.util.rng import resolve_rng
+
+__all__ = [
+    "BatchedMultisetSimulation",
+    "BatchedSimulation",
+    "batched_simulate_counts",
+]
+
+#: 32-bit words decoded per ``getrandbits`` block.
+_BLOCK_WORDS = 1 << 14
+#: Interactions per scalar burst between controller decisions.
+_SCALAR_CHUNK = 1024
+#: Mean no-op gap above which vectorized windows beat scalar stepping.
+_GAP_VECTOR_THRESHOLD = 24.0
+#: Hard cap on one vectorized window.
+_WINDOW_MAX = 1 << 16
+#: Gap estimates saturate here (treated as "effectively silent").
+_GAP_CAP = 1e9
+
+
+class _PairDrawStream:
+    """Block-decodes the ``randrange(n), randrange(n - 1), ...`` stream.
+
+    Pulls raw Mersenne Twister words from ``rng`` via ``getrandbits`` and
+    replays CPython's ``_randbelow`` rejection sampling vectorized (see
+    the module docstring for the argument).  ``pv[i], qv[i]`` with
+    ``i >= ptr`` are the not-yet-consumed draw pairs; callers advance
+    ``ptr`` as they use them.  The ``rng`` object's internal position runs
+    ahead of the logical stream by whatever is buffered — interleaving
+    other draws on the same ``rng`` mid-run would diverge, which is why
+    the batched engines own their RNG exclusively.
+    """
+
+    __slots__ = ("rng", "n", "shift", "block_words",
+                 "pv", "qv", "ptr", "_pending", "_emitted")
+
+    def __init__(self, rng, n: int, block_words: int = _BLOCK_WORDS):
+        self.rng = rng
+        self.n = n
+        self.shift = 32 - n.bit_length()
+        self.block_words = block_words
+        empty = np.empty(0, dtype=np.int64)
+        self.pv = empty
+        self.qv = empty
+        self.ptr = 0
+        #: An accepted initiator draw waiting for its responder mate.
+        self._pending: "int | None" = None
+        #: Total accepted draws ever decoded (role parity anchor).
+        self._emitted = 0
+
+    @staticmethod
+    def supported(n: int) -> bool:
+        """True iff the draw stream of population size ``n`` is decodable.
+
+        Requires ``randrange(n)`` and ``randrange(n - 1)`` to consume one
+        MT word per attempt under the same bit mask: equal bit lengths
+        and at most 32 bits.
+        """
+        return 3 <= n <= (1 << 31) and n.bit_length() == (n - 1).bit_length()
+
+    def available(self) -> int:
+        return len(self.pv) - self.ptr
+
+    def ensure(self, pairs: int) -> None:
+        """Decode blocks until at least ``pairs`` pairs are buffered."""
+        if len(self.pv) - self.ptr >= pairs:
+            return
+        parts_p = [self.pv[self.ptr:]]
+        parts_q = [self.qv[self.ptr:]]
+        have = len(parts_p[0])
+        while have < pairs:
+            new_p, new_q = self._decode_block()
+            parts_p.append(new_p)
+            parts_q.append(new_q)
+            have += len(new_p)
+        self.pv = np.concatenate(parts_p)
+        self.qv = np.concatenate(parts_q)
+        self.ptr = 0
+
+    def _decode_block(self):
+        words = self.block_words
+        raw = self.rng.getrandbits(32 * words)
+        vals = np.frombuffer(raw.to_bytes(4 * words, "little"),
+                             dtype="<u4").astype(np.int64) >> self.shift
+        n = self.n
+        vals = vals[vals < n]  # rejected by both bounds
+        base = self._emitted
+        ambiguous = np.flatnonzero(vals == n - 1)
+        if ambiguous.size:
+            # A value of exactly n - 1 is accepted as an initiator draw
+            # (bound n) but rejected as a responder draw (bound n - 1).
+            # Roles strictly alternate over *accepted* draws, so the role
+            # at each ambiguous word follows from the accepted count
+            # before it — resolvable left to right over just these spots.
+            drop = []
+            dropped = 0
+            for j in ambiguous.tolist():
+                if (base + j - dropped) & 1:  # responder role: rejected
+                    drop.append(j)
+                    dropped += 1
+            if drop:
+                keep = np.ones(len(vals), dtype=bool)
+                keep[drop] = False
+                vals = vals[keep]
+        self._emitted = base + len(vals)
+        if self._pending is not None:
+            vals = np.concatenate(([self._pending], vals))
+            self._pending = None
+        if len(vals) & 1:
+            self._pending = int(vals[-1])
+            vals = vals[:-1]
+        return vals[0::2], vals[1::2]
+
+
+def _make_stream(rng, n: int) -> "_PairDrawStream | None":
+    """A draw stream when block decoding applies, else None (fallback).
+
+    Only the stock ``random.Random`` type qualifies: subclasses may
+    override ``randrange``/``getrandbits``, breaking the word-stream
+    correspondence the decoder depends on.
+    """
+    if type(rng) is random.Random and _PairDrawStream.supported(n):
+        return _PairDrawStream(rng, n)
+    return None
+
+
+class BatchedMultisetSimulation:
+    """Batched twin of :class:`~repro.sim.multiset_engine.MultisetSimulation`.
+
+    Same constructor shape (minus ``faults``/``monitors``), same
+    inspection API, and — for the same seed — the same
+    ``(multiset, interactions, last_change)`` trajectory, verified by the
+    fingerprint tests.  Pass a pre-built ``compiled`` table (or rely on
+    the process-level memo in :func:`~repro.sim.compiled.compile_protocol`)
+    to amortize compilation across many simulations.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        input_counts: "Mapping[Symbol, int] | None" = None,
+        *,
+        state_counts: "Mapping[State, int] | None" = None,
+        seed: "int | None" = None,
+        compiled: "CompiledProtocol | None" = None,
+    ):
+        self.protocol = protocol
+        if (input_counts is None) == (state_counts is None):
+            raise ValueError("pass exactly one of input_counts= or state_counts=")
+        if compiled is None:
+            compiled = compile_protocol(protocol)
+        if state_counts is not None:
+            unknown = [s for s in state_counts if s not in compiled.index]
+            if unknown:
+                compiled = compile_protocol(protocol, extra_states=unknown)
+        self._compiled = compiled
+        k = compiled.size
+        counts = [0] * k
+        order: list[int] = []
+        if input_counts is not None:
+            for symbol, count in input_counts.items():
+                if symbol not in protocol.input_alphabet:
+                    raise ValueError(f"symbol {symbol!r} not in input alphabet")
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                if count:
+                    sid = compiled.initial_ids[symbol]
+                    if not counts[sid]:
+                        order.append(sid)
+                    counts[sid] += count
+        else:
+            for state, count in state_counts.items():
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                if count:
+                    sid = compiled.index[state]
+                    if not counts[sid]:
+                        order.append(sid)
+                    counts[sid] += count
+        self._counts = counts
+        self._order = order
+        self.n = sum(counts)
+        if self.n < 2:
+            raise ValueError("a population needs at least two agents")
+        self.rng = resolve_rng(seed)
+        self.interactions = 0
+        self.last_change = 0
+        self.dead = 0  # API parity: this engine never crashes agents
+        self._stream = _make_stream(self.rng, self.n)
+        #: EMA of interactions per reactive step (mode controller).
+        self._gap = 2.0
+        #: Counts changed since the cumsum was built (every reactive step).
+        self._dirty_counts = True
+        #: The live-state *set or order* changed (much rarer), invalidating
+        #: the live reactive matrix as well.
+        self._dirty_struct = True
+        self._cum: "np.ndarray | None" = None
+        self._cum_m1: "np.ndarray | None" = None
+        self._react_live: "np.ndarray | None" = None
+        self._row_any: "np.ndarray | None" = None
+        self._react2d = compiled.reactive_mask.reshape(k, k)
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def n_alive(self) -> int:
+        return self.n
+
+    @property
+    def counts(self) -> dict:
+        """Live state counts, in the reference engine's dict order."""
+        state_of = self._compiled.states
+        return {state_of[sid]: self._counts[sid] for sid in self._order}
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The compiled tables driving this simulation."""
+        return self._compiled
+
+    def multiset(self) -> FrozenMultiset:
+        return FrozenMultiset(self.counts)
+
+    def output_counts(self) -> dict:
+        outputs: dict = {}
+        compiled = self._compiled
+        for sid in self._order:
+            out = compiled.output_symbols[compiled.output_ids[sid]]
+            outputs[out] = outputs.get(out, 0) + self._counts[sid]
+        return outputs
+
+    def unanimous_output(self) -> "Symbol | None":
+        outputs = self.output_counts()
+        if len(outputs) == 1:
+            return next(iter(outputs))
+        return None
+
+    def unanimous_surviving_output(self) -> "Symbol | None":
+        return self.unanimous_output()
+
+    # -- Stepping --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One interaction; True iff the configuration changed."""
+        stream = self._stream
+        if stream is None:
+            p_val = self.rng.randrange(self.n)
+            q_val = self.rng.randrange(self.n - 1)
+        else:
+            stream.ensure(1)
+            i = stream.ptr
+            p_val = int(stream.pv[i])
+            q_val = int(stream.qv[i])
+            stream.ptr = i + 1
+        return self._apply_pair(p_val, q_val)
+
+    def _apply_pair(self, p_val: int, q_val: int) -> bool:
+        counts = self._counts
+        order = self._order
+        acc = 0
+        for pid in order:
+            acc += counts[pid]
+            if p_val < acc:
+                break
+        # Exclude-shift: the responder draw is over n - 1 with one unit of
+        # the initiator's state removed; shifting the draw past that unit
+        # re-aligns it with the unadjusted cumulative scan.
+        if q_val >= acc - 1:
+            q_val += 1
+        acc = 0
+        for qid in order:
+            acc += counts[qid]
+            if q_val < acc:
+                break
+        self.interactions += 1
+        result = self._compiled.pair_table[pid * self._compiled.size + qid]
+        if result is None:
+            return False
+        self._apply_transition(pid, qid, result)
+        self.last_change = self.interactions
+        return True
+
+    def _apply_transition(self, pid: int, qid: int, result) -> None:
+        # Reference op order: decrement p, decrement q, then increments.
+        counts = self._counts
+        order = self._order
+        p2, q2 = result
+        struct = False
+        c = counts[pid] - 1
+        counts[pid] = c
+        if not c:
+            order.remove(pid)
+            struct = True
+        c = counts[qid] - 1
+        counts[qid] = c
+        if not c:
+            order.remove(qid)
+            struct = True
+        if not counts[p2]:
+            order.append(p2)
+            struct = True
+        counts[p2] += 1
+        if not counts[q2]:
+            order.append(q2)
+            struct = True
+        counts[q2] += 1
+        self._dirty_counts = True
+        if struct:
+            self._dirty_struct = True
+
+    def run(self, steps: int) -> None:
+        if steps <= 0:
+            return
+        if self._stream is None:
+            for _ in range(steps):
+                self.step()
+            return
+        target = self.interactions + steps
+        while self.interactions < target:
+            remaining = target - self.interactions
+            if self._gap < _GAP_VECTOR_THRESHOLD:
+                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
+                                   else _SCALAR_CHUNK)
+            else:
+                self._vector_round(remaining)
+
+    def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
+        """Run until ``condition(self)`` holds or ``max_steps`` pass.
+
+        Checked at the same interaction counts as the reference engine's
+        ``run_until``, so stopping decisions agree trajectory-for-
+        trajectory.
+        """
+        if condition(self):
+            return True
+        remaining = max_steps
+        while remaining > 0:
+            chunk = min(check_every, remaining)
+            self.run(chunk)
+            remaining -= chunk
+            if condition(self):
+                return True
+        return False
+
+    # -- Hybrid internals ------------------------------------------------------
+
+    def _scalar_chunk(self, count: int) -> None:
+        stream = self._stream
+        stream.ensure(count)
+        i0 = stream.ptr
+        p_vals = stream.pv[i0:i0 + count].tolist()
+        q_vals = stream.qv[i0:i0 + count].tolist()
+        stream.ptr = i0 + count
+        counts = self._counts
+        order = self._order
+        pairs = self._compiled.pair_table
+        k = self._compiled.size
+        base = self.interactions
+        idx = 0
+        reactive = 0
+        struct = False
+        for p_val, q_val in zip(p_vals, q_vals):
+            idx += 1
+            acc = 0
+            for pid in order:
+                acc += counts[pid]
+                if p_val < acc:
+                    break
+            if q_val >= acc - 1:  # exclude-shift (see _apply_pair)
+                q_val += 1
+            acc = 0
+            for qid in order:
+                acc += counts[qid]
+                if q_val < acc:
+                    break
+            result = pairs[pid * k + qid]
+            if result is None:
+                continue
+            reactive += 1
+            p2, q2 = result
+            c = counts[pid] - 1
+            counts[pid] = c
+            if not c:
+                order.remove(pid)
+                struct = True
+            c = counts[qid] - 1
+            counts[qid] = c
+            if not c:
+                order.remove(qid)
+                struct = True
+            if not counts[p2]:
+                order.append(p2)
+                struct = True
+            counts[p2] += 1
+            if not counts[q2]:
+                order.append(q2)
+                struct = True
+            counts[q2] += 1
+            self.last_change = base + idx
+        self.interactions = base + idx
+        if reactive:
+            self._dirty_counts = True
+            if struct:
+                self._dirty_struct = True
+            self._gap = 0.6 * self._gap + 0.4 * (idx / reactive)
+        else:
+            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
+
+    def _refresh_cum(self) -> None:
+        counts = self._counts
+        acc = 0
+        partial = []
+        for sid in self._order:
+            acc += counts[sid]
+            partial.append(acc)
+        cum = np.asarray(partial, dtype=np.int64)
+        self._cum = cum
+        self._cum_m1 = cum - 1
+        self._dirty_counts = False
+
+    def _refresh_struct(self) -> None:
+        idx = np.asarray(self._order, dtype=np.int64)
+        live = self._react2d[idx][:, idx]
+        self._react_live = live
+        #: Per live position: does this initiator have *any* reactive
+        #: partner?  Windows whose initiators all fail this 1-D test are
+        #: resolved without touching the responder side at all.
+        self._row_any = live.any(axis=1)
+        self._dirty_struct = False
+
+    def _vector_round(self, remaining: int) -> None:
+        if self._dirty_struct:
+            self._refresh_struct()
+        if self._dirty_counts:
+            self._refresh_cum()
+        gap = self._gap
+        window = int(gap * 6.0) + 8
+        if window > remaining:
+            window = remaining
+        if window > _WINDOW_MAX:
+            window = _WINDOW_MAX
+        stream = self._stream
+        stream.ensure(window)
+        i0 = stream.ptr
+        pv = stream.pv[i0:i0 + window]
+        cum = self._cum
+        ppos = cum.searchsorted(pv, side="right")
+        candidates = self._row_any[ppos].nonzero()[0]
+        if candidates.size == 0:
+            stream.ptr = i0 + window
+            self.interactions += window
+            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
+            return
+        # Responder draw over n - 1 with the initiator's state excluded:
+        # shifting the draw past the excluded unit re-aligns it with the
+        # unadjusted cumsum (the vectorized form of the reference scan).
+        # Only candidate positions can be reactive, so only they need the
+        # responder side resolved.
+        qv = stream.qv[i0:i0 + window][candidates]
+        ppos_c = ppos[candidates]
+        shifted = qv + (qv >= self._cum_m1[ppos_c])
+        qpos_c = cum.searchsorted(shifted, side="right")
+        hit = self._react_live[ppos_c, qpos_c]
+        m = int(hit.argmax())
+        if not hit[m]:
+            stream.ptr = i0 + window
+            self.interactions += window
+            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
+            return
+        j0 = int(candidates[m])
+        stream.ptr = i0 + j0 + 1
+        self.interactions += j0 + 1
+        order = self._order
+        pid = order[int(ppos_c[m])]
+        qid = order[int(qpos_c[m])]
+        result = self._compiled.pair_table[pid * self._compiled.size + qid]
+        self._apply_transition(pid, qid, result)
+        self.last_change = self.interactions
+        self._gap = 0.75 * gap + 0.25 * (j0 + 1)
+
+
+class BatchedSimulation:
+    """Batched twin of :class:`~repro.sim.engine.Simulation` under uniform
+    random pairing on the complete graph.
+
+    Same constructor shape minus ``population``/``scheduler``/``faults``/
+    ``monitors``, the same inspection API, and — for the same seed — the
+    same ``(states, interactions, last_output_change)`` trajectory as the
+    reference engine with its default :class:`UniformPairScheduler`.
+    ``states`` is exposed as a property building a fresh list; mutate
+    agent state through the reference engine if you need ``set_state``.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        inputs: "Sequence[Symbol] | None" = None,
+        *,
+        states: "Sequence[State] | None" = None,
+        seed: "int | None" = None,
+        compiled: "CompiledProtocol | None" = None,
+    ):
+        self.protocol = protocol
+        if (inputs is None) == (states is None):
+            raise ValueError("pass exactly one of inputs= or states=")
+        if compiled is None:
+            compiled = compile_protocol(protocol)
+        if inputs is not None:
+            for symbol in inputs:
+                if symbol not in protocol.input_alphabet:
+                    raise ValueError(f"input symbol {symbol!r} not in alphabet")
+            ids = [compiled.initial_ids[symbol] for symbol in inputs]
+        else:
+            unknown = [s for s in states if s not in compiled.index]
+            if unknown:
+                compiled = compile_protocol(protocol, extra_states=unknown)
+            ids = [compiled.index[state] for state in states]
+        self._compiled = compiled
+        self._ids = ids
+        n = len(ids)
+        if n < 2:
+            raise ValueError("a population needs at least two agents")
+        self.rng = resolve_rng(seed)
+        self.interactions = 0
+        self.last_output_change = 0
+        out_ids = compiled.output_ids
+        self._agent_out = [out_ids[sid] for sid in ids]
+        self._out_hist = [0] * len(compiled.output_symbols)
+        for oid in self._agent_out:
+            self._out_hist[oid] += 1
+        self._sarr = np.asarray(ids, dtype=np.int64)
+        self._react_flat = compiled.reactive_mask
+        #: Per state: does it react with *any* partner as initiator?
+        self._row_any = compiled.reactive_mask.reshape(
+            compiled.size, compiled.size).any(axis=1)
+        self._stream = _make_stream(self.rng, n)
+        self._gap = 2.0
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._ids)
+
+    @property
+    def n_alive(self) -> int:
+        return len(self._ids)
+
+    @property
+    def states(self) -> list:
+        """Current agent states (a fresh list; read-only view)."""
+        state_of = self._compiled.states
+        return [state_of[sid] for sid in self._ids]
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The compiled tables driving this simulation."""
+        return self._compiled
+
+    def outputs(self) -> tuple:
+        symbols = self._compiled.output_symbols
+        return tuple(symbols[oid] for oid in self._agent_out)
+
+    def configuration(self) -> AgentConfiguration:
+        return AgentConfiguration(self.states)
+
+    def multiset(self) -> FrozenMultiset:
+        return FrozenMultiset(self.states)
+
+    def output_counts(self) -> dict:
+        symbols = self._compiled.output_symbols
+        return {symbols[oid]: count
+                for oid, count in enumerate(self._out_hist) if count}
+
+    def unanimous_output(self) -> "Symbol | None":
+        n = len(self._ids)
+        for oid, count in enumerate(self._out_hist):
+            if count == n:
+                return self._compiled.output_symbols[oid]
+        return None
+
+    def surviving_outputs(self) -> list:
+        return list(self.outputs())
+
+    def unanimous_surviving_output(self) -> "Symbol | None":
+        return self.unanimous_output()
+
+    # -- Stepping --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One interaction; True iff any state changed."""
+        n = len(self._ids)
+        stream = self._stream
+        if stream is None:
+            initiator = self.rng.randrange(n)
+            responder = self.rng.randrange(n - 1)
+        else:
+            stream.ensure(1)
+            i = stream.ptr
+            initiator = int(stream.pv[i])
+            responder = int(stream.qv[i])
+            stream.ptr = i + 1
+        if responder >= initiator:
+            responder += 1
+        self.interactions += 1
+        ids = self._ids
+        compiled = self._compiled
+        result = compiled.pair_table[ids[initiator] * compiled.size
+                                     + ids[responder]]
+        if result is None:
+            return False
+        self._apply_transition(initiator, responder, result)
+        return True
+
+    def _apply_transition(self, initiator: int, responder: int, result) -> None:
+        p2, q2 = result
+        ids = self._ids
+        ids[initiator] = p2
+        ids[responder] = q2
+        sarr = self._sarr
+        sarr[initiator] = p2
+        sarr[responder] = q2
+        out_ids = self._compiled.output_ids
+        agent_out = self._agent_out
+        hist = self._out_hist
+        changed_output = False
+        out_p = out_ids[p2]
+        if out_p != agent_out[initiator]:
+            hist[agent_out[initiator]] -= 1
+            hist[out_p] += 1
+            agent_out[initiator] = out_p
+            changed_output = True
+        out_q = out_ids[q2]
+        if out_q != agent_out[responder]:
+            hist[agent_out[responder]] -= 1
+            hist[out_q] += 1
+            agent_out[responder] = out_q
+            changed_output = True
+        if changed_output:
+            self.last_output_change = self.interactions
+
+    def run(self, steps: int) -> None:
+        if steps <= 0:
+            return
+        if self._stream is None:
+            for _ in range(steps):
+                self.step()
+            return
+        target = self.interactions + steps
+        while self.interactions < target:
+            remaining = target - self.interactions
+            if self._gap < _GAP_VECTOR_THRESHOLD:
+                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
+                                   else _SCALAR_CHUNK)
+            else:
+                self._vector_round(remaining)
+
+    def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
+        """Run until ``condition(self)`` holds or ``max_steps`` pass."""
+        if condition(self):
+            return True
+        remaining = max_steps
+        while remaining > 0:
+            chunk = min(check_every, remaining)
+            self.run(chunk)
+            remaining -= chunk
+            if condition(self):
+                return True
+        return False
+
+    # -- Hybrid internals ------------------------------------------------------
+
+    def _scalar_chunk(self, count: int) -> None:
+        stream = self._stream
+        stream.ensure(count)
+        i0 = stream.ptr
+        p_vals = stream.pv[i0:i0 + count].tolist()
+        q_vals = stream.qv[i0:i0 + count].tolist()
+        stream.ptr = i0 + count
+        ids = self._ids
+        pairs = self._compiled.pair_table
+        k = self._compiled.size
+        base = self.interactions
+        idx = 0
+        reactive = 0
+        for initiator, responder in zip(p_vals, q_vals):
+            idx += 1
+            if responder >= initiator:
+                responder += 1
+            result = pairs[ids[initiator] * k + ids[responder]]
+            if result is None:
+                continue
+            reactive += 1
+            self.interactions = base + idx
+            self._apply_transition(initiator, responder, result)
+        self.interactions = base + idx
+        if reactive:
+            self._gap = 0.6 * self._gap + 0.4 * (idx / reactive)
+        else:
+            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
+
+    def _vector_round(self, remaining: int) -> None:
+        gap = self._gap
+        window = int(gap * 6.0) + 8
+        if window > remaining:
+            window = remaining
+        if window > _WINDOW_MAX:
+            window = _WINDOW_MAX
+        stream = self._stream
+        stream.ensure(window)
+        i0 = stream.ptr
+        pv = stream.pv[i0:i0 + window]
+        sarr = self._sarr
+        sp = sarr[pv]
+        # Initiator states with no reactive partner at all can never be
+        # the reactive event; windows of only those skip the responder
+        # side entirely.
+        candidates = np.flatnonzero(self._row_any[sp])
+        if candidates.size == 0:
+            stream.ptr = i0 + window
+            self.interactions += window
+            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
+            return
+        pv_c = pv[candidates]
+        qv_c = stream.qv[i0:i0 + window][candidates]
+        resp_c = qv_c + (qv_c >= pv_c)
+        sp_c = sp[candidates]
+        sq_c = sarr[resp_c]
+        hit = self._react_flat[sp_c * self._compiled.size + sq_c]
+        m = int(hit.argmax())
+        if not hit[m]:
+            stream.ptr = i0 + window
+            self.interactions += window
+            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
+            return
+        j0 = int(candidates[m])
+        stream.ptr = i0 + j0 + 1
+        self.interactions += j0 + 1
+        result = self._compiled.pair_table[int(sp_c[m]) * self._compiled.size
+                                           + int(sq_c[m])]
+        self._apply_transition(int(pv_c[m]), int(resp_c[m]), result)
+        self._gap = 0.75 * gap + 0.25 * (j0 + 1)
+
+
+def batched_simulate_counts(
+    protocol: PopulationProtocol,
+    input_counts: Mapping,
+    *,
+    seed: "int | None" = None,
+    compiled: "CompiledProtocol | None" = None,
+) -> BatchedSimulation:
+    """Build a :class:`BatchedSimulation` from symbol counts.
+
+    Agents are laid out symbol-by-symbol in the same order as
+    :func:`~repro.sim.engine.simulate_counts`, so fixed-seed runs match
+    the reference construction agent-for-agent.
+    """
+    inputs: list = []
+    for symbol, count in sorted(input_counts.items(), key=lambda kv: repr(kv[0])):
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        inputs.extend([symbol] * count)
+    return BatchedSimulation(protocol, inputs, seed=seed, compiled=compiled)

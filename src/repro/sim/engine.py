@@ -5,6 +5,11 @@ agent states under a pluggable scheduler (uniform random pairing by
 default, i.e. the conjugating-automata model of Sect. 6).  It counts
 interactions, tracks when the output assignment last changed, and supports
 the stopping rules in :mod:`repro.sim.convergence`.
+
+For fault-free runs under the default uniform scheduler, the batched twin
+:class:`~repro.sim.batched.BatchedSimulation` executes the same trajectory
+(bit-identical for the same seed) several times faster; see
+``docs/PERFORMANCE.md`` for the engine selection guide.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ agent array.  Under uniform random pairing the multiset dynamics are exactly
 the agent-level dynamics projected through the counting map: an ordered
 state pair ``(p, q)`` is drawn with probability proportional to
 ``c_p * (c_q - [p == q])``.
+
+For fault-free runs at large ``n``, the batched twin
+:class:`~repro.sim.batched.BatchedMultisetSimulation` executes the same
+trajectory (bit-identical for the same seed) several times faster; see
+``docs/PERFORMANCE.md`` for the engine selection guide.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.engine import SimulationHalted
 from repro.util.multiset import FrozenMultiset
 from repro.util.rng import resolve_rng
 
@@ -226,6 +232,11 @@ class MultisetSimulation:
         plan = self._faults
         if plan is not None:
             plan.pre_step(self)
+        alive = self.n - self.dead
+        if alive < 2:
+            raise SimulationHalted(
+                f"only {alive} live agent(s) remain: "
+                "no encounter is possible")
         self.interactions += 1
         if plan is not None:
             if self.dead:

@@ -13,6 +13,18 @@ statistic of (configuration, interaction count) matches the plain
 :class:`~repro.sim.multiset_engine.MultisetSimulation` in distribution.
 When the configuration is silent the engine reports it instead of spinning
 forever.
+
+Two implementations of the reactive-pair table coexist:
+
+* **incremental** (the default): rows of reactive partners per live state
+  plus per-row weights, updated only at the states ``{p, q, p2, q2}`` a
+  transition touches — O(live states) per reactive step;
+* **rebuild** (``incremental=False``): the original full O(live²) rescan
+  of every ordered state pair on every reactive step.
+
+Both modes consume the RNG identically and scan pairs in the same
+insertion order, so fixed-seed runs are bit-identical across modes (the
+equivalence tests pin this state-for-state).
 """
 
 from __future__ import annotations
@@ -28,10 +40,13 @@ class SkippingSimulation(MultisetSimulation):
     """Multiset simulation that fast-forwards through no-op interactions.
 
     Same constructor and inspection API as
-    :class:`~repro.sim.multiset_engine.MultisetSimulation`.  ``step()``
-    performs one *reactive* interaction, advancing ``interactions`` by the
-    sampled number of preceding no-ops plus one; it returns False (and
-    leaves the clock untouched) when the configuration is silent.
+    :class:`~repro.sim.multiset_engine.MultisetSimulation`, except that
+    fault plans are rejected (the skip computation knows nothing about
+    fault-step boundaries); ``monitors`` are forwarded and fire once per
+    *reactive* step.  ``step()`` performs one reactive interaction,
+    advancing ``interactions`` by the sampled number of preceding no-ops
+    plus one; it returns False (and leaves the clock untouched) when the
+    configuration is silent.
     """
 
     def __init__(
@@ -41,9 +56,26 @@ class SkippingSimulation(MultisetSimulation):
         *,
         state_counts: "Mapping[State, int] | None" = None,
         seed: "int | None" = None,
+        incremental: bool = True,
+        monitors=(),
+        faults=None,
     ):
+        if faults is not None:
+            raise TypeError(
+                "SkippingSimulation does not support fault plans: the "
+                "no-op skip jumps over the step boundaries a FaultPlan "
+                "schedules against; use MultisetSimulation for faulted "
+                "runs")
+        self._incremental = bool(incremental)
+        #: Incremental reactive-table state (valid only when the flag is
+        #: set; any out-of-band count mutation clears it).
+        self._tables_valid = False
+        self._rows: dict = {}
+        self._cols: dict = {}
+        self._row_weight: dict = {}
+        self._reactive_weight = 0
         super().__init__(protocol, input_counts, state_counts=state_counts,
-                         seed=seed)
+                         seed=seed, monitors=monitors)
         self.silent = False
         #: Number of reactive (state-changing) steps performed.
         self.reactive_steps = 0
@@ -52,7 +84,17 @@ class SkippingSimulation(MultisetSimulation):
         #: Reactive-step count at the last output change.
         self.reactive_at_last_output_change = 0
 
-    def _reactive_pairs(self) -> list[tuple[tuple[State, State], tuple[State, State], int]]:
+    # -- Shared helpers --------------------------------------------------------
+
+    def _delta(self, p: State, q: State):
+        key = (p, q)
+        result = self._delta_cache.get(key)
+        if result is None:
+            result = self.protocol.delta(p, q)
+            self._delta_cache[key] = result
+        return result
+
+    def _reactive_pairs(self) -> list:
         """All state-changing ordered pairs with their agent-pair weights."""
         reactive = []
         counts = self.counts
@@ -70,26 +112,155 @@ class SkippingSimulation(MultisetSimulation):
                     reactive.append((key, result, weight))
         return reactive
 
+    # -- Incremental reactive-table maintenance --------------------------------
+
+    def _build_tables(self) -> None:
+        """Full build of rows / columns / weights from the current counts."""
+        rows: dict = {}
+        cols: dict = {}
+        row_weight: dict = {}
+        total = 0
+        counts = self.counts
+        delta = self._delta
+        for p, cp in counts.items():
+            row: dict = {}
+            weight = 0
+            for q, cq in counts.items():
+                result = delta(p, q)
+                if result != (p, q):
+                    row[q] = result
+                    weight += cp * (cq - 1) if p == q else cp * cq
+                    cols.setdefault(q, set()).add(p)
+            rows[p] = row
+            row_weight[p] = weight
+            total += weight
+        self._rows = rows
+        self._cols = cols
+        self._row_weight = row_weight
+        self._reactive_weight = total
+        self._tables_valid = True
+
+    def _state_born(self, state: State) -> None:
+        """Insert a freshly live state's row and column contributions.
+
+        ``counts[state]`` is already set; iteration order of ``counts``
+        puts the newcomer last, exactly where the rebuild scan would visit
+        it — preserving bit-identical pair-sampling order across modes.
+        """
+        counts = self.counts
+        rows = self._rows
+        cols = self._cols
+        delta = self._delta
+        count_s = counts[state]
+        row: dict = {}
+        weight = 0
+        for q, cq in counts.items():
+            result = delta(state, q)
+            if result != (state, q):
+                row[q] = result
+                weight += count_s * (cq - 1) if q == state else count_s * cq
+                cols.setdefault(q, set()).add(state)
+        rows[state] = row
+        self._row_weight[state] = weight
+        self._reactive_weight += weight
+        for p, cp in counts.items():
+            if p == state:
+                continue
+            result = delta(p, state)
+            if result != (p, state):
+                rows[p][state] = result
+                cols.setdefault(state, set()).add(p)
+                added = cp * count_s
+                self._row_weight[p] += added
+                self._reactive_weight += added
+
+    def _state_died(self, state: State) -> None:
+        """Drop a dead state's row and column entries (weights already
+        reflect its zero count)."""
+        rows = self._rows
+        cols = self._cols
+        row = rows.pop(state)
+        for q in row:
+            partners = cols.get(q)
+            if partners is not None:
+                partners.discard(state)
+        del self._row_weight[state]
+        for p in cols.pop(state, ()):
+            prow = rows.get(p)
+            if prow is not None:
+                prow.pop(state, None)
+
+    def _set_count(self, state: State, new: int) -> None:
+        """Move one state's count, keeping all weights and tables exact."""
+        counts = self.counts
+        old = counts.get(state, 0)
+        if new == old:
+            return
+        if old == 0:
+            counts[state] = new
+            self._state_born(state)
+            return
+        shift = new - old
+        for p in self._cols.get(state, ()):
+            if p == state:
+                continue  # own row handled below (self-pair weight differs)
+            delta_w = counts[p] * shift
+            self._row_weight[p] += delta_w
+            self._reactive_weight += delta_w
+        row = self._rows[state]
+        if row:
+            delta_w = 0
+            for q in row:
+                if q == state:
+                    delta_w += new * (new - 1) - old * (old - 1)
+                else:
+                    delta_w += counts[q] * shift
+            self._row_weight[state] += delta_w
+            self._reactive_weight += delta_w
+        if new:
+            counts[state] = new
+        else:
+            del counts[state]
+            self._state_died(state)
+
+    # -- Out-of-band mutation hooks --------------------------------------------
+
+    def _crash_state(self, state: State) -> None:
+        super()._crash_state(state)
+        self._tables_valid = False
+
+    def corrupt_random(self, corruptor, *, rng=None) -> bool:
+        changed = super().corrupt_random(corruptor, rng=rng)
+        if changed:
+            self._tables_valid = False
+        return changed
+
+    # -- Stepping --------------------------------------------------------------
+
     def step(self) -> bool:
         """One reactive interaction (clock advanced past skipped no-ops)."""
         if self.silent:
             return False
+        if self._incremental:
+            return self._step_incremental()
+        return self._step_rebuild()
+
+    def _skip_count(self, probability: float) -> int:
+        """Exact geometric number of no-ops before the reactive draw
+        (inverse-CDF sampling, valid for any probability)."""
+        u = self.rng.random()
+        if probability >= 1.0:
+            return 0
+        return int(math.floor(math.log(1.0 - u) / math.log(1.0 - probability)))
+
+    def _step_rebuild(self) -> bool:
         reactive = self._reactive_pairs()
         total_pairs = self.n * (self.n - 1)
         reactive_weight = sum(weight for _, _, weight in reactive)
         if reactive_weight == 0:
             self.silent = True
             return False
-        # Number of no-ops before the reactive draw: geometric with
-        # success probability reactive_weight / total_pairs.  Inverse-CDF
-        # sampling keeps this exact for any probability.
-        probability = reactive_weight / total_pairs
-        u = self.rng.random()
-        if probability >= 1.0:
-            skipped = 0
-        else:
-            skipped = int(math.floor(math.log(1.0 - u)
-                                     / math.log(1.0 - probability)))
+        skipped = self._skip_count(reactive_weight / total_pairs)
         self.interactions += skipped + 1
         # Draw the reactive pair proportionally to its weight.
         target = self.rng.randrange(reactive_weight)
@@ -107,6 +278,49 @@ class SkippingSimulation(MultisetSimulation):
                 del counts[state]
         for state in (p2, q2):
             counts[state] = counts.get(state, 0) + 1
+        self._tables_valid = False
+        return self._finish_reactive_step(p, q, p2, q2)
+
+    def _step_incremental(self) -> bool:
+        if not self._tables_valid:
+            self._build_tables()
+        reactive_weight = self._reactive_weight
+        if reactive_weight == 0:
+            self.silent = True
+            return False
+        total_pairs = self.n * (self.n - 1)
+        skipped = self._skip_count(reactive_weight / total_pairs)
+        self.interactions += skipped + 1
+        # Same draw, same scan order as the rebuild mode: states in counts
+        # insertion order, partners in row insertion order (zero-weight
+        # self-pairs contribute nothing, exactly like their absence from
+        # the rebuilt list).
+        target = self.rng.randrange(reactive_weight)
+        counts = self.counts
+        rows = self._rows
+        row_weight = self._row_weight
+        acc = 0
+        for p in counts:
+            after_row = acc + row_weight[p]
+            if target >= after_row:
+                acc = after_row
+                continue
+            count_p = counts[p]
+            for q, (p2, q2) in rows[p].items():
+                if q == p:
+                    acc += count_p * (count_p - 1)
+                else:
+                    acc += count_p * counts[q]
+                if target < acc:
+                    break
+            break
+        self._set_count(p, counts[p] - 1)
+        self._set_count(q, counts.get(q, 0) - 1)
+        self._set_count(p2, counts.get(p2, 0) + 1)
+        self._set_count(q2, counts.get(q2, 0) + 1)
+        return self._finish_reactive_step(p, q, p2, q2)
+
+    def _finish_reactive_step(self, p, q, p2, q2) -> bool:
         self.last_change = self.interactions
         self.reactive_steps += 1
         out = self.protocol.output

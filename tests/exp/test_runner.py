@@ -253,3 +253,46 @@ class TestMonitoredTrials:
         assert context["fault"] == {"kind": "corruption-rate",
                                     "intensity": 0.005}
         assert sum(int(c) for c in context["counts"].values()) == 10
+
+
+class TestBatchedEngine:
+    def test_records_identical_to_agent_engine(self):
+        # Same spec hash (forced) => same derived seeds => the batched
+        # engine must reproduce the agent engine's records field for
+        # field; this is the fingerprint guarantee surfacing at the
+        # experiment layer.
+        agent_spec = make_spec(protocol="majority", ns=(60,), trials=3,
+                               inputs=InputGrid(kind="ones", ones=20))
+        batched_spec = make_spec(protocol="majority", ns=(60,), trials=3,
+                                 inputs=InputGrid(kind="ones", ones=20),
+                                 engine="batched")
+        forced_hash = agent_spec.content_hash()
+        for point in sweep_points(agent_spec):
+            for trial in range(agent_spec.trials):
+                a = run_trial(agent_spec, point, trial,
+                              spec_hash=forced_hash)
+                b = run_trial(batched_spec, point, trial,
+                              spec_hash=forced_hash)
+                assert b.pop("engine") == "batched"
+                assert a == b
+
+    def test_agent_records_carry_no_engine_key(self):
+        spec = make_spec()
+        record = run_trial(spec, sweep_points(spec)[0], 0)
+        assert "engine" not in record
+
+    def test_run_experiment_with_batched_engine(self):
+        result = run_experiment(make_spec(protocol="leader-election",
+                                          ns=(24,), trials=2,
+                                          inputs=InputGrid(),
+                                          engine="batched"))
+        assert result.executed == 2
+        assert all(r["engine"] == "batched" for r in result.records)
+
+    def test_batched_worker_pool_matches_serial(self):
+        spec = make_spec(protocol="majority", ns=(30, 40), trials=2,
+                         inputs=InputGrid(kind="ones", ones=10),
+                         engine="batched")
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=3)
+        assert serial.records == parallel.records

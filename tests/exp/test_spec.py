@@ -172,3 +172,45 @@ class TestChaosFields:
     def test_bad_chaos_fields_rejected(self, overrides):
         with pytest.raises(ValueError):
             make_spec(**overrides).validate()
+
+
+class TestEngineField:
+    def test_defaults_to_agent_and_stays_out_of_the_hash(self):
+        spec = make_spec()
+        assert spec.engine == "agent"
+        # Hash preservation: specs written before the field existed must
+        # keep their exact content hash, so the default never serializes.
+        assert "engine" not in spec.to_dict()
+        assert (make_spec(engine="agent").content_hash()
+                == spec.content_hash())
+
+    def test_batched_round_trips_and_changes_the_hash(self):
+        spec = make_spec(engine="batched")
+        data = spec.to_dict()
+        assert data["engine"] == "batched"
+        assert ExperimentSpec.from_dict(data).engine == "batched"
+        assert spec.content_hash() != make_spec().content_hash()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_spec(engine="quantum").validate()
+
+    def test_batched_rejects_faults(self):
+        with pytest.raises(ValueError, match="fault axis"):
+            make_spec(engine="batched",
+                      faults=FaultAxis("crash-rate", (0.1,))).validate()
+
+    def test_batched_rejects_monitors(self):
+        with pytest.raises(ValueError, match="monitors"):
+            make_spec(engine="batched",
+                      monitors=("conservation",)).validate()
+
+    def test_batched_rejects_non_uniform_scheduler(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            make_spec(engine="batched", scheduler="stalling").validate()
+        with pytest.raises(ValueError, match="scheduler axis"):
+            make_spec(engine="batched",
+                      schedulers=("uniform", "stalling")).validate()
+
+    def test_batched_uniform_fault_free_passes(self):
+        make_spec(engine="batched").validate()

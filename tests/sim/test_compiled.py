@@ -1,0 +1,170 @@
+"""Tests for protocol compilation (dense states, flat tables, memo)."""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core.protocol import DictProtocol, ProtocolError
+from repro.protocols.counting import CountToK
+from repro.protocols.leader import LeaderElection
+from repro.protocols.majority import majority_protocol
+from repro.sim.compiled import (
+    CompiledProtocol,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_protocol,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestTables:
+    def test_states_match_reachable_closure(self):
+        protocol = majority_protocol()
+        compiled = compile_protocol(protocol)
+        assert set(compiled.states) == set(protocol.states())
+        assert compiled.size == len(compiled.states)
+        # Deterministic numbering: sorted by repr.
+        assert list(compiled.states) == sorted(compiled.states, key=repr)
+        assert all(compiled.index[s] == i
+                   for i, s in enumerate(compiled.states))
+
+    def test_delta_tables_agree_with_protocol(self):
+        protocol = majority_protocol()
+        compiled = compile_protocol(protocol)
+        for p, state_p in enumerate(compiled.states):
+            for q, state_q in enumerate(compiled.states):
+                expected = protocol.delta(state_p, state_q)
+                p2, q2 = compiled.delta_ids(p, q)
+                assert (compiled.states[p2], compiled.states[q2]) == expected
+                flat = p * compiled.size + q
+                if expected == (state_p, state_q):
+                    assert compiled.pair_table[flat] is None
+                    assert not compiled.is_reactive(p, q)
+                else:
+                    assert compiled.pair_table[flat] == (p2, q2)
+                    assert compiled.is_reactive(p, q)
+
+    def test_outputs_and_initials(self):
+        protocol = CountToK(3)
+        compiled = compile_protocol(protocol)
+        for i, state in enumerate(compiled.states):
+            assert compiled.output_symbol(i) == protocol.output(state)
+        for symbol in protocol.input_alphabet:
+            initial = compiled.initial_id(symbol)
+            assert compiled.states[initial] == protocol.initial_state(symbol)
+        with pytest.raises(ValueError):
+            compiled.initial_id("nonsense")
+
+    def test_reactive_matrix_is_view(self):
+        compiled = compile_protocol(LeaderElection())
+        matrix = compiled.reactive_matrix()
+        assert matrix.shape == (compiled.size, compiled.size)
+        assert matrix.reshape(-1).tolist() == compiled.reactive_mask.tolist()
+
+    def test_state_lookups_round_trip(self):
+        compiled = compile_protocol(LeaderElection())
+        for state in compiled.states:
+            assert compiled.state_of(compiled.state_id(state)) == state
+        with pytest.raises(KeyError):
+            compiled.state_id("not-a-state")
+
+
+class TestExtraStates:
+    def test_extra_states_widen_closure(self):
+        # A state outside the input closure: declared in the tables but
+        # unreachable from initial states.
+        protocol = DictProtocol(
+            input_map={"a": "A"},
+            output_map={"A": 0, "B": 1, "C": 1},
+            transitions={("B", "A"): ("C", "C")},
+        )
+        plain = compile_protocol(protocol)
+        assert "B" not in plain.index
+        widened = compile_protocol(protocol, extra_states=("B",))
+        assert {"A", "B", "C"} <= set(widened.states)
+
+    def test_extra_state_compilations_not_memoized(self):
+        protocol = LeaderElection()
+        a = compile_protocol(protocol, extra_states=(LeaderElection().initial_state(1),))
+        b = compile_protocol(protocol, extra_states=(LeaderElection().initial_state(1),))
+        assert a is not b
+        assert compile_cache_stats() == {"keyed": 0}
+        # And they do not poison the plain instance cache.
+        assert compile_protocol(protocol) is compile_protocol(protocol)
+
+    def test_delta_escaping_declared_closure_raises(self):
+        # A protocol whose states() understates the real closure (here by
+        # overriding it) must fail loudly, not emit dangling table ids.
+        class Lying(DictProtocol):
+            def states(self, max_states=1_000_000):
+                return frozenset({"A"})
+
+        protocol = Lying(
+            input_map={"a": "A"},
+            output_map={"A": 0, "B": 1},
+            transitions={("A", "A"): ("B", "B")},
+        )
+        with pytest.raises(ProtocolError):
+            CompiledProtocol(protocol)
+
+    def test_max_states_guard(self):
+        with pytest.raises(ProtocolError):
+            compile_protocol(CountToK(40), max_states=5)
+
+
+class TestMemoization:
+    def test_instance_cache_returns_same_object(self):
+        protocol = majority_protocol()
+        assert compile_protocol(protocol) is compile_protocol(protocol)
+        # The cache lives on the instance, not in a global table, so
+        # distinct instances compile separately...
+        assert compile_protocol(majority_protocol()) is not \
+            compile_protocol(protocol)
+        # ...and nothing global pins them.
+        assert compile_cache_stats() == {"keyed": 0}
+
+    def test_key_memo_shares_across_instances(self):
+        key = ("registry", "majority", ())
+        a = compile_protocol(majority_protocol(), key=key)
+        b = compile_protocol(majority_protocol(), key=key)
+        assert a is b
+        assert compile_cache_stats() == {"keyed": 1}
+
+    def test_distinct_keys_compile_separately(self):
+        a = compile_protocol(CountToK(3), key=("count-to-k", 3))
+        b = compile_protocol(CountToK(4), key=("count-to-k", 4))
+        assert a is not b
+        assert compile_cache_stats()["keyed"] == 2
+
+    def test_instance_cache_dies_with_protocol(self):
+        # The compiled tables are reachable only through the protocol, so
+        # collecting the protocol collects the tables — no global memo
+        # entry pins anonymous protocols.
+        protocol = majority_protocol()
+        compiled_ref = weakref.ref(compile_protocol(protocol))
+        assert compiled_ref() is not None
+        del protocol
+        gc.collect()
+        assert compiled_ref() is None
+
+    def test_clear_compile_cache(self):
+        compile_protocol(majority_protocol(), key="k")
+        assert compile_cache_stats() == {"keyed": 1}
+        clear_compile_cache()
+        assert compile_cache_stats() == {"keyed": 0}
+
+    def test_protocol_compiled_hook(self):
+        protocol = LeaderElection()
+        compiled = protocol.compiled()
+        assert isinstance(compiled, CompiledProtocol)
+        assert protocol.compiled() is compiled
+        # A stable key shares one compilation across instances.
+        assert (protocol.compiled(key="le")
+                is LeaderElection().compiled(key="le"))

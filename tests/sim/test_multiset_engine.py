@@ -91,3 +91,17 @@ class TestAgreementWithAgentEngine:
         sim.run_until(lambda s: s.counts.get(LEADER, 0) == 1,
                       max_steps=50_000, check_every=1)
         assert sim.counts[FOLLOWER] == 6
+
+
+class TestHaltedGuard:
+    def test_step_refuses_below_two_live_agents(self, seed):
+        from repro.sim.engine import SimulationHalted
+
+        sim = MultisetSimulation(count_to_five(), {1: 3}, seed=seed)
+        # Crash past the crash_random() invariant by using the internal
+        # primitive directly: the step guard is the last line of defense.
+        sim._crash_state(next(iter(sim.counts)))
+        sim._crash_state(next(iter(sim.counts)))
+        assert sim.n_alive == 1
+        with pytest.raises(SimulationHalted, match="1 live agent"):
+            sim.step()

@@ -100,3 +100,104 @@ class TestSpeedup:
                 reactive += 1
         assert sim.silent or sim.unanimous_output() == 1
         assert sim.interactions > 5 * reactive
+
+
+class TestIncrementalTables:
+    """The incremental reactive-table mode vs. the full-rebuild mode.
+
+    Both modes consume the RNG identically and scan pairs in the same
+    order, so fixed-seed runs must agree state for state — including the
+    insertion order of the counts dict, which fixes the scan order of
+    every later step.
+    """
+
+    def _pair(self, protocol_factory, counts, seed):
+        return (SkippingSimulation(protocol_factory(), dict(counts),
+                                   seed=seed, incremental=True),
+                SkippingSimulation(protocol_factory(), dict(counts),
+                                   seed=seed, incremental=False))
+
+    def _assert_locked(self, fast, slow):
+        assert fast.interactions == slow.interactions
+        assert fast.reactive_steps == slow.reactive_steps
+        assert fast.last_change == slow.last_change
+        assert fast.last_output_change == slow.last_output_change
+        assert list(fast.counts.items()) == list(slow.counts.items())
+
+    def test_threshold_bit_identical(self, seed):
+        from repro.protocols.threshold import ThresholdProtocol
+
+        fast, slow = self._pair(lambda: ThresholdProtocol({1: 20, 0: -19}, 0),
+                                {1: 60, 0: 60}, seed)
+        for _ in range(1_500):
+            assert fast.step() == slow.step()
+            self._assert_locked(fast, slow)
+
+    def test_count_to_five_bit_identical_to_silence(self, seed):
+        fast, slow = self._pair(count_to_five, {1: 7, 0: 5}, seed)
+        for _ in range(100_000):
+            changed = fast.step()
+            assert changed == slow.step()
+            self._assert_locked(fast, slow)
+            if not changed:
+                break
+        assert fast.silent and slow.silent
+
+    def test_leader_election_bit_identical(self, seed):
+        fast, slow = self._pair(LeaderElection, {1: 80}, seed)
+        for _ in range(200):
+            assert fast.step() == slow.step()
+            self._assert_locked(fast, slow)
+
+    def test_crash_invalidates_tables(self, seed):
+        fast, slow = self._pair(LeaderElection, {1: 40}, seed)
+        for sim in (fast, slow):
+            sim.run(30)
+            sim.crash_random(3)
+        for _ in range(100):
+            assert fast.step() == slow.step()
+            self._assert_locked(fast, slow)
+
+    def test_corruption_invalidates_tables(self, seed):
+        from repro.protocols.counting import Epidemic
+
+        def infect(state, protocol, rng):
+            return 1
+
+        fast, slow = self._pair(Epidemic, {1: 1, 0: 40}, seed)
+        for sim in (fast, slow):
+            sim.run(5)
+            sim.corrupt_random(infect)
+        for _ in range(30):
+            assert fast.step() == slow.step()
+            self._assert_locked(fast, slow)
+
+
+class TestParentKwargs:
+    def test_fault_plans_rejected(self):
+        from repro.sim.faults import CrashAt, FaultPlan
+
+        plan = FaultPlan(CrashAt(10, 1), seed=0)
+        with pytest.raises(TypeError, match="fault plans"):
+            SkippingSimulation(LeaderElection(), {1: 10}, faults=plan)
+
+    def test_monitors_forwarded(self, seed):
+        class CountingMonitor:
+            def __init__(self):
+                self.attached = None
+                self.steps = 0
+
+            def on_attach(self, sim):
+                self.attached = sim
+
+            def after_step(self, sim, changed):
+                self.steps += 1
+
+        monitor = CountingMonitor()
+        sim = SkippingSimulation(count_to_five(), {1: 6, 0: 6}, seed=seed,
+                                 monitors=(monitor,))
+        assert monitor.attached is sim
+        assert monitor in sim.monitors
+        sim.step()
+        sim.step()
+        assert monitor.steps == 2

@@ -404,3 +404,66 @@ class TestChaosParser:
     def test_chaos_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos"])
+
+
+class TestBenchCommand:
+    def test_smoke_writes_baseline_and_gates_against_it(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "speedup" in text
+        assert out.exists()
+        # A fresh run against its own baseline passes the gate.
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--baseline", str(out)]) == 0
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        # Inflate the baseline: the machine "was" 100x faster.
+        payload = json.loads(out.read_text())
+        for row in payload["rows"]:
+            row["ips"] *= 100
+        out.write_text(json.dumps(payload))
+        code = main(["bench", "--smoke", "--repeats", "1",
+                     "--baseline", str(out)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["bench", "--smoke", "--repeats", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == []
+        assert {r["engine"] for r in payload["rows"]} >= {
+            "multiset", "batched-multiset", "agent", "batched-agent"}
+        assert all(s["speedup"] > 0 for s in payload["speedups"])
+
+    def test_missing_baseline_is_clean_error(self, capsys):
+        code = main(["bench", "--smoke", "--repeats", "1",
+                     "--baseline", "/nonexistent/bench.json"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExpEngineFlag:
+    def test_batched_engine_runs(self, capsys):
+        code = main(["exp", "run", "--protocol", "leader-election",
+                     "--ns", "16", "--trials", "2", "--stop", "silent",
+                     "--engine", "batched", "--json"])
+        assert code == 0
+
+    def test_batched_engine_rejects_fault_axis(self, capsys):
+        code = main(["exp", "run", "--protocol", "leader-election",
+                     "--ns", "16", "--trials", "1",
+                     "--engine", "batched",
+                     "--fault", "crash-rate", "--intensities", "0.1"])
+        assert code == 1
+        assert "batched" in capsys.readouterr().err

@@ -7,7 +7,10 @@ bit-identical compiled twin side by side:
 * ``multiset`` vs ``batched-multiset`` — counted-multiset stepping;
 * ``agent`` vs ``batched-agent`` — agent-array stepping;
 * ``skipping-rebuild`` vs ``skipping-incremental`` — reactive-table
-  maintenance in the no-op-skipping engine.
+  maintenance in the no-op-skipping engine;
+* ``multiset`` vs ``ensemble-multiset`` — scalar trials vs the lockstep
+  Monte-Carlo fleet (the ensemble row reports trials x trial_steps
+  interactions, so throughputs stay per-interaction).
 
 Timing includes engine construction (and protocol compilation for the
 batched engines), matching what a cold caller pays; the committed
@@ -32,9 +35,13 @@ def test_kernel_throughput(benchmark, base_seed, workload, engine):
     protocol = _build_protocol(workload["protocol"])
     counts = _input_counts(workload["protocol"], workload["n"])
     steps = workload["steps"]
+    if engine == "ensemble-multiset":
+        steps = workload["trials"] * workload["trial_steps"]
 
     seconds = benchmark.pedantic(
-        lambda: _time_engine(engine, protocol, counts, steps, base_seed),
+        lambda: _time_engine(engine, protocol, counts, workload["steps"],
+                             base_seed, trials=workload.get("trials"),
+                             trial_steps=workload.get("trial_steps")),
         rounds=1, iterations=1)
     json_row(benchmark,
              protocol=workload["protocol"], n=workload["n"], engine=engine,

@@ -494,6 +494,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench_file,
     )
 
+    if args.update_baseline:
+        # Regenerate the committed baseline in place: the full grid (a
+        # smoke-only baseline would leave the full rows stale) written
+        # to the file the CI gate reads.
+        if args.smoke:
+            print("error: --update-baseline regenerates the full grid; "
+                  "drop --smoke", file=sys.stderr)
+            return 1
+        if not args.out:
+            args.out = args.baseline or "BENCH_engines.json"
+
     progress = None
     if not args.json:
         def progress(row):
@@ -666,10 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--check-every", type=int, default=0,
                          help="silence-check period (0 = engine default)")
     exp_run.add_argument("--engine", default="agent",
-                         choices=("agent", "batched"),
+                         choices=("agent", "batched", "ensemble"),
                          help="trial engine: the reference agent-array "
-                              "engine, or the bit-identical batched fast "
-                              "path (fault-free uniform sweeps only)")
+                              "engine, the bit-identical batched fast "
+                              "path, or the lockstep ensemble engine "
+                              "(statistically equivalent, fastest; "
+                              "fault-free uniform sweeps only)")
     exp_run.add_argument("--seed", type=int, default=0)
     exp_run.add_argument("--store", default=None,
                          help="JSONL result store (enables resume)")
@@ -777,6 +790,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the small CI grid instead of the full one")
     bench.add_argument("--out", default=None, metavar="FILE.json",
                        help="write the rows as a JSON baseline file")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="regenerate the committed baseline in place "
+                            "(implies the full grid; equivalent to "
+                            "--out BENCH_engines.json at the repo root)")
     bench.add_argument("--baseline", default=None, metavar="FILE.json",
                        help="compare against this baseline; exit non-zero "
                             "on regression")

@@ -18,7 +18,11 @@ Workloads:
 * ``threshold-mixed`` — a Lemma 5 threshold protocol with mixed-sign
   weights (``ThresholdProtocol({1: 20, 0: -19}, 0)``) whose live state
   set stays wide (~20-30 states), the regime separating the skipping
-  engine's incremental reactive tables from the full rebuild.
+  engine's incremental reactive tables from the full rebuild;
+* ``leader-election`` again on the multiset vs. *ensemble* engines — a
+  256-trial Monte-Carlo sweep shape at n = 10^4, the workload the
+  lockstep ensemble engine exists for (many trials amortizing numpy
+  dispatch; see :mod:`repro.sim.ensemble`).
 
 Ratios are computed between *this run's* reference and fast-path rows,
 so machine speed cancels; the baseline gate compares same-key rows
@@ -41,9 +45,14 @@ ENGINE_PAIRS = (
     ("multiset", "batched-multiset"),
     ("agent", "batched-agent"),
     ("skipping-rebuild", "skipping-incremental"),
+    ("multiset", "ensemble-multiset"),
 )
 
-#: The full grid (committed-baseline sizes; ~1 minute total).
+#: The full grid (committed-baseline sizes; a couple of minutes total).
+#: Ensemble workloads carry ``trials``/``trial_steps``: the ensemble row
+#: executes ``trials * trial_steps`` interactions (the 256-trial
+#: Monte-Carlo sweep shape), while the scalar reference runs ``steps``;
+#: throughputs are per-interaction either way, so the ratio is fair.
 FULL_GRID = (
     {"protocol": "leader-election", "n": 100_000, "steps": 2_000_000,
      "engines": ("multiset", "batched-multiset")},
@@ -51,6 +60,9 @@ FULL_GRID = (
      "engines": ("agent", "batched-agent")},
     {"protocol": "threshold-mixed", "n": 5_000, "steps": 4_000,
      "engines": ("skipping-rebuild", "skipping-incremental")},
+    {"protocol": "leader-election", "n": 10_000, "steps": 400_000,
+     "engines": ("multiset", "ensemble-multiset"),
+     "trials": 256, "trial_steps": 200_000},
 )
 
 #: The smoke grid (CI sizes; a few seconds total).
@@ -61,6 +73,9 @@ SMOKE_GRID = (
      "engines": ("agent", "batched-agent")},
     {"protocol": "threshold-mixed", "n": 500, "steps": 400,
      "engines": ("skipping-rebuild", "skipping-incremental")},
+    {"protocol": "leader-election", "n": 2_000, "steps": 100_000,
+     "engines": ("multiset", "ensemble-multiset"),
+     "trials": 64, "trial_steps": 50_000},
 )
 
 
@@ -81,16 +96,26 @@ def _input_counts(name: str, n: int) -> dict:
 
 
 def _time_engine(engine: str, protocol, counts, steps: int,
-                 seed: int) -> float:
+                 seed: int, *, trials: "int | None" = None,
+                 trial_steps: "int | None" = None) -> float:
     """Build one simulation, run ``steps`` units, return elapsed seconds.
 
     The unit is interactions for the stepping engines and *reactive*
     steps for the skipping engines (their whole point is to not execute
-    the no-ops in between).  Construction cost — including protocol
-    compilation for the batched engines — is charged to the run, since
-    that is what a caller actually pays.
+    the no-ops in between).  The ensemble engine ignores ``steps`` and
+    runs ``trials`` lockstep trials of ``trial_steps`` interactions each.
+    Construction cost — including protocol compilation for the batched
+    engines — is charged to the run, since that is what a caller
+    actually pays.
     """
-    if engine == "multiset":
+    if engine == "ensemble-multiset":
+        from repro.sim.ensemble import EnsembleMultisetSimulation
+
+        start = time.perf_counter()
+        sim = EnsembleMultisetSimulation(protocol, counts, trials=trials,
+                                         seed=seed, track_outputs=False)
+        sim.run(trial_steps)
+    elif engine == "multiset":
         from repro.sim.multiset_engine import MultisetSimulation
 
         sim = MultisetSimulation(protocol, counts, seed=seed)
@@ -154,17 +179,25 @@ def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
         counts = _input_counts(workload["protocol"], workload["n"])
         steps = workload["steps"]
         for engine in workload["engines"]:
+            if engine == "ensemble-multiset":
+                # The row reports the interactions actually executed
+                # (trials x trial_steps), so ips stays steps/seconds.
+                row_steps = workload["trials"] * workload["trial_steps"]
+            else:
+                row_steps = steps
             seconds = min(
-                _time_engine(engine, protocol, counts, steps, seed)
+                _time_engine(engine, protocol, counts, steps, seed,
+                             trials=workload.get("trials"),
+                             trial_steps=workload.get("trial_steps"))
                 for _ in range(max(1, repeats)))
             row = {
                 "protocol": workload["protocol"],
                 "n": workload["n"],
                 "engine": engine,
-                "steps": steps,
+                "steps": row_steps,
                 "unit": _unit(engine),
                 "seconds": round(seconds, 6),
-                "ips": round(steps / seconds, 1),
+                "ips": round(row_steps / seconds, 1),
             }
             rows.append(row)
             if progress is not None:
@@ -175,19 +208,20 @@ def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
 def speedup_summary(rows: list[dict]) -> list[dict]:
     """Fast-path/reference throughput ratios per workload.
 
-    Pairs rows of the same ``(protocol, n, steps)`` through
-    :data:`ENGINE_PAIRS`; these ratios are what the acceptance targets
-    (batched multiset >= 5x, incremental skipping >= 3x) read off.
+    Pairs rows of the same ``(protocol, n)`` through
+    :data:`ENGINE_PAIRS`; ``ips`` is already per-unit, so the pair may
+    run different step counts (the ensemble rows do).  The reported
+    ``steps`` is the reference row's.  These ratios are what the
+    acceptance targets (batched multiset >= 5x, incremental skipping
+    >= 3x, ensemble >= 10x) read off.
     """
-    by_key = {(r["protocol"], r["n"], r["steps"], r["engine"]): r
-              for r in rows}
+    by_key = {(r["protocol"], r["n"], r["engine"]): r for r in rows}
     summary = []
     for reference, fast in ENGINE_PAIRS:
         for row in rows:
             if row["engine"] != reference:
                 continue
-            other = by_key.get(
-                (row["protocol"], row["n"], row["steps"], fast))
+            other = by_key.get((row["protocol"], row["n"], fast))
             if other is None:
                 continue
             summary.append({

@@ -24,6 +24,10 @@ from repro.exp.spec import ExperimentSpec
 from repro.exp.store import ResultStore
 from repro.util.rng import derive_seed
 
+#: Pool workers are recycled after this many task chunks so a long sweep
+#: cannot accumulate per-process memory (caches, fragmentation) forever.
+_MAX_TASKS_PER_CHILD = 128
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -235,12 +239,106 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
     return record
 
 
+def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
+                       trials: Sequence[int], *,
+                       spec_hash: "str | None" = None) -> list[dict]:
+    """Execute one sweep point's trials in numpy lockstep.
+
+    All of the point's pending trials advance together through one
+    :class:`~repro.sim.ensemble.EnsembleMultisetSimulation`; each trial
+    keeps its :func:`trial_seeds`-derived engine seed as its scalar
+    identity (``scalar_twin`` replays it through ``MultisetSimulation``),
+    and the records match :func:`run_trial`'s shape field for field.
+    Trajectories are statistically — not bit — equivalent to the scalar
+    engines', so records carry ``engine: "ensemble"``.
+    """
+    from repro.protocols import registry
+    from repro.sim.compiled import compile_protocol
+    from repro.sim.ensemble import (
+        EnsembleMultisetSimulation,
+        run_ensemble_until_correct_stable,
+        run_ensemble_until_quiescent,
+        run_ensemble_until_silent,
+    )
+
+    spec_hash = spec_hash or spec.content_hash()
+    entry = registry.get(spec.protocol)
+    params = dict(spec.params)
+    protocol = entry.build(**params)
+    counts = spec.inputs.counts_for(point.n)
+    try:
+        key = ("registry", spec.protocol, tuple(sorted(params.items())))
+        hash(key)
+    except TypeError:
+        key = None
+    compiled = compile_protocol(protocol, key=key)
+    seed_pairs = [trial_seeds(spec_hash, point, t) for t in trials]
+
+    expected = None
+    if entry.truth is not None:
+        expected = int(entry.evaluate_truth(counts, **params))
+
+    stop = spec.stop
+    ens = EnsembleMultisetSimulation(
+        protocol, counts, trials=len(trials),
+        seeds=[engine_seed for engine_seed, _ in seed_pairs],
+        compiled=compiled,
+        track_outputs=stop.rule != "silent")
+    if stop.rule == "quiescent":
+        results = run_ensemble_until_quiescent(
+            ens, patience=stop.patience, max_steps=stop.max_steps)
+    elif stop.rule == "silent":
+        results = run_ensemble_until_silent(
+            ens, max_steps=stop.max_steps, check_every=stop.check_every)
+    elif stop.rule == "correct-stable":
+        if expected is None:
+            raise ValueError(
+                f"stopping rule 'correct-stable' needs a predicate "
+                f"protocol; {spec.protocol!r} has no ground truth")
+        results = run_ensemble_until_correct_stable(
+            ens, expected, max_steps=stop.max_steps)
+    else:
+        raise ValueError(f"unknown stopping rule {stop.rule!r}")
+
+    records = []
+    for (engine_seed, fault_seed), trial, result in zip(
+            seed_pairs, trials, results):
+        records.append({
+            "kind": "trial",
+            "id": trial_id(spec_hash, point, trial),
+            "n": point.n,
+            "intensity": point.intensity,
+            "trial": trial,
+            "engine_seed": engine_seed,
+            "fault_seed": fault_seed,
+            "interactions": result.interactions,
+            "converged_at": result.converged_at,
+            "output": _jsonable(result.output),
+            "correct": (None if expected is None
+                        else result.output == expected),
+            "stopped": result.stopped,
+            "crashes": 0,
+            "corruptions": 0,
+            "omissions": 0,
+            "engine": "ensemble",
+        })
+    return records
+
+
 def _pool_task(task) -> dict:
     """Top-level worker entry point (must pickle across processes)."""
     spec_dict, spec_hash, n, intensity, scheduler, trial = task
     spec = ExperimentSpec.from_dict(spec_dict)
     return run_trial(spec, SweepPoint(n, intensity, scheduler), trial,
                      spec_hash=spec_hash)
+
+
+def _ensemble_pool_task(task) -> list[dict]:
+    """Worker entry point for one sweep point's lockstep batch."""
+    spec_dict, spec_hash, n, intensity, scheduler, trials = task
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return run_ensemble_point(spec, SweepPoint(n, intensity, scheduler),
+                              list(trials), spec_hash=spec_hash)
 
 
 def record_sort_key(record: dict):
@@ -312,7 +410,33 @@ def run_experiment(
         if progress is not None:
             progress(record)
 
-    if workers == 1 or len(pending) <= 1:
+    if spec.engine == "ensemble":
+        # Lockstep batches: one ensemble per sweep point covers all of
+        # the point's pending trials; workers (if any) fan out points.
+        by_point: dict = {}
+        for point, trial in pending:
+            by_point.setdefault(point, []).append(trial)
+        groups = sorted(by_point.items(),
+                        key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
+        if workers == 1 or len(groups) <= 1:
+            for point, trial_list in groups:
+                for record in run_ensemble_point(spec, point, trial_list,
+                                                 spec_hash=spec_hash):
+                    collect(record)
+        else:
+            import multiprocessing
+
+            spec_dict = spec.to_dict()
+            tasks = [(spec_dict, spec_hash, point.n, point.intensity,
+                      point.scheduler, tuple(trial_list))
+                     for point, trial_list in groups]
+            with multiprocessing.Pool(min(workers, len(tasks)),
+                                      maxtasksperchild=_MAX_TASKS_PER_CHILD
+                                      ) as pool:
+                for batch in pool.imap_unordered(_ensemble_pool_task, tasks):
+                    for record in batch:
+                        collect(record)
+    elif workers == 1 or len(pending) <= 1:
         for point, trial in pending:
             collect(run_trial(spec, point, trial, spec_hash=spec_hash))
     else:
@@ -322,8 +446,17 @@ def run_experiment(
         tasks = [(spec_dict, spec_hash, point.n, point.intensity,
                   point.scheduler, trial)
                  for point, trial in pending]
-        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-            for record in pool.imap_unordered(_pool_task, tasks):
+        workers_eff = min(workers, len(tasks))
+        # Chunked dispatch: the default chunksize of 1 pays one IPC
+        # round-trip per trial; results are re-sorted afterwards, so
+        # ordering is unaffected.  maxtasksperchild recycles workers to
+        # bound memory growth across long sweeps.
+        chunksize = max(1, len(tasks) // (workers_eff * 4))
+        with multiprocessing.Pool(workers_eff,
+                                  maxtasksperchild=_MAX_TASKS_PER_CHILD
+                                  ) as pool:
+            for record in pool.imap_unordered(_pool_task, tasks,
+                                              chunksize=chunksize):
                 collect(record)
 
     records = sorted(done_records + fresh, key=record_sort_key)

@@ -28,7 +28,7 @@ FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate", "crash-at")
 #: Stopping rules understood by :class:`StopRule` (see repro.sim.convergence).
 STOP_RULES = ("quiescent", "silent", "correct-stable")
 #: Trial engines understood by the runner (see repro.exp.runner.run_trial).
-ENGINES = ("agent", "batched")
+ENGINES = ("agent", "batched", "ensemble")
 
 
 def _coerce_symbol(symbol):
@@ -274,10 +274,13 @@ class ExperimentSpec:
     #: Extra interactions run after the stopping rule fires, with any
     #: flicker monitors armed — catches "claimed stable, then changed".
     confirm: int = 0
-    #: Simulation engine: ``agent`` (the reference agent-array engine) or
+    #: Simulation engine: ``agent`` (the reference agent-array engine),
     #: ``batched`` (:class:`~repro.sim.batched.BatchedSimulation` — the
-    #: bit-identical compiled fast path; only valid for fault-free,
-    #: monitor-free sweeps under the uniform scheduler).
+    #: bit-identical compiled fast path), or ``ensemble``
+    #: (:class:`~repro.sim.ensemble.EnsembleMultisetSimulation` — all of
+    #: a point's trials stepped in numpy lockstep; statistically, not bit,
+    #: equivalent).  The fast engines are only valid for fault-free,
+    #: monitor-free sweeps under the uniform scheduler.
     engine: str = "agent"
     stop: StopRule = field(default_factory=StopRule)
     seed: int = 0
@@ -309,7 +312,7 @@ class ExperimentSpec:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
-        if self.engine == "batched":
+        if self.engine in ("batched", "ensemble"):
             blockers = []
             if self.faults is not None:
                 blockers.append("a fault axis")
@@ -319,11 +322,13 @@ class ExperimentSpec:
                 blockers.append("a scheduler axis")
             elif self.scheduler != "uniform":
                 blockers.append(f"scheduler {self.scheduler!r}")
+            if self.engine == "ensemble" and self.confirm:
+                blockers.append("confirm (a per-trial chaos step)")
             if blockers:
                 raise ValueError(
-                    "engine 'batched' replays the exact uniform-pairing "
-                    "RNG law and cannot combine with "
-                    + ", ".join(blockers))
+                    f"engine {self.engine!r} implements only the plain "
+                    "uniform-pairing fault-free process and cannot "
+                    "combine with " + ", ".join(blockers))
         self.inputs.validate(self.ns)
         if self.faults is not None:
             self.faults.validate()

@@ -582,6 +582,7 @@ class BatchedSimulation:
         self.rng = resolve_rng(seed)
         self.interactions = 0
         self.last_output_change = 0
+        self.last_change = 0
         out_ids = compiled.output_ids
         self._agent_out = [out_ids[sid] for sid in ids]
         self._out_hist = [0] * len(compiled.output_symbols)
@@ -673,6 +674,9 @@ class BatchedSimulation:
 
     def _apply_transition(self, initiator: int, responder: int, result) -> None:
         p2, q2 = result
+        # Callers position self.interactions at the transition's moment
+        # before applying, exactly like the reference step().
+        self.last_change = self.interactions
         ids = self._ids
         ids[initiator] = p2
         ids[responder] = q2

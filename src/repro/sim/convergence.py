@@ -55,17 +55,34 @@ def run_until_silent(sim: Simulation, max_steps: int, check_every: int = 0) -> C
     """Run until the configuration is silent (or the budget is exhausted).
 
     Silence is checked on the multiset snapshot every ``check_every``
-    interactions (default: every ``n`` interactions).
+    interactions (default: every ``n`` interactions) — but only when the
+    engine's ``last_change`` tracker advanced since the previous check:
+    an unchanged multiset cannot change the verdict, so windows of pure
+    no-ops skip the snapshot and the full O(|live|^2) silence scan.
     """
     check_every = check_every or max(sim.n, 1)
-    stopped = sim.run_until(
-        lambda s: is_silent(s.protocol, s.multiset()),
-        max_steps=max_steps,
-        check_every=check_every,
-    )
+    # last_change value at the previous evaluated check, and its verdict.
+    checked_at = None
+    verdict = False
+
+    def silent(s) -> bool:
+        nonlocal checked_at, verdict
+        marker = getattr(s, "last_change", None)
+        if marker is None or marker != checked_at:
+            verdict = is_silent(s.protocol, s.multiset())
+            checked_at = marker
+        return verdict
+
+    stopped = sim.run_until(silent, max_steps=max_steps,
+                            check_every=check_every)
+    # Agent engines report convergence via the output assignment; the
+    # multiset engines track state changes instead.
+    converged = getattr(sim, "last_output_change", None)
+    if converged is None:
+        converged = sim.last_change
     return ConvergenceResult(
         interactions=sim.interactions,
-        converged_at=sim.last_output_change,
+        converged_at=converged,
         output=_verdict(sim),
         stopped=stopped,
     )

@@ -103,6 +103,9 @@ class Simulation:
             protocol.output(state) for state in self.states]
         #: Interaction count after which the output assignment last changed.
         self.last_output_change = 0
+        #: Interaction count of the last effective (state-changing)
+        #: transition; convergence drivers use it to skip re-checks.
+        self.last_change = 0
         self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
         #: Agents that have crashed (state frozen, encounters inert).
         self.crashed: set[int] = set()
@@ -269,6 +272,7 @@ class Simulation:
         if self.states[agent] == state:
             return False
         self.states[agent] = state
+        self.last_change = self.interactions
         out = self.protocol.output(state)
         if out != self._outputs[agent]:
             self._outputs[agent] = out
@@ -311,6 +315,7 @@ class Simulation:
             "outputs": list(self._outputs),
             "interactions": self.interactions,
             "last_output_change": self.last_output_change,
+            "last_change": self.last_change,
             "rng_state": self.rng.getstate(),
             "scheduler": copy.deepcopy(self.scheduler),
             "crashed": set(self.crashed),
@@ -329,6 +334,7 @@ class Simulation:
         self._outputs = list(snap["outputs"])
         self.interactions = snap["interactions"]
         self.last_output_change = snap["last_output_change"]
+        self.last_change = snap.get("last_change", 0)
         self.rng.setstate(snap["rng_state"])
         self.scheduler = copy.deepcopy(snap["scheduler"])
         self.crashed = set(snap.get("crashed", ()))
@@ -361,6 +367,7 @@ class Simulation:
             return False
         self.states[initiator] = p2
         self.states[responder] = q2
+        self.last_change = self.interactions
         changed_output = False
         out_p = self.protocol.output(p2)
         if out_p != self._outputs[initiator]:

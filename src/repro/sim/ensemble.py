@@ -1,0 +1,625 @@
+"""Vectorized ensemble engine: many Monte-Carlo trials stepped in lockstep.
+
+The Sect. 6 quantitative claims (leader election in expected ``(n-1)^2``
+interactions, the ``Theta(n^2 log n)`` coupon-collector bound, Theorem 8's
+``O(n^2 log n)`` convergence) are verified empirically by sweeps of many
+independent trials, and :mod:`repro.exp.runner` executed those trials one
+at a time — each one paying full Python dispatch per interaction even on
+the batched engines.  :class:`EnsembleMultisetSimulation` instead advances
+``T`` independent trials of the *same* compiled protocol simultaneously:
+the fleet is a ``(T, |states|)`` count matrix, and every numpy operation
+amortizes its interpreter overhead across the whole trial axis.
+
+Sampling law
+------------
+
+Each trial's interacting pair is an ordered sample of two agents without
+replacement from its count row — the sequential decomposition of a
+2-sample multivariate-hypergeometric draw over the state counts.  The
+engine samples it at the *agent-index* level, exactly the paper's model:
+an initiator index ``i ~ U[0, n)``, a responder index ``j`` uniform over
+the other ``n - 1`` agents (``u2 ~ U[0, n-1)`` plus a shift past ``i``),
+then both indices resolved to state bins by a vectorized cumulative-sum
+search over the count row.  Conditioned on the counts this gives the
+ordered state pair ``(p, q)`` probability ``c_p (c_q - [p = q]) /
+(n (n-1))`` — the **same** law as the reference engines'
+state-level draw (:class:`~repro.sim.multiset_engine.MultisetSimulation`
+removes one unit of the initiator's *state* before the responder draw;
+removing the initiator *agent* is the identical distribution, and the
+index draws are count-independent, so a whole window of them can be
+drawn and shifted up front).  Only the randomness source differs (one
+shared ``numpy`` bit generator instead of one ``random.Random`` per
+trial), so ensemble trajectories agree with scalar trajectories *in
+distribution*, not bit for bit.  The statistical-equivalence suite in
+``tests/sim/test_ensemble.py`` pins this down with KS tests on
+convergence-time distributions; see ``docs/PERFORMANCE.md`` for the
+contract.
+
+Windowed advancement
+--------------------
+
+Per :meth:`_advance_once` call the engine draws a ``(W, A)`` window of
+pair draws for the ``A`` still-active trials, resolves all of them
+against the *current* counts, and finds each trial's first reactive
+round.  Rounds before the first reactive event are genuine no-ops under
+frozen counts, so each trial advances through them in one shot and
+applies exactly its first reactive transition; draws past that point are
+discarded (fresh i.i.d. draws replace them — statistically free, which
+is precisely what the statistical contract buys over the bit-identical
+batched engines).  An adaptive window tracks the mean no-op gap, so
+silent-tail regimes advance tens of thousands of interactions per numpy
+round while reactive-dense regimes shrink the window to a few rounds.
+
+Per-trial seeds follow the :func:`repro.exp.runner.trial_seeds` law:
+``seeds[t]`` is trial ``t``'s scalar engine seed, and
+:meth:`EnsembleMultisetSimulation.scalar_twin` rebuilds the equivalent
+:class:`~repro.sim.multiset_engine.MultisetSimulation` for single-trial
+debugging — same protocol, same inputs, same seed, same verdict.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.compiled import CompiledProtocol, compile_protocol
+from repro.sim.convergence import ConvergenceResult
+from repro.util.multiset import FrozenMultiset
+from repro.util.rng import spawn_seeds
+
+__all__ = [
+    "EnsembleMultisetSimulation",
+    "run_ensemble_until_silent",
+    "run_ensemble_until_quiescent",
+    "run_ensemble_until_correct_stable",
+]
+
+#: Hard cap on rounds per advancement window.
+_WINDOW_MAX = 1 << 15
+#: Element budget of one window's (W, A, k) broadcast (bounds memory).
+_ADVANCE_BUDGET = 1 << 22
+#: Gap estimates saturate here (treated as "effectively silent").
+_GAP_CAP = 1e9
+#: Mean no-op gap below which lockstep rounds beat first-hit windows.
+_GAP_LOCKSTEP = 6.0
+#: Rounds per lockstep chunk between mode-controller decisions.
+_LOCKSTEP_CHUNK = 256
+
+
+class EnsembleMultisetSimulation:
+    """``T`` independent multiset trials advanced in lockstep.
+
+    Every trial starts from the same inputs (one sweep point = one
+    population size), holds its own ``(counts, interactions, last_change,
+    last_output_change)`` row, and can be deactivated independently so
+    finished trials stop consuming draws and numpy work.  Construct with
+    either ``input_counts=`` or ``state_counts=`` (exactly one), plus:
+
+    ``trials``
+        Number of lockstep trials ``T``.
+    ``seeds``
+        Per-trial integer seeds (length ``T``).  These are the trials'
+        *scalar identities* — :meth:`scalar_twin` replays trial ``t``
+        through :class:`~repro.sim.multiset_engine.MultisetSimulation`
+        with ``seeds[t]`` — and together they seed the ensemble's shared
+        bit generator, so a given ``(inputs, seeds)`` pair reproduces the
+        same ensemble trajectory exactly.
+    ``seed``
+        Convenience alternative: spawn ``trials`` seeds from one base
+        seed via :func:`repro.util.rng.spawn_seeds`.
+    ``track_outputs``
+        Maintain the incremental ``(T, m)`` output histogram and the
+        ``last_output_change`` clocks (default).  Silence-rule drivers
+        never read either, so they pass ``False`` and the hot loops skip
+        the whole output bookkeeping block; ``output_counts`` /
+        ``unanimous_output`` then recompute from the count row on demand.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        input_counts: "Mapping[Symbol, int] | None" = None,
+        *,
+        state_counts: "Mapping[State, int] | None" = None,
+        trials: int,
+        seeds: "Sequence[int] | None" = None,
+        seed: "int | None" = None,
+        compiled: "CompiledProtocol | None" = None,
+        track_outputs: bool = True,
+    ):
+        self.protocol = protocol
+        if (input_counts is None) == (state_counts is None):
+            raise ValueError("pass exactly one of input_counts= or state_counts=")
+        if trials < 1:
+            raise ValueError("an ensemble needs at least one trial")
+        if seeds is not None and len(seeds) != trials:
+            raise ValueError(
+                f"seeds has {len(seeds)} entries for {trials} trials")
+        if compiled is None:
+            compiled = compile_protocol(protocol)
+        if state_counts is not None:
+            unknown = [s for s in state_counts if s not in compiled.index]
+            if unknown:
+                compiled = compile_protocol(protocol, extra_states=unknown)
+        self._compiled = compiled
+        k = compiled.size
+        row = [0] * k
+        if input_counts is not None:
+            self._input_counts = dict(input_counts)
+            self._state_counts = None
+            for symbol, count in input_counts.items():
+                if symbol not in protocol.input_alphabet:
+                    raise ValueError(f"symbol {symbol!r} not in input alphabet")
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                row[compiled.initial_ids[symbol]] += count
+        else:
+            self._input_counts = None
+            self._state_counts = dict(state_counts)
+            for state, count in state_counts.items():
+                if count < 0:
+                    raise ValueError("counts must be non-negative")
+                row[compiled.index[state]] += count
+        self.n = sum(row)
+        if self.n < 2:
+            raise ValueError("a population needs at least two agents")
+        self.trials = trials
+        #: Per-trial scalar seeds (the replay identities).
+        self.seeds: list[int] = (list(seeds) if seeds is not None
+                                 else spawn_seeds(seed, trials))
+        # One shared bit generator for the whole fleet, keyed by the full
+        # seed list: the same (inputs, seeds) ensemble replays exactly,
+        # while each trial keeps its scalar identity for scalar_twin().
+        self.rng = np.random.default_rng(np.random.SeedSequence(self.seeds))
+
+        #: ``(T, k)`` live state counts, one row per trial.
+        self.counts = np.tile(np.asarray(row, dtype=np.int64), (trials, 1))
+        #: Per-trial interaction clocks (trials drift apart freely).
+        self.interactions = np.zeros(trials, dtype=np.int64)
+        #: Per-trial last state-change interaction.
+        self.last_change = np.zeros(trials, dtype=np.int64)
+        #: Per-trial last output-histogram-change interaction.
+        self.last_output_change = np.zeros(trials, dtype=np.int64)
+        #: Stopping mask: inactive trials take no further work.
+        self.active = np.ones(trials, dtype=bool)
+
+        # Compiled tables as numpy arrays (flat [p*k + q] indexing, plus
+        # (k, k) views for two-index gathers in the hot loops).
+        self._tinit = np.asarray(compiled.delta_init, dtype=np.int64)
+        self._tresp = np.asarray(compiled.delta_resp, dtype=np.int64)
+        self._reactive = compiled.reactive_mask
+        self._tinit2d = self._tinit.reshape(k, k)
+        self._tresp2d = self._tresp.reshape(k, k)
+        self._react2d = compiled.reactive_mask.reshape(k, k)
+        self._out_ids = np.asarray(compiled.output_ids, dtype=np.int64)
+        if track_outputs:
+            m = len(compiled.output_symbols)
+            onehot = np.zeros((k, m), dtype=np.int64)
+            onehot[np.arange(k), self._out_ids] = 1
+            #: ``(T, m)`` per-trial output histograms (incremental), or
+            #: ``None`` when output tracking is off.
+            self.output_hist = self.counts @ onehot
+        else:
+            self.output_hist = None
+        #: ``(T, k)`` inclusive count cumsums (refreshed only on change).
+        self._cum = np.cumsum(self.counts, axis=1)
+        #: Off-diagonal reactive matrix (silence checks; the diagonal
+        #: needs the count >= 2 qualifier, handled separately).
+        self._react_off = self._react2d & ~np.eye(k, dtype=bool)
+        self._react_diag = np.diag(self._react2d).copy()
+        #: EMA of interactions per reactive event (window controller).
+        self._gap = 2.0
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The compiled tables driving this ensemble."""
+        return self._compiled
+
+    def trial_counts(self, t: int) -> dict:
+        """Trial ``t``'s live state counts as a state -> count dict."""
+        state_of = self._compiled.states
+        row = self.counts[t]
+        return {state_of[sid]: int(row[sid])
+                for sid in np.flatnonzero(row)}
+
+    def multiset(self, t: int) -> FrozenMultiset:
+        """Snapshot of trial ``t``'s multiset configuration."""
+        return FrozenMultiset(self.trial_counts(t))
+
+    def _hist_row(self, t: int) -> np.ndarray:
+        """Trial ``t``'s output histogram (on demand if tracking is off)."""
+        if self.output_hist is not None:
+            return self.output_hist[t]
+        m = len(self._compiled.output_symbols)
+        return np.bincount(self._out_ids, weights=self.counts[t],
+                           minlength=m).astype(np.int64)
+
+    def output_counts(self, t: int) -> dict:
+        """Histogram of trial ``t``'s outputs."""
+        symbols = self._compiled.output_symbols
+        row = self._hist_row(t)
+        return {symbols[oid]: int(row[oid]) for oid in np.flatnonzero(row)}
+
+    def unanimous_output(self, t: int) -> "Symbol | None":
+        """Trial ``t``'s common output if all agents agree, else None."""
+        live = np.flatnonzero(self._hist_row(t))
+        if live.size == 1:
+            return self._compiled.output_symbols[int(live[0])]
+        return None
+
+    def scalar_twin(self, t: int):
+        """Trial ``t`` rebuilt as a scalar ``MultisetSimulation``.
+
+        Same protocol, same starting configuration, seeded with the
+        trial's own ``seeds[t]`` — the single-trial debugging path.  The
+        twin's trajectory matches the ensemble's in distribution (and its
+        verdict on convergent protocols exactly), not bit for bit.
+        """
+        from repro.sim.multiset_engine import MultisetSimulation
+
+        if self._input_counts is not None:
+            return MultisetSimulation(self.protocol, self._input_counts,
+                                      seed=self.seeds[t])
+        return MultisetSimulation(self.protocol,
+                                  state_counts=self._state_counts,
+                                  seed=self.seeds[t])
+
+    def deactivate(self, trials_idx) -> None:
+        """Mark trials as finished; they stop consuming draws and work."""
+        self.active[np.asarray(trials_idx, dtype=np.int64)] = False
+
+    def silent_mask(self, trials_idx) -> np.ndarray:
+        """Boolean silence verdicts for the given trial rows.
+
+        A trial is silent iff no enabled ordered pair changes any state:
+        no reactive off-diagonal pair with both counts positive, and no
+        reactive diagonal pair with count >= 2.  Vectorized over the
+        rows, O(len(rows) * k^2).
+        """
+        rows = np.asarray(trials_idx, dtype=np.int64)
+        live = self.counts[rows] > 0
+        off = ((live @ self._react_off) & live).any(axis=1)
+        diag = ((self.counts[rows] >= 2) & self._react_diag).any(axis=1)
+        return ~(off | diag)
+
+    # -- Advancement -----------------------------------------------------------
+
+    def run(self, steps: int) -> None:
+        """Advance every active trial by exactly ``steps`` interactions."""
+        if steps <= 0:
+            return
+        self.run_to(self.interactions + np.where(self.active, steps, 0))
+
+    def run_to(self, targets) -> None:
+        """Advance each active trial to its absolute interaction target.
+
+        An adaptive controller picks between two vectorized advancement
+        modes on the running no-op-gap estimate: reactive-dense regimes
+        step one interaction per numpy round in lockstep
+        (:meth:`_lockstep_chunk`), sparse regimes scan no-op windows and
+        jump to each trial's first reactive event
+        (:meth:`_advance_once`).
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        while True:
+            idx = np.flatnonzero(self.active
+                                 & (self.interactions < targets))
+            if idx.size == 0:
+                return
+            caps = targets[idx] - self.interactions[idx]
+            if self._gap < _GAP_LOCKSTEP:
+                self._lockstep_chunk(
+                    idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
+            else:
+                self._advance_once(idx, caps)
+
+    def _lockstep_chunk(self, idx: np.ndarray, rounds: int) -> None:
+        """``rounds`` lockstep rounds: every trial in ``idx`` advances
+        exactly one interaction per round, transitions applied at once.
+
+        The reactive-dense fast path.  When the mean no-op gap is small,
+        first-hit windows apply only ~one transition per numpy round
+        anyway while paying the full (W, A, k) broadcast; here the engine
+        pays a short fixed sequence of O(A*k) operations per interaction
+        instead.  No-op pairs go through the same scatter arithmetic —
+        their compiled transitions are identities, so the updates cancel
+        exactly — which keeps the inner loop branch-free.
+        """
+        A = idx.size
+        # Agent-index draws are count-independent: the whole chunk's
+        # (initiator, responder) index pairs are drawn and shifted up
+        # front, leaving only the bin search and the apply per round.
+        ij = np.empty((rounds, 2, A), dtype=np.int64)
+        u1 = self.rng.integers(0, self.n, size=(rounds, A))
+        u2 = self.rng.integers(0, self.n - 1, size=(rounds, A))
+        ij[:, 0] = u1
+        ij[:, 1] = u2 + (u2 >= u1)
+        c = np.ascontiguousarray(self.counts[idx])
+        cum = np.cumsum(c, axis=1)
+        ar = np.arange(A)
+        react2d = self._react2d
+        tinit2d = self._tinit2d
+        tresp2d = self._tresp2d
+        last_hit = np.zeros(A, dtype=np.int64)
+        last_out_hit = np.zeros(A, dtype=np.int64)
+        track = self.output_hist is not None
+        if track:
+            hist = np.ascontiguousarray(self.output_hist[idx])
+            out = self._out_ids
+        hits = 0
+        for r in range(rounds):
+            b = (ij[r][:, :, None] >= cum[None]).sum(axis=2)
+            p, q = b
+            re = react2d[p, q]
+            nre = int(re.sum())
+            if nre == 0:
+                # A fully no-op round leaves every row untouched.
+                continue
+            hits += nre
+            p2 = tinit2d[p, q]
+            q2 = tresp2d[p, q]
+            # Unconditional apply: rows are distinct within each scatter
+            # and no-op transitions are identities, so this is exact.
+            c[ar, p] -= 1
+            c[ar, q] -= 1
+            c[ar, p2] += 1
+            c[ar, q2] += 1
+            np.cumsum(c, axis=1, out=cum)
+            last_hit[re] = r + 1
+            if track:
+                op, oq = out[p], out[q]
+                op2, oq2 = out[p2], out[q2]
+                hist[ar, op] -= 1
+                hist[ar, oq] -= 1
+                hist[ar, op2] += 1
+                hist[ar, oq2] += 1
+                changed = ~(((op == op2) & (oq == oq2))
+                            | ((op == oq2) & (oq == op2)))
+                last_out_hit[changed] = r + 1
+        base = self.interactions[idx]
+        self.counts[idx] = c
+        self._cum[idx] = cum
+        self.interactions[idx] += rounds
+        hit = last_hit > 0
+        self.last_change[idx[hit]] = base[hit] + last_hit[hit]
+        if track:
+            self.output_hist[idx] = hist
+            ohit = last_out_hit > 0
+            self.last_output_change[idx[ohit]] = (base[ohit]
+                                                  + last_out_hit[ohit])
+        if hits:
+            self._gap = 0.7 * self._gap + 0.3 * (rounds * A / hits)
+        else:
+            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
+
+    def _advance_once(self, idx: np.ndarray, caps: np.ndarray) -> None:
+        """One windowed round: each trial in ``idx`` advances by at most
+        ``caps`` interactions and applies at most its first reactive
+        transition.
+
+        All draws in the window are resolved against frozen counts; a
+        trial's draws past its first reactive event (or past its cap) are
+        discarded, which is sound because draws are i.i.d. — the next
+        window simply draws fresh ones.
+        """
+        A = idx.size
+        k = self._compiled.size
+        window = int(self._gap * 1.5) + 2
+        window = min(window, int(caps.max()), _WINDOW_MAX,
+                     max(1, _ADVANCE_BUDGET // (A * k)))
+        u1 = self.rng.integers(0, self.n, size=(window, A))
+        u2 = self.rng.integers(0, self.n - 1, size=(window, A))
+        cum = self._cum[idx]
+        # Agent-index law: initiator index u1, responder index uniform
+        # over the other n - 1 agents, both resolved to count bins by a
+        # broadcast searchsorted-right over the inclusive cumsums.
+        j = u2 + (u2 >= u1)
+        p = (u1[..., None] >= cum[None]).sum(axis=2)
+        q = (j[..., None] >= cum[None]).sum(axis=2)
+        flat = p * k + q
+        reactive = self._reactive[flat]
+        first = reactive.argmax(axis=0)
+        hit = reactive.any(axis=0) & (first < caps)
+        steps = np.where(hit, first + 1, np.minimum(window, caps))
+        self.interactions[idx] += steps
+
+        hits = int(hit.sum())
+        if hits:
+            sel = np.flatnonzero(hit)
+            rows = idx[sel]
+            w = first[sel]
+            pp = p[w, sel]
+            qq = q[w, sel]
+            f = flat[w, sel]
+            p2 = self._tinit[f]
+            q2 = self._tresp[f]
+            # Rows are distinct within each scatter, so plain fancy
+            # indexing is exact even when pp == qq or p2 == q2.
+            counts = self.counts
+            counts[rows, pp] -= 1
+            counts[rows, qq] -= 1
+            counts[rows, p2] += 1
+            counts[rows, q2] += 1
+            self._cum[rows] = np.cumsum(counts[rows], axis=1)
+            self.last_change[rows] = self.interactions[rows]
+            if self.output_hist is not None:
+                out = self._out_ids
+                op, oq = out[pp], out[qq]
+                op2, oq2 = out[p2], out[q2]
+                hist = self.output_hist
+                hist[rows, op] -= 1
+                hist[rows, oq] -= 1
+                hist[rows, op2] += 1
+                hist[rows, oq2] += 1
+                same = (((op == op2) & (oq == oq2))
+                        | ((op == oq2) & (oq == op2)))
+                changed = rows[~same]
+                self.last_output_change[changed] = self.interactions[changed]
+            self._gap = 0.7 * self._gap + 0.3 * (int(steps.sum()) / hits)
+        else:
+            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
+
+    def __repr__(self) -> str:
+        return (f"<EnsembleMultisetSimulation trials={self.trials} "
+                f"n={self.n} active={int(self.active.sum())} "
+                f"of {type(self.protocol).__name__}>")
+
+
+# -- Vectorized convergence observers ------------------------------------------
+
+
+@dataclass
+class _Driver:
+    """Shared scaffolding for the ensemble stopping rules: per-trial
+    checkpoint loop with stopping masks, one ConvergenceResult per trial."""
+
+    ens: EnsembleMultisetSimulation
+    max_steps: int
+    check_every: int
+
+    def run(self, check) -> "list[ConvergenceResult]":
+        """Drive the ensemble until every trial stopped or exhausted.
+
+        ``check(rows) -> bool mask`` is the vectorized stopping rule; it
+        is evaluated on the same per-trial interaction grid as the scalar
+        drivers (every ``check_every`` interactions, and once before the
+        first step), so stopping-time distributions are comparable.
+        """
+        ens = self.ens
+        stopped = np.zeros(ens.trials, dtype=bool)
+        while True:
+            idx = np.flatnonzero(ens.active)
+            if idx.size == 0:
+                break
+            met = idx[check(idx)]
+            stopped[met] = True
+            ens.deactivate(met)
+            idx = np.flatnonzero(ens.active)
+            if idx.size == 0:
+                break
+            exhausted = idx[ens.interactions[idx] >= self.max_steps]
+            ens.deactivate(exhausted)  # budget hit: stopped stays False
+            idx = np.flatnonzero(ens.active)
+            if idx.size == 0:
+                break
+            targets = np.minimum(ens.interactions[idx] + self.check_every,
+                                 self.max_steps)
+            full = ens.interactions.copy()
+            full[idx] = targets
+            ens.run_to(full)
+        return [
+            ConvergenceResult(
+                interactions=int(ens.interactions[t]),
+                converged_at=int(ens.last_output_change[t]),
+                output=ens.unanimous_output(t),
+                stopped=bool(stopped[t]),
+            )
+            for t in range(ens.trials)
+        ]
+
+
+def run_ensemble_until_silent(
+    ens: EnsembleMultisetSimulation,
+    max_steps: int,
+    check_every: int = 0,
+) -> "list[ConvergenceResult]":
+    """Vectorized twin of :func:`repro.sim.convergence.run_until_silent`.
+
+    Silence is checked on the count rows every ``check_every``
+    interactions (default ``n``, the scalar default) — but only for
+    trials whose ``last_change`` advanced since their previous check:
+    unchanged counts cannot change the verdict, so those trials skip the
+    O(k^2) scan entirely (the same optimization the scalar driver
+    applies).  ``converged_at`` is the trial's last state change, the
+    multiset engines' convergence marker.
+    """
+    check_every = check_every or max(ens.n, 1)
+    checked_at = np.full(ens.trials, -1, dtype=np.int64)
+
+    def silent(idx: np.ndarray) -> np.ndarray:
+        need = checked_at[idx] != ens.last_change[idx]
+        verdict = np.zeros(idx.size, dtype=bool)
+        rows = idx[need]
+        if rows.size:
+            verdict[need] = ens.silent_mask(rows)
+            checked_at[rows] = ens.last_change[rows]
+        return verdict
+
+    results = _Driver(ens, max_steps, check_every).run(silent)
+    # The multiset convergence marker is the last state change.
+    return [
+        ConvergenceResult(
+            interactions=r.interactions,
+            converged_at=int(ens.last_change[t]),
+            output=r.output,
+            stopped=r.stopped,
+        )
+        for t, r in enumerate(results)
+    ]
+
+
+def run_ensemble_until_quiescent(
+    ens: EnsembleMultisetSimulation,
+    patience: int,
+    max_steps: int,
+) -> "list[ConvergenceResult]":
+    """Vectorized twin of :func:`repro.sim.convergence.run_until_quiescent`.
+
+    On the count representation the observable is the per-trial *output
+    histogram*: a trial is quiescent when its histogram has not changed
+    for ``patience`` interactions.  (The scalar agent engine watches the
+    per-agent output assignment; the histogram is the same signal modulo
+    permutations, which uniform pairing makes statistically irrelevant.)
+    """
+    if ens.output_hist is None:
+        raise ValueError(
+            "quiescence watches outputs; build the ensemble with "
+            "track_outputs=True")
+
+    def quiet(idx: np.ndarray) -> np.ndarray:
+        return (ens.interactions[idx] - ens.last_output_change[idx]
+                >= patience)
+
+    return _Driver(ens, max_steps, max(1, patience // 8)).run(quiet)
+
+
+def run_ensemble_until_correct_stable(
+    ens: EnsembleMultisetSimulation,
+    expected_output,
+    *,
+    max_steps: int,
+    settle_factor: float = 2.0,
+    floor: int = 0,
+) -> "list[ConvergenceResult]":
+    """Vectorized twin of
+    :func:`repro.sim.convergence.run_until_correct_stable`.
+
+    A trial is done when its whole output histogram sits on the expected
+    symbol and its clock has passed ``settle_factor`` times its last
+    output change (plus ``floor``) — the batched known-truth observer.
+    """
+    if ens.output_hist is None:
+        raise ValueError(
+            "known-truth stability watches outputs; build the ensemble "
+            "with track_outputs=True")
+    floor = floor or 4 * ens.n
+    symbols = ens.compiled.output_symbols
+    expected_oid = next(
+        (i for i, sym in enumerate(symbols) if sym == expected_output), None)
+
+    def done(idx: np.ndarray) -> np.ndarray:
+        if expected_oid is None:
+            # The protocol can never emit the expected symbol; run to the
+            # budget exactly like the scalar driver would.
+            return np.zeros(idx.size, dtype=bool)
+        all_correct = ens.output_hist[idx, expected_oid] == ens.n
+        settled = (ens.interactions[idx]
+                   >= settle_factor * ens.last_output_change[idx] + floor)
+        return all_correct & settled
+
+    return _Driver(ens, max_steps, max(1, ens.n // 2)).run(done)

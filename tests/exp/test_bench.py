@@ -94,7 +94,8 @@ class TestBaselineGate:
         # BENCH_engines.json at the repo root is the committed artifact
         # the issue's acceptance criteria read: batched multiset >= 5x at
         # n = 1e5 on leader election, incremental skipping >= 3x on the
-        # wide-live-set threshold workload.
+        # wide-live-set threshold workload, ensemble >= 10x on the
+        # 256-trial leader-election sweep at n = 1e4.
         import os
 
         path = os.path.join(os.path.dirname(__file__), "..", "..",
@@ -107,3 +108,5 @@ class TestBaselineGate:
                         "batched-multiset")] >= 5.0
         assert by_pair[("threshold-mixed", 5_000, "skipping-rebuild",
                         "skipping-incremental")] >= 3.0
+        assert by_pair[("leader-election", 10_000, "multiset",
+                        "ensemble-multiset")] >= 10.0

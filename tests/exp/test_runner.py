@@ -296,3 +296,59 @@ class TestBatchedEngine:
         serial = run_experiment(spec, workers=1)
         parallel = run_experiment(spec, workers=3)
         assert serial.records == parallel.records
+
+
+class TestEnsembleEngine:
+    def test_run_experiment_executes_all_trials(self):
+        spec = make_spec(protocol="leader-election", ns=(24,), trials=4,
+                         inputs=InputGrid(),
+                         stop=StopRule(rule="silent", max_steps=100_000),
+                         engine="ensemble")
+        result = run_experiment(spec)
+        assert result.executed == 4
+        assert all(r["engine"] == "ensemble" for r in result.records)
+        assert all(r["stopped"] for r in result.records)
+
+    def test_record_shape_matches_scalar_plus_engine_key(self):
+        spec = make_spec(engine="ensemble")
+        scalar_spec = make_spec()
+        ensemble_record = run_experiment(spec).records[0]
+        scalar_record = run_trial(scalar_spec, SweepPoint(6), 0)
+        assert set(ensemble_record) == set(scalar_record) | {"engine"}
+        assert ensemble_record["correct"] is True  # epidemic, one 1
+        assert (ensemble_record["converged_at"]
+                <= ensemble_record["interactions"])
+
+    def test_records_carry_trial_seed_identities(self):
+        spec = make_spec(ns=(8,), trials=3, engine="ensemble")
+        result = run_experiment(spec)
+        for record in result.records:
+            engine_seed, fault_seed = trial_seeds(
+                result.spec_hash, SweepPoint(8), record["trial"])
+            assert record["engine_seed"] == engine_seed
+            assert record["fault_seed"] == fault_seed
+
+    def test_worker_pool_matches_serial(self):
+        spec = make_spec(ns=(8, 12, 16), trials=3, engine="ensemble")
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=3)
+        assert serial.records == parallel.records
+
+    def test_completed_spec_resumes_to_zero_executed(self, tmp_path):
+        spec = make_spec(ns=(8,), trials=3, engine="ensemble")
+        path = tmp_path / "e.jsonl"
+        first = run_experiment(spec, store=ResultStore(path))
+        assert first.executed == 3
+        second = run_experiment(spec, store=ResultStore(path))
+        assert second.executed == 0
+        assert second.skipped == 3
+        assert second.records == first.records
+
+    def test_correct_stable_needs_a_predicate(self):
+        spec = make_spec(protocol="leader-election",
+                         inputs=InputGrid(kind="all-ones"),
+                         stop=StopRule(rule="correct-stable",
+                                       max_steps=10_000),
+                         engine="ensemble")
+        with pytest.raises(ValueError, match="correct-stable"):
+            run_experiment(spec)

@@ -214,3 +214,25 @@ class TestEngineField:
 
     def test_batched_uniform_fault_free_passes(self):
         make_spec(engine="batched").validate()
+
+    def test_ensemble_round_trips_and_changes_the_hash(self):
+        spec = make_spec(engine="ensemble")
+        data = spec.to_dict()
+        assert data["engine"] == "ensemble"
+        assert ExperimentSpec.from_dict(data).engine == "ensemble"
+        assert spec.content_hash() != make_spec().content_hash()
+        assert spec.content_hash() != make_spec(engine="batched").content_hash()
+
+    @pytest.mark.parametrize("overrides,match", [
+        ({"faults": FaultAxis("crash-rate", (0.1,))}, "fault axis"),
+        ({"monitors": ("conservation",)}, "monitors"),
+        ({"scheduler": "stalling"}, "scheduler"),
+        ({"schedulers": ("uniform", "stalling")}, "scheduler axis"),
+        ({"confirm": 500}, "confirm"),
+    ])
+    def test_ensemble_rejects_chaos_features(self, overrides, match):
+        with pytest.raises(ValueError, match=match):
+            make_spec(engine="ensemble", **overrides).validate()
+
+    def test_ensemble_uniform_fault_free_passes(self):
+        make_spec(engine="ensemble").validate()

@@ -1,5 +1,6 @@
 """Tests for convergence stopping rules."""
 
+import repro.sim.convergence as convergence
 from repro.protocols.counting import CountToK, Epidemic, count_to_five
 from repro.protocols.majority import majority_protocol
 from repro.sim.convergence import (
@@ -8,6 +9,7 @@ from repro.sim.convergence import (
     run_until_silent,
 )
 from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.multiset_engine import MultisetSimulation
 
 
 class TestRunUntilSilent:
@@ -29,6 +31,33 @@ class TestRunUntilSilent:
         result = run_until_silent(sim, max_steps=200_000)
         assert result.stopped
         assert 0 < result.converged_at <= result.interactions
+
+    def test_multiset_engine_supported(self, seed):
+        # The multiset engines have no last_output_change tracker; the
+        # driver falls back to last_change for converged_at.
+        sim = MultisetSimulation(Epidemic(), {1: 1, 0: 19}, seed=seed)
+        result = run_until_silent(sim, max_steps=200_000)
+        assert result.stopped
+        assert result.output == 1
+        assert result.converged_at == sim.last_change
+
+    def test_unchanged_state_skips_silence_checks(self, seed, monkeypatch):
+        # Epidemic at n=200 spends most interactions on no-ops, so most
+        # check_every=5 windows see no state change; the driver must skip
+        # the is_silent scan for all of those checkpoints.
+        calls = {"n": 0}
+        real = convergence.is_silent
+
+        def counting(protocol, multiset):
+            calls["n"] += 1
+            return real(protocol, multiset)
+
+        monkeypatch.setattr(convergence, "is_silent", counting)
+        sim = MultisetSimulation(Epidemic(), {1: 1, 0: 199}, seed=seed)
+        result = run_until_silent(sim, max_steps=500_000, check_every=5)
+        assert result.stopped
+        checkpoints = sim.interactions // 5
+        assert 0 < calls["n"] < checkpoints
 
 
 class TestRunUntilQuiescent:

@@ -513,7 +513,9 @@ def load_artifact(path) -> dict:
 
 
 def dump_artifact(path, result: ShrinkResult) -> None:
-    """Write a shrink result to a JSON artifact file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(artifact_dict(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a shrink result to a JSON artifact file (atomically: a
+    crash mid-dump never clobbers an existing reproduction)."""
+    from repro.util.fileio import atomic_write_text
+
+    atomic_write_text(path, json.dumps(artifact_dict(result), indent=2,
+                                       sort_keys=True) + "\n")

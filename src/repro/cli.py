@@ -273,7 +273,13 @@ def _spec_from_args(args: argparse.Namespace):
     """Build an ExperimentSpec from ``exp run`` flags or a --spec file."""
     import json
 
-    from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+    from repro.exp.spec import (
+        ExecutionPolicy,
+        ExperimentSpec,
+        FaultAxis,
+        InputGrid,
+        StopRule,
+    )
 
     if args.spec:
         with open(args.spec, encoding="utf-8") as handle:
@@ -311,6 +317,12 @@ def _spec_from_args(args: argparse.Namespace):
         stop=StopRule(rule=args.stop, patience=args.patience,
                       max_steps=args.max_steps,
                       check_every=args.check_every),
+        execution=ExecutionPolicy(
+            timeout_s=getattr(args, "timeout_s", None),
+            max_attempts=getattr(args, "max_attempts", None) or 1,
+            backoff=(0.5 if getattr(args, "backoff", None) is None
+                     else args.backoff),
+            on_error=getattr(args, "on_error", None) or "raise"),
         seed=args.seed,
     )
 
@@ -318,23 +330,41 @@ def _spec_from_args(args: argparse.Namespace):
 def cmd_exp_run(args: argparse.Namespace) -> int:
     import json
 
-    from repro.exp.report import aggregate, format_report, report_dict
+    from repro.exp.report import (
+        aggregate,
+        failure_summary,
+        format_report,
+        report_dict,
+    )
     from repro.exp.runner import plan_size, run_experiment
     from repro.exp.store import ResultStore
+    from repro.exp.supervise import TrialExecutionError
 
     try:
         spec = _spec_from_args(args)
         spec.validate()
         store = ResultStore(args.store) if args.store else None
-        result = run_experiment(spec, store=store, workers=args.workers)
+        result = run_experiment(
+            spec, store=store, workers=args.workers,
+            retry_quarantined=getattr(args, "retry_quarantined", False))
+    except TrialExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.store:
+            print(f"(partial results kept in {args.store}; rerun with "
+                  "--on-error quarantine to record failures and continue)",
+                  file=sys.stderr)
+        return 1
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 1
     aggregates = aggregate(result.records, metric=args.metric)
     if args.json:
-        payload = report_dict(aggregates, spec=spec, metric=args.metric)
+        payload = report_dict(aggregates, spec=spec, metric=args.metric,
+                              failures=result.failures)
         payload["executed"] = result.executed
         payload["skipped"] = result.skipped
+        if result.supervision is not None:
+            payload["supervision"] = result.supervision
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"plan     : {plan_size(spec)} trials "
@@ -342,6 +372,9 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
     if args.store:
         print(f"store    : {args.store}")
     print(format_report(aggregates, spec=spec, metric=args.metric))
+    if result.failures or result.supervision:
+        print(failure_summary(result.failures,
+                              supervision=result.supervision))
     return 0
 
 
@@ -350,12 +383,14 @@ def cmd_exp_report(args: argparse.Namespace) -> int:
 
     from repro.exp.report import (
         aggregate,
+        failure_summary,
         format_report,
         report_dict,
         summary_csv,
         trials_csv,
     )
     from repro.exp.store import ResultStore
+    from repro.util.fileio import atomic_write_text
 
     try:
         store = ResultStore(args.store)
@@ -368,21 +403,23 @@ def cmd_exp_report(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     records = store.records()
+    failures = store.failures()
     if args.csv:
-        with open(args.csv, "w", encoding="utf-8") as handle:
-            handle.write(trials_csv(records))
+        atomic_write_text(args.csv, trials_csv(records))
         print(f"wrote {len(records)} trial rows to {args.csv}")
     aggregates = aggregate(records, metric=args.metric)
     if args.summary_csv:
-        with open(args.summary_csv, "w", encoding="utf-8") as handle:
-            handle.write(summary_csv(aggregates, metric=args.metric))
+        atomic_write_text(args.summary_csv,
+                          summary_csv(aggregates, metric=args.metric))
         print(f"wrote {len(aggregates)} summary rows to {args.summary_csv}")
     if args.json:
         print(json.dumps(report_dict(aggregates, spec=spec,
-                                     metric=args.metric),
+                                     metric=args.metric, failures=failures),
                          indent=2, sort_keys=True))
         return 0
     print(format_report(aggregates, spec=spec, metric=args.metric))
+    if failures:
+        print(failure_summary(failures))
     return 0
 
 
@@ -405,9 +442,15 @@ def cmd_chaos_run(args: argparse.Namespace) -> int:
         dump_artifact,
         shrink_case,
     )
-    from repro.exp.report import aggregate, format_report, report_dict
+    from repro.exp.report import (
+        aggregate,
+        failure_summary,
+        format_report,
+        report_dict,
+    )
     from repro.exp.runner import plan_size, run_experiment
     from repro.exp.store import ResultStore
+    from repro.exp.supervise import TrialExecutionError
 
     try:
         spec = _spec_from_args(args)
@@ -415,7 +458,12 @@ def cmd_chaos_run(args: argparse.Namespace) -> int:
         if not spec.monitors:
             raise ValueError("chaos run needs at least one --monitors entry")
         store = ResultStore(args.store) if args.store else None
-        result = run_experiment(spec, store=store, workers=args.workers)
+        result = run_experiment(
+            spec, store=store, workers=args.workers,
+            retry_quarantined=getattr(args, "retry_quarantined", False))
+    except TrialExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 1
@@ -444,9 +492,12 @@ def cmd_chaos_run(args: argparse.Namespace) -> int:
     aggregates = aggregate(result.records, metric=args.metric)
     exit_code = 1 if (violated and args.fail_on_violation) else 0
     if args.json:
-        payload = report_dict(aggregates, spec=spec, metric=args.metric)
+        payload = report_dict(aggregates, spec=spec, metric=args.metric,
+                              failures=result.failures)
         payload["executed"] = result.executed
         payload["skipped"] = result.skipped
+        if result.supervision is not None:
+            payload["supervision"] = result.supervision
         payload["violations"] = [
             {"id": r["id"], "n": r["n"], "intensity": r["intensity"],
              "scheduler": r.get("scheduler"), "trial": r["trial"],
@@ -479,6 +530,9 @@ def cmd_chaos_run(args: argparse.Namespace) -> int:
               f"{shrink_payload['violation']['step']} "
               f"({shrink_payload['evals']} replays) -> {args.shrink}")
     print(format_report(aggregates, spec=spec, metric=args.metric))
+    if result.failures or result.supervision:
+        print(failure_summary(result.failures,
+                              supervision=result.supervision))
     return exit_code
 
 
@@ -490,6 +544,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         format_rows,
         load_bench_file,
         run_kernel_benchmarks,
+        run_supervision_benchmark,
         speedup_summary,
         write_bench_file,
     )
@@ -514,6 +569,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     rows = run_kernel_benchmarks(smoke=args.smoke, seed=args.seed,
                                  repeats=args.repeats, progress=progress)
     speedups = speedup_summary(rows)
+    supervision = None
+    if not args.skip_supervision:
+        supervision = run_supervision_benchmark(smoke=args.smoke,
+                                                seed=args.seed)
+    supervision_failed = (supervision is not None and supervision["overhead"]
+                         > args.max_supervision_overhead)
     regressions = []
     if args.baseline:
         try:
@@ -526,15 +587,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                           max_regression=args.max_regression)
     if args.out:
         write_bench_file(args.out, rows)
+    failed = bool(regressions) or supervision_failed
     if args.json:
-        print(json.dumps({"rows": rows, "speedups": speedups,
-                          "regressions": regressions},
-                         indent=2, sort_keys=True))
-        return 1 if regressions else 0
+        payload = {"rows": rows, "speedups": speedups,
+                   "regressions": regressions}
+        if supervision is not None:
+            payload["supervision"] = dict(
+                supervision, max_overhead=args.max_supervision_overhead,
+                passed=not supervision_failed)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failed else 0
     print(format_rows(rows))
     for pair in speedups:
         print(f"speedup  : {pair['fast']} vs {pair['reference']} "
               f"({pair['protocol']}, n={pair['n']}): {pair['speedup']}x")
+    if supervision is not None:
+        print(f"supervise: {supervision['overhead']}x overhead on healthy "
+              f"trials ({supervision['per_task_s'] * 1000:.2f}ms supervision "
+              f"per task vs {supervision['trial_s'] * 1000:.0f}ms per trial "
+              f"at n={supervision['n']})")
     if args.out:
         print(f"wrote    : {args.out}")
     for reg in regressions:
@@ -542,7 +613,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"n={reg['n']}) {reg['baseline_ips']:,.0f} -> "
               f"{reg['ips']:,.0f} {reg['unit']}/s "
               f"({reg['ratio']}x slower than baseline)", file=sys.stderr)
-    return 1 if regressions else 0
+    if supervision_failed:
+        print(f"REGRESSION: supervision overhead {supervision['overhead']}x "
+              f"exceeds the {args.max_supervision_overhead}x gate",
+              file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_chaos_replay(args: argparse.Namespace) -> int:
@@ -575,6 +650,36 @@ def cmd_chaos_replay(args: argparse.Namespace) -> int:
               f"{outcome.actual['step']}")
     print(f"verdict  : {'REPRODUCED' if outcome.reproduced else 'DIVERGED'}")
     return 0 if outcome.reproduced else 1
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Supervision flags shared by ``exp run`` and ``chaos run``.
+
+    Any non-default value routes the sweep through the supervised worker
+    pool (:mod:`repro.exp.supervise`); all-default flags keep the legacy
+    in-process path and leave the spec's content hash unchanged.
+    """
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        dest="timeout_s", metavar="SECONDS",
+                        help="wall-clock budget per trial attempt; a "
+                             "hung trial is killed and retried "
+                             "(default: no timeout)")
+    parser.add_argument("--max-attempts", type=int, default=1,
+                        help="attempts per trial before it is given up "
+                             "(default 1 = no retries)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        help="base retry delay in seconds, doubled per "
+                             "attempt with deterministic jitter "
+                             "(default 0.5)")
+    parser.add_argument("--on-error", default="raise",
+                        choices=("raise", "skip", "quarantine"),
+                        help="after the attempt budget: abort the sweep, "
+                             "drop the trial silently, or record a "
+                             "trial-failure and continue (default raise)")
+    parser.add_argument("--retry-quarantined", action="store_true",
+                        help="re-execute trials an earlier run "
+                             "quarantined in the store instead of "
+                             "skipping them")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -690,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default 1 = in-process)")
     exp_run.add_argument("--metric", default="converged_at",
                          choices=("converged_at", "interactions"))
+    _add_execution_flags(exp_run)
     exp_run.add_argument("--json", action="store_true",
                          help="emit the aggregated report as JSON")
     exp_run.set_defaults(func=cmd_exp_run)
@@ -763,6 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes (default 1 = in-process)")
     chaos_run.add_argument("--metric", default="converged_at",
                            choices=("converged_at", "interactions"))
+    _add_execution_flags(chaos_run)
     chaos_run.add_argument("--shrink", default=None, metavar="OUT.json",
                            help="shrink the first violation to a minimal "
                                 "reproduction artifact at this path")
@@ -803,6 +910,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=20040725)
     bench.add_argument("--repeats", type=int, default=2,
                        help="timings per row; best-of is kept (default 2)")
+    bench.add_argument("--skip-supervision", action="store_true",
+                       help="skip the supervised-vs-plain sweep row")
+    bench.add_argument("--max-supervision-overhead", type=float,
+                       default=1.02, metavar="RATIO",
+                       help="supervised/plain wall-clock ratio that fails "
+                            "the gate (default 1.02 = 2%% overhead on "
+                            "healthy trials)")
     bench.add_argument("--json", action="store_true",
                        help="emit rows, speedups, and regressions as JSON")
     bench.set_defaults(func=cmd_bench)

@@ -11,8 +11,11 @@ them as data instead of bespoke loops:
   or across a multiprocessing pool;
 * :mod:`repro.exp.store` — append-only JSONL store making sweeps
   resumable at trial granularity;
+* :mod:`repro.exp.supervise` — the supervised worker pool: per-trial
+  timeouts, retry with backoff, crashed-worker respawn, and poison-trial
+  quarantine (enabled by a non-default :class:`ExecutionPolicy`);
 * :mod:`repro.exp.report` — per-point aggregates, scaling tables with
-  log-log exponent fits, CSV export;
+  log-log exponent fits, CSV export, failure summaries;
 * :mod:`repro.exp.bench` — engine kernel benchmarks and the
   perf-regression gate behind ``python -m repro bench``.
 
@@ -24,12 +27,14 @@ from repro.exp.bench import (
     compare_to_baseline,
     load_bench_file,
     run_kernel_benchmarks,
+    run_supervision_benchmark,
     speedup_summary,
     write_bench_file,
 )
 from repro.exp.report import (
     PointAggregate,
     aggregate,
+    failure_summary,
     format_report,
     report_dict,
     scaling,
@@ -47,18 +52,26 @@ from repro.exp.runner import (
     trial_seeds,
 )
 from repro.exp.spec import (
+    ExecutionPolicy,
     ExperimentSpec,
     FaultAxis,
     InputGrid,
     StopRule,
 )
 from repro.exp.store import ResultStore, StoreMismatch
+from repro.exp.supervise import (
+    SupervisionStats,
+    TrialExecutionError,
+    TrialTimeout,
+    run_supervised,
+)
 
 __all__ = [
     "ExperimentSpec",
     "InputGrid",
     "FaultAxis",
     "StopRule",
+    "ExecutionPolicy",
     "SweepPoint",
     "sweep_points",
     "trial_id",
@@ -69,14 +82,20 @@ __all__ = [
     "plan_size",
     "ResultStore",
     "StoreMismatch",
+    "SupervisionStats",
+    "TrialExecutionError",
+    "TrialTimeout",
+    "run_supervised",
     "PointAggregate",
     "aggregate",
     "scaling",
     "format_report",
     "report_dict",
+    "failure_summary",
     "trials_csv",
     "summary_csv",
     "run_kernel_benchmarks",
+    "run_supervision_benchmark",
     "speedup_summary",
     "write_bench_file",
     "load_bench_file",

@@ -235,17 +235,97 @@ def speedup_summary(rows: list[dict]) -> list[dict]:
     return summary
 
 
+def run_supervision_benchmark(*, smoke: bool = False, seed: int = BENCH_SEED,
+                              repeats: int = 3) -> dict:
+    """Supervision tax on healthy trials: one sweep timed plain vs
+    supervised.
+
+    The naive measurement — wall-clock a supervised sweep against a
+    plain one and compare — cannot assert a 2% bound on shared CI
+    hardware, where back-to-back multi-second runs routinely differ by
+    10-20%.  So the overhead is measured where it actually lives, per
+    *task*: a calibration sweep of many near-instant trials is run both
+    plain and supervised, and the per-task supervision cost is the
+    difference of the best-of-``repeats`` times divided by the trial
+    count (minima are robust here because timing noise is one-sided —
+    interference only ever adds time, and the machinery cost itself is
+    deterministic).  That per-task cost — fork amortized across the
+    sweep, pipe IPC, deadline bookkeeping — is then expressed relative
+    to the duration of a representative *healthy* trial (the bench
+    workload, also best-of-``repeats``), which is what the gate
+    ``repro bench --max-supervision-overhead`` bounds.
+    """
+    from repro.exp.runner import run_experiment
+    from repro.exp.spec import ExecutionPolicy, ExperimentSpec, StopRule
+
+    supervised_policy = ExecutionPolicy(timeout_s=300.0, max_attempts=2,
+                                        on_error="quarantine")
+    calibration_trials = 48
+    n = 800 if smoke else 2_000
+    work_trials = 4
+    max_steps = 150_000 if smoke else 300_000
+
+    def sweep(*, trials, stop, policy=None) -> ExperimentSpec:
+        return ExperimentSpec(
+            protocol="leader-election", ns=(n,), trials=trials, stop=stop,
+            execution=policy or ExecutionPolicy(), seed=seed)
+
+    # Near-instant trials: total time is dominated by the machinery.
+    trivial_stop = StopRule(rule="quiescent", patience=100, max_steps=500)
+    calib_plain = sweep(trials=calibration_trials, stop=trivial_stop)
+    calib_supervised = sweep(trials=calibration_trials, stop=trivial_stop,
+                             policy=supervised_policy)
+    # Representative healthy trial: fixed work bounded by max_steps.
+    work = sweep(trials=work_trials,
+                 stop=StopRule(rule="quiescent", patience=10 ** 9,
+                               max_steps=max_steps))
+
+    def timed(spec: ExperimentSpec) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = run_experiment(spec, store=None, workers=1)
+            best = min(best, time.perf_counter() - start)
+            if result.failures:
+                raise RuntimeError(
+                    "supervision benchmark quarantined a healthy trial: "
+                    f"{result.failures[0].get('message')}")
+        return best
+
+    run_experiment(calib_plain, store=None, workers=1)  # warmup, untimed
+    plain_s = timed(calib_plain)
+    supervised_s = timed(calib_supervised)
+    per_task_s = max(0.0, supervised_s - plain_s) / calibration_trials
+    trial_s = timed(work) / work_trials
+    return {
+        "protocol": "leader-election",
+        "n": n,
+        "trials": calibration_trials,
+        "steps": max_steps,
+        "plain_s": round(plain_s, 6),
+        "supervised_s": round(supervised_s, 6),
+        "per_task_s": round(per_task_s, 6),
+        "trial_s": round(trial_s, 6),
+        "overhead": round(1.0 + per_task_s / trial_s, 4),
+    }
+
+
 def write_bench_file(path: str, rows: list[dict]) -> None:
-    """Write rows (plus derived speedups) as the JSON baseline format."""
+    """Write rows (plus derived speedups) as the JSON baseline format.
+
+    Atomic: regenerating the committed baseline in place can never leave
+    a torn half-file where the CI gate's input stood.
+    """
+    from repro.util.fileio import atomic_write_text
+
     payload = {
         "schema": 1,
         "seed": BENCH_SEED,
         "rows": rows,
         "speedups": speedup_summary(rows),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n")
 
 
 def load_bench_file(path: str) -> list[dict]:

@@ -217,9 +217,59 @@ def summary_csv(aggregates: Sequence[PointAggregate], *,
     return buffer.getvalue()
 
 
+def _failure_sort_key(record: dict):
+    """record_sort_key, but tolerant of fields a failure record lost."""
+    intensity = record.get("intensity")
+    return (record.get("n") or 0,
+            -1.0 if intensity is None else float(intensity),
+            record.get("scheduler") or "",
+            record.get("trial") or 0)
+
+
+def failure_summary(failures: Sequence[dict], *,
+                    supervision: "dict | None" = None) -> str:
+    """Digest of quarantined trials and supervision activity.
+
+    Consumes whatever subset of fields the records carry (failure
+    records from older stores, or hand-truncated ones, still render),
+    so a report over partial results never raises.
+    """
+    lines = []
+    if failures:
+        lines.append(f"failures : {len(failures)} quarantined "
+                     f"trial{'s' if len(failures) != 1 else ''}")
+        ordered = sorted(failures, key=_failure_sort_key)
+        for record in ordered[:10]:
+            label = f"n={record.get('n', '?')}"
+            if record.get("intensity") is not None:
+                label += f" intensity={record['intensity']:g}"
+            if record.get("scheduler"):
+                label += f" scheduler={record['scheduler']}"
+            attempts = record.get("attempts") or []
+            plural = "s" if len(attempts) != 1 else ""
+            message = (record.get("message") or "").splitlines()
+            detail = f": {message[0]}" if message else ""
+            lines.append(
+                f"  [{record.get('error_type', 'unknown')}] {label} "
+                f"trial {record.get('trial', '?')} after "
+                f"{len(attempts)} attempt{plural}{detail}")
+        if len(ordered) > 10:
+            lines.append(f"  ... and {len(ordered) - 10} more")
+    if supervision:
+        parts = [f"{supervision.get('attempts', 0)} attempts / "
+                 f"{supervision.get('tasks', 0)} tasks"]
+        for key in ("retries", "timeouts", "crashes", "errors",
+                    "quarantined"):
+            if supervision.get(key):
+                parts.append(f"{supervision[key]} {key}")
+        lines.append("supervised: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
 def report_dict(aggregates: Sequence[PointAggregate], *,
                 spec: "ExperimentSpec | None" = None,
-                metric: str = "converged_at") -> dict:
+                metric: str = "converged_at",
+                failures: "Sequence[dict] | None" = None) -> dict:
     """JSON-ready report (the ``--json`` shape of ``repro exp``)."""
     points = []
     ordered = sorted(aggregates,
@@ -263,4 +313,15 @@ def report_dict(aggregates: Sequence[PointAggregate], *,
             fits[label] = measurement.exponent()
     if fits:
         data["fitted_exponents"] = fits
+    if failures:
+        # The forensic trail minus the tracebacks (those live in the
+        # store); enough to re-derive every failing trial's seeds.
+        data["failures"] = [
+            {"id": f.get("id"), "n": f.get("n"),
+             "intensity": f.get("intensity"),
+             "scheduler": f.get("scheduler"), "trial": f.get("trial"),
+             "error_type": f.get("error_type"),
+             "message": f.get("message"),
+             "attempts": len(f.get("attempts") or [])}
+            for f in sorted(failures, key=_failure_sort_key)]
     return data

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 from repro.exp.spec import ExperimentSpec
 from repro.exp.store import ResultStore
@@ -325,10 +326,25 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
     return records
 
 
+#: Per-process memo of the last spec a pool worker deserialized: every
+#: task of one sweep carries the identical spec dict, so re-parsing (and
+#: re-validating) it per trial is pure per-task overhead.
+_SPEC_MEMO: dict = {}
+
+
+def _memoized_spec(spec_dict: dict, spec_hash: str) -> ExperimentSpec:
+    spec = _SPEC_MEMO.get(spec_hash)
+    if spec is None:
+        _SPEC_MEMO.clear()  # one sweep at a time; don't accumulate
+        spec = ExperimentSpec.from_dict(spec_dict)
+        _SPEC_MEMO[spec_hash] = spec
+    return spec
+
+
 def _pool_task(task) -> dict:
     """Top-level worker entry point (must pickle across processes)."""
     spec_dict, spec_hash, n, intensity, scheduler, trial = task
-    spec = ExperimentSpec.from_dict(spec_dict)
+    spec = _memoized_spec(spec_dict, spec_hash)
     return run_trial(spec, SweepPoint(n, intensity, scheduler), trial,
                      spec_hash=spec_hash)
 
@@ -336,7 +352,7 @@ def _pool_task(task) -> dict:
 def _ensemble_pool_task(task) -> list[dict]:
     """Worker entry point for one sweep point's lockstep batch."""
     spec_dict, spec_hash, n, intensity, scheduler, trials = task
-    spec = ExperimentSpec.from_dict(spec_dict)
+    spec = _memoized_spec(spec_dict, spec_hash)
     return run_ensemble_point(spec, SweepPoint(n, intensity, scheduler),
                               list(trials), spec_hash=spec_hash)
 
@@ -361,6 +377,12 @@ class ExperimentResult:
     executed: int
     #: Trials skipped because the store already held them.
     skipped: int
+    #: Structured ``trial-failure`` records: quarantined trials from the
+    #: store plus any quarantined by this call, canonically sorted.
+    failures: list = dataclass_field(default_factory=list)
+    #: Supervision counters (:meth:`SupervisionStats.to_dict`), or None
+    #: when the sweep ran on the unsupervised fast path.
+    supervision: "dict | None" = None
 
     @property
     def total(self) -> int:
@@ -373,6 +395,7 @@ def run_experiment(
     store: "ResultStore | None" = None,
     workers: int = 1,
     progress: "Callable[[dict], None] | None" = None,
+    retry_quarantined: bool = False,
 ) -> ExperimentResult:
     """Execute every trial of ``spec`` that the store does not already hold.
 
@@ -382,6 +405,13 @@ def run_experiment(
     and the returned :class:`ExperimentResult` is canonically sorted, so
     aggregated output is identical for any worker count.  ``progress`` is
     called with each freshly executed record.
+
+    With a non-default ``spec.execution`` policy the sweep runs through
+    the supervision layer (:mod:`repro.exp.supervise`): per-trial
+    timeouts, retry with backoff, crashed-worker recovery, and failure
+    quarantine.  Quarantined trials resume as *failures* — they are not
+    re-executed unless ``retry_quarantined`` is set (a later success
+    then supersedes the stored failure record).
     """
     spec.validate()
     if workers < 1:
@@ -390,18 +420,25 @@ def run_experiment(
 
     done_records: list[dict] = []
     done_ids: set = set()
+    done_failures: list[dict] = []
+    quarantined_ids: set = set()
     if store is not None:
         store.bind_spec(spec)
         done_records = store.records()
         done_ids = store.completed_ids()
+        if not retry_quarantined:
+            done_failures = store.failures()
+            quarantined_ids = store.quarantined_ids()
 
     pending: list[tuple] = []
     for point in sweep_points(spec):
         for trial in range(spec.trials):
-            if trial_id(spec_hash, point, trial) not in done_ids:
+            tid = trial_id(spec_hash, point, trial)
+            if tid not in done_ids and tid not in quarantined_ids:
                 pending.append((point, trial))
 
     fresh: list[dict] = []
+    fresh_failures: list[dict] = []
 
     def collect(record: dict) -> None:
         if store is not None:
@@ -409,6 +446,42 @@ def run_experiment(
         fresh.append(record)
         if progress is not None:
             progress(record)
+
+    def collect_failure(record: dict) -> None:
+        if store is not None:
+            store.append_failure(record)
+        fresh_failures.append(record)
+
+    supervision = None
+    if not spec.execution.is_default():
+        from repro.exp.supervise import (
+            build_ensemble_tasks,
+            build_trial_tasks,
+            run_supervised,
+        )
+
+        if spec.engine == "ensemble":
+            by_point: dict = {}
+            for point, trial in pending:
+                by_point.setdefault(point, []).append(trial)
+            groups = sorted(by_point.items(),
+                            key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
+            tasks = build_ensemble_tasks(spec, groups, spec_hash)
+        else:
+            tasks = build_trial_tasks(spec, pending, spec_hash)
+        stats = run_supervised(
+            tasks, policy=spec.execution, spec_hash=spec_hash,
+            workers=workers,
+            on_records=lambda records: [collect(r) for r in records],
+            on_failure=collect_failure)
+        supervision = stats.to_dict()
+        records = sorted(done_records + fresh, key=record_sort_key)
+        failures = sorted(done_failures + fresh_failures,
+                          key=record_sort_key)
+        return ExperimentResult(
+            spec=spec, spec_hash=spec_hash, records=records,
+            executed=len(fresh), skipped=len(done_records),
+            failures=failures, supervision=supervision)
 
     if spec.engine == "ensemble":
         # Lockstep batches: one ensemble per sweep point covers all of
@@ -461,7 +534,9 @@ def run_experiment(
 
     records = sorted(done_records + fresh, key=record_sort_key)
     return ExperimentResult(spec=spec, spec_hash=spec_hash, records=records,
-                            executed=len(fresh), skipped=len(done_records))
+                            executed=len(fresh), skipped=len(done_records),
+                            failures=sorted(done_failures,
+                                            key=record_sort_key))
 
 
 def plan_size(spec: ExperimentSpec) -> int:

@@ -29,6 +29,8 @@ FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate", "crash-at")
 STOP_RULES = ("quiescent", "silent", "correct-stable")
 #: Trial engines understood by the runner (see repro.exp.runner.run_trial).
 ENGINES = ("agent", "batched", "ensemble")
+#: Failure dispositions understood by :class:`ExecutionPolicy`.
+ON_ERROR = ("raise", "skip", "quarantine")
 
 
 def _coerce_symbol(symbol):
@@ -243,6 +245,68 @@ class StopRule:
 
 
 @dataclass(frozen=True)
+class ExecutionPolicy:
+    """How trials execute: wall-clock budgets, retries, failure handling.
+
+    The default policy — no timeout, one attempt, failures raise — is the
+    pre-supervision behavior and serializes to *nothing* (the spec's
+    ``execution`` block is omitted when the policy is default), so every
+    spec hash and trial id minted before this block existed is unchanged.
+    A non-default policy does feed the content hash: stores record how
+    their trials were allowed to run.  Successful trial records are
+    byte-identical either way — the policy governs execution, never
+    results.
+
+    * ``timeout_s`` — per-trial wall-clock budget.  Enforced twice: a
+      worker-side ``SIGALRM`` interrupts pure-Python hangs at the budget,
+      and the parent kills workers wedged in C/numpy code shortly after
+      the deadline (see :mod:`repro.exp.supervise`).
+    * ``max_attempts`` — total tries per trial (1 = no retry).
+    * ``backoff`` — base delay in seconds before a retry; attempt ``k``
+      waits ``backoff * 2**(k-1)`` scaled by deterministic jitter.
+    * ``on_error`` — what happens once the attempt budget is exhausted:
+      ``raise`` aborts the sweep (the legacy behavior), ``skip`` drops
+      the trial silently, ``quarantine`` appends a structured
+      ``trial-failure`` record to the store and carries on.
+    """
+
+    timeout_s: "float | None" = None
+    max_attempts: int = 1
+    backoff: float = 0.5
+    on_error: str = "raise"
+
+    def is_default(self) -> bool:
+        """True when this policy is the implicit pre-supervision default."""
+        return self == ExecutionPolicy()
+
+    def validate(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.on_error not in ON_ERROR:
+            raise ValueError(
+                f"unknown on_error {self.on_error!r}; known: {ON_ERROR}")
+
+    def to_dict(self) -> dict:
+        data: dict = {"max_attempts": self.max_attempts,
+                      "backoff": self.backoff, "on_error": self.on_error}
+        if self.timeout_s is not None:
+            data["timeout_s"] = float(self.timeout_s)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutionPolicy":
+        timeout_s = data.get("timeout_s")
+        return cls(timeout_s=None if timeout_s is None else float(timeout_s),
+                   max_attempts=int(data.get("max_attempts", 1)),
+                   backoff=float(data.get("backoff", 0.5)),
+                   on_error=data.get("on_error", "raise"))
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One declarative sweep: protocol x inputs x sizes x faults x trials.
 
@@ -283,6 +347,11 @@ class ExperimentSpec:
     #: monitor-free sweeps under the uniform scheduler.
     engine: str = "agent"
     stop: StopRule = field(default_factory=StopRule)
+    #: Supervision policy: timeouts, retries, and failure disposition
+    #: (see :class:`ExecutionPolicy` and :mod:`repro.exp.supervise`).
+    #: The default policy serializes to nothing, so it never perturbs
+    #: pre-existing spec hashes.
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     seed: int = 0
 
     def validate(self) -> None:
@@ -313,22 +382,37 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
         if self.engine in ("batched", "ensemble"):
-            blockers = []
+            # Each entry: (offending field, description, engines that DO
+            # support it).  The error must name the field and point at a
+            # working engine, so a rejected spec is a one-edit fix.
+            problems = []
             if self.faults is not None:
-                blockers.append("a fault axis")
+                problems.append(("faults", "a fault axis", ("agent",)))
             if self.monitors:
-                blockers.append("monitors")
+                problems.append(("monitors", "runtime monitors", ("agent",)))
             if self.schedulers:
-                blockers.append("a scheduler axis")
+                problems.append(
+                    ("schedulers", "a scheduler axis", ("agent",)))
             elif self.scheduler != "uniform":
-                blockers.append(f"scheduler {self.scheduler!r}")
+                problems.append(
+                    ("scheduler", f"scheduler {self.scheduler!r}",
+                     ("agent",)))
             if self.engine == "ensemble" and self.confirm:
-                blockers.append("confirm (a per-trial chaos step)")
-            if blockers:
+                problems.append(("confirm",
+                                 "post-stop confirmation interactions",
+                                 ("agent", "batched")))
+            if problems:
+                details = "; ".join(
+                    f"field {name!r} ({what}) is supported by "
+                    + " and ".join(f"engine {e!r}" for e in engines)
+                    for name, what, engines in problems)
                 raise ValueError(
                     f"engine {self.engine!r} implements only the plain "
-                    "uniform-pairing fault-free process and cannot "
-                    "combine with " + ", ".join(blockers))
+                    f"uniform-pairing fault-free process: {details}. "
+                    f"Drop the field or switch engine ('agent' is the "
+                    f"reference engine; 'batched' is its bit-identical "
+                    f"fast path)")
+        self.execution.validate()
         self.inputs.validate(self.ns)
         if self.faults is not None:
             self.faults.validate()
@@ -356,6 +440,10 @@ class ExperimentSpec:
             data["confirm"] = self.confirm
         if self.engine != "agent":
             data["engine"] = self.engine
+        # Like the chaos fields: the execution block serializes only when
+        # non-default, keeping every pre-supervision spec hash intact.
+        if not self.execution.is_default():
+            data["execution"] = self.execution.to_dict()
         return data
 
     @classmethod
@@ -374,6 +462,7 @@ class ExperimentSpec:
             confirm=int(data.get("confirm", 0)),
             engine=data.get("engine", "agent"),
             stop=StopRule.from_dict(data.get("stop", {})),
+            execution=ExecutionPolicy.from_dict(data.get("execution", {})),
             seed=int(data.get("seed", 0)),
         )
 

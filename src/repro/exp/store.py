@@ -2,15 +2,25 @@
 
 Layout: line 1 is a spec header ``{"kind": "spec", "hash": ..., "spec":
 {...}}``; every further line is one completed trial ``{"kind": "trial",
-"id": ..., ...}``.  Appending is the only write operation, so a store is
-exactly as durable as its filesystem: killing a sweep mid-run loses at
-most the trial being written, and re-running the same spec against the
-store skips every trial whose id is already present (resume).
+"id": ..., ...}`` or one quarantined failure ``{"kind":
+"trial-failure", "id": ..., ...}`` (see :mod:`repro.exp.supervise`).
+Appending is the only write operation, so a store is exactly as durable
+as its filesystem: killing a sweep mid-run loses at most the record
+being written, and re-running the same spec against the store skips
+every trial whose id is already present (resume).
 
 A truncated final line (the usual crash artifact) is detected at open
 and cut back to the last complete record, so resume works even when the
-interrupt landed mid-write.  A header whose hash differs from the spec
-being run is an error — stores never mix experiments.
+interrupt landed mid-write.  Failure records are additionally fsynced
+on append — a quarantine verdict survives a machine crash, not just a
+process crash.  A header whose hash differs from the spec being run is
+an error — stores never mix experiments.
+
+Exactly-once semantics: at most one *effective* record exists per trial
+id.  A ``trial`` record always supersedes a ``trial-failure`` for the
+same id (a retried quarantined trial that later succeeds), so
+:meth:`ResultStore.failures` only reports ids with no successful
+record.
 """
 
 from __future__ import annotations
@@ -39,6 +49,8 @@ class ResultStore:
         self._spec_header: "dict | None" = None
         self._records: list[dict] = []
         self._ids: set[str] = set()
+        self._failures: list[dict] = []
+        self._failure_ids: set[str] = set()
         self._load()
 
     def _load(self) -> None:
@@ -58,6 +70,9 @@ class ResultStore:
                 elif record.get("kind") == "trial":
                     self._records.append(record)
                     self._ids.add(record["id"])
+                elif record.get("kind") == "trial-failure":
+                    self._failures.append(record)
+                    self._failure_ids.add(record["id"])
                 good_bytes += len(line)
         if good_bytes < os.path.getsize(self.path):
             with open(self.path, "r+b") as handle:
@@ -79,6 +94,19 @@ class ResultStore:
         """All trial records, in append order."""
         return list(self._records)
 
+    def failures(self) -> list[dict]:
+        """Quarantined ``trial-failure`` records, in append order.
+
+        A failure whose trial id later gained a successful record (a
+        retried quarantine) is superseded and not reported.
+        """
+        return [record for record in self._failures
+                if record["id"] not in self._ids]
+
+    def quarantined_ids(self) -> set:
+        """Ids quarantined with no successful record to supersede them."""
+        return self._failure_ids - self._ids
+
     def spec_hash(self) -> "str | None":
         """Content hash of the spec this store belongs to, if any."""
         return self._spec_header["hash"] if self._spec_header else None
@@ -91,10 +119,13 @@ class ResultStore:
 
     # -- Writing ---------------------------------------------------------------
 
-    def _append_line(self, record: Mapping) -> None:
+    def _append_line(self, record: Mapping, *, fsync: bool = False) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def bind_spec(self, spec: ExperimentSpec) -> None:
         """Attach the store to ``spec``: write the header, or verify it.
@@ -123,6 +154,22 @@ class ResultStore:
         self._append_line(record)
         self._records.append(dict(record))
         self._ids.add(record["id"])
+
+    def append_failure(self, record: Mapping) -> None:
+        """Persist one quarantine record (idempotent by id, fsynced).
+
+        Failure records are the sweep's forensic trail: they are flushed
+        through the OS cache so a host crash right after quarantine
+        cannot silently lose the verdict.
+        """
+        if record.get("kind") != "trial-failure" or "id" not in record:
+            raise ValueError(
+                "failure records must have kind='trial-failure' and an id")
+        if record["id"] in self._failure_ids:
+            return
+        self._append_line(record, fsync=True)
+        self._failures.append(dict(record))
+        self._failure_ids.add(record["id"])
 
     def extend(self, records: Iterable[Mapping]) -> None:
         for record in records:

@@ -1,0 +1,155 @@
+"""Test-only protocols that misbehave on purpose.
+
+The supervision layer (:mod:`repro.exp.supervise`) exists for trials
+that crash, hang, or fail transiently — none of which a correct
+population protocol ever does.  :class:`MisbehavingEpidemic` injects
+exactly those failures through the normal protocol interface, so the
+supervision tests (and the CI supervision smoke job) exercise the real
+execution path end to end: spec → runner → worker process → engine.
+
+The trigger is the *input symbol*: agents fed ``0``/``1`` behave as the
+plain :class:`~repro.protocols.counting.Epidemic`, while the poison
+symbols make ``initial_state`` misbehave the first time a worker maps
+them.  Because sweep inputs are per-``n`` (an explicit
+:meth:`~repro.exp.spec.InputGrid.explicit` table), a test assigns each
+failure mode its own population size and leaves the others healthy:
+
+* ``"boom"`` — raise ``RuntimeError`` (a deterministic poison trial);
+* ``"flaky"`` — raise on the first attempt, then behave (a transient
+  failure that a retry must turn into a normal record);
+* ``"die"`` — ``SIGKILL`` the worker process on the first attempt, then
+  behave (crash detection + respawn, the OOM-kill stand-in);
+* ``"hang"`` — sleep forever in Python (the worker-side alarm cuts it);
+* ``"hang-hard"`` — sleep forever with ``SIGALRM`` blocked, simulating
+  a worker wedged in uninterruptible C code (only the parent-side
+  deadline kill can cut it).
+
+``"flaky"`` and ``"die"`` need one bit of cross-attempt, cross-process
+state — "has this already fired once?" — which lives as a marker file
+under the directory named by the ``REPRO_FAULTY_MARKER_DIR``
+environment variable (worker processes inherit it through fork).  The
+stateless modes work without it.
+
+The lazy agent engine maps only the symbols actually present in a
+population through ``initial_state``, but the compiled engines (batched,
+ensemble) eagerly enumerate the *whole* input alphabet at table-build
+time — with a poison symbol in the alphabet, compilation (or a
+catalogue-wide ``validate()``) itself would crash or hang.  The
+``poison`` parameter (a bitmask over :data:`POISON_SYMBOLS`, default:
+none) therefore controls which poison symbols exist in the alphabet at
+all: the default build is a plain, safely-enumerable epidemic, and a
+test admits exactly the failure it means to inject.
+
+Not registered by default: call :func:`install` (idempotent) from test
+setup.  The registry entry computes no predicate, so records carry
+``correct: None``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.core.protocol import PopulationProtocol
+
+#: Poison input symbols and the misbehavior they trigger.
+POISON_SYMBOLS = ("boom", "flaky", "die", "hang", "hang-hard")
+
+#: Environment variable naming the marker directory for the stateful
+#: modes ("flaky", "die").
+MARKER_DIR_ENV = "REPRO_FAULTY_MARKER_DIR"
+
+
+def _marker_path(mode: str) -> str:
+    directory = os.environ.get(MARKER_DIR_ENV)
+    if not directory:
+        raise RuntimeError(
+            f"poison symbol {mode!r} needs the {MARKER_DIR_ENV} "
+            "environment variable to point at a marker directory")
+    return os.path.join(directory, f"{mode}.fired")
+
+
+def _fire_once(mode: str) -> bool:
+    """True exactly once per marker directory (atomic via O_EXCL)."""
+    path = _marker_path(mode)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+#: Bitmask selecting every poison symbol.
+ALL_POISON = (1 << len(POISON_SYMBOLS)) - 1
+
+
+class MisbehavingEpidemic(PopulationProtocol):
+    """Epidemic on 0/1 inputs; poison symbols misbehave (see module doc).
+
+    ``poison`` is a bitmask over :data:`POISON_SYMBOLS` choosing which
+    poison symbols the input alphabet admits; the default (0) is a
+    plain epidemic whose alphabet is safe to enumerate eagerly.
+    """
+
+    output_alphabet = frozenset({0, 1})
+
+    def __init__(self, poison: int = 0):
+        self.input_alphabet = frozenset(
+            {0, 1} | {symbol for index, symbol in enumerate(POISON_SYMBOLS)
+                      if poison >> index & 1})
+
+    def initial_state(self, symbol) -> int:
+        if symbol in (0, 1):
+            return symbol
+        if symbol not in self.input_alphabet:
+            raise ValueError(f"input symbol must be one of "
+                             f"{sorted(self.input_alphabet, key=repr)}, "
+                             f"got {symbol!r}")
+        if symbol == "boom":
+            raise RuntimeError("deliberate poison-trial failure (boom)")
+        if symbol == "flaky":
+            if _fire_once("flaky"):
+                raise RuntimeError("transient failure (flaky, first "
+                                   "attempt)")
+            return 0
+        if symbol == "die":
+            if _fire_once("die"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return 0
+        if symbol == "hang":
+            while True:  # cut by the worker-side SIGALRM
+                time.sleep(3600.0)
+        if symbol == "hang-hard":
+            if hasattr(signal, "pthread_sigmask"):
+                signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            while True:  # only the parent-side deadline kill helps now
+                time.sleep(3600.0)
+        raise ValueError(f"input symbol must be 0, 1, or one of "
+                         f"{POISON_SYMBOLS}, got {symbol!r}")
+
+    def output(self, state: int) -> int:
+        return state
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == 1 or responder == 1:
+            return 1, 1
+        return initiator, responder
+
+
+def install() -> None:
+    """Register ``misbehaving-epidemic`` in the catalogue (idempotent)."""
+    from repro.protocols import registry
+
+    try:
+        registry.get("misbehaving-epidemic")
+    except KeyError:
+        registry.register(registry.ProtocolEntry(
+            name="misbehaving-epidemic",
+            summary="test-only epidemic whose poison inputs crash, hang, "
+                    "or fail transiently (supervision tests)",
+            paper_section="n/a (test scaffolding)",
+            factory=MisbehavingEpidemic,
+            parameters=("poison",),
+        ))

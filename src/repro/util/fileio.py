@@ -1,0 +1,42 @@
+"""Crash-safe file writes.
+
+Report artifacts — bench baselines, CSV exports, shrink reproductions —
+are whole-file snapshots: a crash mid-write must never leave a half
+file where a previous good one stood (the JSONL stores get the same
+guarantee differently, via append-only writes plus torn-tail repair).
+:func:`atomic_write_text` gives the standard write-temp-then-rename
+discipline: the temp file lands in the destination directory (so the
+``os.replace`` is within one filesystem and therefore atomic), is
+fsynced before the rename, and is cleaned up on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path, text: str, *, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp-then-replace).
+
+    Readers see either the previous contents or the complete new ones,
+    never a torn intermediate — even across a crash or power loss (with
+    ``fsync``, the default, the data is durable before the rename).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -12,6 +12,7 @@ from repro.exp.bench import (
     format_rows,
     load_bench_file,
     run_kernel_benchmarks,
+    run_supervision_benchmark,
     speedup_summary,
     write_bench_file,
 )
@@ -45,6 +46,17 @@ class TestGrids:
         assert len(speedups) == len(SMOKE_GRID)
         assert all(s["speedup"] > 0 for s in speedups)
         assert format_rows(rows).count("\n") == len(rows)
+
+
+class TestSupervisionBenchmark:
+    def test_smoke_run_reports_overhead(self):
+        result = run_supervision_benchmark(smoke=True, repeats=1)
+        assert result["overhead"] >= 1.0
+        assert result["per_task_s"] >= 0.0
+        assert result["trial_s"] > 0.0
+        assert result["plain_s"] > 0.0
+        assert result["supervised_s"] > 0.0
+        assert result["protocol"] == "leader-election"
 
 
 class TestBaselineGate:

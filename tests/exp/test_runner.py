@@ -8,6 +8,7 @@
    exact same record set.
 """
 
+import json
 import os
 
 import pytest
@@ -232,6 +233,70 @@ class TestMonitoredTrials:
         record = run_trial(spec, SweepPoint(6), 0)
         assert record["violation"] is None
         assert record["stopped"]
+
+    def test_main_run_violation_roundtrips_through_store(self, tmp_path):
+        # First arm of run_trial: the stopping-rule run itself raises
+        # MonitorViolation.  A never-healing partition leaves one leader
+        # per block; the cross-block leader pair stays enabled but is
+        # never scheduled, so the fairness budget runs out mid-run.
+        spec = make_spec(protocol="leader-election", ns=(10,), trials=1,
+                         inputs=InputGrid(kind="all-ones"),
+                         scheduler="partition:heal=1000000000",
+                         monitors=("fairness:budget=400",),
+                         stop=StopRule(patience=5_000, max_steps=200_000))
+        path = tmp_path / "r.jsonl"
+        result = run_experiment(spec, store=ResultStore(path))
+        record = result.records[0]
+        violation = record["violation"]
+        assert violation is not None
+        assert violation["monitor"] == "fairness"
+        assert violation["detail"]["budget"] == 400
+        # The violation aborted the main run: no stop verdict exists.
+        assert record["stopped"] is False
+        assert record["output"] is None
+
+        reopened = ResultStore(path)
+        stored = reopened.records()[0]
+        # JSON-normalized comparison: the live record may hold tuples
+        # where the store (by construction) yields lists.
+        assert json.dumps(stored, sort_keys=True) == \
+            json.dumps(record, sort_keys=True)
+        context = stored["violation"]["context"]
+        assert context["protocol"] == "leader-election"
+        assert context["scheduler"] == "partition:heal=1000000000"
+        assert context["engine_seed"] == record["engine_seed"]
+
+    def test_confirm_phase_violation_roundtrips_through_store(self,
+                                                              tmp_path):
+        # Second arm of run_trial: the flicker monitor is inert until
+        # armed *after* the stopping rule fires, so a flicker violation
+        # can only come from the confirm-phase arm.
+        spec = ExperimentSpec(
+            protocol="majority", ns=(10,), trials=1,
+            inputs=InputGrid(kind="ones", ones=6),
+            faults=FaultAxis("corruption-rate", (0.005,)),
+            monitors=("flicker",),
+            confirm=4_000,
+            stop=StopRule(rule="quiescent", patience=600, max_steps=60_000),
+            seed=0)
+        path = tmp_path / "r.jsonl"
+        result = run_experiment(spec, store=ResultStore(path))
+        record = result.records[0]
+        violation = record["violation"]
+        assert violation is not None, \
+            "confirm-phase corruption should trip the armed flicker monitor"
+        assert violation["monitor"] == "flicker"
+        # Armed at the stop verdict, tripped strictly afterwards.
+        assert record["stopped"] is True
+        assert violation["step"] > violation["detail"]["stabilized_at"]
+
+        reopened = ResultStore(path)
+        stored = reopened.records()[0]
+        assert stored == record
+        context = stored["violation"]["context"]
+        assert context["confirm"] == 4_000
+        assert context["fault"] == {"kind": "corruption-rate",
+                                    "intensity": 0.005}
 
     def test_violation_record_carries_reproduction_context(self):
         spec = ExperimentSpec(

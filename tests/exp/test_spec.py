@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.exp.spec import ExperimentSpec, FaultAxis, InputGrid, StopRule
+from repro.exp.spec import (
+    ExecutionPolicy,
+    ExperimentSpec,
+    FaultAxis,
+    InputGrid,
+    StopRule,
+)
 from repro.sim.faults import FaultPlan
 
 
@@ -236,3 +242,84 @@ class TestEngineField:
 
     def test_ensemble_uniform_fault_free_passes(self):
         make_spec(engine="ensemble").validate()
+
+
+class TestEngineValidationMessages:
+    """Rejecting a spec must name the offending field and point at an
+    engine that supports it — a rejected spec is a one-edit fix."""
+
+    def test_names_offending_field_and_supporting_engine(self):
+        spec = make_spec(engine="ensemble", monitors=("conservation",))
+        with pytest.raises(ValueError) as err:
+            spec.validate()
+        message = str(err.value)
+        assert "engine 'ensemble'" in message
+        assert "'monitors'" in message
+        assert "runtime monitors" in message
+        assert "engine 'agent'" in message
+        assert "reference engine" in message
+
+    def test_confirm_names_both_supporting_engines(self):
+        spec = make_spec(engine="ensemble", confirm=100)
+        with pytest.raises(ValueError) as err:
+            spec.validate()
+        message = str(err.value)
+        assert "'confirm'" in message
+        assert "engine 'agent' and engine 'batched'" in message
+
+    def test_every_problem_is_listed(self):
+        spec = make_spec(engine="batched",
+                         faults=FaultAxis("crash-rate", (0.1,)),
+                         scheduler="stalling")
+        with pytest.raises(ValueError) as err:
+            spec.validate()
+        message = str(err.value)
+        assert "'faults'" in message
+        assert "'scheduler'" in message
+        assert "'stalling'" in message
+
+
+class TestExecutionPolicy:
+    """The execution block must be hash-stable when defaulted: specs
+    (and stores) written before supervision existed keep their ids."""
+
+    def test_default_stays_out_of_dict_and_hash(self):
+        spec = make_spec()
+        assert "execution" not in spec.to_dict()
+        explicit = make_spec(execution=ExecutionPolicy())
+        assert explicit.content_hash() == spec.content_hash()
+        assert ExecutionPolicy().is_default()
+
+    def test_non_default_round_trips_and_feeds_the_hash(self):
+        policy = ExecutionPolicy(timeout_s=30.0, max_attempts=3,
+                                 backoff=1.0, on_error="quarantine")
+        spec = make_spec(execution=policy)
+        data = spec.to_dict()
+        assert data["execution"]["timeout_s"] == 30.0
+        again = ExperimentSpec.from_dict(data)
+        assert again.execution == policy
+        assert not again.execution.is_default()
+        assert spec.content_hash() != make_spec().content_hash()
+
+    def test_each_field_feeds_the_hash(self):
+        base = make_spec()
+        variants = [
+            make_spec(execution=ExecutionPolicy(timeout_s=10.0)),
+            make_spec(execution=ExecutionPolicy(max_attempts=2)),
+            make_spec(execution=ExecutionPolicy(backoff=0.25)),
+            make_spec(execution=ExecutionPolicy(on_error="skip")),
+        ]
+        hashes = {spec.content_hash() for spec in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    @pytest.mark.parametrize("policy", [
+        ExecutionPolicy(timeout_s=0.0),
+        ExecutionPolicy(timeout_s=-1.0),
+        ExecutionPolicy(max_attempts=0),
+        ExecutionPolicy(backoff=-0.5),
+        ExecutionPolicy(on_error="explode"),
+    ])
+    def test_bad_policies_rejected(self, policy):
+        with pytest.raises(ValueError):
+            make_spec(execution=policy).validate()

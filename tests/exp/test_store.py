@@ -20,6 +20,12 @@ def trial(i: int) -> dict:
             "trial": i, "interactions": 100 + i, "converged_at": 10 + i}
 
 
+def failure(i: int) -> dict:
+    return {"kind": "trial-failure", "id": f"{i:016x}", "n": 6,
+            "intensity": None, "trial": i, "error_type": "RuntimeError",
+            "message": "boom"}
+
+
 class TestBasics:
     def test_fresh_store_is_empty(self, tmp_path):
         store = ResultStore(tmp_path / "r.jsonl")
@@ -55,6 +61,66 @@ class TestBasics:
             store.append({"kind": "trial"})  # no id
         with pytest.raises(ValueError):
             store.append({"id": "x"})  # no kind
+
+
+class TestFailureRecords:
+    """Quarantine records: durable, idempotent, superseded by success."""
+
+    def test_append_failure_and_reload(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.bind_spec(make_spec())
+        store.append(trial(0))
+        store.append_failure(failure(1))
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1  # only the trial counts as a record
+        assert reloaded.failures() == [failure(1)]
+        assert reloaded.quarantined_ids() == {failure(1)["id"]}
+        assert reloaded.completed_ids() == {trial(0)["id"]}
+
+    def test_append_failure_is_idempotent_by_id(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append_failure(failure(0))
+        store.append_failure(failure(0))
+        assert len(store.failures()) == 1
+        assert len(ResultStore(store.path).failures()) == 1
+
+    def test_trial_record_supersedes_failure(self, tmp_path):
+        # A retried quarantined trial that later succeeds: the failure
+        # line stays in the file, but the effective view reports only
+        # the success — exactly-once per trial id.
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append_failure(failure(0))
+        assert store.quarantined_ids() == {failure(0)["id"]}
+        store.append(trial(0))
+        assert store.failures() == []
+        assert store.quarantined_ids() == set()
+
+        reloaded = ResultStore(path)
+        assert reloaded.failures() == []
+        assert reloaded.quarantined_ids() == set()
+        assert reloaded.completed_ids() == {trial(0)["id"]}
+
+    def test_malformed_failure_records_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with pytest.raises(ValueError):
+            store.append_failure(trial(0))  # wrong kind
+        with pytest.raises(ValueError):
+            store.append_failure({"kind": "trial-failure"})  # no id
+
+    def test_torn_failure_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append_failure(failure(0))
+        store.append_failure(failure(1))
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 10)
+
+        repaired = ResultStore(path)
+        assert repaired.quarantined_ids() == {failure(0)["id"]}
 
 
 class TestSpecBinding:

@@ -1,0 +1,46 @@
+"""Tests for crash-safe whole-file writes."""
+
+import os
+
+import pytest
+
+from repro.util.fileio import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_overwrites(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "first\n")
+        assert path.read_text() == "first\n"
+        atomic_write_text(path, "second\n")
+        assert path.read_text() == "second\n"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "data\n")
+        assert os.listdir(tmp_path) == ["artifact.json"]
+
+    def test_failed_write_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "good\n")
+
+        class Exploding(str):
+            def __str__(self):
+                raise RuntimeError("mid-write crash")
+
+        # A failure before the rename must leave the old file intact
+        # and clean up its temp file.
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not writable as text
+        assert path.read_text() == "good\n"
+        assert os.listdir(tmp_path) == ["artifact.json"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        atomic_write_text("bare-name.txt", "x\n")
+        assert (tmp_path / "bare-name.txt").read_text() == "x\n"
+
+    def test_fsync_disabled_still_atomic(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "fast\n", fsync=False)
+        assert path.read_text() == "fast\n"

@@ -1,0 +1,180 @@
+"""Fixed points of the mean-field ODE and their stability structure.
+
+The fluid limit turns a protocol's convergence question into dynamical
+systems language: stable configurations of the discrete chain correspond
+to attracting fixed points of the drift field, and the paper's
+"eventually every agent outputs the answer" becomes "the trajectory
+enters the basin of an output-unanimous equilibrium".  This module
+classifies fixed points of a :class:`~repro.sim.fluid.MeanFieldODE`:
+
+* :func:`drift_residual` — ``||F(x)||``, zero exactly at equilibria;
+* :func:`tangent_eigenvalues` — the drift Jacobian's spectrum restricted
+  to the simplex tangent space ``{v : sum v = 0}`` (the conservation
+  direction always carries a spurious eigenvalue and must be projected
+  out before classifying);
+* :func:`classify` / :func:`classify_point` — stable / unstable /
+  marginal by the sign of the largest tangent real part;
+* :func:`vertex_fixed_points` — the single-state corners of the simplex
+  that are equilibria (every vertex whose state is not reactive with
+  itself), the usual suspects for a protocol's terminal configurations;
+* :func:`discrete_witness` — rounds a fluid fixed point back to an
+  integer configuration at finite ``n`` and asks the *exact* Sect. 3.2
+  model checker (:func:`repro.analysis.stability.is_output_stable`)
+  whether it is output-stable, connecting the ODE picture back to the
+  paper's discrete semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import PopulationProtocol
+from repro.sim.fluid import MeanFieldODE
+from repro.util.multiset import FrozenMultiset
+
+__all__ = [
+    "FluidFixedPoint",
+    "drift_residual",
+    "tangent_eigenvalues",
+    "classify",
+    "classify_point",
+    "vertex_fixed_points",
+    "discrete_witness",
+    "witness_is_output_stable",
+]
+
+#: Eigenvalue real parts within this of zero count as marginal.
+STABILITY_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FluidFixedPoint:
+    """One classified equilibrium of the drift field."""
+
+    #: Fractions on the simplex (indexed like the compiled states).
+    x: tuple
+    #: ``||F(x)||_2`` at the point (0 for exact equilibria).
+    residual: float
+    #: Jacobian eigenvalues restricted to the simplex tangent space.
+    eigenvalues: tuple
+    #: "stable" | "unstable" | "marginal".
+    classification: str
+
+
+def drift_residual(ode: MeanFieldODE, x: np.ndarray) -> float:
+    """``||F(x)||_2`` — zero exactly at fixed points."""
+    return float(np.linalg.norm(ode.drift(np.asarray(x, dtype=float))))
+
+
+def _tangent_basis(k: int) -> np.ndarray:
+    """Orthonormal ``(k, k-1)`` basis of ``{v : sum v = 0}``."""
+    # Householder: any orthonormal completion of the normalized
+    # all-ones vector; columns 1..k-1 of the Q factor span the tangent.
+    ones = np.ones((k, 1)) / math.sqrt(k)
+    q, _ = np.linalg.qr(np.hstack([ones, np.eye(k)[:, : k - 1]]))
+    return q[:, 1:]
+
+
+def tangent_eigenvalues(ode: MeanFieldODE, x: np.ndarray) -> np.ndarray:
+    """Eigenvalues of the drift Jacobian on the simplex tangent space.
+
+    The drift conserves total mass, so the full Jacobian always maps
+    into ``{sum = 0}``; restricting to that subspace drops the spurious
+    direction transverse to the simplex and leaves exactly the modes a
+    trajectory can actually excite.
+    """
+    x = np.asarray(x, dtype=float)
+    if ode.size == 1:
+        return np.array([])
+    basis = _tangent_basis(ode.size)
+    reduced = basis.T @ ode.jacobian(x) @ basis
+    return np.linalg.eigvals(reduced)
+
+
+def classify(eigenvalues: np.ndarray,
+             tol: float = STABILITY_TOL) -> str:
+    """Stability verdict from tangent eigenvalues.
+
+    ``stable`` — every real part below ``-tol`` (exponentially
+    attracting); ``unstable`` — some real part above ``tol``;
+    ``marginal`` — the leading real part sits inside the tolerance band
+    (lines of equilibria and center manifolds land here — leader
+    election's all-followers point is the canonical example: its
+    approach is algebraic, 1/tau, not exponential).
+    """
+    if len(eigenvalues) == 0:
+        return "stable"
+    leading = float(np.max(np.real(eigenvalues)))
+    if leading < -tol:
+        return "stable"
+    if leading > tol:
+        return "unstable"
+    return "marginal"
+
+
+def classify_point(ode: MeanFieldODE, x: np.ndarray,
+                   tol: float = STABILITY_TOL) -> FluidFixedPoint:
+    """Residual + tangent spectrum + verdict for one candidate point."""
+    x = np.asarray(x, dtype=float)
+    eigenvalues = tangent_eigenvalues(ode, x)
+    return FluidFixedPoint(
+        x=tuple(float(v) for v in x),
+        residual=drift_residual(ode, x),
+        eigenvalues=tuple(complex(e) for e in eigenvalues),
+        classification=classify(eigenvalues, tol))
+
+
+def vertex_fixed_points(ode: MeanFieldODE,
+                        residual_tol: float = 1e-12) -> list:
+    """The simplex corners that are equilibria, classified.
+
+    A vertex ``e_i`` is a fixed point iff state ``i`` is not reactive
+    with itself — precisely the single-state configurations the paper
+    calls output-stable when they also agree on output.
+    """
+    points = []
+    for i in range(ode.size):
+        x = np.zeros(ode.size)
+        x[i] = 1.0
+        if drift_residual(ode, x) <= residual_tol:
+            points.append(classify_point(ode, x))
+    return points
+
+
+def discrete_witness(ode: MeanFieldODE, x: np.ndarray,
+                     n: int) -> FrozenMultiset:
+    """Round a fluid point to an exact ``n``-agent configuration.
+
+    Largest-remainder rounding, so the witness always has exactly ``n``
+    agents — a plain per-entry ``round`` can gain or lose agents and
+    hand the model checker a configuration from the wrong population.
+    """
+    if n < 2:
+        raise ValueError("a population needs at least two agents")
+    x = np.asarray(x, dtype=float)
+    scaled = x * n
+    floors = np.floor(scaled).astype(int)
+    shortfall = n - int(floors.sum())
+    if shortfall:
+        order = np.argsort(-(scaled - floors))
+        for idx in order[:shortfall]:
+            floors[idx] += 1
+    states = []
+    for state, count in zip(ode.compiled.states, floors):
+        states.extend([state] * int(count))
+    return FrozenMultiset(states)
+
+
+def witness_is_output_stable(protocol: PopulationProtocol,
+                             ode: MeanFieldODE, x: np.ndarray, n: int,
+                             max_configurations: int = 2_000_000) -> bool:
+    """Does the rounded finite-``n`` witness pass the exact Sect. 3.2
+    output-stability check?  (The fluid verdict is a conjecture about
+    large ``n``; this is its ground truth at small ``n``.)"""
+    from repro.analysis.stability import is_output_stable
+
+    witness = discrete_witness(ode, x, n)
+    return is_output_stable(protocol, witness, max_configurations)

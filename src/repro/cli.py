@@ -781,13 +781,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--max-steps", type=int, default=300_000)
     exp_run.add_argument("--check-every", type=int, default=0,
                          help="silence-check period (0 = engine default)")
+    from repro.exp.spec import ENGINES as _ENGINES
+
     exp_run.add_argument("--engine", default="agent",
-                         choices=("agent", "batched", "ensemble"),
+                         choices=_ENGINES,
                          help="trial engine: the reference agent-array "
                               "engine, the bit-identical batched fast "
-                              "path, or the lockstep ensemble engine "
-                              "(statistically equivalent, fastest; "
-                              "fault-free uniform sweeps only)")
+                              "path, the lockstep ensemble engine "
+                              "(statistically equivalent, fastest "
+                              "discrete), or the deterministic mean-field "
+                              "fluid engine (O(|states|) per step at any "
+                              "n; fault-free uniform sweeps only)")
     exp_run.add_argument("--seed", type=int, default=0)
     exp_run.add_argument("--store", default=None,
                          help="JSONL result store (enables resume)")

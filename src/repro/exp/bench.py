@@ -22,7 +22,12 @@ Workloads:
 * ``leader-election`` again on the multiset vs. *ensemble* engines — a
   256-trial Monte-Carlo sweep shape at n = 10^4, the workload the
   lockstep ensemble engine exists for (many trials amortizing numpy
-  dispatch; see :mod:`repro.sim.ensemble`).
+  dispatch; see :mod:`repro.sim.ensemble`);
+* ``leader-election`` on the *fluid* engine at n = 10^9 — a horizon of
+  10^18 interactions integrated as the mean-field ODE.  No discrete
+  engine can pair with it at that scale, so the row stands alone (no
+  speedup entry) in ``interactions-equiv`` units: the number of discrete
+  interactions the integrated fluid time corresponds to, per second.
 
 Ratios are computed between *this run's* reference and fast-path rows,
 so machine speed cancels; the baseline gate compares same-key rows
@@ -76,6 +81,12 @@ SMOKE_GRID = (
     {"protocol": "leader-election", "n": 2_000, "steps": 100_000,
      "engines": ("multiset", "ensemble-multiset"),
      "trials": 64, "trial_steps": 50_000},
+    # The fluid row is milliseconds even at this scale, so the committed
+    # n = 10^9 workload lives in the smoke grid: full baseline runs
+    # include it (the full grid appends the smoke grid) and the CI smoke
+    # gate covers it without a reduced twin.
+    {"protocol": "leader-election", "n": 10 ** 9, "steps": 10 ** 18,
+     "engines": ("fluid",)},
 )
 
 
@@ -108,7 +119,16 @@ def _time_engine(engine: str, protocol, counts, steps: int,
     engines — is charged to the run, since that is what a caller
     actually pays.
     """
-    if engine == "ensemble-multiset":
+    if engine == "fluid":
+        from repro.sim.fluid import FluidSimulation
+
+        # Deterministic fixed-horizon integration (steps / n fluid time
+        # units), so the row's key — including steps — is stable across
+        # runs and the regression gate can match it.
+        start = time.perf_counter()
+        sim = FluidSimulation(protocol, counts, record=False)
+        sim.advance(steps / sim.n)
+    elif engine == "ensemble-multiset":
         from repro.sim.ensemble import EnsembleMultisetSimulation
 
         start = time.perf_counter()
@@ -157,8 +177,14 @@ def _time_engine(engine: str, protocol, counts, steps: int,
 
 
 def _unit(engine: str) -> str:
-    return ("reactive-steps" if engine.startswith("skipping")
-            else "interactions")
+    if engine.startswith("skipping"):
+        return "reactive-steps"
+    if engine == "fluid":
+        # The fluid engine executes no interactions at all; its unit is
+        # the discrete-interaction horizon the integrated fluid time is
+        # equivalent to.
+        return "interactions-equiv"
+    return "interactions"
 
 
 def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,

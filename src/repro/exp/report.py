@@ -28,7 +28,7 @@ METRICS = ("converged_at", "interactions")
 TRIAL_COLUMNS = ("n", "intensity", "trial", "engine_seed", "fault_seed",
                  "interactions", "converged_at", "output", "correct",
                  "stopped", "crashes", "corruptions", "omissions",
-                 "scheduler", "violation")
+                 "scheduler", "violation", "engine")
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,10 @@ class PointAggregate:
     #: Number of trials ending in a MonitorViolation (None when the
     #: sweep ran unmonitored).
     violations: "int | None" = None
+    #: Engine the point's trials ran under (None for records written by
+    #: the reference engine before engines were recorded).  Groups are
+    #: keyed by it, so mixed-engine stores stay distinguishable.
+    engine: "str | None" = None
 
     @property
     def trials(self) -> int:
@@ -67,9 +71,10 @@ def aggregate(records: Sequence[dict], *,
     grouped: dict[tuple, list[dict]] = {}
     for record in sorted(records, key=record_sort_key):
         grouped.setdefault((record["n"], record.get("intensity"),
-                            record.get("scheduler")), []).append(record)
+                            record.get("scheduler"),
+                            record.get("engine")), []).append(record)
     aggregates = []
-    for (n, intensity, scheduler), group in grouped.items():
+    for (n, intensity, scheduler, engine), group in grouped.items():
         verdicts = [r["correct"] for r in group]
         correct = (None if any(v is None for v in verdicts)
                    else sum(1 for v in verdicts if v))
@@ -81,7 +86,8 @@ def aggregate(records: Sequence[dict], *,
                   for r in group]
         aggregates.append(PointAggregate(
             n=n, intensity=intensity, summary=TrialSummary(values),
-            correct=correct, scheduler=scheduler, violations=violations))
+            correct=correct, scheduler=scheduler, violations=violations,
+            engine=engine))
     return aggregates
 
 
@@ -139,15 +145,20 @@ def format_report(aggregates: Sequence[PointAggregate], *,
                      f"(ns={list(spec.ns)}, trials={spec.trials})")
     has_fault_axis = any(a.intensity is not None for a in aggregates)
     has_sched_axis = any(a.scheduler is not None for a in aggregates)
+    has_engine_axis = any(a.engine is not None for a in aggregates)
     has_monitors = any(a.violations is not None for a in aggregates)
     has_rate = any(a.rate is not None for a in aggregates)
     sched_width = max([len("scheduler")]
                       + [len(a.scheduler or "") for a in aggregates])
+    engine_width = max([len("engine")]
+                       + [len(a.engine or "") for a in aggregates])
     header = f"{'n':>8}"
     if has_fault_axis:
         header += f"  {'intensity':>10}"
     if has_sched_axis:
         header += f"  {'scheduler':>{sched_width}}"
+    if has_engine_axis:
+        header += f"  {'engine':>{engine_width}}"
     header += f"  {'trials':>6}  {'mean ' + metric:>16}  {'stderr':>10}"
     if has_rate:
         header += f"  {'rate':>5}"
@@ -156,13 +167,17 @@ def format_report(aggregates: Sequence[PointAggregate], *,
     lines.append(header)
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity, a.scheduler or ""))
+                                    else a.intensity, a.scheduler or "",
+                                    a.engine or ""))
     for agg in ordered:
         row = f"{agg.n:>8}"
         if has_fault_axis:
             row += f"  {0.0 if agg.intensity is None else agg.intensity:>10.3g}"
         if has_sched_axis:
             row += f"  {agg.scheduler or 'uniform':>{sched_width}}"
+        if has_engine_axis:
+            # Records predating the engine field are the reference engine.
+            row += f"  {agg.engine or 'agent':>{engine_width}}"
         row += (f"  {agg.trials:>6}  {agg.summary.mean:>16.2f}"
                 f"  {agg.summary.stderr:>10.2f}")
         if has_rate:
@@ -203,16 +218,17 @@ def summary_csv(aggregates: Sequence[PointAggregate], *,
     writer = csv.writer(buffer)
     writer.writerow(["n", "intensity", "trials", f"mean_{metric}",
                      f"stderr_{metric}", f"median_{metric}", "correct",
-                     "rate", "scheduler", "violations"])
+                     "rate", "scheduler", "violations", "engine"])
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity, a.scheduler or ""))
+                                    else a.intensity, a.scheduler or "",
+                                    a.engine or ""))
     for agg in ordered:
         writer.writerow([
             agg.n, agg.intensity, agg.trials,
             repr(agg.summary.mean), repr(agg.summary.stderr),
             repr(agg.summary.median), agg.correct, agg.rate,
-            agg.scheduler, agg.violations,
+            agg.scheduler, agg.violations, agg.engine,
         ])
     return buffer.getvalue()
 
@@ -274,8 +290,10 @@ def report_dict(aggregates: Sequence[PointAggregate], *,
     points = []
     ordered = sorted(aggregates,
                      key=lambda a: (a.n, -1.0 if a.intensity is None
-                                    else a.intensity, a.scheduler or ""))
+                                    else a.intensity, a.scheduler or "",
+                                    a.engine or ""))
     has_sched_axis = any(a.scheduler is not None for a in aggregates)
+    has_engine_axis = any(a.engine is not None for a in aggregates)
     has_monitors = any(a.violations is not None for a in aggregates)
     for agg in ordered:
         mean = agg.summary.mean
@@ -290,6 +308,8 @@ def report_dict(aggregates: Sequence[PointAggregate], *,
         }
         if has_sched_axis:
             point["scheduler"] = agg.scheduler
+        if has_engine_axis:
+            point["engine"] = agg.engine
         if has_monitors:
             point["violations"] = agg.violations
         points.append(point)

@@ -326,6 +326,88 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
     return records
 
 
+def run_fluid_point(spec: ExperimentSpec, point: SweepPoint,
+                    trials: Sequence[int], *,
+                    spec_hash: "str | None" = None) -> list[dict]:
+    """Execute one sweep point as a mean-field fluid integration.
+
+    The fluid limit is deterministic: one
+    :class:`~repro.sim.fluid.FluidSimulation` integration covers every
+    trial of the point, and each trial record carries the identical
+    measurements under its own id.  The :func:`trial_seeds`-derived
+    seeds are still recorded — they keep the record shape and resume
+    identity uniform across engines — but no randomness consumes them
+    (see docs/PERFORMANCE.md: the fluid contract is *deterministic given
+    the spec*, the n -> infinity limit of the ensemble distribution).
+    """
+    from repro.protocols import registry
+    from repro.sim.compiled import compile_protocol
+    from repro.sim.fluid import (
+        FluidSimulation,
+        run_fluid_until_correct_stable,
+        run_fluid_until_quiescent,
+        run_fluid_until_silent,
+    )
+
+    spec_hash = spec_hash or spec.content_hash()
+    entry = registry.get(spec.protocol)
+    params = dict(spec.params)
+    protocol = entry.build(**params)
+    counts = spec.inputs.counts_for(point.n)
+    try:
+        key = ("registry", spec.protocol, tuple(sorted(params.items())))
+        hash(key)
+    except TypeError:
+        key = None
+    compiled = compile_protocol(protocol, key=key)
+    seed_pairs = [trial_seeds(spec_hash, point, t) for t in trials]
+
+    expected = None
+    if entry.truth is not None:
+        expected = int(entry.evaluate_truth(counts, **params))
+
+    stop = spec.stop
+    fl = FluidSimulation(protocol, counts, compiled=compiled, record=False)
+    if stop.rule == "quiescent":
+        result = run_fluid_until_quiescent(
+            fl, patience=stop.patience, max_steps=stop.max_steps)
+    elif stop.rule == "silent":
+        result = run_fluid_until_silent(
+            fl, max_steps=stop.max_steps, check_every=stop.check_every)
+    elif stop.rule == "correct-stable":
+        if expected is None:
+            raise ValueError(
+                f"stopping rule 'correct-stable' needs a predicate "
+                f"protocol; {spec.protocol!r} has no ground truth")
+        result = run_fluid_until_correct_stable(
+            fl, expected, max_steps=stop.max_steps)
+    else:
+        raise ValueError(f"unknown stopping rule {stop.rule!r}")
+
+    records = []
+    for (engine_seed, fault_seed), trial in zip(seed_pairs, trials):
+        records.append({
+            "kind": "trial",
+            "id": trial_id(spec_hash, point, trial),
+            "n": point.n,
+            "intensity": point.intensity,
+            "trial": trial,
+            "engine_seed": engine_seed,
+            "fault_seed": fault_seed,
+            "interactions": result.interactions,
+            "converged_at": result.converged_at,
+            "output": _jsonable(result.output),
+            "correct": (None if expected is None
+                        else result.output == expected),
+            "stopped": result.stopped,
+            "crashes": 0,
+            "corruptions": 0,
+            "omissions": 0,
+            "engine": "fluid",
+        })
+    return records
+
+
 #: Per-process memo of the last spec a pool worker deserialized: every
 #: task of one sweep carries the identical spec dict, so re-parsing (and
 #: re-validating) it per trial is pure per-task overhead.
@@ -355,6 +437,23 @@ def _ensemble_pool_task(task) -> list[dict]:
     spec = _memoized_spec(spec_dict, spec_hash)
     return run_ensemble_point(spec, SweepPoint(n, intensity, scheduler),
                               list(trials), spec_hash=spec_hash)
+
+
+def _fluid_pool_task(task) -> list[dict]:
+    """Worker entry point for one sweep point's fluid integration."""
+    spec_dict, spec_hash, n, intensity, scheduler, trials = task
+    spec = _memoized_spec(spec_dict, spec_hash)
+    return run_fluid_point(spec, SweepPoint(n, intensity, scheduler),
+                           list(trials), spec_hash=spec_hash)
+
+
+#: Engines that execute a whole sweep point per task (one batch covers
+#: all of the point's trials) rather than one trial per task.
+POINT_ENGINES = ("ensemble", "fluid")
+
+_POINT_FUNCS = {"ensemble": run_ensemble_point, "fluid": run_fluid_point}
+_POINT_POOL_TASKS = {"ensemble": _ensemble_pool_task,
+                     "fluid": _fluid_pool_task}
 
 
 def record_sort_key(record: dict):
@@ -460,7 +559,7 @@ def run_experiment(
             run_supervised,
         )
 
-        if spec.engine == "ensemble":
+        if spec.engine in POINT_ENGINES:
             by_point: dict = {}
             for point, trial in pending:
                 by_point.setdefault(point, []).append(trial)
@@ -483,9 +582,11 @@ def run_experiment(
             executed=len(fresh), skipped=len(done_records),
             failures=failures, supervision=supervision)
 
-    if spec.engine == "ensemble":
-        # Lockstep batches: one ensemble per sweep point covers all of
-        # the point's pending trials; workers (if any) fan out points.
+    if spec.engine in POINT_ENGINES:
+        # Point batches: one ensemble (or fluid integration) per sweep
+        # point covers all of the point's pending trials; workers (if
+        # any) fan out points.
+        point_func = _POINT_FUNCS[spec.engine]
         by_point: dict = {}
         for point, trial in pending:
             by_point.setdefault(point, []).append(trial)
@@ -493,8 +594,8 @@ def run_experiment(
                         key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
         if workers == 1 or len(groups) <= 1:
             for point, trial_list in groups:
-                for record in run_ensemble_point(spec, point, trial_list,
-                                                 spec_hash=spec_hash):
+                for record in point_func(spec, point, trial_list,
+                                         spec_hash=spec_hash):
                     collect(record)
         else:
             import multiprocessing
@@ -503,10 +604,11 @@ def run_experiment(
             tasks = [(spec_dict, spec_hash, point.n, point.intensity,
                       point.scheduler, tuple(trial_list))
                      for point, trial_list in groups]
+            pool_task = _POINT_POOL_TASKS[spec.engine]
             with multiprocessing.Pool(min(workers, len(tasks)),
                                       maxtasksperchild=_MAX_TASKS_PER_CHILD
                                       ) as pool:
-                for batch in pool.imap_unordered(_ensemble_pool_task, tasks):
+                for batch in pool.imap_unordered(pool_task, tasks):
                     for record in batch:
                         collect(record)
     elif workers == 1 or len(pending) <= 1:

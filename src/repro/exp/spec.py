@@ -27,8 +27,19 @@ INPUT_KINDS = ("all-ones", "ones", "fraction", "explicit")
 FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate", "crash-at")
 #: Stopping rules understood by :class:`StopRule` (see repro.sim.convergence).
 STOP_RULES = ("quiescent", "silent", "correct-stable")
+#: Feature set each trial engine supports (see repro.exp.runner).  The
+#: single source of truth for engine capabilities: spec validation and
+#: the CLI's ``--engine`` choices both derive from it, so a new engine
+#: registered here shows up everywhere at once instead of drifting out
+#: of hand-maintained lists.
+ENGINE_FEATURES = {
+    "agent": frozenset({"faults", "monitors", "schedulers", "confirm"}),
+    "batched": frozenset({"confirm"}),
+    "ensemble": frozenset(),
+    "fluid": frozenset(),
+}
 #: Trial engines understood by the runner (see repro.exp.runner.run_trial).
-ENGINES = ("agent", "batched", "ensemble")
+ENGINES = tuple(ENGINE_FEATURES)
 #: Failure dispositions understood by :class:`ExecutionPolicy`.
 ON_ERROR = ("raise", "skip", "quarantine")
 
@@ -340,11 +351,14 @@ class ExperimentSpec:
     confirm: int = 0
     #: Simulation engine: ``agent`` (the reference agent-array engine),
     #: ``batched`` (:class:`~repro.sim.batched.BatchedSimulation` — the
-    #: bit-identical compiled fast path), or ``ensemble``
+    #: bit-identical compiled fast path), ``ensemble``
     #: (:class:`~repro.sim.ensemble.EnsembleMultisetSimulation` — all of
     #: a point's trials stepped in numpy lockstep; statistically, not bit,
-    #: equivalent).  The fast engines are only valid for fault-free,
-    #: monitor-free sweeps under the uniform scheduler.
+    #: equivalent), or ``fluid``
+    #: (:class:`~repro.sim.fluid.FluidSimulation` — the deterministic
+    #: mean-field ODE limit; O(|states|) per step regardless of ``n``).
+    #: The fast engines are only valid for fault-free, monitor-free
+    #: sweeps under the uniform scheduler; see ENGINE_FEATURES.
     engine: str = "agent"
     stop: StopRule = field(default_factory=StopRule)
     #: Supervision policy: timeouts, retries, and failure disposition
@@ -378,40 +392,43 @@ class ExperimentSpec:
             validate_monitor_spec(text)
         if self.confirm < 0:
             raise ValueError("confirm must be non-negative")
-        if self.engine not in ENGINES:
+        if self.engine not in ENGINE_FEATURES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
-        if self.engine in ("batched", "ensemble"):
-            # Each entry: (offending field, description, engines that DO
-            # support it).  The error must name the field and point at a
-            # working engine, so a rejected spec is a one-edit fix.
-            problems = []
-            if self.faults is not None:
-                problems.append(("faults", "a fault axis", ("agent",)))
-            if self.monitors:
-                problems.append(("monitors", "runtime monitors", ("agent",)))
-            if self.schedulers:
-                problems.append(
-                    ("schedulers", "a scheduler axis", ("agent",)))
-            elif self.scheduler != "uniform":
-                problems.append(
-                    ("scheduler", f"scheduler {self.scheduler!r}",
-                     ("agent",)))
-            if self.engine == "ensemble" and self.confirm:
-                problems.append(("confirm",
-                                 "post-stop confirmation interactions",
-                                 ("agent", "batched")))
-            if problems:
-                details = "; ".join(
-                    f"field {name!r} ({what}) is supported by "
-                    + " and ".join(f"engine {e!r}" for e in engines)
-                    for name, what, engines in problems)
-                raise ValueError(
-                    f"engine {self.engine!r} implements only the plain "
-                    f"uniform-pairing fault-free process: {details}. "
-                    f"Drop the field or switch engine ('agent' is the "
-                    f"reference engine; 'batched' is its bit-identical "
-                    f"fast path)")
+        features = ENGINE_FEATURES[self.engine]
+        # Each check: (offending field, description, feature flag the
+        # engine would need).  The error must name the field and point
+        # at every engine that DOES support it (enumerated from
+        # ENGINE_FEATURES, so the list can never drift as engines land),
+        # making a rejected spec a one-edit fix.
+        checks = []
+        if self.faults is not None:
+            checks.append(("faults", "a fault axis", "faults"))
+        if self.monitors:
+            checks.append(("monitors", "runtime monitors", "monitors"))
+        if self.schedulers:
+            checks.append(("schedulers", "a scheduler axis", "schedulers"))
+        elif self.scheduler != "uniform":
+            checks.append(("scheduler", f"scheduler {self.scheduler!r}",
+                           "schedulers"))
+        if self.confirm:
+            checks.append(("confirm", "post-stop confirmation interactions",
+                           "confirm"))
+        problems = [
+            (name, what,
+             tuple(e for e in ENGINES if feature in ENGINE_FEATURES[e]))
+            for name, what, feature in checks if feature not in features]
+        if problems:
+            details = "; ".join(
+                f"field {name!r} ({what}) is supported by "
+                + " and ".join(f"engine {e!r}" for e in engines)
+                for name, what, engines in problems)
+            raise ValueError(
+                f"engine {self.engine!r} implements only the plain "
+                f"uniform-pairing fault-free process: {details}. "
+                f"Drop the field or switch engine ('agent' is the "
+                f"reference engine; 'batched' is its bit-identical "
+                f"fast path)")
         self.execution.validate()
         self.inputs.validate(self.ns)
         if self.faults is not None:

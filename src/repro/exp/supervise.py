@@ -113,7 +113,8 @@ class SupervisionStats:
 
 @dataclass
 class SupervisedTask:
-    """One unit of supervised work: a trial, or an ensemble point batch.
+    """One unit of supervised work: a trial, or a point batch (one
+    ensemble stepped in lockstep / one fluid integration per point).
 
     ``trials`` holds one identity dict per covered trial (``id``, ``n``,
     ``intensity``, ``scheduler``, ``trial``, ``engine_seed``,
@@ -121,7 +122,7 @@ class SupervisedTask:
     """
 
     key: str
-    kind: str  # "trial" | "ensemble"
+    kind: str  # "trial" | "ensemble" | "fluid"
     payload: tuple
     trials: list
     attempts: list = field(default_factory=list)
@@ -133,10 +134,16 @@ class SupervisedTask:
 
 
 def _run_payload(kind: str, payload: tuple) -> list:
-    from repro.exp.runner import _ensemble_pool_task, _pool_task
+    from repro.exp.runner import (
+        _ensemble_pool_task,
+        _fluid_pool_task,
+        _pool_task,
+    )
 
     if kind == "ensemble":
         return _ensemble_pool_task(payload)
+    if kind == "fluid":
+        return _fluid_pool_task(payload)
     return [_pool_task(payload)]
 
 
@@ -483,9 +490,11 @@ def build_trial_tasks(spec, pending, spec_hash: str) -> list[SupervisedTask]:
 
 
 def build_ensemble_tasks(spec, groups, spec_hash: str) -> list[SupervisedTask]:
-    """One :class:`SupervisedTask` per sweep point's lockstep batch."""
+    """One :class:`SupervisedTask` per sweep point's batch (an ensemble
+    lockstep run, or a fluid integration when ``spec.engine == "fluid"``)."""
     from repro.exp.runner import trial_id, trial_seeds
 
+    kind = "fluid" if spec.engine == "fluid" else "ensemble"
     spec_dict = spec.to_dict()
     tasks = []
     for point, trial_list in groups:
@@ -498,7 +507,7 @@ def build_ensemble_tasks(spec, groups, spec_hash: str) -> list[SupervisedTask]:
                            "engine_seed": engine_seed,
                            "fault_seed": fault_seed})
         tasks.append(SupervisedTask(
-            key=point.key, kind="ensemble",
+            key=point.key, kind=kind,
             payload=(spec_dict, spec_hash, point.n, point.intensity,
                      point.scheduler, tuple(trial_list)),
             trials=trials))

@@ -22,6 +22,7 @@ from repro.protocols.majority import (
 from repro.protocols.one_way import OneWayCountToK
 from repro.protocols.quotient import QuotientProtocol
 from repro.protocols.remainder import parity_protocol
+from repro.protocols.sir import SIREpidemic
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,14 @@ register(ProtocolEntry(
     paper_section="Sect. 1 (alert spreading)",
     factory=Epidemic,
     truth=lambda counts: counts.get(1, 0) >= 1,
+))
+
+register(ProtocolEntry(
+    name="epidemic-sir",
+    summary="one-way SIR compartments: infection (I,S)->(I,I), recovery "
+            "(R,I)->(R,R); the fluid-limit showcase",
+    paper_section="Sect. 1 / 8 (one-way alert spreading + contact immunity)",
+    factory=SIREpidemic,
 ))
 
 register(ProtocolEntry(

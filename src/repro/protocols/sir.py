@@ -1,0 +1,105 @@
+"""One-way SIR epidemic: the canonical fluid-limit showcase protocol.
+
+The paper's Sect. 1 alert-spreading scenario, upgraded to the classic
+susceptible / infected / recovered compartment model with *one-way*
+transitions (only the responder changes state — the immediate-observation
+restriction of Sect. 8):
+
+* infection  — ``(I, S) -> (I, I)``: an infected initiator infects a
+  susceptible responder;
+* recovery   — ``(R, I) -> (R, R)``: a recovered initiator immunizes an
+  infected responder (contact immunity: recovery spreads by meeting a
+  recovered agent, keeping the model a finite-state population protocol
+  — there are no spontaneous transitions in the 2004 model).
+
+Every other encounter is a no-op.  Outputs are the compartment labels
+themselves ("S"/"I"/"R"); the protocol computes no predicate.
+
+Exact mean-field solution (the test oracle)
+-------------------------------------------
+
+With fractions ``s, i, r`` and fluid time ``tau`` (one unit = ``n``
+interactions of a uniformly random *ordered* pair), each rule
+contributes its single ordered pair's rate:
+
+    ds/dtau = -s i,      di/dtau = s i - r i,      dr/dtau = r i.
+
+Dividing the first by the third: ``d(ln s)/dtau = -i = -d(ln r)/dtau``,
+so the product ``s * r`` is a conserved quantity — ``s r = s0 r0 = c``
+along the whole trajectory.  The epidemic ends at the unique endpoint
+with ``i = 0``, ``s + r = 1``, ``s r = c``; since ``i`` can only die out
+once ``s < r`` (``di/dtau = i (s - r)``), the susceptible fraction takes
+the *smaller* root:
+
+    s_inf = (1 - sqrt(1 - 4 c)) / 2,     r_inf = 1 - s_inf.
+
+(``c = s0 r0 <= 1/4`` always, by AM-GM.)  :func:`sir_fluid_endpoint`
+implements this closed form; tests/sim/test_fluid.py checks the
+integrated trajectory against it and tests/sim/test_fluid_crossval.py
+checks the discrete engines against both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.protocol import PopulationProtocol
+
+#: Compartment states (also the output symbols).
+SUSCEPTIBLE = "S"
+INFECTED = "I"
+RECOVERED = "R"
+
+
+class SIREpidemic(PopulationProtocol):
+    """One-way SIR: infection ``(I,S)->(I,I)``, recovery ``(R,I)->(R,R)``.
+
+    Inputs: ``0 -> S``, ``1 -> I``, ``2 -> R`` (seed infected agents with
+    input 1 and pre-immunized ones with input 2).  With no recovered
+    agents the dynamics degenerate to one-way alert spreading; with no
+    infected agents nothing ever happens.
+    """
+
+    input_alphabet = frozenset({0, 1, 2})
+    output_alphabet = frozenset({SUSCEPTIBLE, INFECTED, RECOVERED})
+
+    _BY_INPUT = {0: SUSCEPTIBLE, 1: INFECTED, 2: RECOVERED}
+
+    def initial_state(self, symbol: int) -> str:
+        try:
+            return self._BY_INPUT[symbol]
+        except KeyError:
+            raise ValueError(
+                f"input symbol must be 0 (S), 1 (I) or 2 (R), "
+                f"got {symbol!r}") from None
+
+    def output(self, state: str) -> str:
+        return state
+
+    def delta(self, initiator: str, responder: str) -> tuple[str, str]:
+        if initiator == INFECTED and responder == SUSCEPTIBLE:
+            return INFECTED, INFECTED
+        if initiator == RECOVERED and responder == INFECTED:
+            return RECOVERED, RECOVERED
+        return initiator, responder
+
+
+def sir_fluid_endpoint(s0: float, i0: float, r0: float) -> tuple:
+    """Exact ``tau -> infinity`` limit ``(s, i, r)`` of the SIR fluid ODE.
+
+    Requires an actual epidemic: ``i0 > 0`` (otherwise the initial point
+    is already stationary) and ``r0 > 0`` (otherwise nothing ever
+    recovers and the endpoint is ``(0, 1, 0)`` — handled explicitly).
+    """
+    total = s0 + i0 + r0
+    if not math.isclose(total, 1.0, rel_tol=1e-9):
+        raise ValueError(f"fractions must sum to 1, got {total!r}")
+    if min(s0, i0, r0) < 0:
+        raise ValueError("fractions must be non-negative")
+    if i0 == 0.0:
+        return s0, i0, r0  # already stationary
+    if r0 == 0.0:
+        return 0.0, 1.0, 0.0  # pure one-way epidemic: everyone infected
+    c = s0 * r0  # conserved: d(ln s + ln r)/dtau = 0
+    s_inf = (1.0 - math.sqrt(max(0.0, 1.0 - 4.0 * c))) / 2.0
+    return s_inf, 0.0, 1.0 - s_inf

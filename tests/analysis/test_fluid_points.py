@@ -1,0 +1,156 @@
+"""Tests for fixed-point classification of the mean-field drift."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fluid_points import (
+    classify,
+    classify_point,
+    discrete_witness,
+    drift_residual,
+    tangent_eigenvalues,
+    vertex_fixed_points,
+    witness_is_output_stable,
+)
+from repro.protocols.counting import Epidemic
+from repro.protocols.leader import LeaderElection
+from repro.protocols.sir import SIREpidemic
+from repro.sim.compiled import compile_protocol
+from repro.sim.fluid import MeanFieldODE
+
+
+def _ode(protocol):
+    return MeanFieldODE(compile_protocol(protocol))
+
+
+def _by_state(points, compiled):
+    out = {}
+    for fp in points:
+        (idx,) = np.nonzero(np.array(fp.x))
+        out[compiled.states[int(idx[0])]] = fp
+    return out
+
+
+class TestEpidemic:
+    def test_vertices_classified(self):
+        # Two-way epidemic (0,1)->(1,1) and (1,0)->(1,1): the all-0
+        # corner is a repeller (one infection ignites everything), the
+        # all-1 corner is exponentially attracting at rate 2 (both
+        # ordered pairs react).
+        compiled = compile_protocol(Epidemic())
+        ode = MeanFieldODE(compiled)
+        points = _by_state(vertex_fixed_points(ode), compiled)
+        assert points[0].classification == "unstable"
+        assert points[1].classification == "stable"
+        assert max(e.real for e in points[0].eigenvalues) == pytest.approx(2.0)
+        assert max(e.real for e in points[1].eigenvalues) == pytest.approx(-2.0)
+
+    def test_vertex_residuals_are_zero(self):
+        ode = _ode(Epidemic())
+        for fp in vertex_fixed_points(ode):
+            assert fp.residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_interior_is_not_a_fixed_point(self):
+        ode = _ode(Epidemic())
+        assert drift_residual(ode, np.array([0.5, 0.5])) > 0.1
+
+
+class TestLeaderElection:
+    def test_all_followers_is_marginal(self):
+        # Leader election's terminal point (x_L = 0) is approached
+        # algebraically, 1/tau, not exponentially: its linearization
+        # vanishes and the verdict must be "marginal", not "stable".
+        compiled = compile_protocol(LeaderElection())
+        ode = MeanFieldODE(compiled)
+        points = _by_state(vertex_fixed_points(ode), compiled)
+        assert all(fp.classification == "marginal"
+                   for fp in points.values()), points
+
+    def test_all_leaders_is_not_a_vertex_fixed_point(self):
+        # L is reactive with itself, so the all-L corner has nonzero
+        # drift and must not be reported.
+        compiled = compile_protocol(LeaderElection())
+        ode = MeanFieldODE(compiled)
+        points = _by_state(vertex_fixed_points(ode), compiled)
+        leader_state = LeaderElection().initial_state(1)
+        assert leader_state not in points
+
+
+class TestSIR:
+    def test_vertex_classifications(self):
+        compiled = compile_protocol(SIREpidemic())
+        ode = MeanFieldODE(compiled)
+        points = _by_state(vertex_fixed_points(ode), compiled)
+        # All-I: invadable by a recovered seed (rate +1) — unstable.
+        assert points["I"].classification == "unstable"
+        # All-S: invadable by an infected seed — unstable.
+        assert points["S"].classification == "unstable"
+        # All-R: immune to both perturbations — marginal (the recovery
+        # eigenvalue is -1 but the susceptible direction is inert, 0).
+        assert points["R"].classification == "marginal"
+
+    def test_every_vertex_is_an_equilibrium(self):
+        # No SIR state reacts with itself, so all three corners are
+        # fixed points.
+        ode = _ode(SIREpidemic())
+        assert len(vertex_fixed_points(ode)) == 3
+
+
+class TestClassify:
+    def test_empty_spectrum_is_stable(self):
+        assert classify(np.array([])) == "stable"
+
+    def test_thresholds(self):
+        assert classify(np.array([-1.0, -2.0])) == "stable"
+        assert classify(np.array([-1.0, 0.5])) == "unstable"
+        assert classify(np.array([-1.0, 1e-12])) == "marginal"
+
+    def test_classify_point_round_trip(self):
+        ode = _ode(Epidemic())
+        fp = classify_point(ode, np.array([0.0, 1.0]))
+        assert fp.x == (0.0, 1.0)
+        assert fp.classification == "stable"
+
+    def test_tangent_spectrum_drops_the_conservation_mode(self):
+        # The full Jacobian always has a left null-direction (mass);
+        # the tangent restriction must have exactly k - 1 eigenvalues.
+        ode = _ode(SIREpidemic())
+        eigs = tangent_eigenvalues(ode, np.array([0.2, 0.3, 0.5]))
+        assert len(eigs) == ode.size - 1
+
+
+class TestDiscreteWitness:
+    def test_rounding_preserves_population_size(self):
+        ode = _ode(SIREpidemic())
+        witness = discrete_witness(ode, np.array([1 / 3, 1 / 3, 1 / 3]), 7)
+        assert sum(witness.counts().values()) == 7
+
+    def test_exact_fractions_round_exactly(self):
+        compiled = compile_protocol(Epidemic())
+        ode = MeanFieldODE(compiled)
+        witness = discrete_witness(ode, np.array([0.0, 1.0]), 6)
+        assert witness.counts() == {1: 6}
+
+    def test_too_small_population_rejected(self):
+        ode = _ode(Epidemic())
+        with pytest.raises(ValueError):
+            discrete_witness(ode, np.array([0.0, 1.0]), 1)
+
+    def test_stable_vertex_witness_is_output_stable(self):
+        # The fluid-stable all-infected corner rounds to a discrete
+        # configuration the exact Sect. 3.2 checker certifies.
+        protocol = Epidemic()
+        ode = _ode(protocol)
+        assert witness_is_output_stable(
+            protocol, ode, np.array([0.0, 1.0]), 6)
+
+    def test_unstable_vertex_witness_is_still_inert_in_isolation(self):
+        # The fluid all-0 corner is unstable against *perturbed* starts,
+        # but the exact discrete configuration contains no infected
+        # agent at all, so nothing is reachable from it and the Sect. 3.2
+        # checker certifies it anyway — the two verdicts answer
+        # different questions, and this pins down the distinction.
+        protocol = Epidemic()
+        ode = _ode(protocol)
+        assert witness_is_output_stable(
+            protocol, ode, np.array([1.0, 0.0]), 6)

@@ -40,12 +40,22 @@ class TestGrids:
         for row in rows:
             assert row["ips"] > 0
             assert row["seconds"] > 0
-            assert row["unit"] in ("interactions", "reactive-steps")
-        # Every fast path got a speedup entry against its reference.
+            assert row["unit"] in ("interactions", "reactive-steps",
+                                   "interactions-equiv")
+        # Every *paired* workload got a speedup entry against its
+        # reference (the standalone fluid workload has no discrete twin
+        # at n = 1e9, so it contributes a row but no ratio).
         speedups = speedup_summary(rows)
-        assert len(speedups) == len(SMOKE_GRID)
+        paired = [w for w in SMOKE_GRID if len(w["engines"]) == 2]
+        assert len(speedups) == len(paired)
         assert all(s["speedup"] > 0 for s in speedups)
         assert format_rows(rows).count("\n") == len(rows)
+
+    def test_smoke_grid_covers_the_fluid_engine(self):
+        # The n = 1e9 fluid row is a committed-baseline acceptance
+        # artifact; it must sit under the CI smoke gate.
+        fluid = [w for w in SMOKE_GRID for e in w["engines"] if e == "fluid"]
+        assert fluid and fluid[0]["n"] == 10 ** 9
 
 
 class TestSupervisionBenchmark:

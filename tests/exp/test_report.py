@@ -149,3 +149,42 @@ class TestEmptyGroups:
         assert math.isnan(empty.summary.mean)
         assert "nan" in format_report([empty])
         assert "nan" in summary_csv([empty])
+
+
+class TestEngineAxis:
+    def test_engine_separates_points(self):
+        records = ([record(8, t, 49) for t in range(2)]
+                   + [{**record(8, t, 56), "engine": "fluid"}
+                      for t in range(2)])
+        aggs = aggregate(records)
+        assert [(a.n, a.engine) for a in aggs] == [(8, None), (8, "fluid")]
+
+    def test_engine_column_rendered_when_mixed(self):
+        records = ([record(8, 0, 49)]
+                   + [{**record(8, 0, 56), "engine": "fluid"}])
+        text = format_report(aggregate(records))
+        assert "engine" in text
+        assert "fluid" in text
+        # Engineless records render as the reference engine.
+        assert "agent" in text
+
+    def test_engine_column_absent_when_uniform(self):
+        assert "engine" not in format_report(aggregate(QUADRATIC))
+
+    def test_summary_csv_carries_engine(self):
+        aggs = aggregate([{**record(8, 0, 56), "engine": "fluid"}])
+        rows = list(csv.reader(io.StringIO(summary_csv(aggs))))
+        assert rows[0][-1] == "engine"
+        assert rows[1][-1] == "fluid"
+
+    def test_trials_csv_carries_engine(self):
+        records = [{**record(8, 0, 56), "engine": "fluid"}]
+        rows = list(csv.reader(io.StringIO(trials_csv(records))))
+        assert rows[0][-1] == "engine"
+        assert rows[1][-1] == "fluid"
+
+    def test_report_dict_carries_engine_only_when_mixed(self):
+        fluid = aggregate([{**record(8, 0, 56), "engine": "fluid"}])
+        assert report_dict(fluid)["points"][0]["engine"] == "fluid"
+        plain = report_dict(aggregate(QUADRATIC))
+        assert "engine" not in plain["points"][0]

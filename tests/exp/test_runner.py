@@ -417,3 +417,59 @@ class TestEnsembleEngine:
                          engine="ensemble")
         with pytest.raises(ValueError, match="correct-stable"):
             run_experiment(spec)
+
+
+class TestFluidEngine:
+    def test_run_experiment_executes_all_trials(self):
+        spec = make_spec(protocol="leader-election", ns=(24,), trials=4,
+                         inputs=InputGrid(),
+                         stop=StopRule(rule="silent", max_steps=100_000),
+                         engine="fluid")
+        result = run_experiment(spec)
+        assert result.executed == 4
+        assert all(r["engine"] == "fluid" for r in result.records)
+        assert all(r["stopped"] for r in result.records)
+
+    def test_trials_are_deterministic_copies(self):
+        # One integration per point: every trial record carries the same
+        # measurements but its own identity and (recorded, unused) seeds.
+        spec = make_spec(ns=(8,), trials=3, engine="fluid")
+        records = run_experiment(spec).records
+        assert len({r["converged_at"] for r in records}) == 1
+        assert len({r["interactions"] for r in records}) == 1
+        assert len({r["trial"] for r in records}) == 3
+        assert len({r["engine_seed"] for r in records}) == 3
+
+    def test_astronomical_population_hits_the_closed_form(self):
+        # The acceptance headline: n = 1e9 leader election to silence.
+        # The fluid hitting time is n(n-1) interactions.
+        n = 10 ** 9
+        spec = make_spec(protocol="leader-election", ns=(n,), trials=1,
+                         inputs=InputGrid(),
+                         stop=StopRule(rule="silent",
+                                       max_steps=2 * 10 ** 18),
+                         engine="fluid")
+        record = run_experiment(spec).records[0]
+        assert record["stopped"]
+        assert record["converged_at"] == pytest.approx(n * (n - 1),
+                                                       rel=1e-3)
+
+    def test_record_shape_matches_scalar_plus_engine_key(self):
+        fluid_record = run_experiment(make_spec(engine="fluid")).records[0]
+        scalar_record = run_trial(make_spec(), SweepPoint(6), 0)
+        assert set(fluid_record) == set(scalar_record) | {"engine"}
+
+    def test_worker_pool_matches_serial(self):
+        spec = make_spec(ns=(8, 12, 16), trials=2, engine="fluid")
+        assert (run_experiment(spec, workers=1).records
+                == run_experiment(spec, workers=3).records)
+
+    def test_completed_spec_resumes_to_zero_executed(self, tmp_path):
+        spec = make_spec(ns=(8,), trials=3, engine="fluid")
+        path = tmp_path / "f.jsonl"
+        first = run_experiment(spec, store=ResultStore(path))
+        assert first.executed == 3
+        second = run_experiment(spec, store=ResultStore(path))
+        assert second.executed == 0
+        assert second.skipped == 3
+        assert second.records == first.records

@@ -243,6 +243,38 @@ class TestEngineField:
     def test_ensemble_uniform_fault_free_passes(self):
         make_spec(engine="ensemble").validate()
 
+    def test_fluid_round_trips_and_changes_the_hash(self):
+        spec = make_spec(engine="fluid")
+        data = spec.to_dict()
+        assert data["engine"] == "fluid"
+        assert ExperimentSpec.from_dict(data).engine == "fluid"
+        assert spec.content_hash() != make_spec().content_hash()
+        assert spec.content_hash() != make_spec(engine="ensemble").content_hash()
+
+    @pytest.mark.parametrize("overrides,match", [
+        ({"faults": FaultAxis("crash-rate", (0.1,))}, "fault axis"),
+        ({"monitors": ("conservation",)}, "monitors"),
+        ({"scheduler": "stalling"}, "scheduler"),
+        ({"schedulers": ("uniform", "stalling")}, "scheduler axis"),
+        ({"confirm": 500}, "confirm"),
+    ])
+    def test_fluid_rejects_chaos_features(self, overrides, match):
+        with pytest.raises(ValueError, match=match):
+            make_spec(engine="fluid", **overrides).validate()
+
+    def test_fluid_uniform_fault_free_passes(self):
+        make_spec(engine="fluid").validate()
+
+    def test_engines_tuple_tracks_the_feature_table(self):
+        from repro.exp.spec import ENGINE_FEATURES, ENGINES
+
+        assert ENGINES == tuple(ENGINE_FEATURES)
+        assert "fluid" in ENGINES
+
+    def test_unknown_engine_message_lists_fluid(self):
+        with pytest.raises(ValueError, match="fluid"):
+            make_spec(engine="quantum").validate()
+
 
 class TestEngineValidationMessages:
     """Rejecting a spec must name the offending field and point at an

@@ -1,0 +1,323 @@
+"""Tests for the mean-field fluid-limit engine.
+
+The fluid engine's contract is *deterministic given the spec*: one
+integration per population, whose trajectory is the n -> infinity limit
+of the discrete engines' trial distribution.  This file pins the drift
+derivation (against finite differences and closed forms), the adaptive
+integrator (against exact ODE solutions), the stopping-rule analogs
+(against the discrete drivers' semantics and the paper's expected
+hitting times), and the trace/CLT machinery.  Statistical agreement
+with the ensemble engine lives in test_fluid_crossval.py.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.counting import Epidemic, count_to_five
+from repro.protocols.leader import LeaderElection
+from repro.protocols.majority import majority_protocol
+from repro.protocols.sir import SIREpidemic, sir_fluid_endpoint
+from repro.sim.compiled import compile_protocol
+from repro.sim.fluid import (
+    FluidSimulation,
+    MeanFieldODE,
+    run_fluid_until_correct_stable,
+    run_fluid_until_quiescent,
+    run_fluid_until_silent,
+)
+from repro.sim.trace import Trace
+
+
+def exact_epidemic_infected(i0: float, tau: float) -> float:
+    """Closed-form two-way epidemic: di/dtau = 2 s i (both ordered pairs
+    of the (1, 0) encounter are reactive), the logistic curve at rate 2."""
+    g = i0 * math.exp(2.0 * tau)
+    return g / (1.0 - i0 + g)
+
+
+class TestMeanFieldODE:
+    def test_drift_conserves_total_mass(self):
+        for protocol in (Epidemic(), LeaderElection(), SIREpidemic(),
+                         majority_protocol(), count_to_five()):
+            ode = MeanFieldODE(compile_protocol(protocol))
+            rng = np.random.default_rng(7)
+            for _ in range(5):
+                x = rng.random(ode.size)
+                x /= x.sum()
+                assert abs(ode.drift(x).sum()) < 1e-14
+
+    def test_leader_election_drift_closed_form(self):
+        # (L, L) -> (L, F) is the only reactive pair: dx_L/dtau = -x_L^2.
+        ode = MeanFieldODE(compile_protocol(LeaderElection()))
+        i_leader = ode.compiled.index["L"]
+        x = np.zeros(ode.size)
+        x[i_leader] = 0.4
+        x[1 - i_leader] = 0.6
+        drift = ode.drift(x)
+        assert drift[i_leader] == pytest.approx(-0.16)
+        assert drift[1 - i_leader] == pytest.approx(0.16)
+
+    def test_jacobian_matches_finite_differences(self):
+        for protocol in (SIREpidemic(), majority_protocol()):
+            ode = MeanFieldODE(compile_protocol(protocol))
+            rng = np.random.default_rng(11)
+            x = rng.random(ode.size)
+            x /= x.sum()
+            jac = ode.jacobian(x)
+            eps = 1e-7
+            for j in range(ode.size):
+                bumped = x.copy()
+                bumped[j] += eps
+                column = (ode.drift(bumped) - ode.drift(x)) / eps
+                np.testing.assert_allclose(jac[:, j], column, atol=1e-5)
+
+    def test_activity_decomposition(self):
+        # Total activity bounds output-changing activity, and for the
+        # epidemic every reactive pair changes an output.
+        ode = MeanFieldODE(compile_protocol(Epidemic()))
+        x = np.array([0.5, 0.5]) if ode.compiled.index[0] == 0 \
+            else np.array([0.5, 0.5])
+        assert ode.activity(x) == pytest.approx(0.5)  # 2 * s * i
+        assert ode.output_activity(x) == pytest.approx(ode.activity(x))
+
+    def test_diffusion_is_positive_semidefinite(self):
+        ode = MeanFieldODE(compile_protocol(SIREpidemic()))
+        x = np.array([0.2, 0.3, 0.5])
+        eigenvalues = np.linalg.eigvalsh(ode.diffusion(x))
+        assert all(e >= -1e-12 for e in eigenvalues)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_counts_argument(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FluidSimulation(Epidemic())
+        with pytest.raises(ValueError, match="exactly one"):
+            FluidSimulation(Epidemic(), {1: 5}, state_counts={1: 5})
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="not in input alphabet"):
+            FluidSimulation(Epidemic(), {"bogus": 5})
+        with pytest.raises(ValueError, match="non-negative"):
+            FluidSimulation(Epidemic(), {1: -1, 0: 10})
+        with pytest.raises(ValueError, match="at least two agents"):
+            FluidSimulation(Epidemic(), {1: 1})
+
+    def test_state_counts_constructor(self):
+        fl = FluidSimulation(Epidemic(), state_counts={1: 3, 0: 7})
+        assert fl.n == 10
+        assert fl.fractions()[1] == pytest.approx(0.3)
+
+    def test_atol_defaults_to_single_agent_resolution(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        assert fl.atol == pytest.approx(fl.rtol / 1000)
+
+
+class TestIntegrator:
+    def test_epidemic_matches_logistic_closed_form(self):
+        n = 1000
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: n - 10})
+        for tau in (0.5, 1.0, 2.0, 4.0):
+            fl.advance(tau)
+            assert fl.fractions()[1] == pytest.approx(
+                exact_epidemic_infected(0.01, tau), abs=1e-6)
+
+    def test_sir_reaches_exact_endpoint(self):
+        fl = FluidSimulation(SIREpidemic(), {0: 700, 1: 100, 2: 200})
+        fl.advance(200.0)
+        expected_s, _, expected_r = sir_fluid_endpoint(0.7, 0.1, 0.2)
+        fractions = fl.fractions()
+        assert fractions["S"] == pytest.approx(expected_s, abs=1e-6)
+        assert fractions["R"] == pytest.approx(expected_r, abs=1e-6)
+
+    def test_sir_conserves_product_of_s_and_r(self):
+        # d(ln s + ln r)/dtau = 0 is the SIR ODE's hidden invariant; the
+        # integrator must hold it to tolerance along the trajectory.
+        fl = FluidSimulation(SIREpidemic(), {0: 700, 1: 100, 2: 200})
+        fl.advance(10.0)
+        for x in fl.trace.fractions:
+            by_state = dict(zip(fl.compiled.states, x))
+            assert by_state["S"] * by_state["R"] == pytest.approx(
+                0.7 * 0.2, rel=1e-5)
+
+    def test_stays_on_simplex(self):
+        fl = FluidSimulation(SIREpidemic(), {0: 900, 1: 99, 2: 1})
+        fl.advance(50.0)
+        for x in fl.trace.fractions:
+            assert x.min() >= 0.0
+            assert x.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_deterministic_across_runs(self):
+        runs = []
+        for _ in range(2):
+            fl = FluidSimulation(majority_protocol(), {1: 60, 0: 40})
+            fl.advance(7.0)
+            runs.append(fl.x.copy())
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_backwards_integration_rejected(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 90})
+        fl.advance(1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            fl.advance(0.5)
+
+
+class TestSilent:
+    def test_leader_election_hits_paper_scale_hitting_time(self):
+        # Fluid silence (activity <= 1/n^2) fires at x_L = 1/n, i.e.
+        # after n(n-1) interactions — the (n-1)^2 discrete expectation
+        # times n/(n-1).
+        n = 1000
+        fl = FluidSimulation(LeaderElection(), {1: n})
+        result = run_fluid_until_silent(fl, max_steps=4 * n * n)
+        assert result.stopped
+        assert result.converged_at == pytest.approx(n * (n - 1), rel=5e-3)
+        assert result.interactions == result.converged_at
+        # One leader among n agents: not unanimous.
+        assert result.output is None
+
+    def test_astronomical_population_is_milliseconds(self):
+        n = 10 ** 9
+        fl = FluidSimulation(LeaderElection(), {1: n})
+        result = run_fluid_until_silent(fl, max_steps=4 * n * n)
+        assert result.stopped
+        assert result.converged_at == pytest.approx(n * (n - 1), rel=1e-3)
+        assert fl.accepted_steps < 2000
+
+    def test_initially_silent_population(self):
+        # All-0 epidemic: no reactive mass at all, silent at time zero.
+        fl = FluidSimulation(Epidemic(), {0: 100})
+        result = run_fluid_until_silent(fl, max_steps=10 ** 6)
+        assert result.stopped
+        assert result.converged_at == 0
+        assert result.output == 0
+
+    def test_budget_exhaustion_reports_not_stopped(self):
+        n = 1000
+        fl = FluidSimulation(LeaderElection(), {1: n})
+        result = run_fluid_until_silent(fl, max_steps=n)  # far too few
+        assert not result.stopped
+        assert result.interactions == n
+        assert result.converged_at == n
+
+
+class TestQuiescent:
+    def test_reported_clock_overshoots_by_patience(self):
+        patience = 500
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        result = run_fluid_until_quiescent(fl, patience=patience,
+                                           max_steps=10 ** 6)
+        assert result.stopped
+        assert result.interactions - result.converged_at == patience
+        assert result.output == 1
+
+    def test_budget_beats_patience_window(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        probe = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        converged = run_fluid_until_quiescent(probe, patience=500,
+                                              max_steps=10 ** 6).converged_at
+        result = run_fluid_until_quiescent(fl, patience=500,
+                                           max_steps=converged + 100)
+        assert not result.stopped
+        assert result.interactions == converged + 100
+        assert result.converged_at == converged
+
+    def test_rejects_non_positive_patience(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        with pytest.raises(ValueError, match="patience"):
+            run_fluid_until_quiescent(fl, patience=0, max_steps=100)
+
+
+class TestCorrectStable:
+    def test_majority_converges_correct(self):
+        n = 1000
+        fl = FluidSimulation(majority_protocol(), {1: 600, 0: 400})
+        result = run_fluid_until_correct_stable(fl, 1, max_steps=10 ** 8)
+        assert result.stopped
+        assert result.output == 1
+        # Default settle: 2 * converged_at + 4n, like the discrete driver.
+        assert result.interactions == pytest.approx(
+            2 * result.converged_at + 4 * n, rel=1e-6)
+
+    def test_impossible_output_runs_to_budget(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        result = run_fluid_until_correct_stable(fl, "no-such-symbol",
+                                                max_steps=5000)
+        assert not result.stopped
+        assert result.interactions == 5000
+
+    def test_budget_exhaustion_before_convergence(self):
+        fl = FluidSimulation(majority_protocol(), {1: 600, 0: 400})
+        result = run_fluid_until_correct_stable(fl, 1, max_steps=100)
+        assert not result.stopped
+        assert result.interactions == 100
+
+
+class TestTrace:
+    def test_records_every_accepted_step(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        fl.advance(5.0)
+        assert len(fl.trace) == fl.accepted_steps + 1  # + initial sample
+        assert fl.trace.taus[0] == 0.0
+        assert fl.trace.taus[-1] == pytest.approx(5.0)
+
+    def test_round_trips_through_trace_csv(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        fl.advance(5.0)
+        for trace in (fl.trace.state_trace(), fl.trace.output_trace()):
+            restored = Trace.from_csv(trace.to_csv())
+            assert restored.points == trace.points
+        final = fl.trace.output_trace().final()
+        assert final.counts["1"] + final.counts["0"] == 1000
+
+    def test_interactions_are_scaled_taus(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        fl.advance(2.0)
+        assert fl.trace.interactions()[-1] == 2000
+        assert fl.interactions == 2000
+
+    def test_record_false_disables_recording(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990}, record=False)
+        fl.advance(2.0)
+        assert fl.trace is None
+
+    def test_bands_need_clt(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990})
+        fl.advance(1.0)
+        with pytest.raises(ValueError, match="clt"):
+            fl.trace.band(0)
+
+
+class TestCLT:
+    def test_band_width_scales_as_inverse_sqrt_n(self):
+        bands = []
+        for n in (1000, 100_000):
+            fl = FluidSimulation(Epidemic(), {1: n // 100, 0: n - n // 100},
+                                 clt=True)
+            fl.advance(1.0)
+            bands.append(fl.std_bands().max())
+        assert bands[0] / bands[1] == pytest.approx(10.0, rel=0.01)
+
+    def test_covariance_stays_symmetric(self):
+        fl = FluidSimulation(SIREpidemic(), {0: 700, 1: 100, 2: 200},
+                             clt=True)
+        fl.advance(3.0)
+        np.testing.assert_allclose(fl.cov, fl.cov.T)
+
+    def test_conserved_mass_means_anticorrelated_states(self):
+        # Two-state protocol: the CLT covariance of (x0, x1) must be
+        # singular along the conservation direction, so var0 = var1 and
+        # cov01 = -var0.
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990}, clt=True)
+        fl.advance(1.0)
+        assert fl.cov[0, 0] == pytest.approx(fl.cov[1, 1], rel=1e-6)
+        assert fl.cov[0, 1] == pytest.approx(-fl.cov[0, 0], rel=1e-6)
+
+    def test_band_is_recorded_per_step(self):
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990}, clt=True)
+        fl.advance(1.0)
+        band = fl.trace.band(0)
+        assert len(band) == len(fl.trace)
+        assert band[0] == 0.0  # deterministic initial condition
+        assert band[-1] > 0.0

@@ -1,0 +1,183 @@
+"""Cross-validation of the fluid engine against the ensemble engine.
+
+The fluid engine is deterministic, so the PR-5 two-sample KS machinery
+does not apply verbatim; the statistical contract here is the
+Bournez et al. convergence theorem run backwards:
+
+* **fixed-horizon agreement** — at every overlapping n (10^3..10^5) the
+  ensemble's mean output fraction after a fixed number of interactions
+  must sit within 4 standard errors (plus one-agent discretization
+  slack) of the fluid trajectory at the same fluid time;
+* **one-sample KS against the CLT law** — the fluid engine's finite-n
+  correction predicts the *distribution* of a fraction at time tau:
+  Normal(fluid mean, sqrt(Sigma_ii / n)).  A KS test of the ensemble
+  sample against that predicted law validates mean and band at once
+  (same p > 1e-3 convention as the ensemble suite's ``ks_2samp`` tests);
+* **hitting-time agreement** — the fluid silence time for leader
+  election, n(n-1), must agree with the ensemble's sampled mean within
+  4 standard errors at n = 10^3 (hitting times are heavy-tailed, so
+  this bound is loose by construction — the fixed-horizon tests above
+  are the sharp ones);
+* **finite-n divergence** — below n ~ 10^2 the limit visibly breaks:
+  the discrete expectation is (n-1)^2 while the fluid predicts n(n-1),
+  a relative gap of exactly 1/(n-1) that the ensemble resolves at many
+  sigma for small n and that vanishes at n = 10^3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols.leader import LeaderElection
+from repro.protocols.majority import majority_protocol
+from repro.protocols.sir import SIREpidemic
+from repro.protocols.counting import Epidemic
+from repro.sim.ensemble import (
+    EnsembleMultisetSimulation,
+    run_ensemble_until_silent,
+)
+from repro.sim.fluid import FluidSimulation, run_fluid_until_silent
+
+SEED = 20040725
+
+
+def _ensemble_fractions(protocol, counts, *, trials, steps, symbol, seed):
+    """Per-trial fraction of agents outputting ``symbol`` after a fixed
+    number of interactions."""
+    n = sum(counts.values())
+    ens = EnsembleMultisetSimulation(protocol, counts, trials=trials,
+                                     seed=seed)
+    ens.run(steps)
+    return np.array([ens.output_counts(t).get(symbol, 0) / n
+                     for t in range(trials)])
+
+
+def _fluid_fraction(protocol, counts, *, tau, symbol, clt=False):
+    fl = FluidSimulation(protocol, counts, clt=clt, record=False)
+    fl.advance(tau)
+    n = sum(counts.values())
+    mass = fl.output_counts().get(symbol, 0.0) / n
+    if not clt:
+        return mass
+    oid = fl.compiled.output_symbols.index(symbol)
+    out_ids = np.asarray(fl.compiled.output_ids)
+    ones = (out_ids == oid).astype(float)
+    variance = float(ones @ fl.cov @ ones)
+    return mass, float(np.sqrt(max(variance, 0.0) / n))
+
+
+#: (protocol factory, input fractions, output symbol, fluid horizon).
+WORKLOADS = (
+    ("leader-election", LeaderElection, {1: 1.0}, 1, 1.0),
+    ("majority", majority_protocol, {1: 0.6, 0: 0.4}, 1, 1.0),
+    ("epidemic-sir", SIREpidemic, {0: 0.7, 1: 0.1, 2: 0.2}, "I", 1.0),
+)
+
+#: Trials per population size (larger n costs more per interaction, but
+#: its CLT scatter is also 1/sqrt(n) smaller, so fewer trials suffice).
+TRIALS = {1_000: 64, 10_000: 64, 100_000: 24}
+
+
+class TestFixedHorizonAgreement:
+    @pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+    @pytest.mark.parametrize(
+        "name,factory,fractions,symbol,tau",
+        WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_mean_fraction_matches_fluid(self, name, factory, fractions,
+                                         symbol, tau, n):
+        counts = {sym: int(round(frac * n))
+                  for sym, frac in fractions.items()}
+        trials = TRIALS[n]
+        sample = _ensemble_fractions(
+            factory(), counts, trials=trials, steps=int(tau * n),
+            symbol=symbol, seed=SEED + n)
+        fluid = _fluid_fraction(factory(), counts, tau=tau, symbol=symbol)
+        stderr = sample.std(ddof=1) / np.sqrt(trials)
+        # 4 standard errors of Monte-Carlo scatter plus one agent of
+        # discretization slack (the fluid limit is exact only as
+        # n -> infinity; at these n the O(1/n) bias is below one agent).
+        assert abs(sample.mean() - fluid) <= 4 * stderr + 2.0 / n, (
+            f"{name} n={n}: ensemble {sample.mean():.6f} vs fluid "
+            f"{fluid:.6f} (stderr {stderr:.2g})")
+
+
+class TestDistributionAgreement:
+    def test_epidemic_sample_matches_clt_law(self):
+        # The CLT correction predicts the full finite-n distribution of
+        # the infected fraction; KS the ensemble sample against it.
+        from scipy.stats import kstest
+
+        n, trials, tau = 1_000, 96, 1.0
+        counts = {1: 10, 0: n - 10}
+        sample = _ensemble_fractions(Epidemic(), counts, trials=trials,
+                                     steps=int(tau * n), symbol=1,
+                                     seed=SEED)
+        mean, band = _fluid_fraction(Epidemic(), counts, tau=tau, symbol=1,
+                                     clt=True)
+        assert band > 0
+        result = kstest(sample, "norm", args=(mean, band))
+        assert result.pvalue > 1e-3, (
+            f"ensemble sample (mean {sample.mean():.5f}, "
+            f"std {sample.std():.5f}) rejects CLT law "
+            f"N({mean:.5f}, {band:.5f}): p={result.pvalue:.2g}")
+
+    def test_clt_band_matches_ensemble_scatter(self):
+        n, trials, tau = 1_000, 96, 1.0
+        counts = {1: 10, 0: n - 10}
+        sample = _ensemble_fractions(Epidemic(), counts, trials=trials,
+                                     steps=int(tau * n), symbol=1,
+                                     seed=SEED + 1)
+        _, band = _fluid_fraction(Epidemic(), counts, tau=tau, symbol=1,
+                                  clt=True)
+        # Sample std of 96 trials has ~7% relative noise; a [0.7, 1.4]
+        # bracket is ~5 sigma wide while still catching any wrong
+        # scaling of the diffusion term (which would be off by sqrt(2)
+        # or more).
+        ratio = sample.std(ddof=1) / band
+        assert 0.7 <= ratio <= 1.4, ratio
+
+
+class TestHittingTimeAgreement:
+    def test_leader_silence_time_at_1e3(self):
+        n, trials = 1_000, 32
+        ens = EnsembleMultisetSimulation(LeaderElection(), {1: n},
+                                         trials=trials, seed=SEED)
+        results = run_ensemble_until_silent(ens, max_steps=20 * n * n)
+        assert all(r.stopped for r in results)
+        times = np.array([r.converged_at for r in results], dtype=float)
+        fl = FluidSimulation(LeaderElection(), {1: n}, record=False)
+        fluid = run_fluid_until_silent(fl, max_steps=20 * n * n).converged_at
+        stderr = times.std(ddof=1) / np.sqrt(trials)
+        assert abs(times.mean() - fluid) <= 4 * stderr, (
+            f"ensemble mean {times.mean():.0f} vs fluid {fluid} "
+            f"(stderr {stderr:.0f})")
+
+
+class TestFiniteNDivergence:
+    def test_fluid_overestimates_small_populations(self):
+        # At n = 6 the fluid prediction n(n-1) = 30 exceeds the exact
+        # discrete expectation (n-1)^2 = 25 by 20% — the ensemble
+        # resolves that gap at many sigma.  This is the departure the
+        # EXPERIMENTS.md E20 study maps out.
+        n, trials = 6, 1024
+        ens = EnsembleMultisetSimulation(LeaderElection(), {1: n},
+                                         trials=trials, seed=SEED)
+        results = run_ensemble_until_silent(ens, max_steps=100_000)
+        times = np.array([r.converged_at for r in results], dtype=float)
+        fl = FluidSimulation(LeaderElection(), {1: n}, record=False)
+        fluid = run_fluid_until_silent(fl, max_steps=100_000).converged_at
+        stderr = times.std(ddof=1) / np.sqrt(trials)
+        assert times.mean() == pytest.approx((n - 1) ** 2, rel=0.1)
+        assert fluid - times.mean() > 3 * stderr
+        # ... and the relative gap is the predicted 1/(n-1).
+        assert (fluid - times.mean()) / times.mean() == pytest.approx(
+            1.0 / (n - 1), rel=0.35)
+
+    def test_relative_gap_vanishes_with_n(self):
+        # The fluid hitting time is n(n-1) at every n; against the exact
+        # discrete expectation (n-1)^2 the relative error is 1/(n-1):
+        # 20% at the n=6 of the divergence test above, 0.1% at n=1000.
+        for n in (6, 1_000):
+            fl = FluidSimulation(LeaderElection(), {1: n}, record=False)
+            fluid = run_fluid_until_silent(fl, max_steps=20 * n * n)
+            gap = (fluid.converged_at - (n - 1) ** 2) / (n - 1) ** 2
+            assert gap == pytest.approx(1.0 / (n - 1), rel=0.05)

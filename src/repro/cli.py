@@ -239,14 +239,18 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     try:
         rows = run_robustness(
             args.protocol, trials=args.trials, seed=args.seed,
-            patience=args.patience, max_steps=args.max_steps)
+            patience=args.patience, max_steps=args.max_steps,
+            engine=getattr(args, "engine", None) or "reference")
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 1
     if args.json:
         payload = [{"protocol": r.protocol, "scenario": r.scenario,
                     "trials": r.trials, "correct": r.correct,
-                    "rate": r.rate} for r in rows]
+                    "rate": r.rate, "engine": r.engine,
+                    "interactions": r.interactions,
+                    "seconds": round(r.seconds, 6),
+                    "throughput": round(r.throughput, 1)} for r in rows]
         print(json.dumps(payload, indent=2))
         return 0
     print(format_rows(rows))
@@ -541,6 +545,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.exp.bench import (
         compare_to_baseline,
+        faulted_overhead_check,
         format_rows,
         load_bench_file,
         run_kernel_benchmarks,
@@ -569,6 +574,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     rows = run_kernel_benchmarks(smoke=args.smoke, seed=args.seed,
                                  repeats=args.repeats, progress=progress)
     speedups = speedup_summary(rows)
+    fault_overheads = faulted_overhead_check(
+        rows, max_overhead=args.max_fault_overhead)
     supervision = None
     if not args.skip_supervision:
         supervision = run_supervision_benchmark(smoke=args.smoke,
@@ -587,10 +594,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                           max_regression=args.max_regression)
     if args.out:
         write_bench_file(args.out, rows)
-    failed = bool(regressions) or supervision_failed
+    failed = (bool(regressions) or supervision_failed
+              or bool(fault_overheads))
     if args.json:
         payload = {"rows": rows, "speedups": speedups,
-                   "regressions": regressions}
+                   "regressions": regressions,
+                   "fault_overheads": fault_overheads,
+                   "max_fault_overhead": args.max_fault_overhead}
         if supervision is not None:
             payload["supervision"] = dict(
                 supervision, max_overhead=args.max_supervision_overhead,
@@ -616,6 +626,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if supervision_failed:
         print(f"REGRESSION: supervision overhead {supervision['overhead']}x "
               f"exceeds the {args.max_supervision_overhead}x gate",
+              file=sys.stderr)
+    for fo in fault_overheads:
+        print(f"REGRESSION: {fo['engine']} ({fo['protocol']}, "
+              f"n={fo['n']}) runs {fo['overhead']}x slower than "
+              f"{fo['plain_engine']}, exceeding the "
+              f"{args.max_fault_overhead}x faulted-overhead gate",
               file=sys.stderr)
     return 1 if failed else 0
 
@@ -742,6 +758,17 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--seed", type=int, default=0)
     robustness.add_argument("--patience", type=int, default=10_000)
     robustness.add_argument("--max-steps", type=int, default=300_000)
+    from repro.analysis.robustness import ROBUSTNESS_ENGINES
+
+    robustness.add_argument("--engine", default="reference",
+                            choices=ROBUSTNESS_ENGINES,
+                            help="trial engine (default reference). "
+                                 "batched is bit-exact per trial; ensemble "
+                                 "runs all trials in numpy lockstep "
+                                 "(targeted-fault scenarios fall back to "
+                                 "the multiset scalar twin). --json rows "
+                                 "report the engine used and its faulted "
+                                 "throughput")
     robustness.add_argument("--json", action="store_true",
                             help="emit the resilience rows as JSON")
     robustness.set_defaults(func=cmd_robustness)
@@ -787,11 +814,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=_ENGINES,
                          help="trial engine: the reference agent-array "
                               "engine, the bit-identical batched fast "
-                              "path, the lockstep ensemble engine "
+                              "path (faults and vectorized monitors "
+                              "included), the lockstep ensemble engine "
                               "(statistically equivalent, fastest "
-                              "discrete), or the deterministic mean-field "
-                              "fluid engine (O(|states|) per step at any "
-                              "n; fault-free uniform sweeps only)")
+                              "discrete; per-trial fault sampling), or "
+                              "the deterministic mean-field fluid engine "
+                              "(O(|states|) per step at any n; rate "
+                              "faults as perturbed drift). Per-engine "
+                              "feature support is ENGINE_FEATURES in "
+                              "repro.exp.spec")
     exp_run.add_argument("--seed", type=int, default=0)
     exp_run.add_argument("--store", default=None,
                          help="JSONL result store (enables resume)")
@@ -866,6 +897,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument("--max-steps", type=int, default=300_000)
     chaos_run.add_argument("--check-every", type=int, default=0,
                            help="silence-check period (0 = engine default)")
+    chaos_run.add_argument("--engine", default="agent",
+                           choices=_ENGINES,
+                           help="campaign engine (default agent). The "
+                                "batched engine runs faulted campaigns "
+                                "bit-identically to the reference with the "
+                                "vectorized monitor suite; the ensemble "
+                                "engine samples faults per trial under the "
+                                "scalar-twin contract (pair with "
+                                "--monitors conservation,containment "
+                                "--confirm 0). ENGINE_FEATURES in "
+                                "repro.exp.spec is the support table")
     chaos_run.add_argument("--seed", type=int, default=0)
     chaos_run.add_argument("--store", default=None,
                            help="JSONL result store (enables resume)")
@@ -921,6 +963,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="supervised/plain wall-clock ratio that fails "
                             "the gate (default 1.02 = 2%% overhead on "
                             "healthy trials)")
+    bench.add_argument("--max-fault-overhead", type=float,
+                       default=1.10, metavar="RATIO",
+                       help="faulted/fault-free throughput ratio that "
+                            "fails the gate for the batched faulted twin "
+                            "(default 1.10 = 10%% overhead; same-run "
+                            "rows, so machine speed cancels)")
     bench.add_argument("--json", action="store_true",
                        help="emit rows, speedups, and regressions as JSON")
     bench.set_defaults(func=cmd_bench)

@@ -139,8 +139,12 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
         plan = spec.faults.build_plan(point.intensity, fault_seed)
     sched_text = point.scheduler or spec.scheduler
     monitors = build_monitors(spec.monitors)
-    if (spec.engine == "batched" and plan is None and not monitors
-            and sched_text == "uniform"):
+    if spec.engine == "batched":
+        # Spec validation guarantees the batched engine only ever sees
+        # the uniform scheduler and monitor kinds it vectorizes; fault
+        # plans run through its bit-identical per-step path, so the
+        # fingerprint contract with the reference engine holds faulted
+        # and fault-free alike.
         from repro.sim.batched import batched_simulate_counts
         from repro.sim.compiled import compile_protocol
 
@@ -155,7 +159,8 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
             key = None
         compiled = compile_protocol(protocol, key=key)
         sim = batched_simulate_counts(protocol, counts, seed=engine_seed,
-                                      compiled=compiled)
+                                      compiled=compiled, faults=plan,
+                                      monitors=monitors)
     else:
         scheduler = scheduler_from_spec(sched_text, n=point.n,
                                         protocol=protocol)
@@ -252,15 +257,24 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
     and the records match :func:`run_trial`'s shape field for field.
     Trajectories are statistically — not bit — equivalent to the scalar
     engines', so records carry ``engine: "ensemble"``.
+
+    A fault axis becomes a per-trial :class:`~repro.sim.ensemble.
+    EnsembleFaults` descriptor sampled from each trial's derived fault
+    seed, so the scalar-twin replay contract extends to faulted trials;
+    monitor specs attach as vectorized fleet checks and a tripped trial
+    records its violation exactly like :func:`run_trial`.
     """
+    from repro.exp.spec import _counts_to_dict
     from repro.protocols import registry
     from repro.sim.compiled import compile_protocol
     from repro.sim.ensemble import (
+        EnsembleFaults,
         EnsembleMultisetSimulation,
         run_ensemble_until_correct_stable,
         run_ensemble_until_quiescent,
         run_ensemble_until_silent,
     )
+    from repro.sim.monitors import build_monitors
 
     spec_hash = spec_hash or spec.content_hash()
     entry = registry.get(spec.protocol)
@@ -279,12 +293,31 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
     if entry.truth is not None:
         expected = int(entry.evaluate_truth(counts, **params))
 
+    faults = None
+    if spec.faults is not None:
+        faults = EnsembleFaults.from_axis(spec.faults, point.intensity)
+    monitors = build_monitors(spec.monitors)
     stop = spec.stop
     ens = EnsembleMultisetSimulation(
         protocol, counts, trials=len(trials),
         seeds=[engine_seed for engine_seed, _ in seed_pairs],
         compiled=compiled,
+        faults=faults,
+        fault_seeds=([fault_seed for _, fault_seed in seed_pairs]
+                     if faults is not None else None),
+        monitors=monitors,
         track_outputs=stop.rule != "silent")
+    if monitors:
+        ens.monitor_context = {
+            "protocol": spec.protocol,
+            "params": {str(k): params[k] for k in sorted(params)},
+            "counts": _counts_to_dict(counts),
+            "scheduler": "uniform",
+            "fault": _fault_descriptor(spec, point),
+            "monitors": list(spec.monitors),
+            "stop": spec.stop.to_dict(),
+            "engine": "ensemble",
+        }
     if stop.rule == "quiescent":
         results = run_ensemble_until_quiescent(
             ens, patience=stop.patience, max_steps=stop.max_steps)
@@ -302,9 +335,9 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
         raise ValueError(f"unknown stopping rule {stop.rule!r}")
 
     records = []
-    for (engine_seed, fault_seed), trial, result in zip(
-            seed_pairs, trials, results):
-        records.append({
+    for slot, ((engine_seed, fault_seed), trial, result) in enumerate(
+            zip(seed_pairs, trials, results)):
+        record = {
             "kind": "trial",
             "id": trial_id(spec_hash, point, trial),
             "n": point.n,
@@ -318,11 +351,16 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
             "correct": (None if expected is None
                         else result.output == expected),
             "stopped": result.stopped,
-            "crashes": 0,
-            "corruptions": 0,
-            "omissions": 0,
+            "crashes": int(ens.crashes[slot]),
+            "corruptions": int(ens.corruptions[slot]),
+            "omissions": int(ens.omissions[slot]),
             "engine": "ensemble",
-        })
+        }
+        if monitors:
+            violation = ens.violations.get(slot)
+            record["violation"] = (None if violation is None
+                                   else violation.to_dict())
+        records.append(record)
     return records
 
 
@@ -339,9 +377,14 @@ def run_fluid_point(spec: ExperimentSpec, point: SweepPoint,
     identity uniform across engines — but no randomness consumes them
     (see docs/PERFORMANCE.md: the fluid contract is *deterministic given
     the spec*, the n -> infinity limit of the ensemble distribution).
+    A fault axis enters as the perturbed drift terms of
+    :class:`~repro.sim.fluid.MeanFieldODE` — rate kinds only, which spec
+    validation already guarantees for the fluid engine — so the fault
+    counters stay zero (the fluid limit has flows, not events).
     """
     from repro.protocols import registry
     from repro.sim.compiled import compile_protocol
+    from repro.sim.ensemble import EnsembleFaults
     from repro.sim.fluid import (
         FluidSimulation,
         run_fluid_until_correct_stable,
@@ -366,8 +409,12 @@ def run_fluid_point(spec: ExperimentSpec, point: SweepPoint,
     if entry.truth is not None:
         expected = int(entry.evaluate_truth(counts, **params))
 
+    faults = None
+    if spec.faults is not None:
+        faults = EnsembleFaults.from_axis(spec.faults, point.intensity)
     stop = spec.stop
-    fl = FluidSimulation(protocol, counts, compiled=compiled, record=False)
+    fl = FluidSimulation(protocol, counts, compiled=compiled, record=False,
+                         faults=faults)
     if stop.rule == "quiescent":
         result = run_fluid_until_quiescent(
             fl, patience=stop.patience, max_steps=stop.max_steps)

@@ -31,15 +31,44 @@ STOP_RULES = ("quiescent", "silent", "correct-stable")
 #: single source of truth for engine capabilities: spec validation and
 #: the CLI's ``--engine`` choices both derive from it, so a new engine
 #: registered here shows up everywhere at once instead of drifting out
-#: of hand-maintained lists.
+#: of hand-maintained lists.  A bare flag (``"faults"``) grants every
+#: kind of that feature; a colon-qualified flag
+#: (``"monitors:conservation"``) grants one kind — spec validation
+#: matches the offending field's kind against both forms, so per-engine
+#: capabilities stay exactly as granular as the engines' contracts:
+#: batched runs any FaultPlan bit-identically but only the vectorizable
+#: monitors, ensemble samples the declarative fault kinds per trial, and
+#: fluid admits only the rate faults (the kinds with a mean-field limit).
 ENGINE_FEATURES = {
     "agent": frozenset({"faults", "monitors", "schedulers", "confirm"}),
-    "batched": frozenset({"confirm"}),
-    "ensemble": frozenset(),
-    "fluid": frozenset(),
+    "batched": frozenset({"faults", "monitors:conservation",
+                          "monitors:containment", "monitors:flicker",
+                          "confirm"}),
+    "ensemble": frozenset({"faults:crash-rate", "faults:corruption-rate",
+                           "faults:omission-rate", "faults:crash-at",
+                           "monitors:conservation", "monitors:containment"}),
+    "fluid": frozenset({"faults:crash-rate", "faults:corruption-rate",
+                        "faults:omission-rate"}),
 }
 #: Trial engines understood by the runner (see repro.exp.runner.run_trial).
 ENGINES = tuple(ENGINE_FEATURES)
+
+
+def engine_supports(engine: str, feature: str,
+                    kind: "str | None" = None) -> bool:
+    """True when ``engine`` implements ``feature`` — either the blanket
+    flag or, when ``kind`` is given, the colon-qualified
+    ``feature:kind`` flag."""
+    flags = ENGINE_FEATURES[engine]
+    if feature in flags:
+        return True
+    return kind is not None and f"{feature}:{kind}" in flags
+
+
+def engines_supporting(feature: str, kind: "str | None" = None) -> tuple:
+    """Every engine implementing ``feature`` (optionally one kind), in
+    registry order — the enumeration spec-validation errors cite."""
+    return tuple(e for e in ENGINES if engine_supports(e, feature, kind))
 #: Failure dispositions understood by :class:`ExecutionPolicy`.
 ON_ERROR = ("raise", "skip", "quarantine")
 
@@ -357,8 +386,11 @@ class ExperimentSpec:
     #: equivalent), or ``fluid``
     #: (:class:`~repro.sim.fluid.FluidSimulation` — the deterministic
     #: mean-field ODE limit; O(|states|) per step regardless of ``n``).
-    #: The fast engines are only valid for fault-free, monitor-free
-    #: sweeps under the uniform scheduler; see ENGINE_FEATURES.
+    #: Per-engine fault/monitor support is declared in ENGINE_FEATURES:
+    #: batched runs any fault plan bit-identically with the vectorizable
+    #: monitors, ensemble samples declarative fault kinds per trial
+    #: (statistical contract), and fluid admits rate faults as perturbed
+    #: drift; non-uniform schedulers stay reference-only.
     engine: str = "agent"
     stop: StopRule = field(default_factory=StopRule)
     #: Supervision policy: timeouts, retries, and failure disposition
@@ -395,40 +427,42 @@ class ExperimentSpec:
         if self.engine not in ENGINE_FEATURES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
-        features = ENGINE_FEATURES[self.engine]
-        # Each check: (offending field, description, feature flag the
-        # engine would need).  The error must name the field and point
-        # at every engine that DOES support it (enumerated from
-        # ENGINE_FEATURES, so the list can never drift as engines land),
-        # making a rejected spec a one-edit fix.
+        # Each check: (offending field, description, feature flag and
+        # kind the engine would need).  The error must name the field
+        # and point at every engine that DOES support it (enumerated
+        # from ENGINE_FEATURES, so the list can never drift as engines
+        # land), making a rejected spec a one-edit fix.
         checks = []
         if self.faults is not None:
-            checks.append(("faults", "a fault axis", "faults"))
-        if self.monitors:
-            checks.append(("monitors", "runtime monitors", "monitors"))
+            checks.append(("faults", f"fault kind {self.faults.kind!r}",
+                           "faults", self.faults.kind))
+        for text in self.monitors:
+            kind = text.split(":", 1)[0].strip()
+            checks.append(("monitors", f"monitor {kind!r}",
+                           "monitors", kind))
         if self.schedulers:
-            checks.append(("schedulers", "a scheduler axis", "schedulers"))
+            checks.append(("schedulers", "a scheduler axis",
+                           "schedulers", None))
         elif self.scheduler != "uniform":
             checks.append(("scheduler", f"scheduler {self.scheduler!r}",
-                           "schedulers"))
+                           "schedulers", None))
         if self.confirm:
             checks.append(("confirm", "post-stop confirmation interactions",
-                           "confirm"))
-        problems = [
-            (name, what,
-             tuple(e for e in ENGINES if feature in ENGINE_FEATURES[e]))
-            for name, what, feature in checks if feature not in features]
+                           "confirm", None))
+        problems = {
+            (name, what): engines_supporting(feature, kind)
+            for name, what, feature, kind in checks
+            if not engine_supports(self.engine, feature, kind)}
         if problems:
             details = "; ".join(
                 f"field {name!r} ({what}) is supported by "
                 + " and ".join(f"engine {e!r}" for e in engines)
-                for name, what, engines in problems)
+                for (name, what), engines in problems.items())
             raise ValueError(
-                f"engine {self.engine!r} implements only the plain "
-                f"uniform-pairing fault-free process: {details}. "
-                f"Drop the field or switch engine ('agent' is the "
-                f"reference engine; 'batched' is its bit-identical "
-                f"fast path)")
+                f"engine {self.engine!r} does not implement this spec: "
+                f"{details}. Drop the field or switch engine ('agent' "
+                f"is the reference engine and supports everything; see "
+                f"ENGINE_FEATURES for the per-engine capability table)")
         self.execution.validate()
         self.inputs.validate(self.ns)
         if self.faults is not None:

@@ -42,8 +42,30 @@ or a non-stdlib RNG fall back to a compiled scalar path that calls
 ``rng.randrange`` like the reference engines — still bit-identical, still
 faster than the reference, just not block-decoded.
 
-Neither batched engine supports fault plans, monitors, restricted
-interaction graphs, or custom schedulers — use the reference engines for
+Faults and monitors on the batched agent engine
+-----------------------------------------------
+
+:class:`BatchedSimulation` accepts the same ``faults=`` /``monitors=``
+arguments as the reference engine and stays **bit-identical** to it under
+any :class:`~repro.sim.faults.FaultPlan`: fault randomness comes from the
+plan's own RNG, so the engine's block-decoded pair stream is untouched,
+and crashes are represented by retagging the victim to a non-reactive
+sentinel state id so the vectorized windows keep working.  The plan's
+:meth:`~repro.sim.faults.FaultPlan.next_boundary` schedule tells the
+engine where the next fault may fire: deterministic plans (crash-at,
+corrupt-at, omit-at) run at full vectorized speed between boundaries and
+drop to an exact scalar replica of the reference step only to cross
+them; stochastic rate plans consult their RNG at every boundary and
+therefore run the scalar replica throughout (still faster than the
+reference engine, since the pair stream stays block-decoded).
+Conservation, containment, and flicker monitors are checked vectorized
+at chunk boundaries (and with exact reference semantics on the per-step
+faulted path); fairness and watchdog monitors need per-step ``changed``
+bookkeeping and stay reference-engine-only.  Unmonitored, fault-free
+simulations run the exact pre-fault-layer hot path.
+
+:class:`BatchedMultisetSimulation`, restricted interaction graphs, and
+custom schedulers remain fault-free — use the reference engines for
 those.  See ``docs/PERFORMANCE.md`` for the selection guide.
 """
 
@@ -542,12 +564,14 @@ class BatchedSimulation:
     """Batched twin of :class:`~repro.sim.engine.Simulation` under uniform
     random pairing on the complete graph.
 
-    Same constructor shape minus ``population``/``scheduler``/``faults``/
-    ``monitors``, the same inspection API, and — for the same seed — the
-    same ``(states, interactions, last_output_change)`` trajectory as the
-    reference engine with its default :class:`UniformPairScheduler`.
-    ``states`` is exposed as a property building a fresh list; mutate
-    agent state through the reference engine if you need ``set_state``.
+    Same constructor shape minus ``population``/``scheduler``, the same
+    inspection API, and — for the same seed — the same
+    ``(states, interactions, last_output_change)`` trajectory as the
+    reference engine with its default :class:`UniformPairScheduler`,
+    including under any :class:`~repro.sim.faults.FaultPlan` (see the
+    module docstring for the fault and monitor contracts).  ``states`` is
+    exposed as a property building a fresh list; :meth:`set_state` is
+    available for corruption faults and experiment perturbations.
     """
 
     def __init__(
@@ -558,6 +582,8 @@ class BatchedSimulation:
         states: "Sequence[State] | None" = None,
         seed: "int | None" = None,
         compiled: "CompiledProtocol | None" = None,
+        faults=None,
+        monitors=(),
     ):
         self.protocol = protocol
         if (inputs is None) == (states is None):
@@ -589,12 +615,87 @@ class BatchedSimulation:
         for oid in self._agent_out:
             self._out_hist[oid] += 1
         self._sarr = np.asarray(ids, dtype=np.int64)
+        # Transition tables used by the stepping paths.  Fault-free these
+        # are exactly the compiled tables; with a plan attached they are
+        # augmented with one extra non-reactive "dead" state id so that
+        # crashed agents stay inert through the vectorized windows.
+        k = compiled.size
+        self._k = k
+        self._pairs = compiled.pair_table
         self._react_flat = compiled.reactive_mask
         #: Per state: does it react with *any* partner as initiator?
-        self._row_any = compiled.reactive_mask.reshape(
-            compiled.size, compiled.size).any(axis=1)
+        self._row_any = compiled.reactive_mask.reshape(k, k).any(axis=1)
+        #: Agents that have crashed (state frozen, encounters inert).
+        self.crashed: set[int] = set()
+        #: Frozen real state id of each crashed agent.
+        self._frozen: dict[int, int] = {}
+        self._dead: "int | None" = None
+        self._n0 = n
+        self._faults = faults
+        if faults is not None:
+            ka = k + 1
+            pairs_aug: list = [None] * (ka * ka)
+            for p in range(k):
+                pairs_aug[p * ka:p * ka + k] = compiled.pair_table[
+                    p * k:(p + 1) * k]
+            react_aug = np.zeros(ka * ka, dtype=bool)
+            react_aug.reshape(ka, ka)[:k, :k] = \
+                compiled.reactive_mask.reshape(k, k)
+            row_any_aug = np.zeros(ka, dtype=bool)
+            row_any_aug[:k] = self._row_any
+            self._k = ka
+            self._pairs = pairs_aug
+            self._react_flat = react_aug
+            self._row_any = row_any_aug
+            self._dead = k
+            faults.bind(self)
         self._stream = _make_stream(self.rng, n)
         self._gap = 2.0
+        #: Attached runtime monitors (see :meth:`attach_monitor`).
+        self.monitors: list = []
+        #: Reproduction tuple embedded into MonitorViolations.
+        self.monitor_context: "dict | None" = None
+        self._containment_masks: dict = {}
+        for monitor in monitors:
+            self.attach_monitor(monitor)
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a conservation, containment, or flicker monitor.
+
+        These three invariants have vectorized checks on this engine
+        (run at chunk boundaries, and with exact reference semantics on
+        the per-step faulted path).  Fairness and watchdog monitors need
+        per-interaction ``changed`` bookkeeping the vectorized windows do
+        not produce; attach those to the reference engine instead.
+        """
+        from repro.sim.monitors import (
+            ConservationMonitor,
+            OutputFlickerMonitor,
+            StateContainmentMonitor,
+        )
+
+        if not isinstance(monitor, (ConservationMonitor,
+                                    StateContainmentMonitor,
+                                    OutputFlickerMonitor)):
+            raise ValueError(
+                f"monitor {type(monitor).__name__!r} is not supported on "
+                "the batched engine; supported kinds: conservation, "
+                "containment, flicker (use the reference engine for "
+                "fairness/watchdog)")
+        monitor.on_attach(self)
+        if isinstance(monitor, StateContainmentMonitor):
+            state_of = self._compiled.states
+            allowed = monitor.allowed
+            mask = np.zeros(self._k, dtype=bool)
+            for sid in range(self._compiled.size):
+                mask[sid] = state_of[sid] in allowed
+            if self._dead is not None:
+                mask[self._dead] = True  # frozen states checked separately
+            # [mask, last_change at the previous check]: an unchanged
+            # configuration cannot have left the allowed set, so silent
+            # tails skip the O(n) scan entirely.
+            self._containment_masks[monitor] = [mask, -1]
+        self.monitors.append(monitor)
 
     # -- Introspection ---------------------------------------------------------
 
@@ -604,13 +705,28 @@ class BatchedSimulation:
 
     @property
     def n_alive(self) -> int:
-        return len(self._ids)
+        """Number of agents that have not crashed."""
+        return len(self._ids) - len(self.crashed)
+
+    @property
+    def faults(self):
+        """The attached :class:`~repro.sim.faults.FaultPlan`, or None."""
+        return self._faults
 
     @property
     def states(self) -> list:
-        """Current agent states (a fresh list; read-only view)."""
+        """Current agent states (a fresh list; read-only view).
+
+        Crashed agents report their frozen state, exactly like the
+        reference engine.
+        """
         state_of = self._compiled.states
-        return [state_of[sid] for sid in self._ids]
+        if not self.crashed:
+            return [state_of[sid] for sid in self._ids]
+        frozen = self._frozen
+        dead = self._dead
+        return [state_of[frozen[a] if sid == dead else sid]
+                for a, sid in enumerate(self._ids)]
 
     @property
     def compiled(self) -> CompiledProtocol:
@@ -640,15 +756,161 @@ class BatchedSimulation:
         return None
 
     def surviving_outputs(self) -> list:
-        return list(self.outputs())
+        if not self.crashed:
+            return list(self.outputs())
+        symbols = self._compiled.output_symbols
+        crashed = self.crashed
+        return [symbols[oid] for a, oid in enumerate(self._agent_out)
+                if a not in crashed]
 
     def unanimous_surviving_output(self) -> "Symbol | None":
-        return self.unanimous_output()
+        if not self.crashed:
+            return self.unanimous_output()
+        outs = self.surviving_outputs()
+        first = outs[0]
+        if all(out == first for out in outs[1:]):
+            return first
+        return None
+
+    def alive_agents(self) -> list[int]:
+        """Ids of the live agents, in ascending order."""
+        if not self.crashed:
+            return list(range(len(self._ids)))
+        return [a for a in range(len(self._ids)) if a not in self.crashed]
+
+    # -- Fault primitives ------------------------------------------------------
+
+    def _fault_rng(self, rng):
+        """Resolve the RNG for a fault primitive.
+
+        The engine's own RNG is block-buffered by the pair-draw stream
+        (its internal position runs ahead of the logical draw sequence),
+        so consuming it out of band would desynchronize the decoder;
+        callers on a stream-backed engine must pass an explicit RNG (a
+        fault plan always passes its own).
+        """
+        if rng is not None:
+            return rng
+        if self._stream is not None:
+            raise RuntimeError(
+                "the batched engine's RNG is block-buffered; pass an "
+                "explicit rng= to fault primitives (fault plans do)")
+        return self.rng
+
+    def crash(self, agent: int) -> None:
+        """Silently stop ``agent``; mirrors the reference engine exactly.
+
+        Requires fault support (construct with ``faults=``): the dead
+        sentinel state id only exists in the augmented tables.
+        """
+        if self._dead is None:
+            raise RuntimeError(
+                "crash support needs the augmented tables; construct the "
+                "batched simulation with faults= to enable it")
+        if not 0 <= agent < len(self._ids):
+            raise ValueError(f"no such agent: {agent}")
+        if agent in self.crashed:
+            return
+        if self.n_alive <= 2:
+            raise RuntimeError(
+                "cannot crash: a crash must leave at least two live agents")
+        self.crashed.add(agent)
+        self._frozen[agent] = self._ids[agent]
+        self._ids[agent] = self._dead
+        self._sarr[agent] = self._dead
+
+    def crash_random(self, count: int = 1, *, rng=None) -> list[int]:
+        """Crash ``count`` uniformly chosen live agents; all-or-nothing.
+
+        Identical validation and RNG consumption to
+        :meth:`repro.sim.engine.Simulation.crash_random`, so a plan's
+        crash draws replay bit-identically across the two engines.
+        """
+        if count < 0:
+            raise ValueError("crash count must be non-negative")
+        if count > self.n_alive - 2:
+            raise RuntimeError(
+                f"cannot crash {count} of {self.n_alive} live agents: "
+                "a crash must leave at least two live agents")
+        rng = self._fault_rng(rng)
+        alive = self.alive_agents()
+        victims = []
+        for _ in range(count):
+            victim = alive.pop(rng.randrange(len(alive)))
+            self.crash(victim)
+            victims.append(victim)
+        return victims
+
+    def crash_matching(self, match, count: int = 1, *, rng=None) -> int:
+        """Crash up to ``count`` live agents whose state satisfies
+        ``match``; best-effort, reference-identical RNG consumption."""
+        rng = self._fault_rng(rng)
+        state_of = self._compiled.states
+        ids = self._ids
+        candidates = [a for a in self.alive_agents()
+                      if match(state_of[ids[a]])]
+        applied = 0
+        while candidates and applied < count and self.n_alive > 2:
+            victim = candidates.pop(rng.randrange(len(candidates)))
+            self.crash(victim)
+            applied += 1
+        return applied
+
+    def set_state(self, agent: int, state: State) -> bool:
+        """Overwrite one agent's state, keeping output bookkeeping intact.
+
+        Returns True iff the state changed.  The state must already be in
+        the compiled table (corruptors produce initial states, which
+        always are); the batched engine cannot extend its tables mid-run.
+        """
+        compiled = self._compiled
+        sid = compiled.index.get(state)
+        if sid is None:
+            raise ValueError(
+                f"state {state!r} is not in the compiled state table; "
+                "the batched engine cannot extend it mid-run (use the "
+                "reference engine for out-of-table corruptors)")
+        if agent in self.crashed:
+            if self._frozen[agent] == sid:
+                return False
+            self._frozen[agent] = sid
+        else:
+            if self._ids[agent] == sid:
+                return False
+            self._ids[agent] = sid
+            self._sarr[agent] = sid
+        self.last_change = self.interactions
+        out = compiled.output_ids[sid]
+        if out != self._agent_out[agent]:
+            self._out_hist[self._agent_out[agent]] -= 1
+            self._out_hist[out] += 1
+            self._agent_out[agent] = out
+            self.last_output_change = self.interactions
+        return True
+
+    def corrupt_random(self, corruptor, *, rng=None) -> bool:
+        """Rewrite a uniformly random live agent's state via
+        ``corruptor(state, protocol, rng)``; returns True iff it changed."""
+        rng = self._fault_rng(rng)
+        alive = self.alive_agents()
+        agent = alive[rng.randrange(len(alive))]
+        state_of = self._compiled.states
+        return self.set_state(
+            agent, corruptor(state_of[self._ids[agent]], self.protocol, rng))
 
     # -- Stepping --------------------------------------------------------------
 
     def step(self) -> bool:
         """One interaction; True iff any state changed."""
+        if self._faults is not None:
+            return self._step_faulted()
+        changed = self._step_plain()
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.after_step(self, changed)
+        return changed
+
+    def _step_plain(self) -> bool:
         n = len(self._ids)
         stream = self._stream
         if stream is None:
@@ -664,13 +926,49 @@ class BatchedSimulation:
             responder += 1
         self.interactions += 1
         ids = self._ids
-        compiled = self._compiled
-        result = compiled.pair_table[ids[initiator] * compiled.size
-                                     + ids[responder]]
+        result = self._pairs[ids[initiator] * self._k + ids[responder]]
         if result is None:
             return False
         self._apply_transition(initiator, responder, result)
         return True
+
+    def _step_faulted(self) -> bool:
+        """One interaction through the exact reference fault order:
+        boundary faults, pair draw, clock tick, crashed-party inertness,
+        omission, transition.  Bit-identical to
+        :meth:`repro.sim.engine.Simulation.step` under the same plan."""
+        plan = self._faults
+        plan.pre_step(self)
+        n = len(self._ids)
+        stream = self._stream
+        if stream is None:
+            initiator = self.rng.randrange(n)
+            responder = self.rng.randrange(n - 1)
+        else:
+            stream.ensure(1)
+            i = stream.ptr
+            initiator = int(stream.pv[i])
+            responder = int(stream.qv[i])
+            stream.ptr = i + 1
+        if responder >= initiator:
+            responder += 1
+        self.interactions += 1
+        changed = False
+        if self.crashed and (initiator in self.crashed
+                             or responder in self.crashed):
+            pass
+        elif plan.drop_encounter(self):
+            pass
+        else:
+            ids = self._ids
+            result = self._pairs[ids[initiator] * self._k + ids[responder]]
+            if result is not None:
+                self._apply_transition(initiator, responder, result)
+                changed = True
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.after_step(self, changed)
+        return changed
 
     def _apply_transition(self, initiator: int, responder: int, result) -> None:
         p2, q2 = result
@@ -705,9 +1003,12 @@ class BatchedSimulation:
     def run(self, steps: int) -> None:
         if steps <= 0:
             return
+        if self._faults is not None or self.monitors:
+            self._run_chaos(steps)
+            return
         if self._stream is None:
             for _ in range(steps):
-                self.step()
+                self._step_plain()
             return
         target = self.interactions + steps
         while self.interactions < target:
@@ -717,6 +1018,89 @@ class BatchedSimulation:
                                    else _SCALAR_CHUNK)
             else:
                 self._vector_round(remaining)
+
+    def _run_chaos(self, steps: int) -> None:
+        """The fault/monitor-aware run loop.
+
+        Fault-free segments between plan boundaries go through the full
+        vectorized machinery (with monitor checks at chunk boundaries);
+        steps that cross a boundary run the exact scalar replica of the
+        reference step.  Stochastic rate plans report a boundary at every
+        step, so they run scalar throughout — the price of consulting the
+        plan's RNG interaction-by-interaction, exactly like the reference
+        engine does.
+        """
+        plan = self._faults
+        target = self.interactions + steps
+        while self.interactions < target:
+            if plan is not None:
+                boundary = plan.next_boundary(self)
+                if boundary is not None and boundary <= self.interactions:
+                    self._step_faulted()
+                    continue
+                seg_end = target if boundary is None else min(target, boundary)
+            else:
+                seg_end = target
+            self._run_segment(seg_end - self.interactions)
+
+    def _run_segment(self, steps: int) -> None:
+        """A fault-free stretch with monitor checks at chunk boundaries."""
+        if steps <= 0:
+            return
+        target = self.interactions + steps
+        if self._stream is None:
+            monitors = self.monitors
+            while self.interactions < target:
+                changed = self._step_plain()
+                for monitor in monitors:
+                    monitor.after_step(self, changed)
+            return
+        while self.interactions < target:
+            remaining = target - self.interactions
+            if self._gap < _GAP_VECTOR_THRESHOLD:
+                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
+                                   else _SCALAR_CHUNK)
+            else:
+                self._vector_round(remaining)
+            if self.monitors:
+                self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        """Vectorized monitor checks at a chunk boundary.
+
+        Bypasses the monitors' ``check_every`` modulo (chunk boundaries
+        land on arbitrary interaction counts) and uses numpy formulations
+        of the same invariants; a violation raises through the monitor's
+        own :meth:`~repro.sim.monitors.Monitor.violate`, so the error
+        shape is identical to the reference engine's.
+        """
+        for monitor in self.monitors:
+            name = monitor.name
+            if name == "conservation":
+                n0 = self._n0
+                live = self.n_alive
+                if len(self._ids) != n0 or live + len(self.crashed) != n0:
+                    monitor.violate(self, expected=n0,
+                                    agents=len(self._ids), live=live,
+                                    crashed=len(self.crashed))
+            elif name == "containment":
+                cache = self._containment_masks[monitor]
+                if cache[1] == self.last_change:
+                    continue  # nothing changed: the verdict cannot differ
+                mask = cache[0]
+                bad = ~mask[self._sarr]
+                if bad.any():
+                    agent = int(np.flatnonzero(bad)[0])
+                    monitor.violate(self, agent=agent,
+                                    state=repr(self.states[agent]))
+                for agent, sid in self._frozen.items():
+                    if not mask[sid]:
+                        monitor.violate(
+                            self, agent=agent,
+                            state=repr(self._compiled.states[sid]))
+                cache[1] = self.last_change
+            else:  # flicker: armed-threshold check is O(1) already
+                monitor.after_step(self, True)
 
     def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
         """Run until ``condition(self)`` holds or ``max_steps`` pass."""
@@ -741,8 +1125,8 @@ class BatchedSimulation:
         q_vals = stream.qv[i0:i0 + count].tolist()
         stream.ptr = i0 + count
         ids = self._ids
-        pairs = self._compiled.pair_table
-        k = self._compiled.size
+        pairs = self._pairs
+        k = self._k
         base = self.interactions
         idx = 0
         reactive = 0
@@ -789,7 +1173,7 @@ class BatchedSimulation:
         resp_c = qv_c + (qv_c >= pv_c)
         sp_c = sp[candidates]
         sq_c = sarr[resp_c]
-        hit = self._react_flat[sp_c * self._compiled.size + sq_c]
+        hit = self._react_flat[sp_c * self._k + sq_c]
         m = int(hit.argmax())
         if not hit[m]:
             stream.ptr = i0 + window
@@ -799,8 +1183,7 @@ class BatchedSimulation:
         j0 = int(candidates[m])
         stream.ptr = i0 + j0 + 1
         self.interactions += j0 + 1
-        result = self._compiled.pair_table[int(sp_c[m]) * self._compiled.size
-                                           + int(sq_c[m])]
+        result = self._pairs[int(sp_c[m]) * self._k + int(sq_c[m])]
         self._apply_transition(int(pv_c[m]), int(resp_c[m]), result)
         self._gap = 0.75 * gap + 0.25 * (j0 + 1)
 
@@ -811,16 +1194,20 @@ def batched_simulate_counts(
     *,
     seed: "int | None" = None,
     compiled: "CompiledProtocol | None" = None,
+    faults=None,
+    monitors=(),
 ) -> BatchedSimulation:
     """Build a :class:`BatchedSimulation` from symbol counts.
 
     Agents are laid out symbol-by-symbol in the same order as
     :func:`~repro.sim.engine.simulate_counts`, so fixed-seed runs match
-    the reference construction agent-for-agent.
+    the reference construction agent-for-agent — including fault plans,
+    which consume their own RNG identically on both engines.
     """
     inputs: list = []
     for symbol, count in sorted(input_counts.items(), key=lambda kv: repr(kv[0])):
         if count < 0:
             raise ValueError("counts must be non-negative")
         inputs.extend([symbol] * count)
-    return BatchedSimulation(protocol, inputs, seed=seed, compiled=compiled)
+    return BatchedSimulation(protocol, inputs, seed=seed, compiled=compiled,
+                             faults=faults, monitors=monitors)

@@ -50,6 +50,35 @@ batched engines).  An adaptive window tracks the mean no-op gap, so
 silent-tail regimes advance tens of thousands of interactions per numpy
 round while reactive-dense regimes shrink the window to a few rounds.
 
+Faults and monitors
+-------------------
+
+A declarative :class:`EnsembleFaults` descriptor attaches per-trial
+stochastic faults (crash-rate / corruption-rate / omission-rate /
+crash-at — exactly the kinds :class:`repro.exp.spec.FaultAxis` can
+express), sampled round by round from a dedicated fault stream keyed by
+per-trial ``fault_seeds``; the engine's pair-draw stream is untouched,
+mirroring the scalar engines' ``FaultPlan.rng`` split.  While fault
+events remain possible — or any trial holds crashed agents, which the
+fault-free index search cannot represent — the controller stays in a
+fault-aware lockstep mode
+(:meth:`EnsembleMultisetSimulation._faulted_chunk`); a spent schedule
+skips all fault sampling there, leaving only the dead-sentinel
+clamping as residual overhead.  The scalar-twin replay contract extends to
+faults: :meth:`EnsembleMultisetSimulation.scalar_twin` rebuilds trial
+``t`` with the equivalent scalar ``FaultPlan`` seeded by
+``fault_seeds[t]``, so a faulted trial replays *deterministically* on
+:class:`~repro.sim.multiset_engine.MultisetSimulation`; ensemble and
+twin agree in distribution (KS-tested), not bit for bit.
+
+Conservation and containment monitors attach vectorized: the structural
+invariants are checked across the whole fleet at chunk boundaries, a
+violating trial is recorded in
+:attr:`EnsembleMultisetSimulation.violations` and deactivated rather
+than raising (one broken trial cannot take down the other ``T - 1``),
+and unmonitored ensembles skip the checks entirely — the zero
+unmonitored overhead guarantee.
+
 Per-trial seeds follow the :func:`repro.exp.runner.trial_seeds` law:
 ``seeds[t]`` is trial ``t``'s scalar engine seed, and
 :meth:`EnsembleMultisetSimulation.scalar_twin` rebuilds the equivalent
@@ -71,6 +100,7 @@ from repro.util.multiset import FrozenMultiset
 from repro.util.rng import spawn_seeds
 
 __all__ = [
+    "EnsembleFaults",
     "EnsembleMultisetSimulation",
     "run_ensemble_until_silent",
     "run_ensemble_until_quiescent",
@@ -87,6 +117,110 @@ _GAP_CAP = 1e9
 _GAP_LOCKSTEP = 6.0
 #: Rounds per lockstep chunk between mode-controller decisions.
 _LOCKSTEP_CHUNK = 256
+
+#: Fault kinds the ensemble can sample vectorized (the FaultAxis kinds).
+ENSEMBLE_FAULT_KINDS = ("crash-rate", "corruption-rate", "omission-rate",
+                        "crash-at")
+#: Salt XORed into per-trial engine seeds to derive default fault seeds
+#: (callers that care about seed provenance — the exp runner — pass
+#: explicit fault_seeds=).
+_FAULT_SEED_SALT = 0x9E3779B97F4A7C15
+
+
+class EnsembleFaults:
+    """Declarative per-trial stochastic fault descriptor for the ensemble.
+
+    The scalar engines take an imperative
+    :class:`~repro.sim.faults.FaultPlan` whose models invoke fault
+    primitives through per-step Python hooks; the ensemble cannot replay
+    arbitrary hook code across a ``(T, k)`` count matrix, so it accepts
+    this declarative descriptor instead — one fault kind plus an
+    intensity, covering exactly the kinds the experiment layer's
+    :class:`repro.exp.spec.FaultAxis` can express:
+
+    * ``"crash-rate"`` — per-step-boundary crash probability
+      (:class:`~repro.sim.faults.CrashRate`);
+    * ``"corruption-rate"`` — per-step-boundary reset-corruption
+      probability (:class:`~repro.sim.faults.CorruptionRate` with the
+      default :func:`~repro.sim.faults.reset_corruptor`);
+    * ``"omission-rate"`` — per-live-encounter drop probability
+      (:class:`~repro.sim.faults.OmissionRate`);
+    * ``"crash-at"`` — ``int(intensity)`` uniformly random live agents
+      crashed once ``at_step`` interactions have completed
+      (:class:`~repro.sim.faults.CrashAt`).
+
+    :meth:`build_plan` rebuilds the equivalent scalar ``FaultPlan`` for
+    one trial, which is how
+    :meth:`EnsembleMultisetSimulation.scalar_twin` honours the replay
+    contract: a faulted ensemble trial's twin is a deterministic
+    function of ``(seeds[t], fault_seeds[t])``.
+    """
+
+    def __init__(self, kind: str, intensity: float, *,
+                 at_step: "int | None" = None):
+        if kind not in ENSEMBLE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {ENSEMBLE_FAULT_KINDS}")
+        if kind == "crash-at":
+            if at_step is None or at_step < 0:
+                raise ValueError("crash-at needs at_step >= 0")
+            if intensity < 0 or intensity != int(intensity):
+                raise ValueError("crash-at intensity is an agent count >= 0")
+        else:
+            if at_step is not None:
+                raise ValueError(
+                    f"at_step only applies to crash-at, not {kind!r}")
+            if not 0.0 <= intensity <= 1.0:
+                raise ValueError(f"{kind} intensity must lie in [0, 1]")
+        self.kind = kind
+        self.intensity = float(intensity)
+        self.at_step = None if at_step is None else int(at_step)
+
+    @classmethod
+    def from_axis(cls, axis, intensity) -> "EnsembleFaults | None":
+        """Descriptor for one :class:`repro.exp.spec.FaultAxis` sweep
+        intensity (None = fault-free, mirroring ``FaultAxis.build_plan``)."""
+        if not intensity:
+            return None
+        at = axis.at_step if axis.kind == "crash-at" else None
+        return cls(axis.kind, intensity, at_step=at)
+
+    @property
+    def count(self) -> int:
+        """crash-at's victim count (``int(intensity)``)."""
+        return int(self.intensity)
+
+    @property
+    def active(self) -> bool:
+        """False iff the descriptor is a no-op (zero intensity)."""
+        return self.intensity > 0.0
+
+    def build_plan(self, seed):
+        """The equivalent single-model scalar :class:`FaultPlan` for one
+        trial (None when the descriptor is a no-op)."""
+        from repro.sim.faults import (
+            CorruptionRate,
+            CrashAt,
+            CrashRate,
+            FaultPlan,
+            OmissionRate,
+        )
+
+        if not self.active:
+            return None
+        if self.kind == "crash-rate":
+            model = CrashRate(self.intensity)
+        elif self.kind == "corruption-rate":
+            model = CorruptionRate(self.intensity)
+        elif self.kind == "omission-rate":
+            model = OmissionRate(self.intensity)
+        else:
+            model = CrashAt(self.at_step, self.count)
+        return FaultPlan(model, seed=seed)
+
+    def __repr__(self) -> str:
+        extra = f", at_step={self.at_step}" if self.at_step is not None else ""
+        return f"EnsembleFaults({self.kind!r}, {self.intensity}{extra})"
 
 
 class EnsembleMultisetSimulation:
@@ -116,6 +250,16 @@ class EnsembleMultisetSimulation:
         never read either, so they pass ``False`` and the hot loops skip
         the whole output bookkeeping block; ``output_counts`` /
         ``unanimous_output`` then recompute from the count row on demand.
+    ``faults``
+        Optional :class:`EnsembleFaults` descriptor: every trial samples
+        its own fault events from a dedicated per-trial fault stream.
+    ``fault_seeds``
+        Per-trial fault seeds (length ``T``); only meaningful with
+        ``faults``.  Defaults to a salted derivation from ``seeds`` so a
+        trial's identity stays a pure function of its engine seed.
+    ``monitors``
+        Runtime invariant monitors to attach (conservation/containment;
+        see :meth:`attach_monitor`).
     """
 
     def __init__(
@@ -129,6 +273,9 @@ class EnsembleMultisetSimulation:
         seed: "int | None" = None,
         compiled: "CompiledProtocol | None" = None,
         track_outputs: bool = True,
+        faults: "EnsembleFaults | None" = None,
+        fault_seeds: "Sequence[int] | None" = None,
+        monitors=(),
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
@@ -213,12 +360,80 @@ class EnsembleMultisetSimulation:
         #: EMA of interactions per reactive event (window controller).
         self._gap = 2.0
 
+        # -- Fault state.  The per-trial clocks below are allocated
+        # unconditionally (they are T-sized and the drivers read them);
+        # all per-round fault work is gated on _faults being attached.
+        if faults is not None and not faults.active:
+            faults = None
+        if faults is None and fault_seeds is not None:
+            raise ValueError("fault_seeds= is only meaningful with faults=")
+        self._faults = faults
+        #: Per-trial crashed-agent counts.  Dead sensors still burn clock
+        #: ticks (the paper's global clock) but hold no live mass: the
+        #: count rows track live agents only.
+        self.dead = np.zeros(trials, dtype=np.int64)
+        #: Per-trial applied-fault tallies (the vectorized twins of the
+        #: scalar FaultPlan's crashes/corruptions/omissions counters).
+        self.crashes = np.zeros(trials, dtype=np.int64)
+        self.corruptions = np.zeros(trials, dtype=np.int64)
+        self.omissions = np.zeros(trials, dtype=np.int64)
+        #: Per-trial fault seeds (the twins' FaultPlan seeds), or None.
+        self.fault_seeds: "list[int] | None" = None
+        if faults is not None:
+            if fault_seeds is not None and len(fault_seeds) != trials:
+                raise ValueError(
+                    f"fault_seeds has {len(fault_seeds)} entries for "
+                    f"{trials} trials")
+            self.fault_seeds = (
+                list(fault_seeds) if fault_seeds is not None
+                else [s ^ _FAULT_SEED_SALT for s in self.seeds])
+            # Fault randomness is a separate shared stream keyed by the
+            # fault seeds, mirroring the scalar engines' FaultPlan.rng
+            # split: attaching faults never perturbs the engine's
+            # pair-draw stream for the same engine seeds.
+            self._fault_rng = np.random.default_rng(
+                np.random.SeedSequence(self.fault_seeds))
+            if faults.kind == "crash-at":
+                if faults.count > self.n - 2:
+                    raise RuntimeError(
+                        f"cannot crash {faults.count} of {self.n} live "
+                        "agents: a crash must leave at least two live "
+                        "agents")
+                self._crashat_fired = np.zeros(trials, dtype=bool)
+            if faults.kind == "corruption-rate":
+                # reset_corruptor's law: a uniformly random input symbol
+                # (sorted by repr) mapped through initial_state.
+                symbols = sorted(protocol.input_alphabet, key=repr)
+                self._corrupt_ids = np.asarray(
+                    [compiled.initial_ids[sym] for sym in symbols],
+                    dtype=np.int64)
+
+        # -- Monitor state (see attach_monitor).
+        #: Attached vectorized monitors (conservation/containment).
+        self.monitors: list = []
+        #: Reproduction tuple embedded into MonitorViolations.
+        self.monitor_context: "dict | None" = None
+        #: trial index -> MonitorViolation for trials a monitor retired.
+        self.violations: dict = {}
+        self._containment_masks: dict = {}
+        for monitor in monitors:
+            self.attach_monitor(monitor)
+
     # -- Introspection ---------------------------------------------------------
 
     @property
     def compiled(self) -> CompiledProtocol:
         """The compiled tables driving this ensemble."""
         return self._compiled
+
+    @property
+    def faults(self) -> "EnsembleFaults | None":
+        """The attached fault descriptor, or None."""
+        return self._faults
+
+    def n_alive(self, t: int) -> int:
+        """Trial ``t``'s live-agent count."""
+        return int(self.n - self.dead[t])
 
     def trial_counts(self, t: int) -> dict:
         """Trial ``t``'s live state counts as a state -> count dict."""
@@ -256,18 +471,24 @@ class EnsembleMultisetSimulation:
         """Trial ``t`` rebuilt as a scalar ``MultisetSimulation``.
 
         Same protocol, same starting configuration, seeded with the
-        trial's own ``seeds[t]`` — the single-trial debugging path.  The
-        twin's trajectory matches the ensemble's in distribution (and its
-        verdict on convergent protocols exactly), not bit for bit.
+        trial's own ``seeds[t]`` — the single-trial debugging path.  With
+        faults attached the twin carries the equivalent scalar
+        :class:`~repro.sim.faults.FaultPlan` seeded with
+        ``fault_seeds[t]``, so the twin (engine stream *and* fault
+        stream) replays deterministically.  The twin's trajectory matches
+        the ensemble's in distribution (and its verdict on convergent
+        protocols exactly), not bit for bit.
         """
         from repro.sim.multiset_engine import MultisetSimulation
 
+        plan = (self._faults.build_plan(self.fault_seeds[t])
+                if self._faults is not None else None)
         if self._input_counts is not None:
             return MultisetSimulation(self.protocol, self._input_counts,
-                                      seed=self.seeds[t])
+                                      seed=self.seeds[t], faults=plan)
         return MultisetSimulation(self.protocol,
                                   state_counts=self._state_counts,
-                                  seed=self.seeds[t])
+                                  seed=self.seeds[t], faults=plan)
 
     def deactivate(self, trials_idx) -> None:
         """Mark trials as finished; they stop consuming draws and work."""
@@ -287,6 +508,82 @@ class EnsembleMultisetSimulation:
         diag = ((self.counts[rows] >= 2) & self._react_diag).any(axis=1)
         return ~(off | diag)
 
+    # -- Monitors --------------------------------------------------------------
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a vectorized runtime invariant monitor.
+
+        The ensemble supports the two structural invariants —
+        conservation and containment — checked vectorized across the
+        whole fleet at chunk boundaries (every lockstep chunk or
+        windowed round), not per interaction; a monitor's
+        ``check_every`` is not consulted here.  A violating trial is
+        recorded in :attr:`violations` and deactivated instead of
+        raising, so one broken trial cannot take down the other
+        ``T - 1``; callers inspect :attr:`violations` after the run.
+        Unmonitored ensembles skip the checks entirely (the zero
+        unmonitored overhead guarantee).
+        """
+        from repro.sim.monitors import (
+            ConservationMonitor,
+            StateContainmentMonitor,
+        )
+
+        if not isinstance(monitor, (ConservationMonitor,
+                                    StateContainmentMonitor)):
+            raise ValueError(
+                f"monitor {type(monitor).__name__!r} is not supported on "
+                "the ensemble engine; supported kinds: conservation, "
+                "containment (use the reference engine for the others)")
+        monitor.on_attach(self)
+        if isinstance(monitor, StateContainmentMonitor):
+            # Hash the allowed set once into an allowed-state-id mask.
+            state_of = self._compiled.states
+            allowed = monitor.allowed
+            self._containment_masks[monitor] = np.asarray(
+                [state_of[sid] in allowed
+                 for sid in range(self._compiled.size)], dtype=bool)
+        self.monitors.append(monitor)
+
+    def _check_monitors(self) -> None:
+        """Vectorized invariant sweep over the active trials."""
+        idx = np.flatnonzero(self.active)
+        if idx.size == 0:
+            return
+        for monitor in self.monitors:
+            if monitor.name == "conservation":
+                rows = self.counts[idx]
+                ok = ((rows.sum(axis=1) + self.dead[idx] == self.n)
+                      & (rows >= 0).all(axis=1))
+                for t in idx[~ok]:
+                    self._record_violation(
+                        monitor, int(t),
+                        expected=self.n,
+                        live=int(self.counts[t].sum()),
+                        dead=int(self.dead[t]))
+            else:  # containment
+                mask = self._containment_masks[monitor]
+                if mask.all():
+                    continue
+                bad = (self.counts[idx][:, ~mask] > 0).any(axis=1)
+                state_of = self._compiled.states
+                for t in idx[bad]:
+                    sid = int(np.flatnonzero(
+                        (self.counts[t] > 0) & ~mask)[0])
+                    self._record_violation(
+                        monitor, int(t),
+                        state=repr(state_of[sid]),
+                        count=int(self.counts[t][sid]))
+
+    def _record_violation(self, monitor, t: int, **detail) -> None:
+        """Store a MonitorViolation for trial ``t`` and retire the trial."""
+        from repro.sim.monitors import MonitorViolation
+
+        self.violations[t] = MonitorViolation(
+            monitor.name, int(self.interactions[t]), detail,
+            context=self.monitor_context)
+        self.active[t] = False
+
     # -- Advancement -----------------------------------------------------------
 
     def run(self, steps: int) -> None:
@@ -303,20 +600,201 @@ class EnsembleMultisetSimulation:
         step one interaction per numpy round in lockstep
         (:meth:`_lockstep_chunk`), sparse regimes scan no-op windows and
         jump to each trial's first reactive event
-        (:meth:`_advance_once`).
+        (:meth:`_advance_once`).  While attached faults can still fire,
+        the fault-aware lockstep mode (:meth:`_faulted_chunk`) overrides
+        both — every step boundary must be offered to the fault sampler —
+        and attached monitors sweep the fleet after every chunk.
         """
         targets = np.asarray(targets, dtype=np.int64)
+        faulted = self._faults is not None
         while True:
             idx = np.flatnonzero(self.active
                                  & (self.interactions < targets))
             if idx.size == 0:
                 return
             caps = targets[idx] - self.interactions[idx]
-            if self._gap < _GAP_LOCKSTEP:
+            if faulted and self._faults_pending():
+                self._faulted_chunk(
+                    idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
+            elif self._gap < _GAP_LOCKSTEP:
                 self._lockstep_chunk(
                     idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
             else:
                 self._advance_once(idx, caps)
+            if self.monitors:
+                self._check_monitors()
+
+    def _faults_pending(self) -> bool:
+        """True while any active trial still needs the fault-aware path.
+
+        That is whenever a fault event can still fire, and also for as
+        long as any active trial holds crashed agents: the fault-free
+        fast paths resolve agent indices against live mass only and
+        cannot represent the dead sentinel bin.  In practice only a
+        zero-crash history (pure corruption/omission schedules never
+        reach here) hands back to the fast paths.
+        """
+        if self._faults.kind == "crash-at":
+            act = self.active
+            return bool((~self._crashat_fired & act).any()
+                        or (self.dead[act] > 0).any())
+        return True
+
+    def _crash_uniform(self, c, cum, dead, rows, *, track, hist) -> None:
+        """Crash one uniformly random live agent in each of ``rows``
+        (chunk-local arrays, updated in place).
+
+        The victim law matches the scalar engines: uniform over the live
+        agents, i.e. state-weighted by the live counts.
+        """
+        u = self._fault_rng.integers(0, self.n - dead[rows])
+        v = (u[:, None] >= cum[rows]).sum(axis=1)
+        c[rows, v] -= 1
+        dead[rows] += 1
+        cum[rows] = np.cumsum(c[rows], axis=1)
+        if track:
+            hist[rows, self._out_ids[v]] -= 1
+
+    def _faulted_chunk(self, idx: np.ndarray, rounds: int) -> None:
+        """``rounds`` lockstep rounds with per-round fault sampling.
+
+        The faulted twin of :meth:`_lockstep_chunk`.  Each round mirrors
+        the scalar engines' faulted step order exactly: step-boundary
+        faults first (crash / corruption), then the scheduled pair —
+        drawn over all ``n`` sensors, dead ones included, so the global
+        clock matches the scalar engines — with dead-party encounters
+        inert and omission faults dropping live encounters.  Fault
+        randomness comes from the dedicated fault stream, never the
+        engine stream (the scalar ``FaultPlan.rng`` split).
+
+        Dead agents are represented *positionally*: a trial's live
+        agents occupy the first ``n - dead`` index slots of the cumsum
+        search, so an agent index at or past the live mass resolves to
+        the out-of-range bin ``k`` — the dead sentinel — without
+        widening the count matrix or the transition tables.
+
+        One deliberate deviation from the scalar engines: crashes stamp
+        the ``last_change`` / ``last_output_change`` clocks (the scalar
+        engines leave them untouched).  The ensemble drivers cache
+        silence verdicts and quiescence windows on those clocks, and a
+        crash can flip both verdicts, so the stamps keep the cached
+        drivers sound; they only postpone a verdict, never fake one.
+        """
+        A = idx.size
+        fd = self._faults
+        frng = self._fault_rng
+        n = self.n
+        k = self._compiled.size
+        ij = np.empty((rounds, 2, A), dtype=np.int64)
+        u1 = self.rng.integers(0, n, size=(rounds, A))
+        u2 = self.rng.integers(0, n - 1, size=(rounds, A))
+        ij[:, 0] = u1
+        ij[:, 1] = u2 + (u2 >= u1)
+        c = np.ascontiguousarray(self.counts[idx])
+        cum = np.cumsum(c, axis=1)
+        dead = self.dead[idx].copy()
+        base = self.interactions[idx]
+        ar = np.arange(A)
+        react2d = self._react2d
+        tinit2d = self._tinit2d
+        tresp2d = self._tresp2d
+        # Change clocks as offsets from base (-1 = untouched this chunk).
+        # A fault at the boundary after r rounds stamps r, the round-r
+        # interaction stamps r + 1; assignments arrive in chronological
+        # order, so the final value is automatically the latest change.
+        lc_off = np.full(A, -1, dtype=np.int64)
+        lo_off = np.full(A, -1, dtype=np.int64)
+        track = self.output_hist is not None
+        hist = np.ascontiguousarray(self.output_hist[idx]) if track else None
+        out = self._out_ids
+        if fd.kind == "crash-at":
+            fired = self._crashat_fired[idx].copy()
+        for r in range(rounds):
+            # -- Step-boundary faults (the scalar pre_step hook). --
+            if fd.kind == "crash-rate":
+                fire = (frng.random(A) < fd.intensity) & (n - dead > 2)
+                rows = np.flatnonzero(fire)
+                if rows.size:
+                    self._crash_uniform(c, cum, dead, rows,
+                                        track=track, hist=hist)
+                    self.crashes[idx[rows]] += 1
+                    lc_off[rows] = r
+                    lo_off[rows] = r
+            elif fd.kind == "crash-at":
+                rows = np.flatnonzero(~fired & (base + r >= fd.at_step))
+                if rows.size:
+                    for _ in range(fd.count):
+                        self._crash_uniform(c, cum, dead, rows,
+                                            track=track, hist=hist)
+                    self.crashes[idx[rows]] += fd.count
+                    fired[rows] = True
+                    lc_off[rows] = r
+                    lo_off[rows] = r
+            elif fd.kind == "corruption-rate":
+                rows = np.flatnonzero(frng.random(A) < fd.intensity)
+                if rows.size:
+                    u = frng.integers(0, n - dead[rows])
+                    v = (u[:, None] >= cum[rows]).sum(axis=1)
+                    repl = self._corrupt_ids[
+                        frng.integers(0, self._corrupt_ids.size,
+                                      size=rows.size)]
+                    c[rows, v] -= 1
+                    c[rows, repl] += 1
+                    cum[rows] = np.cumsum(c[rows], axis=1)
+                    self.corruptions[idx[rows]] += 1
+                    lc_off[rows[v != repl]] = r
+                    if track:
+                        ov, orp = out[v], out[repl]
+                        hist[rows, ov] -= 1
+                        hist[rows, orp] += 1
+                        lo_off[rows[ov != orp]] = r
+            # -- The scheduled encounter. --
+            b = (ij[r][:, :, None] >= cum[None]).sum(axis=2)
+            p, q = b
+            livepair = (p < k) & (q < k)
+            ps = np.where(livepair, p, 0)
+            qs = np.where(livepair, q, 0)
+            re = react2d[ps, qs] & livepair
+            if fd.kind == "omission-rate":
+                # Consulted for every live-live encounter (reactive or
+                # not), matching the scalar omission counter.
+                drop = livepair & (frng.random(A) < fd.intensity)
+                self.omissions[idx[drop]] += 1
+                re &= ~drop
+            if not re.any():
+                continue
+            # Suppressed and dead-party encounters scatter as clamped
+            # identities, so the unconditional arithmetic stays exact.
+            p2 = np.where(re, tinit2d[ps, qs], ps)
+            q2 = np.where(re, tresp2d[ps, qs], qs)
+            c[ar, ps] -= 1
+            c[ar, qs] -= 1
+            c[ar, p2] += 1
+            c[ar, q2] += 1
+            np.cumsum(c, axis=1, out=cum)
+            lc_off[re] = r + 1
+            if track:
+                op, oq = out[ps], out[qs]
+                op2, oq2 = out[p2], out[q2]
+                hist[ar, op] -= 1
+                hist[ar, oq] -= 1
+                hist[ar, op2] += 1
+                hist[ar, oq2] += 1
+                changed = re & ~(((op == op2) & (oq == oq2))
+                                 | ((op == oq2) & (oq == op2)))
+                lo_off[changed] = r + 1
+        self.counts[idx] = c
+        self._cum[idx] = cum
+        self.dead[idx] = dead
+        self.interactions[idx] = base + rounds
+        if fd.kind == "crash-at":
+            self._crashat_fired[idx] = fired
+        st = lc_off >= 0
+        self.last_change[idx[st]] = base[st] + lc_off[st]
+        if track:
+            self.output_hist[idx] = hist
+            so = lo_off >= 0
+            self.last_output_change[idx[so]] = base[so] + lo_off[so]
 
     def _lockstep_chunk(self, idx: np.ndarray, rounds: int) -> None:
         """``rounds`` lockstep rounds: every trial in ``idx`` advances
@@ -617,7 +1095,10 @@ def run_ensemble_until_correct_stable(
             # The protocol can never emit the expected symbol; run to the
             # budget exactly like the scalar driver would.
             return np.zeros(idx.size, dtype=bool)
-        all_correct = ens.output_hist[idx, expected_oid] == ens.n
+        # Live mass, not n: the survivors carry the computation when
+        # crash faults are attached (dead is all-zero otherwise).
+        all_correct = (ens.output_hist[idx, expected_oid]
+                       == ens.n - ens.dead[idx])
         settled = (ens.interactions[idx]
                    >= settle_factor * ens.last_output_change[idx] + floor)
         return all_correct & settled

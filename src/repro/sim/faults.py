@@ -86,6 +86,21 @@ class FaultModel(ABC):
         """Return True to drop the encounter scheduled at this step."""
         return False
 
+    def next_boundary(self, sim) -> "int | None":
+        """Earliest interaction count at which this model may need a hook.
+
+        Returns the smallest count ``b >= sim.interactions`` such that the
+        model must be consulted at the step boundary where the engine's
+        interaction counter equals ``b`` (its ``before_interaction`` runs
+        there, or the encounter ``b + 1`` may be omitted), or ``None`` if
+        the model will never act again.  Fast engines use this schedule to
+        run fault-free vectorized segments between boundaries; the default
+        (``sim.interactions``, i.e. "maybe right now") is always safe and
+        is what stochastic models keep, since they consult their RNG at
+        every boundary.
+        """
+        return sim.interactions
+
 
 class FaultPlan:
     """A composable bundle of fault models attached to one simulation.
@@ -152,6 +167,23 @@ class FaultPlan:
                 return True
         return False
 
+    def next_boundary(self, sim) -> "int | None":
+        """Earliest boundary at which any model may act (None = never).
+
+        The minimum of the models' :meth:`FaultModel.next_boundary`
+        schedules.  Engines that batch interactions may advance fault-free
+        up to (and including) interaction count ``b`` and must execute the
+        step crossing boundary ``b`` through the full fault-aware path.
+        """
+        boundary = None
+        for model in self.models:
+            b = model.next_boundary(sim)
+            if b is None:
+                continue
+            if boundary is None or b < boundary:
+                boundary = b
+        return boundary
+
     def __repr__(self) -> str:
         names = ", ".join(type(m).__name__ for m in self.models)
         return (f"FaultPlan([{names}], crashes={self.crashes}, "
@@ -184,6 +216,11 @@ class CrashAt(FaultModel):
             self._fired = True
             sim.crash_random(self.count, rng=plan.rng)
             plan.crashes += self.count
+
+    def next_boundary(self, sim) -> "int | None":
+        if self._fired:
+            return None
+        return max(self.step, sim.interactions)
 
 
 class CrashRate(FaultModel):
@@ -231,6 +268,11 @@ class TargetedCrash(FaultModel):
             self._remaining -= applied
             plan.crashes += applied
 
+    def next_boundary(self, sim) -> "int | None":
+        if not self._remaining:
+            return None
+        return max(self.after_step, sim.interactions)
+
 
 # -- Transient state corruption ----------------------------------------------------
 
@@ -257,6 +299,11 @@ class CorruptAt(FaultModel):
             for _ in range(self.count):
                 sim.corrupt_random(self.corruptor, rng=plan.rng)
             plan.corruptions += self.count
+
+    def next_boundary(self, sim) -> "int | None":
+        if self._fired:
+            return None
+        return max(self.step, sim.interactions)
 
 
 class CorruptionRate(FaultModel):
@@ -290,6 +337,12 @@ class OmitAt(FaultModel):
 
     def omits_encounter(self, sim, plan: FaultPlan) -> bool:
         return sim.interactions in self.steps
+
+    def next_boundary(self, sim) -> "int | None":
+        # The encounter with 1-based index i crosses the boundary i - 1,
+        # and omits_encounter sees sim.interactions == i there.
+        future = [s - 1 for s in self.steps if s - 1 >= sim.interactions]
+        return min(future) if future else None
 
 
 class OmissionRate(FaultModel):

@@ -32,11 +32,25 @@ whose diagonal yields per-state standard-deviation bands of width
 van Kampen / Kurtz central-limit expansion; ``B`` is the jump covariance
 ``sum_r w_r(x) Delta_r Delta_r^T``).
 
+Fault dynamics
+--------------
+
+Rate faults (crash-rate / corruption-rate / omission-rate — the kinds
+with a mean-field limit; deterministic schedules like crash-at have
+none) enter as perturbed drift terms derived in :class:`MeanFieldODE`:
+crashes add a state-proportional death flow into an explicit dead-mass
+component (live fractions stay unnormalized, so the reactive drift is
+automatically ``l^2``-scaled by the live mass, matching the discrete
+both-parties-alive law), corruption is a transition-kernel perturbation
+toward the reset-corruptor's replacement mixture, and omission thins the
+reactive drift by ``1 - r``.  Cross-validation against faulted ensemble
+runs lives in ``tests/sim/test_fluid_crossval.py``.
+
 Determinism contract
 --------------------
 
 A fluid trajectory is a *deterministic* function of (protocol, input
-counts, tolerances): no RNG enters anywhere.  Where the discrete engines
+counts, tolerances, fault rates): no RNG enters anywhere.  Where the discrete engines
 produce a distribution over trials, the fluid engine produces that
 distribution's ``n -> infinity`` limit — one curve, with optional CLT
 bands standing in for trial scatter.  Cross-validation against the
@@ -105,12 +119,57 @@ class MeanFieldODE:
     The drift is ``F(x) = w(x) @ delta`` with weights ``w_r = x_p x_q``
     (with-replacement pairing — the exact ``n -> infinity`` limit of the
     discrete law ``c_p (c_q - [p=q]) / (n (n-1))``).
+
+    Fault perturbations
+    -------------------
+
+    With a rate-fault descriptor (:class:`repro.sim.ensemble.EnsembleFaults`
+    restricted to the ``*-rate`` kinds) the drift acquires the mean-field
+    limit of the discrete fault sampling:
+
+    * **crash-rate** ``p`` — the state vector gains an explicit dead
+      component (index ``k``); live fractions are *unnormalized* (their
+      sum ``l`` is the live mass), which makes the reactive drift
+      automatically ``l^2`` times the normalized drift — exactly the
+      discrete law where both parties of a uniform pair over all ``n``
+      sensors must be alive.  Crashes add a state-proportional death
+      flow ``dx_s/dtau = -p x_s / l``, ``dd/dtau = +p``, gated off once
+      ``l`` reaches ``crash_floor`` (the fluid reading of the discrete
+      >= 2-survivors guard).
+    * **corruption-rate** ``q`` — a transition-kernel perturbation
+      ``dx/dtau += q (iota - x / l)`` where ``iota`` is
+      :func:`~repro.sim.faults.reset_corruptor`'s replacement law (the
+      uniform mixture over input-symbol initial states); mass-conserving
+      on the live simplex.
+    * **omission-rate** ``r`` — the reactive drift scales by ``1 - r``
+      (omissions thin the surviving-encounter rate and nothing else).
+
+    :meth:`activity` stays the *structural* silence observable (an
+    omitted or dead-party encounter still counts its enabled pairs), while
+    :meth:`output_activity` is fault-aware — omission thins it, and
+    corruption adds its own output-flip rate — so the quiescence driver
+    sees the same observable the discrete engines realize.
     """
 
-    def __init__(self, compiled: CompiledProtocol):
+    def __init__(self, compiled: CompiledProtocol, faults=None, *,
+                 crash_floor: float = 0.0):
         self.compiled = compiled
+        if faults is not None and faults.kind not in (
+                "crash-rate", "corruption-rate", "omission-rate"):
+            raise ValueError(
+                f"fault kind {faults.kind!r} has no mean-field limit; the "
+                "fluid engine supports crash-rate, corruption-rate and "
+                "omission-rate (use the batched or ensemble engine for "
+                "deterministic schedules)")
+        self.faults = faults
+        self.crash_floor = float(crash_floor)
         k = compiled.size
-        self.size = k
+        #: Number of live-state components (the compiled state count).
+        self.k_live = k
+        #: Dead-mass component index, or None without crash faults.
+        self.dead_index = (
+            k if faults is not None and faults.kind == "crash-rate" else None)
+        self.size = k + 1 if self.dead_index is not None else k
         flat = np.flatnonzero(compiled.reactive_mask)
         #: Initiator / responder ids of each reactive ordered pair.
         self.pairs_p = (flat // k).astype(np.int64)
@@ -119,7 +178,7 @@ class MeanFieldODE:
         self.reactive_pairs = R
         p2 = np.asarray(compiled.delta_init, dtype=np.int64)[flat]
         q2 = np.asarray(compiled.delta_resp, dtype=np.int64)[flat]
-        delta = np.zeros((R, k), dtype=np.float64)
+        delta = np.zeros((R, self.size), dtype=np.float64)
         rows = np.arange(R)
         np.add.at(delta, (rows, self.pairs_p), -1.0)
         np.add.at(delta, (rows, self.pairs_q), -1.0)
@@ -134,17 +193,50 @@ class MeanFieldODE:
         # the ensemble engine's last_output_change bookkeeping applies.
         self.output_changing = ~(((op == op2) & (oq == oq2))
                                  | ((op == oq2) & (oq == op2)))
+        if faults is not None and faults.kind == "corruption-rate":
+            # reset_corruptor's replacement law: uniform over the input
+            # symbols (sorted by repr), mapped through initial_state.
+            syms = sorted(compiled.initial_ids, key=repr)
+            iota = np.zeros(k, dtype=np.float64)
+            for sym in syms:
+                iota[compiled.initial_ids[sym]] += 1.0 / len(syms)
+            self._iota = iota
+            # Per-state probability that one reset flips the output.
+            init_out = np.asarray(
+                [out[compiled.initial_ids[sym]] for sym in syms],
+                dtype=np.int64)
+            self._reset_flip = np.asarray(
+                [float(np.mean(init_out != out[s])) for s in range(k)],
+                dtype=np.float64)
 
     def weights(self, x: np.ndarray) -> np.ndarray:
         """Per-reactive-pair interaction rates ``x_p * x_q``."""
         return x[self.pairs_p] * x[self.pairs_q]
 
     def drift(self, x: np.ndarray) -> np.ndarray:
-        """``F(x)``: the fraction-space velocity (rows of delta sum to 0,
-        so the drift conserves total mass exactly)."""
+        """``F(x)``: the fraction-space velocity (rows of delta sum to 0
+        and the fault terms conserve total mass, so the drift keeps the
+        state on the simplex exactly)."""
         if self.reactive_pairs == 0:
-            return np.zeros(self.size)
-        return self.weights(x) @ self.delta
+            f = np.zeros(self.size)
+        else:
+            f = self.weights(x) @ self.delta
+        if self.faults is None:
+            return f
+        kind = self.faults.kind
+        rate = self.faults.intensity
+        if kind == "omission-rate":
+            return f * (1.0 - rate)
+        k = self.k_live
+        live = x[:k]
+        ell = float(live.sum())
+        if kind == "crash-rate":
+            if ell > self.crash_floor:
+                f[:k] -= rate * live / ell
+                f[self.dead_index] += rate
+        elif ell > 0.0:  # corruption-rate
+            f[:k] += rate * (self._iota - live / ell)
+        return f
 
     def activity(self, x: np.ndarray) -> float:
         """Total reactive rate: the probability-per-interaction (as
@@ -154,13 +246,39 @@ class MeanFieldODE:
         return float(self.weights(x).sum())
 
     def output_activity(self, x: np.ndarray) -> float:
-        """Rate of output-multiset-changing interactions."""
-        if self.reactive_pairs == 0:
-            return 0.0
-        return float(self.weights(x)[self.output_changing].sum())
+        """Rate of output-multiset-changing events per interaction.
+
+        Fault-aware: omission thins the reactive rate by ``1 - r`` and
+        corruption adds its own output-flip rate ``q * P(reset changes
+        the victim's output)``; crashes do not count (the discrete
+        engines' change clocks ignore them too).
+        """
+        base = 0.0
+        if self.reactive_pairs:
+            base = float(self.weights(x)[self.output_changing].sum())
+        if self.faults is None:
+            return base
+        kind = self.faults.kind
+        rate = self.faults.intensity
+        if kind == "omission-rate":
+            return base * (1.0 - rate)
+        if kind == "corruption-rate":
+            live = x[:self.k_live]
+            ell = float(live.sum())
+            if ell > 0.0:
+                base += rate * float((live / ell) @ self._reset_flip)
+        return base
 
     def jacobian(self, x: np.ndarray) -> np.ndarray:
-        """``J(x) = dF/dx``, the ``(k, k)`` drift Jacobian."""
+        """``J(x) = dF/dx``, the ``(k, k)`` drift Jacobian.
+
+        Not implemented for faulted drift fields (the CLT correction is
+        rejected with faults attached; see :class:`FluidSimulation`).
+        """
+        if self.faults is not None:
+            raise NotImplementedError(
+                "the fault-perturbed drift has no Jacobian/CLT support; "
+                "integrate with clt=False")
         k = self.size
         if self.reactive_pairs == 0:
             return np.zeros((k, k))
@@ -175,6 +293,10 @@ class MeanFieldODE:
     def diffusion(self, x: np.ndarray) -> np.ndarray:
         """``B(x) = sum_r w_r Delta_r Delta_r^T`` — the jump covariance
         per unit fluid time (the CLT correction's source term)."""
+        if self.faults is not None:
+            raise NotImplementedError(
+                "the fault-perturbed drift has no diffusion/CLT support; "
+                "integrate with clt=False")
         k = self.size
         if self.reactive_pairs == 0:
             return np.zeros((k, k))
@@ -290,6 +412,17 @@ class FluidSimulation:
     ``clt=True`` co-integrates the covariance ODE for finite-``n`` error
     bands at O(k^2) extra state.  ``record=True`` (default) keeps every
     accepted step in :attr:`trace`.
+
+    ``faults=`` attaches a rate-fault descriptor
+    (:class:`repro.sim.ensemble.EnsembleFaults`; crash-rate /
+    corruption-rate / omission-rate — deterministic schedules have no
+    mean-field limit) whose perturbed drift terms are documented on
+    :class:`MeanFieldODE`.  With crash faults the state vector carries an
+    explicit dead-mass component and every live observable (output mass,
+    unanimity, wrong-mass thresholds) reads the *surviving* population,
+    matching the discrete engines.  Faults are incompatible with
+    ``clt=True`` (the covariance expansion is derived for the fault-free
+    jump law).
     """
 
     def __init__(
@@ -303,10 +436,17 @@ class FluidSimulation:
         atol: "float | None" = None,
         clt: bool = False,
         record: bool = True,
+        faults=None,
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
             raise ValueError("pass exactly one of input_counts= or state_counts=")
+        if faults is not None and not faults.active:
+            faults = None
+        if faults is not None and clt:
+            raise ValueError(
+                "clt=True is incompatible with faults: the CLT correction "
+                "is derived for the fault-free jump law")
         if compiled is None:
             compiled = compile_protocol(protocol)
         if state_counts is not None:
@@ -314,7 +454,6 @@ class FluidSimulation:
             if unknown:
                 compiled = compile_protocol(protocol, extra_states=unknown)
         self._compiled = compiled
-        self.ode = MeanFieldODE(compiled)
         k = compiled.size
         row = np.zeros(k, dtype=np.float64)
         if input_counts is not None:
@@ -333,6 +472,10 @@ class FluidSimulation:
         if n < 2:
             raise ValueError("a population needs at least two agents")
         self.n = n
+        # The crash floor is the fluid reading of the discrete >= 2-
+        # survivors guard: crash flow gates off at two agents of live mass.
+        self.ode = MeanFieldODE(compiled, faults,
+                                crash_floor=2.0 / n if faults else 0.0)
         self.rtol = float(rtol)
         self.atol = float(atol) if atol is not None else self.rtol / n
         if self.rtol <= 0 or self.atol < 0:
@@ -341,8 +484,11 @@ class FluidSimulation:
 
         #: Fluid time (units of n interactions).
         self.tau = 0.0
-        #: Normalized state fractions on the simplex.
+        #: Normalized state fractions on the simplex (plus a trailing
+        #: dead-mass component under crash faults).
         self.x = row / n
+        if self.ode.size != k:
+            self.x = np.append(self.x, 0.0)
         #: CLT covariance (fraction^2 * n units), or None.
         self.cov = np.zeros((k, k)) if clt else None
         self._h = None  # adaptive step size, lazily initialized
@@ -369,6 +515,23 @@ class FluidSimulation:
         """The fluid clock in interaction units (``round(tau * n)``)."""
         return int(round(self.tau * self.n))
 
+    @property
+    def faults(self):
+        """The attached fault descriptor, or None."""
+        return self.ode.faults
+
+    @property
+    def live_mass(self) -> float:
+        """Fraction of the population still alive (1.0 without crashes)."""
+        return float(self.x[:self.ode.k_live].sum())
+
+    @property
+    def dead_mass(self) -> float:
+        """Crashed mass fraction (0.0 without crash faults)."""
+        if self.ode.dead_index is None:
+            return 0.0
+        return float(self.x[self.ode.dead_index])
+
     def state_counts(self) -> dict:
         """Fractions scaled back to (float) counts per original state."""
         return {state: float(self.n * frac)
@@ -382,9 +545,10 @@ class FluidSimulation:
                 if frac > 0.0}
 
     def output_mass(self) -> np.ndarray:
-        """Fraction of the population per output symbol id."""
+        """Fraction of the population per output symbol id (live mass
+        only — crashed sensors have no output)."""
         out = np.asarray(self._compiled.output_ids, dtype=np.int64)
-        return np.bincount(out, weights=self.x,
+        return np.bincount(out, weights=self.x[:self.ode.k_live],
                            minlength=len(self._compiled.output_symbols))
 
     def output_counts(self) -> dict:
@@ -396,10 +560,11 @@ class FluidSimulation:
 
     def unanimous_output(self) -> "Symbol | None":
         """The common output if all but less than half an agent of mass
-        agrees (the fluid reading of discrete unanimity), else None."""
+        agrees (the fluid reading of discrete unanimity, taken over the
+        *live* population under crash faults), else None."""
         mass = self.output_mass()
         oid = int(np.argmax(mass))
-        if self.n * float(mass[oid]) >= self.n - 0.5:
+        if self.n * float(mass[oid]) >= self.n * self.live_mass - 0.5:
             return self._compiled.output_symbols[oid]
         return None
 
@@ -451,7 +616,9 @@ class FluidSimulation:
     def _record(self) -> None:
         if self.trace is not None:
             var = np.diag(self.cov) if self.clt else None
-            self.trace.append(self.tau, self.x, var)
+            # Record the live slice only: the trace's states/output_ids
+            # columns are the compiled protocol's, without the dead bin.
+            self.trace.append(self.tau, self.x[:self.ode.k_live], var)
 
     def _error_scale(self, y0: np.ndarray, y1: np.ndarray) -> np.ndarray:
         k = self.ode.size
@@ -670,10 +837,14 @@ def run_fluid_until_correct_stable(
             interactions=max_steps, converged_at=max_steps,
             output=fl.unanimous_output(), stopped=False)
 
-    correct_mask = out_ids == expected_oid
+    # Wrong mass lives in the live slice only: the dead component (if
+    # any) is neither right nor wrong, and the event callback sees the
+    # full augmented vector.
+    wrong_mask = np.zeros(fl.ode.size, dtype=bool)
+    wrong_mask[:fl.ode.k_live] = out_ids != expected_oid
 
     def wrong_mass(x: np.ndarray) -> float:
-        return float(x[~correct_mask].sum())
+        return float(x[wrong_mask].sum())
 
     converge_threshold = 0.5 / n
     regress_threshold = 1.0 / n

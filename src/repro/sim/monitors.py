@@ -223,6 +223,15 @@ class StateContainmentMonitor(Monitor):
         self._allowed = None if allowed is None else frozenset(allowed)
         self.check_every = check_every
 
+    @property
+    def allowed(self) -> "frozenset | None":
+        """The allowed state set (resolved at attach time when defaulted).
+
+        Exposed so the vectorized engines can translate it into an
+        allowed-state-id mask once instead of hashing every check.
+        """
+        return self._allowed
+
     def on_attach(self, sim) -> None:
         if self._allowed is None:
             self._allowed = frozenset(sim.protocol.states())

@@ -67,7 +67,13 @@ class MultisetSimulation:
         self.rng = resolve_rng(seed)
         self.interactions = 0
         self.last_change = 0
+        #: Interaction count at the last *output-multiset* change — the
+        #: quiescence clock (:func:`repro.sim.convergence.run_until_quiescent`
+        #: reads it, same as on the agent-array and batched engines).
+        self.last_output_change = 0
         self._delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+        #: Memo of whether a cached transition changes the output multiset.
+        self._outchange_cache: dict[tuple[State, State], bool] = {}
         #: Multiset of crashed agents' frozen states (identity-free crash
         #: bookkeeping; ``counts`` holds only the live agents).
         self.crashed_counts: dict[State, int] = {}
@@ -200,6 +206,8 @@ class MultisetSimulation:
         self._remove_live(state)
         self.counts[new] = self.counts.get(new, 0) + 1
         self.last_change = self.interactions
+        if self.protocol.output(new) != self.protocol.output(state):
+            self.last_output_change = self.interactions
         return True
 
     # -- Stepping --------------------------------------------------------------
@@ -267,6 +275,16 @@ class MultisetSimulation:
         for state in (p2, q2):
             counts[state] = counts.get(state, 0) + 1
         self.last_change = self.interactions
+        oc = self._outchange_cache.get(key)
+        if oc is None:
+            out = self.protocol.output
+            op, oq, op2, oq2 = out(p), out(q), out(p2), out(q2)
+            # The output multiset changes unless the result outputs are a
+            # permutation of the argument outputs.
+            oc = not ((op == op2 and oq == oq2) or (op == oq2 and oq == op2))
+            self._outchange_cache[key] = oc
+        if oc:
+            self.last_output_change = self.interactions
         return True
 
     def run(self, steps: int) -> None:

@@ -61,6 +61,21 @@ class TestResilienceCurve:
         assert all(p.rate == 1.0 for p in curve.points)
         assert "intensity" in curve.table()
 
+    def test_batched_engine_sweeps_the_same_curve(self):
+        # The E21 workload shape: a crash-at sweep through the faulted
+        # batched engine.  Spec validation admits it and the endpoints
+        # behave (fault-free correct, total crash fatal).
+        # 18 of 20 crashed leaves the source alive with probability
+        # 1/10 per trial (a crash keeps >= 2 live agents, so 18 is the
+        # heaviest legal crash here).
+        curve = resilience_curve(
+            "epidemic", {1: 1, 0: 19}, "crash-at", [0, 18],
+            at_step=0, trials=4, seed=3, patience=2000,
+            max_steps=60_000, engine="batched")
+        assert [p.intensity for p in curve.points] == [0.0, 18.0]
+        assert curve.points[0].rate == 1.0
+        assert curve.points[1].rate < 1.0
+
     def test_declarative_sweep_is_an_experiment(self, tmp_path):
         # The curve runs on repro.exp: persists to a store and resumes.
         from repro.exp import ResultStore
@@ -136,3 +151,66 @@ class TestRunRobustness:
         assert "protocol" in text and "rate" in text
         assert " 1.00" in text and " 0.00" in text
         assert len(text.splitlines()) == 3
+
+
+class TestEngineDispatch:
+    """`--engine` routing of the resilience harness (ISSUE-8)."""
+
+    KWARGS = dict(trials=6, seed=11, patience=1500, max_steps=60_000)
+
+    def _measure(self, engine):
+        from repro.analysis.robustness import measure_scenario
+
+        return measure_scenario(
+            Epidemic, {1: 1, 0: 19}, 1,
+            lambda s: FaultPlan(CrashAt(8, 5), seed=s),
+            engine=engine, descriptor=("crash-at", 5, 8), **self.KWARGS)
+
+    def test_known_engines_listed(self):
+        from repro.analysis.robustness import ROBUSTNESS_ENGINES
+
+        assert ROBUSTNESS_ENGINES == ("reference", "multiset", "batched",
+                                      "ensemble")
+
+    def test_batched_is_bit_identical_to_reference(self):
+        # The batched fingerprint contract surfaces here as identical
+        # correctness counts for the same seeds and plans.
+        ref = self._measure("reference")
+        fast = self._measure("batched")
+        assert fast.correct == ref.correct
+        assert fast.trials == ref.trials
+        assert fast.engine == "batched"
+        assert fast.interactions == ref.interactions
+
+    def test_multiset_engine_reports_itself(self):
+        result = self._measure("multiset")
+        assert result.engine == "multiset"
+        assert 0 <= result.correct <= result.trials
+
+    def test_ensemble_engine_runs_descriptor_scenarios(self):
+        result = self._measure("ensemble")
+        assert result.engine == "ensemble"
+        assert 0 <= result.correct <= result.trials
+        assert result.interactions > 0
+        assert result.seconds > 0
+
+    def test_ensemble_falls_back_for_targeted_scenarios(self):
+        # Targeted crashes inspect states — no vectorized law exists, so
+        # the scalar multiset twin runs and reports itself honestly.
+        from repro.analysis.robustness import measure_scenario
+
+        result = measure_scenario(
+            lambda: CountToK(5), {1: 5, 0: 11}, 1,
+            lambda s: FaultPlan(TargetedCrash(lambda st: 3 <= st < 5),
+                                seed=s),
+            engine="ensemble", descriptor=None, **self.KWARGS)
+        assert result.engine == "multiset"
+        assert result.correct == 0
+
+    def test_run_robustness_carries_engine_into_rows(self):
+        rows = run_robustness(["epidemic"], engine="batched", trials=3,
+                              seed=5, patience=1000, max_steps=40_000)
+        assert rows
+        for row in rows:
+            assert row.engine in ("batched", "multiset")
+            assert row.throughput >= 0.0

@@ -6,9 +6,11 @@ import pytest
 
 from repro.exp.bench import (
     ENGINE_PAIRS,
+    FAULT_OVERHEAD_PAIRS,
     FULL_GRID,
     SMOKE_GRID,
     compare_to_baseline,
+    faulted_overhead_check,
     format_rows,
     load_bench_file,
     run_kernel_benchmarks,
@@ -42,12 +44,14 @@ class TestGrids:
             assert row["seconds"] > 0
             assert row["unit"] in ("interactions", "reactive-steps",
                                    "interactions-equiv")
-        # Every *paired* workload got a speedup entry against its
-        # reference (the standalone fluid workload has no discrete twin
-        # at n = 1e9, so it contributes a row but no ratio).
+        # Every workload-local engine pair got a speedup entry (the
+        # standalone fluid workload has no discrete twin at n = 1e9, so
+        # it contributes a row but no ratio).
         speedups = speedup_summary(rows)
-        paired = [w for w in SMOKE_GRID if len(w["engines"]) == 2]
-        assert len(speedups) == len(paired)
+        expected = sum(
+            1 for w in SMOKE_GRID for ref, fast in ENGINE_PAIRS
+            if ref in w["engines"] and fast in w["engines"])
+        assert len(speedups) == expected
         assert all(s["speedup"] > 0 for s in speedups)
         assert format_rows(rows).count("\n") == len(rows)
 
@@ -112,6 +116,21 @@ class TestBaselineGate:
         with pytest.raises(ValueError):
             compare_to_baseline([], [], max_regression=0.0)
 
+    def test_committed_baseline_meets_fault_overhead_gate(self):
+        # The committed rows must themselves satisfy the <= 10% faulted
+        # batched overhead contract (ISSUE-8): same-run row pairs, so
+        # the check is hardware-independent.
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_engines.json")
+        rows = load_bench_file(path)
+        engines = {r["engine"] for r in rows}
+        for plain, faulted in FAULT_OVERHEAD_PAIRS:
+            assert plain in engines and faulted in engines
+        assert "ensemble-multiset-faulted" in engines
+        assert faulted_overhead_check(rows, max_overhead=1.10) == []
+
     def test_committed_baseline_meets_acceptance_targets(self):
         # BENCH_engines.json at the repo root is the committed artifact
         # the issue's acceptance criteria read: batched multiset >= 5x at
@@ -132,3 +151,37 @@ class TestBaselineGate:
                         "skipping-incremental")] >= 3.0
         assert by_pair[("leader-election", 10_000, "multiset",
                         "ensemble-multiset")] >= 10.0
+
+
+class TestFaultedOverheadGate:
+    def _pair(self, plain_ips, faulted_ips):
+        return [_row(engine="batched-agent", ips=plain_ips),
+                _row(engine="batched-agent-faulted", ips=faulted_ips)]
+
+    def test_overhead_within_gate_passes(self):
+        assert faulted_overhead_check(self._pair(1000.0, 950.0)) == []
+
+    def test_overhead_beyond_gate_detected(self):
+        problems = faulted_overhead_check(self._pair(1000.0, 800.0))
+        assert len(problems) == 1
+        assert problems[0]["engine"] == "batched-agent-faulted"
+        assert problems[0]["plain_engine"] == "batched-agent"
+        assert problems[0]["overhead"] == 1.25
+
+    def test_faulted_speedup_never_fails(self):
+        # Noise can make the faulted row *faster*; that is never a gate
+        # violation.
+        assert faulted_overhead_check(self._pair(1000.0, 1100.0)) == []
+
+    def test_missing_twin_is_skipped(self):
+        lonely = [_row(engine="batched-agent-faulted", ips=1.0)]
+        assert faulted_overhead_check(lonely) == []
+
+    def test_ungated_engines_are_ignored(self):
+        rows = [_row(engine="ensemble-multiset", ips=1000.0),
+                _row(engine="ensemble-multiset-faulted", ips=100.0)]
+        assert faulted_overhead_check(rows) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            faulted_overhead_check([], max_overhead=0.9)

@@ -201,15 +201,25 @@ class TestEngineField:
         with pytest.raises(ValueError, match="unknown engine"):
             make_spec(engine="quantum").validate()
 
-    def test_batched_rejects_faults(self):
-        with pytest.raises(ValueError, match="fault axis"):
+    def test_batched_accepts_every_fault_kind(self):
+        for kind, intensities, at_step in (
+                ("crash-rate", (0.1,), None),
+                ("corruption-rate", (0.05,), None),
+                ("omission-rate", (0.3,), None),
+                ("crash-at", (5,), 100)):
             make_spec(engine="batched",
-                      faults=FaultAxis("crash-rate", (0.1,))).validate()
+                      faults=FaultAxis(kind, intensities,
+                                       at_step=at_step)).validate()
 
-    def test_batched_rejects_monitors(self):
-        with pytest.raises(ValueError, match="monitors"):
-            make_spec(engine="batched",
-                      monitors=("conservation",)).validate()
+    def test_batched_accepts_vectorized_monitors(self):
+        make_spec(engine="batched",
+                  monitors=("conservation", "containment",
+                            "flicker")).validate()
+
+    def test_batched_rejects_scalar_only_monitors(self):
+        for monitor in ("fairness", "watchdog:steps=100"):
+            with pytest.raises(ValueError, match="monitors"):
+                make_spec(engine="batched", monitors=(monitor,)).validate()
 
     def test_batched_rejects_non_uniform_scheduler(self):
         with pytest.raises(ValueError, match="scheduler"):
@@ -230,15 +240,22 @@ class TestEngineField:
         assert spec.content_hash() != make_spec(engine="batched").content_hash()
 
     @pytest.mark.parametrize("overrides,match", [
-        ({"faults": FaultAxis("crash-rate", (0.1,))}, "fault axis"),
-        ({"monitors": ("conservation",)}, "monitors"),
+        ({"monitors": ("flicker",)}, "monitors"),
         ({"scheduler": "stalling"}, "scheduler"),
         ({"schedulers": ("uniform", "stalling")}, "scheduler axis"),
         ({"confirm": 500}, "confirm"),
     ])
-    def test_ensemble_rejects_chaos_features(self, overrides, match):
+    def test_ensemble_rejects_unsupported_features(self, overrides, match):
         with pytest.raises(ValueError, match=match):
             make_spec(engine="ensemble", **overrides).validate()
+
+    def test_ensemble_accepts_fault_axes_and_vector_monitors(self):
+        make_spec(engine="ensemble",
+                  faults=FaultAxis("omission-rate", (0.0, 0.3)),
+                  monitors=("conservation", "containment")).validate()
+        make_spec(engine="ensemble",
+                  faults=FaultAxis("crash-at", (5,),
+                                   at_step=100)).validate()
 
     def test_ensemble_uniform_fault_free_passes(self):
         make_spec(engine="ensemble").validate()
@@ -252,15 +269,23 @@ class TestEngineField:
         assert spec.content_hash() != make_spec(engine="ensemble").content_hash()
 
     @pytest.mark.parametrize("overrides,match", [
-        ({"faults": FaultAxis("crash-rate", (0.1,))}, "fault axis"),
+        ({"faults": FaultAxis("crash-at", (5,), at_step=100)},
+         "crash-at"),
         ({"monitors": ("conservation",)}, "monitors"),
         ({"scheduler": "stalling"}, "scheduler"),
         ({"schedulers": ("uniform", "stalling")}, "scheduler axis"),
         ({"confirm": 500}, "confirm"),
     ])
-    def test_fluid_rejects_chaos_features(self, overrides, match):
+    def test_fluid_rejects_unsupported_features(self, overrides, match):
+        # crash-at is rejected per *kind*: step-indexed faults have no
+        # mean-field limit, while the rate kinds below are fine.
         with pytest.raises(ValueError, match=match):
             make_spec(engine="fluid", **overrides).validate()
+
+    def test_fluid_accepts_rate_fault_axes(self):
+        for kind in ("crash-rate", "corruption-rate", "omission-rate"):
+            make_spec(engine="fluid",
+                      faults=FaultAxis(kind, (0.0, 0.2))).validate()
 
     def test_fluid_uniform_fault_free_passes(self):
         make_spec(engine="fluid").validate()
@@ -281,13 +306,13 @@ class TestEngineValidationMessages:
     engine that supports it — a rejected spec is a one-edit fix."""
 
     def test_names_offending_field_and_supporting_engine(self):
-        spec = make_spec(engine="ensemble", monitors=("conservation",))
+        spec = make_spec(engine="ensemble", monitors=("flicker",))
         with pytest.raises(ValueError) as err:
             spec.validate()
         message = str(err.value)
         assert "engine 'ensemble'" in message
         assert "'monitors'" in message
-        assert "runtime monitors" in message
+        assert "monitor 'flicker'" in message
         assert "engine 'agent'" in message
         assert "reference engine" in message
 
@@ -301,14 +326,26 @@ class TestEngineValidationMessages:
 
     def test_every_problem_is_listed(self):
         spec = make_spec(engine="batched",
-                         faults=FaultAxis("crash-rate", (0.1,)),
+                         monitors=("fairness",),
                          scheduler="stalling")
         with pytest.raises(ValueError) as err:
             spec.validate()
         message = str(err.value)
-        assert "'faults'" in message
+        assert "'monitors'" in message
         assert "'scheduler'" in message
         assert "'stalling'" in message
+
+    def test_per_kind_rejection_names_kind_and_engines(self):
+        spec = make_spec(engine="fluid",
+                         faults=FaultAxis("crash-at", (5,), at_step=10))
+        with pytest.raises(ValueError) as err:
+            spec.validate()
+        message = str(err.value)
+        assert "fault kind 'crash-at'" in message
+        # Every engine that does sample crash-at is enumerated.
+        assert "engine 'agent'" in message
+        assert "engine 'batched'" in message
+        assert "engine 'ensemble'" in message
 
 
 class TestExecutionPolicy:

@@ -20,6 +20,15 @@ from repro.sim.batched import (
     batched_simulate_counts,
 )
 from repro.sim.engine import Simulation, simulate_counts
+from repro.sim.faults import (
+    CorruptAt,
+    CorruptionRate,
+    CrashAt,
+    CrashRate,
+    FaultPlan,
+    OmissionRate,
+    OmitAt,
+)
 from repro.sim.multiset_engine import MultisetSimulation
 
 #: (registry name, params, input counts) — n chosen so the block-decoded
@@ -66,6 +75,19 @@ def _assert_agent_state_equal(fast, ref):
     assert fast.multiset() == ref.multiset()
     assert fast.output_counts() == ref.output_counts()
     assert fast.unanimous_output() == ref.unanimous_output()
+
+
+def _assert_faulted_agent_state_equal(fast, ref):
+    _assert_agent_state_equal(fast, ref)
+    # Crash bookkeeping, survivor views, and the plan's fault stream
+    # coincide too.  (The engine's own `rng` is *not* compared: the
+    # batched block decoder legitimately reads ahead of the reference
+    # stream mid-trajectory; the state equality above is what proves the
+    # draws were decoded identically.)
+    assert sorted(fast.crashed) == sorted(ref.crashed)
+    assert fast.unanimous_surviving_output() == \
+        ref.unanimous_surviving_output()
+    assert fast.faults.rng.getstate() == ref.faults.rng.getstate()
 
 
 class TestMultisetFingerprint:
@@ -203,6 +225,32 @@ class TestAgentFingerprint:
                 fast.run(3_000)
                 _assert_multiset_state_equal(fast, ref)
 
+    def test_faulted_trajectory_identical(self, seed):
+        # The full sweep lives in TestFaultedAgentFingerprint; this is
+        # the in-class smoke twin of test_trajectory_identical.
+        protocol = _build("leader-election", {})
+        plan = lambda: FaultPlan(CrashAt(500, 5), seed=11)
+        ref = simulate_counts(protocol, {1: 300}, seed=seed, faults=plan())
+        fast = batched_simulate_counts(protocol, {1: 300}, seed=seed,
+                                       faults=plan())
+        for chunk in CHUNKS:
+            ref.run(chunk)
+            fast.run(chunk)
+            _assert_faulted_agent_state_equal(fast, ref)
+
+    def test_faulted_run_until_identical(self, seed):
+        protocol = _build("majority", {})
+        ref = simulate_counts(protocol, {1: 120, 0: 181}, seed=seed,
+                              faults=FaultPlan(CrashAt(900, 10), seed=3))
+        fast = batched_simulate_counts(
+            protocol, {1: 120, 0: 181}, seed=seed,
+            faults=FaultPlan(CrashAt(900, 10), seed=3))
+        condition = lambda s: s.interactions - s.last_output_change > 2_000
+        assert (fast.run_until(condition, max_steps=300_000, check_every=256)
+                == ref.run_until(condition, max_steps=300_000,
+                                 check_every=256))
+        _assert_faulted_agent_state_equal(fast, ref)
+
     def test_stream_gating(self, seed):
         # Block decoding requires the exact CPython Random implementation
         # and matching bit widths for randrange(n)/randrange(n-1); every
@@ -222,3 +270,72 @@ class TestAgentFingerprint:
         fast = batched_simulate_counts(protocol, {1: 200, 0: 312},
                                        seed=seed)
         assert fast._stream is None  # falls back, still bit-identical
+
+
+#: Fault-plan factories (plans are stateful and bind to one simulation,
+#: so each engine gets a fresh but identical instance).
+FAULT_PLANS = {
+    "crash-at": lambda: FaultPlan(CrashAt(500, 5), seed=77),
+    "crash-rate": lambda: FaultPlan(CrashRate(0.002), seed=77),
+    "corrupt-at": lambda: FaultPlan(CorruptAt(400, 3), seed=77),
+    "corruption-rate": lambda: FaultPlan(CorruptionRate(0.01), seed=77),
+    "omit-at": lambda: FaultPlan(OmitAt(range(100, 3000, 7)), seed=77),
+    "omission-rate": lambda: FaultPlan(OmissionRate(0.2), seed=77),
+    "mixed": lambda: FaultPlan([CrashAt(300, 4), OmissionRate(0.05),
+                                CorruptionRate(0.005)], seed=77),
+}
+
+
+class TestFaultedAgentFingerprint:
+    """Faulted batched runs replay the faulted reference bit for bit.
+
+    The extension of the fingerprint contract that licenses
+    ``exp run --engine batched`` (and ``repro robustness --engine
+    batched``) on faulted specs: for the same ``(seed, FaultPlan)`` the
+    batched engine reproduces the reference engine's faulted trajectory
+    exactly — states, crash bookkeeping, convergence clocks, and both
+    RNG streams — at every chunk boundary.
+    """
+
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS),
+                             ids=sorted(FAULT_PLANS))
+    def test_every_fault_family(self, plan_name, seed):
+        make_plan = FAULT_PLANS[plan_name]
+        protocol = _build("leader-election", {})
+        ref = simulate_counts(protocol, {1: 300}, seed=seed,
+                              faults=make_plan())
+        fast = batched_simulate_counts(protocol, {1: 300}, seed=seed,
+                                       faults=make_plan())
+        for chunk in CHUNKS:
+            ref.run(chunk)
+            fast.run(chunk)
+            _assert_faulted_agent_state_equal(fast, ref)
+
+    @pytest.mark.parametrize("name,params,counts", AGENT_CASES,
+                             ids=[c[0] for c in AGENT_CASES])
+    def test_mixed_plan_across_protocols(self, name, params, counts, seed):
+        make_plan = FAULT_PLANS["mixed"]
+        protocol = _build(name, params)
+        ref = simulate_counts(protocol, counts, seed=seed,
+                              faults=make_plan())
+        fast = batched_simulate_counts(protocol, counts, seed=seed,
+                                       faults=make_plan())
+        for chunk in CHUNKS:
+            ref.run(chunk)
+            fast.run(chunk)
+            _assert_faulted_agent_state_equal(fast, ref)
+
+    def test_many_seeds_spot_check(self):
+        protocol = _build("leader-election", {})
+        for seed in range(8):
+            ref = simulate_counts(
+                protocol, {1: 101}, seed=seed,
+                faults=FaultPlan([CrashAt(50, 3), OmissionRate(0.1)],
+                                 seed=seed + 1))
+            fast = batched_simulate_counts(
+                protocol, {1: 101}, seed=seed,
+                faults=FaultPlan([CrashAt(50, 3), OmissionRate(0.1)],
+                                 seed=seed + 1))
+            ref.run(4_000)
+            fast.run(4_000)
+            _assert_faulted_agent_state_equal(fast, ref)

@@ -17,6 +17,7 @@ from repro.protocols.leader import FOLLOWER, LEADER, LeaderElection
 from repro.protocols.majority import majority_protocol
 from repro.sim.convergence import run_until_silent
 from repro.sim.ensemble import (
+    EnsembleFaults,
     EnsembleMultisetSimulation,
     run_ensemble_until_correct_stable,
     run_ensemble_until_quiescent,
@@ -332,3 +333,144 @@ class TestStatisticalEquivalence:
                                   list(range(4_000, 4_000 + trials)),
                                   budget)
         assert ks_2samp(fast, slow).pvalue > 1e-3
+
+
+class TestEnsembleFaults:
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            EnsembleFaults("targeted-crash", 0.1)
+        with pytest.raises(ValueError, match="at_step"):
+            EnsembleFaults("crash-at", 3)
+        with pytest.raises(ValueError, match="intensity"):
+            EnsembleFaults("omission-rate", 1.5)
+        with pytest.raises(ValueError, match="at_step only"):
+            EnsembleFaults("omission-rate", 0.5, at_step=10)
+
+    def test_population_conserved_under_every_kind(self, seed):
+        for faults in (EnsembleFaults("crash-rate", 0.002),
+                       EnsembleFaults("corruption-rate", 0.01),
+                       EnsembleFaults("omission-rate", 0.3),
+                       EnsembleFaults("crash-at", 6, at_step=500)):
+            ens = EnsembleMultisetSimulation(majority_protocol(),
+                                             {1: 40, 0: 24}, trials=8,
+                                             seed=seed, faults=faults)
+            ens.run(4_000)
+            assert (ens.counts.sum(axis=1) + ens.dead == 64).all()
+            assert (ens.counts >= 0).all()
+            assert (ens.interactions == 4_000).all()
+
+    def test_fault_counters(self, seed):
+        ens = EnsembleMultisetSimulation(
+            LeaderElection(), {1: 64}, trials=8, seed=seed,
+            faults=EnsembleFaults("crash-at", 5, at_step=100))
+        ens.run(2_000)
+        assert (ens.dead == 5).all()
+        assert (ens.crashes == 5).all()
+        assert all(ens.n_alive(t) == 59 for t in range(8))
+
+    def test_deterministic_under_seeds_and_fault_seeds(self):
+        kwargs = dict(trials=6, seeds=list(range(10, 16)),
+                      fault_seeds=list(range(90, 96)),
+                      faults=EnsembleFaults("corruption-rate", 0.02))
+        a = EnsembleMultisetSimulation(count_to_five(), {0: 6, 1: 6},
+                                       **kwargs)
+        b = EnsembleMultisetSimulation(count_to_five(), {0: 6, 1: 6},
+                                       **kwargs)
+        a.run(2_000)
+        b.run(2_000)
+        assert (a.counts == b.counts).all()
+        assert (a.corruptions == b.corruptions).all()
+        assert (a.dead == b.dead).all()
+
+    def test_scalar_twin_carries_the_plan(self, seed):
+        ens = EnsembleMultisetSimulation(
+            LeaderElection(), {1: 32}, trials=4, seed=seed,
+            faults=EnsembleFaults("crash-at", 3, at_step=50))
+        ens.run(1_000)
+        twin = ens.scalar_twin(1)
+        assert twin.faults is not None
+        twin.run(1_000)
+        assert twin.dead == 3
+
+    def test_monitors_pass_on_honest_faulted_run(self, seed):
+        from repro.sim.monitors import build_monitors
+
+        ens = EnsembleMultisetSimulation(
+            majority_protocol(), {1: 30, 0: 20}, trials=6, seed=seed,
+            faults=EnsembleFaults("crash-rate", 0.001),
+            monitors=build_monitors(["conservation", "containment"]))
+        ens.run(5_000)
+        assert ens.violations == {}
+
+    def test_containment_violation_deactivates_trial(self, seed):
+        from repro.sim.monitors import StateContainmentMonitor
+
+        # An artificially narrow allowed set: majority's initial states
+        # only, so the first reactive interaction in any trial trips the
+        # monitor.  Violated trials freeze; the run itself survives.
+        protocol = majority_protocol()
+        allowed = {protocol.initial_state(1), protocol.initial_state(0)}
+        ens = EnsembleMultisetSimulation(
+            protocol, {1: 30, 0: 20}, trials=4, seed=seed,
+            monitors=[StateContainmentMonitor(allowed)])
+        ens.run(2_000)
+        assert set(ens.violations) == {0, 1, 2, 3}
+        for violation in ens.violations.values():
+            assert violation.monitor == "containment"
+        assert (ens.interactions < 2_000).all()
+
+
+class TestFaultedStatisticalEquivalence:
+    """KS twin of TestStatisticalEquivalence under active fault plans.
+
+    The per-trial fault sampling (shared numpy generator, positional
+    dead slots, clamped scatters) must reproduce the *scalar* faulted
+    law — :class:`FaultPlan` driving a :class:`MultisetSimulation` —
+    distributionally.  Same tolerance rationale as the fault-free
+    suite: p > 1e-3 on ~100-trial samples catches the gross law bugs
+    (mis-scaled dead-pair probability, omission applied before the
+    dead-pair veto, fault RNG leaking into the pair stream).
+    """
+
+    def _scalar_times(self, protocol_factory, counts, seed_pairs, faults,
+                      max_steps):
+        times = []
+        for s, fs in seed_pairs:
+            sim = MultisetSimulation(protocol_factory(), counts, seed=s,
+                                     faults=faults.build_plan(fs))
+            result = run_until_silent(sim, max_steps=max_steps)
+            assert result.stopped
+            times.append(result.converged_at)
+        return times
+
+    def _ensemble_times(self, protocol_factory, counts, seed_pairs, faults,
+                        max_steps):
+        ens = EnsembleMultisetSimulation(
+            protocol_factory(), counts, trials=len(seed_pairs),
+            seeds=[s for s, _ in seed_pairs],
+            fault_seeds=[fs for _, fs in seed_pairs], faults=faults)
+        results = run_ensemble_until_silent(ens, max_steps=max_steps)
+        assert all(r.stopped for r in results)
+        return [r.converged_at for r in results]
+
+    def _ks_case(self, faults, *, n=48, trials=96, budget=2_000_000):
+        from scipy.stats import ks_2samp
+
+        fast = self._ensemble_times(
+            LeaderElection, {1: n},
+            [(5_000 + i, 15_000 + i) for i in range(trials)], faults,
+            budget)
+        slow = self._scalar_times(
+            LeaderElection, {1: n},
+            [(6_000 + i, 16_000 + i) for i in range(trials)], faults,
+            budget)
+        assert ks_2samp(fast, slow).pvalue > 1e-3
+
+    def test_omission_slowed_election_times(self):
+        self._ks_case(EnsembleFaults("omission-rate", 0.5))
+
+    def test_crash_at_election_times(self):
+        self._ks_case(EnsembleFaults("crash-at", 8, at_step=50))
+
+    def test_corruption_election_times(self):
+        self._ks_case(EnsembleFaults("corruption-rate", 0.005))

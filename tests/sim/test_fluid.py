@@ -20,6 +20,7 @@ from repro.protocols.leader import LeaderElection
 from repro.protocols.majority import majority_protocol
 from repro.protocols.sir import SIREpidemic, sir_fluid_endpoint
 from repro.sim.compiled import compile_protocol
+from repro.sim.ensemble import EnsembleFaults
 from repro.sim.fluid import (
     FluidSimulation,
     MeanFieldODE,
@@ -321,3 +322,86 @@ class TestCLT:
         assert len(band) == len(fl.trace)
         assert band[0] == 0.0  # deterministic initial condition
         assert band[-1] > 0.0
+
+
+class TestFaults:
+    """Contract of the fault-perturbed drift (ISSUE-8 fluid layer).
+
+    Rate faults enter as modified drift terms over an augmented state
+    vector (one extra dead component for crash); step-indexed fault
+    kinds have no n -> infinity limit and are rejected.  Statistical
+    agreement with faulted ensemble runs lives in
+    test_fluid_crossval.py.
+    """
+
+    def test_zero_intensity_descriptor_is_dropped(self):
+        fl = FluidSimulation(Epidemic(), {1: 1, 0: 99},
+                             faults=EnsembleFaults("omission-rate", 0.0))
+        assert fl.faults is None
+        assert fl.ode.size == fl.ode.k_live
+
+    def test_crash_at_has_no_mean_field_limit(self):
+        with pytest.raises(ValueError, match="no mean-field limit"):
+            FluidSimulation(Epidemic(), {1: 1, 0: 99},
+                            faults=EnsembleFaults("crash-at", 5, at_step=10))
+
+    def test_clt_is_incompatible_with_faults(self):
+        with pytest.raises(ValueError, match="clt"):
+            FluidSimulation(Epidemic(), {1: 1, 0: 99}, clt=True,
+                            faults=EnsembleFaults("omission-rate", 0.5))
+
+    def test_jacobian_and_diffusion_unavailable_with_faults(self):
+        compiled = compile_protocol(Epidemic())
+        ode = MeanFieldODE(compiled, EnsembleFaults("omission-rate", 0.5))
+        x = np.array([0.1, 0.9])
+        with pytest.raises(NotImplementedError):
+            ode.jacobian(x)
+        with pytest.raises(NotImplementedError):
+            ode.diffusion(x)
+
+    def test_crash_rate_mass_accounting(self):
+        # d(dead)/dtau = p while the live mass is above the floor, so at
+        # tau the dead mass is p * tau (in per-interaction units the
+        # expected p * steps / n crash victims), and total mass stays 1.
+        p, tau = 0.1, 2.0
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990},
+                             faults=EnsembleFaults("crash-rate", p))
+        fl.advance(tau)
+        assert fl.dead_mass == pytest.approx(p * tau, rel=1e-3)
+        assert fl.live_mass + fl.dead_mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_crash_floor_keeps_survivors(self):
+        # Heavy crash for a long horizon: the flow gates off at the
+        # two-agent floor instead of draining the simplex.
+        n = 100
+        fl = FluidSimulation(Epidemic(), {1: 1, 0: n - 1},
+                             faults=EnsembleFaults("crash-rate", 0.5))
+        fl.advance(2_000.0)
+        assert fl.live_mass == pytest.approx(2.0 / n, abs=1e-6)
+        assert fl.live_mass + fl.dead_mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_omission_is_exact_time_dilation(self):
+        # Dropping each encounter w.p. r rescales the drift by (1 - r):
+        # the faulted trajectory at tau equals the plain one at
+        # (1 - r) tau, exactly.
+        r, tau = 0.5, 1.5
+        i0 = 0.01
+        fl = FluidSimulation(Epidemic(), {1: 10, 0: 990},
+                             faults=EnsembleFaults("omission-rate", r))
+        fl.advance(tau)
+        infected = fl.output_counts()[1] / fl.n
+        assert infected == pytest.approx(
+            exact_epidemic_infected(i0, (1.0 - r) * tau), rel=1e-4)
+
+    def test_corruption_pulls_toward_initial_mixture(self):
+        # With reset corruption at rate q, the majority drift gains a
+        # q (iota - x / ell) term; at a heavy rate the stationary point
+        # sits near the uniform initial mixture rather than consensus.
+        fl = FluidSimulation(majority_protocol(), {1: 70, 0: 30},
+                             faults=EnsembleFaults("corruption-rate", 0.9))
+        fl.advance(200.0)
+        live = fl.x[:fl.ode.k_live]
+        # No consensus: both output classes keep macroscopic mass.
+        outputs = fl.output_counts()
+        assert min(outputs.values()) > 0.1 * fl.n
+        assert live.sum() == pytest.approx(1.0, abs=1e-9)

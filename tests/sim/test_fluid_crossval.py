@@ -32,6 +32,7 @@ from repro.protocols.majority import majority_protocol
 from repro.protocols.sir import SIREpidemic
 from repro.protocols.counting import Epidemic
 from repro.sim.ensemble import (
+    EnsembleFaults,
     EnsembleMultisetSimulation,
     run_ensemble_until_silent,
 )
@@ -181,3 +182,87 @@ class TestFiniteNDivergence:
             fluid = run_fluid_until_silent(fl, max_steps=20 * n * n)
             gap = (fluid.converged_at - (n - 1) ** 2) / (n - 1) ** 2
             assert gap == pytest.approx(1.0 / (n - 1), rel=0.05)
+
+
+class TestFaultedCrossValidation:
+    """Fault-perturbed drift vs faulted ensemble runs (ISSUE-8).
+
+    Same contract shape as the fault-free suites above, with the fault
+    descriptor attached to both engines: fixed-horizon live/dead-mass
+    agreement for crash and corruption at n = 10^3..10^5, and slowdown-
+    *ratio* agreement for omission (absolute hitting times diverge in
+    the last-agent tail, where the mean-field limit is known to break;
+    the faulted/plain ratio cancels that tail and both engines must put
+    it at 1 / (1 - r)).
+    """
+
+    #: Trials per population size (CLT scatter shrinks as 1/sqrt(n)).
+    FAULT_TRIALS = {1_000: 48, 10_000: 24, 100_000: 8}
+
+    @pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+    def test_crash_rate_dead_and_live_mass(self, n):
+        p, tau = 0.15, 1.0
+        trials = self.FAULT_TRIALS[n]
+        faults = EnsembleFaults("crash-rate", p)
+        counts = {1: n // 100, 0: n - n // 100}
+        ens = EnsembleMultisetSimulation(Epidemic(), counts, trials=trials,
+                                         seed=SEED + n, faults=faults)
+        ens.run(int(tau * n))
+        fl = FluidSimulation(Epidemic(), counts, faults=faults)
+        fl.advance(tau)
+        dead = ens.dead / n
+        stderr = dead.std(ddof=1) / np.sqrt(trials)
+        assert abs(fl.dead_mass - dead.mean()) <= 4 * stderr + 2.0 / n, (
+            f"n={n}: fluid dead mass {fl.dead_mass:.5f} vs ensemble "
+            f"{dead.mean():.5f} (stderr {stderr:.2g})")
+        live = ens.counts.mean(axis=0) / n
+        gap = np.abs(fl.x[:fl.ode.k_live] - live).max()
+        assert gap <= 0.03, (
+            f"n={n}: live fractions fluid {fl.x[:fl.ode.k_live]} vs "
+            f"ensemble {live}")
+
+    def test_corruption_rate_live_fractions(self):
+        n, trials, q = 1_000, 48, 0.05
+        faults = EnsembleFaults("corruption-rate", q)
+        counts = {1: 700, 0: 300}
+        ens = EnsembleMultisetSimulation(majority_protocol(), counts,
+                                         trials=trials, seed=SEED,
+                                         faults=faults)
+        ens.run(50 * n)
+        fl = FluidSimulation(majority_protocol(), counts, faults=faults)
+        fl.advance(50.0)
+        live = ens.counts.mean(axis=0) / n
+        gap = np.abs(fl.x[:fl.ode.k_live] - live).max()
+        assert gap <= 0.03, (
+            f"live fractions fluid {fl.x[:fl.ode.k_live]} vs ensemble "
+            f"{live}")
+
+    def test_omission_slowdown_ratio(self):
+        n, trials, r = 1_000, 32, 0.5
+        counts = {1: 1, 0: n - 1}
+        budget = 5_000_000
+
+        def ensemble_mean_silence(faults):
+            ens = EnsembleMultisetSimulation(Epidemic(), counts,
+                                             trials=trials, seed=SEED,
+                                             faults=faults)
+            results = run_ensemble_until_silent(ens, max_steps=budget)
+            assert all(res.stopped for res in results)
+            return np.mean([res.converged_at for res in results])
+
+        def fluid_silence(faults):
+            fl = FluidSimulation(Epidemic(), counts, faults=faults)
+            result = run_fluid_until_silent(fl, max_steps=budget)
+            assert result.stopped
+            return result.converged_at
+
+        fluid_ratio = (fluid_silence(EnsembleFaults("omission-rate", r))
+                       / fluid_silence(None))
+        ens_ratio = (ensemble_mean_silence(EnsembleFaults("omission-rate", r))
+                     / ensemble_mean_silence(None))
+        expected = 1.0 / (1.0 - r)
+        # The fluid dilation is exact; the ensemble's carries
+        # Monte-Carlo scatter from two 32-trial means.
+        assert fluid_ratio == pytest.approx(expected, abs=0.05)
+        assert ens_ratio == pytest.approx(expected, abs=0.3)
+        assert fluid_ratio == pytest.approx(ens_ratio, abs=0.3)

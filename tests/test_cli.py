@@ -460,10 +460,19 @@ class TestExpEngineFlag:
                      "--engine", "batched", "--json"])
         assert code == 0
 
-    def test_batched_engine_rejects_fault_axis(self, capsys):
+    def test_batched_engine_accepts_fault_axis(self, capsys):
         code = main(["exp", "run", "--protocol", "leader-election",
                      "--ns", "16", "--trials", "1",
                      "--engine", "batched",
-                     "--fault", "crash-rate", "--intensities", "0.1"])
+                     "--fault", "crash-rate", "--intensities", "0.1",
+                     "--json"])
+        assert code == 0
+
+    def test_batched_engine_rejects_scalar_only_monitors(self, capsys):
+        code = main(["chaos", "run", "--protocol", "leader-election",
+                     "--ns", "16", "--trials", "1",
+                     "--engine", "batched", "--monitors", "fairness",
+                     "--confirm", "0"])
         assert code == 1
-        assert "batched" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "batched" in err and "fairness" in err

@@ -21,7 +21,15 @@ Four commands expose the main pipeline:
   JSON reproductions (``--shrink``) that replay bit-identically;
 * ``bench`` — engine kernel benchmarks (reference vs. compiled fast
   paths) with a JSON baseline and a throughput-regression gate; CI runs
-  ``bench --smoke --baseline BENCH_engines.json``.
+  ``bench --smoke --baseline BENCH_engines.json``;
+* ``doctor`` — environment report: step-kernel backend availability
+  (numpy / numba / python), relevant package versions, and why an
+  unavailable backend cannot run here.
+
+``exp run``, ``chaos run``, and ``bench`` accept ``--backend`` to
+select the step-kernel backend for the backend-capable engines
+(``--engine batched`` / ``--engine ensemble``); an unavailable request
+falls back to numpy with a one-time warning.
 
 ``repro run`` and ``repro robustness`` accept ``--json`` for
 machine-readable output.
@@ -318,6 +326,7 @@ def _spec_from_args(args: argparse.Namespace):
         monitors=tuple(getattr(args, "monitors", None) or ()),
         confirm=getattr(args, "confirm", 0),
         engine=getattr(args, "engine", None) or "agent",
+        backend=getattr(args, "backend", None) or "numpy",
         stop=StopRule(rule=args.stop, patience=args.patience,
                       max_steps=args.max_steps,
                       check_every=args.check_every),
@@ -572,7 +581,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"{row['ips']:,.0f} {row['unit']}/s", file=sys.stderr)
 
     rows = run_kernel_benchmarks(smoke=args.smoke, seed=args.seed,
-                                 repeats=args.repeats, progress=progress)
+                                 repeats=args.repeats,
+                                 backend=args.backend, progress=progress)
     speedups = speedup_summary(rows)
     fault_overheads = faulted_overhead_check(
         rows, max_overhead=args.max_fault_overhead)
@@ -636,6 +646,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+    import platform
+
+    from repro.sim.backends import DEFAULT_BACKEND, backend_report
+
+    versions = {"python": platform.python_version()}
+    for package in ("numpy", "numba", "scipy", "hypothesis"):
+        try:
+            module = __import__(package)
+            versions[package] = getattr(module, "__version__", "unknown")
+        except Exception:
+            versions[package] = None
+    report = backend_report()
+    if args.json:
+        print(json.dumps({"versions": versions, "backends": report,
+                          "default_backend": DEFAULT_BACKEND},
+                         indent=2, sort_keys=True))
+        return 0
+    print("versions:")
+    for package, version in versions.items():
+        print(f"  {package:<12} {version if version else 'not installed'}")
+    print("kernel backends (engines: batched, ensemble; "
+          "select with --backend):")
+    for row in report:
+        status = "available" if row["available"] else "unavailable"
+        suffix = "  [default]" if row["default"] else ""
+        print(f"  {row['name']:<8} {status}{suffix}")
+        if row["reason"]:
+            print(f"           {row['reason']}")
+    if not any(r["name"] == "numba" and r["available"] for r in report):
+        print("hint: pip install -e '.[perf]' enables the JIT-compiled "
+              "numba backend")
+    return 0
+
+
 def cmd_chaos_replay(args: argparse.Namespace) -> int:
     import json
 
@@ -696,6 +742,21 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help="re-execute trials an earlier run "
                              "quarantined in the store instead of "
                              "skipping them")
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """The step-kernel backend flag shared by exp run / chaos run / bench."""
+    from repro.sim.backends import backend_names
+
+    parser.add_argument("--backend", default=None,
+                        choices=backend_names(),
+                        help="step-kernel backend for the batched and "
+                             "ensemble engines (default numpy). numba "
+                             "JIT-compiles the inner loops bit-identically "
+                             "(needs the [perf] extra; see 'repro "
+                             "doctor'); python runs the same fused loops "
+                             "interpreted. An unavailable backend falls "
+                             "back to numpy with a one-time warning")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -823,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "faults as perturbed drift). Per-engine "
                               "feature support is ENGINE_FEATURES in "
                               "repro.exp.spec")
+    _add_backend_flag(exp_run)
     exp_run.add_argument("--seed", type=int, default=0)
     exp_run.add_argument("--store", default=None,
                          help="JSONL result store (enables resume)")
@@ -908,6 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--monitors conservation,containment "
                                 "--confirm 0). ENGINE_FEATURES in "
                                 "repro.exp.spec is the support table")
+    _add_backend_flag(chaos_run)
     chaos_run.add_argument("--seed", type=int, default=0)
     chaos_run.add_argument("--store", default=None,
                            help="JSONL result store (enables resume)")
@@ -955,7 +1018,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 3.0)")
     bench.add_argument("--seed", type=int, default=20040725)
     bench.add_argument("--repeats", type=int, default=2,
-                       help="timings per row; best-of is kept (default 2)")
+                       help="timed runs per row after one discarded "
+                            "warm-up repeat; best-of is kept (default 2)")
+    _add_backend_flag(bench)
     bench.add_argument("--skip-supervision", action="store_true",
                        help="skip the supervised-vs-plain sweep row")
     bench.add_argument("--max-supervision-overhead", type=float,
@@ -972,6 +1037,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="emit rows, speedups, and regressions as JSON")
     bench.set_defaults(func=cmd_bench)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="report step-kernel backend availability and versions")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the environment report as JSON")
+    doctor.set_defaults(func=cmd_doctor)
 
     return parser
 

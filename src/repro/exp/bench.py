@@ -2,12 +2,21 @@
 
 :func:`run_kernel_benchmarks` times every simulation engine — reference
 and compiled fast path side by side — on fixed workloads and returns
-machine-readable rows ``{protocol, n, engine, steps, unit, seconds,
-ips}``.  ``repro bench`` prints them, writes them to a JSON baseline
-file (``BENCH_engines.json`` at the repo root is the committed one),
-and compares a fresh run against a committed baseline, failing when any
-engine's throughput regressed by more than ``--max-regression`` (CI
-runs ``repro bench --smoke --baseline BENCH_engines.json``).
+machine-readable rows ``{protocol, n, engine, backend, steps, unit,
+seconds, ips}``.  ``repro bench`` prints them, writes them to a JSON
+baseline file (``BENCH_engines.json`` at the repo root is the committed
+one), and compares a fresh run against a committed baseline, failing
+when any engine's throughput regressed by more than ``--max-regression``
+(CI runs ``repro bench --smoke --baseline BENCH_engines.json``).
+
+Every row runs one untimed warm-up repeat before its timed repeats, so
+one-time costs — JIT compilation on the ``numba`` kernel backend, numpy
+buffer allocation, import latency — never contaminate a throughput
+number.  ``--backend`` threads a step-kernel backend through the
+backend-capable engines (the batched and ensemble rows; reference rows
+ignore it), each row records the *effective* backend after any
+fallback, and the baseline gate keys on it, so numpy rows are only ever
+compared against numpy rows and numba rows against numba rows.
 
 Workloads:
 
@@ -134,8 +143,10 @@ def _input_counts(name: str, n: int) -> dict:
 
 def _time_engine(engine: str, protocol, counts, steps: int,
                  seed: int, *, trials: "int | None" = None,
-                 trial_steps: "int | None" = None) -> float:
-    """Build one simulation, run ``steps`` units, return elapsed seconds.
+                 trial_steps: "int | None" = None,
+                 backend: "str | None" = None) -> tuple:
+    """Build one simulation, run ``steps`` units; returns ``(seconds,
+    effective_backend)``.
 
     The unit is interactions for the stepping engines and *reactive*
     steps for the skipping engines (their whole point is to not execute
@@ -143,7 +154,10 @@ def _time_engine(engine: str, protocol, counts, steps: int,
     runs ``trials`` lockstep trials of ``trial_steps`` interactions each.
     Construction cost — including protocol compilation for the batched
     engines — is charged to the run, since that is what a caller
-    actually pays.
+    actually pays.  ``backend`` threads a step-kernel backend through
+    the backend-capable engines (batched / ensemble rows; the reference
+    engines report ``numpy``, the only kernels they have); the returned
+    effective backend reflects any fallback.
     """
     if engine == "fluid":
         from repro.sim.fluid import FluidSimulation
@@ -159,7 +173,8 @@ def _time_engine(engine: str, protocol, counts, steps: int,
 
         start = time.perf_counter()
         sim = EnsembleMultisetSimulation(protocol, counts, trials=trials,
-                                         seed=seed, track_outputs=False)
+                                         seed=seed, track_outputs=False,
+                                         backend=backend)
         sim.run(trial_steps)
     elif engine == "ensemble-multiset-faulted":
         from repro.sim.ensemble import (EnsembleFaults,
@@ -170,7 +185,7 @@ def _time_engine(engine: str, protocol, counts, steps: int,
         start = time.perf_counter()
         sim = EnsembleMultisetSimulation(
             protocol, counts, trials=trials, seed=seed, track_outputs=False,
-            faults=EnsembleFaults("omission-rate", 0.05))
+            faults=EnsembleFaults("omission-rate", 0.05), backend=backend)
         sim.run(trial_steps)
     elif engine == "multiset":
         from repro.sim.multiset_engine import MultisetSimulation
@@ -182,7 +197,8 @@ def _time_engine(engine: str, protocol, counts, steps: int,
         from repro.sim.batched import BatchedMultisetSimulation
 
         start = time.perf_counter()
-        sim = BatchedMultisetSimulation(protocol, counts, seed=seed)
+        sim = BatchedMultisetSimulation(protocol, counts, seed=seed,
+                                        backend=backend)
         sim.run(steps)
     elif engine == "agent":
         from repro.sim.engine import simulate_counts
@@ -194,7 +210,8 @@ def _time_engine(engine: str, protocol, counts, steps: int,
         from repro.sim.batched import batched_simulate_counts
 
         start = time.perf_counter()
-        sim = batched_simulate_counts(protocol, counts, seed=seed)
+        sim = batched_simulate_counts(protocol, counts, seed=seed,
+                                      backend=backend)
         sim.run(steps)
     elif engine == "batched-agent-faulted":
         from repro.sim.batched import batched_simulate_counts
@@ -206,7 +223,7 @@ def _time_engine(engine: str, protocol, counts, steps: int,
         start = time.perf_counter()
         plan = FaultPlan(CrashAt(steps // 10, 2), seed=seed + 1)
         sim = batched_simulate_counts(protocol, counts, seed=seed,
-                                      faults=plan)
+                                      faults=plan, backend=backend)
         sim.run(steps)
     elif engine in ("skipping-rebuild", "skipping-incremental"):
         from repro.sim.skipping import SkippingSimulation
@@ -222,7 +239,7 @@ def _time_engine(engine: str, protocol, counts, steps: int,
                     "protocol or fewer steps")
     else:
         raise ValueError(f"unknown benchmark engine {engine!r}")
-    return time.perf_counter() - start
+    return time.perf_counter() - start, getattr(sim, "backend", "numpy")
 
 
 def _unit(engine: str) -> str:
@@ -237,15 +254,18 @@ def _unit(engine: str) -> str:
 
 
 def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
-                          repeats: int = 2,
+                          repeats: int = 2, backend: "str | None" = None,
                           progress=None) -> list[dict]:
     """Time every grid workload; returns one row per (workload, engine).
 
     ``smoke`` selects the small CI grid; the default run covers the full
     grid *and* the smoke grid, so a baseline written from a full run has
-    matching rows for CI smoke comparisons.  Each row's throughput is
-    the best of ``repeats`` runs (best-of, not mean: scheduling noise
-    only ever slows a run down).
+    matching rows for CI smoke comparisons.  Each row runs one untimed
+    warm-up repeat — absorbing one-time costs like JIT compilation on
+    the numba backend — and then reports the best of ``repeats`` timed
+    runs (best-of, not mean: scheduling noise only ever slows a run
+    down).  ``backend`` selects the step-kernel backend for the
+    backend-capable engines; each row records the effective backend.
     """
     grid = SMOKE_GRID if smoke else FULL_GRID + SMOKE_GRID
     rows: list[dict] = []
@@ -265,15 +285,20 @@ def run_kernel_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
             # read 20%+ of pure scheduling jitter as "overhead".
             gated = any(engine in pair for pair in FAULT_OVERHEAD_PAIRS)
             runs = max(1, repeats, 3 if gated else 0)
-            seconds = min(
-                _time_engine(engine, protocol, counts, steps, seed,
-                             trials=workload.get("trials"),
-                             trial_steps=workload.get("trial_steps"))
-                for _ in range(runs))
+
+            def timed():
+                return _time_engine(engine, protocol, counts, steps, seed,
+                                    trials=workload.get("trials"),
+                                    trial_steps=workload.get("trial_steps"),
+                                    backend=backend)
+
+            _, effective_backend = timed()  # warm-up repeat, discarded
+            seconds = min(timed()[0] for _ in range(runs))
             row = {
                 "protocol": workload["protocol"],
                 "n": workload["n"],
                 "engine": engine,
+                "backend": effective_backend,
                 "steps": row_steps,
                 "unit": _unit(engine),
                 "seconds": round(seconds, 6),
@@ -457,19 +482,23 @@ def compare_to_baseline(rows: list[dict], baseline: list[dict],
                         max_regression: float = 3.0) -> list[dict]:
     """Regressions of ``rows`` against same-key baseline rows.
 
-    A regression is a matching ``(protocol, n, engine, steps, unit)``
-    row whose throughput fell by more than ``max_regression`` (ratio =
-    baseline_ips / ips).  Rows without a baseline counterpart are
+    A regression is a matching ``(protocol, n, engine, backend, steps,
+    unit)`` row whose throughput fell by more than ``max_regression``
+    (ratio = baseline_ips / ips).  The backend enters the key — numpy
+    rows gate against numpy rows, numba against numba — and rows
+    predating the backend field read as numpy, so old baselines keep
+    gating like-for-like.  Rows without a baseline counterpart are
     ignored — adding a workload never fails the gate retroactively.
     """
     if max_regression <= 0:
         raise ValueError("max_regression must be positive")
-    index = {(r["protocol"], r["n"], r["engine"], r["steps"], r["unit"]): r
+    index = {(r["protocol"], r["n"], r["engine"],
+              r.get("backend", "numpy"), r["steps"], r["unit"]): r
              for r in baseline}
     regressions = []
     for row in rows:
-        key = (row["protocol"], row["n"], row["engine"], row["steps"],
-               row["unit"])
+        key = (row["protocol"], row["n"], row["engine"],
+               row.get("backend", "numpy"), row["steps"], row["unit"])
         base = index.get(key)
         if base is None or not base["ips"] or not row["ips"]:
             continue
@@ -479,6 +508,7 @@ def compare_to_baseline(rows: list[dict], baseline: list[dict],
                 "protocol": row["protocol"],
                 "n": row["n"],
                 "engine": row["engine"],
+                "backend": row.get("backend", "numpy"),
                 "steps": row["steps"],
                 "unit": row["unit"],
                 "baseline_ips": base["ips"],
@@ -490,10 +520,11 @@ def compare_to_baseline(rows: list[dict], baseline: list[dict],
 
 def format_rows(rows: list[dict]) -> str:
     """Human-readable table of benchmark rows."""
-    lines = [f"{'protocol':<18} {'n':>7} {'engine':<22} {'steps':>9} "
-             f"{'unit':<14} {'ips':>12}"]
+    lines = [f"{'protocol':<18} {'n':>7} {'engine':<22} {'backend':<8} "
+             f"{'steps':>9} {'unit':<14} {'ips':>12}"]
     for row in rows:
         lines.append(
             f"{row['protocol']:<18} {row['n']:>7} {row['engine']:<22} "
+            f"{row.get('backend', 'numpy'):<8} "
             f"{row['steps']:>9} {row['unit']:<14} {row['ips']:>12,.0f}")
     return "\n".join(lines)

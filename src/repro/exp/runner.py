@@ -160,7 +160,8 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
         compiled = compile_protocol(protocol, key=key)
         sim = batched_simulate_counts(protocol, counts, seed=engine_seed,
                                       compiled=compiled, faults=plan,
-                                      monitors=monitors)
+                                      monitors=monitors,
+                                      backend=spec.backend)
     else:
         scheduler = scheduler_from_spec(sched_text, n=point.n,
                                         protocol=protocol)
@@ -239,6 +240,12 @@ def run_trial(spec: ExperimentSpec, point: SweepPoint, trial: int,
         record["scheduler"] = sched_text
     if spec.engine != "agent":
         record["engine"] = spec.engine
+    # Backend provenance: the *effective* backend after any fallback,
+    # recorded only when non-default so pre-backend records keep their
+    # exact shape.
+    effective_backend = getattr(sim, "backend", "numpy")
+    if effective_backend != "numpy":
+        record["backend"] = effective_backend
     if monitors:
         record["violation"] = (None if violation is None
                                else violation.to_dict())
@@ -306,7 +313,8 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
         fault_seeds=([fault_seed for _, fault_seed in seed_pairs]
                      if faults is not None else None),
         monitors=monitors,
-        track_outputs=stop.rule != "silent")
+        track_outputs=stop.rule != "silent",
+        backend=spec.backend)
     if monitors:
         ens.monitor_context = {
             "protocol": spec.protocol,
@@ -356,6 +364,8 @@ def run_ensemble_point(spec: ExperimentSpec, point: SweepPoint,
             "omissions": int(ens.omissions[slot]),
             "engine": "ensemble",
         }
+        if ens.backend != "numpy":
+            record["backend"] = ens.backend
         if monitors:
             violation = ens.violations.get(slot)
             record["violation"] = (None if violation is None

@@ -52,6 +52,10 @@ ENGINE_FEATURES = {
 }
 #: Trial engines understood by the runner (see repro.exp.runner.run_trial).
 ENGINES = tuple(ENGINE_FEATURES)
+#: Engines that drive a swappable step-kernel backend
+#: (see repro.sim.backends); only these accept a non-default
+#: ``ExperimentSpec.backend``.
+BACKEND_ENGINES = ("batched", "ensemble")
 
 
 def engine_supports(engine: str, feature: str,
@@ -392,6 +396,15 @@ class ExperimentSpec:
     #: (statistical contract), and fluid admits rate faults as perturbed
     #: drift; non-uniform schedulers stay reference-only.
     engine: str = "agent"
+    #: Step-kernel backend for the fast engines (``batched`` /
+    #: ``ensemble``; see :mod:`repro.sim.backends`): ``numpy`` (the
+    #: default hybrid stepper), ``numba`` (JIT-compiled fused loops,
+    #: bit-identical, needs the ``[perf]`` extra), or ``python`` (the
+    #: fused loops interpreted — the debugging/contract-coverage
+    #: backend).  An unavailable request falls back to numpy at engine
+    #: construction with a one-time warning; the *requested* backend is
+    #: what hashes, the *effective* one is recorded per trial.
+    backend: str = "numpy"
     stop: StopRule = field(default_factory=StopRule)
     #: Supervision policy: timeouts, retries, and failure disposition
     #: (see :class:`ExecutionPolicy` and :mod:`repro.exp.supervise`).
@@ -427,6 +440,17 @@ class ExperimentSpec:
         if self.engine not in ENGINE_FEATURES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
+        from repro.sim.backends import backend_names
+
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown kernel backend {self.backend!r}; known: "
+                f"{backend_names()}")
+        if self.backend != "numpy" and self.engine not in BACKEND_ENGINES:
+            raise ValueError(
+                f"engine {self.engine!r} has no step-kernel backends; "
+                f"backend={self.backend!r} applies only to "
+                + " and ".join(repr(e) for e in BACKEND_ENGINES))
         # Each check: (offending field, description, feature flag and
         # kind the engine would need).  The error must name the field
         # and point at every engine that DOES support it (enumerated
@@ -491,6 +515,11 @@ class ExperimentSpec:
             data["confirm"] = self.confirm
         if self.engine != "agent":
             data["engine"] = self.engine
+        # Same hash-stability rule: the backend serializes only when
+        # non-default, so every spec written before backends existed
+        # (and every numpy-backend spec) keeps its exact content hash.
+        if self.backend != "numpy":
+            data["backend"] = self.backend
         # Like the chaos fields: the execution block serializes only when
         # non-default, keeping every pre-supervision spec hash intact.
         if not self.execution.is_default():
@@ -512,6 +541,7 @@ class ExperimentSpec:
             monitors=tuple(data.get("monitors", ())),
             confirm=int(data.get("confirm", 0)),
             engine=data.get("engine", "agent"),
+            backend=data.get("backend", "numpy"),
             stop=StopRule.from_dict(data.get("stop", {})),
             execution=ExecutionPolicy.from_dict(data.get("execution", {})),
             seed=int(data.get("seed", 0)),

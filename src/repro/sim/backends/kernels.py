@@ -1,0 +1,367 @@
+"""Fused per-interaction span kernels in nopython-compatible Python.
+
+The numpy backend splits each engine's hot loop into a scalar chunk and
+a vectorized window and lets a gap controller interleave them.  That
+split exists purely to amortize *interpreter* cost; the trajectory is
+the same either way, because both paths consume the decoded draw stream
+in order and apply every reactive transition at its exact interaction
+index.  A compiled kernel has no interpreter cost to amortize, so the
+``numba`` and ``python`` backends use one fused loop per engine instead:
+process every buffered draw scalar-style, in stream order.  Bit
+identity with the numpy backend (and hence with the reference engines)
+follows from the draw stream and the per-draw arithmetic being
+identical — the backend-parameterized fingerprint suite pins it down.
+
+Every ``*_span`` function below is written in the numba ``nopython``
+subset (plain loops over typed arrays, no Python objects), so the same
+source runs three ways: interpreted as the ``python`` debugging
+backend, ``@njit``-compiled by :mod:`repro.sim.backends.numba_backend`,
+and — because it is plain Python — under coverage and pdb.
+
+The wrapper classes adapt the spans to the engines' state layout: the
+engines keep Python lists as their canonical hot-path state for the
+numpy backend, so each chunk copies list state into typed arrays, runs
+the span, and writes back.  The copies are O(n + k) per span of up to
+``_SPAN_CHUNK`` interactions — amortized noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.backends.numpy_backend import _GAP_CAP
+
+#: Interactions per fused span between engine-loop decisions (stream
+#: refills, fault boundaries, monitor sweeps).
+_SPAN_CHUNK = 1 << 16
+
+
+# -- Span kernels (nopython subset) --------------------------------------------
+
+
+def agent_span(pv, qv, sarr, agent_out, out_hist,
+               tinit, tresp, reactive, out_ids, k):
+    """Apply ``len(pv)`` interactions to the agent-array state in place.
+
+    Mirrors ``BatchedSimulation._step_plain`` draw for draw: responder
+    index shifted past the initiator, transition looked up in the flat
+    ``[p*k + q]`` tables (augmented with the dead sentinel when faults
+    are attached — sentinel pairs are non-reactive, so crashed agents
+    stay inert).  Returns ``(last_change, last_output_change)`` as
+    1-based offsets into the span, or -1 where nothing changed.
+    """
+    lc = -1
+    lo = -1
+    for i in range(pv.shape[0]):
+        initiator = pv[i]
+        responder = qv[i]
+        if responder >= initiator:
+            responder += 1
+        flat = sarr[initiator] * k + sarr[responder]
+        if not reactive[flat]:
+            continue
+        p2 = tinit[flat]
+        q2 = tresp[flat]
+        lc = i + 1
+        sarr[initiator] = p2
+        sarr[responder] = q2
+        op = out_ids[p2]
+        if op != agent_out[initiator]:
+            out_hist[agent_out[initiator]] -= 1
+            out_hist[op] += 1
+            agent_out[initiator] = op
+            lo = i + 1
+        oq = out_ids[q2]
+        if oq != agent_out[responder]:
+            out_hist[agent_out[responder]] -= 1
+            out_hist[oq] += 1
+            agent_out[responder] = oq
+            lo = i + 1
+    return lc, lo
+
+
+def multiset_span(pv, qv, counts, order, olen, tinit, tresp, reactive, k):
+    """Apply ``len(pv)`` interactions to the multiset state in place.
+
+    Replicates ``BatchedMultisetSimulation._apply_pair`` exactly: the
+    cumulative scan over the insertion-ordered live states, the
+    responder exclude-shift, and the reference decrement/increment
+    order with its remove-on-zero / append-on-first bookkeeping (the
+    ``order`` array is the engine's ``_order`` list).  Returns
+    ``(olen, last_change)`` — the new live-state count and the 1-based
+    offset of the last reactive step (-1 if none).
+    """
+    lc = -1
+    for i in range(pv.shape[0]):
+        p_val = pv[i]
+        q_val = qv[i]
+        acc = 0
+        pid = 0
+        for oi in range(olen):
+            pid = order[oi]
+            acc += counts[pid]
+            if p_val < acc:
+                break
+        if q_val >= acc - 1:  # exclude-shift (see _apply_pair)
+            q_val += 1
+        acc = 0
+        qid = 0
+        for oi in range(olen):
+            qid = order[oi]
+            acc += counts[qid]
+            if q_val < acc:
+                break
+        flat = pid * k + qid
+        if not reactive[flat]:
+            continue
+        p2 = tinit[flat]
+        q2 = tresp[flat]
+        lc = i + 1
+        c = counts[pid] - 1
+        counts[pid] = c
+        if c == 0:
+            j = 0
+            while order[j] != pid:
+                j += 1
+            for m in range(j, olen - 1):
+                order[m] = order[m + 1]
+            olen -= 1
+        c = counts[qid] - 1
+        counts[qid] = c
+        if c == 0:
+            j = 0
+            while order[j] != qid:
+                j += 1
+            for m in range(j, olen - 1):
+                order[m] = order[m + 1]
+            olen -= 1
+        if counts[p2] == 0:
+            order[olen] = p2
+            olen += 1
+        counts[p2] += 1
+        if counts[q2] == 0:
+            order[olen] = q2
+            olen += 1
+        counts[q2] += 1
+    return olen, lc
+
+
+def ensemble_lockstep_span(ij, c, cum, hist, track,
+                           tinit2d, tresp2d, react2d, out_ids,
+                           last_hit, last_out_hit):
+    """The ensemble lockstep rounds as a fused loop over (round, trial).
+
+    Consumes the same pre-drawn ``(rounds, 2, A)`` index pairs as the
+    numpy lockstep and performs the identical bin search (count of
+    cumsum entries <= the draw) and scatter arithmetic, so the count
+    trajectories agree with the numpy backend exactly.  Returns the
+    reactive-hit total for the chunk's gap update.
+    """
+    rounds = ij.shape[0]
+    A = ij.shape[2]
+    k = c.shape[1]
+    hits = 0
+    for a in range(A):
+        for r in range(rounds):
+            u = ij[r, 0, a]
+            p = 0
+            while u >= cum[a, p]:
+                p += 1
+            u = ij[r, 1, a]
+            q = 0
+            while u >= cum[a, q]:
+                q += 1
+            if not react2d[p, q]:
+                continue
+            hits += 1
+            p2 = tinit2d[p, q]
+            q2 = tresp2d[p, q]
+            c[a, p] -= 1
+            c[a, q] -= 1
+            c[a, p2] += 1
+            c[a, q2] += 1
+            acc = 0
+            for j in range(k):
+                acc += c[a, j]
+                cum[a, j] = acc
+            last_hit[a] = r + 1
+            if track:
+                op = out_ids[p]
+                oq = out_ids[q]
+                op2 = out_ids[p2]
+                oq2 = out_ids[q2]
+                hist[a, op] -= 1
+                hist[a, oq] -= 1
+                hist[a, op2] += 1
+                hist[a, oq2] += 1
+                if not ((op == op2 and oq == oq2)
+                        or (op == oq2 and oq == op2)):
+                    last_out_hit[a] = r + 1
+    return hits
+
+
+#: The raw span functions, keyed by engine family (the ``python``
+#: backend runs these as-is; the numba backend jits each one).
+SPANS = {
+    "batched-agent": agent_span,
+    "batched-multiset": multiset_span,
+    "ensemble": ensemble_lockstep_span,
+}
+
+
+def exercise(spans) -> None:
+    """Run every span once on tiny inputs.
+
+    Forces lazily-compiled implementations (numba dispatchers) through
+    compilation at backend construction, so a JIT failure surfaces as a
+    catchable error during engine setup — the graceful-fallback hook —
+    instead of mid-run.  The dummy argument types match the real call
+    sites exactly, so no second compilation happens later.
+    """
+    z1 = np.zeros(1, dtype=np.int64)
+    zk = np.zeros(1, dtype=np.int64)
+    spans["batched-agent"](
+        z1, z1, np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64),
+        np.array([3], dtype=np.int64), zk, zk,
+        np.zeros(1, dtype=bool), np.zeros(1, dtype=np.int64), 1)
+    spans["batched-multiset"](
+        z1, z1, np.array([2], dtype=np.int64), np.zeros(1, dtype=np.int64),
+        1, zk, zk, np.zeros(1, dtype=bool), 1)
+    spans["ensemble"](
+        np.zeros((1, 2, 1), dtype=np.int64),
+        np.array([[2]], dtype=np.int64), np.array([[2]], dtype=np.int64),
+        np.zeros((1, 1), dtype=np.int64), False,
+        np.zeros((1, 1), dtype=np.int64), np.zeros((1, 1), dtype=np.int64),
+        np.zeros((1, 1), dtype=bool), np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+
+
+# -- Engine adapters -----------------------------------------------------------
+
+
+class AgentSpanKernels:
+    """Adapter: fused agent span over the engine's list/array state."""
+
+    needs_typed_tables = True
+
+    def __init__(self, name: str, span):
+        self.name = name
+        self._span = span
+
+    def chunk(self, sim, remaining: int) -> None:
+        count = remaining if remaining < _SPAN_CHUNK else _SPAN_CHUNK
+        stream = sim._stream
+        stream.ensure(count)
+        i0 = stream.ptr
+        pv = stream.pv[i0:i0 + count]
+        qv = stream.qv[i0:i0 + count]
+        stream.ptr = i0 + count
+        agent_out = np.asarray(sim._agent_out, dtype=np.int64)
+        out_hist = np.asarray(sim._out_hist, dtype=np.int64)
+        base = sim.interactions
+        lc, lo = self._span(pv, qv, sim._sarr, agent_out, out_hist,
+                            sim._ktinit, sim._ktresp, sim._react_flat,
+                            sim._kout_ids, sim._k)
+        sim.interactions = base + count
+        if lc >= 0:
+            sim.last_change = base + lc
+            sim._ids = sim._sarr.tolist()
+            sim._agent_out = agent_out.tolist()
+            sim._out_hist = out_hist.tolist()
+        if lo >= 0:
+            sim.last_output_change = base + lo
+
+
+class MultisetSpanKernels:
+    """Adapter: fused multiset span over the engine's list state."""
+
+    needs_typed_tables = True
+
+    def __init__(self, name: str, span):
+        self.name = name
+        self._span = span
+
+    def chunk(self, sim, remaining: int) -> None:
+        count = remaining if remaining < _SPAN_CHUNK else _SPAN_CHUNK
+        stream = sim._stream
+        stream.ensure(count)
+        i0 = stream.ptr
+        pv = stream.pv[i0:i0 + count]
+        qv = stream.qv[i0:i0 + count]
+        stream.ptr = i0 + count
+        k = sim._compiled.size
+        counts = np.asarray(sim._counts, dtype=np.int64)
+        order = np.zeros(k, dtype=np.int64)
+        olen = len(sim._order)
+        order[:olen] = sim._order
+        base = sim.interactions
+        olen, lc = self._span(pv, qv, counts, order, olen,
+                              sim._ktinit, sim._ktresp,
+                              sim._compiled.reactive_mask, k)
+        sim.interactions = base + count
+        if lc >= 0:
+            sim.last_change = base + lc
+            sim._counts = counts.tolist()
+            sim._order = order[:olen].tolist()
+            sim._dirty_counts = True
+            sim._dirty_struct = True
+
+
+class EnsembleSpanKernels:
+    """Adapter: fused lockstep span over the ensemble's count matrix.
+
+    Draws come from ``ens.rng`` in exactly the numpy backend's order and
+    shapes, so the resulting trajectories (and the gap controller's mode
+    decisions) are bit-identical to the numpy backend — stronger than
+    the ensemble's statistical contract requires.
+    """
+
+    needs_typed_tables = False
+
+    def __init__(self, name: str, span):
+        self.name = name
+        self._span = span
+
+    def lockstep_chunk(self, ens, idx: np.ndarray, rounds: int) -> None:
+        A = idx.size
+        ij = np.empty((rounds, 2, A), dtype=np.int64)
+        u1 = ens.rng.integers(0, ens.n, size=(rounds, A))
+        u2 = ens.rng.integers(0, ens.n - 1, size=(rounds, A))
+        ij[:, 0] = u1
+        ij[:, 1] = u2 + (u2 >= u1)
+        c = np.ascontiguousarray(ens.counts[idx])
+        cum = np.cumsum(c, axis=1)
+        track = ens.output_hist is not None
+        hist = (np.ascontiguousarray(ens.output_hist[idx]) if track
+                else np.zeros((A, 1), dtype=np.int64))
+        last_hit = np.zeros(A, dtype=np.int64)
+        last_out_hit = np.zeros(A, dtype=np.int64)
+        hits = self._span(ij, c, cum, hist, track,
+                          ens._tinit2d, ens._tresp2d, ens._react2d,
+                          ens._out_ids, last_hit, last_out_hit)
+        base = ens.interactions[idx]
+        ens.counts[idx] = c
+        ens._cum[idx] = cum
+        ens.interactions[idx] += rounds
+        hit = last_hit > 0
+        ens.last_change[idx[hit]] = base[hit] + last_hit[hit]
+        if track:
+            ens.output_hist[idx] = hist
+            ohit = last_out_hit > 0
+            ens.last_output_change[idx[ohit]] = (base[ohit]
+                                                 + last_out_hit[ohit])
+        if hits:
+            ens._gap = 0.7 * ens._gap + 0.3 * (rounds * A / hits)
+        else:
+            ens._gap = min(ens._gap * 2.0 + 1.0, _GAP_CAP)
+
+
+def make_kernels(family: str, spans, *, name: str):
+    """Adapt one family's span function to its engine interface."""
+    if family == "batched-agent":
+        return AgentSpanKernels(name, spans[family])
+    if family == "batched-multiset":
+        return MultisetSpanKernels(name, spans[family])
+    if family == "ensemble":
+        return EnsembleSpanKernels(name, spans[family])
+    raise ValueError(f"unknown engine family {family!r}")

@@ -30,13 +30,17 @@ any ambiguous word is determined by the parity of accepted draws before
 it, which a short sequential fix-up over only the ambiguous positions
 resolves.
 
-On top of the decoded stream each engine runs an adaptive hybrid stepper:
-while reactive encounters are frequent it steps scalar over compiled
-integer tables (no hashing, no dict lookups); once the mean no-op gap
-grows it switches to vectorized windows — ``searchsorted`` over the count
-cumsum (multiset) or direct state-array gathers (agent) plus a reactive
-mask — paying one numpy round per *reactive* event instead of Python work
-per interaction.  Populations where ``n`` and ``n - 1`` differ in bit
+On top of the decoded stream each engine drives a swappable step kernel
+(see :mod:`repro.sim.backends`; select with ``backend=``).  The default
+``numpy`` backend is an adaptive hybrid stepper: while reactive
+encounters are frequent it steps scalar over compiled integer tables (no
+hashing, no dict lookups); once the mean no-op gap grows it switches to
+vectorized windows — ``searchsorted`` over the count cumsum (multiset)
+or direct state-array gathers (agent) plus a reactive mask — paying one
+numpy round per *reactive* event instead of Python work per interaction.
+The ``numba`` backend JIT-compiles one fused per-interaction loop over
+the same tables and stream, bit-identical by construction; requesting it
+where it cannot run falls back to ``numpy`` with a one-time warning.  Populations where ``n`` and ``n - 1`` differ in bit
 length (``n`` or ``n - 1`` a power of two, or ``n == 2``), ``n > 2**31``,
 or a non-stdlib RNG fall back to a compiled scalar path that calls
 ``rng.randrange`` like the reference engines — still bit-identical, still
@@ -78,6 +82,13 @@ import numpy as np
 
 from repro.core.configuration import AgentConfiguration
 from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.backends import select_kernels
+from repro.sim.backends.numpy_backend import (  # noqa: F401 (back-compat)
+    _GAP_CAP,
+    _GAP_VECTOR_THRESHOLD,
+    _SCALAR_CHUNK,
+    _WINDOW_MAX,
+)
 from repro.sim.compiled import CompiledProtocol, compile_protocol
 from repro.util.multiset import FrozenMultiset
 from repro.util.rng import resolve_rng
@@ -90,14 +101,6 @@ __all__ = [
 
 #: 32-bit words decoded per ``getrandbits`` block.
 _BLOCK_WORDS = 1 << 14
-#: Interactions per scalar burst between controller decisions.
-_SCALAR_CHUNK = 1024
-#: Mean no-op gap above which vectorized windows beat scalar stepping.
-_GAP_VECTOR_THRESHOLD = 24.0
-#: Hard cap on one vectorized window.
-_WINDOW_MAX = 1 << 16
-#: Gap estimates saturate here (treated as "effectively silent").
-_GAP_CAP = 1e9
 
 
 class _PairDrawStream:
@@ -225,6 +228,7 @@ class BatchedMultisetSimulation:
         state_counts: "Mapping[State, int] | None" = None,
         seed: "int | None" = None,
         compiled: "CompiledProtocol | None" = None,
+        backend: "str | None" = None,
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
@@ -269,6 +273,13 @@ class BatchedMultisetSimulation:
         self.last_change = 0
         self.dead = 0  # API parity: this engine never crashes agents
         self._stream = _make_stream(self.rng, self.n)
+        #: Effective kernel backend name (after any fallback) and the
+        #: kernel object the run loop drives.
+        self.backend, self._kernels = select_kernels(
+            backend, "batched-multiset",
+            decodable=self._stream is not None)
+        if getattr(self._kernels, "needs_typed_tables", False):
+            self._ktinit, self._ktresp, _ = compiled.typed_arrays()
         #: EMA of interactions per reactive step (mode controller).
         self._gap = 2.0
         #: Counts changed since the cumsum was built (every reactive step).
@@ -397,13 +408,9 @@ class BatchedMultisetSimulation:
                 self.step()
             return
         target = self.interactions + steps
+        kernels = self._kernels
         while self.interactions < target:
-            remaining = target - self.interactions
-            if self._gap < _GAP_VECTOR_THRESHOLD:
-                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
-                                   else _SCALAR_CHUNK)
-            else:
-                self._vector_round(remaining)
+            kernels.chunk(self, target - self.interactions)
 
     def run_until(self, condition, max_steps: int, check_every: int = 1) -> bool:
         """Run until ``condition(self)`` holds or ``max_steps`` pass.
@@ -423,69 +430,7 @@ class BatchedMultisetSimulation:
                 return True
         return False
 
-    # -- Hybrid internals ------------------------------------------------------
-
-    def _scalar_chunk(self, count: int) -> None:
-        stream = self._stream
-        stream.ensure(count)
-        i0 = stream.ptr
-        p_vals = stream.pv[i0:i0 + count].tolist()
-        q_vals = stream.qv[i0:i0 + count].tolist()
-        stream.ptr = i0 + count
-        counts = self._counts
-        order = self._order
-        pairs = self._compiled.pair_table
-        k = self._compiled.size
-        base = self.interactions
-        idx = 0
-        reactive = 0
-        struct = False
-        for p_val, q_val in zip(p_vals, q_vals):
-            idx += 1
-            acc = 0
-            for pid in order:
-                acc += counts[pid]
-                if p_val < acc:
-                    break
-            if q_val >= acc - 1:  # exclude-shift (see _apply_pair)
-                q_val += 1
-            acc = 0
-            for qid in order:
-                acc += counts[qid]
-                if q_val < acc:
-                    break
-            result = pairs[pid * k + qid]
-            if result is None:
-                continue
-            reactive += 1
-            p2, q2 = result
-            c = counts[pid] - 1
-            counts[pid] = c
-            if not c:
-                order.remove(pid)
-                struct = True
-            c = counts[qid] - 1
-            counts[qid] = c
-            if not c:
-                order.remove(qid)
-                struct = True
-            if not counts[p2]:
-                order.append(p2)
-                struct = True
-            counts[p2] += 1
-            if not counts[q2]:
-                order.append(q2)
-                struct = True
-            counts[q2] += 1
-            self.last_change = base + idx
-        self.interactions = base + idx
-        if reactive:
-            self._dirty_counts = True
-            if struct:
-                self._dirty_struct = True
-            self._gap = 0.6 * self._gap + 0.4 * (idx / reactive)
-        else:
-            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
+    # -- Kernel support --------------------------------------------------------
 
     def _refresh_cum(self) -> None:
         counts = self._counts
@@ -508,56 +453,6 @@ class BatchedMultisetSimulation:
         #: resolved without touching the responder side at all.
         self._row_any = live.any(axis=1)
         self._dirty_struct = False
-
-    def _vector_round(self, remaining: int) -> None:
-        if self._dirty_struct:
-            self._refresh_struct()
-        if self._dirty_counts:
-            self._refresh_cum()
-        gap = self._gap
-        window = int(gap * 6.0) + 8
-        if window > remaining:
-            window = remaining
-        if window > _WINDOW_MAX:
-            window = _WINDOW_MAX
-        stream = self._stream
-        stream.ensure(window)
-        i0 = stream.ptr
-        pv = stream.pv[i0:i0 + window]
-        cum = self._cum
-        ppos = cum.searchsorted(pv, side="right")
-        candidates = self._row_any[ppos].nonzero()[0]
-        if candidates.size == 0:
-            stream.ptr = i0 + window
-            self.interactions += window
-            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
-            return
-        # Responder draw over n - 1 with the initiator's state excluded:
-        # shifting the draw past the excluded unit re-aligns it with the
-        # unadjusted cumsum (the vectorized form of the reference scan).
-        # Only candidate positions can be reactive, so only they need the
-        # responder side resolved.
-        qv = stream.qv[i0:i0 + window][candidates]
-        ppos_c = ppos[candidates]
-        shifted = qv + (qv >= self._cum_m1[ppos_c])
-        qpos_c = cum.searchsorted(shifted, side="right")
-        hit = self._react_live[ppos_c, qpos_c]
-        m = int(hit.argmax())
-        if not hit[m]:
-            stream.ptr = i0 + window
-            self.interactions += window
-            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
-            return
-        j0 = int(candidates[m])
-        stream.ptr = i0 + j0 + 1
-        self.interactions += j0 + 1
-        order = self._order
-        pid = order[int(ppos_c[m])]
-        qid = order[int(qpos_c[m])]
-        result = self._compiled.pair_table[pid * self._compiled.size + qid]
-        self._apply_transition(pid, qid, result)
-        self.last_change = self.interactions
-        self._gap = 0.75 * gap + 0.25 * (j0 + 1)
 
 
 class BatchedSimulation:
@@ -584,6 +479,7 @@ class BatchedSimulation:
         compiled: "CompiledProtocol | None" = None,
         faults=None,
         monitors=(),
+        backend: "str | None" = None,
     ):
         self.protocol = protocol
         if (inputs is None) == (states is None):
@@ -650,6 +546,25 @@ class BatchedSimulation:
             self._dead = k
             faults.bind(self)
         self._stream = _make_stream(self.rng, n)
+        #: Effective kernel backend name (after any fallback) and the
+        #: kernel object the run loops drive.
+        self.backend, self._kernels = select_kernels(
+            backend, "batched-agent", decodable=self._stream is not None)
+        if getattr(self._kernels, "needs_typed_tables", False):
+            tinit, tresp, out_arr = compiled.typed_arrays()
+            self._kout_ids = out_arr
+            if faults is None:
+                self._ktinit, self._ktresp = tinit, tresp
+            else:
+                # Mirror the pair-table augmentation for the typed
+                # tables: one extra dead row/column, never read because
+                # the augmented reactive mask is False there.
+                ka = self._k
+                tinit_aug = np.zeros(ka * ka, dtype=np.int64)
+                tresp_aug = np.zeros(ka * ka, dtype=np.int64)
+                tinit_aug.reshape(ka, ka)[:k, :k] = tinit.reshape(k, k)
+                tresp_aug.reshape(ka, ka)[:k, :k] = tresp.reshape(k, k)
+                self._ktinit, self._ktresp = tinit_aug, tresp_aug
         self._gap = 2.0
         #: Attached runtime monitors (see :meth:`attach_monitor`).
         self.monitors: list = []
@@ -1011,13 +926,9 @@ class BatchedSimulation:
                 self._step_plain()
             return
         target = self.interactions + steps
+        kernels = self._kernels
         while self.interactions < target:
-            remaining = target - self.interactions
-            if self._gap < _GAP_VECTOR_THRESHOLD:
-                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
-                                   else _SCALAR_CHUNK)
-            else:
-                self._vector_round(remaining)
+            kernels.chunk(self, target - self.interactions)
 
     def _run_chaos(self, steps: int) -> None:
         """The fault/monitor-aware run loop.
@@ -1055,13 +966,9 @@ class BatchedSimulation:
                 for monitor in monitors:
                     monitor.after_step(self, changed)
             return
+        kernels = self._kernels
         while self.interactions < target:
-            remaining = target - self.interactions
-            if self._gap < _GAP_VECTOR_THRESHOLD:
-                self._scalar_chunk(remaining if remaining < _SCALAR_CHUNK
-                                   else _SCALAR_CHUNK)
-            else:
-                self._vector_round(remaining)
+            kernels.chunk(self, target - self.interactions)
             if self.monitors:
                 self._check_invariants()
 
@@ -1115,78 +1022,6 @@ class BatchedSimulation:
                 return True
         return False
 
-    # -- Hybrid internals ------------------------------------------------------
-
-    def _scalar_chunk(self, count: int) -> None:
-        stream = self._stream
-        stream.ensure(count)
-        i0 = stream.ptr
-        p_vals = stream.pv[i0:i0 + count].tolist()
-        q_vals = stream.qv[i0:i0 + count].tolist()
-        stream.ptr = i0 + count
-        ids = self._ids
-        pairs = self._pairs
-        k = self._k
-        base = self.interactions
-        idx = 0
-        reactive = 0
-        for initiator, responder in zip(p_vals, q_vals):
-            idx += 1
-            if responder >= initiator:
-                responder += 1
-            result = pairs[ids[initiator] * k + ids[responder]]
-            if result is None:
-                continue
-            reactive += 1
-            self.interactions = base + idx
-            self._apply_transition(initiator, responder, result)
-        self.interactions = base + idx
-        if reactive:
-            self._gap = 0.6 * self._gap + 0.4 * (idx / reactive)
-        else:
-            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
-
-    def _vector_round(self, remaining: int) -> None:
-        gap = self._gap
-        window = int(gap * 6.0) + 8
-        if window > remaining:
-            window = remaining
-        if window > _WINDOW_MAX:
-            window = _WINDOW_MAX
-        stream = self._stream
-        stream.ensure(window)
-        i0 = stream.ptr
-        pv = stream.pv[i0:i0 + window]
-        sarr = self._sarr
-        sp = sarr[pv]
-        # Initiator states with no reactive partner at all can never be
-        # the reactive event; windows of only those skip the responder
-        # side entirely.
-        candidates = np.flatnonzero(self._row_any[sp])
-        if candidates.size == 0:
-            stream.ptr = i0 + window
-            self.interactions += window
-            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
-            return
-        pv_c = pv[candidates]
-        qv_c = stream.qv[i0:i0 + window][candidates]
-        resp_c = qv_c + (qv_c >= pv_c)
-        sp_c = sp[candidates]
-        sq_c = sarr[resp_c]
-        hit = self._react_flat[sp_c * self._k + sq_c]
-        m = int(hit.argmax())
-        if not hit[m]:
-            stream.ptr = i0 + window
-            self.interactions += window
-            self._gap = min(gap * 2.0 + 1.0, _GAP_CAP)
-            return
-        j0 = int(candidates[m])
-        stream.ptr = i0 + j0 + 1
-        self.interactions += j0 + 1
-        result = self._pairs[int(sp_c[m]) * self._k + int(sq_c[m])]
-        self._apply_transition(int(pv_c[m]), int(resp_c[m]), result)
-        self._gap = 0.75 * gap + 0.25 * (j0 + 1)
-
 
 def batched_simulate_counts(
     protocol: PopulationProtocol,
@@ -1196,6 +1031,7 @@ def batched_simulate_counts(
     compiled: "CompiledProtocol | None" = None,
     faults=None,
     monitors=(),
+    backend: "str | None" = None,
 ) -> BatchedSimulation:
     """Build a :class:`BatchedSimulation` from symbol counts.
 
@@ -1210,4 +1046,5 @@ def batched_simulate_counts(
             raise ValueError("counts must be non-negative")
         inputs.extend([symbol] * count)
     return BatchedSimulation(protocol, inputs, seed=seed, compiled=compiled,
-                             faults=faults, monitors=monitors)
+                             faults=faults, monitors=monitors,
+                             backend=backend)

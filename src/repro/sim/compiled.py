@@ -46,7 +46,8 @@ class CompiledProtocol:
     __slots__ = (
         "protocol", "states", "index", "size",
         "delta_init", "delta_resp", "pair_table", "reactive_mask",
-        "output_symbols", "output_ids", "initial_ids", "__weakref__",
+        "output_symbols", "output_ids", "initial_ids", "_typed",
+        "__weakref__",
     )
 
     def __init__(self, protocol: PopulationProtocol,
@@ -102,8 +103,26 @@ class CompiledProtocol:
         self.initial_ids = {
             symbol: index[protocol.initial_state(symbol)]
             for symbol in protocol.input_alphabet}
+        #: Lazily built typed-array export (see :meth:`typed_arrays`).
+        self._typed: "tuple | None" = None
 
     # -- Lookups ---------------------------------------------------------------
+
+    def typed_arrays(self) -> tuple:
+        """The flat tables as cached contiguous ``int64`` arrays.
+
+        Returns ``(delta_init, delta_resp, output_ids)`` ready for
+        dtype-strict consumers — the array-based engines and the
+        nopython kernel backends, which cannot walk the Python lists.
+        Built once per compilation and shared (callers must not mutate).
+        """
+        cached = self._typed
+        if cached is None:
+            cached = (np.ascontiguousarray(self.delta_init, dtype=np.int64),
+                      np.ascontiguousarray(self.delta_resp, dtype=np.int64),
+                      np.ascontiguousarray(self.output_ids, dtype=np.int64))
+            self._typed = cached
+        return cached
 
     def state_id(self, state: State) -> int:
         """Dense id of ``state``; raises ``KeyError`` for unknown states."""

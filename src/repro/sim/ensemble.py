@@ -94,6 +94,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.protocol import PopulationProtocol, State, Symbol
+from repro.sim.backends import select_kernels
 from repro.sim.compiled import CompiledProtocol, compile_protocol
 from repro.sim.convergence import ConvergenceResult
 from repro.util.multiset import FrozenMultiset
@@ -260,6 +261,13 @@ class EnsembleMultisetSimulation:
     ``monitors``
         Runtime invariant monitors to attach (conservation/containment;
         see :meth:`attach_monitor`).
+    ``backend``
+        Step-kernel backend name (see :mod:`repro.sim.backends`).
+        ``None`` selects the default ``numpy`` lockstep kernel; the
+        ``numba``/``python`` span kernels replay the same draw order and
+        arithmetic, so they stay count-identical to numpy (stronger than
+        the KS statistical contract requires).  Unavailable requests
+        fall back to numpy with a one-time warning.
     """
 
     def __init__(
@@ -276,6 +284,7 @@ class EnsembleMultisetSimulation:
         faults: "EnsembleFaults | None" = None,
         fault_seeds: "Sequence[int] | None" = None,
         monitors=(),
+        backend: "str | None" = None,
     ):
         self.protocol = protocol
         if (input_counts is None) == (state_counts is None):
@@ -335,13 +344,15 @@ class EnsembleMultisetSimulation:
 
         # Compiled tables as numpy arrays (flat [p*k + q] indexing, plus
         # (k, k) views for two-index gathers in the hot loops).
-        self._tinit = np.asarray(compiled.delta_init, dtype=np.int64)
-        self._tresp = np.asarray(compiled.delta_resp, dtype=np.int64)
+        self._tinit, self._tresp, self._out_ids = compiled.typed_arrays()
         self._reactive = compiled.reactive_mask
         self._tinit2d = self._tinit.reshape(k, k)
         self._tresp2d = self._tresp.reshape(k, k)
         self._react2d = compiled.reactive_mask.reshape(k, k)
-        self._out_ids = np.asarray(compiled.output_ids, dtype=np.int64)
+        #: Effective kernel backend name and the lockstep kernel object
+        #: (requesting an unavailable backend falls back to numpy with a
+        #: one-time warning; see repro.sim.backends).
+        self.backend, self._kernels = select_kernels(backend, "ensemble")
         if track_outputs:
             m = len(compiled.output_symbols)
             onehot = np.zeros((k, m), dtype=np.int64)
@@ -597,8 +608,8 @@ class EnsembleMultisetSimulation:
 
         An adaptive controller picks between two vectorized advancement
         modes on the running no-op-gap estimate: reactive-dense regimes
-        step one interaction per numpy round in lockstep
-        (:meth:`_lockstep_chunk`), sparse regimes scan no-op windows and
+        step one interaction per round in lockstep (the backend's
+        ``lockstep_chunk`` kernel), sparse regimes scan no-op windows and
         jump to each trial's first reactive event
         (:meth:`_advance_once`).  While attached faults can still fire,
         the fault-aware lockstep mode (:meth:`_faulted_chunk`) overrides
@@ -617,8 +628,8 @@ class EnsembleMultisetSimulation:
                 self._faulted_chunk(
                     idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
             elif self._gap < _GAP_LOCKSTEP:
-                self._lockstep_chunk(
-                    idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
+                self._kernels.lockstep_chunk(
+                    self, idx, min(int(caps.min()), _LOCKSTEP_CHUNK))
             else:
                 self._advance_once(idx, caps)
             if self.monitors:
@@ -658,7 +669,9 @@ class EnsembleMultisetSimulation:
     def _faulted_chunk(self, idx: np.ndarray, rounds: int) -> None:
         """``rounds`` lockstep rounds with per-round fault sampling.
 
-        The faulted twin of :meth:`_lockstep_chunk`.  Each round mirrors
+        The faulted twin of the fault-free lockstep kernel
+        (:func:`repro.sim.backends.numpy_backend.ensemble_lockstep_chunk`);
+        it always runs here, backend-independent.  Each round mirrors
         the scalar engines' faulted step order exactly: step-boundary
         faults first (crash / corruption), then the scheduled pair —
         drawn over all ``n`` sensors, dead ones included, so the global
@@ -795,85 +808,6 @@ class EnsembleMultisetSimulation:
             self.output_hist[idx] = hist
             so = lo_off >= 0
             self.last_output_change[idx[so]] = base[so] + lo_off[so]
-
-    def _lockstep_chunk(self, idx: np.ndarray, rounds: int) -> None:
-        """``rounds`` lockstep rounds: every trial in ``idx`` advances
-        exactly one interaction per round, transitions applied at once.
-
-        The reactive-dense fast path.  When the mean no-op gap is small,
-        first-hit windows apply only ~one transition per numpy round
-        anyway while paying the full (W, A, k) broadcast; here the engine
-        pays a short fixed sequence of O(A*k) operations per interaction
-        instead.  No-op pairs go through the same scatter arithmetic —
-        their compiled transitions are identities, so the updates cancel
-        exactly — which keeps the inner loop branch-free.
-        """
-        A = idx.size
-        # Agent-index draws are count-independent: the whole chunk's
-        # (initiator, responder) index pairs are drawn and shifted up
-        # front, leaving only the bin search and the apply per round.
-        ij = np.empty((rounds, 2, A), dtype=np.int64)
-        u1 = self.rng.integers(0, self.n, size=(rounds, A))
-        u2 = self.rng.integers(0, self.n - 1, size=(rounds, A))
-        ij[:, 0] = u1
-        ij[:, 1] = u2 + (u2 >= u1)
-        c = np.ascontiguousarray(self.counts[idx])
-        cum = np.cumsum(c, axis=1)
-        ar = np.arange(A)
-        react2d = self._react2d
-        tinit2d = self._tinit2d
-        tresp2d = self._tresp2d
-        last_hit = np.zeros(A, dtype=np.int64)
-        last_out_hit = np.zeros(A, dtype=np.int64)
-        track = self.output_hist is not None
-        if track:
-            hist = np.ascontiguousarray(self.output_hist[idx])
-            out = self._out_ids
-        hits = 0
-        for r in range(rounds):
-            b = (ij[r][:, :, None] >= cum[None]).sum(axis=2)
-            p, q = b
-            re = react2d[p, q]
-            nre = int(re.sum())
-            if nre == 0:
-                # A fully no-op round leaves every row untouched.
-                continue
-            hits += nre
-            p2 = tinit2d[p, q]
-            q2 = tresp2d[p, q]
-            # Unconditional apply: rows are distinct within each scatter
-            # and no-op transitions are identities, so this is exact.
-            c[ar, p] -= 1
-            c[ar, q] -= 1
-            c[ar, p2] += 1
-            c[ar, q2] += 1
-            np.cumsum(c, axis=1, out=cum)
-            last_hit[re] = r + 1
-            if track:
-                op, oq = out[p], out[q]
-                op2, oq2 = out[p2], out[q2]
-                hist[ar, op] -= 1
-                hist[ar, oq] -= 1
-                hist[ar, op2] += 1
-                hist[ar, oq2] += 1
-                changed = ~(((op == op2) & (oq == oq2))
-                            | ((op == oq2) & (oq == op2)))
-                last_out_hit[changed] = r + 1
-        base = self.interactions[idx]
-        self.counts[idx] = c
-        self._cum[idx] = cum
-        self.interactions[idx] += rounds
-        hit = last_hit > 0
-        self.last_change[idx[hit]] = base[hit] + last_hit[hit]
-        if track:
-            self.output_hist[idx] = hist
-            ohit = last_out_hit > 0
-            self.last_output_change[idx[ohit]] = (base[ohit]
-                                                  + last_out_hit[ohit])
-        if hits:
-            self._gap = 0.7 * self._gap + 0.3 * (rounds * A / hits)
-        else:
-            self._gap = min(self._gap * 2.0 + 1.0, _GAP_CAP)
 
     def _advance_once(self, idx: np.ndarray, caps: np.ndarray) -> None:
         """One windowed round: each trial in ``idx`` advances by at most

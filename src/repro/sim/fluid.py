@@ -176,8 +176,9 @@ class MeanFieldODE:
         self.pairs_q = (flat % k).astype(np.int64)
         R = flat.size
         self.reactive_pairs = R
-        p2 = np.asarray(compiled.delta_init, dtype=np.int64)[flat]
-        q2 = np.asarray(compiled.delta_resp, dtype=np.int64)[flat]
+        tinit, tresp, _ = compiled.typed_arrays()
+        p2 = tinit[flat]
+        q2 = tresp[flat]
         delta = np.zeros((R, self.size), dtype=np.float64)
         rows = np.arange(R)
         np.add.at(delta, (rows, self.pairs_p), -1.0)

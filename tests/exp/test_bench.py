@@ -44,6 +44,9 @@ class TestGrids:
             assert row["seconds"] > 0
             assert row["unit"] in ("interactions", "reactive-steps",
                                    "interactions-equiv")
+            # Provenance: every row records the kernel backend it
+            # actually ran on (the default here — nothing requested).
+            assert row["backend"] == "numpy"
         # Every workload-local engine pair got a speedup entry (the
         # standalone fluid workload has no discrete twin at n = 1e9, so
         # it contributes a row but no ratio).
@@ -54,6 +57,17 @@ class TestGrids:
         assert len(speedups) == expected
         assert all(s["speedup"] > 0 for s in speedups)
         assert format_rows(rows).count("\n") == len(rows)
+
+    def test_smoke_run_with_explicit_backend_records_it(self):
+        # --backend python only applies to the engines that have a
+        # kernel seam; scalar reference engines stay numpy rows.
+        rows = run_kernel_benchmarks(smoke=True, repeats=1,
+                                     backend="python")
+        backends_seen = {r["engine"]: r["backend"] for r in rows}
+        assert backends_seen["batched-multiset"] == "python"
+        assert backends_seen["ensemble-multiset"] == "python"
+        assert backends_seen["multiset"] == "numpy"
+        assert "backend" in format_rows(rows).splitlines()[0]
 
     def test_smoke_grid_covers_the_fluid_engine(self):
         # The n = 1e9 fluid row is a committed-baseline acceptance
@@ -107,6 +121,27 @@ class TestBaselineGate:
         baseline = [_row(ips=1000.0)]
         new_workload = [_row(n=999, ips=1.0)]
         assert compare_to_baseline(new_workload, baseline) == []
+
+    def test_gate_is_backend_keyed(self):
+        # A slow python-backend run must not trip a numpy baseline (and
+        # vice versa) — only like-for-like rows are compared.
+        baseline = [_row(ips=1000.0)]
+        python_rows = [dict(_row(ips=1.0), backend="python")]
+        assert compare_to_baseline(python_rows, baseline) == []
+        python_baseline = [dict(_row(ips=1000.0), backend="python")]
+        bad = compare_to_baseline([dict(_row(ips=100.0), backend="python")],
+                                  python_baseline, max_regression=3.0)
+        assert len(bad) == 1
+        assert bad[0]["backend"] == "python"
+
+    def test_legacy_baseline_rows_read_as_numpy(self):
+        # Baselines committed before the backend field existed gate the
+        # default backend exactly as before.
+        legacy_baseline = [_row(ips=1000.0)]
+        numpy_rows = [dict(_row(ips=100.0), backend="numpy")]
+        bad = compare_to_baseline(numpy_rows, legacy_baseline,
+                                  max_regression=3.0)
+        assert len(bad) == 1
 
     def test_speedups_never_fail_the_gate(self):
         baseline = [_row(ips=1000.0)]

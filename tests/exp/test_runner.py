@@ -363,6 +363,55 @@ class TestBatchedEngine:
         assert serial.records == parallel.records
 
 
+class TestBackendProvenance:
+    def test_python_backend_records_identical_plus_backend_key(self):
+        # The kernel-backend contract surfacing at the experiment
+        # layer: bit-identical records, plus the provenance key.
+        base = make_spec(protocol="majority", ns=(60,), trials=2,
+                         inputs=InputGrid(kind="ones", ones=20),
+                         engine="batched")
+        alt = make_spec(protocol="majority", ns=(60,), trials=2,
+                        inputs=InputGrid(kind="ones", ones=20),
+                        engine="batched", backend="python")
+        forced_hash = base.content_hash()
+        for point in sweep_points(base):
+            for trial in range(base.trials):
+                a = run_trial(base, point, trial, spec_hash=forced_hash)
+                b = run_trial(alt, point, trial, spec_hash=forced_hash)
+                assert b.pop("backend") == "python"
+                assert a == b
+                assert "backend" not in a
+
+    def test_ensemble_records_carry_backend(self):
+        spec = make_spec(ns=(8,), trials=2, engine="ensemble",
+                         backend="python")
+        result = run_experiment(spec)
+        assert all(r["backend"] == "python" for r in result.records)
+        default = run_experiment(make_spec(ns=(8,), trials=2,
+                                           engine="ensemble"))
+        assert all("backend" not in r for r in default.records)
+
+    def test_fallback_records_stay_unmarked(self):
+        # An unavailable backend falls back to numpy; the record then
+        # reports what actually ran (nothing — numpy is the default),
+        # not what was requested.
+        import warnings
+
+        from repro.sim.backends import (available_backends,
+                                        reset_backend_warnings)
+
+        if "numba" in available_backends():
+            pytest.skip("numba is installed here")
+        spec = make_spec(ns=(8,), trials=1, engine="batched",
+                         backend="numba")
+        reset_backend_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            record = run_trial(spec, SweepPoint(8), 0)
+        assert "backend" not in record
+        reset_backend_warnings()
+
+
 class TestEnsembleEngine:
     def test_run_experiment_executes_all_trials(self):
         spec = make_spec(protocol="leader-election", ns=(24,), trials=4,

@@ -228,6 +228,44 @@ class TestEngineField:
             make_spec(engine="batched",
                       schedulers=("uniform", "stalling")).validate()
 
+
+class TestBackendField:
+    def test_defaults_to_numpy_and_stays_out_of_the_hash(self):
+        spec = make_spec()
+        assert spec.backend == "numpy"
+        # Hash preservation: specs written before kernel backends
+        # existed must keep their exact content hash, so the default
+        # never serializes.
+        assert "backend" not in spec.to_dict()
+        assert (make_spec(backend="numpy").content_hash()
+                == spec.content_hash())
+
+    def test_non_default_round_trips_and_changes_the_hash(self):
+        spec = make_spec(engine="batched", backend="python")
+        data = spec.to_dict()
+        assert data["backend"] == "python"
+        again = ExperimentSpec.from_dict(data)
+        assert again.backend == "python"
+        assert again.content_hash() == spec.content_hash()
+        assert (spec.content_hash()
+                != make_spec(engine="batched").content_hash())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            make_spec(engine="batched", backend="cuda").validate()
+
+    def test_backend_requires_a_backend_capable_engine(self):
+        with pytest.raises(ValueError, match="has no step-kernel backends"):
+            make_spec(engine="agent", backend="python").validate()
+        for engine in ("batched", "ensemble"):
+            make_spec(engine=engine, backend="python").validate()
+
+    def test_numba_request_validates_even_when_uninstalled(self):
+        # Validation checks the name against the registry, not the
+        # probe: a spec authored on a numba machine must load and
+        # validate anywhere (the engine falls back at run time).
+        make_spec(engine="batched", backend="numba").validate()
+
     def test_batched_uniform_fault_free_passes(self):
         make_spec(engine="batched").validate()
 

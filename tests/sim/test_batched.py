@@ -93,27 +93,32 @@ def _assert_faulted_agent_state_equal(fast, ref):
 class TestMultisetFingerprint:
     @pytest.mark.parametrize("name,params,counts", MULTISET_CASES,
                              ids=[c[0] for c in MULTISET_CASES])
-    def test_trajectory_identical(self, name, params, counts, seed):
+    def test_trajectory_identical(self, name, params, counts, seed,
+                                  kernel_backend):
         protocol = _build(name, params)
         ref = MultisetSimulation(protocol, counts, seed=seed)
-        fast = BatchedMultisetSimulation(protocol, counts, seed=seed)
+        fast = BatchedMultisetSimulation(protocol, counts, seed=seed,
+                                         backend=kernel_backend)
+        assert fast.backend == kernel_backend
         for chunk in CHUNKS:
             ref.run(chunk)
             fast.run(chunk)
             _assert_multiset_state_equal(fast, ref)
 
-    def test_single_steps_identical(self, seed):
+    def test_single_steps_identical(self, seed, kernel_backend):
         protocol = _build("majority", {})
         ref = MultisetSimulation(protocol, {1: 40, 0: 61}, seed=seed)
-        fast = BatchedMultisetSimulation(protocol, {1: 40, 0: 61}, seed=seed)
+        fast = BatchedMultisetSimulation(protocol, {1: 40, 0: 61}, seed=seed,
+                                         backend=kernel_backend)
         for _ in range(600):
             assert fast.step() == ref.step()
             assert list(fast.counts.items()) == list(ref.counts.items())
 
-    def test_run_until_identical(self, seed):
+    def test_run_until_identical(self, seed, kernel_backend):
         protocol = _build("leader-election", {})
         ref = MultisetSimulation(protocol, {1: 601}, seed=seed)
-        fast = BatchedMultisetSimulation(protocol, {1: 601}, seed=seed)
+        fast = BatchedMultisetSimulation(protocol, {1: 601}, seed=seed,
+                                         backend=kernel_backend)
         condition = (lambda s: len(s.counts) == 2
                      and min(s.counts.values()) <= 3)
         assert (fast.run_until(condition, max_steps=500_000, check_every=64)
@@ -169,10 +174,13 @@ class TestMultisetFingerprint:
 class TestAgentFingerprint:
     @pytest.mark.parametrize("name,params,counts", AGENT_CASES,
                              ids=[c[0] for c in AGENT_CASES])
-    def test_trajectory_identical(self, name, params, counts, seed):
+    def test_trajectory_identical(self, name, params, counts, seed,
+                                  kernel_backend):
         protocol = _build(name, params)
         ref = simulate_counts(protocol, counts, seed=seed)
-        fast = batched_simulate_counts(protocol, counts, seed=seed)
+        fast = batched_simulate_counts(protocol, counts, seed=seed,
+                                       backend=kernel_backend)
+        assert fast.backend == kernel_backend
         for chunk in CHUNKS:
             ref.run(chunk)
             fast.run(chunk)
@@ -299,13 +307,15 @@ class TestFaultedAgentFingerprint:
 
     @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS),
                              ids=sorted(FAULT_PLANS))
-    def test_every_fault_family(self, plan_name, seed):
+    def test_every_fault_family(self, plan_name, seed, kernel_backend):
         make_plan = FAULT_PLANS[plan_name]
         protocol = _build("leader-election", {})
         ref = simulate_counts(protocol, {1: 300}, seed=seed,
                               faults=make_plan())
         fast = batched_simulate_counts(protocol, {1: 300}, seed=seed,
-                                       faults=make_plan())
+                                       faults=make_plan(),
+                                       backend=kernel_backend)
+        assert fast.backend == kernel_backend
         for chunk in CHUNKS:
             ref.run(chunk)
             fast.run(chunk)

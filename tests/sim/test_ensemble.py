@@ -250,12 +250,14 @@ class TestOutputTracking:
 
 
 class TestScalarReplay:
-    def test_twin_reaches_same_verdict(self, seed):
+    def test_twin_reaches_same_verdict(self, seed, kernel_backend):
         # The replay contract: an ensemble trial's seed, fed back through
         # the scalar MultisetSimulation, reproduces the trial's verdict
         # (statistically equivalent trajectory, same stopped/output).
         ens = EnsembleMultisetSimulation(CountToK(3), {1: 5, 0: 11},
-                                         trials=8, seed=seed)
+                                         trials=8, seed=seed,
+                                         backend=kernel_backend)
+        assert ens.backend == kernel_backend
         results = run_ensemble_until_silent(ens, max_steps=500_000)
         for t in (0, 3, 7):
             twin = ens.scalar_twin(t)
@@ -301,26 +303,28 @@ class TestStatisticalEquivalence:
             times.append(result.converged_at)
         return times
 
-    def _ensemble_times(self, protocol_factory, counts, seeds, max_steps):
+    def _ensemble_times(self, protocol_factory, counts, seeds, max_steps,
+                        backend=None):
         ens = EnsembleMultisetSimulation(protocol_factory(), counts,
-                                         trials=len(seeds), seeds=seeds)
+                                         trials=len(seeds), seeds=seeds,
+                                         backend=backend)
         results = run_ensemble_until_silent(ens, max_steps=max_steps)
         assert all(r.stopped for r in results)
         return [r.converged_at for r in results]
 
-    def test_leader_election_hitting_times(self):
+    def test_leader_election_hitting_times(self, kernel_backend):
         from scipy.stats import ks_2samp
 
         n, trials, budget = 48, 128, 1_000_000
         fast = self._ensemble_times(LeaderElection, {1: n},
                                     list(range(1_000, 1_000 + trials)),
-                                    budget)
+                                    budget, backend=kernel_backend)
         slow = self._scalar_times(LeaderElection, {1: n},
                                   list(range(2_000, 2_000 + trials)),
                                   budget)
         assert ks_2samp(fast, slow).pvalue > 1e-3
 
-    def test_threshold_predicate_times(self):
+    def test_threshold_predicate_times(self, kernel_backend):
         from scipy.stats import ks_2samp
 
         # CountToK(3) is the Sect. 4 threshold predicate "x_1 >= 3".
@@ -328,7 +332,7 @@ class TestStatisticalEquivalence:
         trials, budget = 96, 1_000_000
         fast = self._ensemble_times(lambda: CountToK(3), counts,
                                     list(range(3_000, 3_000 + trials)),
-                                    budget)
+                                    budget, backend=kernel_backend)
         slow = self._scalar_times(lambda: CountToK(3), counts,
                                   list(range(4_000, 4_000 + trials)),
                                   budget)

@@ -476,3 +476,75 @@ class TestExpEngineFlag:
         assert code == 1
         err = capsys.readouterr().err
         assert "batched" in err and "fairness" in err
+
+
+class TestBackendFlag:
+    def test_exp_run_with_python_backend(self, capsys):
+        import json
+
+        code = main(["exp", "run", "--protocol", "leader-election",
+                     "--ns", "20", "--trials", "2", "--stop", "silent",
+                     "--engine", "batched", "--backend", "python",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["backend"] == "python"
+        assert payload["executed"] == 2
+
+    def test_default_spec_carries_no_backend_field(self, capsys):
+        import json
+
+        code = main(["exp", "run", "--protocol", "leader-election",
+                     "--ns", "20", "--trials", "2", "--stop", "silent",
+                     "--engine", "batched", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Hash preservation: the defaulted backend stays out of the
+        # serialized spec, so pre-backend spec hashes are unchanged.
+        assert "backend" not in payload["spec"]
+
+    def test_backend_requires_backend_capable_engine(self, capsys):
+        code = main(["exp", "run", "--protocol", "leader-election",
+                     "--ns", "20", "--trials", "1",
+                     "--backend", "python", "--json"])
+        assert code == 1
+        assert "step-kernel backends" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_parser(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["exp", "run", "--protocol", "epidemic",
+                               "--ns", "20", "--backend", "cuda"])
+
+    def test_chaos_run_accepts_backend(self, capsys):
+        code = main(["chaos", "run", "--protocol", "leader-election",
+                     "--ns", "20", "--trials", "1",
+                     "--engine", "batched", "--backend", "python",
+                     "--fault", "crash-rate", "--intensities", "0.1",
+                     "--confirm", "0", "--json"])
+        assert code == 0
+
+
+class TestDoctorCommand:
+    def test_reports_versions_and_backends(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "versions:" in out
+        assert "numpy" in out and "python" in out and "numba" in out
+        assert "kernel backends" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["doctor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["default_backend"] == "numpy"
+        assert payload["versions"]["numpy"]
+        by_name = {b["name"]: b for b in payload["backends"]}
+        assert by_name["numpy"]["available"]
+        assert by_name["python"]["available"]
+        if payload["versions"]["numba"] is None:
+            assert not by_name["numba"]["available"]
+            assert "numba is not importable" in by_name["numba"]["reason"]
+        else:
+            assert by_name["numba"]["available"]

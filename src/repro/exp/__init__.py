@@ -14,6 +14,10 @@ them as data instead of bespoke loops:
 * :mod:`repro.exp.supervise` — the supervised worker pool: per-trial
   timeouts, retry with backoff, crashed-worker respawn, and poison-trial
   quarantine (enabled by a non-default :class:`ExecutionPolicy`);
+* :mod:`repro.exp.fleet` — the persistent warm worker fleet: cross-sweep
+  process reuse, install-once spec broadcast, shared-memory result
+  transport, and content-addressed trial memoization
+  (``exp run --fleet`` / ``--keep-warm``);
 * :mod:`repro.exp.report` — per-point aggregates, scaling tables with
   log-log exponent fits, CSV export, failure summaries;
 * :mod:`repro.exp.bench` — engine kernel benchmarks and the
@@ -26,10 +30,17 @@ Exposed on the command line as ``python -m repro exp run`` /
 from repro.exp.bench import (
     compare_to_baseline,
     load_bench_file,
+    run_fleet_benchmarks,
     run_kernel_benchmarks,
     run_supervision_benchmark,
     speedup_summary,
     write_bench_file,
+)
+from repro.exp.fleet import (
+    WorkerFleet,
+    fleet_report,
+    get_fleet,
+    shutdown_fleet,
 )
 from repro.exp.report import (
     PointAggregate,
@@ -94,8 +105,13 @@ __all__ = [
     "failure_summary",
     "trials_csv",
     "summary_csv",
+    "WorkerFleet",
+    "get_fleet",
+    "shutdown_fleet",
+    "fleet_report",
     "run_kernel_benchmarks",
     "run_supervision_benchmark",
+    "run_fleet_benchmarks",
     "speedup_summary",
     "write_bench_file",
     "load_bench_file",

@@ -62,6 +62,13 @@ BENCH_SEED = 20040725
 
 #: Engines timed per workload; reference first, fast path second, so a
 #: grid row's speedup reads fast/reference.
+#: Cold-vs-warm sweep pairs produced by :func:`run_fleet_benchmarks`,
+#: not by the kernel grids.
+FLEET_PAIRS = (
+    ("sweep-cold-pool", "sweep-warm-fleet"),
+    ("sweep-startup-cold", "sweep-startup-warm"),
+)
+
 ENGINE_PAIRS = (
     ("multiset", "batched-multiset"),
     ("agent", "batched-agent"),
@@ -69,7 +76,7 @@ ENGINE_PAIRS = (
     ("multiset", "ensemble-multiset"),
     ("batched-agent", "batched-agent-faulted"),
     ("ensemble-multiset", "ensemble-multiset-faulted"),
-)
+) + FLEET_PAIRS
 
 #: (fault-free, faulted) twins whose relative slowdown the bench gate
 #: bounds (``repro bench --max-fault-overhead``, default 1.10).  Only
@@ -449,6 +456,123 @@ def run_supervision_benchmark(*, smoke: bool = False, seed: int = BENCH_SEED,
         "trial_s": round(trial_s, 6),
         "overhead": round(1.0 + per_task_s / trial_s, 4),
     }
+
+
+def run_fleet_benchmarks(*, smoke: bool = False, seed: int = BENCH_SEED,
+                         repeats: int = 2, backend: "str | None" = None,
+                         workers: int = 2, progress=None) -> list[dict]:
+    """Cold-start pool vs persistent warm fleet, as baseline rows.
+
+    Two workloads, each timed both ways:
+
+    * a many-point small-trial sweep (``sweep-cold-pool`` vs
+      ``sweep-warm-fleet``, unit ``trials``) — the shape where per-sweep
+      fixed costs (process spawn, spec parse, kernel construction)
+      rival the actual simulation work;
+    * a minimal back-to-back sweep (``sweep-startup-cold`` vs
+      ``sweep-startup-warm``, unit ``sweeps``) — pure sweep startup
+      latency, the number the ``--fleet``/``--keep-warm`` flags exist
+      to shrink.
+
+    The cold rows pay the legacy pool path end to end, fresh processes
+    every repeat.  The warm rows reuse one :class:`WorkerFleet` whose
+    spawn + install + warm-up sweep happen before timing starts (the
+    standard discarded warm-up repeat).  Every repeat — cold and warm —
+    runs a spec with a distinct base seed, so the fleet's
+    content-addressed trial memo can never serve a timed repeat from
+    cache: the rows measure warm *processes*, not memoized results.
+    Best-of-``repeats`` like every other row; timing noise is
+    one-sided.
+
+    Unlike the kernel grid, the workload shape is identical in smoke
+    and full runs (``smoke`` only trims the timed repeats), so a smoke
+    CI run always finds matching rows in a full-run baseline.
+    """
+    from repro.exp.fleet import WorkerFleet
+    from repro.exp.runner import run_experiment
+    from repro.exp.spec import ExperimentSpec, StopRule
+    from repro.sim.backends import available_backends
+
+    points = 6
+    trials = 2
+    max_steps = 400
+    if smoke:
+        repeats = min(repeats, 2)
+    ns = tuple(40 + 8 * i for i in range(points))
+    stop = StopRule(rule="quiescent", patience=100, max_steps=max_steps)
+    effective_backend = (backend if backend in available_backends()
+                         else "numpy")
+
+    def sweep_spec(*, ns, trials, spec_seed) -> ExperimentSpec:
+        return ExperimentSpec(protocol="leader-election", ns=ns,
+                              trials=trials, stop=stop, engine="batched",
+                              backend=backend or "numpy", seed=spec_seed)
+
+    def timed(run, *, runs, seed_base) -> float:
+        best = float("inf")
+        for r in range(max(1, runs)):
+            start = time.perf_counter()
+            run(seed_base + r)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    rows: list[dict] = []
+
+    def emit(engine: str, *, steps: int, unit: str, seconds: float) -> None:
+        row = {
+            "protocol": "leader-election",
+            "n": max(ns),
+            "engine": engine,
+            "backend": effective_backend,
+            "steps": steps,
+            "unit": unit,
+            "seconds": round(seconds, 6),
+            "ips": round(steps / seconds, 1),
+        }
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+
+    total_trials = len(ns) * trials
+
+    def cold_sweep(spec_seed: int) -> None:
+        spec = sweep_spec(ns=ns, trials=trials, spec_seed=spec_seed)
+        run_experiment(spec, store=None, workers=workers)
+
+    def cold_startup(spec_seed: int) -> None:
+        spec = sweep_spec(ns=ns[:1], trials=4, spec_seed=spec_seed)
+        run_experiment(spec, store=None, workers=workers)
+
+    # Cold rows: the warm-up repeat only absorbs parent-process one-time
+    # costs (imports, protocol registry); each timed repeat still pays
+    # the pool spawn, which is the point.
+    cold_sweep(seed)  # warm-up repeat, discarded
+    seconds = timed(cold_sweep, runs=repeats, seed_base=seed + 10)
+    emit("sweep-cold-pool", steps=total_trials, unit="trials",
+         seconds=seconds)
+    cold_startup(seed)  # warm-up repeat, discarded
+    seconds = timed(cold_startup, runs=repeats, seed_base=seed + 100)
+    emit("sweep-startup-cold", steps=1, unit="sweeps", seconds=seconds)
+
+    with WorkerFleet(workers) as fleet:
+        def warm_sweep(spec_seed: int) -> None:
+            spec = sweep_spec(ns=ns, trials=trials, spec_seed=spec_seed)
+            run_experiment(spec, store=None, workers=workers, fleet=fleet)
+
+        def warm_startup(spec_seed: int) -> None:
+            spec = sweep_spec(ns=ns[:1], trials=4, spec_seed=spec_seed)
+            run_experiment(spec, store=None, workers=workers, fleet=fleet)
+
+        # The discarded warm-up repeat pays fleet spawn, spec install and
+        # kernel warming (JIT compilation on the numba backend) once.
+        warm_sweep(seed + 1)
+        seconds = timed(warm_sweep, runs=repeats, seed_base=seed + 1000)
+        emit("sweep-warm-fleet", steps=total_trials, unit="trials",
+             seconds=seconds)
+        warm_startup(seed + 2)
+        seconds = timed(warm_startup, runs=repeats, seed_base=seed + 2000)
+        emit("sweep-startup-warm", steps=1, unit="sweeps", seconds=seconds)
+    return rows
 
 
 def write_bench_file(path: str, rows: list[dict]) -> None:

@@ -1,0 +1,997 @@
+"""Persistent warm worker fleet: cross-sweep process reuse.
+
+The plain runner (:func:`repro.exp.runner.run_experiment`) and the
+supervision layer (:mod:`repro.exp.supervise`) both pay a fixed tax per
+*sweep*: a fresh ``multiprocessing`` pool is spawned, every worker
+re-parses the spec out of each task tuple, every worker re-compiles the
+protocol tables, and — on the numba kernel backend — every fresh
+process re-pays JIT compilation before its first trial.  For the dense
+Monte-Carlo campaigns the paper's predicates need (thousands of trials
+per point to pin finite-``n`` convergence laws), that tax dominates
+exactly the sweeps one wants to run back to back.
+
+:class:`WorkerFleet` removes it.  A fleet is spawned **once** and
+reused across :func:`~repro.exp.runner.run_experiment` calls and whole
+campaigns:
+
+* **Warm workers.**  Fleet workers are long-lived processes.  The keyed
+  :func:`~repro.sim.compiled.compile_protocol` memo, the constructed
+  step kernels (numba JIT paid once per fleet lifetime, not once per
+  sweep), and the protocol registry all persist across sweeps.
+* **Install broadcast.**  The spec is shipped to each worker exactly
+  once per sweep via an ``install`` message; task tuples then carry
+  only the spec *hash* plus point coordinates, instead of pickling the
+  whole spec dict into every task the way the pool path does.
+* **Shared-memory result transport.**  Each worker owns a
+  ``multiprocessing.shared_memory`` ring buffer; result payloads at or
+  above :data:`SHM_THRESHOLD_BYTES` move through it (the parent copies
+  them out on receipt), with plain pipe pickling as the fallback for
+  small records and for platforms without shared memory.
+* **Content-addressed trial memo.**  Trial ids are already SHA-256 over
+  ``(spec hash, point, trial)`` (:func:`repro.exp.runner.trial_id`) —
+  the same content-addressing the ResultStore resumes by — so the fleet
+  keeps a bounded parent-side memo of finished records and serves
+  byte-identical cached records for repeated or overlapping
+  submissions without executing anything.
+
+Contracts preserved exactly:
+
+* records are **byte-identical** to the pool path (and to ``workers=1``
+  in-process execution) — the workers run the very same
+  :func:`~repro.exp.runner.run_trial` /
+  :func:`~repro.exp.runner.run_ensemble_point` /
+  :func:`~repro.exp.runner.run_fluid_point` functions on the same
+  identity-derived seeds;
+* trial seeds stay execution-order-independent (the fleet never touches
+  seed derivation);
+* the PR 6 supervision semantics apply unchanged — per-trial timeouts
+  (worker alarm + parent deadline kill), deterministic-jitter retry,
+  quarantine, and crashed-worker respawn, where a respawned fleet
+  worker is **re-warmed** (every installed spec is replayed into it
+  before it rejoins the pool).
+
+This module is the performance core under the ROADMAP ``repro serve``
+item: the HTTP layer will schedule jobs onto exactly this fleet.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import signal
+import time
+import traceback
+import multiprocessing
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.exp.supervise import (
+    SupervisedTask,
+    SupervisionStats,
+    TrialExecutionError,
+    TrialTimeout,
+    _grace_s,
+    _mp_context,
+    backoff_delay,
+    failure_records,
+)
+
+#: Default shared-memory ring size per worker.  Payloads larger than the
+#: ring fall back to pipe transport, so this is a throughput knob, not a
+#: correctness bound.
+DEFAULT_RING_BYTES = 1 << 20
+
+#: Result payloads at least this large (pickled) travel through the
+#: ring; smaller ones take the pipe (one pickle either way, and a pipe
+#: write of a small record is cheaper than the shm round-trip).
+SHM_THRESHOLD_BYTES = 32 * 1024
+
+#: Installed specs kept per worker (and per fleet): one sweep needs one,
+#: interleaved campaigns a few; the cap only bounds memory.
+MAX_INSTALLED_SPECS = 8
+
+#: Parent-side trial-memo capacity, in records.
+MEMO_CAPACITY = 200_000
+
+#: Wall-clock budget for the best-effort cache warming (compile +
+#: kernel construction) inside an ``install`` message.  A protocol that
+#: hangs at compile time is cut here and surfaces per-trial under the
+#: normal supervision rules instead of wedging the install handshake.
+_INSTALL_WARM_BUDGET_S = 60.0
+
+#: How long the parent waits for an install acknowledgement before
+#: declaring the worker dead.
+_INSTALL_ACK_TIMEOUT_S = 300.0
+
+
+def shared_memory_reason() -> "str | None":
+    """Why ``multiprocessing.shared_memory`` cannot be used here, or None.
+
+    Probes by actually creating (and immediately destroying) a tiny
+    segment — importability alone does not prove ``/dev/shm`` works.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=16)
+        segment.close()
+        segment.unlink()
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+def fleet_report() -> dict:
+    """Fleet/shared-memory eligibility (the ``repro doctor`` payload).
+
+    Reports the process start method the fleet would use, whether the
+    shared-memory transport is usable, and the warm-kernel status (for
+    the numba backend, a warmed kernel means JIT has been paid in this
+    process; fleet workers pay it once per fleet lifetime).
+    """
+    from repro.sim.backends import backend_report, warmed_kernels
+
+    methods = multiprocessing.get_all_start_methods()
+    reason = shared_memory_reason()
+    numba_row = next((row for row in backend_report()
+                      if row["name"] == "numba"), None)
+    return {
+        "start_method": "fork" if "fork" in methods else methods[0],
+        "shared_memory": {"available": reason is None, "reason": reason},
+        "ring_bytes": DEFAULT_RING_BYTES,
+        "shm_threshold_bytes": SHM_THRESHOLD_BYTES,
+        "numba": {
+            "available": bool(numba_row and numba_row["available"]),
+            "warm_kernels": [list(pair) for pair in warmed_kernels()],
+        },
+    }
+
+
+# -- Worker side ---------------------------------------------------------------
+
+
+class _RingWriter:
+    """Worker-side cursor over the parent-owned shared-memory ring.
+
+    One task is in flight per worker at a time and the parent copies the
+    payload out of the ring as soon as the reply arrives, so a plain
+    wrapping cursor needs no further synchronization.
+    """
+
+    def __init__(self, name: str, size: int, untrack: bool):
+        from multiprocessing import shared_memory
+
+        try:
+            # 3.13+: attach without registering with the resource
+            # tracker — the parent owns the segment's lifetime.
+            self.shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            self.shm = shared_memory.SharedMemory(name=name)
+            # Pre-3.13 registers *attached* segments too.  Under spawn
+            # each process has its own tracker, so the stray
+            # registration would unlink the parent's ring when this
+            # worker exits — undo it.  Under fork the tracker is
+            # *shared* with the parent, and unregistering here would
+            # cancel the parent's own registration instead, so the
+            # duplicate register is the harmless no-op we keep.
+            if untrack:
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(self.shm._name,
+                                                "shared_memory")
+                except Exception:
+                    pass
+        self.size = size
+        self.cursor = 0
+
+    def write(self, data: bytes) -> "tuple[int, int] | None":
+        """Place ``data`` in the ring; returns ``(offset, nbytes)`` or
+        None when the payload exceeds the ring size (pipe fallback)."""
+        nbytes = len(data)
+        if nbytes > self.size:
+            return None
+        if self.cursor + nbytes > self.size:
+            self.cursor = 0
+        offset = self.cursor
+        self.shm.buf[offset:offset + nbytes] = data
+        self.cursor = offset + nbytes
+        return offset, nbytes
+
+
+def _warm_spec(spec) -> None:
+    """Best-effort cache warming for one installed spec.
+
+    Mirrors exactly what the trial functions will do: the compiled
+    engines (batched / ensemble / fluid) compile the protocol under the
+    registry key, and the backend engines construct their step kernels
+    (which *is* the JIT compile on the numba backend).  The agent
+    engine compiles nothing, so nothing is warmed for it — that keeps
+    protocols whose compilation itself misbehaves (the supervision test
+    protocols) on exactly the legacy failure path.
+    """
+    if spec.engine == "agent":
+        return
+    from repro.protocols import registry
+    from repro.sim.backends import select_kernels
+    from repro.sim.compiled import compile_protocol
+
+    params = dict(spec.params)
+    protocol = registry.get(spec.protocol).build(**params)
+    try:
+        key = ("registry", spec.protocol, tuple(sorted(params.items())))
+        hash(key)
+    except TypeError:
+        key = None
+    compile_protocol(protocol, key=key)
+    if spec.engine == "batched":
+        families = ("batched-agent", "batched-multiset")
+    elif spec.engine == "ensemble":
+        families = ("ensemble",)
+    else:
+        return
+    requested = None if spec.backend == "numpy" else spec.backend
+    for family in families:
+        select_kernels(requested, family)
+
+
+def _execute_coords(spec, kind: str, coords: tuple,
+                    spec_hash: str) -> list:
+    """Run one fleet task from its point coordinates."""
+    from repro.exp.runner import (
+        SweepPoint,
+        run_ensemble_point,
+        run_fluid_point,
+        run_trial,
+    )
+
+    n, intensity, scheduler, trial_or_trials = coords
+    point = SweepPoint(n, intensity, scheduler)
+    if kind == "ensemble":
+        return run_ensemble_point(spec, point, list(trial_or_trials),
+                                  spec_hash=spec_hash)
+    if kind == "fluid":
+        return run_fluid_point(spec, point, list(trial_or_trials),
+                               spec_hash=spec_hash)
+    return [run_trial(spec, point, trial_or_trials, spec_hash=spec_hash)]
+
+
+def _worker_stats_payload(installed: "OrderedDict") -> dict:
+    from repro.sim.backends import warmed_kernels
+    from repro.sim.compiled import compile_cache_stats
+
+    return {
+        "pid": os.getpid(),
+        "installed": list(installed),
+        "compile_cache": compile_cache_stats(),
+        "warm_kernels": [list(pair) for pair in warmed_kernels()],
+    }
+
+
+def _fleet_worker_main(conn, ring_name: "str | None", ring_size: int,
+                       shm_threshold: int, untrack_ring: bool) -> None:
+    """Long-lived worker loop.
+
+    Messages (parent -> worker), all tagged tuples:
+
+    * ``("install", seq, spec_dict, spec_hash)`` — parse + validate the
+      spec once, warm the compile/kernel caches (bounded by the install
+      alarm), remember it by hash; ack ``(seq, "installed", hash, s)``.
+    * ``("task", seq, kind, spec_hash, coords, timeout_s)`` — execute
+      one trial or point batch against the installed spec; reply
+      ``(seq, "ok", records, s)`` over the pipe, or
+      ``(seq, "ok-shm", (offset, nbytes), s)`` with the pickled records
+      parked in the shared-memory ring, or ``timeout`` / ``error``
+      exactly like the supervised pool workers.
+    * ``("stats", seq)`` — cache observability for tests and doctor.
+    * ``None`` — exit.
+
+    The alarm is armed per task and always disarmed before replying, so
+    a late signal can never leak into the next task.
+    """
+    from repro.exp.spec import ExperimentSpec
+
+    if hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum, frame):
+            raise TrialTimeout("wall-clock budget exceeded "
+                               "(worker-side alarm)")
+        signal.signal(signal.SIGALRM, _on_alarm)
+    writer = None
+    if ring_name is not None:
+        try:
+            writer = _RingWriter(ring_name, ring_size, untrack_ring)
+        except Exception:
+            writer = None  # pipe-only transport still works
+    installed: "OrderedDict[str, ExperimentSpec]" = OrderedDict()
+
+    def arm(seconds: "float | None") -> None:
+        if seconds and hasattr(signal, "setitimer"):
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+
+    def disarm() -> None:
+        if hasattr(signal, "setitimer"):
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        tag, seq = message[0], message[1]
+        start = time.perf_counter()
+        if tag == "install":
+            _, _, spec_dict, spec_hash = message
+            try:
+                if spec_hash not in installed:
+                    spec = ExperimentSpec.from_dict(spec_dict)
+                    spec.validate()
+                    try:
+                        arm(_INSTALL_WARM_BUDGET_S)
+                        try:
+                            _warm_spec(spec)
+                        finally:
+                            disarm()
+                    except TrialTimeout:
+                        pass  # warming is best-effort; trials re-pay it
+                    installed[spec_hash] = spec
+                    while len(installed) > MAX_INSTALLED_SPECS:
+                        installed.popitem(last=False)
+                else:
+                    installed.move_to_end(spec_hash)
+                reply = (seq, "installed", spec_hash,
+                         time.perf_counter() - start)
+            except BaseException as exc:
+                reply = (seq, "error",
+                         (type(exc).__name__, str(exc),
+                          traceback.format_exc()),
+                         time.perf_counter() - start)
+        elif tag == "stats":
+            reply = (seq, "stats", _worker_stats_payload(installed), 0.0)
+        elif tag == "task":
+            _, _, kind, spec_hash, coords, timeout_s = message
+            try:
+                spec = installed.get(spec_hash)
+                if spec is None:
+                    raise RuntimeError(
+                        f"spec {spec_hash[:12]} is not installed on this "
+                        "fleet worker (install broadcast missed?)")
+                arm(timeout_s)
+                try:
+                    records = _execute_coords(spec, kind, coords, spec_hash)
+                finally:
+                    disarm()
+                elapsed = time.perf_counter() - start
+                reply = (seq, "ok", records, elapsed)
+                if writer is not None:
+                    data = pickle.dumps(records,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    if len(data) >= shm_threshold:
+                        slot = writer.write(data)
+                        if slot is not None:
+                            reply = (seq, "ok-shm", slot, elapsed)
+            except TrialTimeout as exc:
+                reply = (seq, "timeout", str(exc),
+                         time.perf_counter() - start)
+            except BaseException as exc:
+                reply = (seq, "error",
+                         (type(exc).__name__, str(exc),
+                          traceback.format_exc()),
+                         time.perf_counter() - start)
+        else:
+            reply = (seq, "error",
+                     ("ProtocolError", f"unknown fleet message {tag!r}", ""),
+                     0.0)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# -- Parent side ---------------------------------------------------------------
+
+
+class _FleetWorker:
+    """One persistent fleet worker with a private pipe and shm ring."""
+
+    def __init__(self, ctx, ring_bytes: int, shm_threshold: int,
+                 use_shm: bool):
+        self.ring = None
+        ring_name = None
+        if use_shm and ring_bytes > 0:
+            from multiprocessing import shared_memory
+
+            try:
+                self.ring = shared_memory.SharedMemory(create=True,
+                                                       size=ring_bytes)
+                ring_name = self.ring.name
+            except Exception:
+                self.ring = None
+        self.ring_bytes = ring_bytes
+        self.conn, child_conn = ctx.Pipe()
+        untrack_ring = ctx.get_start_method() != "fork"
+        self.process = ctx.Process(
+            target=_fleet_worker_main,
+            args=(child_conn, ring_name, ring_bytes, shm_threshold,
+                  untrack_ring),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.seq = 0
+        #: Spec hashes acknowledged as installed on this worker.
+        self.installed: set = set()
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def dispatch_task(self, task: SupervisedTask,
+                      timeout_s: "float | None") -> int:
+        seq = self.next_seq()
+        spec_hash, coords = task.payload
+        self.conn.send(("task", seq, task.kind, spec_hash, coords,
+                        timeout_s))
+        return seq
+
+    def read_ring(self, offset: int, nbytes: int) -> bytes:
+        return bytes(self.ring.buf[offset:offset + nbytes])
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def destroy(self) -> None:
+        """Hard-stop and release everything the worker owns."""
+        try:
+            if self.process.is_alive():
+                if hasattr(self.process, "kill"):
+                    self.process.kill()
+                else:
+                    self.process.terminate()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self._release_ring()
+
+    def shutdown(self) -> None:
+        """Soft-stop: sentinel, short join, then escalate."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.destroy()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self._release_ring()
+
+    def _release_ring(self) -> None:
+        if self.ring is None:
+            return
+        try:
+            self.ring.close()
+            self.ring.unlink()
+        except Exception:
+            pass
+        self.ring = None
+
+
+@dataclass
+class FleetStats:
+    """Lifetime counters for one fleet (see also per-run info dicts)."""
+
+    sweeps: int = 0
+    installs: int = 0
+    tasks: int = 0
+    memo_hits: int = 0
+    shm_results: int = 0
+    pipe_results: int = 0
+    shm_bytes: int = 0
+    respawns: int = 0
+
+    def to_dict(self) -> dict:
+        return {"sweeps": self.sweeps, "installs": self.installs,
+                "tasks": self.tasks, "memo_hits": self.memo_hits,
+                "shm_results": self.shm_results,
+                "pipe_results": self.pipe_results,
+                "shm_bytes": self.shm_bytes, "respawns": self.respawns}
+
+
+def _build_fleet_tasks(spec, pending, spec_hash: str) -> list:
+    """Fleet task list for the pending ``(point, trial)`` pairs.
+
+    Shapes match the supervision builders exactly (one task per trial,
+    or one per point batch for the point engines) but payloads carry
+    only ``(spec_hash, coords)`` — the spec itself was installed once.
+    """
+    from repro.exp.runner import (
+        POINT_ENGINES,
+        group_pending_by_point,
+        trial_id,
+        trial_seeds,
+    )
+
+    tasks = []
+    if spec.engine in POINT_ENGINES:
+        kind = "fluid" if spec.engine == "fluid" else "ensemble"
+        for point, trial_list in group_pending_by_point(pending):
+            trials = []
+            for trial in trial_list:
+                engine_seed, fault_seed = trial_seeds(spec_hash, point, trial)
+                trials.append({"id": trial_id(spec_hash, point, trial),
+                               "n": point.n, "intensity": point.intensity,
+                               "scheduler": point.scheduler, "trial": trial,
+                               "engine_seed": engine_seed,
+                               "fault_seed": fault_seed})
+            tasks.append(SupervisedTask(
+                key=point.key, kind=kind,
+                payload=(spec_hash, (point.n, point.intensity,
+                                     point.scheduler, tuple(trial_list))),
+                trials=trials))
+        return tasks
+    for point, trial in pending:
+        tid = trial_id(spec_hash, point, trial)
+        engine_seed, fault_seed = trial_seeds(spec_hash, point, trial)
+        tasks.append(SupervisedTask(
+            key=tid, kind="trial",
+            payload=(spec_hash, (point.n, point.intensity,
+                                 point.scheduler, trial)),
+            trials=[{"id": tid, "n": point.n, "intensity": point.intensity,
+                     "scheduler": point.scheduler, "trial": trial,
+                     "engine_seed": engine_seed,
+                     "fault_seed": fault_seed}]))
+    return tasks
+
+
+class WorkerFleet:
+    """A persistent pool of warm worker processes (see module docstring).
+
+    Spawn once, run many sweeps::
+
+        with WorkerFleet(workers=4) as fleet:
+            run_experiment(spec_a, fleet=fleet)
+            run_experiment(spec_b, fleet=fleet)   # warm: no respawn,
+                                                  # no recompiles
+
+    Workers are forked at construction time (where fork is available),
+    so — like the supervised pool — they inherit in-process protocol
+    registrations.  The fleet is not thread-safe: one sweep runs at a
+    time (the ``repro serve`` layer will own the queueing).
+    """
+
+    def __init__(self, workers: "int | None" = None, *,
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 shm_threshold: int = SHM_THRESHOLD_BYTES,
+                 memo_capacity: int = MEMO_CAPACITY):
+        self.size = max(1, workers or os.cpu_count() or 1)
+        self.ring_bytes = ring_bytes
+        self.shm_threshold = shm_threshold
+        self.memo_capacity = memo_capacity
+        self.shm_reason = (shared_memory_reason() if ring_bytes > 0
+                           else "disabled (ring_bytes=0)")
+        self._ctx = _mp_context()
+        self._workers = [self._spawn() for _ in range(self.size)]
+        #: spec_hash -> spec_dict, in install order (replayed on respawn).
+        self._installed: "OrderedDict[str, dict]" = OrderedDict()
+        self._memo: "OrderedDict[str, dict]" = OrderedDict()
+        self.stats = FleetStats()
+        self.closed = False
+
+    # -- Lifecycle -------------------------------------------------------------
+
+    def _spawn(self) -> _FleetWorker:
+        return _FleetWorker(self._ctx, self.ring_bytes, self.shm_threshold,
+                            use_shm=self.shm_reason is None)
+
+    def __enter__(self) -> "WorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down and release the shared-memory rings."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self._workers:
+            worker.shutdown()
+        self._workers = []
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("this WorkerFleet has been closed")
+
+    # -- Install broadcast -----------------------------------------------------
+
+    def _ack(self, worker: _FleetWorker, seq: int,
+             timeout_s: float = _INSTALL_ACK_TIMEOUT_S):
+        """Wait for the reply with ``seq`` on a synchronous exchange."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError("fleet worker did not acknowledge in "
+                                   f"{timeout_s:.0f}s")
+            if not worker.conn.poll(min(remaining, 0.2)):
+                if not worker.alive():
+                    raise RuntimeError(
+                        f"fleet worker died (exitcode "
+                        f"{worker.process.exitcode})")
+                continue
+            reply = worker.conn.recv()
+            if reply[0] != seq:
+                continue  # stale reply from an abandoned dispatch
+            return reply
+
+    def _install_on(self, worker: _FleetWorker, spec_hash: str,
+                    spec_dict: dict) -> None:
+        seq = worker.next_seq()
+        worker.conn.send(("install", seq, spec_dict, spec_hash))
+        reply = self._ack(worker, seq)
+        _, status, detail, _ = reply
+        if status != "installed":
+            error_type, message, trace = detail
+            raise RuntimeError(
+                f"fleet install failed in worker: [{error_type}] {message}")
+        worker.installed.add(spec_hash)
+        self.stats.installs += 1
+
+    def install(self, spec, spec_hash: "str | None" = None) -> str:
+        """Broadcast ``spec`` to every worker that lacks it (idempotent).
+
+        Returns the spec's content hash.  After this, task messages for
+        the sweep carry only the hash — the one-per-sweep broadcast is
+        what replaces the per-task spec pickling of the pool path.
+        """
+        self._check_open()
+        spec_hash = spec_hash or spec.content_hash()
+        spec_dict = spec.to_dict()
+        self._installed[spec_hash] = spec_dict
+        self._installed.move_to_end(spec_hash)
+        while len(self._installed) > MAX_INSTALLED_SPECS:
+            self._installed.popitem(last=False)
+        for index, worker in enumerate(self._workers):
+            if spec_hash in worker.installed:
+                continue
+            try:
+                self._install_on(worker, spec_hash, spec_dict)
+            except RuntimeError:
+                if not worker.alive():
+                    # Died mid-handshake: one warm respawn retry.
+                    self._workers[index] = self._respawn(worker)
+                else:
+                    raise
+        return spec_hash
+
+    def _respawn(self, worker: _FleetWorker) -> _FleetWorker:
+        """Replace a dead/wedged worker with a freshly *warmed* one.
+
+        The replacement gets every installed spec replayed before it
+        rejoins the pool, so a respawn after a crash never reintroduces
+        cold-start costs into the sweep.
+        """
+        index = self._workers.index(worker)
+        worker.destroy()
+        fresh = self._spawn()
+        self._workers[index] = fresh
+        self.stats.respawns += 1
+        for spec_hash, spec_dict in self._installed.items():
+            self._install_on(fresh, spec_hash, spec_dict)
+        return fresh
+
+    # -- Trial memo ------------------------------------------------------------
+
+    def cached(self, trial_id: str) -> "dict | None":
+        """The memoized record for a content-addressed trial id, or None."""
+        record = self._memo.get(trial_id)
+        if record is None:
+            return None
+        self._memo.move_to_end(trial_id)
+        self.stats.memo_hits += 1
+        return dict(record)
+
+    def memoize(self, record: dict) -> None:
+        """Remember one finished record (bounded LRU by trial id)."""
+        tid = record.get("id")
+        if tid is None:
+            return
+        self._memo[tid] = dict(record)
+        self._memo.move_to_end(tid)
+        while len(self._memo) > self.memo_capacity:
+            self._memo.popitem(last=False)
+
+    def memoize_records(self, records) -> None:
+        """Bulk-seed the memo, e.g. from a ResultStore's records."""
+        for record in records:
+            self.memoize(record)
+
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    # -- Execution -------------------------------------------------------------
+
+    def run_pending(self, spec, pending, spec_hash: str, *,
+                    on_record, on_failure) -> tuple:
+        """Execute a sweep's pending trials; the runner's entry point.
+
+        Serves memoized records first (byte-identical, zero execution),
+        then dispatches the rest across the warm workers under
+        ``spec.execution`` — the same supervision policy semantics as
+        :func:`repro.exp.supervise.run_supervised`.  Returns
+        ``(SupervisionStats, per-run info dict)``.
+        """
+        from repro.exp.runner import trial_id
+
+        self._check_open()
+        self.install(spec, spec_hash)
+        before = self.stats.to_dict()
+        served = 0
+        remaining = []
+        for point, trial in pending:
+            record = self.cached(trial_id(spec_hash, point, trial))
+            if record is not None:
+                on_record(record)
+                served += 1
+            else:
+                remaining.append((point, trial))
+        tasks = _build_fleet_tasks(spec, remaining, spec_hash)
+
+        def collect(records) -> None:
+            for record in records:
+                self.memoize(record)
+                on_record(record)
+
+        stats = self.execute(tasks, policy=spec.execution,
+                             spec_hash=spec_hash, on_records=collect,
+                             on_failure=on_failure)
+        self.stats.sweeps += 1
+        after = self.stats.to_dict()
+        info = {
+            "workers": self.size,
+            "memo_hits": served,
+            "shm_results": after["shm_results"] - before["shm_results"],
+            "pipe_results": after["pipe_results"] - before["pipe_results"],
+            "shm_bytes": after["shm_bytes"] - before["shm_bytes"],
+            "respawns": after["respawns"] - before["respawns"],
+        }
+        return stats, info
+
+    def execute(self, tasks, *, policy, spec_hash: str, on_records=None,
+                on_failure=None, poll_s: float = 0.05) -> SupervisionStats:
+        """Supervised dispatch of ``tasks`` across the persistent workers.
+
+        Semantics mirror :func:`repro.exp.supervise.run_supervised` —
+        worker-side alarm timeouts, parent-side deadline kills,
+        deterministic-jitter retry, quarantine/skip/raise disposition —
+        with two fleet twists: workers survive the call, and a killed
+        worker is respawned *warm* (installs replayed).
+        """
+        self._check_open()
+        stats = SupervisionStats(tasks=len(tasks))
+        if not tasks:
+            return stats
+        ready: deque = deque(tasks)
+        waiting: list = []  # backoff-delayed tasks, any order
+        busy: dict = {}  # worker -> (task, seq, started, deadline | None)
+
+        def finalize_failure(task: SupervisedTask) -> None:
+            if policy.on_error == "raise":
+                raise TrialExecutionError(
+                    failure_records(task, spec_hash)[0])
+            if policy.on_error == "skip":
+                stats.skipped += len(task.trials)
+                return
+            stats.quarantined += len(task.trials)
+            if on_failure is not None:
+                for record in failure_records(task, spec_hash):
+                    on_failure(record)
+
+        def note_failed_attempt(task: SupervisedTask, outcome: dict) -> None:
+            task.attempts.append(outcome)
+            stats.attempts += 1
+            if len(task.attempts) >= policy.max_attempts:
+                finalize_failure(task)
+                return
+            stats.retries += 1
+            task.not_before = (time.monotonic()
+                               + backoff_delay(policy, task.key,
+                                               len(task.attempts)))
+            waiting.append(task)
+
+        try:
+            while ready or waiting or busy:
+                now = time.monotonic()
+                still_waiting = [t for t in waiting if t.not_before > now]
+                for task in waiting:
+                    if task.not_before <= now:
+                        ready.append(task)
+                waiting[:] = still_waiting
+
+                for worker in self._workers:
+                    if not ready:
+                        break
+                    if worker in busy:
+                        continue
+                    task = ready.popleft()
+                    deadline = None
+                    if policy.timeout_s:
+                        deadline = now + policy.timeout_s + _grace_s(
+                            policy.timeout_s)
+                    seq = worker.dispatch_task(task, policy.timeout_s)
+                    busy[worker] = (task, seq, now, deadline)
+
+                if not busy:
+                    if waiting:
+                        pause = min(t.not_before for t in waiting) - now
+                        if pause > 0:
+                            time.sleep(min(pause, poll_s * 4))
+                    continue
+
+                conns = {worker.conn: worker for worker in busy}
+                readable = multiprocessing.connection.wait(
+                    list(conns), timeout=poll_s)
+
+                for conn in readable:
+                    worker = conns[conn]
+                    task, seq, started, _ = busy[worker]
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        del busy[worker]
+                        exitcode = worker.process.exitcode
+                        self._respawn(worker)
+                        stats.crashes += 1
+                        note_failed_attempt(task, {
+                            "attempt": len(task.attempts) + 1,
+                            "outcome": "crashed",
+                            "error_type": "WorkerCrashed",
+                            "message": (f"fleet worker died "
+                                        f"(exitcode {exitcode})"),
+                            "elapsed_s": round(time.monotonic() - started,
+                                               3),
+                        })
+                        continue
+                    reply_seq, status, detail, elapsed = reply
+                    if reply_seq != seq:
+                        # Stale reply from an abandoned dispatch; the
+                        # current task is still in flight — keep waiting.
+                        continue
+                    del busy[worker]
+                    if status in ("ok", "ok-shm"):
+                        stats.attempts += 1
+                        self.stats.tasks += 1
+                        if status == "ok-shm":
+                            offset, nbytes = detail
+                            records = pickle.loads(
+                                worker.read_ring(offset, nbytes))
+                            self.stats.shm_results += 1
+                            self.stats.shm_bytes += nbytes
+                        else:
+                            records = detail
+                            self.stats.pipe_results += 1
+                        if on_records is not None:
+                            on_records(records)
+                    elif status == "timeout":
+                        stats.timeouts += 1
+                        note_failed_attempt(task, {
+                            "attempt": len(task.attempts) + 1,
+                            "outcome": "timeout",
+                            "error_type": "TrialTimeout",
+                            "message": detail,
+                            "elapsed_s": round(elapsed, 3),
+                        })
+                    else:
+                        error_type, message, trace = detail
+                        stats.errors += 1
+                        note_failed_attempt(task, {
+                            "attempt": len(task.attempts) + 1,
+                            "outcome": "error",
+                            "error_type": error_type,
+                            "message": message,
+                            "traceback": trace,
+                            "elapsed_s": round(elapsed, 3),
+                        })
+
+                now = time.monotonic()
+                for worker in list(busy):
+                    task, seq, started, deadline = busy[worker]
+                    if deadline is not None and now > deadline:
+                        del busy[worker]
+                        self._respawn(worker)
+                        stats.timeouts += 1
+                        note_failed_attempt(task, {
+                            "attempt": len(task.attempts) + 1,
+                            "outcome": "timeout",
+                            "error_type": "TrialTimeout",
+                            "message": ("wall-clock budget exceeded; fleet "
+                                        "worker killed by supervisor "
+                                        "deadline and respawned warm"),
+                            "elapsed_s": round(now - started, 3),
+                        })
+                    elif not worker.alive():
+                        del busy[worker]
+                        exitcode = worker.process.exitcode
+                        self._respawn(worker)
+                        stats.crashes += 1
+                        note_failed_attempt(task, {
+                            "attempt": len(task.attempts) + 1,
+                            "outcome": "crashed",
+                            "error_type": "WorkerCrashed",
+                            "message": f"fleet worker died "
+                                       f"(exitcode {exitcode})",
+                            "elapsed_s": round(now - started, 3),
+                        })
+        except BaseException:
+            # Abandon in-flight work cleanly: a worker with an
+            # unconsumed reply must never rejoin the pool, or a later
+            # sweep would read a stale result.  Respawn (warm) instead.
+            for worker in list(busy):
+                self._respawn(worker)
+            raise
+        return stats
+
+    # -- Observability ---------------------------------------------------------
+
+    def worker_stats(self) -> list:
+        """Cache/warmth stats from every (idle) worker.
+
+        Call between sweeps only — the exchange shares the task pipes.
+        """
+        self._check_open()
+        payloads = []
+        for worker in self._workers:
+            seq = worker.next_seq()
+            try:
+                worker.conn.send(("stats", seq))
+                _, status, payload, _ = self._ack(worker, seq,
+                                                  timeout_s=30.0)
+            except (RuntimeError, OSError, EOFError):
+                payloads.append(None)
+                continue
+            payloads.append(payload if status == "stats" else None)
+        return payloads
+
+
+# -- Module-level keep-warm fleet ----------------------------------------------
+
+_shared_fleet: "WorkerFleet | None" = None
+
+
+def get_fleet(workers: "int | None" = None, **kwargs) -> WorkerFleet:
+    """The process-wide keep-warm fleet, created (or grown) on demand.
+
+    Repeated calls return the same fleet while it satisfies the
+    requested size; a larger request replaces it.  The shared fleet is
+    shut down at interpreter exit (or explicitly via
+    :func:`shutdown_fleet`).
+    """
+    global _shared_fleet
+    wanted = max(1, workers or os.cpu_count() or 1)
+    fleet = _shared_fleet
+    if fleet is not None and not fleet.closed and fleet.size >= wanted:
+        return fleet
+    if fleet is not None:
+        fleet.close()
+    _shared_fleet = WorkerFleet(wanted, **kwargs)
+    return _shared_fleet
+
+
+def shutdown_fleet() -> None:
+    """Close the shared keep-warm fleet, if any."""
+    global _shared_fleet
+    if _shared_fleet is not None:
+        _shared_fleet.close()
+        _shared_fleet = None
+
+
+atexit.register(shutdown_fleet)

@@ -29,6 +29,17 @@ from repro.util.rng import derive_seed
 #: cannot accumulate per-process memory (caches, fragmentation) forever.
 _MAX_TASKS_PER_CHILD = 128
 
+#: Upper bound on the pool dispatch chunk size.  The load-balancing
+#: formula (tasks / workers / 4) makes very large chunks on huge sweeps,
+#: and one slow trial then head-of-line-blocks its whole chunk; the cap
+#: keeps the longest possible stall bounded regardless of sweep size.
+_CHUNK_CAP = 64
+
+
+def _chunk_size(n_tasks: int, workers: int) -> int:
+    """Pool dispatch chunk size: load-balanced, capped at ``_CHUNK_CAP``."""
+    return max(1, min(_CHUNK_CAP, n_tasks // (workers * 4)))
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -508,6 +519,20 @@ def _fluid_pool_task(task) -> list[dict]:
 #: all of the point's trials) rather than one trial per task.
 POINT_ENGINES = ("ensemble", "fluid")
 
+
+def group_pending_by_point(pending) -> list:
+    """Pending ``(point, trial)`` pairs grouped into point batches.
+
+    Canonical order (by ``n`` then intensity) shared by every dispatch
+    path — in-process, pool, supervised, and the fleet — so point-batch
+    construction is identical regardless of how the sweep executes.
+    """
+    by_point: dict = {}
+    for point, trial in pending:
+        by_point.setdefault(point, []).append(trial)
+    return sorted(by_point.items(),
+                  key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
+
 _POINT_FUNCS = {"ensemble": run_ensemble_point, "fluid": run_fluid_point}
 _POINT_POOL_TASKS = {"ensemble": _ensemble_pool_task,
                      "fluid": _fluid_pool_task}
@@ -539,6 +564,10 @@ class ExperimentResult:
     #: Supervision counters (:meth:`SupervisionStats.to_dict`), or None
     #: when the sweep ran on the unsupervised fast path.
     supervision: "dict | None" = None
+    #: Per-run fleet info (workers, memo hits, transport counters), or
+    #: None when the sweep did not run on a :class:`repro.exp.fleet.
+    #: WorkerFleet`.
+    fleet: "dict | None" = None
 
     @property
     def total(self) -> int:
@@ -552,6 +581,7 @@ def run_experiment(
     workers: int = 1,
     progress: "Callable[[dict], None] | None" = None,
     retry_quarantined: bool = False,
+    fleet=None,
 ) -> ExperimentResult:
     """Execute every trial of ``spec`` that the store does not already hold.
 
@@ -568,6 +598,18 @@ def run_experiment(
     quarantine.  Quarantined trials resume as *failures* — they are not
     re-executed unless ``retry_quarantined`` is set (a later success
     then supersedes the stored failure record).
+
+    ``fleet`` — a :class:`repro.exp.fleet.WorkerFleet` — routes the
+    sweep onto persistent warm workers instead of a per-call pool: the
+    spec is installed once, the fleet's content-addressed memo serves
+    repeated trials without execution, and ``spec.execution`` applies
+    with identical supervision semantics.  ``workers`` is ignored in
+    favor of the fleet's own size, and records stay byte-identical to
+    every other path.  One caveat on the default policy: an erroring
+    trial surfaces as :class:`~repro.exp.supervise.TrialExecutionError`
+    (carrying the structured failure record) rather than the raw
+    exception, because fleet workers always report errors through the
+    supervision channel.
     """
     spec.validate()
     if workers < 1:
@@ -608,6 +650,18 @@ def run_experiment(
             store.append_failure(record)
         fresh_failures.append(record)
 
+    if fleet is not None:
+        stats, info = fleet.run_pending(spec, pending, spec_hash,
+                                        on_record=collect,
+                                        on_failure=collect_failure)
+        records = sorted(done_records + fresh, key=record_sort_key)
+        failures = sorted(done_failures + fresh_failures,
+                          key=record_sort_key)
+        return ExperimentResult(
+            spec=spec, spec_hash=spec_hash, records=records,
+            executed=len(fresh), skipped=len(done_records),
+            failures=failures, supervision=stats.to_dict(), fleet=info)
+
     supervision = None
     if not spec.execution.is_default():
         from repro.exp.supervise import (
@@ -617,12 +671,8 @@ def run_experiment(
         )
 
         if spec.engine in POINT_ENGINES:
-            by_point: dict = {}
-            for point, trial in pending:
-                by_point.setdefault(point, []).append(trial)
-            groups = sorted(by_point.items(),
-                            key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
-            tasks = build_ensemble_tasks(spec, groups, spec_hash)
+            tasks = build_ensemble_tasks(
+                spec, group_pending_by_point(pending), spec_hash)
         else:
             tasks = build_trial_tasks(spec, pending, spec_hash)
         stats = run_supervised(
@@ -644,11 +694,7 @@ def run_experiment(
         # point covers all of the point's pending trials; workers (if
         # any) fan out points.
         point_func = _POINT_FUNCS[spec.engine]
-        by_point: dict = {}
-        for point, trial in pending:
-            by_point.setdefault(point, []).append(trial)
-        groups = sorted(by_point.items(),
-                        key=lambda kv: (kv[0].n, kv[0].intensity or 0.0))
+        groups = group_pending_by_point(pending)
         if workers == 1 or len(groups) <= 1:
             for point, trial_list in groups:
                 for record in point_func(spec, point, trial_list,
@@ -683,7 +729,7 @@ def run_experiment(
         # round-trip per trial; results are re-sorted afterwards, so
         # ordering is unaffected.  maxtasksperchild recycles workers to
         # bound memory growth across long sweeps.
-        chunksize = max(1, len(tasks) // (workers_eff * 4))
+        chunksize = _chunk_size(len(tasks), workers_eff)
         with multiprocessing.Pool(workers_eff,
                                   maxtasksperchild=_MAX_TASKS_PER_CHILD
                                   ) as pool:

@@ -49,6 +49,7 @@ class ResultStore:
         self._spec_header: "dict | None" = None
         self._records: list[dict] = []
         self._ids: set[str] = set()
+        self._by_id: dict[str, dict] = {}
         self._failures: list[dict] = []
         self._failure_ids: set[str] = set()
         self._load()
@@ -70,6 +71,7 @@ class ResultStore:
                 elif record.get("kind") == "trial":
                     self._records.append(record)
                     self._ids.add(record["id"])
+                    self._by_id[record["id"]] = record
                 elif record.get("kind") == "trial-failure":
                     self._failures.append(record)
                     self._failure_ids.add(record["id"])
@@ -93,6 +95,18 @@ class ResultStore:
     def records(self) -> list[dict]:
         """All trial records, in append order."""
         return list(self._records)
+
+    def record(self, trial_id: str) -> "dict | None":
+        """The stored record for one trial id, or None.
+
+        Trial ids are content-addressed — SHA-256 over ``(spec hash,
+        point, trial)`` — so this lookup is the store-side half of the
+        fleet's trial memo (:mod:`repro.exp.fleet`): any record found
+        here is byte-identical to what re-executing the trial would
+        produce.
+        """
+        record = self._by_id.get(trial_id)
+        return dict(record) if record is not None else None
 
     def failures(self) -> list[dict]:
         """Quarantined ``trial-failure`` records, in append order.
@@ -152,8 +166,10 @@ class ResultStore:
         if record["id"] in self._ids:
             return
         self._append_line(record)
-        self._records.append(dict(record))
+        copy = dict(record)
+        self._records.append(copy)
         self._ids.add(record["id"])
+        self._by_id[record["id"]] = copy
 
     def append_failure(self, record: Mapping) -> None:
         """Persist one quarantine record (idempotent by id, fsynced).

@@ -39,6 +39,12 @@ Determinism: supervision never touches seed derivation — every trial's
 seeds remain a pure function of ``(spec hash, point, trial)`` — so the
 set of *successful* records is byte-identical to an unfailed,
 unsupervised run, whatever crashed, hung, or retried along the way.
+
+The persistent worker fleet (:mod:`repro.exp.fleet`) builds on exactly
+these pieces — :class:`SupervisedTask`, :class:`SupervisionStats`,
+:func:`backoff_delay`, :func:`failure_records`, the worker alarm pattern
+and the dispatch-loop shape — swapping the per-sweep worker pool for
+long-lived warm processes.  A policy behaves identically under both.
 """
 
 from __future__ import annotations

@@ -54,6 +54,7 @@ __all__ = [
     "register_backend",
     "reset_backend_warnings",
     "select_kernels",
+    "warmed_kernels",
 ]
 
 #: The always-available fallback backend.
@@ -142,6 +143,20 @@ def backend_report() -> list:
     return rows
 
 
+# -- Warm-kernel tracking ------------------------------------------------------
+
+#: ``(backend, family)`` pairs whose kernels were constructed in this
+#: process.  For the numba backend, construction *is* JIT compilation
+#: (eager ``@njit`` at build), so membership here means the JIT price
+#: has been paid; ``repro doctor`` and the fleet worker stats report it.
+_warm_kernels: set = set()
+
+
+def warmed_kernels() -> list:
+    """Sorted ``(backend, family)`` pairs built in this process."""
+    return sorted(_warm_kernels)
+
+
 # -- Fallback warnings (once per (backend, reason) per process) ----------------
 
 _warned: set = set()
@@ -179,7 +194,9 @@ def select_kernels(requested: "str | None", family: str, *,
     name = requested or DEFAULT_BACKEND
     backend = get_backend(name)
     if name == DEFAULT_BACKEND:
-        return name, backend.make_kernels(family)
+        kernels = backend.make_kernels(family)
+        _warm_kernels.add((name, family))
+        return name, kernels
     reason = backend.ineligible_reason()
     if reason is None and family != "ensemble" and not decodable:
         reason = ("the population shape or RNG has no block-decodable "
@@ -187,11 +204,16 @@ def select_kernels(requested: "str | None", family: str, *,
                   "of equal bit length, and a stock random.Random)")
     if reason is None:
         try:
-            return name, backend.make_kernels(family)
+            kernels = backend.make_kernels(family)
         except Exception as exc:
             reason = f"kernel construction failed: {exc}"
+        else:
+            _warm_kernels.add((name, family))
+            return name, kernels
     _warn_fallback(name, reason)
-    return DEFAULT_BACKEND, get_backend(DEFAULT_BACKEND).make_kernels(family)
+    kernels = get_backend(DEFAULT_BACKEND).make_kernels(family)
+    _warm_kernels.add((DEFAULT_BACKEND, family))
+    return DEFAULT_BACKEND, kernels
 
 
 # -- Shipped backends ----------------------------------------------------------

@@ -200,6 +200,12 @@ def _reachable_closure(protocol: PopulationProtocol,
 #: mean behaviorally identical protocols.
 _key_memo: "dict[Hashable, CompiledProtocol]" = {}
 
+#: Keyed-memo traffic counters.  ``hits``/``misses`` count keyed
+#: :func:`compile_protocol` lookups; the persistent worker fleet
+#: (:mod:`repro.exp.fleet`) reads them through worker stats to prove
+#: that consecutive sweeps reuse one compilation per process.
+_key_stats = {"hits": 0, "misses": 0}
+
 #: Attribute under which an anonymous protocol caches its own
 #: compilation.  Stored on the instance (not in a global table) so the
 #: tables live exactly as long as the protocol — a global id-keyed memo
@@ -230,8 +236,11 @@ def compile_protocol(protocol: PopulationProtocol, *,
     if key is not None:
         compiled = _key_memo.get(key)
         if compiled is None:
+            _key_stats["misses"] += 1
             compiled = CompiledProtocol(protocol, (), max_states)
             _key_memo[key] = compiled
+        else:
+            _key_stats["hits"] += 1
         return compiled
     cached = getattr(protocol, _INSTANCE_ATTR, None)
     if isinstance(cached, CompiledProtocol) and cached.protocol is protocol:
@@ -248,8 +257,13 @@ def clear_compile_cache() -> None:
     """Drop the keyed process-level compilations (tests and memory
     pressure; per-instance caches die with their protocols)."""
     _key_memo.clear()
+    _key_stats["hits"] = 0
+    _key_stats["misses"] = 0
 
 
 def compile_cache_stats() -> dict:
-    """Size of the keyed memo layer (observability for tests/tools)."""
-    return {"keyed": len(_key_memo)}
+    """Size and traffic of the keyed memo layer (observability for
+    tests, tools, and fleet worker stats)."""
+    return {"keyed": len(_key_memo),
+            "hits": _key_stats["hits"],
+            "misses": _key_stats["misses"]}

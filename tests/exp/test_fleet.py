@@ -1,0 +1,347 @@
+"""Persistent warm worker fleet: reuse, transport, memoization.
+
+The headline contracts, each asserted byte-for-byte against the legacy
+paths:
+
+* fleet records are identical to the in-process (``workers=1``) run and
+  to the cold worker-pool run — the fleet changes *where* trials
+  execute, never *what* they produce;
+* a second submission of the same ``(spec, point, trial)`` is served
+  from the content-addressed memo without dispatching a task, and the
+  served record is byte-identical to the executed one;
+* results ride the shared-memory ring when eligible and fall back to
+  the pipe when the ring is disabled or too small — transport is
+  invisible in the records;
+* the full PR 6 supervision contract (timeouts, retries, crash
+  recovery, quarantine) holds when trials run on fleet workers, with
+  warm respawn replaying installed specs.
+
+Failure modes are injected exactly as in ``test_supervise.py``: poison
+input symbols of :mod:`repro.protocols.faulty` mapped per population
+size.  This file is also the CI fleet smoke job (see
+``.github/workflows/ci.yml``).
+"""
+
+import json
+
+import pytest
+
+from repro.exp.fleet import (
+    WorkerFleet,
+    fleet_report,
+    get_fleet,
+    shared_memory_reason,
+    shutdown_fleet,
+)
+from repro.exp.runner import run_experiment
+from repro.exp.spec import (
+    ExecutionPolicy,
+    ExperimentSpec,
+    FaultAxis,
+    InputGrid,
+    StopRule,
+)
+from repro.exp.store import ResultStore
+from repro.protocols import faulty
+from repro.sim.backends import available_backends
+
+faulty.install()
+
+HEALTHY = {8: {1: 1, 0: 7}}
+
+QUARANTINE = ExecutionPolicy(max_attempts=2, backoff=0.0,
+                             on_error="quarantine")
+
+
+def poison(mode: str, n: int = 9) -> dict:
+    """One poison agent at population size ``n``, rest healthy."""
+    return {n: {1: 1, 0: n - 2, mode: 1}}
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    base = dict(protocol="epidemic", ns=(6, 8), trials=3,
+                inputs=InputGrid(kind="ones", ones=1),
+                stop=StopRule(patience=500, max_steps=20_000), seed=7)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def poison_spec(table: dict, *, policy: ExecutionPolicy,
+                trials: int = 1, seed: int = 3) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="misbehaving-epidemic", ns=tuple(sorted(table)),
+        trials=trials, params={"poison": faulty.ALL_POISON},
+        inputs=InputGrid.explicit(table),
+        stop=StopRule(patience=200, max_steps=5_000),
+        engine="agent", execution=policy, seed=seed)
+
+
+@pytest.fixture
+def marker_dir(tmp_path, monkeypatch):
+    """Marker directory for the stateful poison modes (flaky, die)."""
+    path = tmp_path / "markers"
+    path.mkdir()
+    monkeypatch.setenv(faulty.MARKER_DIR_ENV, str(path))
+    return path
+
+
+@pytest.fixture(params=available_backends())
+def backend(request):
+    return request.param
+
+
+def dumps(records):
+    return json.dumps(records, sort_keys=True)
+
+
+class TestByteIdentity:
+    def test_fleet_matches_in_process_run(self):
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(serial.records)
+        assert result.fleet["workers"] == 2
+        assert result.fleet["memo_hits"] == 0
+
+    def test_fleet_matches_cold_pool(self):
+        spec = make_spec(trials=4)
+        pool = run_experiment(spec, workers=2)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(pool.records)
+
+    def test_single_worker_fleet(self):
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(1) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_fault_axis_sweep(self):
+        spec = make_spec(faults=FaultAxis("omission-rate", (0.0, 0.4)))
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_batched_engine_across_backends(self, backend):
+        spec = make_spec(engine="batched", backend=backend,
+                         ns=(16,), trials=2)
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_ensemble_engine(self):
+        spec = make_spec(engine="ensemble", ns=(16,), trials=4)
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_store_resume_through_fleet(self, tmp_path):
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        store = ResultStore(tmp_path / "results.jsonl")
+        with WorkerFleet(2) as fleet:
+            first = run_experiment(spec, store=store, fleet=fleet)
+            assert first.executed == len(first.records)
+            again = run_experiment(
+                spec, store=ResultStore(tmp_path / "results.jsonl"),
+                fleet=fleet)
+        assert again.executed == 0
+        assert again.skipped == len(serial.records)
+        assert dumps(again.records) == dumps(serial.records)
+
+
+class TestWarmReuse:
+    def test_second_sweep_reuses_workers_and_compile_cache(self):
+        spec = make_spec(engine="batched", ns=(16,), trials=2)
+        with WorkerFleet(2) as fleet:
+            first = run_experiment(spec, fleet=fleet)
+            pids = [w["pid"] for w in fleet.worker_stats() if w]
+            # A different seed defeats the trial memo, so the second
+            # sweep actually executes — on the same warm processes.
+            second = run_experiment(make_spec(engine="batched", ns=(16,),
+                                              trials=2, seed=11),
+                                    fleet=fleet)
+            stats = [w for w in fleet.worker_stats() if w]
+        assert first.failures == [] and second.failures == []
+        assert second.fleet["memo_hits"] == 0
+        assert [w["pid"] for w in stats] == pids
+        # Install compiles once per spec; trials then hit the keyed
+        # compile memo in every worker that executed one.
+        assert any(w["compile_cache"]["hits"] > 0 for w in stats)
+        assert all(len(w["installed"]) == 2 for w in stats)
+
+    def test_install_is_idempotent(self):
+        spec = make_spec()
+        with WorkerFleet(1) as fleet:
+            first = fleet.install(spec)
+            installs = fleet.stats.installs
+            assert fleet.install(spec) == first
+            assert fleet.stats.installs == installs
+
+
+class TestMemoization:
+    def test_repeat_sweep_served_from_memo(self):
+        spec = make_spec()
+        with WorkerFleet(2) as fleet:
+            first = run_experiment(spec, fleet=fleet)
+            tasks_after_first = fleet.stats.tasks
+            second = run_experiment(spec, fleet=fleet)
+            assert fleet.stats.tasks == tasks_after_first
+        assert second.fleet["memo_hits"] == len(first.records)
+        assert dumps(second.records) == dumps(first.records)
+
+    def test_memo_keys_on_spec_hash(self):
+        with WorkerFleet(1) as fleet:
+            run_experiment(make_spec(), fleet=fleet)
+            other = run_experiment(make_spec(seed=8), fleet=fleet)
+        assert other.fleet["memo_hits"] == 0
+
+    def test_served_records_are_copies(self):
+        spec = make_spec(ns=(6,), trials=1)
+        with WorkerFleet(1) as fleet:
+            first = run_experiment(spec, fleet=fleet)
+            first.records[0]["mutated"] = True
+            second = run_experiment(spec, fleet=fleet)
+        assert "mutated" not in second.records[0]
+
+
+class TestTransport:
+    def test_forced_shm_results_identical(self):
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2, shm_threshold=1) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert result.fleet["shm_results"] > 0
+        assert result.fleet["shm_bytes"] > 0
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_ring_wraps_under_sustained_load(self):
+        spec = make_spec(trials=6)
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(1, ring_bytes=2048, shm_threshold=1) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert result.fleet["shm_results"] > 0
+        assert dumps(result.records) == dumps(serial.records)
+
+    def test_ring_disabled_falls_back_to_pipe(self):
+        spec = make_spec()
+        serial = run_experiment(spec, workers=1)
+        with WorkerFleet(2, ring_bytes=0, shm_threshold=1) as fleet:
+            assert fleet.shm_reason is not None
+            result = run_experiment(spec, fleet=fleet)
+        assert result.fleet["shm_results"] == 0
+        assert result.fleet["pipe_results"] > 0
+        assert dumps(result.records) == dumps(serial.records)
+
+
+class TestSupervisionThroughFleet:
+    def test_poison_trial_quarantined(self, marker_dir):
+        spec = poison_spec({**HEALTHY, **poison("boom")},
+                           policy=QUARANTINE)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert [r["n"] for r in result.records] == [8]
+        assert len(result.failures) == 1
+        assert result.failures[0]["error_type"] == "RuntimeError"
+        assert "boom" in result.failures[0]["message"]
+        assert result.supervision["quarantined"] == 1
+
+    def test_hung_trial_cut_at_timeout(self, marker_dir):
+        policy = ExecutionPolicy(timeout_s=0.3, max_attempts=1,
+                                 on_error="quarantine")
+        spec = poison_spec({**HEALTHY, **poison("hang")}, policy=policy)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+        assert [r["n"] for r in result.records] == [8]
+        assert result.failures[0]["error_type"] == "TrialTimeout"
+        assert result.supervision["timeouts"] == 1
+
+    def test_sigkilled_worker_respawns_warm(self, marker_dir, monkeypatch,
+                                            tmp_path):
+        policy = ExecutionPolicy(timeout_s=60.0, max_attempts=3,
+                                 backoff=0.0, on_error="quarantine")
+        spec = poison_spec({**HEALTHY, **poison("die")},
+                           policy=policy, trials=2)
+        with WorkerFleet(2) as fleet:
+            result = run_experiment(spec, fleet=fleet)
+            assert result.supervision["crashes"] == 1
+            assert result.fleet["respawns"] == 1
+            assert result.failures == []
+            assert len(result.records) == 4
+            # The respawned worker was re-armed with the installed spec:
+            # every worker reports it, and the fleet keeps serving.
+            assert all(len(w["installed"]) == 1
+                       for w in fleet.worker_stats() if w)
+
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        (clean_dir / "die.fired").touch()
+        monkeypatch.setenv(faulty.MARKER_DIR_ENV, str(clean_dir))
+        clean = run_experiment(spec, workers=2)
+        assert clean.supervision["crashes"] == 0
+        assert dumps(result.records) == dumps(clean.records)
+
+    def test_fleet_survives_failed_sweep(self, marker_dir):
+        """A sweep full of failures leaves the fleet usable."""
+        spec = poison_spec({**HEALTHY, **poison("boom")},
+                           policy=QUARANTINE)
+        healthy = make_spec()
+        serial = run_experiment(healthy, workers=1)
+        with WorkerFleet(2) as fleet:
+            run_experiment(spec, fleet=fleet)
+            after = run_experiment(healthy, fleet=fleet)
+        assert dumps(after.records) == dumps(serial.records)
+
+    def test_default_policy_error_raises(self):
+        spec = poison_spec(poison("boom"), policy=ExecutionPolicy())
+        from repro.exp.supervise import TrialExecutionError
+
+        with WorkerFleet(1) as fleet:
+            with pytest.raises(TrialExecutionError):
+                run_experiment(spec, fleet=fleet)
+
+
+class TestFleetReport:
+    def test_payload_shape(self):
+        report = fleet_report()
+        assert report["start_method"] in ("fork", "forkserver", "spawn")
+        assert isinstance(report["shared_memory"]["available"], bool)
+        if report["shared_memory"]["available"]:
+            assert report["shared_memory"]["reason"] is None
+            assert shared_memory_reason() is None
+        assert report["ring_bytes"] > 0
+        assert report["shm_threshold_bytes"] > 0
+        assert isinstance(report["numba"]["available"], bool)
+        assert isinstance(report["numba"]["warm_kernels"], list)
+
+
+class TestSharedFleet:
+    def test_get_fleet_reuses_and_grows(self):
+        try:
+            fleet = get_fleet(1)
+            assert get_fleet(1) is fleet
+            bigger = get_fleet(2)
+            assert bigger is not fleet
+            assert bigger.size == 2
+            # A smaller request keeps the larger warm fleet.
+            assert get_fleet(1) is bigger
+        finally:
+            shutdown_fleet()
+
+    def test_shutdown_closes(self):
+        fleet = get_fleet(1)
+        shutdown_fleet()
+        assert fleet.closed
+        with pytest.raises(RuntimeError):
+            fleet.install(make_spec())
+
+    def test_closed_fleet_rejects_runs(self):
+        fleet = WorkerFleet(1)
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            run_experiment(make_spec(), fleet=fleet)

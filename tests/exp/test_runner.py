@@ -137,6 +137,29 @@ class TestParallelSerialDeterminism:
             sorted(store4.records(), key=key)
 
 
+class TestChunkedDispatch:
+    def test_chunk_size_load_balances_and_caps(self):
+        from repro.exp.runner import _CHUNK_CAP, _chunk_size
+
+        assert _chunk_size(1, 4) == 1        # floor at 1
+        assert _chunk_size(100, 4) == 6      # n // (workers * 4)
+        # Huge task counts no longer produce huge chunks: one straggler
+        # chunk can stall a sweep for at most _CHUNK_CAP trials.
+        assert _chunk_size(100_000, 4) == _CHUNK_CAP == 64
+        assert _chunk_size(0, 8) == 1
+
+    @pytest.mark.parametrize("cap", [1, 2, 64])
+    def test_records_identical_across_chunk_sizes(self, cap, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        spec = make_spec(trials=4)
+        serial = run_experiment(spec, workers=1)
+        monkeypatch.setattr(runner_mod, "_CHUNK_CAP", cap)
+        chunked = run_experiment(spec, workers=2)
+        assert json.dumps(serial.records, sort_keys=True) == \
+            json.dumps(chunked.records, sort_keys=True)
+
+
 class TestResume:
     def test_completed_spec_executes_zero_new_trials(self, tmp_path):
         """Acceptance: re-running a completed spec is a no-op."""

@@ -95,7 +95,7 @@ class TestExtraStates:
         a = compile_protocol(protocol, extra_states=(LeaderElection().initial_state(1),))
         b = compile_protocol(protocol, extra_states=(LeaderElection().initial_state(1),))
         assert a is not b
-        assert compile_cache_stats() == {"keyed": 0}
+        assert compile_cache_stats() == {"keyed": 0, "hits": 0, "misses": 0}
         # And they do not poison the plain instance cache.
         assert compile_protocol(protocol) is compile_protocol(protocol)
 
@@ -128,14 +128,15 @@ class TestMemoization:
         assert compile_protocol(majority_protocol()) is not \
             compile_protocol(protocol)
         # ...and nothing global pins them.
-        assert compile_cache_stats() == {"keyed": 0}
+        assert compile_cache_stats() == {"keyed": 0, "hits": 0, "misses": 0}
 
     def test_key_memo_shares_across_instances(self):
         key = ("registry", "majority", ())
         a = compile_protocol(majority_protocol(), key=key)
         b = compile_protocol(majority_protocol(), key=key)
         assert a is b
-        assert compile_cache_stats() == {"keyed": 1}
+        # The second call is the warm-cache hit the fleet workers count.
+        assert compile_cache_stats() == {"keyed": 1, "hits": 1, "misses": 1}
 
     def test_distinct_keys_compile_separately(self):
         a = compile_protocol(CountToK(3), key=("count-to-k", 3))
@@ -156,9 +157,9 @@ class TestMemoization:
 
     def test_clear_compile_cache(self):
         compile_protocol(majority_protocol(), key="k")
-        assert compile_cache_stats() == {"keyed": 1}
+        assert compile_cache_stats() == {"keyed": 1, "hits": 0, "misses": 1}
         clear_compile_cache()
-        assert compile_cache_stats() == {"keyed": 0}
+        assert compile_cache_stats() == {"keyed": 0, "hits": 0, "misses": 0}
 
     def test_protocol_compiled_hook(self):
         protocol = LeaderElection()

@@ -241,6 +241,29 @@ class TestExpRunCommand:
         # both run everything, so the whole payload must match bytewise.
         assert serial == parallel
 
+    def test_fleet_flag_matches_serial_output(self, capsys):
+        import json
+
+        assert main(["exp", "run", "--json"] + EXP_FLAGS) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["exp", "run", "--json", "--fleet", "--workers", "2"]
+                    + EXP_FLAGS) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["fleet"]["workers"] == 2
+        assert fleet["points"] == serial["points"]
+
+    def test_fleet_store_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(["exp", "run", "--store", store, "--fleet",
+                     "--workers", "2"] + EXP_FLAGS) == 0
+        first = capsys.readouterr().out
+        assert "(4 executed, 0 resumed)" in first
+        assert "fleet    : 2 warm workers" in first
+
+        assert main(["exp", "run", "--store", store, "--fleet",
+                     "--workers", "2"] + EXP_FLAGS) == 0
+        assert "(0 executed, 4 resumed)" in capsys.readouterr().out
+
     def test_missing_protocol_is_clean_error(self, capsys):
         code = main(["exp", "run", "--ns", "6"])
         captured = capsys.readouterr()
@@ -548,3 +571,20 @@ class TestDoctorCommand:
             assert "numba is not importable" in by_name["numba"]["reason"]
         else:
             assert by_name["numba"]["available"]
+
+    def test_reports_fleet_eligibility(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "worker fleet" in out
+        assert "start method" in out
+        assert "shared memory" in out
+
+    def test_json_fleet_payload(self, capsys):
+        import json
+
+        assert main(["doctor", "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)["fleet"]
+        assert fleet["start_method"] in ("fork", "forkserver", "spawn")
+        assert isinstance(fleet["shared_memory"]["available"], bool)
+        assert fleet["ring_bytes"] > 0
+        assert isinstance(fleet["numba"]["warm_kernels"], list)
